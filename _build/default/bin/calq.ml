@@ -1,0 +1,208 @@
+(* calq — a small shell over the calendar system.
+
+   calq eval "<calendar expression>"     evaluate one expression
+   calq repl                             interactive session
+   calq demo                             scripted demonstration *)
+
+open Calrules
+open Cal_db
+
+let date_arg default doc =
+  let parse s =
+    match Civil.of_string s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "bad date %S (expected YYYY-MM-DD)" s))
+  in
+  let print ppf d = Format.pp_print_string ppf (Civil.to_string d) in
+  Cmdliner.Arg.(
+    value
+    & opt (conv (parse, print)) default
+    & info [ "epoch" ] ~docv:"DATE" ~doc)
+
+let make_session epoch =
+  Session.create ~epoch
+    ~lifespan:(Civil.make epoch.Civil.year 1 1, Civil.make (epoch.Civil.year + 39) 12 31)
+    ()
+
+let print_calendar session cal =
+  Printf.printf "%s\n" (Calendar.to_string cal);
+  let flat = Interval_set.to_list (Calendar.flatten cal) in
+  if List.length flat <= 40 then
+    List.iter
+      (fun iv ->
+        let lo = Interval.lo iv and hi = Interval.hi iv in
+        if Interval.length iv = 1 then
+          Printf.printf "  %s\n" (Civil.to_string (Session.date_of_day session lo))
+        else
+          Printf.printf "  %s .. %s\n"
+            (Civil.to_string (Session.date_of_day session lo))
+            (Civil.to_string (Session.date_of_day session hi)))
+      flat
+  else Printf.printf "  (%d intervals)\n" (List.length flat)
+
+let print_result _session = function
+  | Exec.Rows { columns; rows } ->
+    Printf.printf "%s\n" (String.concat " | " columns);
+    List.iter
+      (fun row ->
+        Printf.printf "%s\n"
+          (String.concat " | "
+             (Array.to_list (Array.map Value.to_string row))))
+      rows;
+    Printf.printf "(%d rows)\n" (List.length rows)
+  | Exec.Affected n -> Printf.printf "(%d tuples)\n" n
+  | Exec.Msg m -> print_endline m
+  | Exec.Rule_def _ | Exec.Rule_drop _ -> print_endline "(rule)"
+
+let db_keywords =
+  [ "create"; "append"; "retrieve"; "delete"; "replace"; "define"; "drop" ]
+
+let first_word line =
+  match String.split_on_char ' ' (String.trim line) with
+  | w :: _ -> String.lowercase_ascii w
+  | [] -> ""
+
+let handle session line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if line = "help" then
+    print_endline
+      "commands:\n\
+      \  calendar <name> = { <script> }   define a derived calendar\n\
+      \  <query>                          any create/append/retrieve/... command\n\
+      \  <calendar expression>            evaluate and print\n\
+      \  advance <days>                   advance the simulated clock\n\
+      \  save <file> | load <file>        persist / restore the session\n\
+      \  today | alerts | calendars       session state\n\
+      \  quit"
+  else if line = "today" then
+    Printf.printf "%s (instant %d)\n" (Civil.to_string (Session.today session)) (Session.now session)
+  else if line = "alerts" then
+    List.iter
+      (fun (msg, at) -> Printf.printf "  %s at instant %d\n" msg at)
+      (Session.alerts session)
+  else if line = "calendars" then begin
+    match Session.query session "retrieve (name, granularity) from calendars" with
+    | Ok r -> print_result session r
+    | Error e -> Printf.printf "error: %s\n" e
+  end
+  else if first_word line = "save" then begin
+    match String.split_on_char ' ' line with
+    | [ _; file ] ->
+      let oc = open_out file in
+      output_string oc (Session.save session);
+      close_out oc;
+      Printf.printf "saved to %s\n" file
+    | _ -> print_endline "usage: save <file>"
+  end
+  else if first_word line = "load" then begin
+    match String.split_on_char ' ' line with
+    | [ _; file ] -> (
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let contents = really_input_string ic n in
+      close_in ic;
+      match Session.load session contents with
+      | Ok () -> Printf.printf "loaded %s\n" file
+      | Error e -> Printf.printf "error: %s\n" e)
+    | _ -> print_endline "usage: load <file>"
+  end
+  else if first_word line = "advance" then begin
+    match String.split_on_char ' ' line with
+    | [ _; n ] -> (
+      match int_of_string_opt n with
+      | Some days ->
+        Session.advance_days session days;
+        Printf.printf "now %s\n" (Civil.to_string (Session.today session))
+      | None -> print_endline "usage: advance <days>")
+    | _ -> print_endline "usage: advance <days>"
+  end
+  else if first_word line = "calendar" then begin
+    match String.index_opt line '=' with
+    | Some i ->
+      let name = String.trim (String.sub line 8 (i - 8)) in
+      let script = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      (match Session.define_calendar session ~name ~script with
+      | Ok () -> Printf.printf "calendar %s defined\n" name
+      | Error e -> Printf.printf "error: %s\n" e)
+    | None -> print_endline "usage: calendar <name> = { <script> }"
+  end
+  else if List.mem (first_word line) db_keywords then begin
+    match Session.query session line with
+    | Ok r -> print_result session r
+    | Error e -> Printf.printf "error: %s\n" e
+  end
+  else begin
+    match Session.eval_calendar session line with
+    | Ok cal -> print_calendar session cal
+    | Error e -> Printf.printf "error: %s\n" e
+  end
+
+let repl epoch =
+  let session = make_session epoch in
+  Printf.printf "calq — calendar system shell (epoch %s). Type `help'.\n"
+    (Civil.to_string epoch);
+  let rec loop () =
+    print_string "calq> ";
+    match read_line () with
+    | exception End_of_file -> print_endline "bye."
+    | "quit" | "exit" -> print_endline "bye."
+    | line ->
+      (try handle session line with e -> Printf.printf "error: %s\n" (Printexc.to_string e));
+      loop ()
+  in
+  loop ()
+
+let eval_once epoch expr =
+  let session = make_session epoch in
+  match Session.eval_calendar session expr with
+  | Ok cal -> print_calendar session cal
+  | Error e ->
+    Printf.printf "error: %s\n" e;
+    exit 1
+
+let demo epoch =
+  let session = make_session epoch in
+  let script =
+    [
+      "calendar Tuesdays = { return ([2]/DAYS:during:WEEKS); }";
+      "calendar Fridays = { return ([5]/DAYS:during:WEEKS); }";
+      Printf.sprintf "[3]/Fridays:overlaps:[1]/MONTHS:during:%d/YEARS" epoch.Civil.year;
+      "create table stock (day chronon valid, price float)";
+      "append stock (day = @5, price = 101.5)";
+      "append stock (day = @12, price = 102.5)";
+      "retrieve (stock.day, stock.price) from stock on \"Tuesdays\"";
+      "define rule tick on calendar \"[2]/DAYS:during:WEEKS\" do retrieve (alert('TUESDAY'))";
+      "advance 15";
+      "alerts";
+    ]
+  in
+  List.iter
+    (fun line ->
+      Printf.printf "calq> %s\n" line;
+      (try handle session line with e -> Printf.printf "error: %s\n" (Printexc.to_string e)))
+    script
+
+let () =
+  let open Cmdliner in
+  let epoch_term = date_arg Unit_system.default_epoch "Session epoch (day chronon 1)." in
+  let repl_cmd =
+    Cmd.v (Cmd.info "repl" ~doc:"Interactive calendar shell")
+      Term.(const repl $ epoch_term)
+  in
+  let eval_cmd =
+    let expr =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Calendar expression")
+    in
+    Cmd.v (Cmd.info "eval" ~doc:"Evaluate one calendar expression")
+      Term.(const eval_once $ epoch_term $ expr)
+  in
+  let demo_cmd =
+    Cmd.v (Cmd.info "demo" ~doc:"Scripted demonstration") Term.(const demo $ epoch_term)
+  in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "calq" ~version:"1.0" ~doc:"Calendars and temporal rules shell")
+          [ repl_cmd; eval_cmd; demo_cmd ]))

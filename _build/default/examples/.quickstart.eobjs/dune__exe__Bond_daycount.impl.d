@@ -1,0 +1,1 @@
+examples/bond_daycount.ml: Cal_db Calendar Calrules Civil Day_count Exec Interval Interval_set List Printf Session Value

@@ -1,0 +1,1 @@
+examples/bond_daycount.mli:

@@ -1,0 +1,1 @@
+examples/gnp_series.ml: Array Cal_lang Cal_timeseries Calendar_gen Civil Context Env Granularity Interval List Pattern Printf Regular Unit_system

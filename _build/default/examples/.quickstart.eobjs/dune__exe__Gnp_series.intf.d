@@ -1,0 +1,1 @@
+examples/gnp_series.mli:

@@ -1,0 +1,1 @@
+examples/options_expiration.ml: Cal_db Cal_rules Calendar Calrules Civil Exec Interval Interval_set List Printf Session Value

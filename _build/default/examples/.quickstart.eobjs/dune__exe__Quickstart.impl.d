@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cal_db Calendar Calrules Civil Interval Interval_set List Printf Session String

@@ -1,0 +1,1 @@
+examples/tquel_gap.ml: Cal_db Cal_tquel Calrules Civil Exec Granularity Int List Printf Session Unit_system Value

@@ -1,0 +1,1 @@
+examples/tquel_gap.mli:

@@ -1,0 +1,1 @@
+examples/university.ml: Array Cal_db Calendar Calrules Civil Exec Interval Interval_set List Printf Session String Value

@@ -1,0 +1,84 @@
+(* Quickstart: define calendars, evaluate the paper's section 3.1
+   expressions, inspect the CALENDARS catalog, and run one query.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Calrules
+
+let show_cal session label cal =
+  let days =
+    Interval_set.to_list (Calendar.flatten cal)
+    |> List.map (fun iv ->
+           if Interval.length iv = 1 then
+             Civil.to_string (Session.date_of_day session (Interval.lo iv))
+           else
+             Printf.sprintf "%s..%s"
+               (Civil.to_string (Session.date_of_day session (Interval.lo iv)))
+               (Civil.to_string (Session.date_of_day session (Interval.hi iv))))
+  in
+  Printf.printf "%-45s %s\n    = %s\n" label (Calendar.to_string cal)
+    (String.concat ", " days)
+
+let eval session label source =
+  match Session.eval_calendar session source with
+  | Ok cal -> show_cal session label cal
+  | Error e -> Printf.printf "%s: ERROR %s\n" label e
+
+let () =
+  (* Epoch Jan 1 1993, as in the paper's section 3.1 examples: day 1 is
+     Jan 1 1993, the first week of the year is (-4,3). *)
+  let session =
+    Session.create ~epoch:(Civil.make 1993 1 1)
+      ~lifespan:(Civil.make 1993 1 1, Civil.make 1999 12 31)
+      ()
+  in
+  print_endline "== defining calendars ==";
+  List.iter
+    (fun (name, script) ->
+      match Session.define_calendar session ~name ~script with
+      | Ok () -> Printf.printf "  defined %-12s as %s\n" name script
+      | Error e -> Printf.printf "  %s FAILED: %s\n" name e)
+    [
+      ("Mondays", "{ return ([1]/DAYS:during:WEEKS); }");
+      ("Tuesdays", "{ return ([2]/DAYS:during:WEEKS); }");
+      ("Fridays", "{ return ([5]/DAYS:during:WEEKS); }");
+      ("Januarys", "{ return ([1]/MONTHS:during:YEARS); }");
+      ("Third_Weeks", "{ return ([3]/WEEKS:overlaps:MONTHS); }");
+    ];
+
+  print_endline "\n== section 3.1 expressions (epoch Jan 1 1993) ==";
+  eval session "WEEKS during January 1993:" "WEEKS:during:[1]/MONTHS:during:1993/YEARS";
+  eval session "third week of January 1993:" "[3]/WEEKS:overlaps:[1]/MONTHS:during:1993/YEARS";
+  eval session "Mondays during January 1993:" "Mondays:during:Januarys:during:1993/YEARS";
+  eval session "Third_Weeks during January 1993:" "Third_Weeks:during:Januarys:during:1993/YEARS";
+
+  print_endline "\n== the CALENDARS catalog row for Tuesdays (paper figure 1) ==";
+  (match Session.calendar_row session "Tuesdays" with
+  | Some row ->
+    Array.iteri
+      (fun i v ->
+        let col = [| "name"; "derivation-script"; "eval-plan"; "lifespan"; "granularity"; "values" |] in
+        Printf.printf "  %-18s %s\n" col.(i)
+          (String.concat " | " (String.split_on_char '\n' (Cal_db.Value.to_string v))))
+      row
+  | None -> print_endline "  (missing)");
+
+  print_endline "\n== a valid-time query ==";
+  ignore (Session.query_exn session "create table stock (day chronon valid, price float)");
+  for d = 1 to 31 do
+    ignore
+      (Session.query_exn session
+         (Printf.sprintf "append stock (day = @%d, price = %.2f)" d (100. +. (0.5 *. float_of_int d))))
+  done;
+  print_endline "  retrieve (stock.day, stock.price) from stock on \"Tuesdays\"";
+  (match Session.query_exn session "retrieve (stock.day, stock.price) from stock on \"Tuesdays\"" with
+  | Cal_db.Exec.Rows { rows; _ } ->
+    List.iter
+      (fun row ->
+        match row with
+        | [| Cal_db.Value.Chronon d; Cal_db.Value.Float p |] ->
+          Printf.printf "    %s  %.2f\n" (Civil.to_string (Session.date_of_day session d)) p
+        | _ -> ())
+      rows
+  | _ -> print_endline "  (unexpected result)");
+  print_endline "\ndone."

@@ -1,0 +1,1 @@
+lib/calendar/calendar.ml: Array Chronon Format Int Interval Interval_set List Listop

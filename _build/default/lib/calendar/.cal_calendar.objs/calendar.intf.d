@@ -1,0 +1,1 @@
+lib/calendar/calendar.mli: Format Interval Interval_set Listop

@@ -1,0 +1,1 @@
+lib/calendar/calendar_gen.ml: Array Chronon Granularity Interval Interval_set List Unit_system

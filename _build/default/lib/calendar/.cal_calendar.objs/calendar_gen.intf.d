@@ -1,0 +1,1 @@
+lib/calendar/calendar_gen.mli: Chronon Civil Granularity Interval Interval_set

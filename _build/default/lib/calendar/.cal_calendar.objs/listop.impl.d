@@ -1,0 +1,1 @@
+lib/calendar/listop.ml: Format Interval String

@@ -1,0 +1,1 @@
+lib/calendar/listop.mli: Format Interval

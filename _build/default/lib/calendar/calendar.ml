@@ -1,0 +1,248 @@
+type t =
+  | Leaf of Interval_set.t
+  | Node of t list
+
+let empty = Leaf Interval_set.empty
+let leaf s = Leaf s
+let of_pairs pairs = Leaf (Interval_set.of_pairs pairs)
+let of_interval i = Leaf (Interval_set.singleton i)
+let node l = Node l
+
+let rec order = function
+  | Leaf _ -> 1
+  | Node [] -> 2
+  | Node (x :: _) -> 1 + order x
+
+let rec is_empty = function
+  | Leaf s -> Interval_set.is_empty s
+  | Node l -> List.for_all is_empty l
+
+let rec size = function
+  | Leaf s -> Interval_set.cardinal s
+  | Node l -> List.fold_left (fun acc c -> acc + size c) 0 l
+
+let rec leaves = function
+  | Leaf s -> [ s ]
+  | Node l -> List.concat_map leaves l
+
+let flatten t =
+  List.fold_left Interval_set.union Interval_set.empty (leaves t)
+
+let rec simplify t =
+  match t with
+  | Leaf _ -> t
+  | Node l -> (
+    let l = List.map simplify l in
+    let l = List.filter (fun c -> not (is_empty c)) l in
+    match l with
+    | [] -> empty
+    | [ x ] -> x
+    | _ ->
+      let all_small =
+        List.for_all
+          (function Leaf s -> Interval_set.cardinal s <= 1 | Node _ -> false)
+          l
+      in
+      if all_small then
+        Leaf
+          (Interval_set.of_list
+             (List.concat_map (fun c -> Interval_set.to_list (flatten c)) l))
+      else Node l)
+
+let rec equal a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> Interval_set.equal x y
+  | Node x, Node y -> List.length x = List.length y && List.for_all2 equal x y
+  | Leaf _, Node _ | Node _, Leaf _ -> false
+
+(* --- foreach ------------------------------------------------------- *)
+
+let keep_interval ~strict op reference acc x =
+  if Listop.apply op x reference then
+    if strict && Listop.clips op then
+      match Interval.intersect x reference with
+      | Some clipped -> clipped :: acc
+      | None -> acc
+    else x :: acc
+  else acc
+
+let apply_one ~strict op c reference =
+  Interval_set.of_list
+    (Interval_set.fold (fun acc x -> keep_interval ~strict op reference acc x) [] c)
+
+(* The reference implementation: every (interval, reference) pair is
+   tested. Kept for the E12 ablation benchmark and as the qcheck oracle
+   for the indexed fast path below. *)
+let foreach_pairwise ~strict op lhs rhs =
+  let c = flatten lhs in
+  let rec go = function
+    | Leaf s -> (
+      match Interval_set.to_list s with
+      | [] -> empty
+      | [ reference ] -> Leaf (apply_one ~strict op c reference)
+      | refs -> Node (List.map (fun r -> Leaf (apply_one ~strict op c r)) refs))
+    | Node l -> Node (List.map go l)
+  in
+  go rhs
+
+(* Indexed evaluation: the left operand is sorted by (lo, hi), so for each
+   reference interval only a contiguous candidate slice can qualify:
+
+   - ops needing lo inside the reference (During, Starts, Finishes,
+     Equals): indices with ref.lo <= lo_i <= ref.hi;
+   - overlap-style ops: indices with lo_i <= ref.hi whose running
+     max(hi) reaches ref.lo — the prefix-max of hi is monotone, so the
+     left edge is binary-searchable too;
+   - ordering ops (Before, Meets, Le): any qualifying interval has
+     lo_i <= ref.lo, bounding the right edge.
+
+   The listop itself is still applied to every candidate, so this is a
+   pure pruning optimization with identical results. *)
+type indexed = {
+  arr : Interval.t array;  (* sorted by (lo, hi) *)
+  max_hi : Chronon.t array;  (* prefix maximum of hi *)
+}
+
+let make_index c =
+  let arr = Array.of_list (Interval_set.to_list c) in
+  let n = Array.length arr in
+  let max_hi = Array.make (max n 1) Chronon.minus_infinity in
+  let running = ref Chronon.minus_infinity in
+  for i = 0 to n - 1 do
+    running := Chronon.max !running (Interval.hi arr.(i));
+    max_hi.(i) <- !running
+  done;
+  { arr; max_hi }
+
+(* First index with lo >= v (n when none). *)
+let lower_bound_lo { arr; _ } v =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Chronon.compare (Interval.lo arr.(mid)) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index with lo > v (n when none). *)
+let upper_bound_lo { arr; _ } v =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Chronon.compare (Interval.lo arr.(mid)) v <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index whose prefix-max hi reaches v (n when none). *)
+let first_reaching { max_hi; arr; _ } v =
+  let n = Array.length arr in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Chronon.compare max_hi.(mid) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let candidate_range idx op reference =
+  let n = Array.length idx.arr in
+  if n = 0 then (1, 0)
+  else
+    match op with
+    | Listop.During | Listop.Starts | Listop.Finishes | Listop.Equals ->
+      (lower_bound_lo idx (Interval.lo reference), upper_bound_lo idx (Interval.hi reference) - 1)
+    | Listop.Overlaps | Listop.Intersects ->
+      (first_reaching idx (Interval.lo reference), upper_bound_lo idx (Interval.hi reference) - 1)
+    | Listop.Before | Listop.Meets | Listop.Le | Listop.Contains ->
+      (0, upper_bound_lo idx (Interval.lo reference) - 1)
+
+let apply_one_indexed ~strict op idx reference =
+  let start, stop = candidate_range idx op reference in
+  let acc = ref [] in
+  for i = stop downto start do
+    acc := keep_interval ~strict op reference !acc idx.arr.(i)
+  done;
+  Interval_set.of_list !acc
+
+let foreach ~strict op lhs rhs =
+  let idx = make_index (flatten lhs) in
+  let rec go = function
+    | Leaf s -> (
+      match Interval_set.to_list s with
+      | [] -> empty
+      | [ reference ] -> Leaf (apply_one_indexed ~strict op idx reference)
+      | refs -> Node (List.map (fun r -> Leaf (apply_one_indexed ~strict op idx r)) refs))
+    | Node l -> Node (List.map go l)
+  in
+  go rhs
+
+(* --- selection ------------------------------------------------------ *)
+
+type sel_atom =
+  | Nth of int
+  | Last
+  | Range of int * int
+
+type selector = sel_atom list
+
+let positions sel n =
+  let resolve = function
+    | Nth i when i > 0 -> if i <= n then [ i ] else []
+    | Nth i when i < 0 -> if -i <= n then [ n + 1 + i ] else []
+    | Nth _ -> []
+    | Last -> if n >= 1 then [ n ] else []
+    | Range (a, b) ->
+      let a = max a 1 and b = min b n in
+      if a > b then [] else List.init (b - a + 1) (fun k -> a + k)
+  in
+  List.sort_uniq Int.compare (List.concat_map resolve sel)
+
+let select_leaf sel s =
+  let n = Interval_set.cardinal s in
+  Interval_set.of_list (List.map (Interval_set.nth s) (positions sel n))
+
+let select sel t =
+  let rec go = function
+    | Leaf s -> Leaf (select_leaf sel s)
+    | Node l -> Node (List.map go l)
+  in
+  simplify (go t)
+
+let nth_by_label ~base x t =
+  select [ Nth (x - base + 1) ] t
+
+(* --- element-wise set operations ------------------------------------ *)
+
+let binop set_op a b =
+  let rec go a b =
+    match (a, b) with
+    | Leaf x, Leaf y -> Leaf (set_op x y)
+    | Node x, Node y when List.length x = List.length y -> Node (List.map2 go x y)
+    | _ -> Leaf (set_op (flatten a) (flatten b))
+  in
+  go a b
+
+let union = binop Interval_set.union
+let diff = binop Interval_set.diff
+let inter = binop Interval_set.inter
+
+(* --- windowing ------------------------------------------------------ *)
+
+let rec restrict t w =
+  match t with
+  | Leaf s -> Leaf (Interval_set.restrict s w)
+  | Node l ->
+    let l = List.filter_map
+        (fun c ->
+          let r = restrict c w in
+          if is_empty r then None else Some r)
+        l
+    in
+    Node l
+
+let rec pp ppf = function
+  | Leaf s -> Interval_set.pp ppf s
+  | Node l ->
+    Format.fprintf ppf "{@[%a@]}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+      l
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,109 @@
+(** Order-n calendars: structured collections of intervals (section 3.1).
+
+    A calendar of order 1 is an interval set; a calendar of order n is a
+    list of calendars of order n-1. The operators are the paper's:
+
+    {ul
+    {- [foreach] — the strict ([:]) and relaxed ([.]) dicing operator;}
+    {- [select] — the slicing operator [\[x\]/C];}
+    {- [union] / [diff] — the element-wise [+] and [-] of calendar
+       scripts.}} *)
+
+type t =
+  | Leaf of Interval_set.t
+  | Node of t list
+
+(** {2 Construction and observation} *)
+
+val empty : t
+val leaf : Interval_set.t -> t
+val of_pairs : (int * int) list -> t
+val of_interval : Interval.t -> t
+val node : t list -> t
+
+(** Depth of the structure: 1 for a [Leaf]. *)
+val order : t -> int
+
+(** True when no interval is present at any depth. *)
+val is_empty : t -> bool
+
+(** Total number of intervals at any depth. *)
+val size : t -> int
+
+(** All intervals, in order, as an order-1 set. *)
+val flatten : t -> Interval_set.t
+
+(** [leaves t] lists the leaf sets left to right. *)
+val leaves : t -> Interval_set.t list
+
+(** [simplify t] collapses degenerate nesting: a [Node] of single-interval
+    leaves becomes one [Leaf] (the paper flattens selection results this
+    way), and a [Node] with a single child becomes the child. *)
+val simplify : t -> t
+
+val equal : t -> t -> bool
+
+(** {2 The foreach (dicing) operator} *)
+
+(** [foreach ~strict op c target] applies [op] between every interval of
+    [c] and the reference interval(s) in [target]:
+    {ul
+    {- if [target] is a single interval, the result is order-1:
+       the qualifying intervals of [c] (clipped to the reference when
+       [strict] and {!Listop.clips});}
+    {- if [target] is an order-1 calendar with several intervals, the
+       result is order-2 (one component per reference interval);}
+    {- deeper targets add one nesting level per order.}}
+
+    [c] is flattened to order 1 first.
+
+    The implementation sorts the left operand once and binary-searches the
+    contiguous candidate slice for each reference interval, so the cost is
+    O((|c| + hits) log |c|) per reference rather than O(|c|). *)
+val foreach : strict:bool -> Listop.t -> t -> t -> t
+
+(** Reference implementation of {!foreach} that tests every
+    (interval, reference) pair. Same results; kept as the oracle for
+    property tests and the E12 ablation benchmark. *)
+val foreach_pairwise : strict:bool -> Listop.t -> t -> t -> t
+
+(** {2 The selection (slicing) operator} *)
+
+type sel_atom =
+  | Nth of int  (** 1-based; negative selects from the end ([-2] = second-last) *)
+  | Last  (** the paper's [\[n\]] *)
+  | Range of int * int  (** inclusive 1-based range *)
+
+type selector = sel_atom list
+
+(** [select sel t] picks intervals from each deepest order-1 component.
+    Out-of-range picks are skipped silently (e.g. [\[5\]] of a month with
+    four complete weeks). On an order-n calendar the selection distributes
+    over components and the result is simplified, so single picks on an
+    order-2 calendar yield the paper's order-1 result. *)
+val select : selector -> t -> t
+
+(** [select_label x t] is the paper's [1993/YEARS] form: picks the
+    interval whose 1-based position is [x - base + 1] given the label of
+    the first element, via [labels]. Used by the language layer which
+    knows the label of element 1. *)
+val nth_by_label : base:int -> int -> t -> t
+
+(** {2 Element-wise set operations (script [+] and [-])} *)
+
+(** Defined leaf-wise. If both operands are leaves, ordinary element-wise
+    set operations apply; [Node]s of equal length combine component-wise;
+    otherwise both sides are flattened first. *)
+val union : t -> t -> t
+
+val diff : t -> t -> t
+val inter : t -> t -> t
+
+(** {2 Windowing} *)
+
+(** [restrict t w] drops intervals that do not overlap [w] (keeps
+    structure; empty components are removed). *)
+val restrict : t -> Interval.t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

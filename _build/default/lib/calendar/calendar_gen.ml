@@ -1,0 +1,79 @@
+exception Misaligned of Granularity.t * Granularity.t
+exception Generation_too_large of int
+
+let generate ?(max_intervals = 1_000_000) ~epoch ~coarse ~fine ~window () =
+  if not (Unit_system.aligned ~coarse ~fine) then raise (Misaligned (coarse, fine));
+  let lo_off = Chronon.to_offset (Interval.lo window) in
+  let hi_off = Chronon.to_offset (Interval.hi window) in
+  if Granularity.equal coarse fine then begin
+    let count = hi_off - lo_off + 1 in
+    if count > max_intervals then raise (Generation_too_large count);
+    Interval_set.of_list
+      (List.init count (fun k -> Interval.singleton (Chronon.of_offset (lo_off + k))))
+  end
+  else begin
+    let start_fine k = Unit_system.start_of_index ~epoch fine k in
+    let instant_lo = start_fine lo_off in
+    let instant_hi = start_fine (hi_off + 1) - 1 in
+    let k_lo = Unit_system.index_of_instant ~epoch coarse instant_lo in
+    let k_hi = Unit_system.index_of_instant ~epoch coarse instant_hi in
+    let count = k_hi - k_lo + 1 in
+    if count > max_intervals then raise (Generation_too_large count);
+    let unit_interval k =
+      let f_lo = Unit_system.index_of_instant ~epoch fine (Unit_system.start_of_index ~epoch coarse k) in
+      let f_hi =
+        Unit_system.index_of_instant ~epoch fine (Unit_system.start_of_index ~epoch coarse (k + 1))
+        - 1
+      in
+      let f_lo = max f_lo lo_off and f_hi = min f_hi hi_off in
+      if f_lo > f_hi then None
+      else Some (Interval.make (Chronon.of_offset f_lo) (Chronon.of_offset f_hi))
+    in
+    Interval_set.of_list (List.filter_map unit_interval (List.init count (fun i -> k_lo + i)))
+  end
+
+let caloperate ?(keep_partial = false) ?end_ ~counts cal =
+  if counts = [] then invalid_arg "Calendar_gen.caloperate: empty count list";
+  if List.exists (fun c -> c <= 0) counts then
+    invalid_arg "Calendar_gen.caloperate: counts must be positive";
+  let counts = Array.of_list counts in
+  let intervals = Array.of_list (Interval_set.to_list cal) in
+  let n = Array.length intervals in
+  let within_end hi =
+    match end_ with None -> true | Some e -> Chronon.compare hi e <= 0
+  in
+  let rec go acc group start =
+    if start >= n then List.rev acc
+    else
+      let want = counts.(group mod Array.length counts) in
+      let last = start + want - 1 in
+      if last >= n then
+        if keep_partial && start <= n - 1 then
+          let g = Interval.make (Interval.lo intervals.(start)) (Interval.hi intervals.(n - 1)) in
+          if within_end (Interval.hi g) then List.rev (g :: acc) else List.rev acc
+        else List.rev acc
+      else
+        let g = Interval.make (Interval.lo intervals.(start)) (Interval.hi intervals.(last)) in
+        if within_end (Interval.hi g) then go (g :: acc) (group + 1) (last + 1)
+        else List.rev acc
+  in
+  Interval_set.of_list (go [] 0 0)
+
+let refine ~epoch ~from_ ~to_ set =
+  if Granularity.equal from_ to_ then set
+  else begin
+    if not (Unit_system.aligned ~coarse:from_ ~fine:to_) then raise (Misaligned (from_, to_));
+    let conv i =
+      let f_lo =
+        Unit_system.index_of_instant ~epoch to_
+          (Unit_system.start_of_index ~epoch from_ (Chronon.to_offset (Interval.lo i)))
+      in
+      let f_hi =
+        Unit_system.index_of_instant ~epoch to_
+          (Unit_system.start_of_index ~epoch from_ (Chronon.to_offset (Interval.hi i) + 1))
+        - 1
+      in
+      Interval.make (Chronon.of_offset f_lo) (Chronon.of_offset f_hi)
+    in
+    Interval_set.map conv set
+  end

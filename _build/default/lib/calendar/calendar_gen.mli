@@ -1,0 +1,62 @@
+(** Generation of basic-calendar values and the [generate] / [caloperate]
+    procedures of section 3.2.
+
+    [generate] materializes one basic calendar (e.g. YEARS) as intervals of
+    a finer basic calendar's chronons (e.g. DAYS), bounded by a window —
+    the primitive every evaluation plan bottoms out in. *)
+
+exception Misaligned of Granularity.t * Granularity.t
+
+(** Raised when a generation would produce more than [max_intervals]
+    intervals; carries the requested count. Protects naive full-lifespan
+    evaluation from materializing, say, a century of seconds. *)
+exception Generation_too_large of int
+
+(** [generate ~epoch ~coarse ~fine ~window] lists the [coarse] units
+    overlapping [window] as intervals of [fine] chronons, clipped to the
+    window (the paper's [generate(cal1, cal2, \[ts,te\])], which clips the
+    last year of the Jan-87..Jan-92 example to (1827,1829)).
+
+    @raise Misaligned when [fine] does not subdivide [coarse] exactly
+    (e.g. WEEKS under YEARS).
+    @raise Generation_too_large when more than [max_intervals] (default
+    1_000_000) intervals would be produced. *)
+val generate :
+  ?max_intervals:int ->
+  epoch:Civil.date ->
+  coarse:Granularity.t ->
+  fine:Granularity.t ->
+  window:Interval.t ->
+  unit ->
+  Interval_set.t
+
+(** [caloperate ~counts cal] derives a new calendar whose k-th interval is
+    the union of the next [counts[k mod length counts]] intervals of [cal]
+    (the paper's [caloperate(C, Te; (x1;...;xn))] with a circular count
+    list, e.g. WEEKS = caloperate(DAYS, *; 7)).
+
+    Trailing input intervals that do not fill a complete group are dropped
+    unless [keep_partial] is set. With [end_], grouping stops once a group
+    would extend past that chronon.
+
+    @raise Invalid_argument if [counts] is empty or contains a
+    non-positive count. *)
+val caloperate :
+  ?keep_partial:bool ->
+  ?end_:Chronon.t ->
+  counts:int list ->
+  Interval_set.t ->
+  Interval_set.t
+
+(** [refine ~epoch ~from_ ~to_ set] re-expresses a calendar stored in
+    [from_] chronons as intervals of the finer [to_] chronons (each
+    [from_] unit expands to the exact range of [to_] units it covers).
+    Identity when the granularities are equal.
+
+    @raise Misaligned when [to_] does not subdivide [from_]. *)
+val refine :
+  epoch:Civil.date ->
+  from_:Granularity.t ->
+  to_:Granularity.t ->
+  Interval_set.t ->
+  Interval_set.t

@@ -1,0 +1,59 @@
+type t =
+  | Overlaps
+  | During
+  | Meets
+  | Before
+  | Le
+  | Intersects
+  | Starts
+  | Finishes
+  | Equals
+  | Contains
+
+let all =
+  [ Overlaps; During; Meets; Before; Le; Intersects; Starts; Finishes; Equals; Contains ]
+
+let apply op a b =
+  match op with
+  | Overlaps | Intersects -> Interval.overlaps a b
+  | During -> Interval.during a b
+  | Meets -> Interval.meets a b
+  | Before -> Interval.before a b
+  | Le -> Interval.le a b
+  | Starts -> Interval.starts a b
+  | Finishes -> Interval.finishes a b
+  | Equals -> Interval.equal a b
+  | Contains -> Interval.during b a
+
+let clips = function
+  | Overlaps | Intersects | During -> true
+  | Meets | Before | Le | Starts | Finishes | Equals | Contains -> false
+
+let to_string = function
+  | Overlaps -> "overlaps"
+  | During -> "during"
+  | Meets -> "meets"
+  | Before -> "<"
+  | Le -> "<="
+  | Intersects -> "intersects"
+  | Starts -> "starts"
+  | Finishes -> "finishes"
+  | Equals -> "equals"
+  | Contains -> "contains"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "overlaps" -> Some Overlaps
+  | "during" -> Some During
+  | "meets" -> Some Meets
+  | "<" | "before" -> Some Before
+  | "<=" -> Some Le
+  | "intersects" -> Some Intersects
+  | "starts" -> Some Starts
+  | "finishes" -> Some Finishes
+  | "equals" -> Some Equals
+  | "contains" -> Some Contains
+  | _ -> None
+
+let equal a b = a = b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,39 @@
+(** The paper's listops: binary relationships between intervals used as the
+    middle argument of the [foreach] operator (section 3.1).
+
+    [Intersects] is the name the section 3.3 scripts use for the
+    overlap relation; it behaves like [Overlaps]. [Starts], [Finishes] and
+    [Equals] are extensions from Allen's full algebra. *)
+
+type t =
+  | Overlaps
+  | During
+  | Meets
+  | Before  (** the paper's [<] : [u1 <= l2] *)
+  | Le  (** the paper's [<=] : [l1 <= l2 && u2 >= u1] *)
+  | Intersects
+  | Starts
+  | Finishes
+  | Equals
+  | Contains  (** inverse of [During]: "[a] contains [b]" *)
+
+val all : t list
+
+(** [apply op a b] tests "[a] op [b]". *)
+val apply : t -> Interval.t -> Interval.t -> bool
+
+(** [clips op] — whether the strict foreach replaces a qualifying interval
+    by its intersection with the reference interval. True only for the
+    containment-style ops ([Overlaps], [Intersects], [During]); for
+    ordering ops the formal [c ∩ I] would always be empty, and the paper's
+    own scripts (e.g. [\[n\]/AM_BUS_DAYS:<:LDOM_HOL]) rely on unclipped
+    results. *)
+val clips : t -> bool
+
+(** Surface syntax used in calendar scripts: ["overlaps"], ["during"],
+    ["meets"], ["<"], ["<="], ["intersects"], ... *)
+val to_string : t -> string
+
+val of_string : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

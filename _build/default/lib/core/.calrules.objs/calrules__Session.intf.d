@@ -1,0 +1,1 @@
+lib/core/session.mli: Cal_db Cal_lang Cal_rules Calendar Catalog Chronon Civil Clock Context Exec Granularity Interp Interval_set Value

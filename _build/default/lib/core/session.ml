@@ -1,0 +1,390 @@
+(** The top-level façade: one session = one extensible database with the
+    calendar system installed, reproducing the paper's architecture.
+
+    A session owns a simulated clock, a calendar evaluation context, a
+    database catalog and a rule manager. Creating it:
+
+    {ul
+    {- registers the {e calendar} abstract data type with the database
+       (POSTGRES-style object extension);}
+    {- creates the CALENDARS system table of Figure 1 (name,
+       derivation-script, eval-plan, lifespan, granularity, values);}
+    {- installs the calendar resolver, so the query language's
+       [on <calendar-expression>] clause and time-based rules evaluate
+       through the parser/planner;}
+    {- declares date operators, including day-count conventions with
+       user-defined semantics for date arithmetic ([day_count],
+       [year_frac], [accrued]) and [date('YYYY-MM-DD')].}} *)
+
+open Cal_lang
+open Cal_db
+
+type Value.ext += Calendar_v of Calendar.t
+
+type t = {
+  ctx : Context.t;
+  catalog : Catalog.t;
+  manager : Cal_rules.Manager.t;
+  clock : Clock.t;
+}
+
+exception Session_error of string
+
+let register_calendar_adt () =
+  Value.register_adt
+    {
+      Value.tag = "calendar";
+      pp = (function Calendar_v c -> Some (Calendar.to_string c) | _ -> None);
+      equal =
+        (fun a b ->
+          match (a, b) with
+          | Calendar_v x, Calendar_v y -> Some (Calendar.equal x y)
+          | _ -> None);
+      compare = None;
+    }
+
+let calendars_schema =
+  Schema.make ~table:"calendars"
+    [
+      { Schema.name = "name"; ty = Schema.TText; valid_time = false };
+      { Schema.name = "derivation_script"; ty = Schema.TText; valid_time = false };
+      { Schema.name = "eval_plan"; ty = Schema.TText; valid_time = false };
+      { Schema.name = "lifespan"; ty = Schema.TInterval; valid_time = false };
+      { Schema.name = "granularity"; ty = Schema.TText; valid_time = false };
+      { Schema.name = "vals"; ty = Schema.TArray Schema.TInterval; valid_time = false };
+    ]
+
+(* Convert a calendar value at [fine] granularity to day chronons (the
+   unit valid-time columns use). Day d is included when the interval
+   covers any instant of d. *)
+let to_day_set (ctx : Context.t) fine set =
+  if Granularity.equal fine Granularity.Days then set
+  else
+    Interval_set.map
+      (fun iv ->
+        let lo_instant =
+          Unit_system.start_of_index ~epoch:ctx.Context.epoch fine
+            (Chronon.to_offset (Interval.lo iv))
+        in
+        let hi_instant =
+          Unit_system.start_of_index ~epoch:ctx.Context.epoch fine
+            (Chronon.to_offset (Interval.hi iv) + 1)
+          - 1
+        in
+        Interval.make
+          (Chronon.of_offset
+             (Unit_system.index_of_instant ~epoch:ctx.Context.epoch Granularity.Days lo_instant))
+          (Chronon.of_offset
+             (Unit_system.index_of_instant ~epoch:ctx.Context.epoch Granularity.Days hi_instant)))
+      set
+
+(** Evaluate a calendar expression source to its day chronons. *)
+let resolve_days ctx source =
+  match Parser.expr source with
+  | Error e -> raise (Session_error (Printf.sprintf "bad calendar expression %S: %s" source e))
+  | Ok expr ->
+    let cal, _ = Interp.eval_expr_planned ctx expr in
+    let fine = Gran.finest_of_expr ctx.Context.env expr in
+    Interval_set.coalesce (to_day_set ctx fine (Calendar.flatten cal))
+
+let date_of_value ~epoch = function
+  | Value.Chronon c -> Unit_system.date_of_chronon ~epoch Granularity.Days c
+  | v -> raise (Qexpr.Eval_error ("expected a chronon, got " ^ Value.to_string v))
+
+let register_date_operators (ctx : Context.t) catalog =
+  let epoch = ctx.Context.epoch in
+  let reg name arity fn = Catalog.register_operator catalog ~name ~arity fn in
+  reg "date" 1 (function
+    | [ Value.Text s ] -> (
+      match Civil.of_string s with
+      | Some d -> Value.Chronon (Unit_system.chronon_of_date ~epoch Granularity.Days d)
+      | None -> raise (Qexpr.Eval_error ("bad date literal " ^ s)))
+    | _ -> Value.Null);
+  reg "date_text" 1 (function
+    | [ v ] -> Value.Text (Civil.to_string (date_of_value ~epoch v))
+    | _ -> Value.Null);
+  reg "weekday" 1 (function
+    | [ v ] -> Value.Int (Civil.weekday (date_of_value ~epoch v))
+    | _ -> Value.Null);
+  let convention v =
+    match v with
+    | Value.Text s -> (
+      match Day_count.of_string s with
+      | Some c -> c
+      | None -> raise (Qexpr.Eval_error ("unknown day-count convention " ^ s)))
+    | v -> raise (Qexpr.Eval_error ("expected a convention name, got " ^ Value.to_string v))
+  in
+  (* User-defined semantics for date arithmetic (section 1): the
+     convention argument selects the calendar the arithmetic uses. *)
+  reg "day_count" 3 (function
+    | [ conv; a; b ] ->
+      Value.Int
+        (Day_count.day_count (convention conv) (date_of_value ~epoch a) (date_of_value ~epoch b))
+    | _ -> Value.Null);
+  reg "year_frac" 3 (function
+    | [ conv; a; b ] ->
+      Value.Float
+        (Day_count.year_fraction (convention conv) (date_of_value ~epoch a)
+           (date_of_value ~epoch b))
+    | _ -> Value.Null);
+  reg "accrued" 5 (function
+    | [ conv; Value.Float rate; Value.Float face; a; b ] ->
+      Value.Float
+        (Day_count.accrued_interest ~convention:(convention conv) ~annual_rate:rate ~face
+           (date_of_value ~epoch a) (date_of_value ~epoch b))
+    | _ -> Value.Null)
+
+let register_calendar_operators ctx catalog =
+  Catalog.register_operator catalog ~name:"calendar_contains" ~arity:2 (function
+    | [ Value.Text source; Value.Chronon c ] ->
+      Value.Bool (Interval_set.contains_chronon (resolve_days ctx source) c)
+    | _ -> Value.Null);
+  Catalog.register_operator catalog ~name:"calendar_value" ~arity:1 (function
+    | [ Value.Text source ] -> (
+      match Parser.expr source with
+      | Error e -> raise (Qexpr.Eval_error e)
+      | Ok expr ->
+        let cal, _ = Interp.eval_expr_planned ctx expr in
+        Value.Ext ("calendar", Calendar_v cal))
+    | _ -> Value.Null)
+
+let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahead () =
+  register_calendar_adt ();
+  let clock = Clock.create () in
+  let env = Env.create () in
+  let ctx = Context.create ~epoch ?lifespan ~clock ~env () in
+  let catalog = Catalog.create () in
+  ignore (Catalog.create_table catalog calendars_schema);
+  Catalog.set_calendar_resolver catalog (resolve_days ctx);
+  register_date_operators ctx catalog;
+  register_calendar_operators ctx catalog;
+  let manager = Cal_rules.Manager.create ?probe_period ?lookahead ctx catalog in
+  { ctx; catalog; manager; clock }
+
+(* --- CALENDARS catalog maintenance ---------------------------------- *)
+
+let lifespan_interval t =
+  let d1, d2 = t.ctx.Context.lifespan in
+  Unit_system.chronon_span_of_dates ~epoch:t.ctx.Context.epoch Granularity.Days d1 d2
+
+let calendars_table t = Catalog.table t.catalog "calendars"
+
+let catalog_row t ~name ~script ~plan ~granularity ~values =
+  ignore
+    (Table.insert (calendars_table t)
+       [|
+         Value.Text name;
+         Value.Text script;
+         Value.Text plan;
+         Value.Interval (lifespan_interval t);
+         Value.Text (Granularity.to_string granularity);
+         Value.Array (Array.of_list (List.map (fun iv -> Value.Interval iv) values));
+       |])
+
+(** Define a derived calendar from a derivation script (Figure 1's
+    Tuesdays row). The script is parsed; its evaluation plan is compiled
+    and stored in the CALENDARS table. *)
+let define_calendar t ~name ~script =
+  if Env.mem t.ctx.Context.env name then Error (Printf.sprintf "calendar %s already exists" name)
+  else
+    match Env.define_script t.ctx.Context.env ~name ~source:script with
+    | Error e -> Error e
+    | Ok () -> (
+      let env = t.ctx.Context.env in
+      let granularity =
+        match Gran.of_expr env (Ast.Ident name) with
+        | Some g -> g
+        | None -> Granularity.Days
+      in
+      (* The eval-plan: factorize-and-plan the script when it is
+         straight-line; control-flow scripts are marked procedural. *)
+      let plan =
+        match Planner.plan t.ctx (Ast.Ident name) with
+        | plan -> Plan.to_string plan
+        | exception _ -> "<procedural script>"
+      in
+      catalog_row t ~name ~script ~plan ~granularity ~values:[];
+      Ok ())
+
+(** Define a calendar by explicit values (e.g. HOLIDAYS), stored in the
+    CALENDARS table's [vals] column. *)
+let define_stored_calendar t ~name ?(granularity = Granularity.Days) pairs =
+  let values = Interval_set.of_pairs pairs in
+  Env.define_stored t.ctx.Context.env ~name ~granularity values;
+  catalog_row t ~name ~script:"" ~plan:"" ~granularity ~values:(Interval_set.to_list values)
+
+(** The CALENDARS tuple for one calendar, as in Figure 1. *)
+let calendar_row t name =
+  Table.fold (calendars_table t)
+    (fun acc _ tuple ->
+      match tuple.(0) with
+      | Value.Text n when String.lowercase_ascii n = String.lowercase_ascii name -> Some tuple
+      | _ -> acc)
+    None
+
+(* --- evaluation and queries ----------------------------------------- *)
+
+(** Evaluate calendar-language input (expression or script). *)
+let eval t source = Interp.eval_string t.ctx source
+
+(** Evaluate a calendar expression to its interval value. *)
+let eval_calendar t source =
+  match Parser.expr source with
+  | Error e -> Error e
+  | Ok expr -> (
+    match Interp.eval_expr_planned t.ctx expr with
+    | cal, _ -> Ok cal
+    | exception exn -> Error (Printexc.to_string exn))
+
+(** Run a query-language command (rules dispatch to the manager). *)
+let query t source = Cal_rules.Manager.run_query t.manager source
+
+let query_exn t source =
+  match query t source with
+  | Ok r -> r
+  | Error e -> raise (Session_error e)
+
+(* --- persistence ------------------------------------------------------ *)
+
+(* A saved session is a sectioned text file:
+     %%calendar <name>        followed by the derivation script
+     %%stored <name> <gran>   followed by endpoint pairs (a,b),(c,d)
+     %%schema                 followed by a query-language dump script
+     %%rules                  followed by define-rule commands
+   Section payloads are the lines up to the next %% header. *)
+
+let system_tables = [ "calendars"; "rule_info"; "rule_time" ]
+
+(** Render the session (calendars, user tables with their indexes and
+    rows, rules) as a loadable script. @raise Dump.Dump_error on
+    undumpable values (registered-ADT columns). *)
+let save t =
+  let buf = Buffer.create 4096 in
+  Table.iter (calendars_table t) (fun _ tuple ->
+      match tuple with
+      | [| Value.Text name; Value.Text script; _; _; Value.Text gran; Value.Array vals |] ->
+        if script <> "" then
+          Buffer.add_string buf (Printf.sprintf "%%%%calendar %s
+%s
+" name script)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "%%%%stored %s %s
+%s
+" name gran
+               (String.concat ","
+                  (List.map
+                     (function
+                       | Value.Interval iv ->
+                         Printf.sprintf "(%d,%d)" (Interval.lo iv) (Interval.hi iv)
+                       | _ -> "")
+                     (Array.to_list vals))))
+      | _ -> ());
+  Buffer.add_string buf "%%schema
+";
+  Buffer.add_string buf (Dump.dump t.catalog ~skip:system_tables ());
+  Buffer.add_string buf "%%rules
+";
+  List.iter
+    (fun r -> Buffer.add_string buf (Qast.to_string (Qast.Define_rule r) ^ ";
+"))
+    (Cal_rules.Manager.rules t.manager);
+  Buffer.contents buf
+
+let parse_pairs s =
+  (* "(a,b),(c,d)" *)
+  let s = String.trim s in
+  if s = "" then []
+  else
+    String.split_on_char ')' s
+    |> List.filter_map (fun chunk ->
+           let chunk = String.trim chunk in
+           let chunk =
+             if String.length chunk > 0 && (chunk.[0] = ',' || chunk.[0] = '(') then
+               String.sub chunk 1 (String.length chunk - 1)
+             else chunk
+           in
+           let chunk =
+             if String.length chunk > 0 && chunk.[0] = '(' then
+               String.sub chunk 1 (String.length chunk - 1)
+             else chunk
+           in
+           match String.split_on_char ',' chunk with
+           | [ a; b ] -> (
+             match (int_of_string_opt (String.trim a), int_of_string_opt (String.trim b)) with
+             | Some a, Some b -> Some (a, b)
+             | _ -> None)
+           | _ -> None)
+
+(** Load a script produced by {!save} into this (fresh) session. *)
+let load t script =
+  let lines = String.split_on_char '
+' script in
+  (* Split into (header, payload-lines) sections. *)
+  let sections = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (header, body) -> sections := (header, String.concat "
+" (List.rev body)) :: !sections
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      if String.length line >= 2 && String.sub line 0 2 = "%%" then begin
+        flush ();
+        current := Some (String.sub line 2 (String.length line - 2), [])
+      end
+      else
+        match !current with
+        | Some (h, body) -> current := Some (h, line :: body)
+        | None -> ())
+    lines;
+  flush ();
+  let apply (header, payload) =
+    match String.split_on_char ' ' (String.trim header) with
+    | [ "calendar"; name ] -> define_calendar t ~name ~script:(String.trim payload)
+    | [ "stored"; name; gran ] -> (
+      match Granularity.of_string gran with
+      | Some granularity ->
+        define_stored_calendar t ~name ~granularity (parse_pairs payload);
+        Ok ()
+      | None -> Error ("unknown granularity " ^ gran))
+    | [ "schema" ] -> (
+      match Dump.load t.catalog payload with Ok _ -> Ok () | Error e -> Error e)
+    | [ "rules" ] -> (
+      match Qparser.program payload with
+      | Error e -> Error e
+      | Ok queries ->
+        List.fold_left
+          (fun acc q ->
+            match (acc, q) with
+            | Error _, _ -> acc
+            | Ok (), Qast.Define_rule r -> Cal_rules.Manager.define t.manager r
+            | Ok (), _ -> Error "rules section may only contain rule definitions")
+          (Ok ()) queries)
+    | _ -> Error ("unknown section " ^ header)
+  in
+  List.fold_left
+    (fun acc section -> match acc with Error _ -> acc | Ok () -> apply section)
+    (Ok ())
+    (List.rev !sections)
+
+(* --- time ------------------------------------------------------------ *)
+
+let now t = Clock.now t.clock
+let today t = Clock.date ~epoch:t.ctx.Context.epoch t.clock
+let advance_to t instant = Cal_rules.Manager.advance_to t.manager instant
+let advance_days t days = Cal_rules.Manager.advance_days t.manager days
+
+let advance_to_date t date =
+  let target = (Civil.rata_die date - Civil.rata_die t.ctx.Context.epoch) * 86400 in
+  advance_to t target
+
+let alerts t = Cal_rules.Manager.alerts t.manager
+let firings t = Cal_rules.Manager.firings t.manager
+
+(** Civil date of a day chronon in this session. *)
+let date_of_day t c = Unit_system.date_of_chronon ~epoch:t.ctx.Context.epoch Granularity.Days c
+
+let day_of_date t d = Unit_system.chronon_of_date ~epoch:t.ctx.Context.epoch Granularity.Days d

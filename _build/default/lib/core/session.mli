@@ -1,0 +1,102 @@
+(** The top-level façade: one session = one extensible database with the
+    calendar system installed, reproducing the paper's architecture.
+
+    A session owns a simulated clock, a calendar evaluation context, a
+    database catalog and a rule manager. Creating it registers the
+    {e calendar} abstract data type with the database, creates the
+    CALENDARS system table of Figure 1, installs the calendar resolver
+    behind the query language's [on <calendar-expression>] clause, and
+    declares the date operators — including day-count conventions with
+    user-defined semantics for date arithmetic ([day_count], [year_frac],
+    [accrued]) and [date('YYYY-MM-DD')]. *)
+
+open Cal_lang
+open Cal_db
+
+(** Calendars as first-class database values (via [calendar_value('…')]). *)
+type Value.ext += Calendar_v of Calendar.t
+
+type t = {
+  ctx : Context.t;
+  catalog : Catalog.t;
+  manager : Cal_rules.Manager.t;
+  clock : Clock.t;
+}
+
+exception Session_error of string
+
+(** Defaults: epoch Jan 1 1987, 40-year lifespan from the epoch year,
+    DBCRON probe every simulated day. *)
+val create :
+  ?epoch:Civil.date ->
+  ?lifespan:Civil.date * Civil.date ->
+  ?probe_period:int ->
+  ?lookahead:int ->
+  unit ->
+  t
+
+(** {2 Calendars} *)
+
+(** Define a derived calendar from a derivation script; its compiled
+    evaluation plan is stored in the CALENDARS table (Figure 1). *)
+val define_calendar : t -> name:string -> script:string -> (unit, string) result
+
+(** Define a calendar by explicit values (e.g. HOLIDAYS), as endpoint
+    pairs in [granularity] chronons (default Days). *)
+val define_stored_calendar :
+  t -> name:string -> ?granularity:Granularity.t -> (int * int) list -> unit
+
+(** The CALENDARS tuple for one calendar, as in Figure 1. *)
+val calendar_row : t -> string -> Value.t array option
+
+(** Evaluate a calendar expression (planned). *)
+val eval_calendar : t -> string -> (Calendar.t, string) result
+
+(** Evaluate calendar-language input: expression or script. *)
+val eval : t -> string -> (Interp.value, string) result
+
+(** Evaluate a calendar expression to the day chronons it covers (what
+    the [on]-clause resolver uses). @raise Session_error on bad input. *)
+val resolve_days : Context.t -> string -> Interval_set.t
+
+(** {2 Queries and rules} *)
+
+(** Run a query-language command; rule definitions dispatch to the rule
+    manager. *)
+val query : t -> string -> (Exec.result, string) result
+
+(** @raise Session_error on failure. *)
+val query_exn : t -> string -> Exec.result
+
+(** {2 Persistence} *)
+
+(** Render the session (calendar definitions, user tables with indexes
+    and rows, rules) as a text script loadable by {!load}.
+    @raise Dump.Dump_error on undumpable values. *)
+val save : t -> string
+
+(** Load a saved script into this (fresh) session. *)
+val load : t -> string -> (unit, string) result
+
+(** {2 Simulated time} *)
+
+(** Seconds since the epoch's midnight. *)
+val now : t -> int
+
+val today : t -> Civil.date
+
+(** Advance the clock, firing due rules on the way. *)
+val advance_to : t -> int -> unit
+
+val advance_days : t -> int -> unit
+val advance_to_date : t -> Civil.date -> unit
+
+(** Alert messages raised by rule actions, chronological. *)
+val alerts : t -> (string * int) list
+
+val firings : t -> Cal_rules.Manager.firing list
+
+(** {2 Conversions} *)
+
+val date_of_day : t -> Chronon.t -> Civil.date
+val day_of_date : t -> Civil.date -> Chronon.t

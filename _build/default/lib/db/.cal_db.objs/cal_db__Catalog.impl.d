@@ -1,0 +1,1 @@
+lib/db/catalog.ml: Array Hashtbl Interval Interval_set List Schema String Table Value

@@ -1,0 +1,1 @@
+lib/db/catalog.mli: Hashtbl Interval_set Schema Table Value

@@ -1,0 +1,1 @@
+lib/db/dump.ml: Array Buffer Catalog Exec Float Interval List Printf Qast Qexpr Qparser Schema String Table Value

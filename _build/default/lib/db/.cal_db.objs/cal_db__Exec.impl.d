@@ -1,0 +1,1 @@
+lib/db/exec.ml: Array Catalog Hashtbl Int Interval Interval_set List Option Printf Qast Qexpr Qparser Schema String Table Value

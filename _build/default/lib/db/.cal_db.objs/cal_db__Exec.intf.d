@@ -1,0 +1,1 @@
+lib/db/exec.mli: Catalog Qast Stdlib Value

@@ -1,0 +1,1 @@
+lib/db/heap.ml: Array List Printf Value

@@ -1,0 +1,1 @@
+lib/db/heap.mli: Value

@@ -1,0 +1,1 @@
+lib/db/qast.ml: Catalog List Printf Qexpr Schema String

@@ -1,0 +1,1 @@
+lib/db/qexpr.ml: Catalog Chronon List Printf String Value

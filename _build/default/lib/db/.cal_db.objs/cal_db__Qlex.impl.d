@@ -1,0 +1,1 @@
+lib/db/qlex.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/db/qparser.ml: Array Catalog List Printf Qast Qexpr Qlex Schema String Value

@@ -1,0 +1,1 @@
+lib/db/qparser.mli: Qast Qexpr

@@ -1,0 +1,1 @@
+lib/db/schema.ml: Array Format List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/db/table.ml: Array Btree Heap List Schema

@@ -1,0 +1,1 @@
+lib/db/value.ml: Array Bool Chronon Float Format Hashtbl Int Interval Option Stdlib String

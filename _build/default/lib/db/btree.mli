@@ -1,0 +1,42 @@
+(** In-memory B-tree multimap from {!Value.t} keys to row ids — the
+    secondary-index structure.
+
+    Classic CLRS B-tree with minimum degree 16: every node holds between
+    [t-1] and [2t-1] keys (root exempt), splits happen on the way down
+    during insertion, and deletion rebalances by borrowing from or merging
+    with siblings. Each key carries the list of row ids indexed under
+    it. *)
+
+type t
+
+val create : unit -> t
+
+(** [insert t k rowid] adds a row id under [k] (keys may hold several). *)
+val insert : t -> Value.t -> int -> unit
+
+(** [remove t k rowid] removes one indexed row id; the key disappears once
+    its last row id is gone. Returns [false] when the (key, rowid) pair
+    was not present. *)
+val remove : t -> Value.t -> int -> bool
+
+(** Row ids under [k] (empty when absent), most recently inserted first. *)
+val find : t -> Value.t -> int list
+
+val mem : t -> Value.t -> bool
+
+(** [range t ?lo ?hi f] visits keys in [lo, hi] (inclusive, either side
+    optional) in ascending order. *)
+val range : t -> ?lo:Value.t -> ?hi:Value.t -> (Value.t -> int list -> unit) -> unit
+
+(** In-order traversal of every key. *)
+val iter : t -> (Value.t -> int list -> unit) -> unit
+
+(** Number of distinct keys. *)
+val cardinal : t -> int
+
+val keys : t -> Value.t list
+
+(** Asserts the structural invariants (key bounds, sortedness, uniform
+    leaf depth). @raise Failure on violation; used by the model-based
+    tests. *)
+val check_invariants : t -> unit

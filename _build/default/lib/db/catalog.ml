@@ -1,0 +1,100 @@
+(** The database catalog: tables, user-declared operators (the extensible
+    DBMS's operator registry), event hooks for the rule system, and the
+    calendar resolver installed by the session layer.
+
+    The operator registry is how the calendar system integrates without
+    query-language changes (section 5): procedures like
+    [calendar_contains] are declared here and then usable in any [where]
+    clause. *)
+
+type operator = {
+  op_name : string;
+  arity : int;
+  fn : Value.t list -> Value.t;
+}
+
+type event_kind =
+  | On_append
+  | On_delete
+  | On_replace
+  | On_retrieve
+
+type event = {
+  kind : event_kind;
+  table : string;
+  tuple : Value.t array option;  (** the NEW/CURRENT tuple when applicable *)
+}
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  operators : (string, operator) Hashtbl.t;
+  mutable hooks : (event -> unit) list;
+  (* Resolves a calendar expression source text to the day chronons it
+     denotes; installed by the session layer (keeps this library
+     independent of the language implementation). *)
+  mutable calendar_resolver : (string -> Interval_set.t) option;
+}
+
+exception No_such_table of string
+exception No_such_operator of string
+exception Table_exists of string
+
+let create () =
+  let t =
+    {
+      tables = Hashtbl.create 16;
+      operators = Hashtbl.create 16;
+      hooks = [];
+      calendar_resolver = None;
+    }
+  in
+  (* Built-in value constructors (used by dump/load literals). *)
+  Hashtbl.replace t.operators "interval"
+    {
+      op_name = "interval";
+      arity = 2;
+      fn =
+        (function
+        | [ Value.Chronon a; Value.Chronon b ] | [ Value.Int a; Value.Int b ] ->
+          Value.Interval (Interval.make a b)
+        | _ -> Value.Null);
+    };
+  Hashtbl.replace t.operators "array"
+    { op_name = "array"; arity = -1; fn = (fun vs -> Value.Array (Array.of_list vs)) };
+  t
+
+let norm = String.lowercase_ascii
+
+let create_table t schema =
+  let key = norm schema.Schema.table in
+  if Hashtbl.mem t.tables key then raise (Table_exists schema.Schema.table);
+  let table = Table.create schema in
+  Hashtbl.replace t.tables key table;
+  table
+
+let drop_table t name = Hashtbl.remove t.tables (norm name)
+
+let table t name =
+  match Hashtbl.find_opt t.tables (norm name) with
+  | Some tbl -> tbl
+  | None -> raise (No_such_table name)
+
+let table_opt t name = Hashtbl.find_opt t.tables (norm name)
+
+let table_names t =
+  List.sort String.compare (Hashtbl.fold (fun _ tbl acc -> Table.name tbl :: acc) t.tables [])
+
+let register_operator t ~name ~arity fn =
+  Hashtbl.replace t.operators (norm name) { op_name = name; arity; fn }
+
+let operator t name =
+  match Hashtbl.find_opt t.operators (norm name) with
+  | Some op -> op
+  | None -> raise (No_such_operator name)
+
+let operator_opt t name = Hashtbl.find_opt t.operators (norm name)
+
+let add_hook t f = t.hooks <- f :: t.hooks
+let fire t event = List.iter (fun f -> f event) t.hooks
+
+let set_calendar_resolver t f = t.calendar_resolver <- Some f

@@ -1,0 +1,65 @@
+(** The database catalog: tables, user-declared operators (the extensible
+    DBMS's operator registry), event hooks for the rule system, and the
+    calendar resolver installed by the session layer.
+
+    The operator registry is how the calendar system integrates without
+    query-language changes (section 5): procedures like
+    [calendar_contains] are declared here and then usable in any [where]
+    clause. *)
+
+type operator = {
+  op_name : string;
+  arity : int;  (** negative: variadic *)
+  fn : Value.t list -> Value.t;
+}
+
+type event_kind =
+  | On_append
+  | On_delete
+  | On_replace
+  | On_retrieve
+
+type event = {
+  kind : event_kind;
+  table : string;
+  tuple : Value.t array option;  (** the NEW/CURRENT tuple when applicable *)
+}
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  operators : (string, operator) Hashtbl.t;
+  mutable hooks : (event -> unit) list;
+  mutable calendar_resolver : (string -> Interval_set.t) option;
+      (** resolves a calendar expression source to its day chronons *)
+}
+
+exception No_such_table of string
+exception No_such_operator of string
+exception Table_exists of string
+
+val create : unit -> t
+
+(** @raise Table_exists *)
+val create_table : t -> Schema.t -> Table.t
+
+val drop_table : t -> string -> unit
+
+(** Case-insensitive lookup. @raise No_such_table *)
+val table : t -> string -> Table.t
+
+val table_opt : t -> string -> Table.t option
+val table_names : t -> string list
+val register_operator : t -> name:string -> arity:int -> (Value.t list -> Value.t) -> unit
+
+(** @raise No_such_operator *)
+val operator : t -> string -> operator
+
+val operator_opt : t -> string -> operator option
+
+(** Adds an executor event subscriber (the rule manager). *)
+val add_hook : t -> (event -> unit) -> unit
+
+(** Delivers an event to every hook. *)
+val fire : t -> event -> unit
+
+val set_calendar_resolver : t -> (string -> Interval_set.t) -> unit

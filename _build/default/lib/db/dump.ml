@@ -1,0 +1,104 @@
+(** Persistence as a query-language script (the pg_dump approach): a dump
+    is a sequence of [create table] / [create index] / [append] commands
+    that rebuilds the data when run against a fresh catalog.
+
+    Values of registered ADTs have no literal syntax and cannot be
+    dumped; non-finite floats likewise. *)
+
+exception Dump_error of string
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' | '\'' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_literal f =
+  if not (Float.is_finite f) then
+    raise (Dump_error "cannot dump a non-finite float")
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s 'e' || String.contains s 'E' then
+      (* The lexer has no exponent form; fall back to plain decimal. *)
+      Printf.sprintf "%.17f" f
+    else if String.contains s '.' then s
+    else s ^ ".0"
+
+let rec literal (v : Value.t) =
+  match v with
+  | Value.Null -> "null"
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> float_literal f
+  | Value.Text s -> "\"" ^ escape_text s ^ "\""
+  | Value.Chronon c -> "@" ^ string_of_int c
+  | Value.Interval iv ->
+    Printf.sprintf "interval(@%d, @%d)" (Interval.lo iv) (Interval.hi iv)
+  | Value.Array a ->
+    Printf.sprintf "array(%s)" (String.concat ", " (Array.to_list (Array.map literal a)))
+  | Value.Ext (tag, _) ->
+    raise (Dump_error (Printf.sprintf "values of ADT %s have no literal syntax" tag))
+
+(** [dump catalog ()] renders every table (except [skip], case-insensitive)
+    as a script: schema, indexes, then rows in row-id order.
+    @raise Dump_error on undumpable values. *)
+let dump catalog ?(skip = []) () =
+  let skip = List.map String.lowercase_ascii skip in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun name ->
+      if not (List.mem (String.lowercase_ascii name) skip) then begin
+        let tbl = Catalog.table catalog name in
+        let schema = tbl.Table.schema in
+        let cols =
+          List.map
+            (fun c -> (c.Schema.name, c.Schema.ty, c.Schema.valid_time))
+            schema.Schema.columns
+        in
+        Buffer.add_string buf (Qast.to_string (Qast.Create_table { name; cols }));
+        Buffer.add_string buf ";\n";
+        List.iter
+          (fun (col, _) ->
+            Buffer.add_string buf (Printf.sprintf "create index on %s (%s);\n" name col))
+          tbl.Table.indexes;
+        Table.iter tbl (fun _ tuple ->
+            let assigns =
+              List.mapi
+                (fun i c -> Printf.sprintf "%s = %s" c.Schema.name (literal tuple.(i)))
+                schema.Schema.columns
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "append %s (%s);\n" name (String.concat ", " assigns)));
+        Buffer.add_char buf '\n'
+      end)
+    (Catalog.table_names catalog);
+  Buffer.contents buf
+
+(** [load catalog script] runs every command of a dump; returns the number
+    executed, or the first error. *)
+let load catalog script =
+  match Qparser.program script with
+  | Error e -> Error e
+  | Ok queries -> (
+    let n = ref 0 in
+    match
+      List.iter
+        (fun q ->
+          ignore (Exec.run catalog q);
+          incr n)
+        queries
+    with
+    | () -> Ok !n
+    | exception Exec.Exec_error e -> Error e
+    | exception Catalog.Table_exists t -> Error ("table already exists: " ^ t)
+    | exception Catalog.No_such_table t -> Error ("no such table: " ^ t)
+    | exception Schema.Schema_error e -> Error e
+    | exception Qexpr.Eval_error e -> Error e)

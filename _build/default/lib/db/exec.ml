@@ -1,0 +1,426 @@
+(** Query execution: access-path selection (index vs sequential scan),
+    the valid-time [on <calendar>] clause, event hooks for the rule
+    system, and simple aggregates.
+
+    The residual [where] predicate is always re-applied after an index
+    probe, so inclusive-range probes over-approximate safely. *)
+
+type stats = {
+  mutable scanned : int;  (** tuples touched *)
+  mutable seq_scans : int;
+  mutable index_scans : int;
+}
+
+let fresh_stats () = { scanned = 0; seq_scans = 0; index_scans = 0 }
+
+type result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Msg of string
+  | Rule_def of Qast.rule  (** consumed by the rule manager upstream *)
+  | Rule_drop of string
+
+exception Exec_error of string
+
+let aggregates = [ "count"; "sum"; "avg"; "min"; "max" ]
+
+(* Column binding for a tuple of [table]; falls back to [outer] (used for
+   NEW/CURRENT bindings in rule actions). *)
+let binding_of ~outer table tuple name =
+  let schema = (table : Table.t).Table.schema in
+  let resolve col = Option.map (fun i -> tuple.(i)) (Schema.column_index schema col) in
+  let v =
+    match String.index_opt name '.' with
+    | Some i ->
+      let prefix = String.sub name 0 i in
+      let col = String.sub name (i + 1) (String.length name - i - 1) in
+      if String.lowercase_ascii prefix = String.lowercase_ascii (Table.name table) then
+        resolve col
+      else None
+    | None -> resolve name
+  in
+  match v with Some _ -> v | None -> outer name
+
+(* Strip an optional "table." qualifier if it names this table. *)
+let own_column table name =
+  match String.index_opt name '.' with
+  | Some i ->
+    let prefix = String.sub name 0 i in
+    if String.lowercase_ascii prefix = String.lowercase_ascii (Table.name table) then
+      Some (String.sub name (i + 1) (String.length name - i - 1))
+    else None
+  | None -> Some name
+
+(* Find an indexed, sargable conjunct: col op const. Returns candidate
+   rowids (an over-approximation; where is re-applied). *)
+let index_candidates table where =
+  let sargable e =
+    match e with
+    | Qexpr.Binop (op, Qexpr.Col c, Qexpr.Const v)
+    | Qexpr.Binop (op, Qexpr.Const v, Qexpr.Col c) ->
+      let flip =
+        match e with Qexpr.Binop (_, Qexpr.Const _, Qexpr.Col _) -> true | _ -> false
+      in
+      Option.bind (own_column table c) (fun col ->
+          if not (Table.has_index table col) then None
+          else
+            let op =
+              if not flip then op
+              else
+                match op with
+                | Qexpr.Lt -> Qexpr.Gt
+                | Qexpr.Le -> Qexpr.Ge
+                | Qexpr.Gt -> Qexpr.Lt
+                | Qexpr.Ge -> Qexpr.Le
+                | other -> other
+            in
+            match op with
+            | Qexpr.Eq -> Table.index_lookup table col v
+            | Qexpr.Lt | Qexpr.Le -> Table.index_range table col ~hi:v ()
+            | Qexpr.Gt | Qexpr.Ge -> Table.index_range table col ~lo:v ()
+            | _ -> None)
+    | _ -> None
+  in
+  match where with
+  | None -> None
+  | Some where -> List.find_map sargable (Qexpr.conjuncts where)
+
+(* Candidates from the valid-time calendar clause, when the valid column
+   is indexed: one index range probe per calendar interval. *)
+let calendar_candidates table valid_col chronons =
+  if not (Table.has_index table valid_col) then None
+  else
+    Some
+      (Interval_set.fold
+         (fun acc iv ->
+           match
+             Table.index_range table valid_col ~lo:(Value.Chronon (Interval.lo iv))
+               ~hi:(Value.Chronon (Interval.hi iv)) ()
+           with
+           | Some rowids -> List.rev_append rowids acc
+           | None -> acc)
+         [] chronons)
+
+let resolve_calendar catalog source =
+  match (catalog : Catalog.t).Catalog.calendar_resolver with
+  | Some f -> f source
+  | None -> raise (Exec_error "no calendar resolver installed (on-clause unavailable)")
+
+(* Matching row ids for a table given where + calendar clause. *)
+let matching_rows catalog ~stats ~outer table where on_cal =
+  let chronons = Option.map (resolve_calendar catalog) on_cal in
+  let valid_col =
+    match on_cal with
+    | None -> None
+    | Some _ -> (
+      match Schema.valid_time_column (table : Table.t).Table.schema with
+      | Some c -> Some c.Schema.name
+      | None ->
+        raise
+          (Exec_error
+             (Printf.sprintf "table %s has no valid-time column for the on-clause"
+                (Table.name table))))
+  in
+  let candidates =
+    let from_where = index_candidates table where in
+    let from_cal =
+      match (valid_col, chronons) with
+      | Some col, Some set -> calendar_candidates table col set
+      | _ -> None
+    in
+    match (from_where, from_cal) with
+    | Some a, Some b ->
+      (* Intersect the two candidate sets. *)
+      let inb = Hashtbl.create (List.length b) in
+      List.iter (fun r -> Hashtbl.replace inb r ()) b;
+      Some (List.filter (Hashtbl.mem inb) a)
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | None, None -> None
+  in
+  let passes rowid tuple =
+    stats.scanned <- stats.scanned + 1;
+    ignore rowid;
+    let binding = binding_of ~outer table tuple in
+    let where_ok =
+      match where with
+      | None -> true
+      | Some e -> (
+        match Qexpr.eval ~catalog ~binding e with
+        | Value.Bool b -> b
+        | Value.Null -> false
+        | v -> raise (Exec_error ("where clause is not boolean: " ^ Value.to_string v)))
+    in
+    let cal_ok =
+      match (chronons, valid_col) with
+      | Some set, Some col -> (
+        match binding col with
+        | Some (Value.Chronon c) -> Interval_set.contains_chronon set c
+        | Some Value.Null | None -> false
+        | Some v ->
+          raise (Exec_error ("valid-time column is not a chronon: " ^ Value.to_string v)))
+      | _ -> true
+    in
+    where_ok && cal_ok
+  in
+  match candidates with
+  | Some rowids ->
+    stats.index_scans <- stats.index_scans + 1;
+    List.filter
+      (fun rowid ->
+        match Table.get table rowid with Some tuple -> passes rowid tuple | None -> false)
+      (List.sort_uniq Int.compare rowids)
+  | None ->
+    stats.seq_scans <- stats.seq_scans + 1;
+    List.rev
+      (Table.fold table (fun acc rowid tuple -> if passes rowid tuple then rowid :: acc else acc) [])
+
+let eval_assigns catalog ~binding assigns schema =
+  let tuple = Array.make (Schema.arity schema) Value.Null in
+  List.iter
+    (fun (col, e) ->
+      let i = Schema.column_index_exn schema col in
+      tuple.(i) <- Qexpr.eval ~catalog ~binding e)
+    assigns;
+  tuple
+
+let is_aggregate_call = function
+  | Qexpr.Call (f, _) -> List.mem f aggregates
+  | _ -> false
+
+let run_aggregates targets value_rows =
+  let agg_one col_idx (_, e) =
+    match e with
+    | Qexpr.Call (f, _) ->
+      let values =
+        List.filter_map
+          (fun row ->
+            match (row : Value.t array).(col_idx) with Value.Null -> None | v -> Some v)
+          value_rows
+      in
+      let floats () = List.filter_map Value.as_float values in
+      let v =
+        match f with
+        | "count" -> Value.Int (List.length values)
+        | "sum" -> Value.Float (List.fold_left ( +. ) 0. (floats ()))
+        | "avg" ->
+          let fs = floats () in
+          if fs = [] then Value.Null
+          else Value.Float (List.fold_left ( +. ) 0. fs /. float_of_int (List.length fs))
+        | "min" -> (
+          match values with
+          | [] -> Value.Null
+          | v0 :: rest -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v0 rest)
+        | "max" -> (
+          match values with
+          | [] -> Value.Null
+          | v0 :: rest -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v0 rest)
+        | _ -> assert false
+      in
+      v
+    | _ -> (
+      (* Non-aggregate target (a grouping column): take the value from the
+         first member row. *)
+      match value_rows with
+      | row :: _ -> (row : Value.t array).(col_idx)
+      | [] -> Value.Null)
+  in
+  [ Array.of_list (List.mapi agg_one targets) ]
+
+let run catalog ?(binding = fun _ -> None) ?stats (q : Qast.query) : result =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let outer = binding in
+  match q with
+  | Qast.Create_table { name; cols } ->
+    let columns =
+      List.map (fun (name, ty, valid) -> { Schema.name; ty; valid_time = valid }) cols
+    in
+    ignore (Catalog.create_table catalog (Schema.make ~table:name columns));
+    Msg (Printf.sprintf "table %s created" name)
+  | Qast.Create_index { table; col } ->
+    Table.create_index (Catalog.table catalog table) col;
+    Msg (Printf.sprintf "index created on %s(%s)" table col)
+  | Qast.Append { table; assigns } ->
+    let tbl = Catalog.table catalog table in
+    let tuple = eval_assigns catalog ~binding:outer assigns tbl.Table.schema in
+    ignore (Table.insert tbl tuple);
+    Catalog.fire catalog
+      { Catalog.kind = Catalog.On_append; table = Table.name tbl; tuple = Some tuple };
+    Affected 1
+  | Qast.Retrieve { targets; from_ = None; where; on_cal = _; group_by = _ } ->
+    (* Pure expression retrieve. *)
+    let ok =
+      match where with
+      | None -> true
+      | Some e -> (
+        match Qexpr.eval ~catalog ~binding:outer e with
+        | Value.Bool b -> b
+        | Value.Null -> false
+        | v -> raise (Exec_error ("where clause is not boolean: " ^ Value.to_string v)))
+    in
+    let rows =
+      if ok then [ Array.of_list (List.map (fun (_, e) -> Qexpr.eval ~catalog ~binding:outer e) targets) ]
+      else []
+    in
+    Rows { columns = List.map fst targets; rows }
+  | Qast.Retrieve { targets; from_ = Some table; where; on_cal; group_by = [] } ->
+    let tbl = Catalog.table catalog table in
+    let rowids = matching_rows catalog ~stats ~outer tbl where on_cal in
+    let aggregate = targets <> [] && List.for_all (fun (_, e) -> is_aggregate_call e) targets in
+    (* For aggregates evaluate the call's argument per row; otherwise the
+       target expression itself. *)
+    let per_row_exprs =
+      List.map
+        (fun (label, e) ->
+          if aggregate then
+            match e with
+            | Qexpr.Call ("count", []) -> (label, Qexpr.Const (Value.Int 1))
+            | Qexpr.Call (_, [ arg ]) -> (label, arg)
+            | Qexpr.Call (f, args) ->
+              raise
+                (Exec_error
+                   (Printf.sprintf "aggregate %s expects one argument, got %d" f
+                      (List.length args)))
+            | _ -> (label, e)
+          else (label, e))
+        targets
+    in
+    let value_rows =
+      List.filter_map
+        (fun rowid ->
+          match Table.get tbl rowid with
+          | None -> None
+          | Some tuple ->
+            Catalog.fire catalog
+              { Catalog.kind = Catalog.On_retrieve; table = Table.name tbl; tuple = Some tuple };
+            let binding = binding_of ~outer tbl tuple in
+            Some
+              (Array.of_list
+                 (List.map (fun (_, e) -> Qexpr.eval ~catalog ~binding e) per_row_exprs)))
+        rowids
+    in
+    let rows = if aggregate then run_aggregates targets value_rows else value_rows in
+    Rows { columns = List.map fst targets; rows }
+  | Qast.Retrieve { targets; from_ = Some table; where; on_cal; group_by } ->
+    (* Grouped retrieval: every target must be either a grouping column or
+       an aggregate call; one output row per distinct grouping key, in
+       first-appearance order. *)
+    let tbl = Catalog.table catalog table in
+    let rowids = matching_rows catalog ~stats ~outer tbl where on_cal in
+    List.iter
+      (fun (label, e) ->
+        match e with
+        | Qexpr.Col c
+          when List.mem
+                 (match own_column tbl c with Some col -> col | None -> c)
+                 group_by ->
+          ()
+        | _ when is_aggregate_call e -> ()
+        | _ ->
+          raise
+            (Exec_error
+               (Printf.sprintf "target %s must be a grouping column or an aggregate" label)))
+      targets;
+    let groups : (Value.t list, Value.t array list ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    let per_row_exprs =
+      List.map
+        (fun (label, e) ->
+          match e with
+          | Qexpr.Call ("count", []) -> (label, Qexpr.Const (Value.Int 1))
+          | Qexpr.Call (_, [ arg ]) when is_aggregate_call e -> (label, arg)
+          | _ -> (label, e))
+        targets
+    in
+    List.iter
+      (fun rowid ->
+        match Table.get tbl rowid with
+        | None -> ()
+        | Some tuple ->
+          Catalog.fire catalog
+            { Catalog.kind = Catalog.On_retrieve; table = Table.name tbl; tuple = Some tuple };
+          let binding = binding_of ~outer tbl tuple in
+          let key =
+            List.map
+              (fun col ->
+                match binding col with
+                | Some v -> v
+                | None -> raise (Exec_error ("unknown grouping column " ^ col)))
+              group_by
+          in
+          let row =
+            Array.of_list (List.map (fun (_, e) -> Qexpr.eval ~catalog ~binding e) per_row_exprs)
+          in
+          (match Hashtbl.find_opt groups key with
+          | Some rows -> rows := row :: !rows
+          | None ->
+            order := key :: !order;
+            Hashtbl.replace groups key (ref [ row ])))
+      rowids;
+    let rows =
+      List.rev_map
+        (fun key ->
+          let members = List.rev !(Hashtbl.find groups key) in
+          let agg_row = List.hd (run_aggregates targets members) in
+          (* Grouping-column targets take the key's value rather than the
+             (meaningless) aggregate over the column. *)
+          List.iteri
+            (fun i (_, e) ->
+              match e with
+              | Qexpr.Col _ -> agg_row.(i) <- (List.hd members).(i)
+              | _ -> ())
+            targets;
+          agg_row)
+        !order
+    in
+    Rows { columns = List.map fst targets; rows }
+  | Qast.Delete { table; where } ->
+    let tbl = Catalog.table catalog table in
+    let rowids = matching_rows catalog ~stats ~outer tbl where None in
+    List.iter
+      (fun rowid ->
+        match Table.get tbl rowid with
+        | None -> ()
+        | Some tuple ->
+          ignore (Table.delete tbl rowid);
+          Catalog.fire catalog
+            { Catalog.kind = Catalog.On_delete; table = Table.name tbl; tuple = Some tuple })
+      rowids;
+    Affected (List.length rowids)
+  | Qast.Replace { table; assigns; where } ->
+    let tbl = Catalog.table catalog table in
+    let rowids = matching_rows catalog ~stats ~outer tbl where None in
+    List.iter
+      (fun rowid ->
+        match Table.get tbl rowid with
+        | None -> ()
+        | Some old ->
+          let tuple = Array.copy old in
+          let binding = binding_of ~outer tbl old in
+          List.iter
+            (fun (col, e) ->
+              tuple.(Schema.column_index_exn tbl.Table.schema col) <-
+                Qexpr.eval ~catalog ~binding e)
+            assigns;
+          ignore (Table.update tbl rowid tuple);
+          Catalog.fire catalog
+            { Catalog.kind = Catalog.On_replace; table = Table.name tbl; tuple = Some tuple })
+      rowids;
+    Affected (List.length rowids)
+  | Qast.Define_rule r -> Rule_def r
+  | Qast.Drop_rule name -> Rule_drop name
+
+(** Parse and run. *)
+let run_string catalog ?binding ?stats input =
+  match Qparser.query input with
+  | Error e -> Error e
+  | Ok q -> (
+    match run catalog ?binding ?stats q with
+    | r -> Ok r
+    | exception Exec_error e -> Error e
+    | exception Catalog.No_such_table t -> Error ("no such table: " ^ t)
+    | exception Catalog.No_such_operator o -> Error ("no such operator: " ^ o)
+    | exception Catalog.Table_exists t -> Error ("table already exists: " ^ t)
+    | exception Schema.Schema_error e -> Error e
+    | exception Qexpr.Eval_error e -> Error e
+    | exception Table.No_such_column c -> Error ("no such column: " ^ c))

@@ -1,0 +1,43 @@
+(** Query execution: access-path selection (index vs sequential scan),
+    the valid-time [on <calendar>] clause, event hooks for the rule
+    system, and simple aggregates ([count]/[sum]/[avg]/[min]/[max]).
+
+    The residual [where] predicate is always re-applied after an index
+    probe, so inclusive-range probes over-approximate safely. *)
+
+type stats = {
+  mutable scanned : int;  (** tuples touched *)
+  mutable seq_scans : int;
+  mutable index_scans : int;
+}
+
+val fresh_stats : unit -> stats
+
+type result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Msg of string
+  | Rule_def of Qast.rule  (** consumed by the rule manager upstream *)
+  | Rule_drop of string
+
+exception Exec_error of string
+
+(** [run catalog ?binding ?stats q] executes one command. [binding]
+    resolves free columns (used for NEW/CURRENT in rule actions).
+    Retrieval fires [On_retrieve] per returned tuple; mutations fire their
+    events after the change.
+    @raise Exec_error and the catalog/schema exceptions. *)
+val run :
+  Catalog.t ->
+  ?binding:(string -> Value.t option) ->
+  ?stats:stats ->
+  Qast.query ->
+  result
+
+(** Parse and run, with errors as [Error _]. *)
+val run_string :
+  Catalog.t ->
+  ?binding:(string -> Value.t option) ->
+  ?stats:stats ->
+  string ->
+  (result, string) Stdlib.result

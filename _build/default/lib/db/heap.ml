@@ -1,0 +1,64 @@
+(** Heap storage: a growable array of tuple slots. Row ids are stable;
+    deletion leaves a tombstone. *)
+
+type tuple = Value.t array
+
+type t = {
+  mutable slots : tuple option array;
+  mutable next : int;  (** next fresh row id *)
+  mutable live : int;
+}
+
+let create () = { slots = Array.make 16 None; next = 0; live = 0 }
+
+let grow t =
+  if t.next >= Array.length t.slots then begin
+    let bigger = Array.make (2 * Array.length t.slots) None in
+    Array.blit t.slots 0 bigger 0 (Array.length t.slots);
+    t.slots <- bigger
+  end
+
+let insert t tuple =
+  grow t;
+  let rowid = t.next in
+  t.slots.(rowid) <- Some tuple;
+  t.next <- t.next + 1;
+  t.live <- t.live + 1;
+  rowid
+
+let get t rowid =
+  if rowid < 0 || rowid >= t.next then None else t.slots.(rowid)
+
+let get_exn t rowid =
+  match get t rowid with
+  | Some tuple -> tuple
+  | None -> invalid_arg (Printf.sprintf "Heap.get_exn: no row %d" rowid)
+
+let delete t rowid =
+  match get t rowid with
+  | None -> false
+  | Some _ ->
+    t.slots.(rowid) <- None;
+    t.live <- t.live - 1;
+    true
+
+let update t rowid tuple =
+  match get t rowid with
+  | None -> false
+  | Some _ ->
+    t.slots.(rowid) <- Some tuple;
+    true
+
+let count t = t.live
+
+let iter t f =
+  for rowid = 0 to t.next - 1 do
+    match t.slots.(rowid) with Some tuple -> f rowid tuple | None -> ()
+  done
+
+let fold t f init =
+  let acc = ref init in
+  iter t (fun rowid tuple -> acc := f !acc rowid tuple);
+  !acc
+
+let rowids t = List.rev (fold t (fun acc rowid _ -> rowid :: acc) [])

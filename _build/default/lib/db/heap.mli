@@ -1,0 +1,31 @@
+(** Heap storage: a growable array of tuple slots. Row ids are stable;
+    deletion leaves a tombstone. *)
+
+type tuple = Value.t array
+
+type t
+
+val create : unit -> t
+
+(** Appends and returns the fresh row id. *)
+val insert : t -> tuple -> int
+
+(** [None] for deleted or out-of-range rows. *)
+val get : t -> int -> tuple option
+
+(** @raise Invalid_argument when the row is absent. *)
+val get_exn : t -> int -> tuple
+
+(** Returns [false] when the row was already gone. *)
+val delete : t -> int -> bool
+
+val update : t -> int -> tuple -> bool
+
+(** Live tuples. *)
+val count : t -> int
+
+(** Visits live rows in row-id order. *)
+val iter : t -> (int -> tuple -> unit) -> unit
+
+val fold : t -> ('a -> int -> tuple -> 'a) -> 'a -> 'a
+val rowids : t -> int list

@@ -1,0 +1,79 @@
+(** Abstract syntax of the Postquel-flavoured query language.
+
+    Commands are the POSTGRES four (retrieve / append / delete / replace)
+    plus DDL and rule definition. [Retrieve]'s [on_cal] is this system's
+    addition: a calendar expression filtering on the table's valid-time
+    column. *)
+
+type rule_event =
+  | Ev_db of Catalog.event_kind * string  (** e.g. [on append to stock] *)
+  | Ev_calendar of string  (** [on calendar "<expression>"] — raw source *)
+
+type query =
+  | Create_table of { name : string; cols : (string * Schema.ty * bool) list }
+      (** column name, type, valid-time flag *)
+  | Create_index of { table : string; col : string }
+  | Append of { table : string; assigns : (string * Qexpr.t) list }
+  | Retrieve of {
+      targets : (string * Qexpr.t) list;  (** label, expression *)
+      from_ : string option;
+      where : Qexpr.t option;
+      on_cal : string option;
+      group_by : string list;  (** grouping columns, lower-case *)
+    }
+  | Delete of { table : string; where : Qexpr.t option }
+  | Replace of { table : string; assigns : (string * Qexpr.t) list; where : Qexpr.t option }
+  | Define_rule of rule
+  | Drop_rule of string
+
+and rule = {
+  rule_name : string;
+  event : rule_event;
+  condition : Qexpr.t option;
+  action : query list;
+}
+
+let event_kind_to_string = function
+  | Catalog.On_append -> "append"
+  | Catalog.On_delete -> "delete"
+  | Catalog.On_replace -> "replace"
+  | Catalog.On_retrieve -> "retrieve"
+
+let rec to_string = function
+  | Create_table { name; cols } ->
+    Printf.sprintf "create table %s (%s)" name
+      (String.concat ", "
+         (List.map
+            (fun (c, ty, valid) ->
+              Printf.sprintf "%s %s%s" c (Schema.ty_to_string ty)
+                (if valid then " valid" else ""))
+            cols))
+  | Create_index { table; col } -> Printf.sprintf "create index on %s (%s)" table col
+  | Append { table; assigns } ->
+    Printf.sprintf "append %s (%s)" table (assigns_to_string assigns)
+  | Retrieve { targets; from_; where; on_cal; group_by } ->
+    Printf.sprintf "retrieve (%s)%s%s%s%s"
+      (String.concat ", "
+         (List.map (fun (label, e) -> Printf.sprintf "%s = %s" label (Qexpr.to_string e)) targets))
+      (match from_ with Some t -> " from " ^ t | None -> "")
+      (match where with Some e -> " where " ^ Qexpr.to_string e | None -> "")
+      (match on_cal with Some c -> Printf.sprintf " on %S" c | None -> "")
+      (match group_by with [] -> "" | l -> " group by " ^ String.concat ", " l)
+  | Delete { table; where } ->
+    Printf.sprintf "delete %s%s" table
+      (match where with Some e -> " where " ^ Qexpr.to_string e | None -> "")
+  | Replace { table; assigns; where } ->
+    Printf.sprintf "replace %s (%s)%s" table (assigns_to_string assigns)
+      (match where with Some e -> " where " ^ Qexpr.to_string e | None -> "")
+  | Define_rule r ->
+    Printf.sprintf "define rule %s on %s%s do { %s }" r.rule_name
+      (match r.event with
+      | Ev_db (kind, table) -> Printf.sprintf "%s to %s" (event_kind_to_string kind) table
+      | Ev_calendar src -> Printf.sprintf "calendar %S" src)
+      (match r.condition with Some e -> " where " ^ Qexpr.to_string e | None -> "")
+      (String.concat "; " (List.map to_string r.action))
+  | Drop_rule name -> Printf.sprintf "drop rule %s" name
+
+and assigns_to_string assigns =
+  String.concat ", "
+    (List.map (fun (c, e) -> Printf.sprintf "%s = %s" c (Qexpr.to_string e)) assigns)

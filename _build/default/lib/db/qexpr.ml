@@ -1,0 +1,170 @@
+(** Scalar expressions of the query language, evaluated against a tuple
+    binding. Operator calls resolve through the catalog's operator
+    registry — the extensibility hook the paper's design leans on. *)
+
+type binop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Add
+  | Sub
+  | Mul
+  | Div
+
+type t =
+  | Col of string  (** stored lower-case, qualified names keep the dot *)
+  | Const of Value.t
+  | Binop of binop * t * t
+  | Not of t
+  | Neg of t
+  | Call of string * t list
+
+exception Eval_error of string
+
+let binop_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+
+let rec to_string = function
+  | Col c -> c
+  | Const v -> Value.to_string v
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (to_string a) (binop_to_string op) (to_string b)
+  | Not e -> Printf.sprintf "(not %s)" (to_string e)
+  | Neg e -> Printf.sprintf "(- %s)" (to_string e)
+  | Call (f, args) -> Printf.sprintf "%s(%s)" f (String.concat ", " (List.map to_string args))
+
+let numeric_pair a b =
+  match (Value.as_float a, Value.as_float b) with
+  | Some x, Some y -> Some (x, y)
+  | _ -> None
+
+let arith op a b =
+  match (op, a, b) with
+  | Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+  | Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+  | Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+  | Div, Value.Int x, Value.Int y ->
+    if y = 0 then raise (Eval_error "division by zero") else Value.Int (x / y)
+  (* Chronon arithmetic skips the zero hole. *)
+  | Add, Value.Chronon c, Value.Int n | Add, Value.Int n, Value.Chronon c ->
+    Value.Chronon (Chronon.add c n)
+  | Sub, Value.Chronon c, Value.Int n -> Value.Chronon (Chronon.add c (-n))
+  | Sub, Value.Chronon a, Value.Chronon b -> Value.Int (Chronon.diff a b)
+  | _ -> (
+    match numeric_pair a b with
+    | Some (x, y) -> (
+      match op with
+      | Add -> Value.Float (x +. y)
+      | Sub -> Value.Float (x -. y)
+      | Mul -> Value.Float (x *. y)
+      | Div -> if y = 0. then raise (Eval_error "division by zero") else Value.Float (x /. y)
+      | _ -> assert false)
+    | None ->
+      raise
+        (Eval_error
+           (Printf.sprintf "cannot apply %s to %s and %s" (binop_to_string op)
+              (Value.to_string a) (Value.to_string b))))
+
+let comparison op a b =
+  let c =
+    match (a, b) with
+    | Value.Null, _ | _, Value.Null -> None
+    | _ -> (
+      match Value.compare a b with
+      | c -> Some c
+      | exception Value.Incomparable _ -> None)
+  in
+  match c with
+  | None -> Value.Null
+  | Some c ->
+    Value.Bool
+      (match op with
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | _ -> assert false)
+
+let rec eval ~(catalog : Catalog.t) ~(binding : string -> Value.t option) e =
+  match e with
+  | Col name -> (
+    match binding name with
+    | Some v -> v
+    | None -> raise (Eval_error ("unbound column " ^ name)))
+  | Const v -> v
+  | Binop (And, a, b) -> (
+    match eval ~catalog ~binding a with
+    | Value.Bool false -> Value.Bool false
+    | Value.Bool true -> eval ~catalog ~binding b
+    | Value.Null -> Value.Null
+    | v -> raise (Eval_error ("non-boolean operand of and: " ^ Value.to_string v)))
+  | Binop (Or, a, b) -> (
+    match eval ~catalog ~binding a with
+    | Value.Bool true -> Value.Bool true
+    | Value.Bool false -> eval ~catalog ~binding b
+    | Value.Null -> Value.Null
+    | v -> raise (Eval_error ("non-boolean operand of or: " ^ Value.to_string v)))
+  | Binop (Eq, a, b) ->
+    let va = eval ~catalog ~binding a and vb = eval ~catalog ~binding b in
+    if va = Value.Null || vb = Value.Null then Value.Null
+    else Value.Bool (value_eq va vb)
+  | Binop (Ne, a, b) ->
+    let va = eval ~catalog ~binding a and vb = eval ~catalog ~binding b in
+    if va = Value.Null || vb = Value.Null then Value.Null
+    else Value.Bool (not (value_eq va vb))
+  | Binop (((Lt | Le | Gt | Ge) as op), a, b) ->
+    comparison op (eval ~catalog ~binding a) (eval ~catalog ~binding b)
+  | Binop (((Add | Sub | Mul | Div) as op), a, b) ->
+    arith op (eval ~catalog ~binding a) (eval ~catalog ~binding b)
+  | Not e -> (
+    match eval ~catalog ~binding e with
+    | Value.Bool b -> Value.Bool (not b)
+    | Value.Null -> Value.Null
+    | v -> raise (Eval_error ("non-boolean operand of not: " ^ Value.to_string v)))
+  | Neg e -> (
+    match eval ~catalog ~binding e with
+    | Value.Int i -> Value.Int (-i)
+    | Value.Float f -> Value.Float (-.f)
+    | v -> raise (Eval_error ("cannot negate " ^ Value.to_string v)))
+  | Call (f, args) ->
+    let op = Catalog.operator catalog f in
+    let vals = List.map (eval ~catalog ~binding) args in
+    if op.Catalog.arity >= 0 && List.length vals <> op.Catalog.arity then
+      raise
+        (Eval_error
+           (Printf.sprintf "operator %s expects %d arguments, got %d" f op.Catalog.arity
+              (List.length vals)));
+    op.Catalog.fn vals
+
+and value_eq a b =
+  (* Numeric equality coerces Int/Float; everything else is Value.equal. *)
+  match numeric_pair a b with Some (x, y) -> x = y | None -> Value.equal a b
+
+(* Conjunct list of an and-tree, for sargable-predicate extraction. *)
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* Columns mentioned, for binding checks. *)
+let rec columns = function
+  | Col c -> [ c ]
+  | Const _ -> []
+  | Binop (_, a, b) -> columns a @ columns b
+  | Not e | Neg e -> columns e
+  | Call (_, args) -> List.concat_map columns args

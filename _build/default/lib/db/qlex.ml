@@ -1,0 +1,155 @@
+(** Lexer for the query language. Keywords are case-insensitive;
+    identifiers keep their case but compare case-insensitively upstream.
+    [@5] and [@-3] are chronon literals; strings take single or double
+    quotes. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | CHRONON of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | DOT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LBRACKET
+  | RBRACKET
+  | EOF
+
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let rec go acc i =
+    if i >= n then List.rev ((EOF, i) :: acc)
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go acc (i + 1)
+      else if c = '-' && i + 1 < n && s.[i + 1] = '-' then begin
+        (* line comment *)
+        let j = ref (i + 2) in
+        while !j < n && s.[!j] <> '\n' do incr j done;
+        go acc !j
+      end
+      else if is_ident_start c then begin
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char s.[!j] do incr j done;
+        go ((IDENT (String.sub s i (!j - i)), i) :: acc) !j
+      end
+      else if is_digit c then begin
+        let j = ref (i + 1) in
+        while !j < n && is_digit s.[!j] do incr j done;
+        if !j < n && s.[!j] = '.' && !j + 1 < n && is_digit s.[!j + 1] then begin
+          incr j;
+          while !j < n && is_digit s.[!j] do incr j done;
+          go ((FLOAT (float_of_string (String.sub s i (!j - i))), i) :: acc) !j
+        end
+        else go ((INT (int_of_string (String.sub s i (!j - i))), i) :: acc) !j
+      end
+      else if c = '\'' || c = '"' then begin
+        (* Strings support backslash escapes (backslash + n, t, quote, backslash). *)
+        let buf = Buffer.create 16 in
+        let j = ref (i + 1) in
+        let fin = ref (-1) in
+        while !fin < 0 do
+          if !j >= n then raise (Lex_error ("unterminated string", i))
+          else if s.[!j] = c then fin := !j
+          else if s.[!j] = '\\' then begin
+            if !j + 1 >= n then raise (Lex_error ("unterminated escape", !j));
+            (match s.[!j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | other -> Buffer.add_char buf other);
+            j := !j + 2
+          end
+          else begin
+            Buffer.add_char buf s.[!j];
+            incr j
+          end
+        done;
+        go ((STRING (Buffer.contents buf), i) :: acc) (!fin + 1)
+      end
+      else if c = '@' then begin
+        let sign, j = if i + 1 < n && s.[i + 1] = '-' then (-1, i + 2) else (1, i + 1) in
+        let k = ref j in
+        while !k < n && is_digit s.[!k] do incr k done;
+        if !k = j then raise (Lex_error ("expected digits after @", i));
+        go ((CHRONON (sign * int_of_string (String.sub s j (!k - j))), i) :: acc) !k
+      end
+      else
+        let two = if i + 1 < n then String.sub s i 2 else "" in
+        match two with
+        | "<=" -> go ((LE, i) :: acc) (i + 2)
+        | ">=" -> go ((GE, i) :: acc) (i + 2)
+        | "<>" -> go ((NE, i) :: acc) (i + 2)
+        | "!=" -> go ((NE, i) :: acc) (i + 2)
+        | _ -> (
+          let single t = go ((t, i) :: acc) (i + 1) in
+          match c with
+          | '(' -> single LPAREN
+          | ')' -> single RPAREN
+          | '{' -> single LBRACE
+          | '}' -> single RBRACE
+          | ',' -> single COMMA
+          | ';' -> single SEMI
+          | '.' -> single DOT
+          | '=' -> single EQ
+          | '<' -> single LT
+          | '>' -> single GT
+          | '+' -> single PLUS
+          | '-' -> single MINUS
+          | '*' -> single STAR
+          | '/' -> single SLASH
+          | '[' -> single LBRACKET
+          | ']' -> single RBRACKET
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i)))
+  in
+  go [] 0
+
+let to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f ->
+    (* Keep the rendering re-lexable: "4050." would tokenize as INT DOT. *)
+    let s = Printf.sprintf "%.12g" f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  | STRING s -> Printf.sprintf "%S" s
+  | CHRONON c -> Printf.sprintf "@%d" c
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | EOF -> "<eof>"

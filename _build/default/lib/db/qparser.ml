@@ -1,0 +1,375 @@
+(** Recursive-descent parser for the query language.
+
+    {v
+    query  ::= 'create' 'table' NAME '(' coldef (',' coldef)* ')'
+             | 'create' 'index' 'on' NAME '(' NAME ')'
+             | 'append' NAME '(' assign (',' assign)* ')'
+             | 'retrieve' '(' target (',' target)* ')'
+               ('from' NAME)? ('where' expr)? ('on' calspec)?
+             | 'delete' NAME ('where' expr)?
+             | 'replace' NAME '(' assign (',' assign)* ')' ('where' expr)?
+             | 'define' 'rule' NAME 'on' event ('where' expr)? 'do' action
+             | 'drop' 'rule' NAME
+    coldef ::= NAME TYPE ('[' ']')? 'valid'?
+    event  ::= ('append'|'delete'|'replace'|'retrieve') 'to' NAME
+             | 'calendar' (STRING | NAME)
+    action ::= query | '{' query (';' query)* ';'? '}'
+    calspec::= STRING | NAME
+    v} *)
+
+exception Parse_error of string * int
+
+type state = { toks : (Qlex.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let peek_pos st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+let fail st msg = raise (Parse_error (msg, peek_pos st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Qlex.to_string tok)
+         (Qlex.to_string (peek st)))
+
+let ident st =
+  match peek st with
+  | Qlex.IDENT s -> advance st; s
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (Qlex.to_string t))
+
+let is_kw st word =
+  match peek st with
+  | Qlex.IDENT s -> String.lowercase_ascii s = word
+  | _ -> false
+
+let kw st word =
+  if is_kw st word then advance st
+  else fail st (Printf.sprintf "expected keyword %s, found %s" word (Qlex.to_string (peek st)))
+
+let opt_kw st word = if is_kw st word then ( advance st; true) else false
+
+(* --- expressions ---------------------------------------------------- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if is_kw st "or" then begin
+    advance st;
+    Qexpr.Binop (Qexpr.Or, lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if is_kw st "and" then begin
+    advance st;
+    Qexpr.Binop (Qexpr.And, lhs, parse_and st)
+  end
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Qlex.EQ -> Some Qexpr.Eq
+    | Qlex.NE -> Some Qexpr.Ne
+    | Qlex.LT -> Some Qexpr.Lt
+    | Qlex.LE -> Some Qexpr.Le
+    | Qlex.GT -> Some Qexpr.Gt
+    | Qlex.GE -> Some Qexpr.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    Qexpr.Binop (op, lhs, parse_add st)
+  | None -> lhs
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | Qlex.PLUS -> advance st; loop (Qexpr.Binop (Qexpr.Add, lhs, parse_mul st))
+    | Qlex.MINUS -> advance st; loop (Qexpr.Binop (Qexpr.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | Qlex.STAR -> advance st; loop (Qexpr.Binop (Qexpr.Mul, lhs, parse_unary st))
+    | Qlex.SLASH -> advance st; loop (Qexpr.Binop (Qexpr.Div, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if is_kw st "not" then begin
+    advance st;
+    Qexpr.Not (parse_unary st)
+  end
+  else
+    match peek st with
+    | Qlex.MINUS -> advance st; Qexpr.Neg (parse_unary st)
+    | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Qlex.INT i -> advance st; Qexpr.Const (Value.Int i)
+  | Qlex.FLOAT f -> advance st; Qexpr.Const (Value.Float f)
+  | Qlex.STRING s -> advance st; Qexpr.Const (Value.Text s)
+  | Qlex.CHRONON c ->
+    if c = 0 then fail st "chronon literal @0 is invalid (no zero chronon)";
+    advance st;
+    Qexpr.Const (Value.Chronon c)
+  | Qlex.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Qlex.RPAREN;
+    e
+  | Qlex.IDENT s -> (
+    let lower = String.lowercase_ascii s in
+    match lower with
+    | "true" -> advance st; Qexpr.Const (Value.Bool true)
+    | "false" -> advance st; Qexpr.Const (Value.Bool false)
+    | "null" -> advance st; Qexpr.Const Value.Null
+    | _ ->
+      advance st;
+      if peek st = Qlex.DOT then begin
+        advance st;
+        let field = ident st in
+        Qexpr.Col (lower ^ "." ^ String.lowercase_ascii field)
+      end
+      else if peek st = Qlex.LPAREN then begin
+        advance st;
+        let args =
+          if peek st = Qlex.RPAREN then []
+          else
+            let rec go acc =
+              let e = parse_expr st in
+              if peek st = Qlex.COMMA then begin advance st; go (e :: acc) end
+              else List.rev (e :: acc)
+            in
+            go []
+        in
+        expect st Qlex.RPAREN;
+        Qexpr.Call (lower, args)
+      end
+      else Qexpr.Col lower)
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (Qlex.to_string t))
+
+(* --- statements ----------------------------------------------------- *)
+
+let parse_assign st =
+  let col = String.lowercase_ascii (ident st) in
+  expect st Qlex.EQ;
+  (col, parse_expr st)
+
+let parse_assign_list st =
+  expect st Qlex.LPAREN;
+  let rec go acc =
+    let a = parse_assign st in
+    if peek st = Qlex.COMMA then begin advance st; go (a :: acc) end
+    else List.rev (a :: acc)
+  in
+  let l = go [] in
+  expect st Qlex.RPAREN;
+  l
+
+let parse_coldef st =
+  let name = String.lowercase_ascii (ident st) in
+  let tyname = ident st in
+  let tyname =
+    if peek st = Qlex.LBRACKET then begin
+      advance st;
+      expect st Qlex.RBRACKET;
+      tyname ^ "[]"
+    end
+    else tyname
+  in
+  let ty =
+    match Schema.ty_of_string tyname with
+    | Some ty -> ty
+    | None -> fail st (Printf.sprintf "unknown type %s" tyname)
+  in
+  let valid = opt_kw st "valid" in
+  (name, ty, valid)
+
+let parse_target st =
+  (* [label =] expr; a bare column uses its own name as label. *)
+  match (peek st, if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else Qlex.EOF) with
+  | Qlex.IDENT label, Qlex.EQ
+    when not (List.mem (String.lowercase_ascii label) [ "true"; "false"; "null" ]) ->
+    advance st;
+    advance st;
+    (String.lowercase_ascii label, parse_expr st)
+  | _ ->
+    let e = parse_expr st in
+    let label = match e with Qexpr.Col c -> c | _ -> Qexpr.to_string e in
+    (label, e)
+
+let parse_calspec st =
+  match peek st with
+  | Qlex.STRING s -> advance st; s
+  | Qlex.IDENT s -> advance st; s
+  | t -> fail st (Printf.sprintf "expected calendar expression, found %s" (Qlex.to_string t))
+
+let rec parse_query st =
+  if is_kw st "create" then begin
+    advance st;
+    if opt_kw st "table" then begin
+      let name = ident st in
+      expect st Qlex.LPAREN;
+      let rec go acc =
+        let c = parse_coldef st in
+        if peek st = Qlex.COMMA then begin advance st; go (c :: acc) end
+        else List.rev (c :: acc)
+      in
+      let cols = go [] in
+      expect st Qlex.RPAREN;
+      Qast.Create_table { name; cols }
+    end
+    else begin
+      kw st "index";
+      kw st "on";
+      let table = ident st in
+      expect st Qlex.LPAREN;
+      let col = String.lowercase_ascii (ident st) in
+      expect st Qlex.RPAREN;
+      Qast.Create_index { table; col }
+    end
+  end
+  else if is_kw st "append" then begin
+    advance st;
+    let table = ident st in
+    let assigns = parse_assign_list st in
+    Qast.Append { table; assigns }
+  end
+  else if is_kw st "retrieve" then begin
+    advance st;
+    expect st Qlex.LPAREN;
+    let rec go acc =
+      let t = parse_target st in
+      if peek st = Qlex.COMMA then begin advance st; go (t :: acc) end
+      else List.rev (t :: acc)
+    in
+    let targets = go [] in
+    expect st Qlex.RPAREN;
+    let from_ = if opt_kw st "from" then Some (ident st) else None in
+    let where = if opt_kw st "where" then Some (parse_expr st) else None in
+    let on_cal = if opt_kw st "on" then Some (parse_calspec st) else None in
+    let group_by =
+      if opt_kw st "group" then begin
+        kw st "by";
+        let rec go acc =
+          let c = String.lowercase_ascii (ident st) in
+          if peek st = Qlex.COMMA then begin advance st; go (c :: acc) end
+          else List.rev (c :: acc)
+        in
+        go []
+      end
+      else []
+    in
+    Qast.Retrieve { targets; from_; where; on_cal; group_by }
+  end
+  else if is_kw st "delete" then begin
+    advance st;
+    let table = ident st in
+    let where = if opt_kw st "where" then Some (parse_expr st) else None in
+    Qast.Delete { table; where }
+  end
+  else if is_kw st "replace" then begin
+    advance st;
+    let table = ident st in
+    let assigns = parse_assign_list st in
+    let where = if opt_kw st "where" then Some (parse_expr st) else None in
+    Qast.Replace { table; assigns; where }
+  end
+  else if is_kw st "define" then begin
+    advance st;
+    kw st "rule";
+    let rule_name = ident st in
+    kw st "on";
+    let event =
+      if opt_kw st "calendar" then Qast.Ev_calendar (parse_calspec st)
+      else
+        let kind =
+          if opt_kw st "append" then Catalog.On_append
+          else if opt_kw st "delete" then Catalog.On_delete
+          else if opt_kw st "replace" then Catalog.On_replace
+          else if opt_kw st "retrieve" then Catalog.On_retrieve
+          else fail st "expected append/delete/replace/retrieve/calendar"
+        in
+        kw st "to";
+        Qast.Ev_db (kind, ident st)
+    in
+    let condition = if opt_kw st "where" then Some (parse_expr st) else None in
+    kw st "do";
+    let action =
+      if peek st = Qlex.LBRACE then begin
+        advance st;
+        let rec go acc =
+          let q = parse_query st in
+          if peek st = Qlex.SEMI then begin
+            advance st;
+            if peek st = Qlex.RBRACE then List.rev (q :: acc) else go (q :: acc)
+          end
+          else List.rev (q :: acc)
+        in
+        let qs = go [] in
+        expect st Qlex.RBRACE;
+        qs
+      end
+      else [ parse_query st ]
+    in
+    Qast.Define_rule { rule_name; event; condition; action }
+  end
+  else if is_kw st "drop" then begin
+    advance st;
+    kw st "rule";
+    Qast.Drop_rule (ident st)
+  end
+  else fail st (Printf.sprintf "expected a command, found %s" (Qlex.to_string (peek st)))
+
+let query_exn input =
+  let st = { toks = Array.of_list (Qlex.tokenize input); pos = 0 } in
+  let q = parse_query st in
+  if peek st = Qlex.SEMI then advance st;
+  expect st Qlex.EOF;
+  q
+
+let query input =
+  match query_exn input with
+  | q -> Ok q
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "parse error at %d: %s" pos msg)
+  | exception Qlex.Lex_error (msg, pos) -> Error (Printf.sprintf "lex error at %d: %s" pos msg)
+
+(** Parse a whole script: queries separated/terminated by semicolons. *)
+let program_exn input =
+  let st = { toks = Array.of_list (Qlex.tokenize input); pos = 0 } in
+  let rec go acc =
+    if peek st = Qlex.EOF then List.rev acc
+    else begin
+      let q = parse_query st in
+      while peek st = Qlex.SEMI do advance st done;
+      go (q :: acc)
+    end
+  in
+  go []
+
+let program input =
+  match program_exn input with
+  | qs -> Ok qs
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "parse error at %d: %s" pos msg)
+  | exception Qlex.Lex_error (msg, pos) -> Error (Printf.sprintf "lex error at %d: %s" pos msg)
+
+(** Parse an expression alone (used in tests). *)
+let expr_exn input =
+  let st = { toks = Array.of_list (Qlex.tokenize input); pos = 0 } in
+  let e = parse_expr st in
+  expect st Qlex.EOF;
+  e

@@ -1,0 +1,36 @@
+(** Recursive-descent parser for the Postquel-flavoured query language.
+
+    {v
+    query  ::= 'create' 'table' NAME '(' coldef (',' coldef)* ')'
+             | 'create' 'index' 'on' NAME '(' NAME ')'
+             | 'append' NAME '(' assign (',' assign)* ')'
+             | 'retrieve' '(' target (',' target)* ')'
+               ('from' NAME)? ('where' expr)? ('on' calspec)?
+               ('group' 'by' NAME (',' NAME) ... )?
+             | 'delete' NAME ('where' expr)?
+             | 'replace' NAME '(' assign (',' assign)* ')' ('where' expr)?
+             | 'define' 'rule' NAME 'on' event ('where' expr)? 'do' action
+             | 'drop' 'rule' NAME
+    coldef ::= NAME TYPE ('[' ']')? 'valid'?
+    event  ::= ('append'|'delete'|'replace'|'retrieve') 'to' NAME
+             | 'calendar' (STRING | NAME)
+    action ::= query | '{' query (';' query)* ';'? '}'
+    calspec::= STRING | NAME
+    v}
+
+    Chronon literals are [@5] / [@-3]; strings take single or double
+    quotes; keywords are case-insensitive. *)
+
+exception Parse_error of string * int  (** message, byte position *)
+
+val query_exn : string -> Qast.query
+val query : string -> (Qast.query, string) result
+
+(** Parse a whole script: queries separated/terminated by semicolons
+    (used by dump/load). *)
+val program_exn : string -> Qast.query list
+
+val program : string -> (Qast.query list, string) result
+
+(** Parse a scalar expression alone (tests). *)
+val expr_exn : string -> Qexpr.t

@@ -1,0 +1,125 @@
+(** Table schemas: column names, types, and the optional valid-time
+    column.
+
+    Marking a chronon column [valid] designates it as the tuple's valid
+    time, which the query language's [on <calendar-expression>] clause
+    filters against (the paper's "maintenance of valid time in
+    databases"). *)
+
+type ty =
+  | TBool
+  | TInt
+  | TFloat
+  | TText
+  | TChronon
+  | TInterval
+  | TArray of ty
+  | TAdt of string
+
+type column = {
+  name : string;
+  ty : ty;
+  valid_time : bool;
+}
+
+type t = {
+  table : string;
+  columns : column list;
+}
+
+exception Schema_error of string
+
+let rec ty_to_string = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TText -> "text"
+  | TChronon -> "chronon"
+  | TInterval -> "interval"
+  | TArray ty -> ty_to_string ty ^ "[]"
+  | TAdt tag -> tag
+
+let ty_of_string s =
+  let rec go s =
+    if String.length s > 2 && String.sub s (String.length s - 2) 2 = "[]" then
+      Option.map (fun t -> TArray t) (go (String.sub s 0 (String.length s - 2)))
+    else
+      match String.lowercase_ascii s with
+      | "bool" | "boolean" -> Some TBool
+      | "int" | "int4" | "integer" -> Some TInt
+      | "float" | "float8" | "real" -> Some TFloat
+      | "text" | "varchar" -> Some TText
+      | "chronon" | "date" -> Some TChronon
+      | "interval" -> Some TInterval
+      | "" -> None
+      | tag -> Some (TAdt tag)
+  in
+  go (String.trim s)
+
+let make ~table columns =
+  let names = List.map (fun c -> c.name) columns in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    raise (Schema_error ("duplicate column in table " ^ table));
+  if List.length (List.filter (fun c -> c.valid_time) columns) > 1 then
+    raise (Schema_error ("multiple valid-time columns in table " ^ table));
+  List.iter
+    (fun c ->
+      if c.valid_time && c.ty <> TChronon then
+        raise (Schema_error ("valid-time column " ^ c.name ^ " must be a chronon")))
+    columns;
+  { table; columns }
+
+let arity t = List.length t.columns
+
+let column_index t name =
+  let rec go i = function
+    | [] -> None
+    | c :: rest -> if String.equal c.name name then Some i else go (i + 1) rest
+  in
+  go 0 t.columns
+
+let column_index_exn t name =
+  match column_index t name with
+  | Some i -> i
+  | None -> raise (Schema_error (Printf.sprintf "no column %s in table %s" name t.table))
+
+let column t name = List.nth_opt t.columns (Option.value ~default:max_int (column_index t name))
+
+let valid_time_column t =
+  List.find_opt (fun c -> c.valid_time) t.columns
+
+(* Runtime type check; Null is allowed in any column. *)
+let rec value_matches ty (v : Value.t) =
+  match (ty, v) with
+  | _, Value.Null -> true
+  | TBool, Value.Bool _ -> true
+  | TInt, Value.Int _ -> true
+  | TFloat, Value.Float _ | TFloat, Value.Int _ -> true
+  | TText, Value.Text _ -> true
+  | TChronon, Value.Chronon _ -> true
+  | TInterval, Value.Interval _ -> true
+  | TArray ty, Value.Array a -> Array.for_all (value_matches ty) a
+  | TAdt tag, Value.Ext (t, _) -> String.equal tag t
+  | (TBool | TInt | TFloat | TText | TChronon | TInterval | TArray _ | TAdt _), _ -> false
+
+let check_tuple t (tuple : Value.t array) =
+  if Array.length tuple <> arity t then
+    raise (Schema_error (Printf.sprintf "tuple arity %d does not match table %s (%d columns)"
+             (Array.length tuple) t.table (arity t)));
+  List.iteri
+    (fun i c ->
+      if not (value_matches c.ty tuple.(i)) then
+        raise
+          (Schema_error
+             (Printf.sprintf "column %s.%s expects %s but got %s" t.table c.name
+                (ty_to_string c.ty) (Value.to_string tuple.(i)))))
+    t.columns
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s)" t.table
+    (String.concat ", "
+       (List.map
+          (fun c ->
+            Printf.sprintf "%s %s%s" c.name (ty_to_string c.ty)
+              (if c.valid_time then " valid" else ""))
+          t.columns))

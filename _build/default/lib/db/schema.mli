@@ -1,0 +1,54 @@
+(** Table schemas: column names, types, and the optional valid-time
+    column.
+
+    Marking a chronon column [valid] designates it as the tuple's valid
+    time, which the query language's [on <calendar-expression>] clause
+    filters against (the paper's "maintenance of valid time in
+    databases"). *)
+
+type ty =
+  | TBool
+  | TInt
+  | TFloat
+  | TText
+  | TChronon
+  | TInterval
+  | TArray of ty
+  | TAdt of string  (** a registered abstract data type, by tag *)
+
+type column = {
+  name : string;
+  ty : ty;
+  valid_time : bool;
+}
+
+type t = {
+  table : string;
+  columns : column list;
+}
+
+exception Schema_error of string
+
+val ty_to_string : ty -> string
+
+(** Parses ["int"], ["float[]"], ["chronon"], ...; unknown names become
+    [TAdt]. *)
+val ty_of_string : string -> ty option
+
+(** [make ~table columns] validates: unique column names, at most one
+    valid-time column, and that it is a chronon. @raise Schema_error *)
+val make : table:string -> column list -> t
+
+val arity : t -> int
+val column_index : t -> string -> int option
+val column_index_exn : t -> string -> int
+val column : t -> string -> column option
+val valid_time_column : t -> column option
+
+(** Runtime type check; Null is allowed in any column. *)
+val value_matches : ty -> Value.t -> bool
+
+(** @raise Schema_error on arity or type mismatch. *)
+val check_tuple : t -> Value.t array -> unit
+
+val pp : Format.formatter -> t -> unit

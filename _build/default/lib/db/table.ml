@@ -1,0 +1,80 @@
+(** A table: schema + heap + secondary B-tree indexes, kept consistent on
+    every mutation. *)
+
+type t = {
+  schema : Schema.t;
+  heap : Heap.t;
+  mutable indexes : (string * Btree.t) list;  (** column name -> index *)
+}
+
+exception No_such_column of string
+
+let create schema = { schema; heap = Heap.create (); indexes = [] }
+
+let name t = t.schema.Schema.table
+
+let key_of t col tuple = tuple.(Schema.column_index_exn t.schema col)
+
+let index_insert t rowid tuple =
+  List.iter (fun (col, idx) -> Btree.insert idx (key_of t col tuple) rowid) t.indexes
+
+let index_remove t rowid tuple =
+  List.iter
+    (fun (col, idx) -> ignore (Btree.remove idx (key_of t col tuple) rowid))
+    t.indexes
+
+let insert t tuple =
+  Schema.check_tuple t.schema tuple;
+  let rowid = Heap.insert t.heap tuple in
+  index_insert t rowid tuple;
+  rowid
+
+let delete t rowid =
+  match Heap.get t.heap rowid with
+  | None -> false
+  | Some tuple ->
+    index_remove t rowid tuple;
+    ignore (Heap.delete t.heap rowid);
+    true
+
+let update t rowid tuple =
+  Schema.check_tuple t.schema tuple;
+  match Heap.get t.heap rowid with
+  | None -> false
+  | Some old ->
+    index_remove t rowid old;
+    ignore (Heap.update t.heap rowid tuple);
+    index_insert t rowid tuple;
+    true
+
+let get t rowid = Heap.get t.heap rowid
+let count t = Heap.count t.heap
+let iter t f = Heap.iter t.heap f
+let fold t f init = Heap.fold t.heap f init
+
+let has_index t col = List.mem_assoc col t.indexes
+
+let create_index t col =
+  if Schema.column_index t.schema col = None then raise (No_such_column col);
+  if not (has_index t col) then begin
+    let idx = Btree.create () in
+    Heap.iter t.heap (fun rowid tuple -> Btree.insert idx (key_of t col tuple) rowid);
+    t.indexes <- (col, idx) :: t.indexes
+  end
+
+let index t col = List.assoc_opt col t.indexes
+
+(** Row ids with [col = key], via the index. *)
+let index_lookup t col key =
+  match index t col with
+  | None -> None
+  | Some idx -> Some (Btree.find idx key)
+
+(** Row ids with [lo <= col <= hi], via the index, unordered. *)
+let index_range t col ?lo ?hi () =
+  match index t col with
+  | None -> None
+  | Some idx ->
+    let acc = ref [] in
+    Btree.range idx ?lo ?hi (fun _ rowids -> acc := List.rev_append rowids !acc);
+    Some !acc

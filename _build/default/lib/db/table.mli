@@ -1,0 +1,41 @@
+(** A table: schema + heap + secondary B-tree indexes, kept consistent on
+    every mutation. *)
+
+type t = {
+  schema : Schema.t;
+  heap : Heap.t;
+  mutable indexes : (string * Btree.t) list;  (** column name -> index *)
+}
+
+exception No_such_column of string
+
+val create : Schema.t -> t
+val name : t -> string
+
+(** Type-checks the tuple, appends it and updates every index.
+    @raise Schema.Schema_error *)
+val insert : t -> Value.t array -> int
+
+(** Removes the row and its index entries; [false] when absent. *)
+val delete : t -> int -> bool
+
+(** Replaces the row in place, maintaining indexes; [false] when absent. *)
+val update : t -> int -> Value.t array -> bool
+
+val get : t -> int -> Value.t array option
+val count : t -> int
+val iter : t -> (int -> Value.t array -> unit) -> unit
+val fold : t -> ('a -> int -> Value.t array -> 'a) -> 'a -> 'a
+val has_index : t -> string -> bool
+
+(** Builds (and backfills) a B-tree on the column; idempotent.
+    @raise No_such_column *)
+val create_index : t -> string -> unit
+
+val index : t -> string -> Btree.t option
+
+(** Row ids with [col = key], via the index ([None] when unindexed). *)
+val index_lookup : t -> string -> Value.t -> int list option
+
+(** Row ids with [lo <= col <= hi], via the index, unordered. *)
+val index_range : t -> string -> ?lo:Value.t -> ?hi:Value.t -> unit -> int list option

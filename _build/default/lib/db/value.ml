@@ -1,0 +1,135 @@
+(** Database values, including the extension hook for abstract data types.
+
+    The paper's motivation for building on an extensible DBMS is that
+    complex types (interval arrays, calendars) and their operators can be
+    declared to the engine. Here the open variant {!ext} plays the role of
+    POSTGRES user-defined types: a client registers a tag plus the
+    operations the engine needs (printing, equality, comparison), and
+    values of that type flow through tables, queries and indexes like any
+    other. *)
+
+type ext = ..
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Text of string
+  | Chronon of Chronon.t  (** a time point, in session day chronons *)
+  | Interval of Interval.t
+  | Array of t array
+  | Ext of string * ext  (** tag, payload *)
+
+type adt_ops = {
+  tag : string;
+  pp : ext -> string option;  (** [None] when the payload is not ours *)
+  equal : ext -> ext -> bool option;
+  compare : (ext -> ext -> int option) option;  (** omitted: not orderable *)
+}
+
+let adts : (string, adt_ops) Hashtbl.t = Hashtbl.create 8
+
+exception Unknown_adt of string
+exception Incomparable of string
+
+(** [register_adt ops] declares a new abstract type to the engine.
+    Re-registration under the same tag replaces the previous entry. *)
+let register_adt ops = Hashtbl.replace adts ops.tag ops
+
+let adt_ops tag =
+  match Hashtbl.find_opt adts tag with
+  | Some ops -> ops
+  | None -> raise (Unknown_adt tag)
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Text s -> Format.fprintf ppf "%S" s
+  | Chronon c -> Format.fprintf ppf "@%a" Chronon.pp c
+  | Interval i -> Interval.pp ppf i
+  | Array a ->
+    Format.fprintf ppf "[@[%a@]]"
+      (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+      (Array.to_seq a)
+  | Ext (tag, payload) -> (
+    match (adt_ops tag).pp payload with
+    | Some s -> Format.fprintf ppf "%s:%s" tag s
+    | None -> Format.fprintf ppf "%s:<foreign payload>" tag)
+
+let to_string v = Format.asprintf "%a" pp v
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Text x, Text y -> String.equal x y
+  | Chronon x, Chronon y -> Chronon.equal x y
+  | Interval x, Interval y -> Interval.equal x y
+  | Array x, Array y -> Array.length x = Array.length y && Array.for_all2 equal x y
+  | Ext (t1, p1), Ext (t2, p2) ->
+    String.equal t1 t2 && Option.value ~default:false ((adt_ops t1).equal p1 p2)
+  | ( ( Null | Bool _ | Int _ | Float _ | Text _ | Chronon _ | Interval _ | Array _
+      | Ext _ ),
+      _ ) ->
+    false
+
+(* Total order within each constructor; cross-constructor comparison is a
+   type error upstream, but we order by constructor rank so that indexes
+   never misbehave. Null sorts first. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Text _ -> 4
+  | Chronon _ -> 5
+  | Interval _ -> 6
+  | Array _ -> 7
+  | Ext _ -> 8
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Text x, Text y -> String.compare x y
+  | Chronon x, Chronon y -> Chronon.compare x y
+  | Interval x, Interval y -> Interval.compare x y
+  | Array x, Array y ->
+    let n = Stdlib.compare (Array.length x) (Array.length y) in
+    if n <> 0 then n
+    else
+      let rec go i =
+        if i >= Array.length x then 0
+        else
+          let c = compare x.(i) y.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+  | Ext (t1, p1), Ext (t2, p2) when String.equal t1 t2 -> (
+    match (adt_ops t1).compare with
+    | Some cmp -> (
+      match cmp p1 p2 with
+      | Some c -> c
+      | None -> raise (Incomparable t1))
+    | None -> raise (Incomparable t1))
+  | _ -> Int.compare (rank a) (rank b)
+
+(* Numeric coercions for expression evaluation. *)
+let as_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Bool _ | Text _ | Chronon _ | Interval _ | Array _ | Ext _ -> None
+
+let is_truthy = function
+  | Bool b -> b
+  | Null -> false
+  | v -> failwith ("value used as boolean: " ^ to_string v)

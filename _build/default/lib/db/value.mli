@@ -1,0 +1,58 @@
+(** Database values, including the extension hook for abstract data types.
+
+    The open variant {!ext} plays the role of POSTGRES user-defined types:
+    a client registers a tag plus the operations the engine needs
+    (printing, equality, optionally comparison), and values of that type
+    flow through tables, queries and indexes like any other. The session
+    layer registers the [calendar] ADT this way. *)
+
+type ext = ..
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Text of string
+  | Chronon of Chronon.t  (** a time point, in session day chronons *)
+  | Interval of Interval.t
+  | Array of t array
+  | Ext of string * ext  (** ADT tag, payload *)
+
+type adt_ops = {
+  tag : string;
+  pp : ext -> string option;  (** [None] when the payload is not this ADT's *)
+  equal : ext -> ext -> bool option;
+  compare : (ext -> ext -> int option) option;  (** omitted: not orderable *)
+}
+
+exception Unknown_adt of string
+
+(** Raised when comparing values of an ADT that registered no order. *)
+exception Incomparable of string
+
+(** [register_adt ops] declares a new abstract type to the engine.
+    Re-registration under the same tag replaces the previous entry. *)
+val register_adt : adt_ops -> unit
+
+(** Operations registered for a tag. @raise Unknown_adt *)
+val adt_ops : string -> adt_ops
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Structural equality; ADT payloads compare through their registry
+    entry. *)
+val equal : t -> t -> bool
+
+(** Total order within each constructor (with Int/Float coercion); values
+    of different constructors order by an arbitrary fixed constructor
+    rank, so indexes never misbehave.
+    @raise Incomparable for unordered ADTs. *)
+val compare : t -> t -> int
+
+(** Numeric view of Int/Float values. *)
+val as_float : t -> float option
+
+(** Bool view; Null is false. @raise Failure on other constructors. *)
+val is_truthy : t -> bool

@@ -1,0 +1,1 @@
+lib/interval/chronon.mli: Format

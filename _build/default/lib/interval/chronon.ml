@@ -1,0 +1,25 @@
+type t = int
+
+exception Invalid_chronon of int
+
+let check c = if c = 0 then raise (Invalid_chronon 0) else c
+let of_offset o = if o >= 0 then o + 1 else o
+let to_offset c = if c > 0 then c - 1 else c
+let add c n = of_offset (to_offset c + n)
+let diff a b = to_offset a - to_offset b
+let succ c = add c 1
+let pred c = add c (-1)
+let compare = Int.compare
+let equal = Int.equal
+let min (a : t) (b : t) = if a <= b then a else b
+let max (a : t) (b : t) = if a >= b then a else b
+
+(* Leave headroom so that offset arithmetic near the extremes cannot wrap. *)
+let minus_infinity = Int.min_int / 4
+let plus_infinity = Int.max_int / 4
+let is_finite c = c > minus_infinity && c < plus_infinity
+
+let pp ppf c =
+  if c <= minus_infinity then Format.pp_print_string ppf "-inf"
+  else if c >= plus_infinity then Format.pp_print_string ppf "+inf"
+  else Format.pp_print_int ppf c

@@ -1,0 +1,44 @@
+(** Discrete time coordinates under the paper's "no zero" convention.
+
+    A chronon is a nonzero integer position on a discrete timeline at some
+    granularity. Chronon 1 is the first unit starting at the session epoch,
+    chronon -1 the unit just before it; 0 is never a valid chronon (paper
+    section 3.1: the week interval (-4,3) contains exactly 7 days).
+
+    All arithmetic goes through a 0-based [offset] so that distances behave
+    uniformly across the missing zero. *)
+
+type t = int
+
+exception Invalid_chronon of int
+
+(** [check c] returns [c], raising {!Invalid_chronon} if [c] is 0. *)
+val check : int -> t
+
+(** [of_offset o] converts a 0-based offset to a chronon ([0 -> 1],
+    [-1 -> -1]). Total and bijective with {!to_offset}. *)
+val of_offset : int -> t
+
+(** [to_offset c] converts a chronon to its 0-based offset ([1 -> 0]). *)
+val to_offset : t -> int
+
+(** [add c n] moves [n] units forward (backward if negative), skipping 0. *)
+val add : t -> int -> t
+
+(** [diff a b] is the number of units from [b] to [a]
+    (so [add b (diff a b) = a]). *)
+val diff : t -> t -> int
+
+val succ : t -> t
+val pred : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** Least and greatest representable chronons, used as open lifespan ends. *)
+val minus_infinity : t
+val plus_infinity : t
+
+val is_finite : t -> bool
+val pp : Format.formatter -> t -> unit

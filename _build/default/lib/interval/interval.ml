@@ -1,0 +1,36 @@
+type t = { lo : Chronon.t; hi : Chronon.t }
+
+let make lo hi =
+  if lo = 0 || hi = 0 then invalid_arg "Interval.make: zero endpoint";
+  if Chronon.compare lo hi > 0 then
+    invalid_arg
+      (Printf.sprintf "Interval.make: lo (%d) > hi (%d)" lo hi);
+  { lo; hi }
+
+let singleton c = make c c
+let lo t = t.lo
+let hi t = t.hi
+let length t = Chronon.diff t.hi t.lo + 1
+let contains t c = Chronon.compare t.lo c <= 0 && Chronon.compare c t.hi <= 0
+
+let intersect a b =
+  let lo = Chronon.max a.lo b.lo and hi = Chronon.min a.hi b.hi in
+  if Chronon.compare lo hi <= 0 then Some (make lo hi) else None
+
+let hull a b = make (Chronon.min a.lo b.lo) (Chronon.max a.hi b.hi)
+let shift t n = make (Chronon.add t.lo n) (Chronon.add t.hi n)
+let overlaps a b = intersect a b <> None
+let during a b = Chronon.compare a.lo b.lo >= 0 && Chronon.compare b.hi a.hi >= 0
+let meets a b = Chronon.equal a.hi b.lo
+let before a b = Chronon.compare a.hi b.lo <= 0
+let le a b = Chronon.compare a.lo b.lo <= 0 && Chronon.compare b.hi a.hi >= 0
+let starts a b = Chronon.equal a.lo b.lo && Chronon.compare a.hi b.hi <= 0
+let finishes a b = Chronon.equal a.hi b.hi && Chronon.compare a.lo b.lo >= 0
+let equal a b = Chronon.equal a.lo b.lo && Chronon.equal a.hi b.hi
+
+let compare a b =
+  let c = Chronon.compare a.lo b.lo in
+  if c <> 0 then c else Chronon.compare a.hi b.hi
+
+let pp ppf t = Format.fprintf ppf "(%a,%a)" Chronon.pp t.lo Chronon.pp t.hi
+let to_string t = Format.asprintf "%a" pp t

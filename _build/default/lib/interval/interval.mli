@@ -1,0 +1,65 @@
+(** Closed intervals of chronons and the paper's interval relationships.
+
+    An interval [(lo, hi)] denotes every chronon [c] with
+    [lo <= c <= hi]. Both endpoints are nonzero chronons; an interval such
+    as [(-4, 3)] therefore spans exactly 7 chronons.
+
+    The relations [overlaps], [during], [meets], [before] ([<]) and [le]
+    ([<=]) follow the definitions in section 3.1 of the paper; the extra
+    Allen relations ([starts], [finishes], [equal]) are provided for
+    completeness. *)
+
+type t = private { lo : Chronon.t; hi : Chronon.t }
+
+(** [make lo hi] builds the interval. @raise Invalid_argument if [lo > hi]
+    or an endpoint is 0. *)
+val make : Chronon.t -> Chronon.t -> t
+
+(** [singleton c] is [(c, c)]. *)
+val singleton : Chronon.t -> t
+
+val lo : t -> Chronon.t
+val hi : t -> Chronon.t
+
+(** Number of chronons covered (always >= 1). *)
+val length : t -> int
+
+val contains : t -> Chronon.t -> bool
+
+(** [intersect a b] is the common sub-interval, if any. *)
+val intersect : t -> t -> t option
+
+(** [hull a b] is the smallest interval containing both. *)
+val hull : t -> t -> t
+
+(** [shift i n] moves both endpoints [n] chronons. *)
+val shift : t -> int -> t
+
+(** {2 Paper listop relations} — all read "[a] rel [b]". *)
+
+val overlaps : t -> t -> bool
+
+(** [during a b]: [a.lo >= b.lo && b.hi >= a.hi]. *)
+val during : t -> t -> bool
+
+(** [meets a b]: [a.hi = b.lo]. *)
+val meets : t -> t -> bool
+
+(** [before a b] (the paper's [<]): [a.hi <= b.lo]. *)
+val before : t -> t -> bool
+
+(** [le a b] (the paper's [<=]): [a.lo <= b.lo && b.hi >= a.hi]. *)
+val le : t -> t -> bool
+
+(** {2 Additional Allen relations} *)
+
+val starts : t -> t -> bool
+val finishes : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** Orders by [lo], then by [hi]. *)
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,79 @@
+(** Ordered collections of intervals — the paper's order-1 calendars.
+
+    The collection is kept sorted by {!Interval.compare} and free of exact
+    duplicates, but member intervals may overlap (e.g. weeks overlapping
+    month boundaries).
+
+    Two algebras coexist, as required by the paper:
+    {ul
+    {- {e element-wise} ([union], [diff], [inter]) treat the collection as a
+       set of intervals compared by equality. These back the script-level
+       [+] and [-] operators (EMP-DAYS example, section 3.3).}
+    {- {e pointwise} ([pointwise_union], ...) treat the collection as a set
+       of chronons and return coalesced disjoint intervals.}} *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+(** [of_list l] sorts and deduplicates. *)
+val of_list : Interval.t list -> t
+
+(** [of_pairs l] builds from raw endpoint pairs. *)
+val of_pairs : (int * int) list -> t
+
+val to_list : t -> Interval.t list
+val to_pairs : t -> (int * int) list
+val cardinal : t -> int
+val singleton : Interval.t -> t
+val add : Interval.t -> t -> t
+
+(** [mem i t] is interval-equality membership. *)
+val mem : Interval.t -> t -> bool
+
+val contains_chronon : t -> Chronon.t -> bool
+
+(** [nth t i] is the [i]-th interval, 1-based. @raise Not_found if out of
+    range. [nth_from_end t 1] is the last interval. *)
+val nth : t -> int -> Interval.t
+
+val nth_from_end : t -> int -> Interval.t
+val first : t -> Interval.t option
+val last : t -> Interval.t option
+
+(** Smallest interval covering the whole collection. *)
+val span : t -> Interval.t option
+
+val filter : (Interval.t -> bool) -> t -> t
+val map : (Interval.t -> Interval.t) -> t -> t
+val iter : (Interval.t -> unit) -> t -> unit
+val fold : ('a -> Interval.t -> 'a) -> 'a -> t -> 'a
+
+(** {2 Element-wise algebra} *)
+
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+val equal : t -> t -> bool
+
+(** {2 Pointwise (chronon-set) algebra} — results are coalesced. *)
+
+(** [coalesce t] merges overlapping or adjacent intervals. *)
+val coalesce : t -> t
+
+val pointwise_union : t -> t -> t
+val pointwise_inter : t -> t -> t
+val pointwise_diff : t -> t -> t
+
+(** {2 Windowing} *)
+
+(** [clip t w] keeps the parts of each member inside window [w]
+    (members overlapping [w] are cut to [w]). *)
+val clip : t -> Interval.t -> t
+
+(** [restrict t w] keeps members that overlap [w], whole. *)
+val restrict : t -> Interval.t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

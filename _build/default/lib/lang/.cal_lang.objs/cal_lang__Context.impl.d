@@ -1,0 +1,1 @@
+lib/lang/context.ml: Civil Clock Env Unit_system

@@ -1,0 +1,1 @@
+lib/lang/context.mli: Chronon Civil Clock Env Granularity Interval

@@ -1,0 +1,1 @@
+lib/lang/env.ml: Ast Granularity Hashtbl Interval_set List Parser String

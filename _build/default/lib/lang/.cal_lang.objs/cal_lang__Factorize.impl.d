@@ -1,0 +1,1 @@
+lib/lang/factorize.ml: Ast Env Gran Granularity Hashtbl List String

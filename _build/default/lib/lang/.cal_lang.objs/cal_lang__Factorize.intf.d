@@ -1,0 +1,1 @@
+lib/lang/factorize.mli: Ast Env

@@ -1,0 +1,1 @@
+lib/lang/gran.ml: Ast Env Granularity Hashtbl List String Unit_system

@@ -1,0 +1,1 @@
+lib/lang/gran.mli: Ast Env Granularity

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Calendar Calendar_gen Chronon Civil Context Env Gran Granularity Hashtbl Interval Interval_set List Listop Parser Plan Planner Printexc Printf String Unit_system

@@ -1,0 +1,1 @@
+lib/lang/plan.ml: Ast Format Granularity Interval List Listop Printf String

@@ -1,0 +1,1 @@
+lib/lang/planner.ml: Ast Chronon Civil Context Env Factorize Gran Granularity Hashtbl Interval List Listop Plan Printf Unit_system

@@ -1,0 +1,1 @@
+lib/lang/planner.mli: Ast Context Granularity Plan

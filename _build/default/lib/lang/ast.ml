@@ -1,0 +1,89 @@
+(** Abstract syntax of the calendar expression language (section 3.3).
+
+    A calendar script is a sequence of statements; expressions combine
+    named calendars with the [foreach] operator ([:op:] strict, [.op.]
+    relaxed), selection ([\[3\]/e], [\[n\]/e], [1993/e]) and the
+    element-wise [+] / [-].
+
+    Selection binds looser than foreach chains, which associate to the
+    right: [\[3\]/WEEKS:overlaps:MONTHS] is "the third of (weeks
+    overlapping each month)" — exactly the paper's Third_Weeks. *)
+
+type sel_atom =
+  | Nth of int  (** 1-based, negative counts from the end *)
+  | Last  (** the keyword [n] *)
+  | Range of int * int
+
+type selector =
+  | Index of sel_atom list
+  | Label of int  (** [1993/YEARS]: absolute selection by unit label *)
+
+type expr =
+  | Ident of string
+  | Lit of (int * int) list  (** explicit interval list [{(1,31),(32,59)}] *)
+  | Select of selector * expr
+  | Foreach of { strict : bool; op : Listop.t; lhs : expr; rhs : expr }
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Calop of { counts : int list; arg : expr }
+      (** [caloperate(e; 3)] — group successive intervals, circular counts *)
+
+type ret =
+  | Rexpr of expr
+  | Rstring of string  (** [return ("LAST TRADING DAY")] — an alert *)
+
+type stmt =
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of ret
+
+type script = stmt list
+
+(* Structural helpers used by the factorizer and planner. *)
+
+let rec fold_idents f acc = function
+  | Ident name -> f acc name
+  | Lit _ -> acc
+  | Select (_, e) -> fold_idents f acc e
+  | Foreach { lhs; rhs; _ } -> fold_idents f (fold_idents f acc lhs) rhs
+  | Union (a, b) | Diff (a, b) -> fold_idents f (fold_idents f acc a) b
+  | Calop { arg; _ } -> fold_idents f acc arg
+
+let idents_of_expr e = List.rev (fold_idents (fun acc n -> n :: acc) [] e)
+
+let rec map_idents f = function
+  | Ident name -> f name
+  | Lit l -> Lit l
+  | Select (s, e) -> Select (s, map_idents f e)
+  | Foreach { strict; op; lhs; rhs } ->
+    Foreach { strict; op; lhs = map_idents f lhs; rhs = map_idents f rhs }
+  | Union (a, b) -> Union (map_idents f a, map_idents f b)
+  | Diff (a, b) -> Diff (map_idents f a, map_idents f b)
+  | Calop { counts; arg } -> Calop { counts; arg = map_idents f arg }
+
+(** [base_calendar e] is the named calendar the values of [e] are drawn
+    from, per the paper's static "Z is an element of Y" test: selections
+    and foreach keep drawing from their (left) operand. *)
+let rec base_calendar = function
+  | Ident name -> Some name
+  | Select (_, e) -> base_calendar e
+  | Foreach { lhs; _ } -> base_calendar lhs
+  (* caloperate builds new intervals that are unions, not elements, of its
+     operand, so it has no base calendar for the Z-in-Y test. *)
+  | Calop _ | Lit _ | Union _ | Diff _ -> None
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Ident x, Ident y -> String.equal x y
+  | Lit x, Lit y -> x = y
+  | Select (s1, e1), Select (s2, e2) -> s1 = s2 && equal_expr e1 e2
+  | Foreach f1, Foreach f2 ->
+    f1.strict = f2.strict
+    && Listop.equal f1.op f2.op
+    && equal_expr f1.lhs f2.lhs
+    && equal_expr f1.rhs f2.rhs
+  | Union (a1, b1), Union (a2, b2) | Diff (a1, b1), Diff (a2, b2) ->
+    equal_expr a1 a2 && equal_expr b1 b2
+  | Calop c1, Calop c2 -> c1.counts = c2.counts && equal_expr c1.arg c2.arg
+  | (Ident _ | Lit _ | Select _ | Foreach _ | Union _ | Diff _ | Calop _), _ -> false

@@ -1,0 +1,35 @@
+(** Evaluation context: the environment, the session epoch, the calendar's
+    lifespan (default generation bounds) and the simulated clock. *)
+
+type t = {
+  env : Env.t;
+  epoch : Civil.date;
+  lifespan : Civil.date * Civil.date;
+  clock : Clock.t option;
+  max_intervals : int;
+  fuel : int;  (** iteration bound for script [while] loops *)
+}
+
+let create ?(epoch = Unit_system.default_epoch) ?lifespan ?clock
+    ?(max_intervals = 1_000_000) ?(fuel = 10_000) ?env () =
+  let lifespan =
+    match lifespan with
+    | Some l -> l
+    | None ->
+      (* Default lifespan: 40 years starting at the epoch year. *)
+      ( Civil.make epoch.Civil.year 1 1,
+        Civil.make (epoch.Civil.year + 39) 12 31 )
+  in
+  let env = match env with Some e -> e | None -> Env.create () in
+  { env; epoch; lifespan; clock; max_intervals; fuel }
+
+(** Lifespan expressed as an interval of [g]-chronons. *)
+let lifespan_in t g =
+  let d1, d2 = t.lifespan in
+  Unit_system.chronon_span_of_dates ~epoch:t.epoch g d1 d2
+
+(** The day chronon for "now"; requires a clock. *)
+let today_exn t =
+  match t.clock with
+  | Some c -> Clock.today ~epoch:t.epoch c
+  | None -> failwith "calendar context has no clock: `today' is undefined"

@@ -1,0 +1,30 @@
+(** Evaluation context: the environment, the session epoch, the calendar
+    lifespan (default generation bounds) and the simulated clock. *)
+
+type t = {
+  env : Env.t;
+  epoch : Civil.date;  (** day chronon 1 starts here *)
+  lifespan : Civil.date * Civil.date;
+  clock : Clock.t option;
+  max_intervals : int;  (** generation guard per [generate] call *)
+  fuel : int;  (** iteration bound for script [while] loops *)
+}
+
+(** Defaults: epoch Jan 1 1987 (the paper's system start date), a 40-year
+    lifespan from the epoch year, no clock, 1M-interval generation guard,
+    10k loop fuel. *)
+val create :
+  ?epoch:Civil.date ->
+  ?lifespan:Civil.date * Civil.date ->
+  ?clock:Clock.t ->
+  ?max_intervals:int ->
+  ?fuel:int ->
+  ?env:Env.t ->
+  unit ->
+  t
+
+(** Lifespan expressed as an interval of [g]-chronons. *)
+val lifespan_in : t -> Granularity.t -> Interval.t
+
+(** The day chronon for "now". @raise Failure without a clock. *)
+val today_exn : t -> Chronon.t

@@ -1,0 +1,48 @@
+(** Calendar definitions visible to scripts.
+
+    A name resolves (case-insensitively) to one of:
+    {ul
+    {- a {e basic} calendar (SECONDS ... CENTURY), generated on demand;}
+    {- a {e derived} calendar, defined by a script (the CALENDARS table's
+       derivation-script);}
+    {- a {e stored} calendar with explicit values (e.g. HOLIDAYS);}
+    {- the builtin [today], resolved against the evaluation clock.}} *)
+
+type def =
+  | Basic of Granularity.t
+  | Derived of { script : Ast.script; source : string }
+  | Stored of { values : Interval_set.t; granularity : Granularity.t }
+  | Today
+
+type t = { defs : (string, def) Hashtbl.t }
+
+exception Unknown_calendar of string
+
+let key = String.uppercase_ascii
+
+let add t name def = Hashtbl.replace t.defs (key name) def
+
+let create () =
+  let t = { defs = Hashtbl.create 32 } in
+  List.iter (fun g -> add t (Granularity.to_string g) (Basic g)) Granularity.all;
+  add t "today" Today;
+  t
+
+let find t name = Hashtbl.find_opt t.defs (key name)
+
+let find_exn t name =
+  match find t name with Some d -> d | None -> raise (Unknown_calendar name)
+
+let mem t name = Hashtbl.mem t.defs (key name)
+let remove t name = Hashtbl.remove t.defs (key name)
+let names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.defs [])
+
+(** [define_script t ~name ~source] parses and registers a derived
+    calendar. *)
+let define_script t ~name ~source =
+  match Parser.script source with
+  | Ok script -> add t name (Derived { script; source }); Ok ()
+  | Error e -> Error e
+
+let define_stored t ~name ~granularity values =
+  add t name (Stored { values; granularity })

@@ -1,0 +1,39 @@
+(** Calendar definitions visible to scripts.
+
+    A name resolves (case-insensitively) to one of:
+    {ul
+    {- a {e basic} calendar (SECONDS ... CENTURY), generated on demand;}
+    {- a {e derived} calendar, defined by a script (the CALENDARS table's
+       derivation-script);}
+    {- a {e stored} calendar with explicit values (e.g. HOLIDAYS);}
+    {- the builtin [today], resolved against the evaluation clock.}} *)
+
+type def =
+  | Basic of Granularity.t
+  | Derived of { script : Ast.script; source : string }
+  | Stored of { values : Interval_set.t; granularity : Granularity.t }
+  | Today
+
+type t
+
+exception Unknown_calendar of string
+
+(** A fresh environment with the nine basic calendars and [today]. *)
+val create : unit -> t
+
+val add : t -> string -> def -> unit
+val find : t -> string -> def option
+
+(** @raise Unknown_calendar *)
+val find_exn : t -> string -> def
+
+val mem : t -> string -> bool
+val remove : t -> string -> unit
+
+(** Defined names, upper-cased and sorted. *)
+val names : t -> string list
+
+(** Parses and registers a derived calendar. *)
+val define_script : t -> name:string -> source:string -> (unit, string) result
+
+val define_stored : t -> name:string -> granularity:Granularity.t -> Interval_set.t -> unit

@@ -1,0 +1,103 @@
+(** Expression preparation from the parsing algorithm of section 3.4:
+    derived calendars are replaced by their derivation scripts (step 1) and
+    redundant foreach stages are factorized away (step 2).
+
+    The factorization rule: in [{(X:Op1:Y):Op2:Z}], when granularity(Y) =
+    granularity(Z) and Z is drawn from Y (statically: Z's base calendar is
+    Y), the outer stage is redundant and the expression reduces to
+    [{X:Op1:Z}]. The paper adds "except when Op1 is <= and Op2 is <=, use
+    Op2" — vacuous as printed (the two operators are then equal); we keep
+    Op1, which coincides with the exception. *)
+
+exception Cyclic_definition of string
+
+(* A derivation script is inlinable when it is straight-line: a sequence
+   of assignments followed by `return (expr)`. Scripts with if/while stay
+   opaque and are executed by the interpreter instead. *)
+let straight_line script =
+  let subst = Hashtbl.create 8 in
+  let substitute e =
+    Ast.map_idents
+      (fun n ->
+        match Hashtbl.find_opt subst (String.uppercase_ascii n) with
+        | Some e' -> e'
+        | None -> Ast.Ident n)
+      e
+  in
+  let rec go = function
+    | [] -> None
+    | Ast.Assign (x, e) :: rest ->
+      Hashtbl.replace subst (String.uppercase_ascii x) (substitute e);
+      go rest
+    | Ast.Return (Ast.Rexpr e) :: _ -> Some (substitute e)
+    | (Ast.Return (Ast.Rstring _) | Ast.If _ | Ast.While _) :: _ -> None
+  in
+  go script
+
+let rec inline ?(stack = []) env e =
+  let rec go e =
+    match e with
+    | Ast.Ident name -> (
+      let k = String.uppercase_ascii name in
+      match Env.find env name with
+      | Some (Env.Derived { script; _ }) -> (
+        if List.mem k stack then raise (Cyclic_definition name);
+        match straight_line script with
+        | Some body -> inline ~stack:(k :: stack) env body
+        | None -> e)
+      | Some (Env.Basic _ | Env.Stored _ | Env.Today) | None -> e)
+    | Ast.Lit _ -> e
+    | Ast.Select (sel, inner) -> Ast.Select (sel, go inner)
+    | Ast.Foreach { strict; op; lhs; rhs } ->
+      Ast.Foreach { strict; op; lhs = go lhs; rhs = go rhs }
+    | Ast.Union (a, b) -> Ast.Union (go a, go b)
+    | Ast.Diff (a, b) -> Ast.Diff (go a, go b)
+    | Ast.Calop { counts; arg } -> Ast.Calop { counts; arg = go arg }
+  in
+  go e
+
+(* Z is drawn from Y and has the same granularity. *)
+let factorable env ~y_name z =
+  (match Ast.base_calendar z with
+  | Some base -> String.uppercase_ascii base = String.uppercase_ascii y_name
+  | None -> false)
+  &&
+  match (Gran.of_expr env (Ast.Ident y_name), Gran.of_expr env z) with
+  | Some gy, Some gz -> Granularity.equal gy gz
+  | _ -> false
+
+let rewrite env e =
+  let changed = ref true in
+  let rec pass e =
+    match e with
+    | Ast.Ident _ | Ast.Lit _ -> e
+    | Ast.Select (sel, inner) -> Ast.Select (sel, pass inner)
+    | Ast.Union (a, b) -> Ast.Union (pass a, pass b)
+    | Ast.Diff (a, b) -> Ast.Diff (pass a, pass b)
+    | Ast.Calop { counts; arg } -> Ast.Calop { counts; arg = pass arg }
+    | Ast.Foreach { strict; op; lhs; rhs } -> (
+      let lhs = pass lhs and rhs = pass rhs in
+      match lhs with
+      | Ast.Foreach { strict = s1; op = op1; lhs = x; rhs = Ast.Ident y }
+        when factorable env ~y_name:y rhs ->
+        changed := true;
+        Ast.Foreach { strict = s1; op = op1; lhs = x; rhs }
+      | Ast.Select (sel, Ast.Foreach { strict = s1; op = op1; lhs = x; rhs = Ast.Ident y })
+        when factorable env ~y_name:y rhs ->
+        changed := true;
+        Ast.Select (sel, Ast.Foreach { strict = s1; op = op1; lhs = x; rhs })
+      | _ -> Ast.Foreach { strict; op; lhs; rhs })
+  in
+  let rec fix e n =
+    if n = 0 then e
+    else begin
+      changed := false;
+      let e' = pass e in
+      if !changed then fix e' (n - 1) else e'
+    end
+  in
+  fix e 64
+
+(** Full preparation: inline derivation scripts, then factorize to a
+    fixpoint. *)
+let factorize env e = rewrite env (inline env e)

@@ -1,0 +1,24 @@
+(** Expression preparation from the parsing algorithm of section 3.4:
+    derived calendars are replaced by their derivation scripts (step 1)
+    and redundant foreach stages are factorized away (step 2).
+
+    The factorization rule: in [{(X:Op1:Y):Op2:Z}], when granularity(Y) =
+    granularity(Z) and Z is drawn from Y (statically: Z's base calendar is
+    Y), the outer stage is redundant and the expression reduces to
+    [{X:Op1:Z}]. The paper adds "except when Op1 is <= and Op2 is <=, use
+    Op2" — vacuous as printed; we keep Op1, which coincides with the
+    exception. *)
+
+exception Cyclic_definition of string
+
+(** Replaces derived calendars by their straight-line derivation scripts
+    (assignments + [return expr]); scripts with control flow stay opaque
+    and are executed by the interpreter instead.
+    @raise Cyclic_definition *)
+val inline : ?stack:string list -> Env.t -> Ast.expr -> Ast.expr
+
+(** The factorization rewrite, applied bottom-up to a fixpoint. *)
+val rewrite : Env.t -> Ast.expr -> Ast.expr
+
+(** [factorize env e] = [rewrite env (inline env e)]. *)
+val factorize : Env.t -> Ast.expr -> Ast.expr

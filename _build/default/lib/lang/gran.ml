@@ -1,0 +1,138 @@
+(** Granularity analysis of calendar expressions (parser step 4: determine
+    the smallest time unit so every calendar can be expressed in it).
+
+    [of_expr] is the granularity of the {e values} an expression denotes
+    (a foreach keeps its left operand's granularity; a selection keeps its
+    operand's). [common_unit_of_expr] is the unit evaluation plans
+    generate in: the coarsest granularity that is at least as fine as
+    everything mentioned {e and} subdivides all of it exactly (WEEKS do
+    not subdivide MONTHS, so a week/month expression is generated in
+    DAYS). *)
+
+exception Cyclic_definition of string
+
+let rec def_granularity env ~stack name =
+  if List.mem (String.uppercase_ascii name) stack then raise (Cyclic_definition name);
+  match Env.find env name with
+  | None -> None (* script-local variable: no global granularity *)
+  | Some (Env.Basic g) -> Some g
+  | Some (Env.Stored { granularity; _ }) -> Some granularity
+  | Some Env.Today -> Some Granularity.Days
+  | Some (Env.Derived { script; _ }) ->
+    script_granularity env ~stack:(String.uppercase_ascii name :: stack) script
+
+and script_granularity env ~stack script =
+  let locals = Hashtbl.create 8 in
+  let rec expr_gran e =
+    match e with
+    | Ast.Ident name -> (
+      match Hashtbl.find_opt locals (String.uppercase_ascii name) with
+      | Some g -> g
+      | None -> def_granularity env ~stack name)
+    | Ast.Lit _ -> None
+    | Ast.Select (_, e) -> expr_gran e
+    | Ast.Foreach { lhs; _ } -> expr_gran lhs
+    | Ast.Calop { arg; _ } -> expr_gran arg
+    | Ast.Union (a, b) | Ast.Diff (a, b) -> (
+      match (expr_gran a, expr_gran b) with
+      | Some x, Some y -> Some (Granularity.finer x y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None)
+  in
+  let result = ref None in
+  let rec walk_stmts stmts =
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Ast.Assign (name, e) ->
+          Hashtbl.replace locals (String.uppercase_ascii name) (expr_gran e)
+        | Ast.Return (Ast.Rexpr e) -> if !result = None then result := expr_gran e
+        | Ast.Return (Ast.Rstring _) -> ()
+        | Ast.If (_, then_, else_) -> walk_stmts then_; walk_stmts else_
+        | Ast.While (_, body) -> walk_stmts body)
+      stmts
+  in
+  walk_stmts script;
+  !result
+
+(** Granularity of the expression's values, when statically known. *)
+let of_expr env e =
+  let rec go = function
+    | Ast.Ident name -> def_granularity env ~stack:[] name
+    | Ast.Lit _ -> None
+    | Ast.Select (_, e) -> go e
+    | Ast.Foreach { lhs; _ } -> go lhs
+    | Ast.Calop { arg; _ } -> go arg
+    | Ast.Union (a, b) | Ast.Diff (a, b) -> (
+      match (go a, go b) with
+      | Some x, Some y -> Some (Granularity.finer x y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None)
+  in
+  go e
+
+(** The coarsest granularity fine enough to express every granularity in
+    [grans] exactly. Falls back to Days for an empty list. *)
+let common_unit grans =
+  match grans with
+  | [] -> Granularity.Days
+  | g0 :: _ ->
+    let finest = List.fold_left Granularity.finer g0 grans in
+    let ok g =
+      Granularity.compare_fineness g finest <= 0
+      && List.for_all
+           (fun c -> Granularity.equal c g || Unit_system.aligned ~coarse:c ~fine:g)
+           grans
+    in
+    (* Coarsest acceptable candidate; Seconds always qualifies. *)
+    (match List.find_opt ok (List.rev Granularity.all) with
+    | Some g -> g
+    | None -> Granularity.Seconds)
+
+(* All granularities mentioned anywhere (inside derived calendars too). *)
+let collect_grans env roots =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit_name name =
+    let k = String.uppercase_ascii name in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      match Env.find env name with
+      | None -> () (* script-local *)
+      | Some (Env.Basic g) -> acc := g :: !acc
+      | Some (Env.Stored { granularity; _ }) -> acc := granularity :: !acc
+      | Some Env.Today -> acc := Granularity.Days :: !acc
+      | Some (Env.Derived { script; _ }) -> visit_script script
+    end
+  and visit_expr e = List.iter visit_name (Ast.idents_of_expr e)
+  and visit_script stmts =
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Ast.Assign (name, e) ->
+          (* Locals shadow globals from here on; mark seen. *)
+          visit_expr e;
+          Hashtbl.replace seen (String.uppercase_ascii name) ()
+        | Ast.Return (Ast.Rexpr e) -> visit_expr e
+        | Ast.Return (Ast.Rstring _) -> ()
+        | Ast.If (cond, then_, else_) ->
+          visit_expr cond; visit_script then_; visit_script else_
+        | Ast.While (cond, body) -> visit_expr cond; visit_script body)
+      stmts
+  in
+  List.iter (function `Expr e -> visit_expr e | `Script s -> visit_script s) roots;
+  !acc
+
+(** All granularities an expression mentions, directly or via
+    derivations. *)
+let grans_of_expr env e = collect_grans env [ `Expr e ]
+
+(** All granularities a script mentions. *)
+let grans_of_script env script = collect_grans env [ `Script script ]
+
+(** The generation unit for an expression: fine enough for, and aligned
+    with, every calendar mentioned (directly or via derivations). *)
+let finest_of_expr env e = common_unit (grans_of_expr env e)
+
+(** The generation unit for a whole script. *)
+let finest_of_script env script = common_unit (grans_of_script env script)

@@ -1,0 +1,28 @@
+(** Granularity analysis of calendar expressions (parser step 4: determine
+    the smallest time unit so every calendar can be expressed in it). *)
+
+exception Cyclic_definition of string
+
+(** Granularity of the {e values} an expression denotes: a foreach keeps
+    its left operand's granularity, a selection and [caloperate] keep
+    their operand's, set operations take the finer side. [None] when not
+    statically known (literals, script locals).
+    @raise Cyclic_definition on mutually recursive calendars. *)
+val of_expr : Env.t -> Ast.expr -> Granularity.t option
+
+(** The coarsest granularity fine enough to express every granularity in
+    the list exactly (alignment-aware: Weeks do not subdivide Months, so
+    a week/month mix descends to Days). Days for an empty list. *)
+val common_unit : Granularity.t list -> Granularity.t
+
+(** All granularities an expression mentions, directly or via derivation
+    scripts. *)
+val grans_of_expr : Env.t -> Ast.expr -> Granularity.t list
+
+val grans_of_script : Env.t -> Ast.script -> Granularity.t list
+
+(** The generation unit for an expression: [common_unit] of everything it
+    mentions. *)
+val finest_of_expr : Env.t -> Ast.expr -> Granularity.t
+
+val finest_of_script : Env.t -> Ast.script -> Granularity.t

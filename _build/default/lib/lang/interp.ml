@@ -1,0 +1,272 @@
+(** Evaluation of calendar expressions and scripts.
+
+    Two evaluation strategies coexist:
+    {ul
+    {- [eval_expr_naive] — the reference semantics: every basic calendar
+       is generated over the whole lifespan, mirroring an unoptimized
+       system;}
+    {- [eval_expr_planned] — parses through {!Planner} and executes the
+       bounded plan, the paper's optimized path.}}
+
+    Both report {!stats} so the benchmarks can compare generated interval
+    counts directly. Scripts (with [if] / [while] control flow) run under
+    [exec_script]; a [while (cond) ;] whose condition holds raises
+    {!Waiting}, which is how DBCRON-style alerts suspend until their time
+    arrives. *)
+
+type value =
+  | VCal of Calendar.t
+  | VStr of string
+
+type stats = {
+  mutable generated_intervals : int;
+  mutable gen_calls : int;
+  mutable load_calls : int;
+  mutable instr_count : int;
+}
+
+let fresh_stats () =
+  { generated_intervals = 0; gen_calls = 0; load_calls = 0; instr_count = 0 }
+
+exception Waiting
+exception Fuel_exhausted
+exception Eval_error of string
+
+let sel_atoms atoms =
+  List.map
+    (function
+      | Ast.Nth i -> Calendar.Nth i
+      | Ast.Last -> Calendar.Last
+      | Ast.Range (a, b) -> Calendar.Range (a, b))
+    atoms
+
+(* Keep only the intervals lying inside [w]; used for label selection. *)
+let filter_during w cal =
+  Calendar.foreach ~strict:true Listop.During cal (Calendar.of_interval w)
+
+let today_calendar (ctx : Context.t) ~fine =
+  let day = Context.today_exn ctx in
+  Calendar.leaf
+    (Calendar_gen.refine ~epoch:ctx.Context.epoch ~from_:Granularity.Days ~to_:fine
+       (Interval_set.singleton (Interval.singleton day)))
+
+let stored_calendar (ctx : Context.t) ~fine ~granularity values =
+  Calendar.leaf (Calendar_gen.refine ~epoch:ctx.Context.epoch ~from_:granularity ~to_:fine values)
+
+let label_window_naive (ctx : Context.t) ~fine x gran =
+  let span y1 y2 =
+    Unit_system.chronon_span_of_dates ~epoch:ctx.Context.epoch fine (Civil.make y1 1 1)
+      (Civil.make y2 12 31)
+  in
+  let floor_div a b =
+    let q = a / b and r = a mod b in
+    if r <> 0 && r < 0 <> (b < 0) then q - 1 else q
+  in
+  match gran with
+  | Some Granularity.Years -> span x x
+  | Some Granularity.Decades ->
+    let d0 = floor_div x 10 * 10 in
+    span d0 (d0 + 9)
+  | Some Granularity.Centuries ->
+    let c0 = floor_div x 100 * 100 in
+    span c0 (c0 + 99)
+  | _ -> raise (Eval_error (Printf.sprintf "label selection %d/ needs a YEARS or coarser operand" x))
+
+(* ------------------------------------------------------------------ *)
+(* Naive evaluation: generate over the whole window. *)
+
+let rec eval_naive (ctx : Context.t) ~stats ~fine ~window ~locals e =
+  match e with
+  | Ast.Ident name -> (
+    match Hashtbl.find_opt locals (String.uppercase_ascii name) with
+    | Some cal -> cal
+    | None -> (
+      match Env.find_exn ctx.Context.env name with
+      | Env.Basic g ->
+        let s =
+          Calendar_gen.generate ~max_intervals:ctx.Context.max_intervals
+            ~epoch:ctx.Context.epoch ~coarse:g ~fine ~window ()
+        in
+        stats.gen_calls <- stats.gen_calls + 1;
+        stats.generated_intervals <- stats.generated_intervals + Interval_set.cardinal s;
+        Calendar.leaf s
+      | Env.Stored { values; granularity } ->
+        stats.load_calls <- stats.load_calls + 1;
+        stored_calendar ctx ~fine ~granularity values
+      | Env.Today -> today_calendar ctx ~fine
+      | Env.Derived { script; _ } -> (
+        match exec_script_internal ctx ~stats ~fine ~window script with
+        | Some (VCal cal) -> cal
+        | Some (VStr s) ->
+          raise (Eval_error (Printf.sprintf "calendar %s returned a string %S" name s))
+        | None -> raise (Eval_error (Printf.sprintf "calendar %s returned no value" name)))))
+  | Ast.Lit pairs -> Calendar.of_pairs pairs
+  | Ast.Select (Ast.Index atoms, inner) ->
+    Calendar.select (sel_atoms atoms) (eval_naive ctx ~stats ~fine ~window ~locals inner)
+  | Ast.Select (Ast.Label x, inner) ->
+    let cal = eval_naive ctx ~stats ~fine ~window ~locals inner in
+    let w = label_window_naive ctx ~fine x (Gran.of_expr ctx.Context.env inner) in
+    filter_during w cal
+  | Ast.Foreach { strict; op; lhs; rhs } ->
+    let l = eval_naive ctx ~stats ~fine ~window ~locals lhs in
+    let r = eval_naive ctx ~stats ~fine ~window ~locals rhs in
+    Calendar.foreach ~strict op l r
+  | Ast.Union (a, b) ->
+    Calendar.union
+      (eval_naive ctx ~stats ~fine ~window ~locals a)
+      (eval_naive ctx ~stats ~fine ~window ~locals b)
+  | Ast.Diff (a, b) ->
+    Calendar.diff
+      (eval_naive ctx ~stats ~fine ~window ~locals a)
+      (eval_naive ctx ~stats ~fine ~window ~locals b)
+  | Ast.Calop { counts; arg } ->
+    let v = eval_naive ctx ~stats ~fine ~window ~locals arg in
+    Calendar.leaf (Calendar_gen.caloperate ~counts (Calendar.flatten v))
+
+(* ------------------------------------------------------------------ *)
+(* Script execution (if / while / return). *)
+
+and exec_script_internal ctx ~stats ~fine ~window script =
+  let locals = Hashtbl.create 8 in
+  let eval e = eval_naive ctx ~stats ~fine ~window ~locals e in
+  let truthy e = not (Calendar.is_empty (eval e)) in
+  let rec run = function
+    | [] -> None
+    | stmt :: rest -> (
+      match stmt with
+      | Ast.Assign (x, e) ->
+        Hashtbl.replace locals (String.uppercase_ascii x) (eval e);
+        run rest
+      | Ast.Return (Ast.Rexpr e) -> Some (VCal (eval e))
+      | Ast.Return (Ast.Rstring s) -> Some (VStr s)
+      | Ast.If (cond, then_, else_) -> (
+        match run (if truthy cond then then_ else else_) with
+        | Some v -> Some v
+        | None -> run rest)
+      | Ast.While (cond, []) -> if truthy cond then raise Waiting else run rest
+      | Ast.While (cond, body) ->
+        let fuel = ref ctx.Context.fuel in
+        let rec loop () =
+          if truthy cond then begin
+            if !fuel = 0 then raise Fuel_exhausted;
+            decr fuel;
+            match run body with Some v -> Some v | None -> loop ()
+          end
+          else None
+        in
+        (match loop () with Some v -> Some v | None -> run rest))
+  in
+  run script
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution. *)
+
+let run_plan (ctx : Context.t) (plan : Plan.t) =
+  let stats = fresh_stats () in
+  let fine = plan.Plan.fine in
+  let regs = Array.make (max plan.Plan.nregs 1) Calendar.empty in
+  let load name window =
+    stats.load_calls <- stats.load_calls + 1;
+    match Env.find_exn ctx.Context.env name with
+    | Env.Stored { values; granularity } -> (
+      let cal = stored_calendar ctx ~fine ~granularity values in
+      match window with None -> Calendar.empty | Some w -> Calendar.restrict cal w)
+    | Env.Today -> today_calendar ctx ~fine
+    | Env.Derived { script; _ } -> (
+      match window with
+      | None -> Calendar.empty
+      | Some w -> (
+        match exec_script_internal ctx ~stats ~fine ~window:w script with
+        | Some (VCal cal) -> cal
+        | Some (VStr s) ->
+          raise (Eval_error (Printf.sprintf "calendar %s returned a string %S" name s))
+        | None -> raise (Eval_error (Printf.sprintf "calendar %s returned no value" name))))
+    | Env.Basic _ -> raise (Eval_error ("plan loads basic calendar " ^ name))
+  in
+  List.iter
+    (fun instr ->
+      stats.instr_count <- stats.instr_count + 1;
+      match instr with
+      | Plan.Gen { dst; coarse; window } ->
+        let s =
+          match window with
+          | None -> Interval_set.empty
+          | Some w ->
+            Calendar_gen.generate ~max_intervals:ctx.Context.max_intervals
+              ~epoch:ctx.Context.epoch ~coarse ~fine ~window:w ()
+        in
+        stats.gen_calls <- stats.gen_calls + 1;
+        stats.generated_intervals <- stats.generated_intervals + Interval_set.cardinal s;
+        regs.(dst) <- Calendar.leaf s
+      | Plan.Load { dst; name; window } -> regs.(dst) <- load name window
+      | Plan.Mklit { dst; pairs } -> regs.(dst) <- Calendar.of_pairs pairs
+      | Plan.Foreach_r { dst; strict; op; lhs; rhs } ->
+        regs.(dst) <- Calendar.foreach ~strict op regs.(lhs) regs.(rhs)
+      | Plan.Select_r { dst; atoms; src } ->
+        regs.(dst) <- Calendar.select (sel_atoms atoms) regs.(src)
+      | Plan.Select_label { dst; window; src } ->
+        regs.(dst) <-
+          (match window with None -> Calendar.empty | Some w -> filter_during w regs.(src))
+      | Plan.Union_r { dst; a; b } -> regs.(dst) <- Calendar.union regs.(a) regs.(b)
+      | Plan.Diff_r { dst; a; b } -> regs.(dst) <- Calendar.diff regs.(a) regs.(b)
+      | Plan.Calop_r { dst; counts; src } ->
+        regs.(dst) <- Calendar.leaf (Calendar_gen.caloperate ~counts (Calendar.flatten regs.(src))))
+    plan.Plan.instrs;
+  (regs.(plan.Plan.result), stats)
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points. *)
+
+(* Default evaluation window: the lifespan extended by one pad so that
+   units straddling its boundary are generated whole. *)
+let default_window ctx ~fine grans =
+  let lifespan = Context.lifespan_in ctx fine in
+  let pad = Planner.pad_for ~fine grans in
+  Interval.make
+    (Chronon.add (Interval.lo lifespan) (-pad))
+    (Chronon.add (Interval.hi lifespan) pad)
+
+(** Reference evaluation: whole-lifespan generation, no factorization.
+    An explicit [window] is used as given (boundary units clipped). *)
+let eval_expr_naive (ctx : Context.t) ?window e =
+  let stats = fresh_stats () in
+  let fine = Gran.finest_of_expr ctx.Context.env e in
+  let window =
+    match window with
+    | Some w -> w
+    | None -> default_window ctx ~fine (Gran.grans_of_expr ctx.Context.env e)
+  in
+  let cal = eval_naive ctx ~stats ~fine ~window ~locals:(Hashtbl.create 1) e in
+  (cal, stats)
+
+(** Optimized evaluation through the planner. *)
+let eval_expr_planned (ctx : Context.t) e = run_plan ctx (Planner.plan ctx e)
+
+(** Run a script; expressions inside are evaluated naively over [window]
+    (or the lifespan). *)
+let exec_script (ctx : Context.t) ?window script =
+  let stats = fresh_stats () in
+  let fine = Gran.finest_of_script ctx.Context.env script in
+  let window =
+    match window with
+    | Some w -> w
+    | None -> default_window ctx ~fine (Gran.grans_of_script ctx.Context.env script)
+  in
+  (exec_script_internal ctx ~stats ~fine ~window script, stats)
+
+(** Parse-and-evaluate convenience: tries an expression first, then a
+    script. *)
+let eval_string (ctx : Context.t) input =
+  match Parser.expr input with
+  | Ok e -> (
+    match eval_expr_planned ctx e with
+    | cal, _ -> Ok (VCal cal)
+    | exception exn -> Error (Printexc.to_string exn))
+  | Error _ -> (
+    match Parser.script input with
+    | Error e -> Error e
+    | Ok script -> (
+      match exec_script ctx script with
+      | Some v, _ -> Ok v
+      | None, _ -> Error "script returned no value"
+      | exception exn -> Error (Printexc.to_string exn)))

@@ -1,0 +1,54 @@
+(** Evaluation of calendar expressions and scripts.
+
+    Two strategies coexist:
+    {ul
+    {- {!eval_expr_naive} — the reference semantics: every basic calendar
+       is generated over the whole (padded) lifespan, mirroring an
+       unoptimized system;}
+    {- {!eval_expr_planned} — compiles through {!Planner} and executes the
+       bounded plan, the paper's optimized path.}}
+
+    Both report {!stats} so benchmarks can compare generated interval
+    counts directly. *)
+
+type value =
+  | VCal of Calendar.t
+  | VStr of string  (** an alert message from [return ("...")] *)
+
+type stats = {
+  mutable generated_intervals : int;
+  mutable gen_calls : int;
+  mutable load_calls : int;
+  mutable instr_count : int;
+}
+
+val fresh_stats : unit -> stats
+
+(** Raised by [while (cond) ;] when the condition still holds: the script
+    suspends until (simulated) time moves — DBCRON-style alerts re-enter
+    it on later probes. *)
+exception Waiting
+
+(** A bodied [while] exceeded the context's fuel. *)
+exception Fuel_exhausted
+
+exception Eval_error of string
+
+(** Reference evaluation over the padded lifespan (or an explicit
+    [window], used as given — boundary units clipped). *)
+val eval_expr_naive : Context.t -> ?window:Interval.t -> Ast.expr -> Calendar.t * stats
+
+(** Optimized evaluation through the planner. *)
+val eval_expr_planned : Context.t -> Ast.expr -> Calendar.t * stats
+
+(** Execute a compiled plan. *)
+val run_plan : Context.t -> Plan.t -> Calendar.t * stats
+
+(** Run a script (assignments, [if], [while], [return]); [None] when it
+    falls off the end without returning.
+    @raise Waiting / Fuel_exhausted / Eval_error *)
+val exec_script : Context.t -> ?window:Interval.t -> Ast.script -> value option * stats
+
+(** Parse-and-evaluate convenience: tries an expression first (planned),
+    then a script. *)
+val eval_string : Context.t -> string -> (value, string) result

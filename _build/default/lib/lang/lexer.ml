@@ -1,0 +1,126 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COLON
+  | DOT
+  | DOTDOT
+  | SLASH
+  | SEMI
+  | COMMA
+  | PLUS
+  | MINUS
+  | EQUAL
+  | LT
+  | LE
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | EOF
+
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | _ -> None
+
+let tokenize s =
+  let n = String.length s in
+  let rec skip_comment i depth =
+    if i + 1 >= n then raise (Lex_error ("unterminated comment", i))
+    else if s.[i] = '*' && s.[i + 1] = '/' then
+      if depth = 1 then i + 2 else skip_comment (i + 2) (depth - 1)
+    else if s.[i] = '/' && s.[i + 1] = '*' then skip_comment (i + 2) (depth + 1)
+    else skip_comment (i + 1) depth
+  in
+  let rec go acc i =
+    if i >= n then List.rev ((EOF, i) :: acc)
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go acc (i + 1)
+      else if c = '/' && i + 1 < n && s.[i + 1] = '*' then go acc (skip_comment (i + 2) 1)
+      else if is_ident_start c then begin
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char s.[!j] do incr j done;
+        let word = String.sub s i (!j - i) in
+        let tok = match keyword word with Some k -> k | None -> IDENT word in
+        go ((tok, i) :: acc) !j
+      end
+      else if is_digit c then begin
+        let j = ref (i + 1) in
+        while !j < n && is_digit s.[!j] do incr j done;
+        go ((INT (int_of_string (String.sub s i (!j - i))), i) :: acc) !j
+      end
+      else if c = '"' then begin
+        let j = ref (i + 1) in
+        while !j < n && s.[!j] <> '"' do incr j done;
+        if !j >= n then raise (Lex_error ("unterminated string", i));
+        go ((STRING (String.sub s (i + 1) (!j - i - 1)), i) :: acc) (!j + 1)
+      end
+      else
+        let two = if i + 1 < n then String.sub s i 2 else "" in
+        match two with
+        | ".." -> go ((DOTDOT, i) :: acc) (i + 2)
+        | "<=" -> go ((LE, i) :: acc) (i + 2)
+        | _ -> (
+          let single t = go ((t, i) :: acc) (i + 1) in
+          match c with
+          | '[' -> single LBRACKET
+          | ']' -> single RBRACKET
+          | '{' -> single LBRACE
+          | '}' -> single RBRACE
+          | '(' -> single LPAREN
+          | ')' -> single RPAREN
+          | ':' -> single COLON
+          | '.' -> single DOT
+          | '/' -> single SLASH
+          | ';' -> single SEMI
+          | ',' -> single COMMA
+          | '+' -> single PLUS
+          | '-' -> single MINUS
+          | '=' -> single EQUAL
+          | '<' -> single LT
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i)))
+  in
+  go [] 0
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | STRING s -> Printf.sprintf "%S" s
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COLON -> ":"
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | SLASH -> "/"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | EQUAL -> "="
+  | LT -> "<"
+  | LE -> "<="
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | EOF -> "<eof>"

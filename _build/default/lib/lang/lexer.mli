@@ -1,0 +1,41 @@
+(** Hand-written lexer for the calendar expression language.
+
+    Comments are [/* ... */]. Identifiers are letters, digits and
+    underscores, starting with a letter or underscore (the paper's
+    hyphenated names like [Jan-1993] are written [Jan_1993] here, since
+    [-] is the element-wise difference operator). *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COLON
+  | DOT
+  | DOTDOT
+  | SLASH
+  | SEMI
+  | COMMA
+  | PLUS
+  | MINUS
+  | EQUAL
+  | LT
+  | LE
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | EOF
+
+exception Lex_error of string * int  (** message, byte position *)
+
+(** [tokenize s] lexes the whole input, ending with [EOF]. Each token
+    carries its starting byte position. *)
+val tokenize : string -> (token * int) list
+
+val token_to_string : token -> string

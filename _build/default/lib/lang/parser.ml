@@ -1,0 +1,232 @@
+exception Parse_error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let peek_pos st = snd st.toks.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else Lexer.EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg = raise (Parse_error (msg, peek_pos st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_to_string tok)
+         (Lexer.token_to_string (peek st)))
+
+let parse_op st =
+  match peek st with
+  | Lexer.IDENT s -> (
+    match Listop.of_string s with
+    | Some op -> advance st; op
+    | None -> fail st (Printf.sprintf "unknown listop %s" s))
+  | Lexer.LT -> advance st; Listop.Before
+  | Lexer.LE -> advance st; Listop.Le
+  | t -> fail st (Printf.sprintf "expected listop, found %s" (Lexer.token_to_string t))
+
+let parse_signed_int st =
+  match peek st with
+  | Lexer.INT i -> advance st; i
+  | Lexer.MINUS -> (
+    advance st;
+    match peek st with
+    | Lexer.INT i -> advance st; -i
+    | t -> fail st (Printf.sprintf "expected integer after -, found %s" (Lexer.token_to_string t)))
+  | t -> fail st (Printf.sprintf "expected integer, found %s" (Lexer.token_to_string t))
+
+let parse_sel_atom st =
+  match peek st with
+  | Lexer.IDENT "n" -> advance st; Ast.Last
+  | _ ->
+    let a = parse_signed_int st in
+    if peek st = Lexer.DOTDOT then begin
+      advance st;
+      let b = parse_signed_int st in
+      Ast.Range (a, b)
+    end
+    else Ast.Nth a
+
+let parse_selector_atoms st =
+  let rec go acc =
+    let a = parse_sel_atom st in
+    if peek st = Lexer.COMMA then begin advance st; go (a :: acc) end
+    else List.rev (a :: acc)
+  in
+  go []
+
+let rec parse_expr st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.Union (lhs, parse_selexpr st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.Diff (lhs, parse_selexpr st))
+    | _ -> lhs
+  in
+  loop (parse_selexpr st)
+
+and parse_selexpr st =
+  match peek st with
+  | Lexer.LBRACKET ->
+    advance st;
+    let atoms = parse_selector_atoms st in
+    expect st Lexer.RBRACKET;
+    expect st Lexer.SLASH;
+    Ast.Select (Ast.Index atoms, parse_selexpr st)
+  | Lexer.INT label when peek2 st = Lexer.SLASH ->
+    advance st;
+    advance st;
+    Ast.Select (Ast.Label label, parse_selexpr st)
+  | _ -> parse_chain st
+
+and parse_chain st =
+  let lhs = parse_atom st in
+  match peek st with
+  | Lexer.COLON ->
+    advance st;
+    let op = parse_op st in
+    expect st Lexer.COLON;
+    Ast.Foreach { strict = true; op; lhs; rhs = parse_selexpr st }
+  | Lexer.DOT ->
+    advance st;
+    let op = parse_op st in
+    expect st Lexer.DOT;
+    Ast.Foreach { strict = false; op; lhs; rhs = parse_selexpr st }
+  | _ -> lhs
+
+and parse_atom st =
+  match peek st with
+  | Lexer.IDENT name when String.lowercase_ascii name = "caloperate" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let arg = parse_expr st in
+    expect st Lexer.SEMI;
+    let rec counts acc =
+      match peek st with
+      | Lexer.INT i when i > 0 ->
+        advance st;
+        if peek st = Lexer.COMMA then begin advance st; counts (i :: acc) end
+        else List.rev (i :: acc)
+      | t -> fail st (Printf.sprintf "expected positive count, found %s" (Lexer.token_to_string t))
+    in
+    let counts = counts [] in
+    expect st Lexer.RPAREN;
+    Ast.Calop { counts; arg }
+  | Lexer.IDENT name -> advance st; Ast.Ident name
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.LBRACE ->
+    advance st;
+    let rec pairs acc =
+      expect st Lexer.LPAREN;
+      let lo = parse_signed_int st in
+      expect st Lexer.COMMA;
+      let hi = parse_signed_int st in
+      expect st Lexer.RPAREN;
+      if peek st = Lexer.COMMA then begin advance st; pairs ((lo, hi) :: acc) end
+      else List.rev ((lo, hi) :: acc)
+    in
+    let l = if peek st = Lexer.RBRACE then [] else pairs [] in
+    expect st Lexer.RBRACE;
+    Ast.Lit l
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (Lexer.token_to_string t))
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.IDENT name when peek2 st = Lexer.EQUAL ->
+    advance st;
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.SEMI;
+    Ast.Assign (name, e)
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    let then_ = parse_body st in
+    let else_ =
+      if peek st = Lexer.KW_ELSE then begin advance st; parse_body st end else []
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    if peek st = Lexer.SEMI then begin
+      advance st;
+      Ast.While (cond, [])
+    end
+    else Ast.While (cond, parse_body st)
+  | Lexer.KW_RETURN ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let r =
+      match peek st with
+      | Lexer.STRING s -> advance st; Ast.Rstring s
+      | _ -> Ast.Rexpr (parse_expr st)
+    in
+    expect st Lexer.RPAREN;
+    if peek st = Lexer.SEMI then advance st;
+    Ast.Return r
+  | t -> fail st (Printf.sprintf "expected statement, found %s" (Lexer.token_to_string t))
+
+and parse_body st =
+  if peek st = Lexer.LBRACE then begin
+    advance st;
+    let stmts = parse_stmts st in
+    expect st Lexer.RBRACE;
+    stmts
+  end
+  else [ parse_stmt st ]
+
+and parse_stmts st =
+  let rec go acc =
+    match peek st with
+    | Lexer.RBRACE | Lexer.EOF -> List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let make_state input = { toks = Array.of_list (Lexer.tokenize input); pos = 0 }
+
+let script_exn input =
+  let st = make_state input in
+  let stmts =
+    if peek st = Lexer.LBRACE then begin
+      advance st;
+      let stmts = parse_stmts st in
+      expect st Lexer.RBRACE;
+      stmts
+    end
+    else parse_stmts st
+  in
+  expect st Lexer.EOF;
+  stmts
+
+let expr_exn input =
+  let st = make_state input in
+  let e = parse_expr st in
+  expect st Lexer.EOF;
+  e
+
+let wrap f input =
+  match f input with
+  | v -> Ok v
+  | exception Parse_error (msg, pos) -> Error (Printf.sprintf "parse error at %d: %s" pos msg)
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error (Printf.sprintf "lex error at %d: %s" pos msg)
+
+let script input = wrap script_exn input
+let expr input = wrap expr_exn input

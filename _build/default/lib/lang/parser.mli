@@ -1,0 +1,31 @@
+(** Recursive-descent parser for calendar scripts and expressions.
+
+    Grammar (section 3.3), with selection binding looser than foreach
+    chains and chains associating to the right:
+
+    {v
+    script   ::= '{' stmt* '}' | stmt*
+    stmt     ::= IDENT '=' expr ';'
+               | 'if' '(' expr ')' body ('else' body)?
+               | 'while' '(' expr ')' (';' | body)
+               | 'return' '(' (STRING | expr) ')' ';'?
+    body     ::= '{' stmt* '}' | stmt
+    expr     ::= selexpr (('+' | '-') selexpr)*
+    selexpr  ::= '[' atoms ']' '/' selexpr | INT '/' selexpr | chain
+    chain    ::= atom ((':' op ':') | ('.' op '.')) selexpr | atom
+    atom     ::= IDENT | '(' expr ')' | '{' '(' int ',' int ')' ,* '}'
+    atoms    ::= (int | int '..' int | 'n') ,+
+    op       ::= 'overlaps' | 'during' | 'meets' | 'intersects' | '<' | '<='
+               | 'starts' | 'finishes' | 'equals'
+    v} *)
+
+exception Parse_error of string * int  (** message, byte position *)
+
+(** Parse a complete script (optionally wrapped in braces). *)
+val script_exn : string -> Ast.script
+
+(** Parse a single expression. *)
+val expr_exn : string -> Ast.expr
+
+val script : string -> (Ast.script, string) result
+val expr : string -> (Ast.expr, string) result

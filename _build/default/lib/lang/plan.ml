@@ -1,0 +1,74 @@
+(** Evaluation plans: the procedural statements the parser emits (the
+    CALENDARS table's eval-plan column).
+
+    A plan is a straight-line register program over calendar values whose
+    leaves are bounded [generate] calls; a window of [None] denotes a
+    statically-empty demand (e.g. a label selection outside the
+    lifespan). *)
+
+type reg = int
+
+type instr =
+  | Gen of { dst : reg; coarse : Granularity.t; window : Interval.t option }
+  | Load of { dst : reg; name : string; window : Interval.t option }
+  | Mklit of { dst : reg; pairs : (int * int) list }
+  | Foreach_r of { dst : reg; strict : bool; op : Listop.t; lhs : reg; rhs : reg }
+  | Select_r of { dst : reg; atoms : Ast.sel_atom list; src : reg }
+  | Select_label of { dst : reg; window : Interval.t option; src : reg }
+  | Union_r of { dst : reg; a : reg; b : reg }
+  | Diff_r of { dst : reg; a : reg; b : reg }
+  | Calop_r of { dst : reg; counts : int list; src : reg }
+
+type t = {
+  fine : Granularity.t;  (** chronon unit every register is expressed in *)
+  instrs : instr list;
+  result : reg;
+  nregs : int;
+}
+
+let pp_window ppf = function
+  | None -> Format.pp_print_string ppf "empty"
+  | Some w -> Interval.pp ppf w
+
+let pp_atoms ppf atoms =
+  let atom = function
+    | Ast.Nth i -> string_of_int i
+    | Ast.Last -> "n"
+    | Ast.Range (a, b) -> Printf.sprintf "%d..%d" a b
+  in
+  Format.pp_print_string ppf (String.concat "," (List.map atom atoms))
+
+let pp_instr ~fine ppf = function
+  | Gen { dst; coarse; window } ->
+    Format.fprintf ppf "t%d := generate(%a, %a, %a)" dst Granularity.pp coarse
+      Granularity.pp fine pp_window window
+  | Load { dst; name; window } ->
+    Format.fprintf ppf "t%d := load(%s, %a)" dst name pp_window window
+  | Mklit { dst; pairs } ->
+    Format.fprintf ppf "t%d := literal{%s}" dst
+      (String.concat "," (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) pairs))
+  | Foreach_r { dst; strict; op; lhs; rhs } ->
+    Format.fprintf ppf "t%d := foreach(%a, %s, t%d, t%d)" dst Listop.pp op
+      (if strict then "strict" else "relaxed")
+      lhs rhs
+  | Select_r { dst; atoms; src } ->
+    Format.fprintf ppf "t%d := select[%a](t%d)" dst pp_atoms atoms src
+  | Select_label { dst; window; src } ->
+    Format.fprintf ppf "t%d := select_label(%a, t%d)" dst pp_window window src
+  | Union_r { dst; a; b } -> Format.fprintf ppf "t%d := t%d + t%d" dst a b
+  | Diff_r { dst; a; b } -> Format.fprintf ppf "t%d := t%d - t%d" dst a b
+  | Calop_r { dst; counts; src } ->
+    Format.fprintf ppf "t%d := caloperate(t%d; %s)" dst src
+      (String.concat "," (List.map string_of_int counts))
+
+let pp ppf t =
+  Format.fprintf ppf "plan (fine=%a, result=t%d):@." Granularity.pp t.fine t.result;
+  List.iter (fun i -> Format.fprintf ppf "  %a@." (pp_instr ~fine:t.fine) i) t.instrs
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** Number of [Gen] instructions (shared subexpressions are generated once;
+    the benchmarks use this to show common-subexpression elimination). *)
+let gen_count t =
+  List.length
+    (List.filter (function Gen _ -> true | _ -> false) t.instrs)

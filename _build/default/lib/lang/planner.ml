@@ -1,0 +1,270 @@
+(** Plan construction (parser step 5): choose the generation unit, bound
+    every [generate] by the demand flowing down from selection nodes (the
+    "simple look-ahead"), and share calendars used more than once.
+
+    Demands are computed top-down: the root demands the lifespan, a label
+    selection like [1993/YEARS] narrows the demand for its operand to that
+    year, the right operand of a foreach inherits the parent demand, and
+    the left operand gets the demand widened according to the listop
+    (containment ops need one extra unit of padding at each edge so that
+    boundary-straddling units are generated whole; ordering ops like [<]
+    may reach back to the start of the lifespan). Shared subexpressions
+    take the hull of their demands and are emitted once. *)
+
+exception Plan_error of string
+
+let ub_seconds = function
+  | Granularity.Seconds -> 1
+  | Granularity.Minutes -> 60
+  | Granularity.Hours -> 3600
+  | Granularity.Days -> 86400
+  | Granularity.Weeks -> 604800
+  | Granularity.Months -> 31 * 86400
+  | Granularity.Years -> 366 * 86400
+  | Granularity.Decades -> 3653 * 86400
+  | Granularity.Centuries -> 36525 * 86400
+
+let lb_seconds = function
+  | Granularity.Seconds -> 1
+  | Granularity.Minutes -> 60
+  | Granularity.Hours -> 3600
+  | Granularity.Days -> 86400
+  | Granularity.Weeks -> 604800
+  | Granularity.Months -> 28 * 86400
+  | Granularity.Years -> 365 * 86400
+  | Granularity.Decades -> 3652 * 86400
+  | Granularity.Centuries -> 36524 * 86400
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r < 0 <> (b < 0) then q - 1 else q
+
+(* Padding (in fine chronons) large enough to cover one unit of the
+   coarsest calendar in the expression. *)
+let pad_for ~fine grans =
+  let lb = lb_seconds fine in
+  List.fold_left (fun acc g -> max acc ((ub_seconds g / lb) + 2)) 2 grans
+
+let plan (ctx : Context.t) expr =
+  let env = ctx.Context.env in
+  let e = Factorize.factorize env expr in
+  let fine = Gran.finest_of_expr env e in
+  let lifespan = Context.lifespan_in ctx fine in
+  let grans =
+    List.filter_map
+      (fun n -> Gran.of_expr env (Ast.Ident n))
+      (Ast.idents_of_expr e)
+  in
+  let pad = pad_for ~fine grans in
+  let extend w =
+    Interval.make (Chronon.add (Interval.lo w) (-pad)) (Chronon.add (Interval.hi w) pad)
+  in
+  (* The evaluation horizon extends one pad beyond the lifespan so that
+     units straddling the lifespan boundary are generated whole (the first
+     week of 1993 is (-4,3), not a clipped (1,3)). *)
+  let horizon = extend lifespan in
+  let label_window x inner =
+    let span y1 y2 =
+      Unit_system.chronon_span_of_dates ~epoch:ctx.Context.epoch fine (Civil.make y1 1 1)
+        (Civil.make y2 12 31)
+    in
+    match Gran.of_expr env inner with
+    | Some Granularity.Years -> span x x
+    | Some Granularity.Decades ->
+      let d0 = floor_div x 10 * 10 in
+      span d0 (d0 + 9)
+    | Some Granularity.Centuries ->
+      let c0 = floor_div x 100 * 100 in
+      span c0 (c0 + 99)
+    | Some g ->
+      raise
+        (Plan_error
+           (Printf.sprintf "label selection %d/ applied to %s operand (need YEARS or coarser)"
+              x (Granularity.to_string g)))
+    | None -> raise (Plan_error "label selection on operand of unknown granularity")
+  in
+  let meet a b =
+    match (a, b) with
+    | None, _ | _, None -> None
+    | Some x, Some y -> Interval.intersect x y
+  in
+  let hull_opt a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (Interval.hull x y)
+  in
+  (* The window an interval of the left operand may occupy, given where the
+     right operand's values can lie: containment-style ops keep it within a
+     padded copy of that window; ordering ops only bound the high end. *)
+  let relation_window op rhs_bound =
+    match rhs_bound with
+    | None -> None
+    | Some w -> (
+      match op with
+      | Listop.During | Listop.Overlaps | Listop.Intersects | Listop.Starts
+      | Listop.Finishes | Listop.Equals ->
+        Some (extend w)
+      | Listop.Before | Listop.Meets | Listop.Le ->
+        Some
+          (Interval.make
+             (Chronon.min (Interval.lo horizon) (Interval.lo w))
+             (Chronon.add (Interval.hi w) pad))
+      | Listop.Contains ->
+        (* A containing interval can extend past the reference on both
+           sides without bound. *)
+        Some horizon)
+  in
+  (* Bottom-up bound: the smallest statically-known window containing every
+     value of the expression. This is what the selection look-ahead
+     propagates: in Example 1, the bound of [1]/MONTHS:during:1993/YEARS is
+     the year 1993, so WEEKS and DAYS need only be generated around it. *)
+  let bounds : (Ast.expr, Interval.t option) Hashtbl.t = Hashtbl.create 64 in
+  let rec bound e =
+    match Hashtbl.find_opt bounds e with
+    | Some b -> b
+    | None ->
+      let b =
+        match e with
+        | Ast.Ident _ -> Some horizon
+        | Ast.Lit [] -> None
+        | Ast.Lit pairs ->
+          let los = List.map fst pairs and his = List.map snd pairs in
+          Some
+            (Interval.make
+               (List.fold_left Chronon.min (List.hd los) los)
+               (List.fold_left Chronon.max (List.hd his) his))
+        | Ast.Select (Ast.Label x, inner) -> meet (Some (label_window x inner)) (bound inner)
+        | Ast.Select (Ast.Index _, inner) -> bound inner
+        | Ast.Foreach { op; lhs; rhs; _ } ->
+          meet (bound lhs) (relation_window op (bound rhs))
+        | Ast.Union (a, b) -> hull_opt (bound a) (bound b)
+        | Ast.Diff (a, _) -> bound a
+        | Ast.Calop { arg; _ } -> bound arg
+      in
+      Hashtbl.replace bounds e b;
+      b
+  in
+  (* Pass 1: top-down demands, narrowed by the bounds of foreach rhs. *)
+  let demands : (Ast.expr, Interval.t option) Hashtbl.t = Hashtbl.create 64 in
+  let note e d =
+    let merged =
+      match (Hashtbl.find_opt demands e, d) with
+      | None, d -> d
+      | Some None, d -> d
+      | Some (Some w), Some w' -> Some (Interval.hull w w')
+      | Some (Some w), None -> Some w
+    in
+    Hashtbl.replace demands e merged
+  in
+  let rec collect e d =
+    note e d;
+    match e with
+    | Ast.Ident _ | Ast.Lit _ -> ()
+    | Ast.Select (Ast.Label x, inner) ->
+      let lw = label_window x inner in
+      let d' = match d with None -> None | Some w -> Interval.intersect w lw in
+      collect inner d'
+    | Ast.Select (Ast.Index _, inner) -> collect inner d
+    | Ast.Foreach { op; lhs; rhs; _ } ->
+      collect rhs d;
+      (* Containment-style ops keep results inside the parent demand, so
+         the lhs demand meets it; ordering ops keep whole intervals that
+         may lie outside the parent demand, so only the relation window
+         applies. *)
+      let lhs_d =
+        match op with
+        | Listop.During | Listop.Overlaps | Listop.Intersects | Listop.Starts
+        | Listop.Finishes | Listop.Equals ->
+          meet d (relation_window op (bound rhs))
+        | Listop.Before | Listop.Meets | Listop.Le | Listop.Contains ->
+          (* Not narrowed by the parent demand: a later positional
+             selection (e.g. [1]/X:<:Y) may reach intervals the parent
+             would filter out. Clipped to the horizon like the reference
+             evaluator. *)
+          meet (Some horizon) (relation_window op (bound rhs))
+      in
+      collect lhs lhs_d
+    | Ast.Union (a, b) | Ast.Diff (a, b) -> collect a d; collect b d
+    | Ast.Calop { arg; _ } ->
+      (* Grouping is anchored at the operand's first interval, so the
+         operand must be demanded from the start of the horizon for group
+         boundaries to be stable. *)
+      let d' =
+        match d with
+        | None -> None
+        | Some w ->
+          Some (Interval.make (Interval.lo horizon) (Chronon.add (Interval.hi w) pad))
+      in
+      collect arg d'
+  in
+  collect e (Some horizon);
+  (* Pass 2: emission with sharing. *)
+  let memo : (Ast.expr, Plan.reg) Hashtbl.t = Hashtbl.create 64 in
+  let instrs = ref [] and nreg = ref 0 in
+  let fresh () =
+    let r = !nreg in
+    incr nreg;
+    r
+  in
+  let push i = instrs := i :: !instrs in
+  let rec emit e =
+    match Hashtbl.find_opt memo e with
+    | Some r -> r
+    | None ->
+      let window () =
+        match Hashtbl.find_opt demands e with Some d -> d | None -> Some horizon
+      in
+      let dst =
+        match e with
+        | Ast.Ident name -> (
+          let d = fresh () in
+          match Env.find_exn env name with
+          | Env.Basic g ->
+            push (Plan.Gen { dst = d; coarse = g; window = window () });
+            d
+          | Env.Stored _ | Env.Derived _ | Env.Today ->
+            push (Plan.Load { dst = d; name; window = window () });
+            d)
+        | Ast.Lit pairs ->
+          let d = fresh () in
+          push (Plan.Mklit { dst = d; pairs });
+          d
+        | Ast.Select (Ast.Index atoms, inner) ->
+          let src = emit inner in
+          let d = fresh () in
+          push (Plan.Select_r { dst = d; atoms; src });
+          d
+        | Ast.Select (Ast.Label x, inner) ->
+          let src = emit inner in
+          let d = fresh () in
+          push (Plan.Select_label { dst = d; window = Some (label_window x inner); src });
+          d
+        | Ast.Foreach { strict; op; lhs; rhs } ->
+          let l = emit lhs in
+          let r = emit rhs in
+          let d = fresh () in
+          push (Plan.Foreach_r { dst = d; strict; op; lhs = l; rhs = r });
+          d
+        | Ast.Union (a, b) ->
+          let ra = emit a in
+          let rb = emit b in
+          let d = fresh () in
+          push (Plan.Union_r { dst = d; a = ra; b = rb });
+          d
+        | Ast.Diff (a, b) ->
+          let ra = emit a in
+          let rb = emit b in
+          let d = fresh () in
+          push (Plan.Diff_r { dst = d; a = ra; b = rb });
+          d
+        | Ast.Calop { counts; arg } ->
+          let src = emit arg in
+          let d = fresh () in
+          push (Plan.Calop_r { dst = d; counts; src });
+          d
+      in
+      Hashtbl.add memo e dst;
+      dst
+  in
+  let result = emit e in
+  { Plan.fine; instrs = List.rev !instrs; result; nregs = !nreg }

@@ -1,0 +1,24 @@
+(** Plan construction (parser step 5): choose the generation unit, bound
+    every [generate] by the demand flowing down from selection nodes (the
+    paper's "simple look-ahead"), and share calendars used more than
+    once.
+
+    Demands are computed top-down against a bottom-up [bound] (the
+    smallest statically-known window containing an expression's values):
+    the root demands the padded lifespan, a label selection such as
+    [1993/YEARS] narrows its operand to that year, and the left operand
+    of a foreach is narrowed to the relation window of its right
+    operand's bound — which is how "calendars need only be generated for
+    the time interval 1993" propagates in Example 1. Shared subexpressions
+    take the hull of their demands and are emitted once. *)
+
+exception Plan_error of string
+
+(** Upper bound of one [coarse] unit expressed in [fine] chronons, plus
+    slack — the window padding that keeps boundary-straddling units
+    whole. *)
+val pad_for : fine:Granularity.t -> Granularity.t list -> int
+
+(** Compile an expression to a bounded register program.
+    @raise Plan_error for unsupported label selections. *)
+val plan : Context.t -> Ast.expr -> Plan.t

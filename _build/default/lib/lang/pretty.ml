@@ -1,0 +1,110 @@
+(** Rendering of expressions, scripts and parse trees.
+
+    [expr_to_string] produces the paper's inline notation
+    ([\[1\]/DAYS:during:WEEKS]); [pp_tree] the indented parse trees of
+    Figures 2 and 3. *)
+
+let selector_to_string = function
+  | Ast.Label x -> Printf.sprintf "%d/" x
+  | Ast.Index atoms ->
+    let atom = function
+      | Ast.Nth i -> string_of_int i
+      | Ast.Last -> "n"
+      | Ast.Range (a, b) -> Printf.sprintf "%d..%d" a b
+    in
+    Printf.sprintf "[%s]/" (String.concat "," (List.map atom atoms))
+
+(* Precedence: Union/Diff < Select < Foreach(chain) < atom. An operand is
+   parenthesized when its construct binds looser than its context. *)
+let rec expr_str ~ctx e =
+  let prec = function
+    | Ast.Union _ | Ast.Diff _ -> 0
+    | Ast.Select _ -> 1
+    | Ast.Foreach _ -> 2
+    | Ast.Ident _ | Ast.Lit _ | Ast.Calop _ -> 3
+  in
+  let s =
+    match e with
+    | Ast.Ident name -> name
+    | Ast.Lit pairs ->
+      Printf.sprintf "{%s}"
+        (String.concat "," (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) pairs))
+    | Ast.Select (sel, e) -> selector_to_string sel ^ expr_str ~ctx:1 e
+    | Ast.Foreach { strict; op; lhs; rhs } ->
+      let sep = if strict then ":" else "." in
+      (* lhs of a chain must be an atom; rhs extends to the right. *)
+      Printf.sprintf "%s%s%s%s%s" (expr_str ~ctx:3 lhs) sep (Listop.to_string op) sep
+        (expr_str ~ctx:1 rhs)
+    | Ast.Union (a, b) -> Printf.sprintf "%s + %s" (expr_str ~ctx:0 a) (expr_str ~ctx:1 b)
+    | Ast.Diff (a, b) -> Printf.sprintf "%s - %s" (expr_str ~ctx:0 a) (expr_str ~ctx:1 b)
+    | Ast.Calop { counts; arg } ->
+      Printf.sprintf "caloperate(%s; %s)" (expr_str ~ctx:0 arg)
+        (String.concat "," (List.map string_of_int counts))
+  in
+  if prec e < ctx then "(" ^ s ^ ")" else s
+
+let expr_to_string e = expr_str ~ctx:0 e
+
+let ret_to_string = function
+  | Ast.Rexpr e -> expr_to_string e
+  | Ast.Rstring s -> Printf.sprintf "%S" s
+
+let rec stmt_lines indent stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Ast.Assign (name, e) -> [ Printf.sprintf "%s%s = %s;" pad name (expr_to_string e) ]
+  | Ast.Return r -> [ Printf.sprintf "%sreturn (%s);" pad (ret_to_string r) ]
+  | Ast.If (cond, then_, else_) ->
+    let head = Printf.sprintf "%sif (%s) {" pad (expr_to_string cond) in
+    let body = List.concat_map (stmt_lines (indent + 2)) then_ in
+    let tail =
+      if else_ = [] then [ pad ^ "}" ]
+      else
+        ((pad ^ "} else {") :: List.concat_map (stmt_lines (indent + 2)) else_)
+        @ [ pad ^ "}" ]
+    in
+    (head :: body) @ tail
+  | Ast.While (cond, []) -> [ Printf.sprintf "%swhile (%s) ;" pad (expr_to_string cond) ]
+  | Ast.While (cond, body) ->
+    ((Printf.sprintf "%swhile (%s) {" pad (expr_to_string cond))
+     :: List.concat_map (stmt_lines (indent + 2)) body)
+    @ [ pad ^ "}" ]
+
+let script_to_string script =
+  String.concat "\n" (("{" :: List.concat_map (stmt_lines 2) script) @ [ "}" ])
+
+let pp_expr ppf e = Format.pp_print_string ppf (expr_to_string e)
+let pp_script ppf s = Format.pp_print_string ppf (script_to_string s)
+
+(* Indented parse tree in the style of Figures 2 and 3. *)
+let pp_tree ppf e =
+  let rec go indent e =
+    let pad = String.make indent ' ' in
+    match e with
+    | Ast.Ident name -> Format.fprintf ppf "%s%s@." pad name
+    | Ast.Lit pairs ->
+      Format.fprintf ppf "%s%s@." pad (expr_to_string (Ast.Lit pairs))
+    | Ast.Select (sel, inner) ->
+      Format.fprintf ppf "%sSELECT %s@." pad (selector_to_string sel);
+      go (indent + 2) inner
+    | Ast.Foreach { strict; op; lhs; rhs } ->
+      Format.fprintf ppf "%sFOREACH %s (%s)@." pad (Listop.to_string op)
+        (if strict then "strict" else "relaxed");
+      go (indent + 2) lhs;
+      go (indent + 2) rhs
+    | Ast.Union (a, b) ->
+      Format.fprintf ppf "%sUNION@." pad;
+      go (indent + 2) a;
+      go (indent + 2) b
+    | Ast.Diff (a, b) ->
+      Format.fprintf ppf "%sDIFF@." pad;
+      go (indent + 2) a;
+      go (indent + 2) b
+    | Ast.Calop { counts; arg } ->
+      Format.fprintf ppf "%sCALOPERATE [%s]@." pad
+        (String.concat "," (List.map string_of_int counts));
+      go (indent + 2) arg
+  in
+  go 0 e
+
+let tree_to_string e = Format.asprintf "%a" pp_tree e

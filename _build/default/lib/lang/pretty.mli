@@ -1,0 +1,21 @@
+(** Rendering of expressions, scripts and parse trees.
+
+    [expr_to_string] produces the paper's inline notation
+    ([\[1\]/DAYS:during:WEEKS]) and re-parses to the same AST (a tested
+    round-trip); [pp_tree] renders the indented parse trees of Figures 2
+    and 3. *)
+
+val selector_to_string : Ast.selector -> string
+
+(** Minimal parenthesization under the grammar's precedence (set ops <
+    selection < chains < atoms). *)
+val expr_to_string : Ast.expr -> string
+
+val script_to_string : Ast.script -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_script : Format.formatter -> Ast.script -> unit
+
+(** Indented operator tree, one node per line. *)
+val pp_tree : Format.formatter -> Ast.expr -> unit
+
+val tree_to_string : Ast.expr -> string

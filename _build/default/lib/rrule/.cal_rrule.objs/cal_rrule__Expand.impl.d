@@ -1,0 +1,1 @@
+lib/rrule/expand.ml: Array Civil Int List Option Rrule

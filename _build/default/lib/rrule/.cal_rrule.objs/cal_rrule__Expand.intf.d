@@ -1,0 +1,1 @@
+lib/rrule/expand.mli: Civil Rrule

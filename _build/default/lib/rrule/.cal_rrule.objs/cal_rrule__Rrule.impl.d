@@ -1,0 +1,1 @@
+lib/rrule/rrule.ml: Array Civil Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/rrule/translate.ml: List Printf Rrule String

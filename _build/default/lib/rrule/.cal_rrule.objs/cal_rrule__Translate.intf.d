@@ -1,0 +1,1 @@
+lib/rrule/translate.mli: Rrule

@@ -1,0 +1,195 @@
+(** Recurrence expansion: enumerate the occurrence dates of a rule from a
+    start date.
+
+    The interpretation follows RFC 5545 for the supported subset: the
+    frequency defines periods (days / weeks / months / years) advanced by
+    INTERVAL; BYxxx parts select candidate days inside each period;
+    BYSETPOS picks among the period's sorted candidates; COUNT/UNTIL
+    terminate. Weeks run Monday-Sunday. *)
+
+let weekdays_without_ordinal by_day =
+  List.filter_map
+    (fun d -> if d.Rrule.ordinal = None then Some d.Rrule.weekday else None)
+    by_day
+
+let ordinal_days by_day = List.filter (fun d -> d.Rrule.ordinal <> None) by_day
+
+(* The date of the ordinal weekday within year [y] month [m], if any
+   (e.g. 3rd Friday, last Monday). *)
+let resolve_ordinal y m { Rrule.ordinal; weekday } =
+  let last = Civil.days_in_month y m in
+  match ordinal with
+  | None -> None
+  | Some k when k > 0 ->
+    let first_wd = Civil.weekday (Civil.make y m 1) in
+    let offset = (weekday - first_wd + 7) mod 7 in
+    let day = 1 + offset + ((k - 1) * 7) in
+    if day <= last then Some (Civil.make y m day) else None
+  | Some k ->
+    let last_wd = Civil.weekday (Civil.make y m last) in
+    let offset = (last_wd - weekday + 7) mod 7 in
+    let day = last - offset + ((k + 1) * 7) in
+    if day >= 1 then Some (Civil.make y m day) else None
+
+let month_day_resolved y m d =
+  let last = Civil.days_in_month y m in
+  let day = if d > 0 then d else last + 1 + d in
+  if day >= 1 && day <= last then Some (Civil.make y m day) else None
+
+let apply_set_pos positions dates =
+  match positions with
+  | [] -> dates
+  | _ ->
+    let arr = Array.of_list dates in
+    let n = Array.length arr in
+    List.filter_map
+      (fun p ->
+        let i = if p > 0 then p - 1 else n + p in
+        if i >= 0 && i < n then Some arr.(i) else None)
+      positions
+    |> List.sort_uniq Civil.compare
+
+let month_allowed rule m = rule.Rrule.by_month = [] || List.mem m rule.Rrule.by_month
+
+(* Candidates within a single month, ignoring BYMONTH (checked by the
+   caller for monthly freq, used directly for yearly). *)
+let monthly_candidates rule ~dtstart y m =
+  let base =
+    match (rule.Rrule.by_month_day, rule.Rrule.by_day) with
+    | [], [] -> Option.to_list (month_day_resolved y m dtstart.Civil.day)
+    | month_days, [] -> List.filter_map (month_day_resolved y m) month_days
+    | [], by_day ->
+      let from_ordinals = List.filter_map (resolve_ordinal y m) (ordinal_days by_day) in
+      let plain = weekdays_without_ordinal by_day in
+      let from_plain =
+        if plain = [] then []
+        else
+          List.filter_map
+            (fun d ->
+              let date = Civil.make y m d in
+              if List.mem (Civil.weekday date) plain then Some date else None)
+            (List.init (Civil.days_in_month y m) (fun i -> i + 1))
+      in
+      List.sort_uniq Civil.compare (from_ordinals @ from_plain)
+    | month_days, by_day ->
+      (* Both: month days whose weekday also matches. *)
+      let wds =
+        weekdays_without_ordinal by_day
+        @ List.map (fun d -> d.Rrule.weekday) (ordinal_days by_day)
+      in
+      List.filter
+        (fun date -> List.mem (Civil.weekday date) wds)
+        (List.filter_map (month_day_resolved y m) month_days)
+  in
+  apply_set_pos rule.Rrule.by_set_pos (List.sort Civil.compare base)
+
+let weekly_candidates rule ~dtstart monday =
+  let wds =
+    match rule.Rrule.by_day with
+    | [] -> [ Civil.weekday dtstart ]
+    | by_day -> List.sort_uniq Int.compare (List.map (fun d -> d.Rrule.weekday) by_day)
+  in
+  let days = List.map (fun wd -> Civil.add_days monday (wd - 1)) wds in
+  let days = List.filter (fun d -> month_allowed rule d.Civil.month) days in
+  apply_set_pos rule.Rrule.by_set_pos days
+
+let daily_candidate rule ~dtstart:_ date =
+  let ok =
+    month_allowed rule date.Civil.month
+    && (rule.Rrule.by_month_day = []
+       || List.exists
+            (fun d ->
+              match month_day_resolved date.Civil.year date.Civil.month d with
+              | Some r -> Civil.equal r date
+              | None -> false)
+            rule.Rrule.by_month_day)
+    && (rule.Rrule.by_day = []
+       || List.mem (Civil.weekday date)
+            (List.map (fun d -> d.Rrule.weekday) rule.Rrule.by_day))
+  in
+  if ok then [ date ] else []
+
+let yearly_candidates rule ~dtstart y =
+  let months =
+    match rule.Rrule.by_month with
+    | [] ->
+      if rule.Rrule.by_month_day = [] && rule.Rrule.by_day = [] then [ dtstart.Civil.month ]
+      else List.init 12 (fun i -> i + 1)
+    | ms -> List.sort_uniq Int.compare ms
+  in
+  let per_month =
+    List.concat_map
+      (fun m ->
+        match (rule.Rrule.by_month_day, rule.Rrule.by_day) with
+        | [], [] -> Option.to_list (month_day_resolved y m dtstart.Civil.day)
+        | _ -> monthly_candidates { rule with Rrule.by_set_pos = [] } ~dtstart y m)
+      months
+  in
+  apply_set_pos rule.Rrule.by_set_pos (List.sort Civil.compare per_month)
+
+(** [occurrences rule ~dtstart ()] enumerates occurrence dates in order.
+    Termination: COUNT, the earlier of the rule's UNTIL and the [until]
+    argument, or [limit] (default 10_000) occurrences — whichever comes
+    first. *)
+let occurrences (rule : Rrule.t) ~dtstart ?until ?(limit = 10_000) () =
+  let hard_until =
+    match (rule.Rrule.until, until) with
+    | Some a, Some b -> Some (if Civil.compare a b <= 0 then a else b)
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | None, None -> None
+  in
+  let hard_until =
+    (* Without any bound, cap the search two centuries out. *)
+    match hard_until with
+    | Some u -> u
+    | None -> Civil.make (dtstart.Civil.year + 200) 12 31
+  in
+  let monday0 = Civil.add_days dtstart (1 - Civil.weekday dtstart) in
+  let month0 = Civil.make dtstart.Civil.year dtstart.Civil.month 1 in
+  let period_candidates p =
+    match rule.Rrule.freq with
+    | Rrule.Daily ->
+      let date = Civil.add_days dtstart (p * rule.Rrule.interval) in
+      (date, daily_candidate rule ~dtstart date)
+    | Rrule.Weekly ->
+      let monday = Civil.add_days monday0 (7 * p * rule.Rrule.interval) in
+      (monday, weekly_candidates rule ~dtstart monday)
+    | Rrule.Monthly ->
+      let month = Civil.add_months month0 (p * rule.Rrule.interval) in
+      let cands =
+        if month_allowed rule month.Civil.month then
+          monthly_candidates rule ~dtstart month.Civil.year month.Civil.month
+        else []
+      in
+      (month, cands)
+    | Rrule.Yearly ->
+      let y = dtstart.Civil.year + (p * rule.Rrule.interval) in
+      (Civil.make y 1 1, yearly_candidates rule ~dtstart y)
+  in
+  let rec go p count acc =
+    if count >= limit then List.rev acc
+    else
+      match rule.Rrule.count with
+      | Some c when count >= c -> List.rev acc
+      | _ ->
+        let period_start, cands = period_candidates p in
+        if Civil.compare period_start hard_until > 0 then List.rev acc
+        else begin
+          let cands =
+            List.filter
+              (fun d -> Civil.compare d dtstart >= 0 && Civil.compare d hard_until <= 0)
+              cands
+          in
+          let take =
+            let budget =
+              match rule.Rrule.count with
+              | Some c -> min (limit - count) (c - count)
+              | None -> limit - count
+            in
+            List.filteri (fun i _ -> i < budget) cands
+          in
+          go (p + 1) (count + List.length take) (List.rev_append take acc)
+        end
+  in
+  go 0 0 []

@@ -1,0 +1,21 @@
+(** Recurrence expansion: enumerate the occurrence dates of a rule from a
+    start date.
+
+    The interpretation follows RFC 5545 for the supported subset: the
+    frequency defines periods (days / weeks / months / years) advanced by
+    INTERVAL; BYxxx parts select candidate days inside each period;
+    BYSETPOS picks among the period's sorted candidates; COUNT/UNTIL
+    terminate. Weeks run Monday-Sunday. *)
+
+(** [occurrences rule ~dtstart ()] enumerates occurrence dates in
+    ascending order. Termination: COUNT, the earlier of the rule's UNTIL
+    and the [until] argument, or [limit] (default 10_000) occurrences —
+    whichever comes first; with no bound at all the search stops two
+    centuries after [dtstart]. *)
+val occurrences :
+  Rrule.t ->
+  dtstart:Civil.date ->
+  ?until:Civil.date ->
+  ?limit:int ->
+  unit ->
+  Civil.date list

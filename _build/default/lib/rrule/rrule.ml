@@ -1,0 +1,183 @@
+(** RFC 5545-style recurrence rules — the modern baseline for recurrence
+    support without a calendar algebra (cf. the comparative discussion in
+    section 5 of the paper).
+
+    Supported: FREQ (DAILY/WEEKLY/MONTHLY/YEARLY), INTERVAL, COUNT,
+    UNTIL, BYDAY (with ordinals, e.g. 3FR and -1MO), BYMONTHDAY
+    (including negatives), BYMONTH, BYSETPOS. Weeks start on Monday. *)
+
+type freq =
+  | Daily
+  | Weekly
+  | Monthly
+  | Yearly
+
+type byday = {
+  ordinal : int option;  (** [Some 3] = third, [Some (-1)] = last; [None] = every *)
+  weekday : int;  (** ISO: Monday = 1 .. Sunday = 7 *)
+}
+
+type t = {
+  freq : freq;
+  interval : int;
+  count : int option;
+  until : Civil.date option;
+  by_day : byday list;
+  by_month_day : int list;
+  by_month : int list;
+  by_set_pos : int list;
+}
+
+let make ?(interval = 1) ?count ?until ?(by_day = []) ?(by_month_day = []) ?(by_month = [])
+    ?(by_set_pos = []) freq =
+  if interval < 1 then invalid_arg "Rrule.make: INTERVAL must be >= 1";
+  { freq; interval; count; until; by_day; by_month_day; by_month; by_set_pos }
+
+let freq_to_string = function
+  | Daily -> "DAILY"
+  | Weekly -> "WEEKLY"
+  | Monthly -> "MONTHLY"
+  | Yearly -> "YEARLY"
+
+let weekday_names = [| "MO"; "TU"; "WE"; "TH"; "FR"; "SA"; "SU" |]
+
+let weekday_of_string s =
+  let rec find i = if i >= 7 then None else if weekday_names.(i) = s then Some (i + 1) else find (i + 1) in
+  find 0
+
+let byday_to_string { ordinal; weekday } =
+  (match ordinal with Some o -> string_of_int o | None -> "") ^ weekday_names.(weekday - 1)
+
+let to_string t =
+  let parts =
+    [ Some ("FREQ=" ^ freq_to_string t.freq) ]
+    @ [ (if t.interval <> 1 then Some (Printf.sprintf "INTERVAL=%d" t.interval) else None) ]
+    @ [ Option.map (Printf.sprintf "COUNT=%d") t.count ]
+    @ [
+        Option.map
+          (fun d -> Printf.sprintf "UNTIL=%04d%02d%02d" d.Civil.year d.Civil.month d.Civil.day)
+          t.until;
+      ]
+    @ [
+        (if t.by_day <> [] then
+           Some ("BYDAY=" ^ String.concat "," (List.map byday_to_string t.by_day))
+         else None);
+      ]
+    @ [
+        (if t.by_month_day <> [] then
+           Some ("BYMONTHDAY=" ^ String.concat "," (List.map string_of_int t.by_month_day))
+         else None);
+      ]
+    @ [
+        (if t.by_month <> [] then
+           Some ("BYMONTH=" ^ String.concat "," (List.map string_of_int t.by_month))
+         else None);
+      ]
+    @ [
+        (if t.by_set_pos <> [] then
+           Some ("BYSETPOS=" ^ String.concat "," (List.map string_of_int t.by_set_pos))
+         else None);
+      ]
+  in
+  String.concat ";" (List.filter_map Fun.id parts)
+
+let parse_byday s =
+  let n = String.length s in
+  if n < 2 then None
+  else
+    let name = String.sub s (n - 2) 2 in
+    match weekday_of_string name with
+    | None -> None
+    | Some weekday ->
+      if n = 2 then Some { ordinal = None; weekday }
+      else
+        Option.map
+          (fun o -> { ordinal = Some o; weekday })
+          (int_of_string_opt (String.sub s 0 (n - 2)))
+
+let parse_int_list s =
+  let parts = String.split_on_char ',' s in
+  let ints = List.filter_map int_of_string_opt parts in
+  if List.length ints = List.length parts then Some ints else None
+
+let parse input =
+  let parts = String.split_on_char ';' (String.trim input) in
+  let rule =
+    ref
+      {
+        freq = Daily;
+        interval = 1;
+        count = None;
+        until = None;
+        by_day = [];
+        by_month_day = [];
+        by_month = [];
+        by_set_pos = [];
+      }
+  in
+  let freq_seen = ref false in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  List.iter
+    (fun part ->
+      if !err = None then
+        match String.index_opt part '=' with
+        | None -> fail (Printf.sprintf "malformed component %S" part)
+        | Some i -> (
+          let key = String.uppercase_ascii (String.sub part 0 i) in
+          let v = String.sub part (i + 1) (String.length part - i - 1) in
+          match key with
+          | "FREQ" -> (
+            freq_seen := true;
+            match String.uppercase_ascii v with
+            | "DAILY" -> rule := { !rule with freq = Daily }
+            | "WEEKLY" -> rule := { !rule with freq = Weekly }
+            | "MONTHLY" -> rule := { !rule with freq = Monthly }
+            | "YEARLY" -> rule := { !rule with freq = Yearly }
+            | f -> fail ("unsupported FREQ " ^ f))
+          | "INTERVAL" -> (
+            match int_of_string_opt v with
+            | Some i when i >= 1 -> rule := { !rule with interval = i }
+            | _ -> fail ("bad INTERVAL " ^ v))
+          | "COUNT" -> (
+            match int_of_string_opt v with
+            | Some c when c >= 1 -> rule := { !rule with count = Some c }
+            | _ -> fail ("bad COUNT " ^ v))
+          | "UNTIL" ->
+            if String.length v >= 8 then begin
+              match
+                ( int_of_string_opt (String.sub v 0 4),
+                  int_of_string_opt (String.sub v 4 2),
+                  int_of_string_opt (String.sub v 6 2) )
+              with
+              | Some y, Some m, Some d when Civil.is_valid y m d ->
+                rule := { !rule with until = Some (Civil.make y m d) }
+              | _ -> fail ("bad UNTIL " ^ v)
+            end
+            else fail ("bad UNTIL " ^ v)
+          | "BYDAY" -> (
+            let parts = String.split_on_char ',' (String.uppercase_ascii v) in
+            let days = List.filter_map parse_byday parts in
+            if List.length days = List.length parts then rule := { !rule with by_day = days }
+            else fail ("bad BYDAY " ^ v))
+          | "BYMONTHDAY" -> (
+            match parse_int_list v with
+            | Some l when List.for_all (fun d -> d <> 0 && abs d <= 31) l ->
+              rule := { !rule with by_month_day = l }
+            | _ -> fail ("bad BYMONTHDAY " ^ v))
+          | "BYMONTH" -> (
+            match parse_int_list v with
+            | Some l when List.for_all (fun m -> m >= 1 && m <= 12) l ->
+              rule := { !rule with by_month = l }
+            | _ -> fail ("bad BYMONTH " ^ v))
+          | "BYSETPOS" -> (
+            match parse_int_list v with
+            | Some l when List.for_all (fun p -> p <> 0) l ->
+              rule := { !rule with by_set_pos = l }
+            | _ -> fail ("bad BYSETPOS " ^ v))
+          | "WKST" -> () (* Monday-start assumed; MO accepted silently *)
+          | k -> fail ("unsupported component " ^ k)))
+    parts;
+  match !err with
+  | Some e -> Error e
+  | None -> if !freq_seen then Ok !rule else Error "missing FREQ"

@@ -1,0 +1,59 @@
+(** Translation from recurrence rules to calendar-algebra expressions.
+
+    Demonstrates the comparative claim of section 5: common recurrences
+    are expressible in the calendar expression language. Returns [None]
+    for rules outside the translatable fragment (INTERVAL > 1, COUNT,
+    UNTIL, BYSETPOS — the algebra expresses the {e calendar}, not a
+    bounded enumeration). *)
+
+let weekday_selector wd = Printf.sprintf "[%d]/DAYS:during:WEEKS" wd
+
+let ordinal_selector = function
+  | Some o when o > 0 -> Printf.sprintf "[%d]" o
+  | Some o -> Printf.sprintf "[%d]" o
+  | None -> ""
+
+let union = String.concat " + "
+
+(** [to_expression rule] is a calendar expression string denoting the same
+    days as the (unbounded) recurrence, when the rule is in the
+    translatable fragment. *)
+let to_expression (rule : Rrule.t) =
+  if rule.Rrule.interval <> 1 || rule.Rrule.count <> None || rule.Rrule.until <> None
+     || rule.Rrule.by_set_pos <> []
+  then None
+  else
+    match rule.Rrule.freq with
+    | Rrule.Daily -> (
+      match (rule.Rrule.by_day, rule.Rrule.by_month_day, rule.Rrule.by_month) with
+      | [], [], [] -> Some "DAYS"
+      | by_day, [], [] when List.for_all (fun d -> d.Rrule.ordinal = None) by_day ->
+        Some (union (List.map (fun d -> weekday_selector d.Rrule.weekday) by_day))
+      | _ -> None)
+    | Rrule.Weekly -> (
+      match (rule.Rrule.by_day, rule.Rrule.by_month_day, rule.Rrule.by_month) with
+      | [], [], [] -> None (* depends on dtstart's weekday, not a pure calendar *)
+      | by_day, [], [] when List.for_all (fun d -> d.Rrule.ordinal = None) by_day ->
+        Some (union (List.map (fun d -> weekday_selector d.Rrule.weekday) by_day))
+      | _ -> None)
+    | Rrule.Monthly -> (
+      match (rule.Rrule.by_day, rule.Rrule.by_month_day, rule.Rrule.by_month) with
+      | [ { Rrule.ordinal = Some o; weekday } ], [], [] ->
+        (* e.g. 3rd Friday of every month: the o-th Friday among the
+           Fridays overlapping each month. *)
+        Some
+          (Printf.sprintf "%s/(%s):overlaps:MONTHS" (ordinal_selector (Some o))
+             (weekday_selector weekday))
+      | [], [ d ], [] when d > 0 -> Some (Printf.sprintf "[%d]/DAYS:during:MONTHS" d)
+      | [], [ -1 ], [] -> Some "[n]/DAYS:during:MONTHS"
+      | [], [ d ], [] -> Some (Printf.sprintf "[%d]/DAYS:during:MONTHS" d)
+      | _ -> None)
+    | Rrule.Yearly -> (
+      match (rule.Rrule.by_day, rule.Rrule.by_month_day, rule.Rrule.by_month) with
+      | [], [ d ], [ m ] when d > 0 ->
+        Some (Printf.sprintf "[%d]/DAYS:during:[%d]/MONTHS:during:YEARS" d m)
+      | [ { Rrule.ordinal = Some o; weekday } ], [], [ m ] ->
+        Some
+          (Printf.sprintf "%s/(%s):overlaps:[%d]/MONTHS:during:YEARS" (ordinal_selector (Some o))
+             (weekday_selector weekday) m)
+      | _ -> None)

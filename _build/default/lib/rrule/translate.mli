@@ -1,0 +1,14 @@
+(** Translation from recurrence rules to calendar-algebra expressions.
+
+    Demonstrates the comparative claim of section 5: common recurrences
+    ("every Tuesday", "3rd Friday of the month", "last day of the month",
+    yearly anniversaries) are expressible in the calendar expression
+    language, and the two systems agree exactly on the translatable
+    fragment (property-tested). *)
+
+(** [to_expression rule] is a calendar expression string denoting the
+    same days as the (unbounded) recurrence; [None] outside the
+    translatable fragment (INTERVAL > 1, COUNT, UNTIL, BYSETPOS — the
+    algebra expresses the {e calendar}, not a bounded enumeration; a bare
+    WEEKLY rule depends on dtstart's weekday). *)
+val to_expression : Rrule.t -> string option

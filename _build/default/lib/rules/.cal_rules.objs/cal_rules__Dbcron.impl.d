@@ -1,0 +1,1 @@
+lib/rules/dbcron.ml: List Min_heap

@@ -1,0 +1,1 @@
+lib/rules/manager.ml: Array Ast Cal_db Cal_lang Catalog Clock Context Dbcron Exec Fun Hashtbl List Next_fire Option Parser Plan Planner Printf Qast Qexpr Qparser Schema String Table Value

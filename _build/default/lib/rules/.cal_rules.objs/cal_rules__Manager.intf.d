@@ -1,0 +1,1 @@
+lib/rules/manager.mli: Cal_db Cal_lang Catalog Context Exec Qast Value

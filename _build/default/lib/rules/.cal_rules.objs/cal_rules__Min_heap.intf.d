@@ -1,0 +1,1 @@
+lib/rules/min_heap.mli:

@@ -1,0 +1,1 @@
+lib/rules/next_fire.ml: Cal_lang Calendar Chronon Civil Context Gran Int Interp Interval Interval_set List Planner Unit_system

@@ -1,0 +1,1 @@
+lib/rules/next_fire.mli: Ast Cal_lang Context

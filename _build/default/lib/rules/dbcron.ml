@@ -1,0 +1,84 @@
+(** DBCRON: the daemon of section 4, modeled on UNIX cron.
+
+    Every [probe_period] seconds it probes RULE-TIME for the rules that
+    trigger during the next period and loads them into a main-memory
+    min-heap; between probes it fires heap entries as simulated time
+    reaches them. The generic payload keeps this module independent of
+    the rule representation. *)
+
+type 'a t = {
+  probe_period : int;  (** T, in seconds of simulated time *)
+  mutable last_probe : int;
+  heap : 'a Min_heap.t;
+  mutable probes : int;  (** statistics: number of probes performed *)
+  mutable loaded : int;  (** statistics: entries loaded into the heap *)
+}
+
+let create ~probe_period ~now ~load =
+  if probe_period <= 0 then invalid_arg "Dbcron.create: probe_period must be positive";
+  let t =
+    { probe_period; last_probe = now; heap = Min_heap.create (); probes = 0; loaded = 0 }
+  in
+  (* Initial probe covers [now, now + T). *)
+  t.probes <- 1;
+  List.iter
+    (fun (at, v) ->
+      t.loaded <- t.loaded + 1;
+      Min_heap.push t.heap at v)
+    (load ~window_end:(now + probe_period));
+  t
+
+(** Exclusive end of the window the heap currently covers. *)
+let window_end t = t.last_probe + t.probe_period
+
+(** Instant of the next probe. *)
+let next_probe t = t.last_probe + t.probe_period
+
+(** [offer t at v] inserts an entry directly when it falls inside the
+    current window (used right after a rule fires or is defined, so it is
+    not missed before the next probe). Returns true when accepted. *)
+let offer t at v =
+  if at < window_end t then begin
+    Min_heap.push t.heap at v;
+    t.loaded <- t.loaded + 1;
+    true
+  end
+  else false
+
+(** Instant of the next thing DBCRON must do (probe or fire). *)
+let next_event t =
+  match Min_heap.peek t.heap with
+  | Some (at, _) -> min at (next_probe t)
+  | None -> next_probe t
+
+(** [step t ~now ~load] performs all work due at instants <= [now]:
+    re-probes when a probe point passes, and returns the payloads due to
+    fire, in chronological order. [load ~window_end] must return the
+    (instant, payload) pairs with instant < window_end that are not
+    already in the heap. *)
+let step t ~now ~load =
+  let fired = ref [] in
+  let continue = ref true in
+  while !continue do
+    let np = next_probe t in
+    let top = Min_heap.peek t.heap in
+    match top with
+    | Some (at, v) when at <= now && at <= np ->
+      ignore (Min_heap.pop t.heap);
+      fired := (at, v) :: !fired
+    | _ ->
+      if np <= now then begin
+        t.last_probe <- np;
+        t.probes <- t.probes + 1;
+        List.iter
+          (fun (at, v) ->
+            t.loaded <- t.loaded + 1;
+            Min_heap.push t.heap at v)
+          (load ~window_end:(np + t.probe_period))
+      end
+      else continue := false
+  done;
+  List.rev !fired
+
+let pending t = Min_heap.length t.heap
+let stats t = (t.probes, t.loaded)

@@ -1,0 +1,45 @@
+(** DBCRON: the daemon of section 4, modeled on UNIX cron.
+
+    Every [probe_period] seconds of simulated time it probes RULE-TIME
+    (via the [load] callback) for the rules that trigger during the next
+    period and loads them into a main-memory min-heap; between probes it
+    fires heap entries as time reaches them. The payload type keeps this
+    module independent of the rule representation. *)
+
+type 'a t
+
+(** [create ~probe_period ~now ~load] performs the initial probe covering
+    [now, now + probe_period).
+    @raise Invalid_argument on a non-positive period. *)
+val create :
+  probe_period:int ->
+  now:int ->
+  load:(window_end:int -> (int * 'a) list) ->
+  'a t
+
+(** Exclusive end of the window the heap currently covers. *)
+val window_end : 'a t -> int
+
+(** Instant of the next probe. *)
+val next_probe : 'a t -> int
+
+(** [offer t at v] inserts an entry directly when it falls inside the
+    current window (used right after a rule fires or is defined, so it is
+    not missed before the next probe). Returns [true] when accepted. *)
+val offer : 'a t -> int -> 'a -> bool
+
+(** Instant of the next thing DBCRON must do (probe or fire). *)
+val next_event : 'a t -> int
+
+(** [step t ~now ~load] performs all work due at instants <= [now]:
+    re-probes as probe points pass, and returns the payloads due to fire
+    with their instants, in chronological order. [load ~window_end] must
+    return the (instant, payload) pairs with instant < window_end that
+    are not already in the heap. *)
+val step : 'a t -> now:int -> load:(window_end:int -> (int * 'a) list) -> (int * 'a) list
+
+(** Entries currently in the heap. *)
+val pending : 'a t -> int
+
+(** (probes performed, entries ever loaded). *)
+val stats : 'a t -> int * int

@@ -1,0 +1,366 @@
+(** The rule system of section 4: [on Event where Condition do Action]
+    rules plus time-based [on <calendar-expression> do Action] rules.
+
+    Declaring a temporal rule parses its calendar expression, stores the
+    expression, parse tree and evaluation plan in RULE_INFO, computes the
+    next trigger point into RULE_TIME, and hands the trigger to
+    {!Dbcron}. Database-event rules hook into the executor's event
+    stream. Actions are ordinary queries, run with NEW/CURRENT bound to
+    the triggering tuple.
+
+    System tables (created on demand):
+    {v
+    rule_info(name text, kind text, spec text, condition text,
+              action text, eval_plan text)
+    rule_time(name text, next_fire int)   -- instant of next trigger
+    v}
+    [rule_time.next_fire] is indexed, and DBCRON's probe is an ordinary
+    indexed [retrieve], as in the paper. *)
+
+open Cal_lang
+open Cal_db
+
+type parsed_event =
+  | Db_event of Catalog.event_kind * string
+  | Cal_event of { expr : Ast.expr; source : string }
+
+type rule_state = {
+  def : Qast.rule;
+  event : parsed_event;
+  mutable scheduled : bool;  (** currently sitting in DBCRON's heap *)
+  mutable rt_rowid : int option;  (** row in rule_time *)
+  mutable fire_count : int;
+}
+
+type firing = { rule : string; at : int }
+
+type t = {
+  ctx : Context.t;
+  catalog : Catalog.t;
+  clock : Clock.t;
+  mutable cron : string Dbcron.t;
+  rules : (string, rule_state) Hashtbl.t;
+  mutable firings : firing list;  (** newest first *)
+  mutable alerts : (string * int) list;
+  mutable depth : int;
+  lookahead : int;
+}
+
+exception Rule_error of string
+
+let norm = String.lowercase_ascii
+
+let ensure_system_tables catalog =
+  if Catalog.table_opt catalog "rule_info" = None then begin
+    ignore
+      (Catalog.create_table catalog
+         (Schema.make ~table:"rule_info"
+            (List.map
+               (fun name -> { Schema.name; ty = Schema.TText; valid_time = false })
+               [ "name"; "kind"; "spec"; "condition"; "action"; "eval_plan" ])))
+  end;
+  if Catalog.table_opt catalog "rule_time" = None then begin
+    ignore
+      (Catalog.create_table catalog
+         (Schema.make ~table:"rule_time"
+            [
+              { Schema.name = "name"; ty = Schema.TText; valid_time = false };
+              { Schema.name = "next_fire"; ty = Schema.TInt; valid_time = false };
+            ]));
+    Table.create_index (Catalog.table catalog "rule_time") "next_fire"
+  end
+
+(* The probe: an indexed retrieve over RULE_TIME for triggers before the
+   window end, skipping rules already loaded. *)
+let load_upcoming catalog rules ~window_end =
+  let q =
+    Qast.Retrieve
+      {
+        targets = [ ("name", Qexpr.Col "name"); ("next_fire", Qexpr.Col "next_fire") ];
+        from_ = Some "rule_time";
+        where =
+          Some (Qexpr.Binop (Qexpr.Lt, Qexpr.Col "next_fire", Qexpr.Const (Value.Int window_end)));
+        on_cal = None;
+        group_by = [];
+      }
+  in
+  match Exec.run catalog q with
+  | Exec.Rows { rows; _ } ->
+    List.filter_map
+      (fun row ->
+        match row with
+        | [| Value.Text name; Value.Int at |] -> (
+          match Hashtbl.find_opt rules (norm name) with
+          | Some st when not st.scheduled ->
+            st.scheduled <- true;
+            Some (at, name)
+          | _ -> None)
+        | _ -> None)
+      rows
+  | _ -> []
+
+let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) (ctx : Context.t) catalog =
+  let clock =
+    match ctx.Context.clock with
+    | Some c -> c
+    | None -> raise (Rule_error "rule manager needs a context with a clock")
+  in
+  ensure_system_tables catalog;
+  let rules = Hashtbl.create 16 in
+  let cron =
+    Dbcron.create ~probe_period ~now:(Clock.now clock)
+      ~load:(load_upcoming catalog rules)
+  in
+  let t =
+    {
+      ctx;
+      catalog;
+      clock;
+      cron;
+      rules;
+      firings = [];
+      alerts = [];
+      depth = 0;
+      lookahead;
+    }
+  in
+  (* The alert procedure used by rule actions:
+     retrieve (alert('message')). *)
+  Catalog.register_operator catalog ~name:"alert" ~arity:1 (function
+    | [ Value.Text msg ] ->
+      t.alerts <- (msg, Clock.now t.clock) :: t.alerts;
+      Value.Bool true
+    | _ -> Value.Null);
+  Catalog.add_hook catalog (fun ev -> dispatch_db_event t ev);
+  t
+
+(* Binding for rule conditions and actions: NEW.col / CURRENT.col / col
+   resolve into the triggering tuple. *)
+and event_binding t (ev : Catalog.event) name =
+  match ev.Catalog.tuple with
+  | None -> None
+  | Some tuple -> (
+    let schema = (Catalog.table t.catalog ev.Catalog.table).Table.schema in
+    let resolve col = Option.map (fun i -> tuple.(i)) (Schema.column_index schema col) in
+    match String.index_opt name '.' with
+    | Some i ->
+      let prefix = norm (String.sub name 0 i) in
+      let col = String.sub name (i + 1) (String.length name - i - 1) in
+      if prefix = "new" || prefix = "current" || prefix = norm ev.Catalog.table then resolve col
+      else None
+    | None -> resolve name)
+
+and condition_holds t binding = function
+  | None -> true
+  | Some cond -> (
+    match Qexpr.eval ~catalog:t.catalog ~binding cond with
+    | Value.Bool b -> b
+    | Value.Null -> false
+    | v -> raise (Rule_error ("rule condition is not boolean: " ^ Value.to_string v)))
+
+and run_actions t binding actions =
+  if t.depth >= 8 then raise (Rule_error "rule recursion limit exceeded");
+  t.depth <- t.depth + 1;
+  Fun.protect
+    ~finally:(fun () -> t.depth <- t.depth - 1)
+    (fun () -> List.iter (fun q -> ignore (Exec.run t.catalog ~binding q)) actions)
+
+and dispatch_db_event t ev =
+  if t.depth < 8 then
+    Hashtbl.iter
+      (fun _ st ->
+        match st.event with
+        | Db_event (kind, table)
+          when kind = ev.Catalog.kind && norm table = norm ev.Catalog.table ->
+          let binding = event_binding t ev in
+          if condition_holds t binding st.def.Qast.condition then begin
+            st.fire_count <- st.fire_count + 1;
+            t.firings <- { rule = st.def.Qast.rule_name; at = Clock.now t.clock } :: t.firings;
+            run_actions t binding st.def.Qast.action
+          end
+        | Db_event _ | Cal_event _ -> ())
+      t.rules
+
+let rule_time_table t = Catalog.table t.catalog "rule_time"
+
+let set_next_fire t st name = function
+  | None -> (
+    (* Dormant: no further trigger within the lifespan. *)
+    match st.rt_rowid with
+    | Some rowid ->
+      ignore (Table.delete (rule_time_table t) rowid);
+      st.rt_rowid <- None
+    | None -> ())
+  | Some at -> (
+    let row = [| Value.Text name; Value.Int at |] in
+    (match st.rt_rowid with
+    | Some rowid -> ignore (Table.update (rule_time_table t) rowid row)
+    | None -> st.rt_rowid <- Some (Table.insert (rule_time_table t) row));
+    if Dbcron.offer t.cron at name then st.scheduled <- true)
+
+(** Declare a rule (parsed form). *)
+let define t (rule : Qast.rule) =
+  let name = rule.Qast.rule_name in
+  if Hashtbl.mem t.rules (norm name) then Error (Printf.sprintf "rule %s already exists" name)
+  else begin
+    match rule.Qast.event with
+    | Qast.Ev_db (kind, table) ->
+      (* The target table must exist for NEW bindings to make sense. *)
+      (match Catalog.table_opt t.catalog table with
+      | Some _ -> ()
+      | None -> raise (Rule_error ("rule on unknown table " ^ table)));
+      let st =
+        { def = rule; event = Db_event (kind, table); scheduled = false; rt_rowid = None;
+          fire_count = 0 }
+      in
+      Hashtbl.replace t.rules (norm name) st;
+      ignore
+        (Table.insert
+           (Catalog.table t.catalog "rule_info")
+           [|
+             Value.Text name;
+             Value.Text (Qast.event_kind_to_string kind);
+             Value.Text table;
+             Value.Text
+               (match rule.Qast.condition with Some c -> Qexpr.to_string c | None -> "");
+             Value.Text (String.concat "; " (List.map Qast.to_string rule.Qast.action));
+             Value.Text "";
+           |]);
+      Ok ()
+    | Qast.Ev_calendar source -> (
+      match Parser.expr source with
+      | Error e -> Error (Printf.sprintf "bad calendar expression in rule %s: %s" name e)
+      | Ok expr ->
+        let plan = Planner.plan t.ctx expr in
+        let st =
+          { def = rule; event = Cal_event { expr; source }; scheduled = false;
+            rt_rowid = None; fire_count = 0 }
+        in
+        Hashtbl.replace t.rules (norm name) st;
+        ignore
+          (Table.insert
+             (Catalog.table t.catalog "rule_info")
+             [|
+               Value.Text name;
+               Value.Text "calendar";
+               Value.Text source;
+               Value.Text
+                 (match rule.Qast.condition with Some c -> Qexpr.to_string c | None -> "");
+               Value.Text (String.concat "; " (List.map Qast.to_string rule.Qast.action));
+               Value.Text (Plan.to_string plan);
+             |]);
+        let next =
+          Next_fire.next t.ctx expr ~after:(Clock.now t.clock) ~lookahead:t.lookahead ()
+        in
+        set_next_fire t st name next;
+        Ok ())
+  end
+
+let define_string t source =
+  match Qparser.query source with
+  | Error e -> Error e
+  | Ok (Qast.Define_rule r) -> define t r
+  | Ok _ -> Error "not a rule definition"
+
+let drop t name =
+  match Hashtbl.find_opt t.rules (norm name) with
+  | None -> false
+  | Some st ->
+    (match st.rt_rowid with
+    | Some rowid -> ignore (Table.delete (rule_time_table t) rowid)
+    | None -> ());
+    Hashtbl.remove t.rules (norm name);
+    let info = Catalog.table t.catalog "rule_info" in
+    let rowids =
+      Table.fold info
+        (fun acc rowid tuple ->
+          match tuple.(0) with
+          | Value.Text n when norm n = norm name -> rowid :: acc
+          | _ -> acc)
+        []
+    in
+    List.iter (fun rowid -> ignore (Table.delete info rowid)) rowids;
+    true
+
+let fire_calendar_rule t name at =
+  match Hashtbl.find_opt t.rules (norm name) with
+  | None -> () (* dropped while scheduled *)
+  | Some st -> (
+    match st.event with
+    | Db_event _ -> ()
+    | Cal_event { expr; _ } ->
+      st.scheduled <- false;
+      st.fire_count <- st.fire_count + 1;
+      t.firings <- { rule = st.def.Qast.rule_name; at } :: t.firings;
+      let binding _ = None in
+      if condition_holds t binding st.def.Qast.condition then
+        run_actions t binding st.def.Qast.action;
+      let next = Next_fire.next t.ctx expr ~after:at ~lookahead:t.lookahead () in
+      set_next_fire t st name next)
+
+(** Advance simulated time, probing and firing everything due on the
+    way. *)
+let advance_to t instant =
+  let load = load_upcoming t.catalog t.rules in
+  let rec loop () =
+    let ev = Dbcron.next_event t.cron in
+    if ev <= instant then begin
+      Clock.advance_to t.clock ev;
+      let fired = Dbcron.step t.cron ~now:ev ~load in
+      List.iter (fun (at, name) -> fire_calendar_rule t name at) fired;
+      loop ()
+    end
+  in
+  loop ();
+  Clock.advance_to t.clock instant
+
+let advance_days t days = advance_to t (Clock.now t.clock + (days * 86400))
+
+(** Run a query, dispatching rule definitions to this manager. *)
+let run_query t ?binding source =
+  match Qparser.query source with
+  | Error e -> Error e
+  | Ok (Qast.Define_rule r) -> (
+    match define t r with
+    | Ok () -> Ok (Exec.Msg (Printf.sprintf "rule %s defined" r.Qast.rule_name))
+    | Error e -> Error e)
+  | Ok (Qast.Drop_rule name) ->
+    if drop t name then Ok (Exec.Msg (Printf.sprintf "rule %s dropped" name))
+    else Error (Printf.sprintf "no rule %s" name)
+  | Ok q -> (
+    match Exec.run t.catalog ?binding q with
+    | r -> Ok r
+    | exception Exec.Exec_error e -> Error e
+    | exception Rule_error e -> Error e
+    | exception Qexpr.Eval_error e -> Error e
+    | exception Schema.Schema_error e -> Error e
+    | exception Catalog.No_such_table n -> Error ("no such table: " ^ n)
+    | exception Catalog.No_such_operator n -> Error ("no such operator: " ^ n)
+    | exception Catalog.Table_exists n -> Error ("table already exists: " ^ n)
+    | exception Table.No_such_column c -> Error ("no such column: " ^ c)
+    | exception Value.Unknown_adt a -> Error ("unknown type: " ^ a)
+    | exception Value.Incomparable a -> Error ("values of type " ^ a ^ " are not ordered"))
+
+let firings t = List.rev t.firings
+let alerts t = List.rev t.alerts
+let fire_count t name =
+  match Hashtbl.find_opt t.rules (norm name) with Some st -> st.fire_count | None -> 0
+
+let next_fire t name =
+  match Hashtbl.find_opt t.rules (norm name) with
+  | Some { rt_rowid = Some rowid; _ } -> (
+    match Table.get (rule_time_table t) rowid with
+    | Some [| _; Value.Int at |] -> Some at
+    | _ -> None)
+  | _ -> None
+
+(** Parsed definitions of every live rule (for persistence). *)
+let rules t =
+  List.sort
+    (fun a b -> String.compare a.Qast.rule_name b.Qast.rule_name)
+    (Hashtbl.fold (fun _ st acc -> st.def :: acc) t.rules [])
+
+let rule_names t =
+  List.sort String.compare (Hashtbl.fold (fun _ st acc -> st.def.Qast.rule_name :: acc) t.rules [])
+
+let dbcron_stats t = Dbcron.stats t.cron

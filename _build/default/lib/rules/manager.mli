@@ -1,0 +1,72 @@
+(** The rule system of section 4: [on Event where Condition do Action]
+    rules plus time-based [on <calendar-expression> do Action] rules.
+
+    Declaring a temporal rule parses its calendar expression, stores the
+    expression and evaluation plan in RULE_INFO, computes the next
+    trigger point into RULE_TIME (indexed; DBCRON's probe is an ordinary
+    indexed [retrieve]), and hands the trigger to {!Dbcron}.
+    Database-event rules hook into the executor's event stream; actions
+    run with NEW/CURRENT bound to the triggering tuple, guarded by a
+    recursion limit.
+
+    System tables (created on demand):
+    {v
+    rule_info(name text, kind text, spec text, condition text,
+              action text, eval_plan text)
+    rule_time(name text, next_fire int)   -- instant of next trigger
+    v} *)
+
+open Cal_lang
+open Cal_db
+
+type t
+
+type firing = { rule : string; at : int (** instant *) }
+
+exception Rule_error of string
+
+(** [create ?probe_period ?lookahead ctx catalog] installs the system
+    tables, the executor hook and the [alert] operator, and starts DBCRON
+    at the context clock's current instant. Defaults: probe every
+    simulated day, 400-day next-fire lookahead.
+    @raise Rule_error when the context has no clock. *)
+val create : ?probe_period:int -> ?lookahead:int -> Context.t -> Catalog.t -> t
+
+(** Declare a rule (parsed form). @raise Rule_error on unknown tables. *)
+val define : t -> Qast.rule -> (unit, string) result
+
+(** Parse and declare; the input must be a [define rule] command. *)
+val define_string : t -> string -> (unit, string) result
+
+(** Remove a rule and its catalog rows; [false] when absent. *)
+val drop : t -> string -> bool
+
+(** Advance simulated time to an instant, probing and firing everything
+    due on the way (in chronological order). *)
+val advance_to : t -> int -> unit
+
+val advance_days : t -> int -> unit
+
+(** Run any query, dispatching rule definitions/drops to this manager. *)
+val run_query :
+  t -> ?binding:(string -> Value.t option) -> string -> (Exec.result, string) result
+
+(** Chronological firing log. *)
+val firings : t -> firing list
+
+(** Messages raised through the [alert] operator, with instants,
+    chronological. *)
+val alerts : t -> (string * int) list
+
+val fire_count : t -> string -> int
+
+(** Next trigger instant per RULE_TIME; [None] when dormant/absent. *)
+val next_fire : t -> string -> int option
+
+val rule_names : t -> string list
+
+(** Parsed definitions of every live rule, sorted by name (persistence). *)
+val rules : t -> Qast.rule list
+
+(** DBCRON's (probes, heap loads). *)
+val dbcron_stats : t -> int * int

@@ -1,0 +1,69 @@
+(** Array-based binary min-heap keyed by integer priority — DBCRON's
+    main-memory structure of upcoming trigger points. *)
+
+type 'a t = {
+  mutable arr : (int * 'a) array;
+  mutable len : int;
+}
+
+let create () = { arr = [||]; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let swap t i j =
+  let x = t.arr.(i) in
+  t.arr.(i) <- t.arr.(j);
+  t.arr.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst t.arr.(i) < fst t.arr.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && fst t.arr.(l) < fst t.arr.(!smallest) then smallest := l;
+  if r < t.len && fst t.arr.(r) < fst t.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t prio v =
+  if t.len = Array.length t.arr then begin
+    let bigger = Array.make (max 8 (2 * t.len)) (0, v) in
+    Array.blit t.arr 0 bigger 0 t.len;
+    t.arr <- bigger
+  end;
+  t.arr.(t.len) <- (prio, v);
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.arr.(0)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+(** Pop every entry with priority <= [bound], in priority order. *)
+let pop_due t bound =
+  let rec go acc =
+    match peek t with
+    | Some (p, _) when p <= bound -> (
+      match pop t with Some e -> go (e :: acc) | None -> List.rev acc)
+    | _ -> List.rev acc
+  in
+  go []

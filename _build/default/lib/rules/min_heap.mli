@@ -1,0 +1,17 @@
+(** Array-based binary min-heap keyed by integer priority — DBCRON's
+    main-memory structure of upcoming trigger points. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> int -> 'a -> unit
+
+(** Smallest-priority entry, not removed. *)
+val peek : 'a t -> (int * 'a) option
+
+val pop : 'a t -> (int * 'a) option
+
+(** Pop every entry with priority <= [bound], in priority order. *)
+val pop_due : 'a t -> int -> (int * 'a) list

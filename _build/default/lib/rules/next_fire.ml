@@ -1,0 +1,53 @@
+(** Occurrence computation for time-based rules: when does a calendar
+    expression next trigger?
+
+    A calendar expression denotes intervals; a rule triggers at each
+    interval's starting instant. The search evaluates the expression over
+    a bounded window after the reference instant, doubling the lookahead
+    until an occurrence is found or the lifespan ends. *)
+
+open Cal_lang
+
+let start_instant (ctx : Context.t) ~fine chronon =
+  Unit_system.start_of_index ~epoch:ctx.Context.epoch fine (Chronon.to_offset chronon)
+
+(** All occurrence instants of [expr] with [from_ < instant <= until]. *)
+let occurrences (ctx : Context.t) expr ~from_ ~until =
+  let env = ctx.Context.env in
+  let fine = Gran.finest_of_expr env expr in
+  let pad = Planner.pad_for ~fine (Gran.grans_of_expr env expr) in
+  let lo =
+    Chronon.add
+      (Chronon.of_offset (Unit_system.index_of_instant ~epoch:ctx.Context.epoch fine from_))
+      (-pad)
+  in
+  let hi =
+    Chronon.add
+      (Chronon.of_offset (Unit_system.index_of_instant ~epoch:ctx.Context.epoch fine until))
+      pad
+  in
+  let cal, _ = Interp.eval_expr_naive ctx ~window:(Interval.make lo hi) expr in
+  Calendar.flatten cal
+  |> Interval_set.fold
+       (fun acc iv ->
+         let s = start_instant ctx ~fine (Interval.lo iv) in
+         if s > from_ && s <= until then s :: acc else acc)
+       []
+  |> List.sort_uniq Int.compare
+
+(** First occurrence strictly after [after], searching up to the end of
+    the context lifespan. [lookahead] (seconds) sizes the first search
+    window. *)
+let next (ctx : Context.t) expr ~after ?(lookahead = 400 * 86400) () =
+  let _, life_end = ctx.Context.lifespan in
+  let end_instant =
+    (Civil.rata_die life_end - Civil.rata_die ctx.Context.epoch + 1) * 86400
+  in
+  let rec search until =
+    if after >= end_instant then None
+    else
+      match occurrences ctx expr ~from_:after ~until with
+      | s :: _ -> Some s
+      | [] -> if until >= end_instant then None else search (min end_instant (until * 2 - after))
+  in
+  search (min end_instant (after + lookahead))

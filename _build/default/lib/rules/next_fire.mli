@@ -1,0 +1,16 @@
+(** Occurrence computation for time-based rules: when does a calendar
+    expression next trigger?
+
+    A calendar expression denotes intervals; a rule triggers at each
+    interval's starting instant (seconds since the epoch's midnight). *)
+
+open Cal_lang
+
+(** All occurrence instants of [expr] with [from_ < instant <= until].
+    Evaluation is bounded to a padded copy of that window. *)
+val occurrences : Context.t -> Ast.expr -> from_:int -> until:int -> int list
+
+(** First occurrence strictly after [after], searching windows of
+    [lookahead] seconds (default 400 days), doubling until the end of the
+    context lifespan; [None] when the rule is dormant. *)
+val next : Context.t -> Ast.expr -> after:int -> ?lookahead:int -> unit -> int option

@@ -1,0 +1,1 @@
+lib/temporal/civil.ml: Format Int Printf String

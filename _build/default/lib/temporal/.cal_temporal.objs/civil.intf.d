@@ -1,0 +1,1 @@
+lib/temporal/civil.mli: Format

@@ -1,0 +1,1 @@
+lib/temporal/clock.ml: Chronon Granularity Unit_system

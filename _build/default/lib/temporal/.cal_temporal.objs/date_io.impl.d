@@ -1,0 +1,1 @@
+lib/temporal/date_io.ml: Array Buffer Civil Fun Granularity Interval List Option Printf Span String Unit_system

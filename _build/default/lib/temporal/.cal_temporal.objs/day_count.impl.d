@@ -1,0 +1,1 @@
+lib/temporal/day_count.ml: Civil Format String

@@ -1,0 +1,1 @@
+lib/temporal/granularity.ml: Format Int String

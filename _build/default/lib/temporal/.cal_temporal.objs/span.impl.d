@@ -1,0 +1,1 @@
+lib/temporal/span.ml: Civil Format Fun Granularity List Printf String

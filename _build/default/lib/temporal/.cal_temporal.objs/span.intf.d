@@ -1,0 +1,1 @@
+lib/temporal/span.mli: Civil Format Granularity

@@ -1,0 +1,1 @@
+lib/temporal/unit_system.ml: Chronon Civil Granularity Interval

@@ -1,0 +1,1 @@
+lib/temporal/unit_system.mli: Chronon Civil Granularity Interval

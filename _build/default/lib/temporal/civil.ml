@@ -1,0 +1,67 @@
+type date = { year : int; month : int; day : int }
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap y then 29 else 28
+  | _ -> invalid_arg "Civil.days_in_month"
+
+let is_valid y m d = m >= 1 && m <= 12 && d >= 1 && d <= days_in_month y m
+
+let make year month day =
+  if not (is_valid year month day) then
+    invalid_arg (Printf.sprintf "Civil.make: invalid date %d-%02d-%02d" year month day);
+  { year; month; day }
+
+(* Howard Hinnant's days_from_civil, shifted so 1970-01-01 = 0. *)
+let rata_die { year; month; day } =
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - era * 400 in
+  let mp = (month + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let of_rata_die z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - era * 146097 in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + era * 400 in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  let year = if month <= 2 then y + 1 else y in
+  { year; month; day }
+
+(* 1970-01-01 was a Thursday (ISO 4). *)
+let weekday d =
+  let w = (rata_die d + 3) mod 7 in
+  (if w < 0 then w + 7 else w) + 1
+
+let add_days d n = of_rata_die (rata_die d + n)
+
+let add_months d n =
+  let months = (d.year * 12) + (d.month - 1) + n in
+  let year = if months >= 0 then months / 12 else (months - 11) / 12 in
+  let month = months - (year * 12) + 1 in
+  let day = min d.day (days_in_month year month) in
+  { year; month; day }
+
+let compare a b = Int.compare (rata_die a) (rata_die b)
+let equal a b = compare a b = 0
+let pp ppf d = Format.fprintf ppf "%04d-%02d-%02d" d.year d.month d.day
+let to_string d = Format.asprintf "%a" pp d
+
+let of_string s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+    match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+    | Some y, Some m, Some d when is_valid y m d -> Some (make y m d)
+    | _ -> None)
+  | _ -> None

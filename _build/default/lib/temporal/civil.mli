@@ -1,0 +1,41 @@
+(** Proleptic Gregorian civil dates and conversions to linear day numbers.
+
+    The linear coordinate is the {e rata die}: days since 1970-01-01
+    (which is day 0). All algorithms are pure integer math valid over
+    +/- millions of years. *)
+
+type date = { year : int; month : int; day : int }
+
+val make : int -> int -> int -> date
+(** @raise Invalid_argument if the date does not exist. *)
+
+val is_valid : int -> int -> int -> bool
+val is_leap : int -> bool
+
+(** [days_in_month y m] for [1 <= m <= 12]. *)
+val days_in_month : int -> int -> int
+
+(** Days since 1970-01-01. *)
+val rata_die : date -> int
+
+val of_rata_die : int -> date
+
+(** ISO weekday: Monday = 1 ... Sunday = 7 (paper convention). *)
+val weekday : date -> int
+
+(** [add_days d n]. *)
+val add_days : date -> int -> date
+
+(** [add_months d n] clamps the day to the target month's length. *)
+val add_months : date -> int -> date
+
+val compare : date -> date -> int
+val equal : date -> date -> bool
+
+(** Renders as [YYYY-MM-DD]. *)
+val pp : Format.formatter -> date -> unit
+
+val to_string : date -> string
+
+(** Parses [YYYY-MM-DD]. *)
+val of_string : string -> date option

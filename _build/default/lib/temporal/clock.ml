@@ -1,0 +1,15 @@
+type t = { mutable now : int }
+
+let create ?(now = 0) () = { now }
+let now t = t.now
+
+let advance t s =
+  if s < 0 then invalid_arg "Clock.advance: negative step";
+  t.now <- t.now + s
+
+let advance_to t i = if i > t.now then t.now <- i
+
+let today ~epoch t =
+  Chronon.of_offset (Unit_system.index_of_instant ~epoch Granularity.Days t.now)
+
+let date ~epoch t = Unit_system.date_of_chronon ~epoch Granularity.Days (today ~epoch t)

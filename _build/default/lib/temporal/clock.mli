@@ -1,0 +1,25 @@
+(** A simulated clock, the time source for DBCRON.
+
+    The paper's daemon runs against wall-clock time; experiments need a
+    reproducible, fast-forwardable substitute. Instants are seconds since
+    the session epoch's midnight, as in {!Unit_system}. *)
+
+type t
+
+(** [create ?now ()] starts at instant [now] (default 0 = epoch start). *)
+val create : ?now:int -> unit -> t
+
+val now : t -> int
+
+(** [advance t s] moves forward [s] seconds. @raise Invalid_argument on
+    negative [s] — simulated time never goes backwards. *)
+val advance : t -> int -> unit
+
+(** [advance_to t i] jumps to instant [i] (no-op if already past it). *)
+val advance_to : t -> int -> unit
+
+(** [today ~epoch t] is the day chronon containing the current instant. *)
+val today : epoch:Civil.date -> t -> Chronon.t
+
+(** [date ~epoch t] is the current civil date. *)
+val date : epoch:Civil.date -> t -> Civil.date

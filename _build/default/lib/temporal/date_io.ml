@@ -1,0 +1,189 @@
+(** Multi-format, multi-language date input and output — the MultiCal
+    feature set the paper's section 5 describes as orthogonal to the
+    calendar algebra: "input and output of events (and intervals and
+    spans) ... supporting multiple human languages".
+
+    A {!locale} supplies month and weekday names; a {!format} arranges the
+    fields. Parsing is lenient: it tries the locale's month names in any
+    supported arrangement. *)
+
+type locale = {
+  locale_name : string;
+  months : string array;  (** 12 full names *)
+  months_short : string array;
+  weekdays : string array;  (** Monday first, 7 full names *)
+}
+
+let english =
+  {
+    locale_name = "en";
+    months =
+      [| "January"; "February"; "March"; "April"; "May"; "June"; "July"; "August";
+         "September"; "October"; "November"; "December" |];
+    months_short =
+      [| "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun"; "Jul"; "Aug"; "Sep"; "Oct"; "Nov"; "Dec" |];
+    weekdays =
+      [| "Monday"; "Tuesday"; "Wednesday"; "Thursday"; "Friday"; "Saturday"; "Sunday" |];
+  }
+
+let french =
+  {
+    locale_name = "fr";
+    months =
+      [| "janvier"; "f\xc3\xa9vrier"; "mars"; "avril"; "mai"; "juin"; "juillet";
+         "ao\xc3\xbbt"; "septembre"; "octobre"; "novembre"; "d\xc3\xa9cembre" |];
+    months_short =
+      [| "janv"; "f\xc3\xa9vr"; "mars"; "avr"; "mai"; "juin"; "juil"; "ao\xc3\xbbt";
+         "sept"; "oct"; "nov"; "d\xc3\xa9c" |];
+    weekdays = [| "lundi"; "mardi"; "mercredi"; "jeudi"; "vendredi"; "samedi"; "dimanche" |];
+  }
+
+let german =
+  {
+    locale_name = "de";
+    months =
+      [| "Januar"; "Februar"; "M\xc3\xa4rz"; "April"; "Mai"; "Juni"; "Juli"; "August";
+         "September"; "Oktober"; "November"; "Dezember" |];
+    months_short =
+      [| "Jan"; "Feb"; "M\xc3\xa4r"; "Apr"; "Mai"; "Jun"; "Jul"; "Aug"; "Sep"; "Okt";
+         "Nov"; "Dez" |];
+    weekdays =
+      [| "Montag"; "Dienstag"; "Mittwoch"; "Donnerstag"; "Freitag"; "Samstag"; "Sonntag" |];
+  }
+
+let locales = [ english; french; german ]
+
+let locale_named name =
+  List.find_opt (fun l -> String.lowercase_ascii l.locale_name = String.lowercase_ascii name) locales
+
+type format =
+  | Iso  (** 1993-01-15 *)
+  | Long  (** 15 January 1993 / January 15, 1993 for English *)
+  | Abbrev  (** 15 Jan 1993 *)
+  | Numeric_dmy  (** 15/01/1993 *)
+  | Numeric_mdy  (** 01/15/1993 *)
+
+(** Render a date under a locale and format. *)
+let format_date ?(locale = english) ?(fmt = Iso) (d : Civil.date) =
+  match fmt with
+  | Iso -> Civil.to_string d
+  | Long ->
+    if locale.locale_name = "en" then
+      Printf.sprintf "%s %d, %d" locale.months.(d.Civil.month - 1) d.Civil.day d.Civil.year
+    else Printf.sprintf "%d. %s %d" d.Civil.day locale.months.(d.Civil.month - 1) d.Civil.year
+  | Abbrev ->
+    Printf.sprintf "%d %s %d" d.Civil.day locale.months_short.(d.Civil.month - 1) d.Civil.year
+  | Numeric_dmy -> Printf.sprintf "%02d/%02d/%04d" d.Civil.day d.Civil.month d.Civil.year
+  | Numeric_mdy -> Printf.sprintf "%02d/%02d/%04d" d.Civil.month d.Civil.day d.Civil.year
+
+(** Weekday name under a locale. *)
+let weekday_name ?(locale = english) d = locale.weekdays.(Civil.weekday d - 1)
+
+(* --- parsing ---------------------------------------------------------- *)
+
+let month_of_name locale s =
+  let s = String.lowercase_ascii s in
+  let matches arr =
+    let rec go i =
+      if i >= 12 then None
+      else if String.lowercase_ascii arr.(i) = s then Some (i + 1)
+      else go (i + 1)
+    in
+    go 0
+  in
+  match matches locale.months with Some m -> Some m | None -> matches locale.months_short
+
+let tokens_of s =
+  let buf = Buffer.create 8 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | ',' | '.' | '/' | '-' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !out
+
+(** Parse a date in any supported arrangement under [locale] (default
+    English): ISO, [15 January 1993], [January 15, 1993], [15 Jan 1993],
+    [15/01/1993] (day-month-year for non-English locales and when the
+    first field exceeds 12, month-day-year otherwise — the usual
+    ambiguity; pass an explicit format via {!parse_exact} to pin it). *)
+let parse ?(locale = english) s =
+  let mk y m d = if Civil.is_valid y m d then Some (Civil.make y m d) else None in
+  match tokens_of (String.trim s) with
+  | [ a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some x, Some y, Some z ->
+      if x > 31 then mk x y z (* ISO: year first *)
+      else if locale.locale_name <> "en" || x > 12 then mk z y x (* D/M/Y *)
+      else mk z x y (* M/D/Y *)
+    | Some d, None, Some y -> Option.bind (month_of_name locale b) (fun m -> mk y m d)
+    | None, Some d, Some y -> Option.bind (month_of_name locale a) (fun m -> mk y m d)
+    | _ -> None)
+  | _ -> None
+
+(** Parse under an exact format. *)
+let parse_exact ?(locale = english) ~fmt s =
+  let mk y m d = if Civil.is_valid y m d then Some (Civil.make y m d) else None in
+  match (fmt, tokens_of (String.trim s)) with
+  | Iso, [ y; m; d ] -> (
+    match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+    | Some y, Some m, Some d -> mk y m d
+    | _ -> None)
+  | (Long | Abbrev), toks -> (
+    match toks with
+    | [ a; b; c ] -> (
+      match (int_of_string_opt a, int_of_string_opt c) with
+      | Some d, Some y -> Option.bind (month_of_name locale b) (fun m -> mk y m d)
+      | None, Some y -> (
+        match int_of_string_opt b with
+        | Some d -> Option.bind (month_of_name locale a) (fun m -> mk y m d)
+        | None -> None)
+      | _ -> None)
+    | _ -> None)
+  | Numeric_dmy, [ d; m; y ] -> (
+    match (int_of_string_opt d, int_of_string_opt m, int_of_string_opt y) with
+    | Some d, Some m, Some y -> mk y m d
+    | _ -> None)
+  | Numeric_mdy, [ m; d; y ] -> (
+    match (int_of_string_opt m, int_of_string_opt d, int_of_string_opt y) with
+    | Some m, Some d, Some y -> mk y m d
+    | _ -> None)
+  | _, _ -> None
+
+(** Render an interval of day chronons as dates. *)
+let format_interval ?(locale = english) ?(fmt = Iso) ~epoch iv =
+  let d c = Unit_system.date_of_chronon ~epoch Granularity.Days c in
+  if Interval.length iv = 1 then format_date ~locale ~fmt (d (Interval.lo iv))
+  else
+    Printf.sprintf "%s .. %s"
+      (format_date ~locale ~fmt (d (Interval.lo iv)))
+      (format_date ~locale ~fmt (d (Interval.hi iv)))
+
+(** Render a span ("3mo2d" style is {!Span.to_string}; this is the
+    human-language form). *)
+let format_span ?(locale = english) (s : Span.t) =
+  let unit_names =
+    match locale.locale_name with
+    | "fr" -> ("mois", "jour(s)", "seconde(s)")
+    | "de" -> ("Monat(e)", "Tag(e)", "Sekunde(n)")
+    | _ -> ("month(s)", "day(s)", "second(s)")
+  in
+  let m, d, sec = unit_names in
+  let parts =
+    List.filter_map Fun.id
+      [
+        (if s.Span.months <> 0 then Some (Printf.sprintf "%d %s" s.Span.months m) else None);
+        (if s.Span.days <> 0 then Some (Printf.sprintf "%d %s" s.Span.days d) else None);
+        (if s.Span.seconds <> 0 then Some (Printf.sprintf "%d %s" s.Span.seconds sec) else None);
+      ]
+  in
+  if parts = [] then "0" else String.concat " " parts

@@ -1,0 +1,77 @@
+type convention =
+  | Actual_actual
+  | Actual_360
+  | Actual_365
+  | Thirty_360_us
+  | Thirty_e_360
+
+let all = [ Actual_actual; Actual_360; Actual_365; Thirty_360_us; Thirty_e_360 ]
+
+let to_string = function
+  | Actual_actual -> "ACT/ACT"
+  | Actual_360 -> "ACT/360"
+  | Actual_365 -> "ACT/365"
+  | Thirty_360_us -> "30/360"
+  | Thirty_e_360 -> "30E/360"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "ACT/ACT" | "ACTUAL/ACTUAL" -> Some Actual_actual
+  | "ACT/360" | "ACTUAL/360" -> Some Actual_360
+  | "ACT/365" | "ACTUAL/365" -> Some Actual_365
+  | "30/360" | "30/360US" -> Some Thirty_360_us
+  | "30E/360" -> Some Thirty_e_360
+  | _ -> None
+
+let actual_days d1 d2 = Civil.rata_die d2 - Civil.rata_die d1
+
+let thirty_360 ~us d1 d2 =
+  let open Civil in
+  let dd1 = ref d1.day and dd2 = ref d2.day in
+  if us then begin
+    (* 30/360 US: if d1 is the 31st, treat as 30; if d2 is the 31st and d1
+       is (now) 30, treat d2 as 30. *)
+    if !dd1 = 31 then dd1 := 30;
+    if !dd2 = 31 && !dd1 = 30 then dd2 := 30
+  end
+  else begin
+    if !dd1 = 31 then dd1 := 30;
+    if !dd2 = 31 then dd2 := 30
+  end;
+  (360 * (d2.year - d1.year)) + (30 * (d2.month - d1.month)) + (!dd2 - !dd1)
+
+let day_count conv d1 d2 =
+  match conv with
+  | Actual_actual | Actual_360 | Actual_365 -> actual_days d1 d2
+  | Thirty_360_us -> thirty_360 ~us:true d1 d2
+  | Thirty_e_360 -> thirty_360 ~us:false d1 d2
+
+let days_in_year y = if Civil.is_leap y then 366 else 365
+
+let year_fraction conv d1 d2 =
+  match conv with
+  | Actual_360 -> float_of_int (actual_days d1 d2) /. 360.
+  | Actual_365 -> float_of_int (actual_days d1 d2) /. 365.
+  | Thirty_360_us -> float_of_int (thirty_360 ~us:true d1 d2) /. 360.
+  | Thirty_e_360 -> float_of_int (thirty_360 ~us:false d1 d2) /. 360.
+  | Actual_actual ->
+    (* ISDA-style: split the span at year boundaries, each piece divided by
+       its own year length. *)
+    let sign, d1, d2 = if Civil.compare d1 d2 <= 0 then (1., d1, d2) else (-1., d2, d1) in
+    let rec go acc d1 =
+      if d1.Civil.year = d2.Civil.year then
+        acc
+        +. (float_of_int (actual_days d1 d2) /. float_of_int (days_in_year d1.Civil.year))
+      else
+        let next = Civil.make (d1.Civil.year + 1) 1 1 in
+        go
+          (acc
+          +. float_of_int (actual_days d1 next) /. float_of_int (days_in_year d1.Civil.year))
+          next
+    in
+    sign *. go 0. d1
+
+let accrued_interest ~convention ~annual_rate ~face d1 d2 =
+  face *. annual_rate *. year_fraction convention d1 d2
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,38 @@
+(** User-defined semantics for date arithmetic: financial day-count
+    conventions.
+
+    Reproduces the motivation from section 1 of the paper (after
+    [Sto90a]): bond yield calculations use a 30-days-per-month calendar for
+    date differences but a 365-day year for the yield itself, so built-in
+    Gregorian-only date functions give wrong answers. *)
+
+type convention =
+  | Actual_actual  (** actual days / actual days in period *)
+  | Actual_360  (** actual days / 360 *)
+  | Actual_365  (** actual days / 365 *)
+  | Thirty_360_us  (** 30/360 US (NASD) month adjustment *)
+  | Thirty_e_360  (** 30E/360 (European) *)
+
+val all : convention list
+val to_string : convention -> string
+val of_string : string -> convention option
+
+(** [day_count conv d1 d2] is the convention's count of days from [d1] to
+    [d2] (negative when [d2 < d1]). *)
+val day_count : convention -> Civil.date -> Civil.date -> int
+
+(** [year_fraction conv d1 d2] is the convention's fraction of a year
+    between the dates. *)
+val year_fraction : convention -> Civil.date -> Civil.date -> float
+
+(** [accrued_interest ~convention ~annual_rate ~face d1 d2] is simple
+    accrued interest over [d1..d2]. *)
+val accrued_interest :
+  convention:convention ->
+  annual_rate:float ->
+  face:float ->
+  Civil.date ->
+  Civil.date ->
+  float
+
+val pp : Format.formatter -> convention -> unit

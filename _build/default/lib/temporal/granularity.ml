@@ -1,0 +1,62 @@
+type t =
+  | Seconds
+  | Minutes
+  | Hours
+  | Days
+  | Weeks
+  | Months
+  | Years
+  | Decades
+  | Centuries
+
+let all =
+  [ Seconds; Minutes; Hours; Days; Weeks; Months; Years; Decades; Centuries ]
+
+let to_string = function
+  | Seconds -> "SECONDS"
+  | Minutes -> "MINUTES"
+  | Hours -> "HOURS"
+  | Days -> "DAYS"
+  | Weeks -> "WEEKS"
+  | Months -> "MONTHS"
+  | Years -> "YEARS"
+  | Decades -> "DECADES"
+  | Centuries -> "CENTURY"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "SECOND" | "SECONDS" -> Some Seconds
+  | "MINUTE" | "MINUTES" -> Some Minutes
+  | "HOUR" | "HOURS" -> Some Hours
+  | "DAY" | "DAYS" -> Some Days
+  | "WEEK" | "WEEKS" -> Some Weeks
+  | "MONTH" | "MONTHS" -> Some Months
+  | "YEAR" | "YEARS" -> Some Years
+  | "DECADE" | "DECADES" -> Some Decades
+  | "CENTURY" | "CENTURIES" -> Some Centuries
+  | _ -> None
+
+let seconds_per = function
+  | Seconds -> Some 1
+  | Minutes -> Some 60
+  | Hours -> Some 3600
+  | Days -> Some 86400
+  | Weeks -> Some 604800
+  | Months | Years | Decades | Centuries -> None
+
+let rank = function
+  | Seconds -> 0
+  | Minutes -> 1
+  | Hours -> 2
+  | Days -> 3
+  | Weeks -> 4
+  | Months -> 5
+  | Years -> 6
+  | Decades -> 7
+  | Centuries -> 8
+
+let compare_fineness a b = Int.compare (rank a) (rank b)
+let finer a b = if rank a <= rank b then a else b
+let coarser a b = if rank a >= rank b then a else b
+let equal a b = rank a = rank b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,40 @@
+(** The paper's basic calendars as granularities.
+
+    SECONDS ... CENTURY (section 3.2). A granularity names a partition of
+    the time line; {!Unit_system} maps between partitions and instants. *)
+
+type t =
+  | Seconds
+  | Minutes
+  | Hours
+  | Days
+  | Weeks
+  | Months
+  | Years
+  | Decades
+  | Centuries
+
+val all : t list
+
+(** Basic-calendar name, upper case: ["DAYS"], ["CENTURY"], ... *)
+val to_string : t -> string
+
+(** Accepts the names produced by {!to_string}, case-insensitively, plus
+    the singular forms (["DAY"], ...). *)
+val of_string : string -> t option
+
+(** Fixed width in seconds for uniform granularities
+    (Seconds ... Weeks); [None] for Months and coarser. *)
+val seconds_per : t -> int option
+
+(** Total order from finest (Seconds) to coarsest (Centuries). *)
+val compare_fineness : t -> t -> int
+
+(** The finer of the two. *)
+val finer : t -> t -> t
+
+(** The coarser of the two. *)
+val coarser : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type t = {
+  months : int;
+  days : int;
+  seconds : int;
+}
+
+let zero = { months = 0; days = 0; seconds = 0 }
+
+let normalize { months; days; seconds } =
+  let extra_days =
+    if seconds >= 0 then seconds / 86400 else -((-seconds + 86399) / 86400)
+  in
+  let seconds = seconds - (extra_days * 86400) in
+  (* Keep seconds in [0, 86400) relative to the day component's sign
+     handling: simpler to fold fully into days + remainder with matching
+     sign. *)
+  { months; days = days + extra_days; seconds }
+
+let make ?(months = 0) ?(days = 0) ?(seconds = 0) () = normalize { months; days; seconds }
+
+let of_granularity g n =
+  match g with
+  | Granularity.Seconds -> make ~seconds:n ()
+  | Granularity.Minutes -> make ~seconds:(60 * n) ()
+  | Granularity.Hours -> make ~seconds:(3600 * n) ()
+  | Granularity.Days -> make ~days:n ()
+  | Granularity.Weeks -> make ~days:(7 * n) ()
+  | Granularity.Months -> make ~months:n ()
+  | Granularity.Years -> make ~months:(12 * n) ()
+  | Granularity.Decades -> make ~months:(120 * n) ()
+  | Granularity.Centuries -> make ~months:(1200 * n) ()
+
+let add a b =
+  make ~months:(a.months + b.months) ~days:(a.days + b.days)
+    ~seconds:(a.seconds + b.seconds) ()
+
+let neg a = make ~months:(-a.months) ~days:(-a.days) ~seconds:(-a.seconds) ()
+let scale k a = make ~months:(k * a.months) ~days:(k * a.days) ~seconds:(k * a.seconds) ()
+let equal a b = a = b
+let is_fixed t = t.months = 0
+let to_seconds t = if is_fixed t then Some ((t.days * 86400) + t.seconds) else None
+
+let add_to_date d t = Civil.add_days (Civil.add_months d t.months) t.days
+
+let between d1 d2 = make ~days:(Civil.rata_die d2 - Civil.rata_die d1) ()
+
+(* Months are worth between 28 and 31 days; a comparison is defined only
+   when the bounds do not overlap. *)
+let compare_opt a b =
+  let lo t = (t.months * 28 * 86400) + (t.days * 86400) + t.seconds in
+  let hi t = (t.months * 31 * 86400) + (t.days * 86400) + t.seconds in
+  let lo_a, hi_a = if a.months >= 0 then (lo a, hi a) else (hi a, lo a) in
+  let lo_b, hi_b = if b.months >= 0 then (lo b, hi b) else (hi b, lo b) in
+  if a = b then Some 0
+  else if hi_a < lo_b then Some (-1)
+  else if hi_b < lo_a then Some 1
+  else None
+
+let pp ppf t =
+  let parts =
+    List.filter_map Fun.id
+      [
+        (if t.months <> 0 then Some (Printf.sprintf "%dmo" t.months) else None);
+        (if t.days <> 0 then Some (Printf.sprintf "%dd" t.days) else None);
+        (if t.seconds <> 0 then Some (Printf.sprintf "%ds" t.seconds) else None);
+      ]
+  in
+  Format.pp_print_string ppf (if parts = [] then "0" else String.concat "" parts)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,52 @@
+(** Unanchored durations — the "span" concept of MultiCal discussed in
+    section 5 of the paper: a length of time with no start or end (e.g.
+    "a week", "three months"), kept orthogonal to the calendar algebra.
+
+    A span has a variable month component (months have no fixed length)
+    and fixed day/second components. Spans with a zero month component
+    are {e fixed}: they denote an exact number of seconds. *)
+
+type t = private {
+  months : int;
+  days : int;
+  seconds : int;
+}
+
+val zero : t
+
+(** [make ?months ?days ?seconds ()] normalizes seconds into days
+    (86400 s = 1 day), keeping signs. *)
+val make : ?months:int -> ?days:int -> ?seconds:int -> unit -> t
+
+(** One [n]-unit span of a granularity: Years become 12n months, Decades
+    120n, Centuries 1200n; Weeks become 7n days; the uniform granularities
+    become seconds. *)
+val of_granularity : Granularity.t -> int -> t
+
+val add : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val equal : t -> t -> bool
+
+(** True when the span has no month component and therefore a fixed
+    length. *)
+val is_fixed : t -> bool
+
+(** Exact length in seconds, when fixed. *)
+val to_seconds : t -> int option
+
+(** [add_to_date d s] anchors the span at [d]: months are added first
+    (with end-of-month clamping, like [Civil.add_months]), then days;
+    sub-day seconds are ignored at date resolution. *)
+val add_to_date : Civil.date -> t -> Civil.date
+
+(** The fixed span of whole days between two dates ([d1] to [d2]). *)
+val between : Civil.date -> Civil.date -> t
+
+(** Partial order: [compare_opt] is [None] when the spans' relative order
+    depends on the anchor (e.g. 1 month vs 30 days); months are bounded
+    by 28..31 days for the comparison. *)
+val compare_opt : t -> t -> int option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,74 @@
+type epoch = Civil.date
+
+let default_epoch = Civil.make 1987 1 1
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r < 0 <> (b < 0) then q - 1 else q
+
+let day_instant ~epoch d = (Civil.rata_die d - Civil.rata_die epoch) * 86400
+
+(* For Weeks, unit boundaries sit on Mondays; for other uniform
+   granularities they sit on multiples of the width from epoch start. *)
+let anchor ~epoch g =
+  match g with
+  | Granularity.Weeks -> -((Civil.weekday epoch - 1) * 86400)
+  | _ -> 0
+
+let months_index ~epoch d =
+  ((d.Civil.year * 12) + d.Civil.month) - ((epoch.Civil.year * 12) + epoch.Civil.month)
+
+let start_of_index ~epoch g k =
+  match Granularity.seconds_per g with
+  | Some w -> anchor ~epoch g + (k * w)
+  | None ->
+    let date =
+      match g with
+      | Granularity.Months -> Civil.add_months (Civil.make epoch.Civil.year epoch.Civil.month 1) k
+      | Granularity.Years -> Civil.make (epoch.Civil.year + k) 1 1
+      | Granularity.Decades -> Civil.make ((floor_div epoch.Civil.year 10 + k) * 10) 1 1
+      | Granularity.Centuries -> Civil.make ((floor_div epoch.Civil.year 100 + k) * 100) 1 1
+      | Seconds | Minutes | Hours | Days | Weeks -> assert false
+    in
+    day_instant ~epoch date
+
+let index_of_instant ~epoch g i =
+  match Granularity.seconds_per g with
+  | Some w -> floor_div (i - anchor ~epoch g) w
+  | None ->
+    let d = Civil.of_rata_die (Civil.rata_die epoch + floor_div i 86400) in
+    (match g with
+    | Granularity.Months -> months_index ~epoch d
+    | Granularity.Years -> d.Civil.year - epoch.Civil.year
+    | Granularity.Decades -> floor_div d.Civil.year 10 - floor_div epoch.Civil.year 10
+    | Granularity.Centuries -> floor_div d.Civil.year 100 - floor_div epoch.Civil.year 100
+    | Seconds | Minutes | Hours | Days | Weeks -> assert false)
+
+let aligned ~coarse ~fine =
+  let open Granularity in
+  if equal coarse fine then true
+  else if compare_fineness fine coarse > 0 then false
+  else
+    match fine with
+    | Seconds | Minutes | Hours | Days -> true
+    | Weeks -> false
+    | Months -> ( match coarse with Years | Decades | Centuries -> true | _ -> false)
+    | Years -> ( match coarse with Decades | Centuries -> true | _ -> false)
+    | Decades -> ( match coarse with Centuries -> true | _ -> false)
+    | Centuries -> false
+
+let chronon_of_date ~epoch g d =
+  Chronon.of_offset (index_of_instant ~epoch g (day_instant ~epoch d))
+
+let date_of_chronon ~epoch g c =
+  let i = start_of_index ~epoch g (Chronon.to_offset c) in
+  Civil.of_rata_die (Civil.rata_die epoch + floor_div i 86400)
+
+let chronon_span_of_dates ~epoch g d1 d2 =
+  if Civil.compare d1 d2 > 0 then
+    invalid_arg "Unit_system.chronon_span_of_dates: d1 > d2";
+  let lo = Chronon.of_offset (index_of_instant ~epoch g (day_instant ~epoch d1)) in
+  let hi =
+    Chronon.of_offset (index_of_instant ~epoch g (day_instant ~epoch d2 + 86399))
+  in
+  Interval.make lo hi

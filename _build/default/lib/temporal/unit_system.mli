@@ -1,0 +1,47 @@
+(** Mapping between granularities, instants and chronons relative to an
+    epoch.
+
+    An {e instant} is a count of seconds since the epoch date's midnight
+    (0 = epoch start, negative before it). Each granularity partitions the
+    instant line into units; unit indices are 0-based and unit 0 is the unit
+    {e containing} the epoch start (so for Weeks anchored on Mondays, unit 0
+    begins on the Monday on or before the epoch).
+
+    Chronons (the paper's no-zero coordinates) relate to unit indices by
+    [Chronon.of_offset] / [Chronon.to_offset]. *)
+
+type epoch = Civil.date
+
+(** The default system start date used throughout the paper's section 3.2
+    examples: January 1, 1987. *)
+val default_epoch : epoch
+
+(** [start_of_index ~epoch g k] is the instant at which unit [k] of
+    granularity [g] begins. *)
+val start_of_index : epoch:epoch -> Granularity.t -> int -> int
+
+(** [index_of_instant ~epoch g i] is the unit index containing instant
+    [i]. Inverse of {!start_of_index} in the sense
+    [index_of_instant (start_of_index k) = k]. *)
+val index_of_instant : epoch:epoch -> Granularity.t -> int -> int
+
+(** [aligned ~coarse ~fine] holds when every boundary of [coarse] is also a
+    boundary of [fine] — the condition under which [coarse] units can be
+    expressed exactly as intervals of [fine] chronons. Weeks are aligned
+    only with Days and finer; Months and coarser are aligned with Days,
+    Hours, Minutes, Seconds, and with each coarser-divides-finer pair
+    (Years/Months, Decades/Years, ...). *)
+val aligned : coarse:Granularity.t -> fine:Granularity.t -> bool
+
+(** [chronon_of_date ~epoch g d] is the [g]-chronon containing the start of
+    civil day [d] (e.g. with [g = Days], epoch day itself is chronon 1). *)
+val chronon_of_date : epoch:epoch -> Granularity.t -> Civil.date -> Chronon.t
+
+(** [date_of_chronon ~epoch g c] is the civil date containing the start of
+    [g]-chronon [c]. *)
+val date_of_chronon : epoch:epoch -> Granularity.t -> Chronon.t -> Civil.date
+
+(** [chronon_span_of_dates ~epoch g d1 d2] is the interval of [g]-chronons
+    covering civil days [d1..d2] inclusive. *)
+val chronon_span_of_dates :
+  epoch:epoch -> Granularity.t -> Civil.date -> Civil.date -> Interval.t

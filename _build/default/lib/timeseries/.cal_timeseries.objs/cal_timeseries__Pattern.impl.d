@@ -1,0 +1,1 @@
+lib/timeseries/pattern.ml: Array List Regular

@@ -1,0 +1,1 @@
+lib/timeseries/pattern.mli: Interval Regular

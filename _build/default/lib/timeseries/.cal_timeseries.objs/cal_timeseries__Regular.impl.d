@@ -1,0 +1,1 @@
+lib/timeseries/regular.ml: Array Ast Cal_lang Calendar Chronon Context Float Gran Granularity Hashtbl Interp Interval Interval_set List Option Parser Printexc Printf

@@ -1,0 +1,1 @@
+lib/timeseries/regular.mli: Cal_lang Chronon Context Interval Interval_set

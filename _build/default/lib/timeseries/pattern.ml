@@ -1,0 +1,77 @@
+(** Sequence patterns over regular time-series — the paper's future-work
+    item (a): selection predicates on the time-series associated with a
+    calendar, e.g. "the time points at which the end-of-day closing
+    prices for two successive days showed an increase"
+    ([S_t < Next(S_t)]). *)
+
+(** Indices [t] where [pred v_t v_{t+1}] holds. *)
+let search_pairs series ~pred =
+  let n = Regular.length series in
+  let acc = ref [] in
+  for i = n - 2 downto 0 do
+    if pred (Regular.value series i) (Regular.value series (i + 1)) then acc := i :: !acc
+  done;
+  !acc
+
+(** Timepoints where the next observation is strictly greater — the
+    paper's [{S_t < Next(S_t)}] query. *)
+let increases series =
+  List.map (Regular.timepoint series) (search_pairs series ~pred:(fun a b -> a < b))
+
+let decreases series =
+  List.map (Regular.timepoint series) (search_pairs series ~pred:(fun a b -> a > b))
+
+(** Maximal runs of at least [min_length] consecutive increases, as
+    (start index, length) pairs. *)
+let increasing_runs ?(min_length = 2) series =
+  let n = Regular.length series in
+  let rec go i acc =
+    if i >= n - 1 then List.rev acc
+    else if Regular.value series i < Regular.value series (i + 1) then begin
+      let j = ref (i + 1) in
+      while !j < n - 1 && Regular.value series !j < Regular.value series (!j + 1) do incr j done;
+      let len = !j - i + 1 in
+      go !j (if len >= min_length then (i, len) :: acc else acc)
+    end
+    else go (i + 1) acc
+  in
+  go 0 []
+
+(** Indices matching a numeric pattern expressed as successive deltas:
+    [matches_shape [`Up; `Down]] finds t with v_t < v_{t+1} > v_{t+2}. *)
+let matches_shape series shape =
+  let n = Regular.length series in
+  let step = function `Up -> ( < ) | `Down -> ( > ) | `Flat -> ( = ) in
+  let k = List.length shape in
+  let ok i =
+    let rec go j = function
+      | [] -> true
+      | s :: rest ->
+        step s (Regular.value series (i + j)) (Regular.value series (i + j + 1))
+        && go (j + 1) rest
+    in
+    go 0 shape
+  in
+  let acc = ref [] in
+  for i = n - 1 - k downto 0 do
+    if ok i then acc := i :: !acc
+  done;
+  !acc
+
+(** Simple moving average with window [w] (output index i covers source
+    indices [i .. i+w-1]). *)
+let moving_average series ~w =
+  if w <= 0 then invalid_arg "Pattern.moving_average: window must be positive";
+  let n = Regular.length series in
+  if n < w then [||]
+  else begin
+    let out = Array.make (n - w + 1) 0. in
+    let sum = ref 0. in
+    for i = 0 to w - 1 do sum := !sum +. Regular.value series i done;
+    out.(0) <- !sum /. float_of_int w;
+    for i = 1 to n - w do
+      sum := !sum -. Regular.value series (i - 1) +. Regular.value series (i + w - 1);
+      out.(i) <- !sum /. float_of_int w
+    done;
+    out
+  end

@@ -1,0 +1,26 @@
+(** Sequence patterns over regular time-series — the paper's future-work
+    item (a): selection predicates on the time-series associated with a
+    calendar, e.g. "the time points at which the end-of-day closing
+    prices for two successive days showed an increase"
+    ([S_t < Next(S_t)]). *)
+
+(** Indices [t] where [pred v_t v_{t+1}] holds, ascending. *)
+val search_pairs : Regular.t -> pred:(float -> float -> bool) -> int list
+
+(** Timepoints where the next observation is strictly greater — the
+    paper's [{S_t < Next(S_t)}] query. *)
+val increases : Regular.t -> Interval.t list
+
+val decreases : Regular.t -> Interval.t list
+
+(** Maximal runs of at least [min_length] consecutive increases, as
+    (start index, length) pairs. *)
+val increasing_runs : ?min_length:int -> Regular.t -> (int * int) list
+
+(** Indices matching a shape of successive deltas:
+    [matches_shape s [`Up; `Down]] finds t with v_t < v_{t+1} > v_{t+2}. *)
+val matches_shape : Regular.t -> [ `Up | `Down | `Flat ] list -> int list
+
+(** Simple moving average; output index i covers source indices
+    [i .. i+w-1]. @raise Invalid_argument on w <= 0. *)
+val moving_average : Regular.t -> w:int -> float array

@@ -1,0 +1,151 @@
+(** Regular time-series: observations whose timepoints are {e implied} by
+    a calendar expression, so no timestamps need to be stored (section 1:
+    the GNP series is valued on the last day of every quarter — the
+    calendar generates those days on request).
+
+    A series pairs a calendar expression with a plain value array; lookup
+    by chronon resolves through the materialized timepoints. *)
+
+open Cal_lang
+
+type t = {
+  expr : Ast.expr;
+  source : string;  (** the defining calendar expression, verbatim *)
+  fine : Granularity.t;
+  timepoints : Interval.t array;  (** ascending, one per observation *)
+  values : float array;
+}
+
+exception Series_error of string
+
+let materialize ctx ?window expr =
+  let cal, keep =
+    match window with
+    | Some w -> (fst (Interp.eval_expr_naive ctx ~window:w expr), fun _ -> true)
+    | None ->
+      (* Default evaluation pads beyond the lifespan so boundary units are
+         whole; series timepoints, however, live inside the lifespan. *)
+      let fine = Gran.finest_of_expr ctx.Context.env expr in
+      let lifespan = Context.lifespan_in ctx fine in
+      (fst (Interp.eval_expr_planned ctx expr), fun iv -> Interval.during iv lifespan)
+  in
+  Array.of_list (List.filter keep (Interval_set.to_list (Calendar.flatten cal)))
+
+(** [create ctx ~expr values] builds a series whose k-th value is observed
+    at the k-th interval of the calendar. The calendar must produce at
+    least as many timepoints as there are values; extra timepoints are
+    future observation slots and are dropped. *)
+let create ctx ?window ~expr values =
+  match Parser.expr expr with
+  | Error e -> Error e
+  | Ok ast -> (
+    match materialize ctx ?window ast with
+    | exception exn -> Error (Printexc.to_string exn)
+    | points ->
+      if Array.length points < Array.length values then
+        Error
+          (Printf.sprintf "calendar yields %d timepoints but %d values given"
+             (Array.length points) (Array.length values))
+      else
+        Ok
+          {
+            expr = ast;
+            source = expr;
+            fine = Gran.finest_of_expr ctx.Context.env ast;
+            timepoints = Array.sub points 0 (Array.length values);
+            values;
+          })
+
+let length t = Array.length t.values
+let source t = t.source
+let timepoint t i = t.timepoints.(i)
+let value t i = t.values.(i)
+
+let to_assoc t =
+  Array.to_list (Array.map2 (fun p v -> (p, v)) t.timepoints t.values)
+
+(** Index of the observation whose timepoint interval contains [c]. *)
+let index_of_chronon t c =
+  let lo = ref 0 and hi = ref (Array.length t.timepoints - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let iv = t.timepoints.(mid) in
+    if Interval.contains iv c then begin
+      found := Some mid;
+      lo := !hi + 1
+    end
+    else if Chronon.compare c (Interval.lo iv) < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  !found
+
+let at t c = Option.map (fun i -> t.values.(i)) (index_of_chronon t c)
+
+(** Restrict the series to observations whose timepoint lies during some
+    interval of [by] (e.g. slice a daily series to one quarter). *)
+let slice t (by : Interval_set.t) =
+  let keep =
+    Array.to_list t.timepoints
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter (fun (_, p) ->
+           Interval_set.fold (fun acc iv -> acc || Interval.during p iv) false by)
+  in
+  {
+    t with
+    timepoints = Array.of_list (List.map snd keep);
+    values = Array.of_list (List.map (fun (i, _) -> t.values.(i)) keep);
+  }
+
+type agg =
+  | Sum
+  | Mean
+  | Min
+  | Max
+  | Last
+  | First
+  | Count
+
+let apply_agg agg vs =
+  match (agg, vs) with
+  | _, [] -> None
+  | Count, _ -> Some (float_of_int (List.length vs))
+  | Sum, _ -> Some (List.fold_left ( +. ) 0. vs)
+  | Mean, _ -> Some (List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs))
+  | Min, v :: rest -> Some (List.fold_left Float.min v rest)
+  | Max, v :: rest -> Some (List.fold_left Float.max v rest)
+  | First, v :: _ -> Some v
+  | Last, _ -> Some (List.nth vs (List.length vs - 1))
+
+(** Aggregate observations per period of [periods] (e.g. monthly means of
+    a daily series). Periods without observations are skipped. *)
+let aggregate t ~periods ~agg =
+  List.filter_map
+    (fun period ->
+      let vs =
+        Array.to_list t.timepoints
+        |> List.mapi (fun i p -> (i, p))
+        |> List.filter (fun (_, p) -> Interval.during p period)
+        |> List.map (fun (i, _) -> t.values.(i))
+      in
+      Option.map (fun v -> (period, v)) (apply_agg agg vs))
+    (Interval_set.to_list periods)
+
+(** Pointwise combination of two series aligned on identical timepoints;
+    observations present in only one series are dropped. *)
+let map2 f a b =
+  let tbl = Hashtbl.create (length b) in
+  Array.iteri (fun i p -> Hashtbl.replace tbl (Interval.lo p, Interval.hi p) i) b.timepoints;
+  let keep =
+    Array.to_list a.timepoints
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter_map (fun (i, p) ->
+           match Hashtbl.find_opt tbl (Interval.lo p, Interval.hi p) with
+           | Some j -> Some (p, f a.values.(i) b.values.(j))
+           | None -> None)
+  in
+  {
+    a with
+    timepoints = Array.of_list (List.map fst keep);
+    values = Array.of_list (List.map snd keep);
+  }

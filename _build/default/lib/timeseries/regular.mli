@@ -1,0 +1,55 @@
+(** Regular time-series: observations whose timepoints are {e implied} by
+    a calendar expression, so no timestamps need to be stored (section 1:
+    the GNP series is valued on the last day of every quarter — the
+    calendar generates those days on request). *)
+
+open Cal_lang
+
+type t
+
+exception Series_error of string
+
+(** [create ctx ~expr values] pairs the calendar expression's k-th
+    interval with the k-th value. Without [window], the expression is
+    evaluated through the planner and timepoints are kept within the
+    context lifespan; extra timepoints beyond the values are future
+    observation slots and are dropped. Errors when the calendar yields
+    fewer timepoints than values. *)
+val create :
+  Context.t -> ?window:Interval.t -> expr:string -> float array -> (t, string) result
+
+val length : t -> int
+
+(** The defining calendar expression, verbatim. *)
+val source : t -> string
+
+val timepoint : t -> int -> Interval.t
+val value : t -> int -> float
+val to_assoc : t -> (Interval.t * float) list
+
+(** Index of the observation whose timepoint contains the chronon
+    (binary search). *)
+val index_of_chronon : t -> Chronon.t -> int option
+
+val at : t -> Chronon.t -> float option
+
+(** Keep observations whose timepoint lies during some interval of the
+    set (e.g. slice a daily series to one quarter). *)
+val slice : t -> Interval_set.t -> t
+
+type agg =
+  | Sum
+  | Mean
+  | Min
+  | Max
+  | Last
+  | First
+  | Count
+
+(** Aggregate observations per period (e.g. monthly means of a daily
+    series); periods without observations are skipped. *)
+val aggregate : t -> periods:Interval_set.t -> agg:agg -> (Interval.t * float) list
+
+(** Pointwise combination of two series aligned on identical timepoints;
+    observations present in only one series are dropped. *)
+val map2 : (float -> float -> float) -> t -> t -> t

@@ -1,0 +1,1 @@
+lib/tquel/tquel.ml: Array Cal_db Catalog Chronon Hashtbl Interval List Printf Qexpr Qlex Qparser String Trel Value

@@ -1,0 +1,1 @@
+lib/tquel/tquel.mli: Cal_db Catalog Interval Qexpr Trel Value

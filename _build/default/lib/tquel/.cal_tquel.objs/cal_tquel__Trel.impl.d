@@ -1,0 +1,1 @@
+lib/tquel/trel.ml: Array Cal_db Interval List Printf String Value

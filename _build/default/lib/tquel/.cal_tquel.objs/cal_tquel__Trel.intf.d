@@ -1,0 +1,1 @@
+lib/tquel/trel.mli: Cal_db Interval Value

@@ -1,0 +1,282 @@
+(** A miniature TQUEL: the temporal query language the paper measures its
+    expressiveness against (sections 1-2).
+
+    Supported, after Snodgrass's TQUEL:
+    {v
+    create R (a, b, ...)
+    append R (a = v, ...) valid from @d1 to @d2
+    retrieve (R.a, ...) [where <pred>]
+                        [when R <tempop> interval(@d1, @d2)]
+                        [valid]           -- include tuple validity column
+    tempop ::= overlap | precede | follow | equal | contain
+    v}
+
+    The point the paper makes — and this implementation makes concrete —
+    is what is {e missing}: [when] can only compare tuple validity against
+    explicitly given intervals. There is no construct denoting "the last
+    day of every quarter" or "the 3rd Friday of November"; such a set of
+    time points must be enumerated by hand into an auxiliary relation and
+    maintained when the calendar changes (see {!Tquel.expressible}). The
+    scalar [where] predicates reuse {!Cal_db.Qexpr} on the tuple's
+    attributes. *)
+
+open Cal_db
+
+type tempop =
+  | Overlap
+  | Precede  (** tuple validity entirely before the interval *)
+  | Follow  (** tuple validity entirely after the interval *)
+  | Equal
+  | Contain  (** tuple validity contains the interval *)
+
+let tempop_of_string = function
+  | "overlap" -> Some Overlap
+  | "precede" -> Some Precede
+  | "follow" -> Some Follow
+  | "equal" -> Some Equal
+  | "contain" -> Some Contain
+  | _ -> None
+
+let apply_tempop op (valid : Interval.t) (reference : Interval.t) =
+  match op with
+  | Overlap -> Interval.overlaps valid reference
+  | Precede -> Chronon.compare (Interval.hi valid) (Interval.lo reference) < 0
+  | Follow -> Chronon.compare (Interval.lo valid) (Interval.hi reference) > 0
+  | Equal -> Interval.equal valid reference
+  | Contain -> Interval.during reference valid
+
+type query =
+  | Create of { name : string; cols : string list }
+  | Append of { rel : string; assigns : (string * Value.t) list; valid : Interval.t }
+  | Retrieve of {
+      rel : string;
+      targets : string list;  (** attribute names; lower-case *)
+      where : Qexpr.t option;
+      when_ : (tempop * Interval.t) option;
+      with_valid : bool;
+    }
+
+type result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Done of string
+
+(* --- parsing (reusing the query-language lexer) ---------------------- *)
+
+exception Parse_error of string
+
+let parse input =
+  let toks = ref (Qlex.tokenize input) in
+  let peek () = match !toks with (t, _) :: _ -> t | [] -> Qlex.EOF in
+  let advance () = match !toks with _ :: rest -> toks := rest | [] -> () in
+  let fail msg = raise (Parse_error msg) in
+  let expect t =
+    if peek () = t then advance ()
+    else fail (Printf.sprintf "expected %s, found %s" (Qlex.to_string t) (Qlex.to_string (peek ())))
+  in
+  let ident () =
+    match peek () with
+    | Qlex.IDENT s -> advance (); s
+    | t -> fail ("expected identifier, found " ^ Qlex.to_string t)
+  in
+  let kw word =
+    match peek () with
+    | Qlex.IDENT s when String.lowercase_ascii s = word -> advance ()
+    | t -> fail (Printf.sprintf "expected %s, found %s" word (Qlex.to_string t))
+  in
+  let is_kw word =
+    match peek () with
+    | Qlex.IDENT s -> String.lowercase_ascii s = word
+    | _ -> false
+  in
+  let chronon () =
+    match peek () with
+    | Qlex.CHRONON c when c <> 0 -> advance (); c
+    | t -> fail ("expected chronon literal, found " ^ Qlex.to_string t)
+  in
+  let value () =
+    match peek () with
+    | Qlex.INT i -> advance (); Value.Int i
+    | Qlex.FLOAT f -> advance (); Value.Float f
+    | Qlex.STRING s -> advance (); Value.Text s
+    | Qlex.CHRONON c -> advance (); Value.Chronon c
+    | Qlex.IDENT s when String.lowercase_ascii s = "true" -> advance (); Value.Bool true
+    | Qlex.IDENT s when String.lowercase_ascii s = "false" -> advance (); Value.Bool false
+    | t -> fail ("expected literal, found " ^ Qlex.to_string t)
+  in
+  let interval () =
+    kw "interval";
+    expect Qlex.LPAREN;
+    let a = chronon () in
+    expect Qlex.COMMA;
+    let b = chronon () in
+    expect Qlex.RPAREN;
+    Interval.make a b
+  in
+  if is_kw "create" then begin
+    advance ();
+    let name = ident () in
+    expect Qlex.LPAREN;
+    let rec cols acc =
+      let c = String.lowercase_ascii (ident ()) in
+      if peek () = Qlex.COMMA then begin advance (); cols (c :: acc) end
+      else List.rev (c :: acc)
+    in
+    let cs = cols [] in
+    expect Qlex.RPAREN;
+    Create { name; cols = cs }
+  end
+  else if is_kw "append" then begin
+    advance ();
+    let rel = ident () in
+    expect Qlex.LPAREN;
+    let rec assigns acc =
+      let c = String.lowercase_ascii (ident ()) in
+      expect Qlex.EQ;
+      let v = value () in
+      if peek () = Qlex.COMMA then begin advance (); assigns ((c, v) :: acc) end
+      else List.rev ((c, v) :: acc)
+    in
+    let a = assigns [] in
+    expect Qlex.RPAREN;
+    kw "valid";
+    kw "from";
+    let d1 = chronon () in
+    kw "to";
+    let d2 = chronon () in
+    Append { rel; assigns = a; valid = Interval.make d1 d2 }
+  end
+  else if is_kw "retrieve" then begin
+    advance ();
+    expect Qlex.LPAREN;
+    let rec targets acc =
+      let first = ident () in
+      let name =
+        if peek () = Qlex.DOT then begin
+          advance ();
+          ident ()
+        end
+        else first
+      in
+      let name = String.lowercase_ascii name in
+      if peek () = Qlex.COMMA then begin advance (); targets (name :: acc) end
+      else List.rev (name :: acc)
+    in
+    let ts = targets [] in
+    expect Qlex.RPAREN;
+    (* The relation is inferred from the first qualified target or given
+       by `from`. *)
+    let rel = ref None in
+    if is_kw "from" then begin
+      advance ();
+      rel := Some (ident ())
+    end;
+    let where =
+      if is_kw "where" then begin
+        advance ();
+        (* Reuse the scalar expression grammar by re-lexing the remaining
+           tokens up to `when`/`valid`/EOF. *)
+        let rec take acc =
+          match peek () with
+          | Qlex.IDENT s
+            when List.mem (String.lowercase_ascii s) [ "when"; "valid" ] ->
+            List.rev acc
+          | Qlex.EOF -> List.rev acc
+          | t ->
+            advance ();
+            take (t :: acc)
+        in
+        let toks = take [] in
+        let src = String.concat " " (List.map Qlex.to_string toks) in
+        match Qparser.expr_exn src with
+        | e -> Some e
+        | exception _ -> fail "bad where clause"
+      end
+      else None
+    in
+    let when_ =
+      if is_kw "when" then begin
+        advance ();
+        ignore (ident ()) (* tuple variable, e.g. the relation name *);
+        let opname = String.lowercase_ascii (ident ()) in
+        match tempop_of_string opname with
+        | Some op -> Some (op, interval ())
+        | None -> fail ("unknown temporal predicate " ^ opname)
+      end
+      else None
+    in
+    let with_valid = if is_kw "valid" then ( advance (); true) else false in
+    (match !rel with
+    | Some r -> Retrieve { rel = r; targets = ts; where; when_; with_valid }
+    | None -> fail "retrieve needs a from clause")
+  end
+  else fail ("expected create/append/retrieve, found " ^ Qlex.to_string (peek ()))
+
+(* --- execution -------------------------------------------------------- *)
+
+type db = (string, Trel.t) Hashtbl.t
+
+let create_db () : db = Hashtbl.create 8
+
+let relation (db : db) name =
+  match Hashtbl.find_opt db (String.lowercase_ascii name) with
+  | Some r -> r
+  | None -> raise (Trel.Tquel_error ("no relation " ^ name))
+
+let run (db : db) ?(catalog = Catalog.create ()) input =
+  match parse input with
+  | Create { name; cols } ->
+    Hashtbl.replace db (String.lowercase_ascii name) (Trel.create ~name ~cols);
+    Done (Printf.sprintf "relation %s created" name)
+  | Append { rel; assigns; valid } ->
+    let r = relation db rel in
+    let attrs = Array.make (Trel.arity r) Value.Null in
+    List.iter (fun (c, v) -> attrs.(Trel.col_index r c) <- v) assigns;
+    Trel.append r attrs ~valid;
+    Done "appended"
+  | Retrieve { rel; targets; where; when_; with_valid } ->
+    let r = relation db rel in
+    let idxs = List.map (Trel.col_index r) targets in
+    let rows =
+      List.filter_map
+        (fun (tu : Trel.tuple) ->
+          let binding name =
+            match Trel.col_index r (String.lowercase_ascii name) with
+            | i -> Some tu.Trel.attrs.(i)
+            | exception Trel.Tquel_error _ -> None
+          in
+          let where_ok =
+            match where with
+            | None -> true
+            | Some e -> (
+              match Qexpr.eval ~catalog ~binding e with
+              | Value.Bool b -> b
+              | _ -> false)
+          in
+          let when_ok =
+            match when_ with
+            | None -> true
+            | Some (op, reference) -> apply_tempop op tu.Trel.valid reference
+          in
+          if where_ok && when_ok then
+            Some
+              (Array.of_list
+                 (List.map (fun i -> tu.Trel.attrs.(i)) idxs
+                 @ (if with_valid then [ Value.Interval tu.Trel.valid ] else [])))
+          else None)
+        (Trel.to_list r)
+    in
+    Rows { columns = (targets @ if with_valid then [ "valid" ] else []); rows }
+
+(** The expressiveness gap, stated as code: TQUEL's temporal constructs.
+    A temporal condition is expressible exactly when it is a boolean
+    combination of tempops against {e explicitly enumerated} intervals —
+    there is no construct for calendric sets ("every Tuesday", "last day
+    of every quarter", "3rd Friday if a business day"). Such conditions
+    require the caller to enumerate the time points and maintain them as
+    data. *)
+let expressible = function
+  | `Interval_comparison -> true (* when R overlap interval(a,b) *)
+  | `Validity_projection -> true (* retrieve (...) valid *)
+  | `Calendric_set -> false (* every Tuesday / 3rd Friday / quarter ends *)
+  | `Holiday_adjustment -> false (* "if holiday, preceding business day" *)
+  | `User_defined_date_arithmetic -> false (* 30/360 day counts *)

@@ -1,0 +1,65 @@
+(** A miniature TQUEL: the temporal query language the paper measures its
+    expressiveness against (sections 1-2).
+
+    {v
+    create R (a, b, ...)
+    append R (a = v, ...) valid from @d1 to @d2
+    retrieve (R.a, ...) from R [where <pred>]
+                        [when R <tempop> interval(@d1, @d2)]
+                        [valid]
+    tempop ::= overlap | precede | follow | equal | contain
+    v}
+
+    The [when] clause compares tuple validity against {e explicitly
+    given} intervals only — the expressiveness gap the paper's
+    introduction builds on (see {!expressible}). *)
+
+open Cal_db
+
+type tempop =
+  | Overlap
+  | Precede  (** tuple validity entirely before the interval *)
+  | Follow  (** tuple validity entirely after the interval *)
+  | Equal
+  | Contain  (** tuple validity contains the interval *)
+
+val tempop_of_string : string -> tempop option
+val apply_tempop : tempop -> Interval.t -> Interval.t -> bool
+
+type query =
+  | Create of { name : string; cols : string list }
+  | Append of { rel : string; assigns : (string * Value.t) list; valid : Interval.t }
+  | Retrieve of {
+      rel : string;
+      targets : string list;
+      where : Qexpr.t option;
+      when_ : (tempop * Interval.t) option;
+      with_valid : bool;  (** project the validity column *)
+    }
+
+type result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Done of string
+
+exception Parse_error of string
+
+val parse : string -> query
+
+type db
+
+val create_db : unit -> db
+
+(** @raise Trel.Tquel_error for unknown relations. *)
+val relation : db -> string -> Trel.t
+
+(** Parse and execute one statement. [catalog] supplies scalar operators
+    for [where] (a fresh empty catalog by default).
+    @raise Parse_error / Trel.Tquel_error *)
+val run : db -> ?catalog:Catalog.t -> string -> result
+
+(** Which temporal-condition classes TQUEL can express — the paper's
+    section 1 comparison, as a checkable artifact. *)
+val expressible :
+  [ `Interval_comparison | `Validity_projection | `Calendric_set
+  | `Holiday_adjustment | `User_defined_date_arithmetic ] ->
+  bool

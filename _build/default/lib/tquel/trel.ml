@@ -1,0 +1,45 @@
+(** Temporal relations in the TQUEL style: every tuple carries a valid
+    interval (in day chronons). This is the baseline data model the paper
+    positions against in sections 1-2 — interval-stamped tuples without a
+    calendar algebra. *)
+
+open Cal_db
+
+type tuple = {
+  attrs : Value.t array;
+  valid : Interval.t;
+}
+
+type t = {
+  name : string;
+  cols : string list;  (** lower-case attribute names *)
+  mutable tuples : tuple list;  (** newest first *)
+}
+
+exception Tquel_error of string
+
+let create ~name ~cols =
+  let cols = List.map String.lowercase_ascii cols in
+  if List.length (List.sort_uniq String.compare cols) <> List.length cols then
+    raise (Tquel_error ("duplicate attribute in relation " ^ name));
+  { name; cols; tuples = [] }
+
+let arity t = List.length t.cols
+
+let col_index t name =
+  let rec go i = function
+    | [] -> raise (Tquel_error (Printf.sprintf "no attribute %s in %s" name t.name))
+    | c :: rest -> if String.equal c name then i else go (i + 1) rest
+  in
+  go 0 t.cols
+
+(** [append t attrs ~valid] stamps the tuple with its valid interval. *)
+let append t attrs ~valid =
+  if Array.length attrs <> arity t then
+    raise (Tquel_error (Printf.sprintf "arity mismatch appending to %s" t.name));
+  t.tuples <- { attrs; valid } :: t.tuples
+
+let count t = List.length t.tuples
+
+(** Tuples in append order. *)
+let to_list t = List.rev t.tuples

@@ -1,0 +1,35 @@
+(** Temporal relations in the TQUEL style: every tuple carries a valid
+    interval (in day chronons). This is the baseline data model the paper
+    positions against in sections 1-2 — interval-stamped tuples without a
+    calendar algebra. *)
+
+open Cal_db
+
+type tuple = {
+  attrs : Value.t array;
+  valid : Interval.t;
+}
+
+type t = {
+  name : string;
+  cols : string list;  (** lower-case attribute names *)
+  mutable tuples : tuple list;  (** newest first *)
+}
+
+exception Tquel_error of string
+
+(** @raise Tquel_error on duplicate attributes. *)
+val create : name:string -> cols:string list -> t
+
+val arity : t -> int
+
+(** @raise Tquel_error for unknown attributes. *)
+val col_index : t -> string -> int
+
+(** [append t attrs ~valid] stamps the tuple with its valid interval. *)
+val append : t -> Value.t array -> valid:Interval.t -> unit
+
+val count : t -> int
+
+(** Tuples in append order. *)
+val to_list : t -> tuple list

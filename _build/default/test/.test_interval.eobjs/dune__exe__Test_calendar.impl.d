@@ -1,0 +1,1 @@
+test/test_calendar.ml: Alcotest Calendar Calendar_gen Chronon Civil Granularity Interval Interval_set List Listop QCheck2 QCheck_alcotest Unit_system

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Chronon Interval Interval_set List Option QCheck2 QCheck_alcotest

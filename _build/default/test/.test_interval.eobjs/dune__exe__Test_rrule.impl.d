@@ -1,0 +1,1 @@
+test/test_rrule.ml: Alcotest Cal_lang Cal_rrule Calendar Chronon Civil Context Env Expand Fmt Interp Interval Interval_set List Parser QCheck2 QCheck_alcotest Result Rrule Translate

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Array Cal_db Cal_lang Cal_rules Catalog Civil Clock Context Env Exec Int List Parser Printf QCheck2 QCheck_alcotest String Value

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Array Cal_db Cal_rules Calendar Calrules Civil Exec Int Interval Interval_set List Printf QCheck2 QCheck_alcotest Result Session String Value

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Civil Clock Date_io Day_count Granularity Interval List Printf QCheck2 QCheck_alcotest Span Unit_system

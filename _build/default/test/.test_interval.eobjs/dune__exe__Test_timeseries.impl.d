@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Array Cal_lang Cal_timeseries Civil Context Env Interval Interval_set List Pattern Printf QCheck2 QCheck_alcotest Regular String

@@ -1,0 +1,1 @@
+test/test_tquel.ml: Alcotest Cal_db Cal_lang Cal_tquel Calendar Civil Interval Interval_set List Printf Tquel Trel Value

@@ -1,0 +1,409 @@
+(* Tests for the calendar algebra (section 3.1/3.2). The golden values are
+   the paper's worked examples with epoch Jan 1 1993 for section 3.1 and
+   Jan 1 1987 for the generate example of section 3.2. *)
+
+let epoch93 = Civil.make 1993 1 1
+let epoch87 = Civil.make 1987 1 1
+let iv lo hi = Interval.make lo hi
+
+let cal_testable = Alcotest.testable Calendar.pp Calendar.equal
+let check_cal = Alcotest.check cal_testable
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+
+let gen93 ~coarse ~fine ~window =
+  Calendar_gen.generate ~epoch:epoch93 ~coarse ~fine ~window ()
+
+(* WEEKS and MONTHS of 1993 as day intervals, matching the paper. *)
+let weeks_1993 =
+  gen93 ~coarse:Granularity.Weeks ~fine:Granularity.Days ~window:(iv (-4) 368)
+
+let months_1993 =
+  gen93 ~coarse:Granularity.Months ~fine:Granularity.Days ~window:(iv 1 365)
+
+let jan_1993 = Calendar.of_interval (iv 1 31)
+let weeks_cal = Calendar.leaf weeks_1993
+let months_cal = Calendar.leaf months_1993
+
+(* ------------------------------------------------------------------ *)
+(* Basic structure *)
+
+let test_order_and_size () =
+  check_int "leaf order" 1 (Calendar.order weeks_cal);
+  let o2 = Calendar.node [ weeks_cal; months_cal ] in
+  check_int "node order" 2 (Calendar.order o2);
+  check_int "size" (Interval_set.cardinal weeks_1993 + Interval_set.cardinal months_1993)
+    (Calendar.size o2);
+  check_bool "empty" true (Calendar.is_empty Calendar.empty);
+  check_bool "non-empty" false (Calendar.is_empty weeks_cal)
+
+let test_simplify () =
+  let n = Calendar.node [ Calendar.of_pairs [ (1, 1) ]; Calendar.of_pairs [ (5, 5) ] ] in
+  check_cal "node of singletons flattens" (Calendar.of_pairs [ (1, 1); (5, 5) ])
+    (Calendar.simplify n);
+  let single = Calendar.node [ weeks_cal ] in
+  check_cal "single child collapses" weeks_cal (Calendar.simplify single)
+
+(* ------------------------------------------------------------------ *)
+(* Paper section 3.1 golden examples *)
+
+let test_weeks_1993_values () =
+  let expected = [ (-4, 3); (4, 10); (11, 17); (18, 24); (25, 31); (32, 38); (39, 45) ] in
+  let actual =
+    List.filteri (fun i _ -> i < 7) (Interval_set.to_pairs weeks_1993)
+  in
+  Alcotest.(check (list (pair int int))) "first weeks of 1993" expected actual
+
+let test_months_1993_values () =
+  let actual = List.filteri (fun i _ -> i < 4) (Interval_set.to_pairs months_1993) in
+  Alcotest.(check (list (pair int int)))
+    "first months of 1993"
+    [ (1, 31); (32, 59); (60, 90); (91, 120) ]
+    actual
+
+let test_weeks_during_jan () =
+  check_cal "WEEKS:during:Jan-1993"
+    (Calendar.of_pairs [ (4, 10); (11, 17); (18, 24); (25, 31) ])
+    (Calendar.foreach ~strict:true Listop.During weeks_cal jan_1993)
+
+let test_weeks_during_year () =
+  let r = Calendar.foreach ~strict:true Listop.During weeks_cal months_cal in
+  check_int "order 2" 2 (Calendar.order r);
+  match r with
+  | Calendar.Node (jan :: feb :: mar :: apr :: _) ->
+    check_cal "january weeks" (Calendar.of_pairs [ (4, 10); (11, 17); (18, 24); (25, 31) ]) jan;
+    check_cal "february weeks" (Calendar.of_pairs [ (32, 38); (39, 45); (46, 52); (53, 59) ]) feb;
+    check_cal "march weeks" (Calendar.of_pairs [ (60, 66); (67, 73); (74, 80); (81, 87) ]) mar;
+    check_cal "april weeks" (Calendar.of_pairs [ (95, 101); (102, 108); (109, 115) ]) apr
+  | _ -> Alcotest.fail "expected order-2 node"
+
+let test_weeks_overlaps_jan_strict () =
+  check_cal "WEEKS:overlaps:Jan-1993 (clipped)"
+    (Calendar.of_pairs [ (1, 3); (4, 10); (11, 17); (18, 24); (25, 31) ])
+    (Calendar.foreach ~strict:true Listop.Overlaps weeks_cal jan_1993)
+
+let test_weeks_overlaps_jan_relaxed () =
+  check_cal "WEEKS.overlaps.Jan-1993 (whole weeks)"
+    (Calendar.of_pairs [ (-4, 3); (4, 10); (11, 17); (18, 24); (25, 31) ])
+    (Calendar.foreach ~strict:false Listop.Overlaps weeks_cal jan_1993)
+
+let test_third_week_of_january () =
+  let overlaps = Calendar.foreach ~strict:true Listop.Overlaps weeks_cal jan_1993 in
+  check_cal "[3]/WEEKS:overlaps:Jan-1993"
+    (Calendar.of_pairs [ (11, 17) ])
+    (Calendar.select [ Calendar.Nth 3 ] overlaps)
+
+let test_third_week_of_every_month () =
+  let overlaps = Calendar.foreach ~strict:true Listop.Overlaps weeks_cal months_cal in
+  let thirds = Calendar.select [ Calendar.Nth 3 ] overlaps in
+  check_int "selection flattens to order 1" 1 (Calendar.order thirds);
+  let actual = List.filteri (fun i _ -> i < 4) (Interval_set.to_pairs (Calendar.flatten thirds)) in
+  Alcotest.(check (list (pair int int)))
+    "[3]/WEEKS:overlaps:Year-1993"
+    [ (11, 17); (46, 52); (74, 80); (102, 108) ]
+    actual
+
+(* Last day of every month: [n]/DAYS:during:MONTHS. *)
+let test_last_day_of_month () =
+  let days =
+    Calendar.leaf (gen93 ~coarse:Granularity.Days ~fine:Granularity.Days ~window:(iv 1 120))
+  in
+  let per_month = Calendar.foreach ~strict:true Listop.During days months_cal in
+  let ldom = Calendar.select [ Calendar.Last ] per_month in
+  let actual = List.filteri (fun i _ -> i < 4) (Interval_set.to_pairs (Calendar.flatten ldom)) in
+  Alcotest.(check (list (pair int int)))
+    "LDOM" [ (31, 31); (59, 59); (90, 90); (120, 120) ] actual
+
+(* [n]/AM_BUS_DAYS:<:LDOM_HOL from the EMP-DAYS script. *)
+let test_last_business_day_before () =
+  let holidays = [ 31; 89; 90 ] in
+  let bus_days =
+    Calendar.of_pairs
+      (List.filter_map
+         (fun i -> if List.mem i holidays then None else Some (i, i))
+         (List.init 120 (fun i -> i + 1)))
+  in
+  let ldom_hol = Calendar.of_pairs [ (31, 31); (90, 90) ] in
+  let before = Calendar.foreach ~strict:true Listop.Before bus_days ldom_hol in
+  check_int "order-2 components" 2 (Calendar.order before);
+  check_cal "last business days"
+    (Calendar.of_pairs [ (30, 30); (88, 88) ])
+    (Calendar.select [ Calendar.Last ] before)
+
+(* ------------------------------------------------------------------ *)
+(* Section 3.2: generate and caloperate *)
+
+let test_generate_years_in_days_1987 () =
+  (* generate(YEARS, DAYS, [Jan 1 1987, Jan 3 1992]) from the paper. *)
+  let window =
+    Unit_system.chronon_span_of_dates ~epoch:epoch87 Granularity.Days (Civil.make 1987 1 1)
+      (Civil.make 1992 1 3)
+  in
+  let r =
+    Calendar_gen.generate ~epoch:epoch87 ~coarse:Granularity.Years ~fine:Granularity.Days
+      ~window ()
+  in
+  Alcotest.(check (list (pair int int)))
+    "years as day intervals"
+    [ (1, 365); (366, 731); (732, 1096); (1097, 1461); (1462, 1826); (1827, 1829) ]
+    (Interval_set.to_pairs r)
+
+let test_generate_misaligned () =
+  Alcotest.check_raises "weeks under years"
+    (Calendar_gen.Misaligned (Granularity.Years, Granularity.Weeks)) (fun () ->
+      ignore
+        (Calendar_gen.generate ~epoch:epoch87 ~coarse:Granularity.Years
+           ~fine:Granularity.Weeks ~window:(iv 1 52) ()))
+
+let test_generate_too_large () =
+  Alcotest.check_raises "limit enforced" (Calendar_gen.Generation_too_large 1000)
+    (fun () ->
+      ignore
+        (Calendar_gen.generate ~max_intervals:999 ~epoch:epoch87 ~coarse:Granularity.Days
+           ~fine:Granularity.Days ~window:(iv 1 1000) ()))
+
+let test_caloperate_weeks () =
+  (* WEEKS = caloperate(days-of-year, *; 7) = {(1,7),(8,14),...}. *)
+  let days = gen93 ~coarse:Granularity.Days ~fine:Granularity.Days ~window:(iv 1 365) in
+  let weeks = Calendar_gen.caloperate ~counts:[ 7 ] days in
+  check_int "52 complete weeks" 52 (Interval_set.cardinal weeks);
+  Alcotest.(check (list (pair int int)))
+    "first groups"
+    [ (1, 7); (8, 14); (15, 21) ]
+    (List.filteri (fun i _ -> i < 3) (Interval_set.to_pairs weeks))
+
+let test_caloperate_quarters () =
+  let quarters = Calendar_gen.caloperate ~counts:[ 3 ] months_1993 in
+  Alcotest.(check (list (pair int int)))
+    "quarters of 1993"
+    [ (1, 90); (91, 181); (182, 273); (274, 365) ]
+    (Interval_set.to_pairs quarters)
+
+let test_caloperate_circular () =
+  (* Alternating 2,3 groups over ten singletons. *)
+  let s = Interval_set.of_pairs (List.init 10 (fun i -> (i + 1, i + 1))) in
+  let r = Calendar_gen.caloperate ~counts:[ 2; 3 ] s in
+  Alcotest.(check (list (pair int int)))
+    "circular counts" [ (1, 2); (3, 5); (6, 7); (8, 10) ] (Interval_set.to_pairs r)
+
+let test_caloperate_end () =
+  let s = Interval_set.of_pairs (List.init 10 (fun i -> (i + 1, i + 1))) in
+  let r = Calendar_gen.caloperate ~end_:6 ~counts:[ 2 ] s in
+  Alcotest.(check (list (pair int int)))
+    "stops at end" [ (1, 2); (3, 4); (5, 6) ] (Interval_set.to_pairs r);
+  Alcotest.check_raises "empty counts"
+    (Invalid_argument "Calendar_gen.caloperate: empty count list") (fun () ->
+      ignore (Calendar_gen.caloperate ~counts:[] s))
+
+(* ------------------------------------------------------------------ *)
+(* Selection variants *)
+
+let test_selection_variants () =
+  let s = Calendar.of_pairs [ (1, 3); (4, 10); (11, 17); (18, 24); (25, 31) ] in
+  check_cal "[-2]" (Calendar.of_pairs [ (18, 24) ]) (Calendar.select [ Calendar.Nth (-2) ] s);
+  check_cal "[n]" (Calendar.of_pairs [ (25, 31) ]) (Calendar.select [ Calendar.Last ] s);
+  check_cal "[1,3]"
+    (Calendar.of_pairs [ (1, 3); (11, 17) ])
+    (Calendar.select [ Calendar.Nth 1; Calendar.Nth 3 ] s);
+  check_cal "[2..4]"
+    (Calendar.of_pairs [ (4, 10); (11, 17); (18, 24) ])
+    (Calendar.select [ Calendar.Range (2, 4) ] s);
+  check_cal "out of range skipped" Calendar.empty (Calendar.select [ Calendar.Nth 9 ] s);
+  check_cal "label 1995 of years starting 1993"
+    (Calendar.of_pairs [ (11, 17) ])
+    (Calendar.nth_by_label ~base:1993 1995 s)
+
+(* ------------------------------------------------------------------ *)
+(* Element-wise operations: the EMP-DAYS return expression *)
+
+let test_elementwise_script_ops () =
+  let ldom = Calendar.of_pairs [ (31, 31); (59, 59); (90, 90) ] in
+  let ldom_hol = Calendar.of_pairs [ (31, 31); (90, 90) ] in
+  let last_bus = Calendar.of_pairs [ (30, 30); (88, 88) ] in
+  check_cal "LDOM - LDOM_HOL + LAST_BUS_DAY"
+    (Calendar.of_pairs [ (30, 30); (59, 59); (88, 88) ])
+    (Calendar.union (Calendar.diff ldom ldom_hol) last_bus);
+  check_cal "inter" ldom_hol (Calendar.inter ldom ldom_hol)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let small_set_gen =
+  QCheck2.Gen.(
+    map
+      (fun l ->
+        Interval_set.of_list
+          (List.map
+             (fun (a, b) ->
+               Interval.make (Chronon.of_offset (min a b)) (Chronon.of_offset (max a b)))
+             l))
+      (list_size (int_range 0 8) (pair (int_range (-30) 30) (int_range (-30) 30))))
+
+let interval_gen =
+  QCheck2.Gen.(
+    map2
+      (fun a b -> Interval.make (Chronon.of_offset (min a b)) (Chronon.of_offset (max a b)))
+      (int_range (-30) 30) (int_range (-30) 30))
+
+let listop_gen = QCheck2.Gen.oneofl Listop.all
+
+let prop_strict_subset_of_relaxed =
+  QCheck2.Test.make ~name:"strict results lie within relaxed results" ~count:500
+    QCheck2.Gen.(triple listop_gen small_set_gen interval_gen)
+    (fun (op, s, reference) ->
+      let strict =
+        Calendar.flatten
+          (Calendar.foreach ~strict:true op (Calendar.leaf s) (Calendar.of_interval reference))
+      in
+      let relaxed =
+        Calendar.flatten
+          (Calendar.foreach ~strict:false op (Calendar.leaf s) (Calendar.of_interval reference))
+      in
+      Interval_set.fold
+        (fun acc i ->
+          acc
+          && Interval_set.fold
+               (fun found r -> found || Interval.during i r)
+               false relaxed)
+        true strict)
+
+let prop_during_strict_eq_relaxed =
+  QCheck2.Test.make ~name:"during: strict = relaxed" ~count:500
+    QCheck2.Gen.(pair small_set_gen interval_gen)
+    (fun (s, r) ->
+      Calendar.equal
+        (Calendar.foreach ~strict:true Listop.During (Calendar.leaf s) (Calendar.of_interval r))
+        (Calendar.foreach ~strict:false Listop.During (Calendar.leaf s) (Calendar.of_interval r)))
+
+let prop_overlaps_strict_within_reference =
+  QCheck2.Test.make ~name:"strict overlaps clips into reference" ~count:500
+    QCheck2.Gen.(pair small_set_gen interval_gen)
+    (fun (s, r) ->
+      let res =
+        Calendar.flatten
+          (Calendar.foreach ~strict:true Listop.Overlaps (Calendar.leaf s)
+             (Calendar.of_interval r))
+      in
+      Interval_set.fold (fun acc i -> acc && Interval.during i r) true res)
+
+(* The indexed foreach must agree with the pairwise oracle for every
+   listop, strictness, and reference structure. *)
+let prop_indexed_foreach_matches_pairwise =
+  QCheck2.Test.make ~name:"indexed foreach = pairwise foreach" ~count:800
+    QCheck2.Gen.(
+      tup4 (oneofl Listop.all) bool small_set_gen small_set_gen)
+    (fun (op, strict, lhs, rhs) ->
+      let lhs = Calendar.leaf lhs and rhs = Calendar.leaf rhs in
+      Calendar.equal
+        (Calendar.foreach ~strict op lhs rhs)
+        (Calendar.foreach_pairwise ~strict op lhs rhs))
+
+let prop_select_last_is_minus_one =
+  QCheck2.Test.make ~name:"[n] = [-1]" ~count:300 small_set_gen (fun s ->
+      Calendar.equal
+        (Calendar.select [ Calendar.Last ] (Calendar.leaf s))
+        (Calendar.select [ Calendar.Nth (-1) ] (Calendar.leaf s)))
+
+let prop_select_size_bounded =
+  QCheck2.Test.make ~name:"selection size bounded by input" ~count:300
+    QCheck2.Gen.(pair small_set_gen (int_range (-10) 10))
+    (fun (s, i) ->
+      let sel = if i = 0 then [ Calendar.Last ] else [ Calendar.Nth i ] in
+      Calendar.size (Calendar.select sel (Calendar.leaf s)) <= Interval_set.cardinal s)
+
+let aligned_pairs =
+  [
+    (Granularity.Years, Granularity.Days);
+    (Granularity.Months, Granularity.Days);
+    (Granularity.Weeks, Granularity.Days);
+    (Granularity.Years, Granularity.Months);
+    (Granularity.Decades, Granularity.Years);
+    (Granularity.Days, Granularity.Hours);
+  ]
+
+let prop_generate_tiles_window =
+  QCheck2.Test.make ~name:"generate tiles the window exactly" ~count:200
+    QCheck2.Gen.(pair (oneofl aligned_pairs) (pair (int_range (-400) 400) (int_range 0 400)))
+    (fun ((coarse, fine), (a, len)) ->
+      let lo = Chronon.of_offset a and hi = Chronon.of_offset (a + len) in
+      let window = Interval.make lo hi in
+      let r = Calendar_gen.generate ~epoch:epoch87 ~coarse ~fine ~window () in
+      Interval_set.equal
+        (Interval_set.coalesce r)
+        (Interval_set.singleton window))
+
+let prop_generate_intervals_disjoint_sorted =
+  QCheck2.Test.make ~name:"generate yields disjoint consecutive intervals" ~count:200
+    QCheck2.Gen.(pair (oneofl aligned_pairs) (int_range (-400) 400))
+    (fun ((coarse, fine), a) ->
+      let window = Interval.make (Chronon.of_offset a) (Chronon.of_offset (a + 300)) in
+      let r = Calendar_gen.generate ~epoch:epoch87 ~coarse ~fine ~window () in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+          Chronon.to_offset (Interval.lo b) = Chronon.to_offset (Interval.hi a) + 1 && ok rest
+        | _ -> true
+      in
+      ok (Interval_set.to_list r))
+
+let prop_caloperate_preserves_coverage =
+  QCheck2.Test.make ~name:"caloperate groups cover grouped inputs" ~count:200
+    QCheck2.Gen.(pair (int_range 1 5) (int_range 1 40))
+    (fun (k, n) ->
+      let s = Interval_set.of_pairs (List.init n (fun i -> (i + 1, i + 1))) in
+      let r = Calendar_gen.caloperate ~counts:[ k ] s in
+      Interval_set.cardinal r = n / k
+      && Interval_set.fold (fun acc i -> acc && Interval.length i = k) true r)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "cal_calendar"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "order/size" `Quick test_order_and_size;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+        ] );
+      ( "paper-3.1",
+        [
+          Alcotest.test_case "WEEKS values" `Quick test_weeks_1993_values;
+          Alcotest.test_case "MONTHS values" `Quick test_months_1993_values;
+          Alcotest.test_case "weeks during jan" `Quick test_weeks_during_jan;
+          Alcotest.test_case "weeks during year (order 2)" `Quick test_weeks_during_year;
+          Alcotest.test_case "strict overlaps" `Quick test_weeks_overlaps_jan_strict;
+          Alcotest.test_case "relaxed overlaps" `Quick test_weeks_overlaps_jan_relaxed;
+          Alcotest.test_case "third week of january" `Quick test_third_week_of_january;
+          Alcotest.test_case "third week of every month" `Quick test_third_week_of_every_month;
+          Alcotest.test_case "last day of month" `Quick test_last_day_of_month;
+          Alcotest.test_case "last business day before" `Quick test_last_business_day_before;
+        ] );
+      ( "paper-3.2",
+        [
+          Alcotest.test_case "generate years 1987-92" `Quick test_generate_years_in_days_1987;
+          Alcotest.test_case "misaligned rejected" `Quick test_generate_misaligned;
+          Alcotest.test_case "generation limit" `Quick test_generate_too_large;
+          Alcotest.test_case "caloperate weeks" `Quick test_caloperate_weeks;
+          Alcotest.test_case "caloperate quarters" `Quick test_caloperate_quarters;
+          Alcotest.test_case "caloperate circular" `Quick test_caloperate_circular;
+          Alcotest.test_case "caloperate end time" `Quick test_caloperate_end;
+        ] );
+      ( "selection",
+        [ Alcotest.test_case "variants" `Quick test_selection_variants ] );
+      ( "elementwise",
+        [ Alcotest.test_case "EMP-DAYS ops" `Quick test_elementwise_script_ops ] );
+      qsuite "foreach-props"
+        [
+          prop_strict_subset_of_relaxed;
+          prop_during_strict_eq_relaxed;
+          prop_overlaps_strict_within_reference;
+          prop_indexed_foreach_matches_pairwise;
+        ];
+      qsuite "selection-props" [ prop_select_last_is_minus_one; prop_select_size_bounded ];
+      qsuite "generation-props"
+        [
+          prop_generate_tiles_window;
+          prop_generate_intervals_disjoint_sorted;
+          prop_caloperate_preserves_coverage;
+        ];
+    ]

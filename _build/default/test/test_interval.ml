@@ -1,0 +1,254 @@
+(* Tests for chronons, intervals and interval sets (paper section 3.1). *)
+
+let chronon_gen =
+  QCheck2.Gen.map Chronon.of_offset (QCheck2.Gen.int_range (-1000) 1000)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let iv lo hi = Interval.make lo hi
+let iset pairs = Interval_set.of_pairs pairs
+
+let set_testable =
+  Alcotest.testable Interval_set.pp Interval_set.equal
+
+let check_set = Alcotest.check set_testable
+
+(* ------------------------------------------------------------------ *)
+(* Chronon *)
+
+let test_chronon_basics () =
+  check_int "offset of 1" 0 (Chronon.to_offset 1);
+  check_int "offset of -1" (-1) (Chronon.to_offset (-1));
+  check_int "of_offset 0" 1 (Chronon.of_offset 0);
+  check_int "of_offset -1" (-1) (Chronon.of_offset (-1));
+  check_int "add skips zero" 1 (Chronon.add (-1) 1);
+  check_int "add backward skips zero" (-1) (Chronon.add 1 (-1));
+  check_int "diff across zero" 1 (Chronon.diff 1 (-1));
+  check_int "succ -1" 1 (Chronon.succ (-1));
+  check_int "pred 1" (-1) (Chronon.pred 1)
+
+let test_chronon_check () =
+  Alcotest.check_raises "zero rejected" (Chronon.Invalid_chronon 0) (fun () ->
+      ignore (Chronon.check 0));
+  check_int "nonzero passes" 5 (Chronon.check 5)
+
+let prop_offset_roundtrip =
+  QCheck2.Test.make ~name:"chronon offset roundtrip" ~count:500
+    QCheck2.Gen.(int_range (-10000) 10000)
+    (fun o -> Chronon.to_offset (Chronon.of_offset o) = o)
+
+let prop_chronon_never_zero =
+  QCheck2.Test.make ~name:"add never yields zero" ~count:500
+    QCheck2.Gen.(pair chronon_gen (int_range (-2000) 2000))
+    (fun (c, n) -> Chronon.add c n <> 0)
+
+let prop_add_diff =
+  QCheck2.Test.make ~name:"add b (diff a b) = a" ~count:500
+    QCheck2.Gen.(pair chronon_gen chronon_gen)
+    (fun (a, b) -> Chronon.add b (Chronon.diff a b) = a)
+
+(* ------------------------------------------------------------------ *)
+(* Interval *)
+
+let test_interval_make () =
+  let i = iv (-4) 3 in
+  check_int "lo" (-4) (Interval.lo i);
+  check_int "hi" 3 (Interval.hi i);
+  (* Paper: the week (-4,3) contains exactly 7 days. *)
+  check_int "length spans the zero hole" 7 (Interval.length i);
+  check_int "singleton length" 1 (Interval.length (Interval.singleton 5));
+  Alcotest.check_raises "lo > hi rejected"
+    (Invalid_argument "Interval.make: lo (5) > hi (2)") (fun () ->
+      ignore (iv 5 2))
+
+let test_interval_relations () =
+  let jan = iv 1 31 and feb = iv 32 59 in
+  let w1 = iv (-4) 3 and w2 = iv 4 10 in
+  check_bool "w1 overlaps jan" true (Interval.overlaps w1 jan);
+  check_bool "w2 during jan" true (Interval.during w2 jan);
+  check_bool "w1 not during jan" false (Interval.during w1 jan);
+  check_bool "jan meets feb at 31/32? no" false (Interval.meets jan feb);
+  check_bool "meets shares endpoint" true (Interval.meets (iv 1 5) (iv 5 9));
+  check_bool "jan before feb" true (Interval.before jan feb);
+  check_bool "feb not before jan" false (Interval.before feb jan);
+  check_bool "le: jan le feb-hull" true (Interval.le jan (iv 1 59));
+  check_bool "starts" true (Interval.starts (iv 1 5) (iv 1 31));
+  check_bool "finishes" true (Interval.finishes (iv 20 31) jan);
+  check_bool "equal" true (Interval.equal jan (iv 1 31))
+
+let test_interval_ops () =
+  (match Interval.intersect (iv (-4) 3) (iv 1 31) with
+  | Some i -> check_bool "clip week to jan" true (Interval.equal i (iv 1 3))
+  | None -> Alcotest.fail "expected intersection");
+  check_bool "disjoint intersect" true (Interval.intersect (iv 1 3) (iv 10 12) = None);
+  check_bool "hull" true (Interval.equal (Interval.hull (iv 1 3) (iv 10 12)) (iv 1 12));
+  check_bool "shift over zero" true
+    (Interval.equal (Interval.shift (iv 1 3) (-2)) (iv (-2) 1));
+  check_bool "contains" true (Interval.contains (iv (-4) 3) (-1));
+  check_bool "not contains" false (Interval.contains (iv 4 10) 3)
+
+let prop_intersect_commutes =
+  let gen =
+    QCheck2.Gen.(
+      map2
+        (fun a b -> (Interval.make (Chronon.of_offset (min a b)) (Chronon.of_offset (max a b)), ()))
+        (int_range (-50) 50) (int_range (-50) 50))
+  in
+  let pair_gen = QCheck2.Gen.(pair gen gen) in
+  QCheck2.Test.make ~name:"intersect commutative" ~count:300 pair_gen
+    (fun ((a, ()), (b, ())) ->
+      match (Interval.intersect a b, Interval.intersect b a) with
+      | None, None -> true
+      | Some x, Some y -> Interval.equal x y
+      | _ -> false)
+
+let interval_gen =
+  QCheck2.Gen.(
+    map2
+      (fun a b -> Interval.make (Chronon.of_offset (min a b)) (Chronon.of_offset (max a b)))
+      (int_range (-50) 50) (int_range (-50) 50))
+
+let prop_length_positive =
+  QCheck2.Test.make ~name:"length >= 1" ~count:300 interval_gen (fun i ->
+      Interval.length i >= 1)
+
+let prop_during_implies_overlaps =
+  QCheck2.Test.make ~name:"during implies overlaps" ~count:500
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) -> (not (Interval.during a b)) || Interval.overlaps a b)
+
+(* ------------------------------------------------------------------ *)
+(* Interval_set *)
+
+let test_set_construction () =
+  let s = iset [ (11, 17); (4, 10); (4, 10); (-4, 3) ] in
+  check_int "dedup + sort" 3 (Interval_set.cardinal s);
+  check_bool "first" true
+    (Interval.equal (Option.get (Interval_set.first s)) (iv (-4) 3));
+  check_bool "last" true
+    (Interval.equal (Option.get (Interval_set.last s)) (iv 11 17))
+
+let test_set_nth () =
+  let s = iset [ (1, 3); (4, 10); (11, 17); (18, 24); (25, 31) ] in
+  check_bool "nth 3" true (Interval.equal (Interval_set.nth s 3) (iv 11 17));
+  check_bool "nth_from_end 2" true
+    (Interval.equal (Interval_set.nth_from_end s 2) (iv 18 24));
+  Alcotest.check_raises "nth out of range" Not_found (fun () ->
+      ignore (Interval_set.nth s 6));
+  Alcotest.check_raises "nth zero" Not_found (fun () -> ignore (Interval_set.nth s 0))
+
+(* The EMP-DAYS return expression from section 3.3:
+   LDOM - LDOM_HOL + LAST_BUS_DAY, all element-wise. *)
+let test_set_elementwise_emp_days () =
+  let ldom = iset [ (31, 31); (59, 59); (90, 90) ] in
+  let ldom_hol = iset [ (31, 31); (90, 90) ] in
+  let last_bus = iset [ (30, 30); (88, 88) ] in
+  let result = Interval_set.union (Interval_set.diff ldom ldom_hol) last_bus in
+  check_set "EMP-DAYS result" (iset [ (30, 30); (59, 59); (88, 88) ]) result
+
+let test_set_pointwise () =
+  let a = iset [ (1, 10) ] and b = iset [ (5, 20) ] in
+  check_set "pointwise union coalesces" (iset [ (1, 20) ]) (Interval_set.pointwise_union a b);
+  check_set "pointwise inter" (iset [ (5, 10) ]) (Interval_set.pointwise_inter a b);
+  check_set "pointwise diff" (iset [ (1, 4) ]) (Interval_set.pointwise_diff a b);
+  (* Across the zero hole: (-4,3) minus (1,3) leaves (-4,-1). *)
+  check_set "diff across zero"
+    (iset [ (-4, -1) ])
+    (Interval_set.pointwise_diff (iset [ (-4, 3) ]) (iset [ (1, 3) ]));
+  check_set "coalesce adjacent across zero"
+    (iset [ (-2, 2) ])
+    (Interval_set.coalesce (iset [ (-2, -1); (1, 2) ]))
+
+let test_set_windowing () =
+  let weeks = iset [ (-4, 3); (4, 10); (11, 17); (18, 24); (25, 31); (32, 38) ] in
+  let jan = iv 1 31 in
+  check_set "clip = strict overlaps result"
+    (iset [ (1, 3); (4, 10); (11, 17); (18, 24); (25, 31) ])
+    (Interval_set.clip weeks jan);
+  check_set "restrict = relaxed overlaps result"
+    (iset [ (-4, 3); (4, 10); (11, 17); (18, 24); (25, 31) ])
+    (Interval_set.restrict weeks jan)
+
+(* Model-based checking of the pointwise algebra: compare chronon
+   membership against boolean set operations. *)
+let small_set_gen =
+  QCheck2.Gen.(
+    map
+      (fun l ->
+        Interval_set.of_list
+          (List.map
+             (fun (a, b) ->
+               Interval.make (Chronon.of_offset (min a b)) (Chronon.of_offset (max a b)))
+             l))
+      (list_size (int_range 0 6) (pair (int_range (-15) 15) (int_range (-15) 15))))
+
+let chronon_domain =
+  List.filter (fun c -> c <> 0) (List.init 81 (fun i -> i - 40))
+
+let pointwise_model name op model =
+  QCheck2.Test.make ~name ~count:300
+    QCheck2.Gen.(pair small_set_gen small_set_gen)
+    (fun (a, b) ->
+      let r = op a b in
+      List.for_all
+        (fun c ->
+          Interval_set.contains_chronon r c
+          = model (Interval_set.contains_chronon a c) (Interval_set.contains_chronon b c))
+        chronon_domain)
+
+let prop_pw_union = pointwise_model "pointwise union model" Interval_set.pointwise_union ( || )
+let prop_pw_inter = pointwise_model "pointwise inter model" Interval_set.pointwise_inter ( && )
+
+let prop_pw_diff =
+  pointwise_model "pointwise diff model" Interval_set.pointwise_diff (fun x y -> x && not y)
+
+let prop_coalesce_preserves_membership =
+  QCheck2.Test.make ~name:"coalesce preserves membership" ~count:300 small_set_gen
+    (fun s ->
+      let c = Interval_set.coalesce s in
+      List.for_all
+        (fun x -> Interval_set.contains_chronon s x = Interval_set.contains_chronon c x)
+        chronon_domain)
+
+let prop_elementwise_diff_union =
+  QCheck2.Test.make ~name:"(a - b) inter b = empty" ~count:300
+    QCheck2.Gen.(pair small_set_gen small_set_gen)
+    (fun (a, b) -> Interval_set.is_empty (Interval_set.inter (Interval_set.diff a b) b))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "cal_interval"
+    [
+      ( "chronon",
+        [
+          Alcotest.test_case "basics" `Quick test_chronon_basics;
+          Alcotest.test_case "check" `Quick test_chronon_check;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "make/length" `Quick test_interval_make;
+          Alcotest.test_case "relations" `Quick test_interval_relations;
+          Alcotest.test_case "ops" `Quick test_interval_ops;
+        ] );
+      ( "interval_set",
+        [
+          Alcotest.test_case "construction" `Quick test_set_construction;
+          Alcotest.test_case "nth" `Quick test_set_nth;
+          Alcotest.test_case "EMP-DAYS arithmetic" `Quick test_set_elementwise_emp_days;
+          Alcotest.test_case "pointwise" `Quick test_set_pointwise;
+          Alcotest.test_case "windowing" `Quick test_set_windowing;
+        ] );
+      qsuite "chronon-props" [ prop_offset_roundtrip; prop_chronon_never_zero; prop_add_diff ];
+      qsuite "interval-props"
+        [ prop_intersect_commutes; prop_length_positive; prop_during_implies_overlaps ];
+      qsuite "set-props"
+        [
+          prop_pw_union;
+          prop_pw_inter;
+          prop_pw_diff;
+          prop_coalesce_preserves_membership;
+          prop_elementwise_diff_union;
+        ];
+    ]

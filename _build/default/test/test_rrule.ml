@@ -1,0 +1,239 @@
+(* Tests for the RRULE baseline: parsing, expansion against known
+   calendars, and equivalence with the calendar algebra on the
+   translatable fragment. *)
+
+open Cal_lang
+open Cal_rrule
+
+let check_bool = Alcotest.(check bool)
+
+let d = Civil.make
+
+let dates_testable =
+  Alcotest.testable
+    (Fmt.list ~sep:(Fmt.any ",") (fun ppf x -> Fmt.string ppf (Civil.to_string x)))
+    (fun a b -> List.length a = List.length b && List.for_all2 Civil.equal a b)
+
+let check_dates = Alcotest.check dates_testable
+
+let parse s = match Rrule.parse s with Ok r -> r | Error e -> Alcotest.failf "parse: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let test_parse_roundtrip () =
+  let cases =
+    [
+      "FREQ=DAILY";
+      "FREQ=WEEKLY;BYDAY=TU";
+      "FREQ=MONTHLY;BYDAY=3FR";
+      "FREQ=MONTHLY;BYDAY=-1MO";
+      "FREQ=MONTHLY;BYMONTHDAY=15";
+      "FREQ=YEARLY;BYMONTH=11;BYDAY=4TH";
+      "FREQ=DAILY;INTERVAL=2;COUNT=10";
+      "FREQ=WEEKLY;UNTIL=19931231;BYDAY=MO,WE,FR";
+      "FREQ=MONTHLY;BYDAY=MO,TU;BYSETPOS=-1";
+    ]
+  in
+  List.iter
+    (fun s ->
+      (* Component order is not canonical; compare re-parsed structures. *)
+      let r = parse s in
+      check_bool s true (parse (Rrule.to_string r) = r))
+    cases
+
+let test_parse_errors () =
+  let bad s = check_bool s true (Result.is_error (Rrule.parse s)) in
+  bad "BYDAY=MO";
+  bad "FREQ=HOURLY";
+  bad "FREQ=DAILY;INTERVAL=0";
+  bad "FREQ=DAILY;BYMONTH=13";
+  bad "FREQ=DAILY;BYDAY=XX";
+  bad "FREQ=DAILY;UNTIL=1993";
+  bad "FREQ=DAILY;NOSUCH=1"
+
+(* ------------------------------------------------------------------ *)
+(* Expansion golden cases (1993, as in the paper's examples) *)
+
+let expand ?until ?limit s dtstart =
+  Expand.occurrences (parse s) ~dtstart ?until ?limit ()
+
+let test_expand_daily () =
+  check_dates "five days"
+    [ d 1993 1 1; d 1993 1 2; d 1993 1 3; d 1993 1 4; d 1993 1 5 ]
+    (expand "FREQ=DAILY;COUNT=5" (d 1993 1 1));
+  check_dates "every other day"
+    [ d 1993 1 1; d 1993 1 3; d 1993 1 5 ]
+    (expand "FREQ=DAILY;INTERVAL=2;COUNT=3" (d 1993 1 1))
+
+let test_expand_weekly_tuesdays () =
+  (* Tuesdays of January 1993: 5, 12, 19, 26. *)
+  check_dates "january tuesdays"
+    [ d 1993 1 5; d 1993 1 12; d 1993 1 19; d 1993 1 26 ]
+    (expand "FREQ=WEEKLY;BYDAY=TU" ~until:(d 1993 1 31) (d 1993 1 1))
+
+let test_expand_third_friday () =
+  (* Third Fridays of early 1993: Jan 15, Feb 19, Mar 19. *)
+  check_dates "third fridays"
+    [ d 1993 1 15; d 1993 2 19; d 1993 3 19 ]
+    (expand "FREQ=MONTHLY;BYDAY=3FR;COUNT=3" (d 1993 1 1))
+
+let test_expand_last_weekday () =
+  check_dates "last mondays"
+    [ d 1993 1 25; d 1993 2 22 ]
+    (expand "FREQ=MONTHLY;BYDAY=-1MO;COUNT=2" (d 1993 1 1))
+
+let test_expand_month_days () =
+  check_dates "last day of month"
+    [ d 1993 1 31; d 1993 2 28; d 1993 3 31 ]
+    (expand "FREQ=MONTHLY;BYMONTHDAY=-1;COUNT=3" (d 1993 1 1));
+  (* The 31st skips short months. *)
+  check_dates "31st of months"
+    [ d 1993 1 31; d 1993 3 31; d 1993 5 31 ]
+    (expand "FREQ=MONTHLY;BYMONTHDAY=31;COUNT=3" (d 1993 1 1))
+
+let test_expand_yearly () =
+  (* US Thanksgiving: fourth Thursday of November. *)
+  check_dates "thanksgiving"
+    [ d 1993 11 25; d 1994 11 24; d 1995 11 23 ]
+    (expand "FREQ=YEARLY;BYMONTH=11;BYDAY=4TH;COUNT=3" (d 1993 1 1));
+  (* Anniversary skips non-leap years. *)
+  check_dates "leap day"
+    [ d 1996 2 29; d 2000 2 29 ]
+    (expand "FREQ=YEARLY;COUNT=2" (d 1996 2 29))
+
+let test_expand_setpos () =
+  (* Last weekday (MO-FR) of each month. *)
+  check_dates "last business-ish day"
+    [ d 1993 1 29; d 1993 2 26 ]
+    (expand "FREQ=MONTHLY;BYDAY=MO,TU,WE,TH,FR;BYSETPOS=-1;COUNT=2" (d 1993 1 1))
+
+let test_expand_dtstart_filter () =
+  (* Occurrences before dtstart are dropped. *)
+  check_dates "starts mid-month"
+    [ d 1993 1 19; d 1993 1 26 ]
+    (expand "FREQ=WEEKLY;BYDAY=TU" ~until:(d 1993 1 31) (d 1993 1 13))
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence with the calendar algebra *)
+
+let epoch93 = Civil.make 1993 1 1
+
+let algebra_days expr_src =
+  let ctx =
+    Context.create ~epoch:epoch93 ~lifespan:(Civil.make 1993 1 1, Civil.make 1994 12 31)
+      ~env:(Env.create ()) ()
+  in
+  match Parser.expr expr_src with
+  | Error e -> Alcotest.failf "algebra parse: %s" e
+  | Ok e ->
+    let cal, _ = Interp.eval_expr_planned ctx e in
+    Calendar.flatten cal
+    |> Interval_set.fold
+         (fun acc iv ->
+           let day = Chronon.to_offset (Interval.lo iv) in
+           Civil.add_days epoch93 day :: acc)
+         []
+    |> List.filter (fun date -> date.Civil.year = 1993 || date.Civil.year = 1994)
+    |> List.sort Civil.compare
+
+let equiv_case name rrule_src =
+  let rule = parse rrule_src in
+  match Translate.to_expression rule with
+  | None -> Alcotest.failf "%s: expected translatable" name
+  | Some expr_src ->
+    let via_rrule =
+      Expand.occurrences rule ~dtstart:(d 1993 1 1) ~until:(d 1994 12 31) ()
+    in
+    let via_algebra = algebra_days expr_src in
+    check_dates name via_rrule via_algebra
+
+let test_translate_equivalence () =
+  equiv_case "tuesdays" "FREQ=WEEKLY;BYDAY=TU";
+  equiv_case "third friday" "FREQ=MONTHLY;BYDAY=3FR";
+  equiv_case "last monday" "FREQ=MONTHLY;BYDAY=-1MO";
+  equiv_case "15th of month" "FREQ=MONTHLY;BYMONTHDAY=15";
+  equiv_case "last day of month" "FREQ=MONTHLY;BYMONTHDAY=-1";
+  equiv_case "mon+fri" "FREQ=WEEKLY;BYDAY=MO,FR";
+  equiv_case "thanksgiving" "FREQ=YEARLY;BYMONTH=11;BYDAY=4TH";
+  equiv_case "nov 19" "FREQ=YEARLY;BYMONTH=11;BYMONTHDAY=19"
+
+let test_untranslatable () =
+  let none s = check_bool s true (Translate.to_expression (parse s) = None) in
+  none "FREQ=DAILY;INTERVAL=2";
+  none "FREQ=DAILY;COUNT=5";
+  none "FREQ=MONTHLY;BYDAY=MO,TU;BYSETPOS=-1";
+  none "FREQ=WEEKLY"
+
+(* Occurrences are sorted and within bounds. *)
+let rrule_gen =
+  let open QCheck2.Gen in
+  let weekday = int_range 1 7 in
+  oneof
+    [
+      map (fun wd -> Rrule.make ~by_day:[ { Rrule.ordinal = None; weekday = wd } ] Rrule.Weekly) weekday;
+      map2
+        (fun o wd -> Rrule.make ~by_day:[ { Rrule.ordinal = Some o; weekday = wd } ] Rrule.Monthly)
+        (oneofl [ 1; 2; 3; 4; -1 ])
+        weekday;
+      map (fun md -> Rrule.make ~by_month_day:[ md ] Rrule.Monthly)
+        (oneofl [ 1; 15; 28; 31; -1 ]);
+      map2 (fun m md -> Rrule.make ~by_month:[ m ] ~by_month_day:[ md ] Rrule.Yearly)
+        (int_range 1 12) (int_range 1 28);
+    ]
+
+let prop_occurrences_sorted_in_bounds =
+  QCheck2.Test.make ~name:"occurrences sorted, within [dtstart, until]" ~count:200 rrule_gen
+    (fun rule ->
+      let dtstart = d 1993 1 1 and until = d 1995 12 31 in
+      let occ = Expand.occurrences rule ~dtstart ~until () in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Civil.compare a b < 0 && sorted rest
+        | _ -> true
+      in
+      sorted occ
+      && List.for_all
+           (fun x -> Civil.compare dtstart x <= 0 && Civil.compare x until <= 0)
+           occ)
+
+let prop_translated_equivalence =
+  QCheck2.Test.make ~name:"rrule and translated algebra agree" ~count:60 rrule_gen
+    (fun rule ->
+      match Translate.to_expression rule with
+      | None -> true
+      | Some expr_src ->
+        let via_rrule =
+          Expand.occurrences rule ~dtstart:(d 1993 1 1) ~until:(d 1994 12 31) ()
+        in
+        let via_algebra = algebra_days expr_src in
+        List.length via_rrule = List.length via_algebra
+        && List.for_all2 Civil.equal via_rrule via_algebra)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "cal_rrule"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "daily" `Quick test_expand_daily;
+          Alcotest.test_case "weekly tuesdays" `Quick test_expand_weekly_tuesdays;
+          Alcotest.test_case "third friday" `Quick test_expand_third_friday;
+          Alcotest.test_case "last weekday" `Quick test_expand_last_weekday;
+          Alcotest.test_case "month days" `Quick test_expand_month_days;
+          Alcotest.test_case "yearly" `Quick test_expand_yearly;
+          Alcotest.test_case "bysetpos" `Quick test_expand_setpos;
+          Alcotest.test_case "dtstart filter" `Quick test_expand_dtstart_filter;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "algebra equivalence" `Quick test_translate_equivalence;
+          Alcotest.test_case "untranslatable fragment" `Quick test_untranslatable;
+        ] );
+      qsuite "props" [ prop_occurrences_sorted_in_bounds; prop_translated_equivalence ];
+    ]

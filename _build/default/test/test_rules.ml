@@ -1,0 +1,350 @@
+(* Tests for the temporal rule system: the DBCRON daemon, next-fire
+   computation and the rule manager (section 4 of the paper). *)
+
+open Cal_lang
+open Cal_db
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let epoch93 = Civil.make 1993 1 1
+let day_instant d = (d - 1) * 86400 (* start instant of positive day chronon d *)
+
+let make_setup ?probe_period () =
+  let clock = Clock.create () in
+  let env = Env.create () in
+  let ctx =
+    Context.create ~epoch:epoch93 ~lifespan:(Civil.make 1993 1 1, Civil.make 1997 12 31)
+      ~clock ~env ()
+  in
+  let catalog = Catalog.create () in
+  let mgr = Cal_rules.Manager.create ?probe_period ctx catalog in
+  (ctx, catalog, mgr, clock)
+
+let run mgr s =
+  match Cal_rules.Manager.run_query mgr s with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "query failed: %s (%s)" e s
+
+(* ------------------------------------------------------------------ *)
+(* Min-heap *)
+
+let test_min_heap () =
+  let h = Cal_rules.Min_heap.create () in
+  List.iter (fun (p, v) -> Cal_rules.Min_heap.push h p v) [ (5, "e"); (1, "a"); (3, "c"); (2, "b") ];
+  check_int "length" 4 (Cal_rules.Min_heap.length h);
+  check_bool "peek min" true (Cal_rules.Min_heap.peek h = Some (1, "a"));
+  let due = Cal_rules.Min_heap.pop_due h 3 in
+  check_bool "pop_due in order" true (due = [ (1, "a"); (2, "b"); (3, "c") ]);
+  check_int "left" 1 (Cal_rules.Min_heap.length h);
+  check_bool "pop last" true (Cal_rules.Min_heap.pop h = Some (5, "e"));
+  check_bool "empty pop" true (Cal_rules.Min_heap.pop h = None)
+
+let prop_min_heap_sorted =
+  QCheck2.Test.make ~name:"heap pops in sorted order" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 100) (int_range 0 1000))
+    (fun prios ->
+      let h = Cal_rules.Min_heap.create () in
+      List.iter (fun p -> Cal_rules.Min_heap.push h p p) prios;
+      let rec drain acc =
+        match Cal_rules.Min_heap.pop h with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort Int.compare prios)
+
+(* ------------------------------------------------------------------ *)
+(* DBCRON mechanics with a synthetic rule store *)
+
+let test_dbcron_probe_and_fire () =
+  (* Rules at instants 10, 150, 260; probe period 100. *)
+  let store = ref [ (10, "a"); (150, "b"); (260, "c") ] in
+  let loaded = ref [] in
+  let load ~window_end =
+    let due, rest = List.partition (fun (at, _) -> at < window_end) !store in
+    store := rest;
+    loaded := !loaded @ List.map snd due;
+    due
+  in
+  let cron = Cal_rules.Dbcron.create ~probe_period:100 ~now:0 ~load in
+  check_bool "initial probe loaded a" true (!loaded = [ "a" ]);
+  let fired = Cal_rules.Dbcron.step cron ~now:50 ~load in
+  check_bool "a fired at 10" true (fired = [ (10, "a") ]);
+  let fired = Cal_rules.Dbcron.step cron ~now:120 ~load in
+  check_bool "nothing due at 120 (b loads at probe 100, fires 150)" true (fired = []);
+  check_int "b loaded by probe at 100" 2 (List.length !loaded);
+  let fired = Cal_rules.Dbcron.step cron ~now:400 ~load in
+  check_bool "b then c fire in order" true (fired = [ (150, "b"); (260, "c") ]);
+  let probes, _ = Cal_rules.Dbcron.stats cron in
+  (* Probes at 0 (create), 100, 200, 300, 400. *)
+  check_int "probe count" 5 probes
+
+let test_dbcron_offer () =
+  let load ~window_end:_ = [] in
+  let cron = Cal_rules.Dbcron.create ~probe_period:100 ~now:0 ~load in
+  check_bool "inside window accepted" true (Cal_rules.Dbcron.offer cron 50 "x");
+  check_bool "outside window rejected" false (Cal_rules.Dbcron.offer cron 150 "y");
+  check_int "pending" 1 (Cal_rules.Dbcron.pending cron)
+
+(* ------------------------------------------------------------------ *)
+(* Next-fire computation *)
+
+let test_next_fire_tuesdays () =
+  let ctx, _, _, _ = make_setup () in
+  let expr =
+    match Parser.expr "[2]/DAYS:during:WEEKS" with Ok e -> e | Error e -> Alcotest.failf "%s" e
+  in
+  (* Jan 1 1993 is a Friday; the next Tuesday is Jan 5 (day 5). *)
+  (match Cal_rules.Next_fire.next ctx expr ~after:0 () with
+  | Some at -> check_int "next tuesday instant" (day_instant 5) at
+  | None -> Alcotest.fail "expected a next fire");
+  (* From the middle of Tuesday Jan 5, the next is Jan 12. *)
+  (match Cal_rules.Next_fire.next ctx expr ~after:(day_instant 5 + 3600) () with
+  | Some at -> check_int "following tuesday" (day_instant 12) at
+  | None -> Alcotest.fail "expected a next fire");
+  let occ = Cal_rules.Next_fire.occurrences ctx expr ~from_:0 ~until:(day_instant 32) in
+  Alcotest.(check (list int)) "all january tuesdays"
+    [ day_instant 5; day_instant 12; day_instant 19; day_instant 26 ]
+    occ
+
+let test_next_fire_monthly () =
+  let ctx, _, _, _ = make_setup () in
+  (* Last day of every month. *)
+  let expr =
+    match Parser.expr "[n]/DAYS:during:MONTHS" with Ok e -> e | Error e -> Alcotest.failf "%s" e
+  in
+  match Cal_rules.Next_fire.next ctx expr ~after:0 () with
+  | Some at -> check_int "jan 31" (day_instant 31) at
+  | None -> Alcotest.fail "expected a next fire"
+
+let test_next_fire_hourly () =
+  let ctx, _, _, _ = make_setup () in
+  (* The first minute of every hour: an intraday rule. *)
+  let expr =
+    match Parser.expr "[1]/MINUTES:during:HOURS" with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "%s" e
+  in
+  let occ = Cal_rules.Next_fire.occurrences ctx expr ~from_:0 ~until:(4 * 3600) in
+  Alcotest.(check (list int)) "hourly instants" [ 3600; 7200; 10800; 14400 ] occ
+
+let test_next_fire_none_past_lifespan () =
+  let ctx, _, _, _ = make_setup () in
+  let expr =
+    match Parser.expr "[2]/DAYS:during:WEEKS" with Ok e -> e | Error e -> Alcotest.failf "%s" e
+  in
+  (* After the end of the 5-year lifespan there is nothing left. *)
+  check_bool "dormant" true
+    (Cal_rules.Next_fire.next ctx expr ~after:(10 * 366 * 86400) () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Manager: time-based rules *)
+
+let test_time_rule_every_tuesday () =
+  let _, catalog, mgr, clock = make_setup () in
+  ignore (run mgr "create table log (msg text, day int)");
+  ignore
+    (run mgr
+       "define rule tuesdays on calendar \"[2]/DAYS:during:WEEKS\" do append log (msg = 'tick', day = 0)");
+  (* RULE_INFO and RULE_TIME are populated. *)
+  (match run mgr "retrieve (count(name)) from rule_info" with
+  | Exec.Rows { rows = [ [| Value.Int 1 |] ]; _ } -> ()
+  | _ -> Alcotest.fail "rule_info row");
+  (match Cal_rules.Manager.next_fire mgr "tuesdays" with
+  | Some at -> check_int "first fire = Jan 5" (day_instant 5) at
+  | None -> Alcotest.fail "rule_time entry");
+  (* Advance 4 weeks: Jan 5, 12, 19, 26 fire. *)
+  Cal_rules.Manager.advance_days mgr 30;
+  check_int "fired 4 times" 4 (Cal_rules.Manager.fire_count mgr "tuesdays");
+  let firings = Cal_rules.Manager.firings mgr in
+  Alcotest.(check (list int)) "fire instants"
+    [ day_instant 5; day_instant 12; day_instant 19; day_instant 26 ]
+    (List.map (fun f -> f.Cal_rules.Manager.at) firings);
+  (match run mgr "retrieve (count(msg)) from log" with
+  | Exec.Rows { rows = [ [| Value.Int 4 |] ]; _ } -> ()
+  | _ -> Alcotest.fail "log rows");
+  (* Clock advanced along the way. *)
+  check_bool "clock at target" true (Clock.now clock = 30 * 86400);
+  (* rule_time was re-pointed to the next Tuesday (Feb 2, day 33). *)
+  (match Cal_rules.Manager.next_fire mgr "tuesdays" with
+  | Some at -> check_int "next fire = Feb 2" (day_instant 33) at
+  | None -> Alcotest.fail "expected next fire");
+  ignore catalog
+
+let test_time_rule_eval_plan_stored () =
+  let _, _, mgr, _ = make_setup () in
+  ignore (run mgr "create table log (msg text)");
+  ignore
+    (run mgr "define rule r on calendar \"[n]/DAYS:during:MONTHS\" do append log (msg = 'eom')");
+  match run mgr "retrieve (eval_plan) from rule_info where name = 'r'" with
+  | Exec.Rows { rows = [ [| Value.Text plan |] ]; _ } ->
+    let contains hay needle =
+      let n = String.length needle in
+      let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    check_bool "plan mentions generate" true (contains plan "generate")
+  | _ -> Alcotest.fail "expected eval plan"
+
+let test_rule_drop () =
+  let _, _, mgr, _ = make_setup () in
+  ignore (run mgr "create table log (msg text)");
+  ignore (run mgr "define rule t on calendar \"[2]/DAYS:during:WEEKS\" do append log (msg = 'x')");
+  Cal_rules.Manager.advance_days mgr 7;
+  let fired_before = Cal_rules.Manager.fire_count mgr "t" in
+  check_bool "fired at least once" true (fired_before >= 1);
+  ignore (run mgr "drop rule t");
+  Cal_rules.Manager.advance_days mgr 30;
+  (* No state left behind. *)
+  (match run mgr "retrieve (count(name)) from rule_time" with
+  | Exec.Rows { rows = [ [| Value.Int 0 |] ]; _ } -> ()
+  | _ -> Alcotest.fail "rule_time cleaned");
+  check_int "no more firings recorded" fired_before
+    (List.length (Cal_rules.Manager.firings mgr))
+
+let test_time_rule_alert () =
+  let _, _, mgr, _ = make_setup () in
+  ignore
+    (run mgr
+       "define rule a on calendar \"[n]/DAYS:during:MONTHS\" do retrieve (alert('END OF MONTH'))");
+  Cal_rules.Manager.advance_days mgr 32;
+  match Cal_rules.Manager.alerts mgr with
+  | [ ("END OF MONTH", at) ] -> check_int "alert on Jan 31" (day_instant 31) at
+  | l -> Alcotest.failf "unexpected alerts (%d)" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Manager: database-event rules *)
+
+let test_event_rule_with_condition () =
+  let _, _, mgr, _ = make_setup () in
+  ignore (run mgr "create table stock (day chronon valid, price float)");
+  ignore (run mgr "create table audit (price float)");
+  ignore
+    (run mgr
+       "define rule watch on append to stock where new.price > 100.0 do append audit (price = new.price)");
+  ignore (run mgr "append stock (day = @1, price = 99.0)");
+  ignore (run mgr "append stock (day = @2, price = 101.0)");
+  ignore (run mgr "append stock (day = @3, price = 150.0)");
+  (match run mgr "retrieve (count(price)) from audit" with
+  | Exec.Rows { rows = [ [| Value.Int 2 |] ]; _ } -> ()
+  | _ -> Alcotest.fail "condition filtered appends");
+  check_int "fire count" 2 (Cal_rules.Manager.fire_count mgr "watch")
+
+let test_event_rule_on_delete_and_replace () =
+  let _, _, mgr, _ = make_setup () in
+  ignore (run mgr "create table t (a int)");
+  ignore (run mgr "create table log (what text, v int)");
+  ignore (run mgr "define rule d on delete to t do append log (what = 'del', v = current.a)");
+  ignore (run mgr "define rule r on replace to t do append log (what = 'rep', v = new.a)");
+  ignore (run mgr "append t (a = 1)");
+  ignore (run mgr "append t (a = 2)");
+  ignore (run mgr "replace t (a = 20) where a = 2");
+  ignore (run mgr "delete t where a = 1");
+  match run mgr "retrieve (what, v) from log" with
+  | Exec.Rows { rows; _ } ->
+    let got = List.map (fun r -> (r.(0), r.(1))) rows in
+    check_bool "replace logged" true (List.mem (Value.Text "rep", Value.Int 20) got);
+    check_bool "delete logged" true (List.mem (Value.Text "del", Value.Int 1) got)
+  | _ -> Alcotest.fail "expected rows"
+
+let test_rule_recursion_guard () =
+  let _, _, mgr, _ = make_setup () in
+  ignore (run mgr "create table t (a int)");
+  ignore (run mgr "define rule loop on append to t do append t (a = new.a + 1)");
+  match Cal_rules.Manager.run_query mgr "append t (a = 0)" with
+  | Error _ -> ()
+  | Ok _ -> (
+    match run mgr "retrieve (count(a)) from t" with
+    | Exec.Rows { rows = [ [| Value.Int n |] ]; _ } ->
+      check_bool "bounded" true (n <= 16)
+    | _ -> Alcotest.fail "expected count")
+
+let test_many_time_rules () =
+  (* Many staggered daily rules; each fires once per day. *)
+  let _, _, mgr, _ = make_setup ~probe_period:(6 * 3600) () in
+  ignore (run mgr "create table log (msg text)");
+  for i = 1 to 20 do
+    ignore
+      (run mgr
+         (Printf.sprintf
+            "define rule r%d on calendar \"[%d]/DAYS:during:WEEKS\" do append log (msg = 'r%d')"
+            i ((i mod 7) + 1) i))
+  done;
+  Cal_rules.Manager.advance_days mgr 28;
+  (* Each rule targets one weekday, so each fires 4 times over 4 weeks. *)
+  (match run mgr "retrieve (count(msg)) from log" with
+  | Exec.Rows { rows = [ [| Value.Int n |] ]; _ } -> check_int "total firings" 80 n
+  | _ -> Alcotest.fail "expected count");
+  let probes, loaded = Cal_rules.Manager.dbcron_stats mgr in
+  check_bool "probed regularly" true (probes >= 28 * 4);
+  check_bool "loaded all firings" true (loaded >= 80)
+
+(* DBCRON ordering property: whatever the probe period and stepping
+   pattern, every stored trigger fires exactly once, in order. *)
+let prop_dbcron_fires_all_in_order =
+  QCheck2.Test.make ~name:"dbcron fires every trigger exactly once, in order" ~count:200
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 40) (int_range 1 5000))
+        (int_range 1 1000)
+        (list_size (int_range 1 10) (int_range 1 2000)))
+    (fun (instants, probe_period, steps) ->
+      let entries = List.mapi (fun i at -> (at, i)) instants in
+      let store = ref entries in
+      let load ~window_end =
+        let due, rest = List.partition (fun (at, _) -> at < window_end) !store in
+        store := rest;
+        due
+      in
+      let cron = Cal_rules.Dbcron.create ~probe_period ~now:0 ~load in
+      let fired = ref [] in
+      let now = ref 0 in
+      List.iter
+        (fun step ->
+          now := !now + step;
+          fired := !fired @ Cal_rules.Dbcron.step cron ~now:!now ~load)
+        steps;
+      (* Flush to past the last instant. *)
+      now := !now + 6000;
+      fired := !fired @ Cal_rules.Dbcron.step cron ~now:!now ~load;
+      let fired_ats = List.map fst !fired in
+      let sorted = List.sort Int.compare (List.map fst entries) in
+      fired_ats = List.sort Int.compare fired_ats
+      && List.sort Int.compare fired_ats = sorted
+      && List.length !fired = List.length entries)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "cal_rules"
+    [
+      ("min_heap", [ Alcotest.test_case "basics" `Quick test_min_heap ]);
+      ( "dbcron",
+        [
+          Alcotest.test_case "probe and fire" `Quick test_dbcron_probe_and_fire;
+          Alcotest.test_case "offer window" `Quick test_dbcron_offer;
+        ] );
+      ( "next_fire",
+        [
+          Alcotest.test_case "tuesdays" `Quick test_next_fire_tuesdays;
+          Alcotest.test_case "monthly" `Quick test_next_fire_monthly;
+          Alcotest.test_case "hourly (intraday)" `Quick test_next_fire_hourly;
+          Alcotest.test_case "past lifespan" `Quick test_next_fire_none_past_lifespan;
+        ] );
+      ( "time-rules",
+        [
+          Alcotest.test_case "every tuesday (fig 4)" `Quick test_time_rule_every_tuesday;
+          Alcotest.test_case "eval plan stored" `Quick test_time_rule_eval_plan_stored;
+          Alcotest.test_case "drop rule" `Quick test_rule_drop;
+          Alcotest.test_case "alert action" `Quick test_time_rule_alert;
+          Alcotest.test_case "many staggered rules" `Quick test_many_time_rules;
+        ] );
+      ( "event-rules",
+        [
+          Alcotest.test_case "condition on NEW" `Quick test_event_rule_with_condition;
+          Alcotest.test_case "delete/replace events" `Quick test_event_rule_on_delete_and_replace;
+          Alcotest.test_case "recursion guard" `Quick test_rule_recursion_guard;
+        ] );
+      qsuite "heap-props" [ prop_min_heap_sorted ];
+      qsuite "dbcron-props" [ prop_dbcron_fires_all_in_order ];
+    ]

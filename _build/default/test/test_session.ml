@@ -1,0 +1,273 @@
+(* Integration tests for the session façade: calendar ADT in the DB,
+   CALENDARS system table (Figure 1), on-clause through the real
+   resolver, date operators with user-defined arithmetic, end-to-end
+   rules. *)
+
+open Cal_db
+open Calrules
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let session () =
+  Session.create ~epoch:(Civil.make 1993 1 1)
+    ~lifespan:(Civil.make 1993 1 1, Civil.make 1999 12 31)
+    ()
+
+let run s q = Session.query_exn s q
+
+let rows_of = function
+  | Exec.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+(* ------------------------------------------------------------------ *)
+
+let test_figure1_calendars_tuple () =
+  let s = session () in
+  (match Session.define_calendar s ~name:"Tuesdays" ~script:"{ return ([2]/DAYS:during:WEEKS); }" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "define: %s" e);
+  match Session.calendar_row s "Tuesdays" with
+  | Some [| Value.Text name; Value.Text script; Value.Text plan; Value.Interval _;
+            Value.Text gran; Value.Array [||] |] ->
+    check_str "name" "Tuesdays" name;
+    check_bool "script stored" true (String.length script > 0);
+    check_bool "plan stored" true (String.length plan > 0);
+    check_str "granularity inferred" "DAYS" gran
+  | Some _ -> Alcotest.fail "unexpected row shape"
+  | None -> Alcotest.fail "no CALENDARS row"
+
+let test_duplicate_calendar_rejected () =
+  let s = session () in
+  (match Session.define_calendar s ~name:"X" ~script:"{ return (DAYS); }" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "define: %s" e);
+  check_bool "duplicate" true
+    (Result.is_error (Session.define_calendar s ~name:"x" ~script:"{ return (WEEKS); }"))
+
+let test_eval_through_session () =
+  let s = session () in
+  (match Session.define_calendar s ~name:"Mondays" ~script:"{ return ([1]/DAYS:during:WEEKS); }" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "define: %s" e);
+  match Session.eval_calendar s "Mondays:during:1993/YEARS" with
+  | Ok cal ->
+    let first = Interval_set.nth (Calendar.flatten cal) 1 in
+    check_int "first monday of 1993 is day 4" 4 (Interval.lo first)
+  | Error e -> Alcotest.failf "eval: %s" e
+
+let test_on_clause_end_to_end () =
+  let s = session () in
+  ignore (run s "create table stock (day chronon valid, price float)");
+  for d = 1 to 60 do
+    ignore (run s (Printf.sprintf "append stock (day = @%d, price = %d.0)" d (100 + d)))
+  done;
+  ignore (run s "create index on stock (day)");
+  (* Paper's motivating query: closing price on the expiration date (3rd
+     Friday of January 1993 = Jan 15). *)
+  (match Session.define_calendar s ~name:"Fridays" ~script:"{ return ([5]/DAYS:during:WEEKS); }" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "define: %s" e);
+  match
+    run s "retrieve (stock.day, stock.price) from stock on \"[3]/Fridays:overlaps:[1]/MONTHS:during:1993/YEARS\""
+  with
+  | Exec.Rows { rows = [ [| Value.Chronon 15; Value.Float p |] ]; _ } ->
+    check_bool "price on expiration" true (p = 115.0)
+  | r -> Alcotest.failf "unexpected result: %s"
+           (match r with
+            | Exec.Rows { rows; _ } -> Printf.sprintf "%d rows" (List.length rows)
+            | _ -> "not rows")
+
+let test_date_operators () =
+  let s = session () in
+  (match rows_of (run s "retrieve (date('1993-01-15'))") with
+  | [ [| Value.Chronon 15 |] ] -> ()
+  | _ -> Alcotest.fail "date()");
+  (match rows_of (run s "retrieve (date_text(@32))") with
+  | [ [| Value.Text "1993-02-01" |] ] -> ()
+  | _ -> Alcotest.fail "date_text()");
+  (match rows_of (run s "retrieve (weekday(date('1993-01-04')))") with
+  | [ [| Value.Int 1 |] ] -> () (* Monday *)
+  | _ -> Alcotest.fail "weekday()");
+  (* The Sto90a bond example: 30/360 counts 180 days over a half year,
+     ACT/365 does not. *)
+  (match rows_of (run s "retrieve (day_count('30/360', date('1993-01-15'), date('1993-07-15')))") with
+  | [ [| Value.Int 180 |] ] -> ()
+  | _ -> Alcotest.fail "30/360 day_count");
+  (match rows_of (run s "retrieve (day_count('ACT/365', date('1993-01-15'), date('1993-07-15')))") with
+  | [ [| Value.Int 181 |] ] -> ()
+  | _ -> Alcotest.fail "ACT/365 day_count");
+  match rows_of (run s "retrieve (accrued('30/360', 0.08, 1000.0, date('1993-01-15'), date('1993-07-15')))") with
+  | [ [| Value.Float a |] ] -> check_bool "accrued 40" true (abs_float (a -. 40.) < 1e-9)
+  | _ -> Alcotest.fail "accrued"
+
+let test_calendar_operators () =
+  let s = session () in
+  (match rows_of (run s "retrieve (calendar_contains('[2]/DAYS:during:WEEKS', @5))") with
+  | [ [| Value.Bool true |] ] -> ()
+  | _ -> Alcotest.fail "tuesday contains");
+  (match rows_of (run s "retrieve (calendar_contains('[2]/DAYS:during:WEEKS', @6))") with
+  | [ [| Value.Bool false |] ] -> ()
+  | _ -> Alcotest.fail "wednesday not");
+  (* Calendars as first-class database values via the ADT. *)
+  ignore (run s "create table cals (name text, val calendar)");
+  ignore (run s "append cals (name = 'jan', val = calendar_value('[1]/MONTHS:during:1993/YEARS'))");
+  match rows_of (run s "retrieve (val) from cals where name = 'jan'") with
+  | [ [| Value.Ext ("calendar", _) |] ] -> ()
+  | _ -> Alcotest.fail "calendar value stored and retrieved"
+
+let test_rule_end_to_end () =
+  let s = session () in
+  ignore (run s "create table log (msg text)");
+  (* Every Tuesday (the paper's Proc_X example). *)
+  (match run s "define rule tuesdays on calendar \"[2]/DAYS:during:WEEKS\" do append log (msg = 'proc_x')" with
+  | Exec.Msg _ -> ()
+  | _ -> Alcotest.fail "rule defined");
+  Session.advance_days s 31;
+  (match rows_of (run s "retrieve (count(msg)) from log") with
+  | [ [| Value.Int 4 |] ] -> ()
+  | _ -> Alcotest.fail "four tuesdays in january 1993");
+  check_str "today after advance" "1993-02-01" (Civil.to_string (Session.today s))
+
+let test_save_load_roundtrip () =
+  let s = session () in
+  (* Calendars: one derived, one stored. *)
+  (match Session.define_calendar s ~name:"Fridays" ~script:"{ return ([5]/DAYS:during:WEEKS); }" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s" e);
+  Session.define_stored_calendar s ~name:"HOLIDAYS" [ (31, 31); (90, 90) ];
+  (* Data with tricky text, chronons, floats, and an index. *)
+  ignore (run s "create table notes (day chronon valid, txt text, score float)");
+  ignore (run s "create index on notes (day)");
+  ignore (run s "append notes (day = @5, txt = 'simple', score = 1.5)");
+  ignore
+    (run s
+       "append notes (day = @6, txt = 'quote \\' and \\\" double\\nnewline\\ttab', score = -2.25)");
+  ignore (run s "append notes (day = @12, txt = 'x', score = 0.1)");
+  (* A rule. *)
+  ignore (run s "define rule t on calendar \"[2]/DAYS:during:WEEKS\" do append notes (day = @1, txt = 'tick', score = 0.0)");
+  let saved = Session.save s in
+  let s2 = session () in
+  (match Session.load s2 saved with Ok () -> () | Error e -> Alcotest.failf "load: %s" e);
+  (* Table content identical. *)
+  let rows_of_q sess q = rows_of (run sess q) in
+  check_bool "rows equal" true
+    (rows_of_q s "retrieve (day, txt, score) from notes" =
+     rows_of_q s2 "retrieve (day, txt, score) from notes");
+  (* Index restored: probe goes through the B-tree. *)
+  let stats = Exec.fresh_stats () in
+  (match Exec.run_string s2.Session.catalog ~stats "retrieve (txt) from notes where day = @5" with
+  | Ok (Exec.Rows { rows = [ _ ]; _ }) -> ()
+  | _ -> Alcotest.fail "indexed row");
+  check_int "index used after load" 1 stats.Exec.index_scans;
+  (* Calendars restored. *)
+  (match Session.eval_calendar s2 "[3]/Fridays:overlaps:[1]/MONTHS:during:1993/YEARS" with
+  | Ok cal -> check_bool "third friday" true (Calendar.equal cal (Calendar.of_pairs [ (15, 15) ]))
+  | Error e -> Alcotest.failf "calendar after load: %s" e);
+  (match Session.eval_calendar s2 "HOLIDAYS" with
+  | Ok cal -> check_bool "stored calendar" true
+      (Calendar.equal cal (Calendar.of_pairs [ (31, 31); (90, 90) ]))
+  | Error e -> Alcotest.failf "stored after load: %s" e);
+  (* Rules restored and firing. *)
+  Session.advance_days s2 7;
+  check_bool "rule fired after load" true (Cal_rules.Manager.fire_count s2.Session.manager "t" >= 1)
+
+let test_dump_rejects_adt_values () =
+  let s = session () in
+  ignore (run s "create table cals (name text, val calendar)");
+  ignore (run s "append cals (name = 'jan', val = calendar_value('[1]/MONTHS:during:1993/YEARS'))");
+  match Session.save s with
+  | _ -> Alcotest.fail "expected Dump_error"
+  | exception Cal_db.Dump.Dump_error _ -> ()
+
+let test_advance_to_date () =
+  let s = session () in
+  Session.advance_to_date s (Civil.make 1993 3 15);
+  check_str "date" "1993-03-15" (Civil.to_string (Session.today s));
+  check_int "day chronon" 74 (Session.day_of_date s (Session.today s))
+
+(* The paper's future work (b): complex temporal conditions in rule
+   events. An event rule whose condition tests the tuple's valid time
+   against a calendar expression is already expressible through the
+   calendar_contains operator. *)
+let test_temporal_condition_in_event_rule () =
+  let s = session () in
+  ignore (run s "create table trades (day chronon valid, qty int)");
+  ignore (run s "create table weekend_trades (day chronon, qty int)");
+  ignore
+    (run s
+       "define rule offhours on append to trades \
+        where calendar_contains('[6,7]/DAYS:during:WEEKS', new.day) \
+        do append weekend_trades (day = new.day, qty = new.qty)");
+  (* Jan 1993: days 2,3 are Sat/Sun; 4 is Monday. *)
+  ignore (run s "append trades (day = @2, qty = 10)");
+  ignore (run s "append trades (day = @3, qty = 20)");
+  ignore (run s "append trades (day = @4, qty = 30)");
+  ignore (run s "append trades (day = @9, qty = 40)");
+  match run s "retrieve (day, qty) from weekend_trades" with
+  | Exec.Rows { rows; _ } ->
+    let days = List.map (fun r -> match r.(0) with Value.Chronon c -> c | _ -> -1) rows in
+    Alcotest.(check (list int)) "only weekend appends cascaded" [ 2; 3; 9 ]
+      (List.sort Int.compare days)
+  | _ -> Alcotest.fail "expected rows"
+
+(* Fuzz: random command sequences against a fixed schema must never let
+   an exception escape Session.query (errors come back as Error _). *)
+let command_gen =
+  let open QCheck2.Gen in
+  let day = map (fun d -> Printf.sprintf "@%d" d) (int_range 1 365) in
+  let price = map (fun p -> Printf.sprintf "%d.5" p) (int_range 1 500) in
+  oneof
+    [
+      map2 (fun d p -> Printf.sprintf "append stock (day = %s, price = %s)" d p) day price;
+      map (fun d -> Printf.sprintf "retrieve (price) from stock where day = %s" d) day;
+      map (fun d -> Printf.sprintf "delete stock where day = %s" d) day;
+      map2 (fun d p -> Printf.sprintf "replace stock (price = %s) where day > %s" p d) price day;
+      return "retrieve (count(price), avg(price)) from stock";
+      return "retrieve (price) from stock on \"[2]/DAYS:during:WEEKS\"";
+      return "retrieve (day, n = count(price)) from stock group by day";
+      map (fun d -> Printf.sprintf "retrieve (calendar_contains('[n]/DAYS:during:MONTHS', %s))" d) day;
+      (* Deliberately broken inputs: must error, not raise. *)
+      return "retrieve (nosuch) from stock";
+      return "append stock (day = 'oops', price = 1.0)";
+      return "retrieve (price) from missing_table";
+      return "this is not a query";
+    ]
+
+let prop_session_fuzz =
+  QCheck2.Test.make ~name:"random command sequences never raise" ~count:30
+    QCheck2.Gen.(list_size (int_range 5 30) command_gen)
+    (fun commands ->
+      let s = session () in
+      (match Session.query s "create table stock (day chronon valid, price float)" with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      ignore (Session.query s "create index on stock (day)");
+      List.for_all
+        (fun cmd -> match Session.query s cmd with Ok _ | Error _ -> true)
+        commands)
+
+let () =
+  Alcotest.run "calrules-session"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "figure 1 CALENDARS tuple" `Quick test_figure1_calendars_tuple;
+          Alcotest.test_case "duplicate rejected" `Quick test_duplicate_calendar_rejected;
+          Alcotest.test_case "eval through session" `Quick test_eval_through_session;
+          Alcotest.test_case "on-clause end to end" `Quick test_on_clause_end_to_end;
+          Alcotest.test_case "date operators" `Quick test_date_operators;
+          Alcotest.test_case "calendar operators + ADT" `Quick test_calendar_operators;
+          Alcotest.test_case "rule end to end" `Quick test_rule_end_to_end;
+          Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
+          Alcotest.test_case "dump rejects ADT values" `Quick test_dump_rejects_adt_values;
+          Alcotest.test_case "advance to date" `Quick test_advance_to_date;
+        ] );
+      ( "future-work",
+        [
+          Alcotest.test_case "temporal condition in event rule (FW b)" `Quick
+            test_temporal_condition_in_event_rule;
+        ] );
+      ("fuzz", [ QCheck_alcotest.to_alcotest prop_session_fuzz ]);
+    ]

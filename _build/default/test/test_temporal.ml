@@ -1,0 +1,424 @@
+(* Tests for civil dates, unit systems, day-count conventions and the
+   simulated clock. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let date = Civil.make
+let epoch93 = date 1993 1 1
+let epoch87 = date 1987 1 1
+
+(* ------------------------------------------------------------------ *)
+(* Civil *)
+
+let test_civil_known_dates () =
+  check_int "1970-01-01 is rata die 0" 0 (Civil.rata_die (date 1970 1 1));
+  check_int "1970-01-02" 1 (Civil.rata_die (date 1970 1 2));
+  check_int "1969-12-31" (-1) (Civil.rata_die (date 1969 12 31));
+  check_int "2000-03-01" 11017 (Civil.rata_die (date 2000 3 1));
+  check_int "1970-01-01 is Thursday" 4 (Civil.weekday (date 1970 1 1));
+  check_int "1993-01-01 is Friday" 5 (Civil.weekday (date 1993 1 1));
+  check_int "1987-01-01 is Thursday" 4 (Civil.weekday (date 1987 1 1));
+  check_int "1992-12-28 is Monday" 1 (Civil.weekday (date 1992 12 28))
+
+let test_civil_leap () =
+  check_bool "1992 leap" true (Civil.is_leap 1992);
+  check_bool "1900 not leap" false (Civil.is_leap 1900);
+  check_bool "2000 leap" true (Civil.is_leap 2000);
+  check_int "feb 1992" 29 (Civil.days_in_month 1992 2);
+  check_int "feb 1993" 28 (Civil.days_in_month 1993 2)
+
+let test_civil_arith () =
+  check_str "add_days" "1993-01-04" (Civil.to_string (Civil.add_days (date 1992 12 28) 7));
+  check_str "add_months clamps" "1993-02-28"
+    (Civil.to_string (Civil.add_months (date 1993 1 31) 1));
+  check_str "add_months backward" "1992-11-30"
+    (Civil.to_string (Civil.add_months (date 1993 1 30) (-2)));
+  check_str "add_months across year" "1994-03-15"
+    (Civil.to_string (Civil.add_months (date 1993 12 15) 3))
+
+let test_civil_strings () =
+  check_str "pp" "1987-01-01" (Civil.to_string epoch87);
+  check_bool "of_string valid" true (Civil.of_string "1993-11-19" = Some (date 1993 11 19));
+  check_bool "of_string invalid day" true (Civil.of_string "1993-02-29" = None);
+  check_bool "of_string garbage" true (Civil.of_string "hello" = None)
+
+let prop_rata_die_roundtrip =
+  QCheck2.Test.make ~name:"rata_die roundtrip" ~count:1000
+    QCheck2.Gen.(int_range (-1_000_000) 1_000_000)
+    (fun z -> Civil.rata_die (Civil.of_rata_die z) = z)
+
+let prop_weekday_cycles =
+  QCheck2.Test.make ~name:"weekday advances by 1 mod 7" ~count:500
+    QCheck2.Gen.(int_range (-100_000) 100_000)
+    (fun z ->
+      let d = Civil.of_rata_die z in
+      let w = Civil.weekday d and w' = Civil.weekday (Civil.add_days d 1) in
+      w' = (w mod 7) + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Unit_system *)
+
+let test_day_chronons () =
+  check_int "epoch day is chronon 1" 1
+    (Unit_system.chronon_of_date ~epoch:epoch93 Granularity.Days epoch93);
+  check_int "day before epoch is -1" (-1)
+    (Unit_system.chronon_of_date ~epoch:epoch93 Granularity.Days (date 1992 12 31));
+  check_int "Jan 31 1993 is day 31" 31
+    (Unit_system.chronon_of_date ~epoch:epoch93 Granularity.Days (date 1993 1 31));
+  check_int "Dec 28 1992 is day -4" (-4)
+    (Unit_system.chronon_of_date ~epoch:epoch93 Granularity.Days (date 1992 12 28))
+
+let test_week_anchor () =
+  (* Paper: with epoch Jan 1 1993 (a Friday), the first week of 1993 as a
+     day interval is (-4,3): Monday Dec 28 .. Sunday Jan 3. *)
+  let i0 = Unit_system.start_of_index ~epoch:epoch93 Granularity.Weeks 0 in
+  check_int "week 0 starts on Monday Dec 28" (-4 * 86400) i0;
+  check_int "week 0 contains epoch" 0
+    (Unit_system.index_of_instant ~epoch:epoch93 Granularity.Weeks 0);
+  check_int "week 1 starts Jan 4" (3 * 86400)
+    (Unit_system.start_of_index ~epoch:epoch93 Granularity.Weeks 1)
+
+let test_month_year_units () =
+  check_int "month 0 starts at epoch" 0
+    (Unit_system.start_of_index ~epoch:epoch87 Granularity.Months 0);
+  check_int "month 1 starts Feb 1" (31 * 86400)
+    (Unit_system.start_of_index ~epoch:epoch87 Granularity.Months 1);
+  check_int "year 1 starts Jan 1 1988" (365 * 86400)
+    (Unit_system.start_of_index ~epoch:epoch87 Granularity.Years 1);
+  (* 1988 is a leap year: year 2 starts 366 days later. *)
+  check_int "year 2 starts Jan 1 1989" ((365 + 366) * 86400)
+    (Unit_system.start_of_index ~epoch:epoch87 Granularity.Years 2);
+  check_int "decade of 1987 starts 1980" (Civil.rata_die (date 1980 1 1) - Civil.rata_die epoch87)
+    (Unit_system.start_of_index ~epoch:epoch87 Granularity.Decades 0 / 86400);
+  check_int "century of 1987 starts 1900"
+    (Civil.rata_die (date 1900 1 1) - Civil.rata_die epoch87)
+    (Unit_system.start_of_index ~epoch:epoch87 Granularity.Centuries 0 / 86400)
+
+let test_aligned () =
+  let al c f = Unit_system.aligned ~coarse:c ~fine:f in
+  check_bool "years/days" true (al Granularity.Years Granularity.Days);
+  check_bool "weeks/days" true (al Granularity.Weeks Granularity.Days);
+  check_bool "years/weeks misaligned" false (al Granularity.Years Granularity.Weeks);
+  check_bool "months/weeks misaligned" false (al Granularity.Months Granularity.Weeks);
+  check_bool "years/months" true (al Granularity.Years Granularity.Months);
+  check_bool "centuries/decades" true (al Granularity.Centuries Granularity.Decades);
+  check_bool "days/months (wrong order)" false (al Granularity.Days Granularity.Months);
+  check_bool "months/hours" true (al Granularity.Months Granularity.Hours)
+
+let test_span_of_dates () =
+  let span =
+    Unit_system.chronon_span_of_dates ~epoch:epoch87 Granularity.Days (date 1987 1 1)
+      (date 1992 1 3)
+  in
+  check_int "span lo" 1 (Interval.lo span);
+  check_int "span hi (Jan 3 1992 = day 1829)" 1829 (Interval.hi span)
+
+let granularity_gen = QCheck2.Gen.oneofl Granularity.all
+
+let prop_index_start_inverse =
+  QCheck2.Test.make ~name:"index_of_instant (start_of_index k) = k" ~count:800
+    QCheck2.Gen.(pair granularity_gen (int_range (-500) 500))
+    (fun (g, k) ->
+      Unit_system.index_of_instant ~epoch:epoch87 g
+        (Unit_system.start_of_index ~epoch:epoch87 g k)
+      = k)
+
+let prop_instant_within_unit =
+  QCheck2.Test.make ~name:"start <= instant < next start" ~count:800
+    QCheck2.Gen.(pair granularity_gen (int_range (-2_000_000_000) 2_000_000_000))
+    (fun (g, i) ->
+      let k = Unit_system.index_of_instant ~epoch:epoch87 g i in
+      Unit_system.start_of_index ~epoch:epoch87 g k <= i
+      && i < Unit_system.start_of_index ~epoch:epoch87 g (k + 1))
+
+let prop_date_chronon_roundtrip =
+  QCheck2.Test.make ~name:"date_of_chronon . chronon_of_date = start of unit" ~count:500
+    QCheck2.Gen.(pair granularity_gen (int_range (-50_000) 50_000))
+    (fun (g, z) ->
+      let d = Civil.of_rata_die z in
+      let c = Unit_system.chronon_of_date ~epoch:epoch87 g d in
+      let d' = Unit_system.date_of_chronon ~epoch:epoch87 g c in
+      (* d' is the first day of the unit containing d. *)
+      Civil.compare d' d <= 0
+      && Unit_system.chronon_of_date ~epoch:epoch87 g d' = c)
+
+(* ------------------------------------------------------------------ *)
+(* Day_count *)
+
+let test_day_count_conventions () =
+  let d1 = date 2006 8 31 and d2 = date 2007 2 28 in
+  check_int "actual days" 181 (Day_count.day_count Day_count.Actual_365 d1 d2);
+  check_int "30/360 US" 178 (Day_count.day_count Day_count.Thirty_360_us d1 d2);
+  check_int "30E/360" 178 (Day_count.day_count Day_count.Thirty_e_360 d1 d2);
+  (* 30/360 US vs 30E/360 differ when d2 is the 31st and d1 is not 30/31. *)
+  let d1 = date 2007 1 15 and d2 = date 2007 1 31 in
+  check_int "30/360 US keeps d2=31" 16 (Day_count.day_count Day_count.Thirty_360_us d1 d2);
+  check_int "30E/360 truncates d2" 15 (Day_count.day_count Day_count.Thirty_e_360 d1 d2)
+
+(* The Sto90a bond example: a full 30/360 month counts as 30 days even when
+   the calendar month has 31 or 28. *)
+let test_thirty_360_months () =
+  List.iter
+    (fun m ->
+      check_int
+        (Printf.sprintf "month %d counts 30 days" m)
+        30
+        (Day_count.day_count Day_count.Thirty_360_us (date 1993 m 1)
+           (Civil.add_months (date 1993 m 1) 1)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+
+let test_year_fractions () =
+  let close a b = abs_float (a -. b) < 1e-9 in
+  check_bool "ACT/365 one year" true
+    (close (Day_count.year_fraction Day_count.Actual_365 (date 1993 1 1) (date 1994 1 1))
+       (365. /. 365.));
+  check_bool "ACT/360 30 days" true
+    (close (Day_count.year_fraction Day_count.Actual_360 (date 1993 1 1) (date 1993 1 31))
+       (30. /. 360.));
+  check_bool "ACT/ACT non-leap year" true
+    (close
+       (Day_count.year_fraction Day_count.Actual_actual (date 1993 3 1) (date 1993 3 31))
+       (30. /. 365.));
+  check_bool "ACT/ACT leap year" true
+    (close
+       (Day_count.year_fraction Day_count.Actual_actual (date 1992 3 1) (date 1992 3 31))
+       (30. /. 366.));
+  check_bool "30/360 full year is exactly 1" true
+    (close (Day_count.year_fraction Day_count.Thirty_360_us (date 1993 1 1) (date 1994 1 1)) 1.)
+
+let test_accrued_interest () =
+  (* 8% on 1000 face over a 30/360 half-year = 40, regardless of the actual
+     number of days (the paper's motivating example). *)
+  let a =
+    Day_count.accrued_interest ~convention:Day_count.Thirty_360_us ~annual_rate:0.08
+      ~face:1000. (date 1993 1 15) (date 1993 7 15)
+  in
+  check_bool "30/360 half year accrual" true (abs_float (a -. 40.) < 1e-9)
+
+let date_gen =
+  QCheck2.Gen.map Civil.of_rata_die (QCheck2.Gen.int_range 3000 20000)
+
+let prop_act_act_additive =
+  QCheck2.Test.make ~name:"ACT/ACT additivity" ~count:300
+    QCheck2.Gen.(triple date_gen date_gen date_gen)
+    (fun (a, b, c) ->
+      let l = List.sort Civil.compare [ a; b; c ] in
+      match l with
+      | [ a; b; c ] ->
+        let yf = Day_count.year_fraction Day_count.Actual_actual in
+        abs_float (yf a c -. (yf a b +. yf b c)) < 1e-9
+      | _ -> false)
+
+let prop_day_count_antisymmetric =
+  QCheck2.Test.make ~name:"day_count antisymmetric" ~count:300
+    QCheck2.Gen.(pair (oneofl Day_count.all) (pair date_gen date_gen))
+    (fun (conv, (a, b)) ->
+      match conv with
+      | Day_count.Thirty_360_us ->
+        true (* US month-end adjustment is direction-dependent by design *)
+      | _ -> Day_count.day_count conv a b = -Day_count.day_count conv b a)
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+let test_clock () =
+  let c = Clock.create () in
+  check_int "starts at 0" 0 (Clock.now c);
+  check_int "epoch day" 1 (Clock.today ~epoch:epoch87 c);
+  Clock.advance c 86400;
+  check_int "next day" 2 (Clock.today ~epoch:epoch87 c);
+  Clock.advance_to c 86400;
+  check_int "advance_to backward is no-op" (86400) (Clock.now c);
+  Clock.advance_to c (10 * 86400);
+  check_str "date after 10 days" "1987-01-11" (Civil.to_string (Clock.date ~epoch:epoch87 c));
+  Alcotest.check_raises "negative advance rejected"
+    (Invalid_argument "Clock.advance: negative step") (fun () -> Clock.advance c (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Span (unanchored durations, section 5) *)
+
+let test_span_basics () =
+  let s = Span.make ~months:1 ~days:2 ~seconds:3600 () in
+  check_bool "not fixed" false (Span.is_fixed s);
+  check_bool "no seconds for variable span" true (Span.to_seconds s = None);
+  let f = Span.make ~days:2 ~seconds:3600 () in
+  check_bool "fixed span" true (Span.to_seconds f = Some ((2 * 86400) + 3600));
+  check_bool "seconds normalize into days" true
+    (Span.make ~seconds:(86400 * 3) () = Span.make ~days:3 ());
+  check_str "pp" "1mo2d3600s" (Span.to_string s);
+  check_str "pp zero" "0" (Span.to_string Span.zero)
+
+let test_span_arithmetic () =
+  let a = Span.of_granularity Granularity.Weeks 2 in
+  check_bool "2 weeks = 14 days" true (a = Span.make ~days:14 ());
+  check_bool "years are months" true
+    (Span.of_granularity Granularity.Years 3 = Span.make ~months:36 ());
+  check_bool "add" true
+    (Span.add (Span.make ~months:1 ()) (Span.make ~days:10 ())
+    = Span.make ~months:1 ~days:10 ());
+  check_bool "neg + add = zero" true
+    (Span.add a (Span.neg a) = Span.zero);
+  check_bool "scale" true (Span.scale 3 (Span.make ~days:2 ()) = Span.make ~days:6 ())
+
+let test_span_anchoring () =
+  (* One month anchored at Jan 31 clamps (like Civil.add_months). *)
+  check_str "month from jan 31" "1993-02-28"
+    (Civil.to_string (Span.add_to_date (date 1993 1 31) (Span.of_granularity Granularity.Months 1)));
+  check_str "mixed span" "1993-03-03"
+    (Civil.to_string (Span.add_to_date (date 1993 1 31) (Span.make ~months:1 ~days:3 ())));
+  check_bool "between" true
+    (Span.between (date 1993 1 1) (date 1993 2 1) = Span.make ~days:31 ())
+
+let test_span_comparison () =
+  let cmp a b = Span.compare_opt a b in
+  check_bool "1 month vs 27 days" true (cmp (Span.make ~months:1 ()) (Span.make ~days:27 ()) = Some 1);
+  check_bool "1 month vs 32 days" true (cmp (Span.make ~months:1 ()) (Span.make ~days:32 ()) = Some (-1));
+  check_bool "1 month vs 30 days is anchor-dependent" true
+    (cmp (Span.make ~months:1 ()) (Span.make ~days:30 ()) = None);
+  check_bool "equal spans" true (cmp (Span.make ~days:7 ()) (Span.of_granularity Granularity.Weeks 1) = Some 0)
+
+let prop_span_add_assoc =
+  let gen = QCheck2.Gen.(map (fun (m, d, s) -> Span.make ~months:m ~days:d ~seconds:s ())
+                           (triple (int_range (-24) 24) (int_range (-60) 60) (int_range (-100000) 100000))) in
+  QCheck2.Test.make ~name:"span addition associative" ~count:300
+    QCheck2.Gen.(triple gen gen gen)
+    (fun (a, b, c) -> Span.add a (Span.add b c) = Span.add (Span.add a b) c)
+
+let prop_span_anchor_fixed =
+  QCheck2.Test.make ~name:"fixed spans shift dates by exact days" ~count:300
+    QCheck2.Gen.(pair (int_range (-30000) 30000) (int_range (-2000) 2000))
+    (fun (rd, days) ->
+      let d = Civil.of_rata_die rd in
+      Civil.rata_die (Span.add_to_date d (Span.make ~days ())) = rd + days)
+
+(* ------------------------------------------------------------------ *)
+(* Proleptic edge cases *)
+
+let test_proleptic_and_centuries () =
+  check_int "year 1 day 1 weekday (proleptic Monday)" 1 (Civil.weekday (date 1 1 1));
+  check_bool "before common era roundtrip" true
+    (Civil.equal (Civil.of_rata_die (Civil.rata_die (date (-44) 3 15))) (date (-44) 3 15));
+  (* 1900 not leap but 2000 leap across the century boundary. *)
+  check_int "feb 1900" 28 (Civil.days_in_month 1900 2);
+  check_int "feb 2000" 29 (Civil.days_in_month 2000 2);
+  (* Centuries unit containing a negative year. *)
+  let epoch = Civil.make 1987 1 1 in
+  let c = Unit_system.chronon_of_date ~epoch Granularity.Centuries (date (-50) 6 1) in
+  check_str "century of -50 starts -100"
+    "-100-01-01"
+    (Civil.to_string (Unit_system.date_of_chronon ~epoch Granularity.Centuries c))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-language date I/O (MultiCal's orthogonal features, section 5) *)
+
+let test_date_io_format () =
+  let d = date 1993 11 19 in
+  check_str "iso" "1993-11-19" (Date_io.format_date d);
+  check_str "long en" "November 19, 1993" (Date_io.format_date ~fmt:Date_io.Long d);
+  check_str "abbrev" "19 Nov 1993" (Date_io.format_date ~fmt:Date_io.Abbrev d);
+  check_str "dmy" "19/11/1993" (Date_io.format_date ~fmt:Date_io.Numeric_dmy d);
+  check_str "mdy" "11/19/1993" (Date_io.format_date ~fmt:Date_io.Numeric_mdy d);
+  (match Date_io.locale_named "fr" with
+  | Some fr ->
+    check_str "long fr" "19. novembre 1993" (Date_io.format_date ~locale:fr ~fmt:Date_io.Long d);
+    check_str "weekday fr" "vendredi" (Date_io.weekday_name ~locale:fr d)
+  | None -> Alcotest.fail "french locale");
+  match Date_io.locale_named "de" with
+  | Some de ->
+    check_str "weekday de" "Freitag" (Date_io.weekday_name ~locale:de d)
+  | None -> Alcotest.fail "german locale"
+
+let test_date_io_parse () =
+  let d = date 1993 11 19 in
+  let ok ?locale s = check_bool s true (Date_io.parse ?locale s = Some d) in
+  ok "1993-11-19";
+  ok "November 19, 1993";
+  ok "19 Nov 1993";
+  ok "19 November 1993";
+  ok "19/11/1993" (* 19 > 12, so day-first *);
+  (match Date_io.locale_named "fr" with
+  | Some fr ->
+    ok ~locale:fr "19 novembre 1993";
+    check_bool "fr numeric is D/M/Y" true
+      (Date_io.parse ~locale:fr "05/11/1993" = Some (date 1993 11 5))
+  | None -> Alcotest.fail "french locale");
+  check_bool "en 05/11 is M/D/Y" true (Date_io.parse "05/11/1993" = Some (date 1993 5 11));
+  check_bool "exact dmy pins it" true
+    (Date_io.parse_exact ~fmt:Date_io.Numeric_dmy "05/11/1993" = Some (date 1993 11 5));
+  check_bool "garbage" true (Date_io.parse "the day after tomorrow" = None);
+  check_bool "invalid day" true (Date_io.parse "1993-02-31" = None)
+
+let test_date_io_interval_span () =
+  let epoch = epoch93 in
+  check_str "interval" "1993-01-04 .. 1993-01-10"
+    (Date_io.format_interval ~epoch (Interval.make 4 10));
+  check_str "singleton" "1993-01-04" (Date_io.format_interval ~epoch (Interval.make 4 4));
+  check_str "span en" "3 month(s) 2 day(s)"
+    (Date_io.format_span (Span.make ~months:3 ~days:2 ()));
+  match Date_io.locale_named "de" with
+  | Some de ->
+    check_str "span de" "1 Monat(e)" (Date_io.format_span ~locale:de (Span.make ~months:1 ()))
+  | None -> Alcotest.fail "german locale"
+
+let prop_date_io_roundtrip =
+  QCheck2.Test.make ~name:"format/parse roundtrip across locales and formats" ~count:400
+    QCheck2.Gen.(
+      triple (int_range 0 50000)
+        (oneofl Date_io.locales)
+        (oneofl Date_io.[ Iso; Long; Abbrev; Numeric_dmy; Numeric_mdy ]))
+    (fun (z, locale, fmt) ->
+      let d = Civil.of_rata_die z in
+      Date_io.parse_exact ~locale ~fmt (Date_io.format_date ~locale ~fmt d) = Some d)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "cal_temporal"
+    [
+      ( "civil",
+        [
+          Alcotest.test_case "known dates" `Quick test_civil_known_dates;
+          Alcotest.test_case "leap years" `Quick test_civil_leap;
+          Alcotest.test_case "arithmetic" `Quick test_civil_arith;
+          Alcotest.test_case "strings" `Quick test_civil_strings;
+        ] );
+      ( "unit_system",
+        [
+          Alcotest.test_case "day chronons" `Quick test_day_chronons;
+          Alcotest.test_case "week anchor (paper 3.1)" `Quick test_week_anchor;
+          Alcotest.test_case "months/years/decades" `Quick test_month_year_units;
+          Alcotest.test_case "alignment" `Quick test_aligned;
+          Alcotest.test_case "span of dates (paper 3.2)" `Quick test_span_of_dates;
+        ] );
+      ( "day_count",
+        [
+          Alcotest.test_case "conventions" `Quick test_day_count_conventions;
+          Alcotest.test_case "30/360 months" `Quick test_thirty_360_months;
+          Alcotest.test_case "year fractions" `Quick test_year_fractions;
+          Alcotest.test_case "accrued interest" `Quick test_accrued_interest;
+        ] );
+      ("clock", [ Alcotest.test_case "simulated clock" `Quick test_clock ]);
+      ( "span",
+        [
+          Alcotest.test_case "basics" `Quick test_span_basics;
+          Alcotest.test_case "arithmetic" `Quick test_span_arithmetic;
+          Alcotest.test_case "anchoring" `Quick test_span_anchoring;
+          Alcotest.test_case "comparison" `Quick test_span_comparison;
+        ] );
+      ( "proleptic",
+        [ Alcotest.test_case "negative years and centuries" `Quick test_proleptic_and_centuries ] );
+      qsuite "span-props" [ prop_span_add_assoc; prop_span_anchor_fixed ];
+      ( "date_io",
+        [
+          Alcotest.test_case "formatting" `Quick test_date_io_format;
+          Alcotest.test_case "parsing" `Quick test_date_io_parse;
+          Alcotest.test_case "intervals and spans" `Quick test_date_io_interval_span;
+        ] );
+      qsuite "date-io-props" [ prop_date_io_roundtrip ];
+      qsuite "civil-props" [ prop_rata_die_roundtrip; prop_weekday_cycles ];
+      qsuite "unit-props"
+        [ prop_index_start_inverse; prop_instant_within_unit; prop_date_chronon_roundtrip ];
+      qsuite "day-count-props" [ prop_act_act_additive; prop_day_count_antisymmetric ];
+    ]

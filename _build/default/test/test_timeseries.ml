@@ -1,0 +1,138 @@
+(* Tests for regular time-series with calendar-implied timepoints and the
+   sequence-pattern search of the paper's future-work item (a). *)
+
+open Cal_lang
+open Cal_timeseries
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let epoch85 = Civil.make 1985 1 1
+
+let ctx () =
+  Context.create ~epoch:epoch85 ~lifespan:(Civil.make 1985 1 1, Civil.make 1993 12 31)
+    ~env:(Env.create ()) ()
+
+let series ?window expr values =
+  match Regular.create (ctx ()) ?window ~expr (Array.of_list values) with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "series creation failed: %s" e
+
+(* The paper's GNP example: valued on the last day of every quarter,
+   1985-1993; quarters are caloperate(MONTHS,*;3), i.e. built from months
+   here via nested selection: last day of every 3rd month is the quarter
+   end. We use the last day of MONTHS 3,6,9,12 per year. *)
+let gnp_expr = "[n]/DAYS:during:([3,6,9,12]/MONTHS:during:YEARS)"
+
+let test_gnp_timepoints () =
+  let s = series gnp_expr (List.init 36 float_of_int) in
+  check_int "36 quarterly observations" 36 (Regular.length s);
+  (* First timepoint: Mar 31 1985 = day 90 (1985 not leap). *)
+  check_int "first quarter end" 90 (Interval.lo (Regular.timepoint s 0));
+  (* Second: Jun 30 1985 = day 181. *)
+  check_int "second quarter end" 181 (Interval.lo (Regular.timepoint s 1));
+  (* Fourth: Dec 31 1985 = day 365. *)
+  check_int "year end" 365 (Interval.lo (Regular.timepoint s 3))
+
+let test_lookup_by_chronon () =
+  let s = series gnp_expr [ 10.; 20.; 30.; 40. ] in
+  check_bool "at quarter end" true (Regular.at s 90 = Some 10.);
+  check_bool "mid-quarter misses" true (Regular.at s 50 = None);
+  check_bool "index_of_chronon" true (Regular.index_of_chronon s 181 = Some 1)
+
+let test_too_few_timepoints_rejected () =
+  match Regular.create (ctx ()) ~expr:"[n]/DAYS:during:YEARS" (Array.make 100 0.) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error: 9-year lifespan cannot yield 100 annual points"
+
+let test_slice_and_aggregate () =
+  (* Daily series over January-February 1985. *)
+  let s =
+    series ~window:(Interval.make 1 59) "DAYS" (List.init 59 (fun i -> float_of_int (i + 1)))
+  in
+  let jan = Interval_set.of_pairs [ (1, 31) ] in
+  let sliced = Regular.slice s jan in
+  check_int "january days" 31 (Regular.length sliced);
+  let months = Interval_set.of_pairs [ (1, 31); (32, 59) ] in
+  (match Regular.aggregate s ~periods:months ~agg:Regular.Mean with
+  | [ (_, m1); (_, m2) ] ->
+    check_bool "january mean" true (abs_float (m1 -. 16.) < 1e-9);
+    check_bool "february mean" true (abs_float (m2 -. 45.5) < 1e-9)
+  | _ -> Alcotest.fail "expected two periods");
+  match Regular.aggregate s ~periods:months ~agg:Regular.Last with
+  | [ (_, l1); (_, l2) ] ->
+    check_bool "last of january" true (l1 = 31.);
+    check_bool "last of february" true (l2 = 59.)
+  | _ -> Alcotest.fail "expected two periods"
+
+let test_map2_alignment () =
+  let a = series ~window:(Interval.make 1 10) "DAYS" (List.init 10 (fun i -> float_of_int i)) in
+  let b = series ~window:(Interval.make 1 10) "DAYS" (List.init 10 (fun i -> float_of_int (2 * i))) in
+  let c = Regular.map2 (fun x y -> y -. x) a b in
+  check_int "aligned length" 10 (Regular.length c);
+  check_bool "pointwise diff" true (Regular.value c 7 = 7.)
+
+(* ------------------------------------------------------------------ *)
+(* Pattern search: S_t < Next(S_t) *)
+
+let test_increases () =
+  let s = series ~window:(Interval.make 1 6) "DAYS" [ 1.; 3.; 2.; 5.; 5.; 7. ] in
+  let incr = Pattern.increases s in
+  Alcotest.(check (list int)) "increase timepoints" [ 1; 3; 5 ]
+    (List.map Interval.lo incr);
+  let decr = Pattern.decreases s in
+  Alcotest.(check (list int)) "decrease timepoints" [ 2 ] (List.map Interval.lo decr)
+
+let test_runs_and_shapes () =
+  let s =
+    series ~window:(Interval.make 1 8) "DAYS" [ 1.; 2.; 3.; 1.; 2.; 3.; 4.; 0. ]
+  in
+  (match Pattern.increasing_runs ~min_length:2 s with
+  | [ (0, 3); (3, 4) ] -> ()
+  | runs ->
+    Alcotest.failf "unexpected runs: %s"
+      (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) runs)));
+  (* Peak shape: up then down. *)
+  Alcotest.(check (list int)) "peaks" [ 0; 4 ]
+    (Pattern.matches_shape s [ `Up; `Up; `Down ])
+
+let test_moving_average () =
+  let s = series ~window:(Interval.make 1 5) "DAYS" [ 1.; 2.; 3.; 4.; 5. ] in
+  let ma = Pattern.moving_average s ~w:3 in
+  Alcotest.(check int) "output length" 3 (Array.length ma);
+  check_bool "values" true (ma = [| 2.; 3.; 4. |]);
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Pattern.moving_average: window must be positive") (fun () ->
+      ignore (Pattern.moving_average s ~w:0))
+
+let prop_increases_sound =
+  QCheck2.Test.make ~name:"every reported increase is a real increase" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 40) (float_range (-100.) 100.))
+    (fun values ->
+      let s = series ~window:(Interval.make 1 (List.length values)) "DAYS" values in
+      let arr = Array.of_list values in
+      List.for_all
+        (fun i -> arr.(i) < arr.(i + 1))
+        (Pattern.search_pairs s ~pred:(fun a b -> a < b)))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "cal_timeseries"
+    [
+      ( "regular",
+        [
+          Alcotest.test_case "GNP quarterly timepoints" `Quick test_gnp_timepoints;
+          Alcotest.test_case "lookup by chronon" `Quick test_lookup_by_chronon;
+          Alcotest.test_case "too few timepoints" `Quick test_too_few_timepoints_rejected;
+          Alcotest.test_case "slice + aggregate" `Quick test_slice_and_aggregate;
+          Alcotest.test_case "map2 alignment" `Quick test_map2_alignment;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "increases (future work a)" `Quick test_increases;
+          Alcotest.test_case "runs and shapes" `Quick test_runs_and_shapes;
+          Alcotest.test_case "moving average" `Quick test_moving_average;
+        ] );
+      qsuite "pattern-props" [ prop_increases_sound ];
+    ]

@@ -1,0 +1,130 @@
+(* Tests for the mini-TQUEL baseline (sections 1-2 of the paper): what it
+   can express — and, crucially, what it cannot without enumerating time
+   points by hand. *)
+
+open Cal_db
+open Cal_tquel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let setup () =
+  let db = Tquel.create_db () in
+  let run s =
+    match Tquel.run db s with
+    | r -> r
+    | exception Tquel.Parse_error e -> Alcotest.failf "tquel parse: %s (%s)" e s
+    | exception Trel.Tquel_error e -> Alcotest.failf "tquel: %s (%s)" e s
+  in
+  ignore (run "create gnp (value)");
+  (* The paper's GNP framing: the series is valid over (Jan 1 1985, Dec
+     31 1993); in TQUEL each observation gets an explicit interval. *)
+  ignore (run "append gnp (value = 4000.0) valid from @1 to @90");
+  ignore (run "append gnp (value = 4045.0) valid from @91 to @181");
+  ignore (run "append gnp (value = 4090.0) valid from @182 to @273");
+  ignore (run "append gnp (value = 4135.0) valid from @274 to @365");
+  (db, run)
+
+let rows_of = function
+  | Tquel.Rows { rows; _ } -> rows
+  | Tquel.Done _ -> Alcotest.fail "expected rows"
+
+let test_create_append_retrieve () =
+  let _, run = setup () in
+  check_int "all observations" 4 (List.length (rows_of (run "retrieve (value) from gnp")))
+
+let test_when_clause () =
+  let _, run = setup () in
+  (* The paper: TQUEL can express the containing interval... *)
+  (match rows_of (run "retrieve (value) from gnp when gnp overlap interval(@100, @200)") with
+  | [ [| Value.Float 4045. |]; [| Value.Float 4090. |] ] -> ()
+  | rows -> Alcotest.failf "overlap: %d rows" (List.length rows));
+  (match rows_of (run "retrieve (value) from gnp when gnp precede interval(@182, @365)") with
+  | [ [| Value.Float 4000. |]; [| Value.Float 4045. |] ] -> ()
+  | _ -> Alcotest.fail "precede");
+  (match rows_of (run "retrieve (value) from gnp when gnp follow interval(@1, @90)") with
+  | rows -> check_int "follow" 3 (List.length rows));
+  (match rows_of (run "retrieve (value) from gnp when gnp equal interval(@91, @181)") with
+  | [ [| Value.Float 4045. |] ] -> ()
+  | _ -> Alcotest.fail "equal");
+  match rows_of (run "retrieve (value) from gnp when gnp contain interval(@100, @150)") with
+  | [ [| Value.Float 4045. |] ] -> ()
+  | _ -> Alcotest.fail "contain"
+
+let test_where_and_valid_projection () =
+  let _, run = setup () in
+  (match rows_of (run "retrieve (value) from gnp where value > 4050.0") with
+  | rows -> check_int "scalar where" 2 (List.length rows));
+  match rows_of (run "retrieve (value) from gnp when gnp equal interval(@1, @90) valid") with
+  | [ [| Value.Float 4000.; Value.Interval iv |] ] ->
+    check_bool "validity projected" true (Interval.lo iv = 1 && Interval.hi iv = 90)
+  | _ -> Alcotest.fail "valid projection"
+
+let test_parse_errors () =
+  let db = Tquel.create_db () in
+  let bad s =
+    match Tquel.run db s with
+    | _ -> Alcotest.failf "expected parse error: %s" s
+    | exception Tquel.Parse_error _ -> ()
+    | exception Trel.Tquel_error _ -> ()
+  in
+  bad "retrieve (x)";
+  bad "append gnp (value = 1.0)";
+  bad "retrieve (value) from gnp when gnp nextto interval(@1, @2)";
+  bad "retrieve (value) from nosuch"
+
+(* The expressiveness gap, made concrete: "value on the last day of every
+   quarter" needs the quarter-end days. In TQUEL they must be enumerated
+   into data by the application; in the calendar system they are one
+   expression. Both routes give the same answer - but only one of them
+   survives a change of calendar without re-enumerating. *)
+let test_expressiveness_gap () =
+  check_bool "interval comparisons expressible" true (Tquel.expressible `Interval_comparison);
+  check_bool "calendric sets inexpressible" false (Tquel.expressible `Calendric_set);
+  check_bool "holiday adjustment inexpressible" false (Tquel.expressible `Holiday_adjustment);
+  let db, run = setup () in
+  ignore db;
+  (* TQUEL route: the application enumerates quarter ends by hand. *)
+  ignore (run "create quarter_ends (day)");
+  List.iter
+    (fun d -> ignore (run (Printf.sprintf "append quarter_ends (day = @%d) valid from @%d to @%d" d d d)))
+    [ 90; 181; 273; 365 ];
+  let tquel_values =
+    List.concat_map
+      (fun d ->
+        rows_of
+          (run (Printf.sprintf "retrieve (value) from gnp when gnp contain interval(@%d, @%d)" d d)))
+      [ 90; 181; 273; 365 ]
+  in
+  (* Calendar route: the quarter ends are an expression, not data. *)
+  let ctx =
+    Cal_lang.Context.create ~epoch:(Civil.make 1985 1 1)
+      ~lifespan:(Civil.make 1985 1 1, Civil.make 1985 12 31)
+      ~env:(Cal_lang.Env.create ()) ()
+  in
+  let expr =
+    match Cal_lang.Parser.expr "[n]/DAYS:during:([3,6,9,12]/MONTHS:during:YEARS)" with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "%s" e
+  in
+  let cal, _ = Cal_lang.Interp.eval_expr_planned ctx expr in
+  let days =
+    Interval_set.to_list (Calendar.flatten cal)
+    |> List.map Interval.lo
+    |> List.filter (fun d -> d >= 1 && d <= 365)
+  in
+  Alcotest.(check (list int)) "calendar generates the enumerated days" [ 90; 181; 273; 365 ] days;
+  check_int "same answers through both routes" 4 (List.length tquel_values)
+
+let () =
+  Alcotest.run "cal_tquel"
+    [
+      ( "tquel",
+        [
+          Alcotest.test_case "create/append/retrieve" `Quick test_create_append_retrieve;
+          Alcotest.test_case "when clause tempops" `Quick test_when_clause;
+          Alcotest.test_case "where + valid projection" `Quick test_where_and_valid_projection;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "expressiveness gap (paper section 1)" `Quick test_expressiveness_gap;
+        ] );
+    ]
