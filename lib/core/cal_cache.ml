@@ -1,0 +1,136 @@
+(* LRU cache: hash table for lookup plus an intrusive doubly-linked list
+   for recency order. All operations are O(1) except [invalidate_dep] and
+   [keys], which walk the list. *)
+
+type 'v node = {
+  key : string;
+  value : 'v;
+  deps : string list;  (* uppercased *)
+  mutable prev : 'v node option;  (* towards most-recently-used *)
+  mutable next : 'v node option;  (* towards least-recently-used *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+  mutable insertions : int;
+}
+
+type 'v t = {
+  mutable capacity : int;
+  table : (string, 'v node) Hashtbl.t;
+  mutable mru : 'v node option;
+  mutable lru : 'v node option;
+  stats : stats;
+}
+
+let create ?(capacity = 512) () =
+  if capacity < 0 then invalid_arg "Cal_cache.create: negative capacity";
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    mru = None;
+    lru = None;
+    stats = { hits = 0; misses = 0; evictions = 0; invalidations = 0; insertions = 0 };
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let stats t = t.stats
+
+(* --- recency list maintenance -------------------------------------- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.table n.key
+
+let evict_lru t =
+  match t.lru with
+  | None -> ()
+  | Some n ->
+    drop t n;
+    t.stats.evictions <- t.stats.evictions + 1
+
+(* --- public operations ---------------------------------------------- *)
+
+let find t key =
+  if t.capacity = 0 then None
+  else
+    match Hashtbl.find_opt t.table key with
+    | Some n ->
+      t.stats.hits <- t.stats.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+    | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
+
+let peek t key = Option.map (fun n -> n.value) (Hashtbl.find_opt t.table key)
+
+let add t ~key ~deps value =
+  if t.capacity > 0 then begin
+    (match Hashtbl.find_opt t.table key with Some old -> drop t old | None -> ());
+    let n = { key; value; deps = List.map String.uppercase_ascii deps; prev = None; next = None } in
+    push_front t n;
+    Hashtbl.replace t.table key n;
+    t.stats.insertions <- t.stats.insertions + 1;
+    while Hashtbl.length t.table > t.capacity do
+      evict_lru t
+    done
+  end
+
+let to_nodes t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n :: acc) n.next
+  in
+  go [] t.mru
+
+let keys t = List.map (fun n -> n.key) (to_nodes t)
+
+let invalidate_dep t name =
+  let name = String.uppercase_ascii name in
+  let doomed = List.filter (fun n -> List.mem name n.deps) (to_nodes t) in
+  List.iter (drop t) doomed;
+  let k = List.length doomed in
+  t.stats.invalidations <- t.stats.invalidations + k;
+  k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None
+
+let set_capacity t n =
+  if n < 0 then invalid_arg "Cal_cache.set_capacity: negative capacity";
+  t.capacity <- n;
+  if n = 0 then clear t
+  else
+    while Hashtbl.length t.table > n do
+      evict_lru t
+    done
+
+let hit_rate t =
+  let s = t.stats in
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+
+let pp_stats ppf t =
+  let s = t.stats in
+  Format.fprintf ppf "entries=%d/%d hits=%d misses=%d evictions=%d invalidations=%d hit-rate=%.2f"
+    (length t) t.capacity s.hits s.misses s.evictions s.invalidations (hit_rate t)

@@ -1,0 +1,75 @@
+(** Session-scoped LRU cache of materialized calendar values — the
+    cross-query half of the paper's common-subexpression sharing (§4).
+
+    The planner already shares calendars {e within} one expression; this
+    cache shares them {e across} expressions, rules and queries of one
+    session. Entries are keyed by a canonical string (built by
+    {!Cal_lang.Canon}: structurally normalized sub-expression plus the
+    evaluation bounds) and carry the uppercased calendar names they
+    depend on, so rebinding a name in the environment invalidates exactly
+    the entries whose value could change.
+
+    The cache is generic in the stored value so the interval layer does
+    not depend on the calendar layer; the language layer instantiates it
+    at [Calendar.t].
+
+    A capacity of 0 degrades to a pass-through: [add] stores nothing and
+    [find] always misses (without counting), so evaluation strategies
+    built on the cache behave exactly like their uncached counterparts. *)
+
+type 'v t
+
+(** Monotonic counters; never reset by eviction or invalidation. *)
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;  (** entries dropped by capacity pressure *)
+  mutable invalidations : int;  (** entries dropped by [invalidate_dep] *)
+  mutable insertions : int;
+}
+
+(** [create ~capacity ()] — an empty cache holding at most [capacity]
+    entries (default 512). @raise Invalid_argument if negative. *)
+val create : ?capacity:int -> unit -> 'v t
+
+val capacity : 'v t -> int
+
+(** [set_capacity t n] resizes, evicting least-recently-used entries
+    until at most [n] remain. Setting 0 clears the cache and turns it
+    into a pass-through. *)
+val set_capacity : 'v t -> int -> unit
+
+(** Number of live entries. *)
+val length : 'v t -> int
+
+(** [find t key] returns the cached value and promotes the entry to
+    most-recently-used; counts a hit or a miss (except at capacity 0,
+    which returns [None] without counting). *)
+val find : 'v t -> string -> 'v option
+
+(** [peek t key] — like {!find} but with no promotion and no counter
+    update (for tests and introspection). *)
+val peek : 'v t -> string -> 'v option
+
+(** [add t ~key ~deps v] inserts (or replaces) an entry, evicting from
+    the least-recently-used end when over capacity. [deps] are the
+    uppercased calendar names the value was derived from. No-op at
+    capacity 0. *)
+val add : 'v t -> key:string -> deps:string list -> 'v -> unit
+
+(** [invalidate_dep t name] drops every entry depending on [name]
+    (case-insensitive); returns how many were dropped. *)
+val invalidate_dep : 'v t -> string -> int
+
+(** Drop everything (counters are kept). *)
+val clear : 'v t -> unit
+
+(** Live keys, most-recently-used first. *)
+val keys : 'v t -> string list
+
+val stats : 'v t -> stats
+
+(** [hit_rate t] in [0..1]; 0 when never consulted. *)
+val hit_rate : 'v t -> float
+
+val pp_stats : Format.formatter -> 'v t -> unit

@@ -148,11 +148,12 @@ let register_calendar_operators ctx catalog =
         Value.Ext ("calendar", Calendar_v cal))
     | _ -> Value.Null)
 
-let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahead () =
+let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahead
+    ?(cache_capacity = 512) () =
   register_calendar_adt ();
   let clock = Clock.create () in
   let env = Env.create () in
-  let ctx = Context.create ~epoch ?lifespan ~clock ~env () in
+  let ctx = Context.create ~epoch ?lifespan ~clock ~env ~cache_capacity () in
   let catalog = Catalog.create () in
   ignore (Catalog.create_table catalog calendars_schema);
   Catalog.set_calendar_resolver catalog (resolve_days ctx);
@@ -383,6 +384,27 @@ let advance_to_date t date =
 
 let alerts t = Cal_rules.Manager.alerts t.manager
 let firings t = Cal_rules.Manager.firings t.manager
+
+(* --- statistics ------------------------------------------------------ *)
+
+let cache t = t.ctx.Context.cache
+
+(** Counters of the session's materialization cache. *)
+let cache_stats t = Cal_cache.stats (cache t)
+
+let cache_hit_rate t = Cal_cache.hit_rate (cache t)
+
+(** One-line session statistics: DBCRON activity and cache effectiveness. *)
+let stats_summary t =
+  let probes, loaded = Cal_rules.Manager.dbcron_stats t.manager in
+  let heap_peak = Cal_rules.Manager.dbcron_heap_peak t.manager in
+  let c = cache_stats t in
+  Printf.sprintf
+    "dbcron: %d probes, %d loads, heap peak %d; cache: %d/%d hits (%.1f%%), %d evictions, %d invalidations"
+    probes loaded heap_peak c.Cal_cache.hits
+    (c.Cal_cache.hits + c.Cal_cache.misses)
+    (100. *. cache_hit_rate t)
+    c.Cal_cache.evictions c.Cal_cache.invalidations
 
 (** Civil date of a day chronon in this session. *)
 let date_of_day t c = Unit_system.date_of_chronon ~epoch:t.ctx.Context.epoch Granularity.Days c

@@ -26,12 +26,14 @@ type t = {
 exception Session_error of string
 
 (** Defaults: epoch Jan 1 1987, 40-year lifespan from the epoch year,
-    DBCRON probe every simulated day. *)
+    DBCRON probe every simulated day, materialization cache of 512
+    entries ([cache_capacity 0] disables caching). *)
 val create :
   ?epoch:Civil.date ->
   ?lifespan:Civil.date * Civil.date ->
   ?probe_period:int ->
   ?lookahead:int ->
+  ?cache_capacity:int ->
   unit ->
   t
 
@@ -95,6 +97,22 @@ val advance_to_date : t -> Civil.date -> unit
 val alerts : t -> (string * int) list
 
 val firings : t -> Cal_rules.Manager.firing list
+
+(** {2 Statistics} *)
+
+(** The session's materialization cache (shared by every evaluation the
+    session performs). *)
+val cache : t -> Calendar.t Cal_cache.t
+
+(** Its counters: hits, misses, evictions, invalidations, insertions. *)
+val cache_stats : t -> Cal_cache.stats
+
+(** Hits over lookups; 0 before any lookup. *)
+val cache_hit_rate : t -> float
+
+(** One-line summary: DBCRON activity (probes, loads, heap peak) and
+    cache effectiveness. *)
+val stats_summary : t -> string
 
 (** {2 Conversions} *)
 

@@ -1,0 +1,190 @@
+(* Canonical forms are used only to build cache keys, never evaluated, so
+   every rewrite here must be sound up to Calendar.equal: if
+   [canon a = canon b] then naive evaluation of [a] and [b] over the same
+   bounds produces structurally equal calendars. Union is the only
+   operator rewritten beyond its operands — element-wise calendar union
+   is associative, commutative and idempotent both in the component-wise
+   case (equal-length nodes recurse) and in the flattening fallback
+   (interval-set union is a sorted set merge). *)
+
+let sel_atoms atoms =
+  List.map
+    (function
+      | Ast.Nth i -> Calendar.Nth i
+      | Ast.Last -> Calendar.Last
+      | Ast.Range (a, b) -> Calendar.Range (a, b))
+    atoms
+
+(* Total order on canonical atoms: Nth < Last < Range, then by value. *)
+let atom_compare a b =
+  let rank = function Ast.Nth _ -> 0 | Ast.Last -> 1 | Ast.Range _ -> 2 in
+  match (a, b) with
+  | Ast.Nth x, Ast.Nth y -> Int.compare x y
+  | Ast.Range (a1, b1), Ast.Range (a2, b2) ->
+    let c = Int.compare a1 a2 in
+    if c <> 0 then c else Int.compare b1 b2
+  | _ -> Int.compare (rank a) (rank b)
+
+(* Unambiguous serialization; assumes the expression is already
+   canonical (it never re-sorts). *)
+let rec ser buf e =
+  match e with
+  | Ast.Ident n ->
+    Buffer.add_string buf "i:";
+    Buffer.add_string buf n
+  | Ast.Lit pairs ->
+    Buffer.add_string buf "l:";
+    List.iter (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "(%d,%d)" a b)) pairs
+  | Ast.Select (Ast.Index atoms, inner) ->
+    Buffer.add_string buf "s[";
+    List.iter
+      (fun a ->
+        Buffer.add_string buf
+          (match a with
+          | Ast.Nth i -> string_of_int i
+          | Ast.Last -> "n"
+          | Ast.Range (a, b) -> Printf.sprintf "%d..%d" a b);
+        Buffer.add_char buf ',')
+      atoms;
+    Buffer.add_string buf "]/";
+    ser buf inner
+  | Ast.Select (Ast.Label x, inner) ->
+    Buffer.add_string buf (Printf.sprintf "L%d/" x);
+    ser buf inner
+  | Ast.Foreach { strict; op; lhs; rhs } ->
+    Buffer.add_char buf 'f';
+    Buffer.add_char buf (if strict then ':' else '.');
+    Buffer.add_string buf (Listop.to_string op);
+    Buffer.add_char buf '(';
+    ser buf lhs;
+    Buffer.add_char buf ';';
+    ser buf rhs;
+    Buffer.add_char buf ')'
+  | Ast.Union (a, b) ->
+    Buffer.add_string buf "u(";
+    ser buf a;
+    Buffer.add_char buf ';';
+    ser buf b;
+    Buffer.add_char buf ')'
+  | Ast.Diff (a, b) ->
+    Buffer.add_string buf "d(";
+    ser buf a;
+    Buffer.add_char buf ';';
+    ser buf b;
+    Buffer.add_char buf ')'
+  | Ast.Calop { counts; arg } ->
+    Buffer.add_string buf "c[";
+    List.iter (fun c -> Buffer.add_string buf (string_of_int c); Buffer.add_char buf ',') counts;
+    Buffer.add_string buf "](";
+    ser buf arg;
+    Buffer.add_char buf ')'
+
+let to_string e =
+  let buf = Buffer.create 64 in
+  ser buf e;
+  Buffer.contents buf
+
+let rec canon e =
+  match e with
+  | Ast.Ident n -> Ast.Ident (String.uppercase_ascii n)
+  | Ast.Lit pairs ->
+    (* Normalize to the sorted, deduplicated form of_pairs materializes. *)
+    Ast.Lit (Interval_set.to_pairs (Interval_set.of_pairs pairs))
+  | Ast.Select (Ast.Index atoms, inner) -> (
+    let atoms = List.sort_uniq atom_compare atoms in
+    match canon inner with
+    | Ast.Lit pairs as inner' -> (
+      (* Constant fold: selection over a literal is static. Selection of a
+         sorted leaf is a sorted sub-leaf, so the folded literal
+         materializes to exactly the selection's value. *)
+      match Calendar.select (sel_atoms atoms) (Calendar.of_pairs pairs) with
+      | Calendar.Leaf s -> Ast.Lit (Interval_set.to_pairs s)
+      | Calendar.Node _ -> Ast.Select (Ast.Index atoms, inner'))
+    | inner' -> Ast.Select (Ast.Index atoms, inner'))
+  | Ast.Select (Ast.Label x, inner) -> Ast.Select (Ast.Label x, canon inner)
+  | Ast.Foreach { strict; op; lhs; rhs } ->
+    Ast.Foreach { strict; op; lhs = canon lhs; rhs = canon rhs }
+  | Ast.Union _ ->
+    (* Flatten the union spine, canonicalize operands, sort and dedup. *)
+    let rec operands e acc =
+      match e with
+      | Ast.Union (a, b) -> operands a (operands b acc)
+      | e -> canon e :: acc
+    in
+    let ops =
+      List.sort_uniq
+        (fun a b -> String.compare (to_string a) (to_string b))
+        (operands e [])
+    in
+    (match ops with
+    | [] -> assert false
+    | [ x ] -> x
+    | x :: rest -> List.fold_left (fun acc o -> Ast.Union (acc, o)) x rest)
+  | Ast.Diff (a, b) -> Ast.Diff (canon a, canon b)
+  | Ast.Calop { counts; arg } -> Ast.Calop { counts; arg = canon arg }
+
+let window_str window =
+  Printf.sprintf "%d,%d" (Interval.lo window) (Interval.hi window)
+
+let key ~fine ~window e =
+  Printf.sprintf "%s|%s|%s" (Granularity.to_string fine) (window_str window)
+    (to_string (canon e))
+
+let gen_key ~coarse ~fine ~window =
+  (* Must equal [key ~fine ~window (Ident coarse)] so plan Gen nodes and
+     cached expression evaluation share entries. *)
+  Printf.sprintf "%s|%s|i:%s" (Granularity.to_string fine) (window_str window)
+    (String.uppercase_ascii (Granularity.to_string coarse))
+
+(* --- dependency analysis --------------------------------------------- *)
+
+exception Uncacheable
+
+let deps env e =
+  let module S = Set.Make (String) in
+  let visited = Hashtbl.create 8 in
+  let acc = ref S.empty in
+  (* [locals] are the names assigned anywhere in the enclosing script.
+     They excuse otherwise-unknown idents, but an env name mentioned in a
+     script always counts as a dependency even where an assignment could
+     shadow it — over-invalidation is safe, a missed dependency is not. *)
+  let rec walk_name locals n =
+    let k = String.uppercase_ascii n in
+    if not (Hashtbl.mem visited k) then begin
+      Hashtbl.add visited k ();
+      match Env.find env k with
+      | None -> if not (Hashtbl.mem locals k) then raise Uncacheable
+      | Some Env.Today -> raise Uncacheable
+      | Some (Env.Basic _ | Env.Stored _) -> acc := S.add k !acc
+      | Some (Env.Derived { script; _ }) ->
+        acc := S.add k !acc;
+        walk_script script
+    end
+  and walk_expr locals e =
+    List.iter (walk_name locals) (Ast.idents_of_expr e)
+  and walk_script script =
+    let locals = Hashtbl.create 4 in
+    let rec assigned = function
+      | Ast.Assign (x, _) -> Hashtbl.replace locals (String.uppercase_ascii x) ()
+      | Ast.Return _ -> ()
+      | Ast.If (_, then_, else_) -> List.iter assigned then_; List.iter assigned else_
+      | Ast.While (_, body) -> List.iter assigned body
+    in
+    List.iter assigned script;
+    let rec stmt = function
+      | Ast.Assign (_, e) -> walk_expr locals e
+      | Ast.Return (Ast.Rexpr e) -> walk_expr locals e
+      | Ast.Return (Ast.Rstring _) -> ()
+      | Ast.If (c, then_, else_) ->
+        walk_expr locals c;
+        List.iter stmt then_;
+        List.iter stmt else_
+      | Ast.While (c, body) ->
+        walk_expr locals c;
+        List.iter stmt body
+    in
+    List.iter stmt script
+  in
+  match walk_expr (Hashtbl.create 1) e with
+  | () -> Some (S.elements !acc)
+  | exception Uncacheable -> None

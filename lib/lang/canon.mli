@@ -1,0 +1,47 @@
+(** Structural canonicalization of calendar expressions — the cache key
+    for cross-query common-subexpression sharing.
+
+    Two expressions that canonicalize identically are guaranteed to
+    evaluate (naively, over the same bounds) to structurally equal
+    calendars, so the canonical form plus the evaluation bounds is a
+    sound cache key. Canonicalization:
+
+    {ul
+    {- upper-cases calendar names (the environment is case-insensitive);}
+    {- flattens nested unions and sorts/dedups their operands — the
+       element-wise union is associative, commutative and idempotent up
+       to {!Calendar.equal};}
+    {- normalizes interval literals to their sorted, deduplicated form
+       (how {!Calendar.of_pairs} materializes them);}
+    {- sorts and dedups selector atoms (selection resolves positions
+       through [sort_uniq], so atom order and duplicates are immaterial);}
+    {- folds constant selections: an index selection applied to an
+       interval literal is evaluated away at canonicalization time.}}
+
+    Non-commutative operators ([Foreach], [Diff], [Calop], label
+    selection) keep their shape and only canonicalize their operands. *)
+
+(** [canon e] — the canonical form. Evaluating [canon e] and [e] over the
+    same window yields structurally equal calendars (a qcheck property in
+    [test/test_props.ml]). May raise if [e] contains a malformed interval
+    literal, as evaluating [e] itself would. *)
+val canon : Ast.expr -> Ast.expr
+
+(** Unambiguous serialization of a canonical expression. *)
+val to_string : Ast.expr -> string
+
+(** [key ~fine ~window e] — the cache key: generation granularity,
+    evaluation bounds, canonical expression. *)
+val key : fine:Granularity.t -> window:Interval.t -> Ast.expr -> string
+
+(** [gen_key ~coarse ~fine ~window] — the key a plan's [generate]
+    instruction caches under. Built to coincide with {!key} of the bare
+    calendar name, so plan execution and cached expression evaluation
+    share materializations. *)
+val gen_key : coarse:Granularity.t -> fine:Granularity.t -> window:Interval.t -> string
+
+(** [deps env e] — the uppercased calendar names the value of [e] depends
+    on, transitively through derivation scripts. [None] when the
+    expression is not cacheable: it mentions [today] (clock-dependent) or
+    an unbound name, directly or through a derivation script. *)
+val deps : Env.t -> Ast.expr -> string list option

@@ -8,10 +8,11 @@ type t = {
   clock : Clock.t option;
   max_intervals : int;
   fuel : int;  (** iteration bound for script [while] loops *)
+  cache : Calendar.t Cal_cache.t;
 }
 
 let create ?(epoch = Unit_system.default_epoch) ?lifespan ?clock
-    ?(max_intervals = 1_000_000) ?(fuel = 10_000) ?env () =
+    ?(max_intervals = 1_000_000) ?(fuel = 10_000) ?(cache_capacity = 0) ?env () =
   let lifespan =
     match lifespan with
     | Some l -> l
@@ -21,7 +22,11 @@ let create ?(epoch = Unit_system.default_epoch) ?lifespan ?clock
         Civil.make (epoch.Civil.year + 39) 12 31 )
   in
   let env = match env with Some e -> e | None -> Env.create () in
-  { env; epoch; lifespan; clock; max_intervals; fuel }
+  let cache = Cal_cache.create ~capacity:cache_capacity () in
+  (* Rebinding a calendar name drops every cached materialization that
+     was derived from it. *)
+  Env.on_change env (fun name -> ignore (Cal_cache.invalidate_dep cache name));
+  { env; epoch; lifespan; clock; max_intervals; fuel; cache }
 
 (** Lifespan expressed as an interval of [g]-chronons. *)
 let lifespan_in t g =

@@ -8,17 +8,23 @@ type t = {
   clock : Clock.t option;
   max_intervals : int;  (** generation guard per [generate] call *)
   fuel : int;  (** iteration bound for script [while] loops *)
+  cache : Calendar.t Cal_cache.t;
+      (** materialization cache shared by every evaluation strategy;
+          capacity 0 (the default) disables it *)
 }
 
 (** Defaults: epoch Jan 1 1987 (the paper's system start date), a 40-year
     lifespan from the epoch year, no clock, 1M-interval generation guard,
-    10k loop fuel. *)
+    10k loop fuel, cache disabled ([cache_capacity] 0). Rebinding or
+    removing a name in [env] invalidates the cache entries that depend on
+    it. *)
 val create :
   ?epoch:Civil.date ->
   ?lifespan:Civil.date * Civil.date ->
   ?clock:Clock.t ->
   ?max_intervals:int ->
   ?fuel:int ->
+  ?cache_capacity:int ->
   ?env:Env.t ->
   unit ->
   t

@@ -14,16 +14,25 @@ type def =
   | Stored of { values : Interval_set.t; granularity : Granularity.t }
   | Today
 
-type t = { defs : (string, def) Hashtbl.t }
+type t = {
+  defs : (string, def) Hashtbl.t;
+  mutable hooks : (string -> unit) list;  (** change listeners, newest first *)
+}
 
 exception Unknown_calendar of string
 
 let key = String.uppercase_ascii
 
-let add t name def = Hashtbl.replace t.defs (key name) def
+let notify t name = List.iter (fun f -> f (key name)) t.hooks
+
+let add t name def =
+  Hashtbl.replace t.defs (key name) def;
+  notify t name
+
+let on_change t f = t.hooks <- f :: t.hooks
 
 let create () =
-  let t = { defs = Hashtbl.create 32 } in
+  let t = { defs = Hashtbl.create 32; hooks = [] } in
   List.iter (fun g -> add t (Granularity.to_string g) (Basic g)) Granularity.all;
   add t "today" Today;
   t
@@ -34,7 +43,10 @@ let find_exn t name =
   match find t name with Some d -> d | None -> raise (Unknown_calendar name)
 
 let mem t name = Hashtbl.mem t.defs (key name)
-let remove t name = Hashtbl.remove t.defs (key name)
+
+let remove t name =
+  Hashtbl.remove t.defs (key name);
+  notify t name
 let names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.defs [])
 
 (** [define_script t ~name ~source] parses and registers a derived

@@ -30,6 +30,11 @@ val find_exn : t -> string -> def
 val mem : t -> string -> bool
 val remove : t -> string -> unit
 
+(** [on_change t f] registers [f] to be called with the uppercased name
+    whenever a definition is added, replaced or removed — how a session's
+    materialization cache invalidates entries on rebinding. *)
+val on_change : t -> (string -> unit) -> unit
+
 (** Defined names, upper-cased and sorted. *)
 val names : t -> string list
 

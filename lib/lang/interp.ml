@@ -1,14 +1,18 @@
 (** Evaluation of calendar expressions and scripts.
 
-    Two evaluation strategies coexist:
+    Three evaluation strategies coexist:
     {ul
     {- [eval_expr_naive] — the reference semantics: every basic calendar
        is generated over the whole lifespan, mirroring an unoptimized
        system;}
     {- [eval_expr_planned] — parses through {!Planner} and executes the
-       bounded plan, the paper's optimized path.}}
+       bounded plan, the paper's optimized path;}
+    {- [eval_expr_cached] — naive evaluation through the context's
+       materialization cache: each sub-expression is keyed by its
+       canonical form ({!Canon}) plus the evaluation bounds, so repeated
+       probes and rules sharing sub-expressions reuse materializations.}}
 
-    Both report {!stats} so the benchmarks can compare generated interval
+    All report {!stats} so the benchmarks can compare generated interval
     counts directly. Scripts (with [if] / [while] control flow) run under
     [exec_script]; a [while (cond) ;] whose condition holds raises
     {!Waiting}, which is how DBCRON-style alerts suspend until their time
@@ -23,10 +27,19 @@ type stats = {
   mutable gen_calls : int;
   mutable load_calls : int;
   mutable instr_count : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let fresh_stats () =
-  { generated_intervals = 0; gen_calls = 0; load_calls = 0; instr_count = 0 }
+  {
+    generated_intervals = 0;
+    gen_calls = 0;
+    load_calls = 0;
+    instr_count = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
 
 exception Waiting
 exception Fuel_exhausted
@@ -159,6 +172,74 @@ and exec_script_internal ctx ~stats ~fine ~window script =
   run script
 
 (* ------------------------------------------------------------------ *)
+(* Cached evaluation: naive semantics through the context's
+   materialization cache. Every cacheable sub-expression is keyed by its
+   canonical form plus the evaluation bounds; an expression mentioning
+   [today] or an unbound name is evaluated around the cache. Derived
+   calendars are cached whole — their script bodies run naively. *)
+
+(* The cache key and dependency set for [e], or [None] when [e] is not
+   worth or not sound to cache: trivial (a literal), clock-dependent, or
+   mentioning an unbound name. [Canon.canon] re-materializes literals and
+   can raise on malformed pairs exactly where evaluation would; such
+   expressions are evaluated uncached so the error surfaces there. *)
+let cache_key (ctx : Context.t) ~fine ~window e =
+  match e with
+  | Ast.Lit _ -> None
+  | _ -> (
+    match Canon.deps ctx.Context.env e with
+    | None -> None
+    | Some deps -> (
+      match Canon.key ~fine ~window e with
+      | key -> Some (key, deps)
+      | exception _ -> None))
+
+let rec eval_cached (ctx : Context.t) ~stats ~fine ~window e =
+  let cache = ctx.Context.cache in
+  let compute () =
+    match e with
+    | Ast.Ident _ | Ast.Lit _ ->
+      (* Leaves have no sub-expression to share below them. *)
+      eval_naive ctx ~stats ~fine ~window ~locals:(Hashtbl.create 1) e
+    | Ast.Select (sel, inner) ->
+      let cal = eval_cached ctx ~stats ~fine ~window inner in
+      (match sel with
+      | Ast.Index atoms -> Calendar.select (sel_atoms atoms) cal
+      | Ast.Label x ->
+        let w = label_window_naive ctx ~fine x (Gran.of_expr ctx.Context.env inner) in
+        filter_during w cal)
+    | Ast.Foreach { strict; op; lhs; rhs } ->
+      let l = eval_cached ctx ~stats ~fine ~window lhs in
+      let r = eval_cached ctx ~stats ~fine ~window rhs in
+      Calendar.foreach ~strict op l r
+    | Ast.Union (a, b) ->
+      Calendar.union
+        (eval_cached ctx ~stats ~fine ~window a)
+        (eval_cached ctx ~stats ~fine ~window b)
+    | Ast.Diff (a, b) ->
+      Calendar.diff
+        (eval_cached ctx ~stats ~fine ~window a)
+        (eval_cached ctx ~stats ~fine ~window b)
+    | Ast.Calop { counts; arg } ->
+      let v = eval_cached ctx ~stats ~fine ~window arg in
+      Calendar.leaf (Calendar_gen.caloperate ~counts (Calendar.flatten v))
+  in
+  if Cal_cache.capacity cache = 0 then compute ()
+  else
+    match cache_key ctx ~fine ~window e with
+    | None -> compute ()
+    | Some (key, deps) -> (
+      match Cal_cache.find cache key with
+      | Some cal ->
+        stats.cache_hits <- stats.cache_hits + 1;
+        cal
+      | None ->
+        stats.cache_misses <- stats.cache_misses + 1;
+        let cal = compute () in
+        Cal_cache.add cache ~key ~deps cal;
+        cal)
+
+(* ------------------------------------------------------------------ *)
 (* Plan execution. *)
 
 let run_plan (ctx : Context.t) (plan : Plan.t) =
@@ -187,17 +268,37 @@ let run_plan (ctx : Context.t) (plan : Plan.t) =
     (fun instr ->
       stats.instr_count <- stats.instr_count + 1;
       match instr with
-      | Plan.Gen { dst; coarse; window } ->
-        let s =
-          match window with
-          | None -> Interval_set.empty
-          | Some w ->
-            Calendar_gen.generate ~max_intervals:ctx.Context.max_intervals
-              ~epoch:ctx.Context.epoch ~coarse ~fine ~window:w ()
+      | Plan.Gen { dst; coarse; window; key } -> (
+        let cache = ctx.Context.cache in
+        let cached =
+          match key with
+          | Some k when Cal_cache.capacity cache > 0 -> Cal_cache.find cache k
+          | _ -> None
         in
-        stats.gen_calls <- stats.gen_calls + 1;
-        stats.generated_intervals <- stats.generated_intervals + Interval_set.cardinal s;
-        regs.(dst) <- Calendar.leaf s
+        match cached with
+        | Some cal ->
+          (* Materialization reused across queries: no generate call. *)
+          stats.cache_hits <- stats.cache_hits + 1;
+          regs.(dst) <- cal
+        | None ->
+          let s =
+            match window with
+            | None -> Interval_set.empty
+            | Some w ->
+              Calendar_gen.generate ~max_intervals:ctx.Context.max_intervals
+                ~epoch:ctx.Context.epoch ~coarse ~fine ~window:w ()
+          in
+          stats.gen_calls <- stats.gen_calls + 1;
+          stats.generated_intervals <- stats.generated_intervals + Interval_set.cardinal s;
+          let cal = Calendar.leaf s in
+          (match key with
+          | Some k when Cal_cache.capacity cache > 0 ->
+            stats.cache_misses <- stats.cache_misses + 1;
+            Cal_cache.add cache ~key:k
+              ~deps:[ String.uppercase_ascii (Granularity.to_string coarse) ]
+              cal
+          | _ -> ());
+          regs.(dst) <- cal)
       | Plan.Load { dst; name; window } -> regs.(dst) <- load name window
       | Plan.Mklit { dst; pairs } -> regs.(dst) <- Calendar.of_pairs pairs
       | Plan.Foreach_r { dst; strict; op; lhs; rhs } ->
@@ -241,6 +342,20 @@ let eval_expr_naive (ctx : Context.t) ?window e =
 
 (** Optimized evaluation through the planner. *)
 let eval_expr_planned (ctx : Context.t) e = run_plan ctx (Planner.plan ctx e)
+
+(** Naive semantics through the context's materialization cache. With the
+    cache disabled (capacity 0, the [Context.create] default) this is
+    exactly {!eval_expr_naive}. *)
+let eval_expr_cached (ctx : Context.t) ?window e =
+  let stats = fresh_stats () in
+  let fine = Gran.finest_of_expr ctx.Context.env e in
+  let window =
+    match window with
+    | Some w -> w
+    | None -> default_window ctx ~fine (Gran.grans_of_expr ctx.Context.env e)
+  in
+  let cal = eval_cached ctx ~stats ~fine ~window e in
+  (cal, stats)
 
 (** Run a script; expressions inside are evaluated naively over [window]
     (or the lifespan). *)

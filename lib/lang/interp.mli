@@ -1,15 +1,21 @@
 (** Evaluation of calendar expressions and scripts.
 
-    Two strategies coexist:
+    Three strategies coexist:
     {ul
     {- {!eval_expr_naive} — the reference semantics: every basic calendar
        is generated over the whole (padded) lifespan, mirroring an
        unoptimized system;}
     {- {!eval_expr_planned} — compiles through {!Planner} and executes the
-       bounded plan, the paper's optimized path.}}
+       bounded plan, the paper's optimized path;}
+    {- {!eval_expr_cached} — naive semantics through the context's
+       session-scoped materialization cache: sub-expressions are keyed by
+       canonical form ({!Canon}) plus evaluation bounds, so repeated
+       probes and rules sharing sub-expressions reuse materializations
+       instead of regenerating them.}}
 
-    Both report {!stats} so benchmarks can compare generated interval
-    counts directly. *)
+    All three agree up to [Calendar.equal] (a qcheck property in
+    [test/test_props.ml]) and report {!stats} so benchmarks can compare
+    generated interval counts directly. *)
 
 type value =
   | VCal of Calendar.t
@@ -20,6 +26,8 @@ type stats = {
   mutable gen_calls : int;
   mutable load_calls : int;
   mutable instr_count : int;
+  mutable cache_hits : int;  (** materialization-cache hits this evaluation *)
+  mutable cache_misses : int;  (** cacheable sub-expressions computed fresh *)
 }
 
 val fresh_stats : unit -> stats
@@ -40,6 +48,14 @@ val eval_expr_naive : Context.t -> ?window:Interval.t -> Ast.expr -> Calendar.t 
 
 (** Optimized evaluation through the planner. *)
 val eval_expr_planned : Context.t -> Ast.expr -> Calendar.t * stats
+
+(** Naive semantics through the context's materialization cache
+    ({!Context.t.cache}): agrees with {!eval_expr_naive} on the same
+    window, but sub-expressions whose canonical form was already
+    materialized over those bounds are reused — [gen_calls] drops and
+    [cache_hits] counts the reuses. With the cache disabled (capacity 0,
+    the [Context.create] default) this {e is} naive evaluation. *)
+val eval_expr_cached : Context.t -> ?window:Interval.t -> Ast.expr -> Calendar.t * stats
 
 (** Execute a compiled plan. *)
 val run_plan : Context.t -> Plan.t -> Calendar.t * stats

@@ -9,7 +9,14 @@
 type reg = int
 
 type instr =
-  | Gen of { dst : reg; coarse : Granularity.t; window : Interval.t option }
+  | Gen of {
+      dst : reg;
+      coarse : Granularity.t;
+      window : Interval.t option;
+      key : string option;
+          (** materialization-cache key ({!Canon.gen_key}); [None] when the
+              demand is statically empty and nothing is worth caching *)
+    }
   | Load of { dst : reg; name : string; window : Interval.t option }
   | Mklit of { dst : reg; pairs : (int * int) list }
   | Foreach_r of { dst : reg; strict : bool; op : Listop.t; lhs : reg; rhs : reg }
@@ -39,7 +46,7 @@ let pp_atoms ppf atoms =
   Format.pp_print_string ppf (String.concat "," (List.map atom atoms))
 
 let pp_instr ~fine ppf = function
-  | Gen { dst; coarse; window } ->
+  | Gen { dst; coarse; window; key = _ } ->
     Format.fprintf ppf "t%d := generate(%a, %a, %a)" dst Granularity.pp coarse
       Granularity.pp fine pp_window window
   | Load { dst; name; window } ->

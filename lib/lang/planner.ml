@@ -220,7 +220,11 @@ let plan (ctx : Context.t) expr =
           let d = fresh () in
           match Env.find_exn env name with
           | Env.Basic g ->
-            push (Plan.Gen { dst = d; coarse = g; window = window () });
+            let w = window () in
+            let key =
+              Option.map (fun w -> Canon.gen_key ~coarse:g ~fine ~window:w) w
+            in
+            push (Plan.Gen { dst = d; coarse = g; window = w; key });
             d
           | Env.Stored _ | Env.Derived _ | Env.Today ->
             push (Plan.Load { dst = d; name; window = window () });

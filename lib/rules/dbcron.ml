@@ -12,12 +12,20 @@ type 'a t = {
   heap : 'a Min_heap.t;
   mutable probes : int;  (** statistics: number of probes performed *)
   mutable loaded : int;  (** statistics: entries loaded into the heap *)
+  mutable heap_peak : int;  (** statistics: max heap size observed *)
 }
 
 let create ~probe_period ~now ~load =
   if probe_period <= 0 then invalid_arg "Dbcron.create: probe_period must be positive";
   let t =
-    { probe_period; last_probe = now; heap = Min_heap.create (); probes = 0; loaded = 0 }
+    {
+      probe_period;
+      last_probe = now;
+      heap = Min_heap.create ();
+      probes = 0;
+      loaded = 0;
+      heap_peak = 0;
+    }
   in
   (* Initial probe covers [now, now + T). *)
   t.probes <- 1;
@@ -26,6 +34,7 @@ let create ~probe_period ~now ~load =
       t.loaded <- t.loaded + 1;
       Min_heap.push t.heap at v)
     (load ~window_end:(now + probe_period));
+  t.heap_peak <- Min_heap.length t.heap;
   t
 
 (** Exclusive end of the window the heap currently covers. *)
@@ -41,6 +50,7 @@ let offer t at v =
   if at < window_end t then begin
     Min_heap.push t.heap at v;
     t.loaded <- t.loaded + 1;
+    t.heap_peak <- max t.heap_peak (Min_heap.length t.heap);
     true
   end
   else false
@@ -74,7 +84,8 @@ let step t ~now ~load =
           (fun (at, v) ->
             t.loaded <- t.loaded + 1;
             Min_heap.push t.heap at v)
-          (load ~window_end:(np + t.probe_period))
+          (load ~window_end:(np + t.probe_period));
+        t.heap_peak <- max t.heap_peak (Min_heap.length t.heap)
       end
       else continue := false
   done;
@@ -82,3 +93,6 @@ let step t ~now ~load =
 
 let pending t = Min_heap.length t.heap
 let stats t = (t.probes, t.loaded)
+
+(** Largest number of simultaneously-pending heap entries observed. *)
+let heap_peak t = t.heap_peak

@@ -43,3 +43,6 @@ val pending : 'a t -> int
 
 (** (probes performed, entries ever loaded). *)
 val stats : 'a t -> int * int
+
+(** Largest number of simultaneously-pending heap entries observed. *)
+val heap_peak : 'a t -> int

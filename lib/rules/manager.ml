@@ -364,3 +364,4 @@ let rule_names t =
   List.sort String.compare (Hashtbl.fold (fun _ st acc -> st.def.Qast.rule_name :: acc) t.rules [])
 
 let dbcron_stats t = Dbcron.stats t.cron
+let dbcron_heap_peak t = Dbcron.heap_peak t.cron

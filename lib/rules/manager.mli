@@ -70,3 +70,6 @@ val rules : t -> Qast.rule list
 
 (** DBCRON's (probes, heap loads). *)
 val dbcron_stats : t -> int * int
+
+(** Largest number of simultaneously-pending DBCRON heap entries. *)
+val dbcron_heap_peak : t -> int

@@ -11,22 +11,48 @@ open Cal_lang
 let start_instant (ctx : Context.t) ~fine chronon =
   Unit_system.start_of_index ~epoch:ctx.Context.epoch fine (Chronon.to_offset chronon)
 
+(* Evaluation windows are quantized to this many fine chronons so that
+   successive probes of one rule — and probes of different rules sharing
+   sub-expressions — evaluate over identical bounds and hit the session's
+   materialization cache. Widening the window is harmless: occurrences
+   are filtered by the exact [from_ < s <= until] below. *)
+let window_quantum = 256
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r < 0 <> (b < 0) then q - 1 else q
+
+(* Round towards ±infinity to a quantum multiple; chronon 0 does not
+   exist, so a zero result slides one chronon outward. *)
+let align_down c =
+  let a = floor_div c window_quantum * window_quantum in
+  if a = 0 then -1 else a
+
+let align_up c =
+  let a = floor_div (c + window_quantum - 1) window_quantum * window_quantum in
+  if a = 0 then 1 else a
+
 (** All occurrence instants of [expr] with [from_ < instant <= until]. *)
 let occurrences (ctx : Context.t) expr ~from_ ~until =
   let env = ctx.Context.env in
   let fine = Gran.finest_of_expr env expr in
   let pad = Planner.pad_for ~fine (Gran.grans_of_expr env expr) in
   let lo =
-    Chronon.add
-      (Chronon.of_offset (Unit_system.index_of_instant ~epoch:ctx.Context.epoch fine from_))
-      (-pad)
+    align_down
+      (Chronon.add
+         (Chronon.of_offset (Unit_system.index_of_instant ~epoch:ctx.Context.epoch fine from_))
+         (-pad))
   in
   let hi =
-    Chronon.add
-      (Chronon.of_offset (Unit_system.index_of_instant ~epoch:ctx.Context.epoch fine until))
-      pad
+    align_up
+      (Chronon.add
+         (Chronon.of_offset (Unit_system.index_of_instant ~epoch:ctx.Context.epoch fine until))
+         pad)
   in
-  let cal, _ = Interp.eval_expr_naive ctx ~window:(Interval.make lo hi) expr in
+  (* Cached evaluation: DBCRON probes every rule over the same window, so
+     rules sharing sub-expressions (or repeated probes of one rule) reuse
+     materializations from the session cache. *)
+  let cal, _ = Interp.eval_expr_cached ctx ~window:(Interval.make lo hi) expr in
   Calendar.flatten cal
   |> Interval_set.fold
        (fun acc iv ->

@@ -1,0 +1,221 @@
+(* Unit tests for the session-level materialization cache: LRU order,
+   capacity-0 pass-through, dependency invalidation (including end-to-end
+   through Env rebinding), and the hit/miss counters against a scripted
+   access pattern. *)
+
+open Cal_lang
+
+let check = Alcotest.(check (list string))
+let check_int = Alcotest.(check int)
+
+let fresh ?(capacity = 3) () = Cal_cache.create ~capacity ()
+
+let add c key v = Cal_cache.add c ~key ~deps:[] v
+
+(* --- LRU mechanics ---------------------------------------------------- *)
+
+let test_lru_eviction_order () =
+  let c = fresh ~capacity:2 () in
+  add c "a" 1;
+  add c "b" 2;
+  check "MRU first" [ "b"; "a" ] (Cal_cache.keys c);
+  add c "c" 3;
+  (* capacity 2: the least recently used ("a") is gone *)
+  check "a evicted" [ "c"; "b" ] (Cal_cache.keys c);
+  check_int "eviction counted" 1 (Cal_cache.stats c).Cal_cache.evictions;
+  (* touching "b" promotes it, so the next insertion evicts "c" *)
+  (match Cal_cache.find c "b" with
+  | Some 2 -> ()
+  | _ -> Alcotest.fail "expected hit on b");
+  add c "d" 4;
+  check "c evicted after b promoted" [ "d"; "b" ] (Cal_cache.keys c)
+
+let test_replace_does_not_grow () =
+  let c = fresh ~capacity:2 () in
+  add c "a" 1;
+  add c "a" 10;
+  check_int "one entry" 1 (Cal_cache.length c);
+  (match Cal_cache.find c "a" with
+  | Some 10 -> ()
+  | _ -> Alcotest.fail "replacement value visible");
+  check_int "two insertions" 2 (Cal_cache.stats c).Cal_cache.insertions
+
+let test_peek_does_not_promote () =
+  let c = fresh ~capacity:2 () in
+  add c "a" 1;
+  add c "b" 2;
+  (match Cal_cache.peek c "a" with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "peek sees a");
+  let s = Cal_cache.stats c in
+  check_int "peek counts no hit" 0 s.Cal_cache.hits;
+  (* "a" was peeked, not promoted: still LRU, still first out *)
+  add c "c" 3;
+  check "a still evicted first" [ "c"; "b" ] (Cal_cache.keys c)
+
+let test_capacity_zero_pass_through () =
+  let c = fresh ~capacity:0 () in
+  add c "a" 1;
+  check_int "nothing stored" 0 (Cal_cache.length c);
+  (match Cal_cache.find c "a" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "capacity 0 must never hit");
+  let s = Cal_cache.stats c in
+  check_int "no hits counted" 0 s.Cal_cache.hits;
+  check_int "no misses counted" 0 s.Cal_cache.misses;
+  check_int "no insertions counted" 0 s.Cal_cache.insertions
+
+let test_negative_capacity_rejected () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Cal_cache.create: negative capacity") (fun () ->
+      ignore (Cal_cache.create ~capacity:(-1) ()))
+
+let test_set_capacity_shrinks () =
+  let c = fresh ~capacity:4 () in
+  List.iter (fun (k, v) -> add c k v) [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ];
+  Cal_cache.set_capacity c 2;
+  check "LRU half evicted" [ "d"; "c" ] (Cal_cache.keys c);
+  Cal_cache.set_capacity c 0;
+  check_int "capacity 0 clears" 0 (Cal_cache.length c)
+
+(* --- counters vs a scripted access pattern ---------------------------- *)
+
+let test_counters_scripted () =
+  let c = fresh ~capacity:2 () in
+  let touch k =
+    match Cal_cache.find c k with None -> add c k 0 | Some _ -> ()
+  in
+  (* a m, b m, a h, c m (evicts b), b m (evicts a), b h, b h *)
+  List.iter touch [ "a"; "b"; "a"; "c"; "b"; "b"; "b" ];
+  let s = Cal_cache.stats c in
+  check_int "hits" 3 s.Cal_cache.hits;
+  check_int "misses" 4 s.Cal_cache.misses;
+  check_int "evictions" 2 s.Cal_cache.evictions;
+  check_int "insertions" 4 s.Cal_cache.insertions;
+  Alcotest.(check (float 1e-9)) "hit rate" (3. /. 7.) (Cal_cache.hit_rate c)
+
+(* --- dependency invalidation ------------------------------------------ *)
+
+let test_invalidate_dep () =
+  let c = fresh ~capacity:8 () in
+  Cal_cache.add c ~key:"k1" ~deps:[ "DAYS" ] 1;
+  Cal_cache.add c ~key:"k2" ~deps:[ "DAYS"; "HOLIDAYS" ] 2;
+  Cal_cache.add c ~key:"k3" ~deps:[ "WEEKS" ] 3;
+  check_int "two dropped" 2 (Cal_cache.invalidate_dep c "DAYS");
+  check "only k3 remains" [ "k3" ] (Cal_cache.keys c);
+  check_int "invalidations counted" 2 (Cal_cache.stats c).Cal_cache.invalidations;
+  check_int "no-op invalidation" 0 (Cal_cache.invalidate_dep c "DAYS")
+
+(* --- end-to-end through the evaluator --------------------------------- *)
+
+let make_ctx ?(cache_capacity = 64) () =
+  let env = Env.create () in
+  Env.define_stored env ~name:"HOLIDAYS" ~granularity:Granularity.Days
+    (Interval_set.of_pairs [ (1, 1); (50, 52) ]);
+  Context.create ~epoch:(Civil.make 1988 1 1)
+    ~lifespan:(Civil.make 1988 1 1, Civil.make 1989 12 31)
+    ~cache_capacity ~env ()
+
+let parse s =
+  match Parser.expr s with Ok e -> e | Error e -> Alcotest.fail e
+
+let test_second_eval_hits () =
+  let ctx = make_ctx () in
+  let e = parse "[1]/DAYS:during:WEEKS" in
+  let cal1, s1 = Interp.eval_expr_cached ctx e in
+  Alcotest.(check bool) "first eval generates" true (s1.Interp.gen_calls > 0);
+  let cal2, s2 = Interp.eval_expr_cached ctx e in
+  Alcotest.(check bool) "calendars equal" true (Calendar.equal cal1 cal2);
+  check_int "no generation on second eval" 0 s2.Interp.gen_calls;
+  Alcotest.(check bool) "hit counted" true (s2.Interp.cache_hits > 0)
+
+let test_subexpression_shared_across_exprs () =
+  let ctx = make_ctx () in
+  let _ = Interp.eval_expr_cached ctx (parse "[1]/DAYS:during:WEEKS") in
+  (* Different top-level expression, same sub-expression granularities and
+     default window: DAYS and WEEKS materializations are reused. *)
+  let _, s = Interp.eval_expr_cached ctx (parse "[-1]/DAYS:during:WEEKS") in
+  check_int "leaves generated once across expressions" 0 s.Interp.gen_calls;
+  Alcotest.(check bool) "sub-expressions hit" true (s.Interp.cache_hits >= 1)
+
+let test_env_rebind_invalidates () =
+  let ctx = make_ctx () in
+  let e = parse "HOLIDAYS + [1]/DAYS:during:MONTHS" in
+  let cal1, _ = Interp.eval_expr_cached ctx e in
+  let _, warm = Interp.eval_expr_cached ctx e in
+  check_int "warm run fully cached" 0 warm.Interp.gen_calls;
+  (* Rebind HOLIDAYS: every entry depending on it must be recomputed and
+     reflect the new values. *)
+  Env.define_stored ctx.Context.env ~name:"HOLIDAYS" ~granularity:Granularity.Days
+    (Interval_set.of_pairs [ (100, 101) ]);
+  let cal2, after = Interp.eval_expr_cached ctx e in
+  Alcotest.(check bool) "stale value not served" false (Calendar.equal cal1 cal2);
+  Alcotest.(check bool) "holiday entries recomputed" true
+    (after.Interp.cache_misses > 0);
+  Alcotest.(check bool) "invalidations recorded" true
+    ((Cal_cache.stats ctx.Context.cache).Cal_cache.invalidations > 0);
+  (* The DAYS/MONTHS-only sub-expression did not depend on HOLIDAYS and
+     survived: no generate calls were needed. *)
+  check_int "independent entries survive" 0 after.Interp.gen_calls
+
+let test_today_uncacheable () =
+  let env = Env.create () in
+  let clock = Clock.create () in
+  let ctx =
+    Context.create ~epoch:(Civil.make 1988 1 1)
+      ~lifespan:(Civil.make 1988 1 1, Civil.make 1989 12 31)
+      ~clock ~cache_capacity:64 ~env ()
+  in
+  let e = parse "today" in
+  let _, s1 = Interp.eval_expr_cached ctx e in
+  let _, s2 = Interp.eval_expr_cached ctx e in
+  check_int "clock-dependent exprs never cached" 0
+    (s1.Interp.cache_misses + s2.Interp.cache_misses + s1.Interp.cache_hits
+   + s2.Interp.cache_hits);
+  check_int "nothing stored" 0 (Cal_cache.length ctx.Context.cache)
+
+let test_capacity_zero_is_naive () =
+  let ctx = make_ctx ~cache_capacity:0 () in
+  let e = parse "[1]/DAYS:during:WEEKS" in
+  let cal_n, sn = Interp.eval_expr_naive ctx e in
+  let cal_c, sc = Interp.eval_expr_cached ctx e in
+  Alcotest.(check bool) "same value" true (Calendar.equal cal_n cal_c);
+  check_int "same generate calls" sn.Interp.gen_calls sc.Interp.gen_calls;
+  check_int "no cache traffic" 0 (sc.Interp.cache_hits + sc.Interp.cache_misses)
+
+let test_planned_shares_cache () =
+  let ctx = make_ctx () in
+  let e = parse "[1]/DAYS:during:WEEKS" in
+  let _, s1 = Interp.eval_expr_planned ctx e in
+  Alcotest.(check bool) "first planned run generates" true (s1.Interp.gen_calls > 0);
+  let _, s2 = Interp.eval_expr_planned ctx e in
+  check_int "plan reuses materializations" 0 s2.Interp.gen_calls;
+  Alcotest.(check bool) "plan cache hits" true (s2.Interp.cache_hits > 0)
+
+let () =
+  Alcotest.run "cal_cache"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "replace in place" `Quick test_replace_does_not_grow;
+          Alcotest.test_case "peek neutral" `Quick test_peek_does_not_promote;
+          Alcotest.test_case "capacity 0 pass-through" `Quick test_capacity_zero_pass_through;
+          Alcotest.test_case "negative capacity" `Quick test_negative_capacity_rejected;
+          Alcotest.test_case "set_capacity shrinks" `Quick test_set_capacity_shrinks;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "scripted access pattern" `Quick test_counters_scripted;
+          Alcotest.test_case "invalidate_dep" `Quick test_invalidate_dep;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "second eval hits" `Quick test_second_eval_hits;
+          Alcotest.test_case "shared sub-expressions" `Quick test_subexpression_shared_across_exprs;
+          Alcotest.test_case "env rebind invalidates" `Quick test_env_rebind_invalidates;
+          Alcotest.test_case "today uncacheable" `Quick test_today_uncacheable;
+          Alcotest.test_case "capacity 0 = naive" `Quick test_capacity_zero_is_naive;
+          Alcotest.test_case "planned shares cache" `Quick test_planned_shares_cache;
+        ] );
+    ]

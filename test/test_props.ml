@@ -1,0 +1,250 @@
+(* Property-based differential tests: the three evaluation strategies
+   (naive / planned / cached) must agree on random well-formed calendar
+   expressions, canonicalization must preserve evaluation, the pretty
+   printer must round-trip through the parser, and the interval-set
+   algebra must match a reference set-of-chronons model. *)
+
+open Cal_lang
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+(* ------------------------------------------------------------------ *)
+(* A small world: a 2-year lifespan keeps day-granularity windows in the
+   hundreds of chronons so hundreds of random evaluations stay fast. *)
+
+let epoch = Civil.make 1988 1 1
+let lifespan = (Civil.make 1988 1 1, Civil.make 1989 12 31)
+
+let holiday_pairs = [ (1, 1); (46, 47); (359, 360) ]
+
+let make_env () =
+  let env = Env.create () in
+  Env.define_stored env ~name:"HOLIDAYS" ~granularity:Granularity.Days
+    (Interval_set.of_pairs holiday_pairs);
+  (match
+     Env.define_script env ~name:"TUESDAYS"
+       ~source:"{ return ([3]/DAYS:during:WEEKS); }"
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  env
+
+let make_ctx ?(cache_capacity = 0) () =
+  Context.create ~epoch ~lifespan ~cache_capacity ~env:(make_env ()) ()
+
+(* ------------------------------------------------------------------ *)
+(* Random well-formed expressions.
+
+   Constraints that keep every generated expression evaluable:
+   - granularities DAYS and coarser only (finer ones explode the window);
+   - literal endpoints are positive (chronon 0 does not exist) and
+     ordered;
+   - label selection only over YEARS (the only operand granularity it is
+     defined for here), with a label inside the lifespan;
+   - caloperate counts are positive. *)
+
+let ident_gen =
+  QCheck2.Gen.oneofl
+    [ "DAYS"; "WEEKS"; "MONTHS"; "YEARS"; "HOLIDAYS"; "TUESDAYS"; "days"; "Weeks" ]
+
+let lit_gen =
+  QCheck2.Gen.(
+    map
+      (fun l -> Ast.Lit (List.map (fun (a, b) -> (min a b, max a b)) l))
+      (list_size (int_range 1 4) (pair (int_range 1 300) (int_range 1 300))))
+
+let atom_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Ast.Nth i) (oneofl [ 1; 2; 3; 5; -1; -2 ]);
+        return Ast.Last;
+        map2 (fun a b -> Ast.Range (min a b, max a b)) (int_range 1 4) (int_range 1 4);
+      ])
+
+let listop_gen = QCheck2.Gen.oneofl Listop.all
+
+let expr_gen =
+  QCheck2.Gen.(
+    sized_size (int_range 0 5)
+    @@ fix (fun self n ->
+           let base = oneof [ map (fun n -> Ast.Ident n) ident_gen; lit_gen ] in
+           if n <= 0 then base
+           else
+             oneof
+               [
+                 base;
+                 map2 (fun a b -> Ast.Union (a, b)) (self (n / 2)) (self (n / 2));
+                 map2 (fun a b -> Ast.Diff (a, b)) (self (n / 2)) (self (n / 2));
+                 map3
+                   (fun (strict, op) lhs rhs -> Ast.Foreach { strict; op; lhs; rhs })
+                   (pair bool listop_gen) (self (n / 2)) (self (n / 2));
+                 map2
+                   (fun atoms inner -> Ast.Select (Ast.Index atoms, inner))
+                   (list_size (int_range 1 3) atom_gen)
+                   (self (n - 1));
+                 map
+                   (fun y -> Ast.Select (Ast.Label y, Ast.Ident "YEARS"))
+                   (int_range 1988 1989);
+                 map2
+                   (fun counts arg -> Ast.Calop { counts; arg })
+                   (list_size (int_range 1 2) (int_range 1 4))
+                   (self (n - 1));
+               ]))
+
+let print_expr = Pretty.expr_to_string
+
+(* ------------------------------------------------------------------ *)
+(* Differential properties: all strategies agree.
+
+   The cached context is shared across every generated case (and a second
+   planned run goes through it too), so stale or colliding cache entries
+   from earlier expressions would surface as a disagreement here. *)
+
+let shared_cached_ctx = make_ctx ~cache_capacity:64 ()
+
+(* Cached evaluation has naive semantics, so it must agree with naive
+   {e exactly}. The planner deliberately over-generates at the horizon
+   (its demands extend one pad past the lifespan so boundary-straddling
+   units come out whole — see planner.ml), so planned results may carry
+   extra whole units beyond the lifespan edge; inside the lifespan all
+   strategies must coincide. *)
+let strategies_agree =
+  let plain = make_ctx () in
+  QCheck2.Test.make ~name:"naive = planned = cached (200+ random exprs)" ~count:250
+    ~print:print_expr expr_gen (fun e ->
+      let fine = Gran.finest_of_expr plain.Context.env e in
+      (* The lifespan in this expression's generation unit; every strategy
+         windows in units of [fine]. *)
+      let interior = Context.lifespan_in plain fine in
+      let clip s = Interval_set.inter s (Interval_set.of_list [ interior ]) in
+      let naive = Interp.eval_expr_naive plain e in
+      let planned = Interp.eval_expr_planned plain e in
+      let cached = Interp.eval_expr_cached shared_cached_ctx e in
+      let planned_cached = Interp.eval_expr_planned shared_cached_ctx e in
+      let v (cal, _) = Calendar.flatten cal in
+      Interval_set.equal (v naive) (v cached)
+      && Interval_set.equal (clip (v naive)) (clip (v planned))
+      && Interval_set.equal (clip (v naive)) (clip (v planned_cached)))
+
+let canon_preserves_eval =
+  let plain = make_ctx () in
+  QCheck2.Test.make ~name:"canon preserves naive evaluation" ~count:250
+    ~print:print_expr expr_gen (fun e ->
+      let fine = Gran.finest_of_expr plain.Context.env e in
+      let window =
+        Context.lifespan_in plain fine
+      in
+      let v e = Calendar.flatten (fst (Interp.eval_expr_naive plain ~window e)) in
+      Interval_set.equal (v e) (v (Canon.canon e)))
+
+let canon_key_stable =
+  (* Canonicalization is idempotent and key-stable: a second pass changes
+     nothing, so cache keys are well defined. *)
+  QCheck2.Test.make ~name:"canon is idempotent" ~count:250 ~print:print_expr expr_gen
+    (fun e ->
+      let c = Canon.canon e in
+      String.equal (Canon.to_string c) (Canon.to_string (Canon.canon c)))
+
+let cached_never_generates_more =
+  (* On a fresh cache the first evaluation populates, the second must hit:
+     strictly fewer generate calls than uncached evaluation. *)
+  QCheck2.Test.make ~name:"second cached eval never calls generate" ~count:100
+    ~print:print_expr expr_gen (fun e ->
+      let ctx = make_ctx ~cache_capacity:128 () in
+      let _, s1 = Interp.eval_expr_cached ctx e in
+      let _, s2 = Interp.eval_expr_cached ctx e in
+      (* Only expressions that generated something and are cacheable are
+         interesting; uncacheable ones must behave identically. *)
+      if s1.Interp.cache_misses > 0 then
+        s2.Interp.gen_calls = 0 && s2.Interp.cache_hits > 0
+      else s2.Interp.gen_calls = s1.Interp.gen_calls)
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip: parsing the pretty-printed form yields the same AST. *)
+
+let roundtrip =
+  QCheck2.Test.make ~name:"Parser.expr (Pretty.expr_to_string e) = e" ~count:400
+    ~print:print_expr expr_gen (fun e ->
+      match Parser.expr (Pretty.expr_to_string e) with
+      | Ok e' -> Ast.equal_expr e e'
+      | Error msg -> QCheck2.Test.fail_reportf "parse error: %s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Interval algebra vs the reference set-of-chronons model: membership
+   in the interval-set result must match boolean set algebra, chronon by
+   chronon, over a domain covering every generated endpoint. *)
+
+let set_gen =
+  QCheck2.Gen.(
+    map
+      (fun l ->
+        Interval_set.of_pairs (List.map (fun (a, b) -> (min a b, max a b)) l))
+      (list_size (int_range 0 6) (pair (int_range 1 60) (int_range 1 60))))
+
+let domain = List.init 70 (fun i -> i + 1)
+
+let mem s c = Interval_set.contains_chronon s c
+
+(* The element-wise ops (the paper's calendar algebra) are set algebra on
+   whole intervals; the pointwise ops are set algebra on chronons. Each is
+   checked against its own reference model. *)
+let algebra_matches_model =
+  QCheck2.Test.make ~name:"pointwise union/inter/diff match chronon-set model"
+    ~count:500
+    QCheck2.Gen.(pair set_gen set_gen)
+    (fun (a, b) ->
+      List.for_all
+        (fun c ->
+          mem (Interval_set.pointwise_union a b) c = (mem a c || mem b c)
+          && mem (Interval_set.pointwise_inter a b) c = (mem a c && mem b c)
+          && mem (Interval_set.pointwise_diff a b) c = (mem a c && not (mem b c)))
+        domain)
+
+let elementwise_matches_model =
+  QCheck2.Test.make ~name:"element-wise union/inter/diff match interval-set model"
+    ~count:500
+    QCheck2.Gen.(pair set_gen set_gen)
+    (fun (a, b) ->
+      let imem i s = Interval_set.mem i s in
+      let every_interval_of sets p =
+        List.for_all (fun s -> List.for_all p (Interval_set.to_list s)) sets
+      in
+      every_interval_of [ a; b ] (fun i ->
+          imem i (Interval_set.union a b) = (imem i a || imem i b)
+          && imem i (Interval_set.inter a b) = (imem i a && imem i b)
+          && imem i (Interval_set.diff a b) = (imem i a && not (imem i b))))
+
+let algebra_laws =
+  QCheck2.Test.make ~name:"union is ACI, diff after union distributes" ~count:500
+    QCheck2.Gen.(triple set_gen set_gen set_gen)
+    (fun (a, b, c) ->
+      let ( = ) = Interval_set.equal in
+      Interval_set.union a b = Interval_set.union b a
+      && Interval_set.union a (Interval_set.union b c)
+         = Interval_set.union (Interval_set.union a b) c
+      && Interval_set.union a a = a
+      && Interval_set.diff (Interval_set.union a b) c
+         = Interval_set.union (Interval_set.diff a c) (Interval_set.diff b c))
+
+let calendar_union_aci =
+  (* The cache-key soundness argument for flattening union spines. *)
+  QCheck2.Test.make ~name:"Calendar.union is ACI up to Calendar.equal" ~count:300
+    QCheck2.Gen.(triple set_gen set_gen set_gen)
+    (fun (a, b, c) ->
+      let ca = Calendar.leaf a and cb = Calendar.leaf b and cc = Calendar.leaf c in
+      Calendar.equal (Calendar.union ca cb) (Calendar.union cb ca)
+      && Calendar.equal
+           (Calendar.union ca (Calendar.union cb cc))
+           (Calendar.union (Calendar.union ca cb) cc)
+      && Calendar.equal (Calendar.union ca ca) ca)
+
+let () =
+  Alcotest.run "cal_props"
+    [
+      qsuite "differential"
+        [ strategies_agree; canon_preserves_eval; canon_key_stable; cached_never_generates_more ];
+      qsuite "roundtrip" [ roundtrip ];
+      qsuite "algebra"
+        [ algebra_matches_model; elementwise_matches_model; algebra_laws; calendar_union_aci ];
+    ]
