@@ -794,6 +794,180 @@ let e14 () =
   print_endline "  maintenance cost stops scaling with the number of rules sharing";
   print_endline "  sub-expressions."
 
+(* E15: the array-backed interval-set representation vs the retained list
+   oracle, and the streaming next-fire path vs materializing windows.
+   With --json, the measurements are also written to BENCH_E15.json. *)
+
+let json_mode = ref false
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let e15 () =
+  header "E15 | Array-backed interval sets + streaming next-fire probes";
+  (* Keeps ratios finite when the fast side is below timer resolution. *)
+  let speedup slow fast = slow /. Float.max fast 1e-9 in
+  let n = 10_000 in
+  (* Overlap-heavy inputs: stride 3, width 5, so neighbours overlap (as
+     weeks overlap months); every second member of b is shared with a so
+     the element-wise algebra has real work on both sides. *)
+  let pa = List.init n (fun k -> ((3 * k) + 1, (3 * k) + 5)) in
+  let pb =
+    List.init n (fun k ->
+        if k mod 2 = 0 then ((3 * k) + 1, (3 * k) + 5) else ((3 * k) + 2, (3 * k) + 6))
+  in
+  let a = Interval_set.of_pairs pa and b = Interval_set.of_pairs pb in
+  let al = Interval_set_list.of_pairs pa and bl = Interval_set_list.of_pairs pb in
+  let probes = List.init 1_000 (fun i -> (i * 29) + 1) in
+  let w_mid = Interval.make 15_001 15_300 in
+  (* Gapped inputs for the pointwise ops: stride 4 with a 1-chronon gap,
+     so the coalesced forms keep all n members (the overlap-heavy sets
+     above collapse to one giant interval, which makes the pointwise
+     merge trivially cheap and measures nothing). *)
+  let pga = List.init n (fun k -> ((4 * k) + 1, (4 * k) + 3)) in
+  let pgb = List.init n (fun k -> ((4 * k) + 2, (4 * k) + 4)) in
+  let ga = Interval_set.of_pairs pga and gb = Interval_set.of_pairs pgb in
+  let gal = Interval_set_list.of_pairs pga and gbl = Interval_set_list.of_pairs pgb in
+  let micro =
+    [
+      ( "union",
+        (fun () -> ignore (Interval_set_list.union al bl)),
+        fun () -> ignore (Interval_set.union a b) );
+      ( "diff",
+        (fun () -> ignore (Interval_set_list.diff al bl)),
+        fun () -> ignore (Interval_set.diff a b) );
+      ( "inter",
+        (fun () -> ignore (Interval_set_list.inter al bl)),
+        fun () -> ignore (Interval_set.inter a b) );
+      ( "nth_from_end x1000",
+        (fun () ->
+          for i = 0 to 999 do
+            ignore (Interval_set_list.nth_from_end al ((i mod 100) + 1))
+          done),
+        fun () ->
+          for i = 0 to 999 do
+            ignore (Interval_set.nth_from_end a ((i mod 100) + 1))
+          done );
+      ( "contains_chronon x1000",
+        (fun () -> List.iter (fun c -> ignore (Interval_set_list.contains_chronon al c)) probes),
+        fun () -> List.iter (fun c -> ignore (Interval_set.contains_chronon a c)) probes );
+      ( "restrict (1% window)",
+        (fun () -> ignore (Interval_set_list.restrict al w_mid)),
+        fun () -> ignore (Interval_set.restrict a w_mid) );
+      ( "pointwise_inter (gapped)",
+        (fun () -> ignore (Interval_set_list.pointwise_inter gal gbl)),
+        fun () -> ignore (Interval_set.pointwise_inter ga gb) );
+    ]
+  in
+  Printf.printf "  set algebra, %d overlap-heavy intervals (list oracle vs array):\n\n" n;
+  Printf.printf "  %-24s %12s %12s %9s\n" "operation" "list" "array" "speedup";
+  let micro_rows =
+    List.map
+      (fun (name, list_fn, arr_fn) ->
+        let t_list = median_wall ~repeat:5 list_fn in
+        let t_arr = median_wall ~repeat:5 arr_fn in
+        Printf.printf "  %-24s %s %s %8.1fx\n" name (time_str t_list) (time_str t_arr)
+          (speedup t_list t_arr);
+        (name, t_list, t_arr))
+      micro
+  in
+  (* DBCRON: the same rule mix for one simulated year, probing through
+     materializing windows vs streaming chunks. *)
+  let specs =
+    List.init 7 (fun i -> Printf.sprintf "[%d]/DAYS:during:WEEKS" (i + 1))
+    @ List.map (Printf.sprintf "[%d]/DAYS:during:MONTHS") [ 1; 10; 20 ]
+    @ [ "[1]/DAYS:during:YEARS"; "[1]/DAYS:during:([3,6,9,12]/MONTHS:during:YEARS)" ]
+  in
+  let run_sim strategy =
+    let s =
+      Session.create ~epoch:epoch93
+        ~lifespan:(Civil.make 1993 1 1, Civil.make 1994 12 31)
+        ~probe_strategy:strategy ~cache_capacity:512 ()
+    in
+    ignore (Session.query_exn s "create table log (msg text)");
+    List.iteri
+      (fun i spec ->
+        match
+          Session.query s
+            (Printf.sprintf "define rule r%d on calendar \"%s\" do append log (msg = 'r%d')" i
+               spec i)
+        with
+        | Ok _ -> ()
+        | Error e -> failwith e)
+      specs;
+    let _, t = wall (fun () -> Session.advance_days s 365) in
+    let firings =
+      List.map (fun f -> (f.Cal_rules.Manager.rule, f.Cal_rules.Manager.at)) (Session.firings s)
+    in
+    (firings, t, Session.cache_stats s)
+  in
+  let f_mat, t_mat, cs_mat = run_sim `Materialize in
+  let f_str, t_str, cs_str = run_sim `Stream in
+  let agree = f_mat = f_str in
+  Printf.printf "\n  DBCRON, %d rules, one simulated year (cache 512):\n" (List.length specs);
+  let show_sim label firings t (cs : Cal_cache.stats) =
+    Printf.printf "    %-12s %4d firings   %s   cache %d hits / %d misses\n" label
+      (List.length firings) (time_str t) cs.Cal_cache.hits cs.Cal_cache.misses
+  in
+  show_sim "materialize:" f_mat t_mat cs_mat;
+  show_sim "stream:" f_str t_str cs_str;
+  Printf.printf "    firings identical: %b   probe speedup: %.1fx\n" agree (t_mat /. t_str);
+  (* Single next-fire probe latency, mid-lifespan, 30-year session. *)
+  let s30 = session_years ~cache_capacity:512 30 in
+  let ctx = s30.Session.ctx in
+  let probe_expr = parse_expr "[3]/([5]/DAYS:during:WEEKS):overlaps:MONTHS" in
+  let after = 5 * 365 * 86400 in
+  let t_next_mat =
+    median_wall ~repeat:5 (fun () ->
+        ignore (Cal_rules.Next_fire.next ctx probe_expr ~after ~strategy:`Materialize ()))
+  in
+  let t_next_str =
+    median_wall ~repeat:5 (fun () ->
+        ignore (Cal_rules.Next_fire.next ctx probe_expr ~after ~strategy:`Stream ()))
+  in
+  Printf.printf "\n  single next-fire probe (3rd Friday monthly, 30y session):\n";
+  Printf.printf "    materialize: %s   stream: %s   (%.1fx)\n" (time_str t_next_mat)
+    (time_str t_next_str)
+    (t_next_mat /. t_next_str);
+  if !json_mode then begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n  \"experiment\": \"E15\",\n";
+    Buffer.add_string buf (Printf.sprintf "  \"n_intervals\": %d,\n" n);
+    Buffer.add_string buf "  \"micro\": [\n";
+    List.iteri
+      (fun i (name, t_list, t_arr) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"op\": \"%s\", \"list_s\": %.9f, \"array_s\": %.9f, \"speedup\": %.2f}%s\n"
+             (json_escape name) t_list t_arr (speedup t_list t_arr)
+             (if i = List.length micro_rows - 1 then "" else ",")))
+      micro_rows;
+    Buffer.add_string buf "  ],\n";
+    let sim_json (cs : Cal_cache.stats) firings t =
+      Printf.sprintf
+        "{\"wall_s\": %.6f, \"firings\": %d, \"cache_hits\": %d, \"cache_misses\": %d}"
+        t (List.length firings) cs.Cal_cache.hits cs.Cal_cache.misses
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"dbcron\": {\n    \"rules\": %d,\n    \"simulated_days\": 365,\n    \"materialize\": %s,\n    \"stream\": %s,\n    \"firings_agree\": %b,\n    \"speedup\": %.2f\n  },\n"
+         (List.length specs) (sim_json cs_mat f_mat t_mat) (sim_json cs_str f_str t_str) agree
+         (speedup t_mat t_str));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"next_probe\": {\"materialize_s\": %.9f, \"stream_s\": %.9f, \"speedup\": %.2f}\n"
+         t_next_mat t_next_str
+         (speedup t_next_mat t_next_str));
+    Buffer.add_string buf "}\n";
+    let oc = open_out "BENCH_E15.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "\n  wrote BENCH_E15.json"
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
@@ -807,15 +981,25 @@ let perf =
   [
     ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
     ("E9", e9); ("E10", e10_perf); ("E11", e11_perf); ("E12", e12); ("E13", e13);
-    ("E14", e14);
+    ("E14", e14); ("E15", e15);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          json_mode := true;
+          false
+        end
+        else true)
+      args
+  in
   let all = figures @ perf in
   let selected =
     match args with
-    | [] -> all
+    | [] -> if !json_mode then [ ("E15", e15) ] else all
     | [ "figures" ] -> figures
     | [ "perf" ] -> perf
     | ids ->

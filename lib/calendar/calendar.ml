@@ -25,8 +25,14 @@ let rec leaves = function
   | Leaf s -> [ s ]
   | Node l -> List.concat_map leaves l
 
+(* One sort over all leaves' members, not a left fold of pairwise unions
+   (which re-merges the accumulator once per leaf — quadratic for the
+   many-single-interval-leaf trees foreach produces). *)
 let flatten t =
-  List.fold_left Interval_set.union Interval_set.empty (leaves t)
+  match leaves t with
+  | [] -> Interval_set.empty
+  | [ s ] -> s
+  | ss -> Interval_set.of_list (List.concat_map Interval_set.to_list ss)
 
 let rec simplify t =
   match t with
@@ -52,7 +58,15 @@ let rec simplify t =
 let rec equal a b =
   match (a, b) with
   | Leaf x, Leaf y -> Interval_set.equal x y
-  | Node x, Node y -> List.length x = List.length y && List.for_all2 equal x y
+  | Node x, Node y ->
+    (* Single walk; the [List.length] pre-check walked both spines in
+       full even when the first children already differed. *)
+    let rec all2 = function
+      | [], [] -> true
+      | xa :: x, yb :: y -> equal xa yb && all2 (x, y)
+      | _, _ -> false
+    in
+    all2 (x, y)
   | Leaf _, Node _ | Node _, Leaf _ -> false
 
 (* --- foreach ------------------------------------------------------- *)
@@ -104,7 +118,7 @@ type indexed = {
 }
 
 let make_index c =
-  let arr = Array.of_list (Interval_set.to_list c) in
+  let arr = Interval_set.to_array c in
   let n = Array.length arr in
   let max_hi = Array.make (max n 1) Chronon.minus_infinity in
   let running = ref Chronon.minus_infinity in

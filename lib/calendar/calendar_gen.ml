@@ -32,12 +32,40 @@ let generate ?(max_intervals = 1_000_000) ~epoch ~coarse ~fine ~window () =
     Interval_set.of_list (List.filter_map unit_interval (List.init count (fun i -> k_lo + i)))
   end
 
+(* Streaming generation: the same coarse-units-as-fine-intervals walk as
+   [generate], but lazy and endless — the caller cuts the stream
+   (Interval_seq.clip, Seq.take_while) instead of this module enforcing a
+   [max_intervals] cap. The first element is the unit containing [start],
+   unclipped. *)
+let generate_seq ~epoch ~coarse ~fine ~start () =
+  if not (Unit_system.aligned ~coarse ~fine) then raise (Misaligned (coarse, fine));
+  let start_off = Chronon.to_offset start in
+  if Granularity.equal coarse fine then
+    Seq.map (fun k -> Interval.singleton (Chronon.of_offset (start_off + k))) (Seq.ints 0)
+  else begin
+    let k0 =
+      Unit_system.index_of_instant ~epoch coarse
+        (Unit_system.start_of_index ~epoch fine start_off)
+    in
+    let unit_interval k =
+      let f_lo =
+        Unit_system.index_of_instant ~epoch fine (Unit_system.start_of_index ~epoch coarse k)
+      in
+      let f_hi =
+        Unit_system.index_of_instant ~epoch fine (Unit_system.start_of_index ~epoch coarse (k + 1))
+        - 1
+      in
+      Interval.make (Chronon.of_offset f_lo) (Chronon.of_offset f_hi)
+    in
+    Seq.map (fun i -> unit_interval (k0 + i)) (Seq.ints 0)
+  end
+
 let caloperate ?(keep_partial = false) ?end_ ~counts cal =
   if counts = [] then invalid_arg "Calendar_gen.caloperate: empty count list";
   if List.exists (fun c -> c <= 0) counts then
     invalid_arg "Calendar_gen.caloperate: counts must be positive";
   let counts = Array.of_list counts in
-  let intervals = Array.of_list (Interval_set.to_list cal) in
+  let intervals = Interval_set.to_array cal in
   let n = Array.length intervals in
   let within_end hi =
     match end_ with None -> true | Some e -> Chronon.compare hi e <= 0

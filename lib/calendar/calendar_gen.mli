@@ -30,6 +30,23 @@ val generate :
   unit ->
   Interval_set.t
 
+(** [generate_seq ~epoch ~coarse ~fine ~start ()] streams the [coarse]
+    units as intervals of [fine] chronons, lazily and without end,
+    starting with the unit containing [start] (unclipped — the first
+    interval's low endpoint may precede [start]). This is the streaming
+    counterpart of {!generate}: next-fire probes pull a handful of units
+    forward from the probe instant instead of materializing a window.
+    Cut the result with {!Interval_seq.clip} or [Seq.take_while].
+
+    @raise Misaligned when [fine] does not subdivide [coarse] exactly. *)
+val generate_seq :
+  epoch:Civil.date ->
+  coarse:Granularity.t ->
+  fine:Granularity.t ->
+  start:Chronon.t ->
+  unit ->
+  Interval.t Seq.t
+
 (** [caloperate ~counts cal] derives a new calendar whose k-th interval is
     the union of the next [counts[k mod length counts]] intervals of [cal]
     (the paper's [caloperate(C, Te; (x1;...;xn))] with a circular count

@@ -149,7 +149,7 @@ let register_calendar_operators ctx catalog =
     | _ -> Value.Null)
 
 let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahead
-    ?(cache_capacity = 512) () =
+    ?probe_strategy ?(cache_capacity = 512) () =
   register_calendar_adt ();
   let clock = Clock.create () in
   let env = Env.create () in
@@ -159,7 +159,7 @@ let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahe
   Catalog.set_calendar_resolver catalog (resolve_days ctx);
   register_date_operators ctx catalog;
   register_calendar_operators ctx catalog;
-  let manager = Cal_rules.Manager.create ?probe_period ?lookahead ctx catalog in
+  let manager = Cal_rules.Manager.create ?probe_period ?lookahead ?probe_strategy ctx catalog in
   { ctx; catalog; manager; clock }
 
 (* --- CALENDARS catalog maintenance ---------------------------------- *)

@@ -33,6 +33,7 @@ val create :
   ?lifespan:Civil.date * Civil.date ->
   ?probe_period:int ->
   ?lookahead:int ->
+  ?probe_strategy:Cal_rules.Next_fire.strategy ->
   ?cache_capacity:int ->
   unit ->
   t

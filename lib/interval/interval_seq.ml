@@ -1,0 +1,26 @@
+(* Lazy interval streams: thin combinators over OCaml's [Seq] that keep
+   the "ascending low endpoint" convention explicit. Producers
+   (Calendar_gen.generate_seq, Interp.stream_expr) yield intervals in
+   ascending [lo] order, possibly without end; these helpers bound and
+   materialize such streams. *)
+
+type t = Interval.t Seq.t
+
+let of_set = Interval_set.to_seq
+let to_set seq = Interval_set.of_list (List.of_seq seq)
+
+let first seq =
+  match seq () with Seq.Nil -> None | Seq.Cons (x, _) -> Some x
+
+let take_while_lo_le c seq =
+  Seq.take_while (fun iv -> Chronon.compare (Interval.lo iv) c <= 0) seq
+
+let drop_while_lo_lt c seq =
+  Seq.drop_while (fun iv -> Chronon.compare (Interval.lo iv) c < 0) seq
+
+let clip w seq =
+  Seq.filter_map (fun iv -> Interval.intersect iv w) (take_while_lo_le (Interval.hi w) seq)
+
+let starts seq = Seq.map Interval.lo seq
+
+let take n seq = List.of_seq (Seq.take n seq)

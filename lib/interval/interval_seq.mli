@@ -1,0 +1,39 @@
+(** Lazy interval streams — the streaming generation path.
+
+    A stream is an [Interval.t Seq.t] whose elements arrive in ascending
+    low-endpoint order, possibly without end (a calendar streamed forward
+    from a start chronon). Consumers that only need "the first interval at
+    or after [t]" pull a handful of elements instead of materializing the
+    full window, which is what {!Calendar_gen.generate_seq} and
+    [Interp.stream_expr] exploit for next-fire probes.
+
+    All combinators are lazy; only {!to_set}, {!first} and {!take} force
+    elements. Combinators that cut by low endpoint ([take_while_lo_le],
+    [clip]) are safe on endless streams; [to_set] on an endless stream
+    diverges. *)
+
+type t = Interval.t Seq.t
+
+val of_set : Interval_set.t -> t
+
+(** Materializes; the stream must be finite. *)
+val to_set : t -> Interval_set.t
+
+val first : t -> Interval.t option
+
+(** Keep the prefix whose members start at or before [c]. Terminates on
+    endless ascending streams. *)
+val take_while_lo_le : Chronon.t -> t -> t
+
+(** Skip members starting before [c]. *)
+val drop_while_lo_lt : Chronon.t -> t -> t
+
+(** Cut the stream to window [w]: members beyond [w] end the stream,
+    members straddling it are clipped to it. *)
+val clip : Interval.t -> t -> t
+
+(** The members' starting chronons, in ascending order. *)
+val starts : t -> Chronon.t Seq.t
+
+(** The first [n] members (fewer when the stream ends early). *)
+val take : int -> t -> Interval.t list

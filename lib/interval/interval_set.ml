@@ -1,118 +1,372 @@
-type t = Interval.t list
-(* Invariant: sorted by Interval.compare, no exact duplicates. *)
+(* Sorted-array-backed interval sets.
 
-let empty = []
-let is_empty t = t = []
+   [arr] is sorted by Interval.compare with no exact duplicates. [max_hi]
+   is the prefix maximum of the members' high endpoints: because members
+   may overlap (weeks straddling month boundaries), an early member with a
+   large [hi] can cover a late chronon, so plain binary search on [lo] is
+   not enough for containment — but the prefix maximum is monotone, which
+   makes [contains_chronon], [restrict] and [clip] binary-searchable.
+
+   The coalesced pointwise form (disjoint, non-adjacent segments in
+   0-based offset space) is computed at most once per set and cached in a
+   mutable field; the set itself is immutable. All set algebra is a
+   single merge pass over the already-sorted inputs. *)
+
+type t = {
+  arr : Interval.t array;
+  max_hi : Chronon.t array;  (* prefix maximum of hi *)
+  mutable coalesced : (int * int) array option;  (* offset space, lazy *)
+}
+
+let empty = { arr = [||]; max_hi = [||]; coalesced = Some [||] }
+
+(* [arr] must be sorted by Interval.compare with no duplicates. *)
+let of_sorted_array_unsafe arr =
+  let n = Array.length arr in
+  if n = 0 then empty
+  else begin
+    let max_hi = Array.make n Chronon.minus_infinity in
+    let running = ref Chronon.minus_infinity in
+    for i = 0 to n - 1 do
+      running := Chronon.max !running (Interval.hi arr.(i));
+      max_hi.(i) <- !running
+    done;
+    { arr; max_hi; coalesced = None }
+  end
+
+let is_empty t = Array.length t.arr = 0
 
 let of_list l =
-  List.sort_uniq Interval.compare l
+  of_sorted_array_unsafe (Array.of_list (List.sort_uniq Interval.compare l))
 
 let of_pairs l = of_list (List.map (fun (lo, hi) -> Interval.make lo hi) l)
-let to_list t = t
-let to_pairs t = List.map (fun i -> (Interval.lo i, Interval.hi i)) t
-let cardinal = List.length
-let singleton i = [ i ]
+let to_list t = Array.to_list t.arr
+let to_array t = Array.copy t.arr
+let to_seq t = Array.to_seq t.arr
+let to_pairs t = List.map (fun i -> (Interval.lo i, Interval.hi i)) (to_list t)
+let cardinal t = Array.length t.arr
+let singleton i = of_sorted_array_unsafe [| i |]
 
-let rec add i = function
-  | [] -> [ i ]
-  | x :: rest as l ->
-    let c = Interval.compare i x in
-    if c < 0 then i :: l
-    else if c = 0 then l
-    else x :: add i rest
+(* --- binary searches ------------------------------------------------ *)
 
-let mem i t = List.exists (Interval.equal i) t
-let contains_chronon t c = List.exists (fun i -> Interval.contains i c) t
+(* First index with lo >= v (cardinal when none). *)
+let lower_bound_lo t v =
+  let lo = ref 0 and hi = ref (Array.length t.arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Chronon.compare (Interval.lo t.arr.(mid)) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index with lo > v (cardinal when none). *)
+let upper_bound_lo t v =
+  let lo = ref 0 and hi = ref (Array.length t.arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Chronon.compare (Interval.lo t.arr.(mid)) v <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index whose prefix-max hi reaches v (cardinal when none). *)
+let first_reaching t v =
+  let lo = ref 0 and hi = ref (Array.length t.arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Chronon.compare t.max_hi.(mid) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem i t =
+  let lo = ref 0 and hi = ref (Array.length t.arr) and found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Interval.compare i t.arr.(mid) in
+    if c = 0 then found := true else if c > 0 then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let contains_chronon t c =
+  (* Members with lo <= c are exactly the indices below [k]; one of them
+     contains c iff the largest hi among them reaches c. *)
+  let k = upper_bound_lo t c in
+  k > 0 && Chronon.compare t.max_hi.(k - 1) c >= 0
 
 let nth t i =
-  if i < 1 then raise Not_found
-  else match List.nth_opt t (i - 1) with Some x -> x | None -> raise Not_found
+  if i < 1 || i > Array.length t.arr then raise Not_found else t.arr.(i - 1)
 
-let nth_from_end t i = nth (List.rev t) i
-let first = function [] -> None | x :: _ -> Some x
-let last t = match List.rev t with [] -> None | x :: _ -> Some x
+let nth_from_end t i =
+  let n = Array.length t.arr in
+  if i < 1 || i > n then raise Not_found else t.arr.(n - i)
+
+let first t = if is_empty t then None else Some t.arr.(0)
+
+let last t =
+  let n = Array.length t.arr in
+  if n = 0 then None else Some t.arr.(n - 1)
 
 let span t =
-  match (first t, List.fold_left (fun acc i -> Chronon.max acc (Interval.hi i))
-                    Chronon.minus_infinity t)
-  with
-  | None, _ -> None
-  | Some f, hi -> Some (Interval.make (Interval.lo f) hi)
+  let n = Array.length t.arr in
+  if n = 0 then None
+  else Some (Interval.make (Interval.lo t.arr.(0)) t.max_hi.(n - 1))
 
-let filter = List.filter
-let map f t = of_list (List.map f t)
-let iter = List.iter
-let fold f init t = List.fold_left f init t
+let first_start_geq t c =
+  let k = lower_bound_lo t c in
+  if k >= Array.length t.arr then None else Some t.arr.(k)
 
-let union a b = of_list (a @ b)
-let diff a b = List.filter (fun i -> not (mem i b)) a
-let inter a b = List.filter (fun i -> mem i b) a
-let equal a b = List.length a = List.length b && List.for_all2 Interval.equal a b
+let filter p t =
+  (* A subsequence of a sorted unique array stays sorted and unique. *)
+  let kept = Array.of_seq (Seq.filter p (Array.to_seq t.arr)) in
+  if Array.length kept = Array.length t.arr then t else of_sorted_array_unsafe kept
 
-(* Pointwise operations work in 0-based offset space where the timeline has
-   no hole, then map back to chronons. *)
-let to_offsets t =
-  List.map
-    (fun i -> (Chronon.to_offset (Interval.lo i), Chronon.to_offset (Interval.hi i)))
+let map f t = of_list (List.map f (to_list t))
+let iter f t = Array.iter f t.arr
+let fold f init t = Array.fold_left f init t.arr
+
+let add i t =
+  if mem i t then t
+  else begin
+    let n = Array.length t.arr in
+    (* Insertion point: first index whose member sorts after [i]. *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Interval.compare t.arr.(mid) i < 0 then lo := mid + 1 else hi := mid
+    done;
+    let k = !lo in
+    let arr = Array.make (n + 1) i in
+    Array.blit t.arr 0 arr 0 k;
+    Array.blit t.arr k arr (k + 1) (n - k);
+    of_sorted_array_unsafe arr
+  end
+
+(* --- element-wise algebra: single-pass merges ----------------------- *)
+
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else begin
+    let na = Array.length a.arr and nb = Array.length b.arr in
+    let out = Array.make (na + nb) a.arr.(0) in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    let put x =
+      out.(!k) <- x;
+      incr k
+    in
+    while !i < na && !j < nb do
+      let c = Interval.compare a.arr.(!i) b.arr.(!j) in
+      if c < 0 then (put a.arr.(!i); incr i)
+      else if c > 0 then (put b.arr.(!j); incr j)
+      else (put a.arr.(!i); incr i; incr j)
+    done;
+    while !i < na do put a.arr.(!i); incr i done;
+    while !j < nb do put b.arr.(!j); incr j done;
+    if !k = na + nb then of_sorted_array_unsafe out
+    else of_sorted_array_unsafe (Array.sub out 0 !k)
+  end
+
+(* Merge walk keeping members of [a] according to whether they also occur
+   in [b] ([keep_found] selects inter vs diff). *)
+let merge_select keep_found a b =
+  if is_empty a then a
+  else if is_empty b then (if keep_found then empty else a)
+  else begin
+    let na = Array.length a.arr and nb = Array.length b.arr in
+    let out = Array.make na a.arr.(0) in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < na do
+      let x = a.arr.(!i) in
+      while !j < nb && Interval.compare b.arr.(!j) x < 0 do incr j done;
+      let found = !j < nb && Interval.compare b.arr.(!j) x = 0 in
+      if found = keep_found then begin
+        out.(!k) <- x;
+        incr k
+      end;
+      incr i
+    done;
+    if !k = na then a else of_sorted_array_unsafe (Array.sub out 0 !k)
+  end
+
+let diff a b = merge_select false a b
+let inter a b = merge_select true a b
+
+let equal a b =
+  let n = Array.length a.arr in
+  n = Array.length b.arr
+  &&
+  let rec go i = i >= n || (Interval.equal a.arr.(i) b.arr.(i) && go (i + 1)) in
+  go 0
+
+(* --- pointwise (chronon-set) algebra -------------------------------- *)
+
+(* The coalesced form: members are already sorted by (lo, hi), so merging
+   overlapping or adjacent members is one forward pass in offset space
+   (offsets are hole-free: chronon 0 does not exist, offsets do). *)
+let coalesced t =
+  match t.coalesced with
+  | Some c -> c
+  | None ->
+    let n = Array.length t.arr in
+    let buf = Array.make n (0, 0) in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      let lo = Chronon.to_offset (Interval.lo t.arr.(i))
+      and hi = Chronon.to_offset (Interval.hi t.arr.(i)) in
+      if !k > 0 then begin
+        let plo, phi = buf.(!k - 1) in
+        if lo <= phi + 1 then buf.(!k - 1) <- (plo, max phi hi)
+        else begin
+          buf.(!k) <- (lo, hi);
+          incr k
+        end
+      end
+      else begin
+        buf.(!k) <- (lo, hi);
+        incr k
+      end
+    done;
+    let c = if !k = n then buf else Array.sub buf 0 !k in
+    t.coalesced <- Some c;
+    c
+
+(* Disjoint sorted non-adjacent segments are sorted and unique as
+   intervals, and are their own coalesced form. *)
+let of_coalesced_offsets c =
+  if Array.length c = 0 then empty
+  else begin
+    let t =
+      of_sorted_array_unsafe
+        (Array.map
+           (fun (lo, hi) -> Interval.make (Chronon.of_offset lo) (Chronon.of_offset hi))
+           c)
+    in
+    t.coalesced <- Some c;
     t
+  end
 
-let of_offsets l =
-  List.map (fun (lo, hi) -> Interval.make (Chronon.of_offset lo) (Chronon.of_offset hi)) l
+let coalesce t = of_coalesced_offsets (coalesced t)
 
-let coalesce_offsets l =
-  let sorted = List.sort compare l in
-  let rec go acc = function
-    | [] -> List.rev acc
-    | (lo, hi) :: rest -> (
-      match acc with
-      | (plo, phi) :: acc' when lo <= phi + 1 -> go ((plo, max phi hi) :: acc') rest
-      | _ -> go ((lo, hi) :: acc) rest)
-  in
-  go [] sorted
-
-let coalesce t = of_offsets (coalesce_offsets (to_offsets t))
-let pointwise_union a b = of_offsets (coalesce_offsets (to_offsets a @ to_offsets b))
+let pointwise_union a b =
+  let ca = coalesced a and cb = coalesced b in
+  let na = Array.length ca and nb = Array.length cb in
+  if na = 0 then coalesce b
+  else if nb = 0 then coalesce a
+  else begin
+    let out = Array.make (na + nb) (0, 0) in
+    let k = ref 0 in
+    let push ((lo, hi) as seg) =
+      if !k > 0 then begin
+        let plo, phi = out.(!k - 1) in
+        if lo <= phi + 1 then out.(!k - 1) <- (plo, max phi hi)
+        else begin
+          out.(!k) <- seg;
+          incr k
+        end
+      end
+      else begin
+        out.(!k) <- seg;
+        incr k
+      end
+    in
+    let i = ref 0 and j = ref 0 in
+    while !i < na || !j < nb do
+      if !j >= nb || (!i < na && fst ca.(!i) <= fst cb.(!j)) then begin
+        push ca.(!i);
+        incr i
+      end
+      else begin
+        push cb.(!j);
+        incr j
+      end
+    done;
+    of_coalesced_offsets (Array.sub out 0 !k)
+  end
 
 let pointwise_inter a b =
-  let bs = coalesce_offsets (to_offsets b) in
-  let inter_one (lo, hi) =
-    List.filter_map
-      (fun (blo, bhi) ->
-        let l = max lo blo and h = min hi bhi in
-        if l <= h then Some (l, h) else None)
-      bs
-  in
-  of_offsets
-    (coalesce_offsets (List.concat_map inter_one (coalesce_offsets (to_offsets a))))
+  let ca = coalesced a and cb = coalesced b in
+  let na = Array.length ca and nb = Array.length cb in
+  let buf = ref [] and count = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let alo, ahi = ca.(!i) and blo, bhi = cb.(!j) in
+    let lo = max alo blo and hi = min ahi bhi in
+    if lo <= hi then begin
+      buf := (lo, hi) :: !buf;
+      incr count
+    end;
+    if ahi <= bhi then incr i else incr j
+  done;
+  let out = Array.make !count (0, 0) in
+  List.iteri (fun idx seg -> out.(!count - 1 - idx) <- seg) !buf;
+  of_coalesced_offsets out
 
 let pointwise_diff a b =
-  let bs = coalesce_offsets (to_offsets b) in
-  let diff_one seg =
-    (* Subtract every b-segment from [seg], left to right. *)
-    let rec go (lo, hi) bs acc =
-      match bs with
-      | [] -> (lo, hi) :: acc
-      | (blo, bhi) :: rest ->
-        if bhi < lo then go (lo, hi) rest acc
-        else if blo > hi then (lo, hi) :: acc
-        else
-          let acc = if blo > lo then (lo, blo - 1) :: acc else acc in
-          if bhi < hi then go (bhi + 1, hi) rest acc else acc
-    in
-    go seg bs []
+  let ca = coalesced a and cb = coalesced b in
+  let na = Array.length ca and nb = Array.length cb in
+  let buf = ref [] and count = ref 0 in
+  let emit seg =
+    buf := seg :: !buf;
+    incr count
   in
-  of_offsets
-    (coalesce_offsets
-       (List.concat_map diff_one (coalesce_offsets (to_offsets a))))
+  let j = ref 0 in
+  for i = 0 to na - 1 do
+    let alo, ahi = ca.(i) in
+    let cur = ref alo in
+    let continue = ref true in
+    while !continue do
+      (* b-segments ending before [cur] cannot affect this or any later
+         a-segment ([cur] only grows, a-segments are sorted). *)
+      while !j < nb && snd cb.(!j) < !cur do incr j done;
+      if !j >= nb || fst cb.(!j) > ahi then begin
+        if !cur <= ahi then emit (!cur, ahi);
+        continue := false
+      end
+      else begin
+        let blo, bhi = cb.(!j) in
+        if blo > !cur then emit (!cur, blo - 1);
+        if bhi >= ahi then continue := false else cur := bhi + 1
+      end
+    done
+  done;
+  let out = Array.make !count (0, 0) in
+  List.iteri (fun idx seg -> out.(!count - 1 - idx) <- seg) !buf;
+  of_coalesced_offsets out
+
+(* --- windowing ------------------------------------------------------ *)
+
+(* The only members that can overlap [w] lie in the index range
+   [first_reaching w.lo, upper_bound_lo w.hi); both edges are binary
+   searches, the slice is then tested exactly. *)
+let overlap_slice t w = (first_reaching t (Interval.lo w), upper_bound_lo t (Interval.hi w) - 1)
+
+let restrict t w =
+  let start, stop = overlap_slice t w in
+  if start > stop then empty
+  else begin
+    let buf = ref [] in
+    for i = stop downto start do
+      if Interval.overlaps t.arr.(i) w then buf := t.arr.(i) :: !buf
+    done;
+    of_sorted_array_unsafe (Array.of_list !buf)
+  end
 
 let clip t w =
-  of_list (List.filter_map (fun i -> Interval.intersect i w) t)
-
-let restrict t w = List.filter (fun i -> Interval.overlaps i w) t
+  let start, stop = overlap_slice t w in
+  if start > stop then empty
+  else begin
+    (* Clipping can merge distinct members into duplicates and, when a
+       long member is cut, reorder ties — re-sort the (small) slice. *)
+    let buf = ref [] in
+    for i = stop downto start do
+      match Interval.intersect t.arr.(i) w with
+      | Some iv -> buf := iv :: !buf
+      | None -> ()
+    done;
+    of_list !buf
+  end
 
 let pp ppf t =
   Format.fprintf ppf "{@[%a@]}"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Interval.pp)
-    t
+    (to_list t)
 
 let to_string t = Format.asprintf "%a" pp t

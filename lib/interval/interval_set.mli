@@ -4,6 +4,15 @@
     duplicates, but member intervals may overlap (e.g. weeks overlapping
     month boundaries).
 
+    The representation is a sorted array plus a prefix maximum of high
+    endpoints: [cardinal], [nth], [nth_from_end], [first], [last] and
+    [span] are O(1); [mem], [contains_chronon] and the windowing
+    operations are O(log n) binary searches; the set algebra is a single
+    O(n+m) merge pass. The coalesced pointwise form is computed at most
+    once per set and cached, so repeated pointwise operations do not
+    re-coalesce. The old linked-list implementation survives as
+    {!Interval_set_list}, the property-test oracle.
+
     Two algebras coexist, as required by the paper:
     {ul
     {- {e element-wise} ([union], [diff], [inter]) treat the collection as a
@@ -24,6 +33,14 @@ val of_list : Interval.t list -> t
 val of_pairs : (int * int) list -> t
 
 val to_list : t -> Interval.t list
+
+(** [to_array t] is a fresh array of the members in ascending
+    {!Interval.compare} order. *)
+val to_array : t -> Interval.t array
+
+(** [to_seq t] enumerates the members lazily, in ascending order. *)
+val to_seq : t -> Interval.t Seq.t
+
 val to_pairs : t -> (int * int) list
 val cardinal : t -> int
 val singleton : Interval.t -> t
@@ -41,6 +58,11 @@ val nth : t -> int -> Interval.t
 val nth_from_end : t -> int -> Interval.t
 val first : t -> Interval.t option
 val last : t -> Interval.t option
+
+(** [first_start_geq t c] is the first member whose low endpoint is at or
+    after [c] — the "first interval ≥ t" probe the streaming generation
+    path bottoms out in. O(log n). *)
+val first_start_geq : t -> Chronon.t -> Interval.t option
 
 (** Smallest interval covering the whole collection. *)
 val span : t -> Interval.t option

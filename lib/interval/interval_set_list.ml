@@ -1,0 +1,118 @@
+type t = Interval.t list
+(* Invariant: sorted by Interval.compare, no exact duplicates. *)
+
+let empty = []
+let is_empty t = t = []
+
+let of_list l =
+  List.sort_uniq Interval.compare l
+
+let of_pairs l = of_list (List.map (fun (lo, hi) -> Interval.make lo hi) l)
+let to_list t = t
+let to_pairs t = List.map (fun i -> (Interval.lo i, Interval.hi i)) t
+let cardinal = List.length
+let singleton i = [ i ]
+
+let rec add i = function
+  | [] -> [ i ]
+  | x :: rest as l ->
+    let c = Interval.compare i x in
+    if c < 0 then i :: l
+    else if c = 0 then l
+    else x :: add i rest
+
+let mem i t = List.exists (Interval.equal i) t
+let contains_chronon t c = List.exists (fun i -> Interval.contains i c) t
+
+let nth t i =
+  if i < 1 then raise Not_found
+  else match List.nth_opt t (i - 1) with Some x -> x | None -> raise Not_found
+
+let nth_from_end t i = nth (List.rev t) i
+let first = function [] -> None | x :: _ -> Some x
+let last t = match List.rev t with [] -> None | x :: _ -> Some x
+
+let span t =
+  match (first t, List.fold_left (fun acc i -> Chronon.max acc (Interval.hi i))
+                    Chronon.minus_infinity t)
+  with
+  | None, _ -> None
+  | Some f, hi -> Some (Interval.make (Interval.lo f) hi)
+
+let filter = List.filter
+let map f t = of_list (List.map f t)
+let iter = List.iter
+let fold f init t = List.fold_left f init t
+
+let union a b = of_list (a @ b)
+let diff a b = List.filter (fun i -> not (mem i b)) a
+let inter a b = List.filter (fun i -> mem i b) a
+let equal a b = List.length a = List.length b && List.for_all2 Interval.equal a b
+
+(* Pointwise operations work in 0-based offset space where the timeline has
+   no hole, then map back to chronons. *)
+let to_offsets t =
+  List.map
+    (fun i -> (Chronon.to_offset (Interval.lo i), Chronon.to_offset (Interval.hi i)))
+    t
+
+let of_offsets l =
+  List.map (fun (lo, hi) -> Interval.make (Chronon.of_offset lo) (Chronon.of_offset hi)) l
+
+let coalesce_offsets l =
+  let sorted = List.sort compare l in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (lo, hi) :: rest -> (
+      match acc with
+      | (plo, phi) :: acc' when lo <= phi + 1 -> go ((plo, max phi hi) :: acc') rest
+      | _ -> go ((lo, hi) :: acc) rest)
+  in
+  go [] sorted
+
+let coalesce t = of_offsets (coalesce_offsets (to_offsets t))
+let pointwise_union a b = of_offsets (coalesce_offsets (to_offsets a @ to_offsets b))
+
+let pointwise_inter a b =
+  let bs = coalesce_offsets (to_offsets b) in
+  let inter_one (lo, hi) =
+    List.filter_map
+      (fun (blo, bhi) ->
+        let l = max lo blo and h = min hi bhi in
+        if l <= h then Some (l, h) else None)
+      bs
+  in
+  of_offsets
+    (coalesce_offsets (List.concat_map inter_one (coalesce_offsets (to_offsets a))))
+
+let pointwise_diff a b =
+  let bs = coalesce_offsets (to_offsets b) in
+  let diff_one seg =
+    (* Subtract every b-segment from [seg], left to right. *)
+    let rec go (lo, hi) bs acc =
+      match bs with
+      | [] -> (lo, hi) :: acc
+      | (blo, bhi) :: rest ->
+        if bhi < lo then go (lo, hi) rest acc
+        else if blo > hi then (lo, hi) :: acc
+        else
+          let acc = if blo > lo then (lo, blo - 1) :: acc else acc in
+          if bhi < hi then go (bhi + 1, hi) rest acc else acc
+    in
+    go seg bs []
+  in
+  of_offsets
+    (coalesce_offsets
+       (List.concat_map diff_one (coalesce_offsets (to_offsets a))))
+
+let clip t w =
+  of_list (List.filter_map (fun i -> Interval.intersect i w) t)
+
+let restrict t w = List.filter (fun i -> Interval.overlaps i w) t
+
+let pp ppf t =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Interval.pp)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,42 @@
+(** The original linked-list interval-set implementation, kept verbatim as
+    the differential-testing oracle for the array-backed {!Interval_set}
+    (and as the "before" side of benchmark E15).
+
+    Every operation here is the reference semantics: [nth] is [List.nth],
+    [mem]/[contains_chronon] are linear scans, [diff]/[inter] are O(n·m),
+    and [union] re-sorts the concatenation. Do not use on hot paths. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val of_list : Interval.t list -> t
+val of_pairs : (int * int) list -> t
+val to_list : t -> Interval.t list
+val to_pairs : t -> (int * int) list
+val cardinal : t -> int
+val singleton : Interval.t -> t
+val add : Interval.t -> t -> t
+val mem : Interval.t -> t -> bool
+val contains_chronon : t -> Chronon.t -> bool
+val nth : t -> int -> Interval.t
+val nth_from_end : t -> int -> Interval.t
+val first : t -> Interval.t option
+val last : t -> Interval.t option
+val span : t -> Interval.t option
+val filter : (Interval.t -> bool) -> t -> t
+val map : (Interval.t -> Interval.t) -> t -> t
+val iter : (Interval.t -> unit) -> t -> unit
+val fold : ('a -> Interval.t -> 'a) -> 'a -> t -> 'a
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+val equal : t -> t -> bool
+val coalesce : t -> t
+val pointwise_union : t -> t -> t
+val pointwise_inter : t -> t -> t
+val pointwise_diff : t -> t -> t
+val clip : t -> Interval.t -> t
+val restrict : t -> Interval.t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

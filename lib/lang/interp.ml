@@ -240,6 +240,64 @@ let rec eval_cached (ctx : Context.t) ~stats ~fine ~window e =
         cal)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming evaluation: lazily enumerate the expression's flattened
+   intervals forward from a start chronon, one padded chunk at a time,
+   without materializing the full lifespan. Each chunk is evaluated with
+   [eval_cached] over a window extended by one pad on both sides so that
+   units straddling the chunk boundary are computed whole; an interval
+   belongs to the chunk containing its low endpoint, which dedups the
+   pad overlap between neighbouring chunks. Sound only for expressions
+   [Planner.streamable] accepts (window-local sub-results). *)
+
+(* Chunk sizes are multiples of this, and chunk windows are aligned to
+   absolute multiples of the chunk size, so successive probes of one
+   rule — wherever they start — evaluate over identical windows and hit
+   the session's materialization cache. *)
+let stream_quantum = 256
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r < 0 <> (b < 0) then q - 1 else q
+
+let stream_expr (ctx : Context.t) ?stats ?from_ e =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let fine = Gran.finest_of_expr ctx.Context.env e in
+  let pad = Planner.pad_for ~fine (Gran.grans_of_expr ctx.Context.env e) in
+  let lifespan = Context.lifespan_in ctx fine in
+  let start_off =
+    match from_ with
+    | Some c -> Chronon.to_offset c
+    | None -> Chronon.to_offset (Interval.lo lifespan)
+  in
+  (* The stream ends one pad past the lifespan, like the default
+     materializing window: boundary-straddling units are included whole. *)
+  let end_off = Chronon.to_offset (Interval.hi lifespan) + pad in
+  let csize = (((2 * pad) + stream_quantum - 1) / stream_quantum + 1) * stream_quantum in
+  let rec chunks k () =
+    let chunk_lo = k * csize in
+    if chunk_lo > end_off then Seq.Nil
+    else begin
+      let chunk_hi = chunk_lo + csize - 1 in
+      let w =
+        Interval.make
+          (Chronon.of_offset (chunk_lo - pad))
+          (Chronon.of_offset (chunk_hi + pad))
+      in
+      let cal = eval_cached ctx ~stats ~fine ~window:w e in
+      let lo_min = max start_off chunk_lo in
+      let owned =
+        Interval_set.fold
+          (fun acc iv ->
+            let lo = Chronon.to_offset (Interval.lo iv) in
+            if lo >= lo_min && lo <= chunk_hi then iv :: acc else acc)
+          [] (Calendar.flatten cal)
+      in
+      Seq.append (List.to_seq (List.rev owned)) (chunks (k + 1)) ()
+    end
+  in
+  chunks (floor_div start_off csize)
+
+(* ------------------------------------------------------------------ *)
 (* Plan execution. *)
 
 let run_plan (ctx : Context.t) (plan : Plan.t) =

@@ -57,6 +57,18 @@ val eval_expr_planned : Context.t -> Ast.expr -> Calendar.t * stats
     the [Context.create] default) this {e is} naive evaluation. *)
 val eval_expr_cached : Context.t -> ?window:Interval.t -> Ast.expr -> Calendar.t * stats
 
+(** [stream_expr ctx ?from_ e] lazily enumerates the flattened intervals
+    of [e] in ascending low-endpoint order, starting with the first
+    interval whose low endpoint is at or after [from_] (default: the
+    lifespan start) and ending one pad past the lifespan. Evaluation is
+    chunked: each pull materializes at most one padded, quantized window
+    through the materialization cache, so "first interval ≥ t" probes
+    touch a handful of units instead of the whole lifespan. Sound only
+    for expressions {!Planner.streamable} accepts. [stats] accumulates
+    across chunks when supplied. *)
+val stream_expr :
+  Context.t -> ?stats:stats -> ?from_:Chronon.t -> Ast.expr -> Interval.t Seq.t
+
 (** Execute a compiled plan. *)
 val run_plan : Context.t -> Plan.t -> Calendar.t * stats
 

@@ -45,6 +45,45 @@ let pad_for ~fine grans =
   let lb = lb_seconds fine in
   List.fold_left (fun acc g -> max acc ((ub_seconds g / lb) + 2)) 2 grans
 
+(* Streamability: chunked evaluation (Interp.stream_expr) computes the
+   expression over consecutive padded windows and keeps each interval in
+   the chunk owning its low endpoint. That is sound exactly when every
+   sub-result is window-local — an interval's membership depends only on
+   values within one pad of it:
+
+   - basic and stored calendars are (stored ones ignore the window
+     entirely, so every chunk sees the same set and ownership dedups);
+   - containment-style listops relate an interval to a reference it
+     touches; ordering ops (Before/Meets/Le/Contains) reach arbitrarily
+     far outside the chunk;
+   - index selection is per-reference-unit over a foreach (chunk-local
+     because references are evaluated whole under the pad) but absolute
+     over anything else;
+   - caloperate anchors its grouping at the window start, [today] moves
+     with the clock, and derived scripts may do any of the above. *)
+let streamable env e =
+  let containment = function
+    | Listop.During | Listop.Overlaps | Listop.Intersects | Listop.Starts
+    | Listop.Finishes | Listop.Equals ->
+      true
+    | Listop.Before | Listop.Meets | Listop.Le | Listop.Contains -> false
+  in
+  let rec go e =
+    match e with
+    | Ast.Ident name -> (
+      match Env.find env name with
+      | Some (Env.Basic _) | Some (Env.Stored _) -> true
+      | Some Env.Today | Some (Env.Derived _) | None -> false)
+    | Ast.Lit _ -> true
+    | Ast.Select (Ast.Label _, inner) -> go inner
+    | Ast.Select (Ast.Index _, (Ast.Foreach _ as inner)) -> go inner
+    | Ast.Select (Ast.Index _, _) -> false
+    | Ast.Foreach { op; lhs; rhs; _ } -> containment op && go lhs && go rhs
+    | Ast.Union (a, b) | Ast.Diff (a, b) -> go a && go b
+    | Ast.Calop _ -> false
+  in
+  go e
+
 let plan (ctx : Context.t) expr =
   let env = ctx.Context.env in
   let e = Factorize.factorize env expr in

@@ -19,6 +19,17 @@ exception Plan_error of string
     whole. *)
 val pad_for : fine:Granularity.t -> Granularity.t list -> int
 
+(** [streamable env e] decides whether [e] may be evaluated by the
+    chunked streaming path ([Interp.stream_expr]): true when every
+    sub-result is window-local, i.e. an interval's membership depends
+    only on values within one pad of it. Basic/stored calendars,
+    containment-style foreach, label selection, index selection directly
+    over a foreach, and element-wise union/diff qualify; ordering ops
+    ([Before]/[Meets]/[Le]/[Contains]), [caloperate], [today], derived
+    scripts and absolute index selection do not. Conservative: [false]
+    means "use the materializing path", never "wrong". *)
+val streamable : Env.t -> Ast.expr -> bool
+
 (** Compile an expression to a bounded register program.
     @raise Plan_error for unsupported label selections. *)
 val plan : Context.t -> Ast.expr -> Plan.t

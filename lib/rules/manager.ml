@@ -44,6 +44,7 @@ type t = {
   mutable alerts : (string * int) list;
   mutable depth : int;
   lookahead : int;
+  probe_strategy : Next_fire.strategy;
 }
 
 exception Rule_error of string
@@ -99,7 +100,8 @@ let load_upcoming catalog rules ~window_end =
       rows
   | _ -> []
 
-let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) (ctx : Context.t) catalog =
+let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strategy = `Auto)
+    (ctx : Context.t) catalog =
   let clock =
     match ctx.Context.clock with
     | Some c -> c
@@ -122,6 +124,7 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) (ctx : Context
       alerts = [];
       depth = 0;
       lookahead;
+      probe_strategy;
     }
   in
   (* The alert procedure used by rule actions:
@@ -250,7 +253,8 @@ let define t (rule : Qast.rule) =
                Value.Text (Plan.to_string plan);
              |]);
         let next =
-          Next_fire.next t.ctx expr ~after:(Clock.now t.clock) ~lookahead:t.lookahead ()
+          Next_fire.next t.ctx expr ~after:(Clock.now t.clock) ~lookahead:t.lookahead
+            ~strategy:t.probe_strategy ()
         in
         set_next_fire t st name next;
         Ok ())
@@ -295,7 +299,9 @@ let fire_calendar_rule t name at =
       let binding _ = None in
       if condition_holds t binding st.def.Qast.condition then
         run_actions t binding st.def.Qast.action;
-      let next = Next_fire.next t.ctx expr ~after:at ~lookahead:t.lookahead () in
+      let next =
+        Next_fire.next t.ctx expr ~after:at ~lookahead:t.lookahead ~strategy:t.probe_strategy ()
+      in
       set_next_fire t st name next)
 
 (** Advance simulated time, probing and firing everything due on the

@@ -25,12 +25,22 @@ type firing = { rule : string; at : int (** instant *) }
 
 exception Rule_error of string
 
-(** [create ?probe_period ?lookahead ctx catalog] installs the system
-    tables, the executor hook and the [alert] operator, and starts DBCRON
-    at the context clock's current instant. Defaults: probe every
-    simulated day, 400-day next-fire lookahead.
+(** [create ?probe_period ?lookahead ?probe_strategy ctx catalog]
+    installs the system tables, the executor hook and the [alert]
+    operator, and starts DBCRON at the context clock's current instant.
+    Defaults: probe every simulated day, 400-day next-fire lookahead,
+    [`Auto] probe strategy (next-fire computations stream lazily when
+    {!Next_fire.strategy} allows, else materialize windows; force
+    [`Materialize] or [`Stream] to pin one path, e.g. for the
+    differential tests and benchmarks).
     @raise Rule_error when the context has no clock. *)
-val create : ?probe_period:int -> ?lookahead:int -> Context.t -> Catalog.t -> t
+val create :
+  ?probe_period:int ->
+  ?lookahead:int ->
+  ?probe_strategy:Next_fire.strategy ->
+  Context.t ->
+  Catalog.t ->
+  t
 
 (** Declare a rule (parsed form). @raise Rule_error on unknown tables. *)
 val define : t -> Qast.rule -> (unit, string) result

@@ -61,19 +61,55 @@ let occurrences (ctx : Context.t) expr ~from_ ~until =
        []
   |> List.sort_uniq Int.compare
 
+type strategy = [ `Auto | `Materialize | `Stream ]
+
+let lifespan_end_instant (ctx : Context.t) =
+  let _, life_end = ctx.Context.lifespan in
+  (Civil.rata_die life_end - Civil.rata_die ctx.Context.epoch + 1) * 86400
+
+(* Streaming probe: pull intervals forward from the chronon containing
+   [after] until one starts strictly later. Any interval starting in an
+   earlier chronon fires at or before [after], so the stream's start
+   point loses nothing; starts are monotone in the stream order, so the
+   first qualifying one is the answer. *)
+let next_stream (ctx : Context.t) expr ~after =
+  let fine = Gran.finest_of_expr ctx.Context.env expr in
+  let end_instant = lifespan_end_instant ctx in
+  if after >= end_instant then None
+  else begin
+    let from_ =
+      Chronon.of_offset (Unit_system.index_of_instant ~epoch:ctx.Context.epoch fine after)
+    in
+    let rec find seq =
+      match seq () with
+      | Seq.Nil -> None
+      | Seq.Cons (iv, rest) ->
+        let s = start_instant ctx ~fine (Interval.lo iv) in
+        if s > end_instant then None else if s > after then Some s else find rest
+    in
+    find (Interp.stream_expr ctx ~from_ expr)
+  end
+
 (** First occurrence strictly after [after], searching up to the end of
     the context lifespan. [lookahead] (seconds) sizes the first search
-    window. *)
-let next (ctx : Context.t) expr ~after ?(lookahead = 400 * 86400) () =
-  let _, life_end = ctx.Context.lifespan in
-  let end_instant =
-    (Civil.rata_die life_end - Civil.rata_die ctx.Context.epoch + 1) * 86400
+    window of the materializing path; the streaming path pulls chunks
+    forward instead and never re-scans. *)
+let next (ctx : Context.t) expr ~after ?(lookahead = 400 * 86400) ?(strategy = `Auto) () =
+  let stream =
+    match strategy with
+    | `Materialize -> false
+    | `Stream -> true
+    | `Auto -> Planner.streamable ctx.Context.env expr
   in
-  let rec search until =
-    if after >= end_instant then None
-    else
-      match occurrences ctx expr ~from_:after ~until with
-      | s :: _ -> Some s
-      | [] -> if until >= end_instant then None else search (min end_instant (until * 2 - after))
-  in
-  search (min end_instant (after + lookahead))
+  if stream then next_stream ctx expr ~after
+  else begin
+    let end_instant = lifespan_end_instant ctx in
+    let rec search until =
+      if after >= end_instant then None
+      else
+        match occurrences ctx expr ~from_:after ~until with
+        | s :: _ -> Some s
+        | [] -> if until >= end_instant then None else search (min end_instant (until * 2 - after))
+    in
+    search (min end_instant (after + lookahead))
+  end

@@ -10,7 +10,19 @@ open Cal_lang
     Evaluation is bounded to a padded copy of that window. *)
 val occurrences : Context.t -> Ast.expr -> from_:int -> until:int -> int list
 
-(** First occurrence strictly after [after], searching windows of
-    [lookahead] seconds (default 400 days), doubling until the end of the
-    context lifespan; [None] when the rule is dormant. *)
-val next : Context.t -> Ast.expr -> after:int -> ?lookahead:int -> unit -> int option
+(** How {!next} searches.
+    {ul
+    {- [`Materialize] — evaluate over windows of [lookahead] seconds,
+       doubling until an occurrence is found or the lifespan ends (the
+       original path; works for every expression);}
+    {- [`Stream] — pull intervals lazily forward from the probe instant
+       via [Interp.stream_expr]; only sound for expressions
+       [Planner.streamable] accepts;}
+    {- [`Auto] (the default) — stream when streamable, else
+       materialize.}} *)
+type strategy = [ `Auto | `Materialize | `Stream ]
+
+(** First occurrence strictly after [after]; [None] when the rule is
+    dormant (no occurrence before the end of the context lifespan). *)
+val next :
+  Context.t -> Ast.expr -> after:int -> ?lookahead:int -> ?strategy:strategy -> unit -> int option

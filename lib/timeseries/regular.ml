@@ -82,19 +82,39 @@ let index_of_chronon t c =
 
 let at t c = Option.map (fun i -> t.values.(i)) (index_of_chronon t c)
 
+(* First index with timepoint low endpoint >= v ([n] when none); the
+   timepoints array is ascending, so candidates for containment in an
+   interval form the contiguous slice starting here. *)
+let lower_bound_lo points v =
+  let lo = ref 0 and hi = ref (Array.length points) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Chronon.compare (Interval.lo points.(mid)) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
 (** Restrict the series to observations whose timepoint lies during some
     interval of [by] (e.g. slice a daily series to one quarter). *)
 let slice t (by : Interval_set.t) =
-  let keep =
-    Array.to_list t.timepoints
-    |> List.mapi (fun i p -> (i, p))
-    |> List.filter (fun (_, p) ->
-           Interval_set.fold (fun acc iv -> acc || Interval.during p iv) false by)
-  in
+  let points = t.timepoints in
+  let n = Array.length points in
+  (* Binary-search each slicing interval's candidate range instead of
+     testing every (timepoint, interval) pair; the flags keep the result
+     in timepoint order and dedup overlapping slicing intervals. *)
+  let keep = Array.make n false in
+  Interval_set.iter
+    (fun iv ->
+      let i = ref (lower_bound_lo points (Interval.lo iv)) in
+      while !i < n && Chronon.compare (Interval.lo points.(!i)) (Interval.hi iv) <= 0 do
+        if Interval.during points.(!i) iv then keep.(!i) <- true;
+        incr i
+      done)
+    by;
+  let idxs = List.filter (fun i -> keep.(i)) (List.init n Fun.id) in
   {
     t with
-    timepoints = Array.of_list (List.map snd keep);
-    values = Array.of_list (List.map (fun (i, _) -> t.values.(i)) keep);
+    timepoints = Array.of_list (List.map (fun i -> points.(i)) idxs);
+    values = Array.of_list (List.map (fun i -> t.values.(i)) idxs);
   }
 
 type agg =
@@ -120,15 +140,17 @@ let apply_agg agg vs =
 (** Aggregate observations per period of [periods] (e.g. monthly means of
     a daily series). Periods without observations are skipped. *)
 let aggregate t ~periods ~agg =
+  let points = t.timepoints in
+  let n = Array.length points in
   List.filter_map
     (fun period ->
-      let vs =
-        Array.to_list t.timepoints
-        |> List.mapi (fun i p -> (i, p))
-        |> List.filter (fun (_, p) -> Interval.during p period)
-        |> List.map (fun (i, _) -> t.values.(i))
-      in
-      Option.map (fun v -> (period, v)) (apply_agg agg vs))
+      let vs = ref [] in
+      let i = ref (lower_bound_lo points (Interval.lo period)) in
+      while !i < n && Chronon.compare (Interval.lo points.(!i)) (Interval.hi period) <= 0 do
+        if Interval.during points.(!i) period then vs := t.values.(!i) :: !vs;
+        incr i
+      done;
+      Option.map (fun v -> (period, v)) (apply_agg agg (List.rev !vs)))
     (Interval_set.to_list periods)
 
 (** Pointwise combination of two series aligned on identical timepoints;

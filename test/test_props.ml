@@ -227,6 +227,107 @@ let algebra_laws =
       && Interval_set.diff (Interval_set.union a b) c
          = Interval_set.union (Interval_set.diff a c) (Interval_set.diff b c))
 
+(* ------------------------------------------------------------------ *)
+(* Array-backed Interval_set vs the retained list implementation: every
+   public operation must agree on overlap-heavy random inputs (stride
+   and width chosen so neighbours overlap, as weeks overlap months). *)
+
+let overlap_pairs_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 40)
+      (map (fun (lo, w) -> (lo, lo + w)) (pair (int_range 1 80) (int_range 0 20))))
+
+let print_pairs ps =
+  String.concat "," (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) ps)
+
+let same a o = Interval_set.to_pairs a = Interval_set_list.to_pairs o
+
+let oracle_accessors_agree =
+  QCheck2.Test.make ~name:"array set = list oracle: accessors" ~count:500
+    ~print:print_pairs overlap_pairs_gen (fun ps ->
+      let a = Interval_set.of_pairs ps and o = Interval_set_list.of_pairs ps in
+      let n = Interval_set.cardinal a in
+      same a o
+      && n = Interval_set_list.cardinal o
+      && Interval_set.is_empty a = Interval_set_list.is_empty o
+      && Interval_set.first a = Interval_set_list.first o
+      && Interval_set.last a = Interval_set_list.last o
+      && Interval_set.span a = Interval_set_list.span o
+      && Interval_set.to_list a = Interval_set_list.to_list o
+      && Array.to_list (Interval_set.to_array a) = Interval_set_list.to_list o
+      && List.of_seq (Interval_set.to_seq a) = Interval_set_list.to_list o
+      && List.for_all
+           (fun i ->
+             Interval_set.nth a i = Interval_set_list.nth o i
+             && Interval_set.nth_from_end a i = Interval_set_list.nth_from_end o i)
+           (List.init n (fun i -> i + 1))
+      && List.for_all
+           (fun c -> Interval_set.contains_chronon a c = Interval_set_list.contains_chronon o c)
+           (List.init 110 (fun i -> i + 1))
+      && List.for_all
+           (fun iv -> Interval_set.mem iv a && Interval_set_list.mem iv o)
+           (Interval_set.to_list a)
+      && List.for_all
+           (fun c ->
+             Interval_set.first_start_geq a c
+             = List.find_opt
+                 (fun iv -> Chronon.compare (Interval.lo iv) c >= 0)
+                 (Interval_set_list.to_list o))
+           (List.init 12 (fun i -> (i * 10) + 1)))
+
+let oracle_algebra_agree =
+  QCheck2.Test.make ~name:"array set = list oracle: algebra & windowing" ~count:500
+    ~print:(fun (p, q) -> print_pairs p ^ " / " ^ print_pairs q)
+    QCheck2.Gen.(pair overlap_pairs_gen overlap_pairs_gen)
+    (fun (pa, pb) ->
+      let a = Interval_set.of_pairs pa and b = Interval_set.of_pairs pb in
+      let oa = Interval_set_list.of_pairs pa and ob = Interval_set_list.of_pairs pb in
+      let w = Interval.make 20 60 in
+      let shift iv =
+        Interval.make (Chronon.add (Interval.lo iv) 1) (Chronon.add (Interval.hi iv) 2)
+      in
+      let keep iv = Interval.lo iv mod 2 = 0 in
+      same (Interval_set.union a b) (Interval_set_list.union oa ob)
+      && same (Interval_set.diff a b) (Interval_set_list.diff oa ob)
+      && same (Interval_set.inter a b) (Interval_set_list.inter oa ob)
+      && Interval_set.equal a b = Interval_set_list.equal oa ob
+      && same (Interval_set.coalesce a) (Interval_set_list.coalesce oa)
+      && same (Interval_set.pointwise_union a b) (Interval_set_list.pointwise_union oa ob)
+      && same (Interval_set.pointwise_inter a b) (Interval_set_list.pointwise_inter oa ob)
+      && same (Interval_set.pointwise_diff a b) (Interval_set_list.pointwise_diff oa ob)
+      && same (Interval_set.clip a w) (Interval_set_list.clip oa w)
+      && same (Interval_set.restrict a w) (Interval_set_list.restrict oa w)
+      && same (Interval_set.filter keep a) (Interval_set_list.filter keep oa)
+      && same (Interval_set.map shift a) (Interval_set_list.map shift oa)
+      && (match Interval_set_list.first ob with
+         | Some iv -> same (Interval_set.add iv a) (Interval_set_list.add iv oa)
+         | None -> true)
+      && Interval_set.fold (fun acc iv -> iv :: acc) [] a
+         = Interval_set_list.fold (fun acc iv -> iv :: acc) [] oa)
+
+(* The streaming generation path agrees with materializing evaluation on
+   every expression the streamability gate accepts: same flattened
+   intervals inside the lifespan, chunk decomposition notwithstanding. *)
+let stream_matches_materialize =
+  let plain = make_ctx () in
+  QCheck2.Test.make ~name:"stream_expr = naive flatten on streamable exprs" ~count:250
+    ~print:print_expr expr_gen (fun e ->
+      if not (Planner.streamable plain.Context.env e) then true
+      else begin
+        let fine = Gran.finest_of_expr plain.Context.env e in
+        let interior = Context.lifespan_in plain fine in
+        let lo_in iv =
+          Chronon.compare (Interval.lo iv) (Interval.lo interior) >= 0
+          && Chronon.compare (Interval.lo iv) (Interval.hi interior) <= 0
+        in
+        let streamed = Interp.stream_expr plain e |> Seq.filter lo_in |> List.of_seq in
+        let materialized =
+          fst (Interp.eval_expr_naive plain e)
+          |> Calendar.flatten |> Interval_set.to_list |> List.filter lo_in
+        in
+        streamed = materialized
+      end)
+
 let calendar_union_aci =
   (* The cache-key soundness argument for flattening union spines. *)
   QCheck2.Test.make ~name:"Calendar.union is ACI up to Calendar.equal" ~count:300
@@ -247,4 +348,6 @@ let () =
       qsuite "roundtrip" [ roundtrip ];
       qsuite "algebra"
         [ algebra_matches_model; elementwise_matches_model; algebra_laws; calendar_union_aci ];
+      qsuite "oracle"
+        [ oracle_accessors_agree; oracle_algebra_agree; stream_matches_materialize ];
     ]

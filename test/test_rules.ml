@@ -10,7 +10,7 @@ let check_bool = Alcotest.(check bool)
 let epoch93 = Civil.make 1993 1 1
 let day_instant d = (d - 1) * 86400 (* start instant of positive day chronon d *)
 
-let make_setup ?probe_period () =
+let make_setup ?probe_period ?probe_strategy () =
   let clock = Clock.create () in
   let env = Env.create () in
   let ctx =
@@ -18,7 +18,7 @@ let make_setup ?probe_period () =
       ~clock ~env ()
   in
   let catalog = Catalog.create () in
-  let mgr = Cal_rules.Manager.create ?probe_period ctx catalog in
+  let mgr = Cal_rules.Manager.create ?probe_period ?probe_strategy ctx catalog in
   (ctx, catalog, mgr, clock)
 
 let run mgr s =
@@ -313,6 +313,67 @@ let prop_dbcron_fires_all_in_order =
       && List.sort Int.compare fired_ats = sorted
       && List.length !fired = List.length entries)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming vs materializing probe paths *)
+
+(* Over a simulated year, a DBCRON driven by the streaming next-fire
+   path must produce exactly the firings of the materializing one:
+   same rules, same instants, same order. *)
+let test_dbcron_stream_vs_materialize_year () =
+  let specs =
+    [
+      ("tuesdays", "[2]/DAYS:during:WEEKS");
+      ("fridays", "[5]/DAYS:during:WEEKS");
+      ("month_end", "[n]/DAYS:during:MONTHS");
+      ("quarterly", "[1]/DAYS:during:([3,6,9,12]/MONTHS:during:YEARS)");
+      ("new_year", "[1]/DAYS:during:YEARS");
+    ]
+  in
+  let run_year strategy =
+    let _, _, mgr, _ = make_setup ~probe_strategy:strategy () in
+    ignore (run mgr "create table log (msg text)");
+    List.iter
+      (fun (name, spec) ->
+        ignore
+          (run mgr
+             (Printf.sprintf "define rule %s on calendar \"%s\" do append log (msg = '%s')" name
+                spec name)))
+      specs;
+    Cal_rules.Manager.advance_days mgr 365;
+    List.map
+      (fun f -> (f.Cal_rules.Manager.rule, f.Cal_rules.Manager.at))
+      (Cal_rules.Manager.firings mgr)
+  in
+  let materialized = run_year `Materialize in
+  let streamed = run_year `Stream in
+  (* 2 x ~52 weekly + 12 month ends + 4 quarter starts + Jan 1 1994. *)
+  check_bool "a year of firings happened" true (List.length materialized > 100);
+  check_int "same number of firings" (List.length materialized) (List.length streamed);
+  check_bool "identical firing sequences" true (materialized = streamed)
+
+(* The two Next_fire strategies agree probe by probe, including at the
+   lifespan boundary where both must report [None]. *)
+let test_next_fire_strategies_agree () =
+  let ctx, _, _, _ = make_setup () in
+  List.iter
+    (fun src ->
+      let expr =
+        match Parser.expr src with Ok e -> e | Error e -> Alcotest.failf "%s" e
+      in
+      check_bool ("streamable: " ^ src) true (Planner.streamable ctx.Context.env expr);
+      List.iter
+        (fun after ->
+          let m = Cal_rules.Next_fire.next ctx expr ~after ~strategy:`Materialize () in
+          let s = Cal_rules.Next_fire.next ctx expr ~after ~strategy:`Stream () in
+          check_bool (Printf.sprintf "%s after %d" src after) true (m = s))
+        [ 0; day_instant 5 + 3600; day_instant 100; day_instant 364; day_instant 1825; day_instant 4000 ])
+    [
+      "[2]/DAYS:during:WEEKS";
+      "[n]/DAYS:during:MONTHS";
+      "[1]/DAYS:during:YEARS";
+      "[1]/DAYS:during:([3,6,9,12]/MONTHS:during:YEARS)";
+    ]
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -344,6 +405,13 @@ let () =
           Alcotest.test_case "condition on NEW" `Quick test_event_rule_with_condition;
           Alcotest.test_case "delete/replace events" `Quick test_event_rule_on_delete_and_replace;
           Alcotest.test_case "recursion guard" `Quick test_rule_recursion_guard;
+        ] );
+      ( "probe-strategy",
+        [
+          Alcotest.test_case "dbcron year: stream = materialize" `Quick
+            test_dbcron_stream_vs_materialize_year;
+          Alcotest.test_case "next-fire strategies agree" `Quick
+            test_next_fire_strategies_agree;
         ] );
       qsuite "heap-props" [ prop_min_heap_sorted ];
       qsuite "dbcron-props" [ prop_dbcron_fires_all_in_order ];
