@@ -968,6 +968,178 @@ let e15 () =
     print_endline "\n  wrote BENCH_E15.json"
   end
 
+(* E16: the compiled query pipeline — parameterized plan cache, compiled
+   predicates and estimated access paths vs the retained tree-walking
+   interpreter, plus the merged single-sweep index path behind wide
+   on-calendar retrievals. With --json, measurements are also written to
+   BENCH_E16.json. *)
+
+let e16 () =
+  header "E16 | Compiled query pipeline + temporal access paths";
+  let speedup slow fast = slow /. Float.max fast 1e-9 in
+  let nrows = 50_000 and naccts = 50 in
+  let cat = Catalog.create () in
+  (match
+     Exec.run_string cat
+       "create table trades (day chronon valid, acct int, qty int, price float)"
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let tbl = Catalog.table cat "trades" in
+  for i = 0 to nrows - 1 do
+    ignore
+      (Table.insert tbl
+         [|
+           Value.Chronon (i + 1);
+           Value.Int (i mod naccts);
+           Value.Int ((i mod 200) + 1);
+           Value.Float (float_of_int (i mod 97) +. 0.5);
+         |])
+  done;
+  Catalog.create_index cat "trades" "day";
+  Catalog.create_index cat "trades" "acct";
+  let parse s = match Qparser.query s with Ok q -> q | Error e -> failwith (e ^ ": " ^ s) in
+  (* Part A: a repeated rule-action workload. Each tick retrieves with a
+     fresh constant, an indexed equality, an arithmetic residual — and,
+     on odd ticks, a non-selective leading range conjunct that the
+     estimator must rank below the equality. Pre-parsed, so both engines
+     are measured on execution alone. *)
+  let reps = 1_000 in
+  let workload =
+    Array.init (2 * reps) (fun i ->
+        let c = i mod naccts in
+        if i mod 2 = 0 then
+          parse
+            (Printf.sprintf
+               "retrieve (qty, price) from trades where acct = %d and qty * price > \
+                15000.0 and not (price < 1.0) and (qty - 100) * (qty - 100) + price * \
+                price > 400.0"
+               c)
+        else
+          parse
+            (Printf.sprintf
+               "retrieve (qty) from trades where day >= @1 and acct = %d and qty + 3 * \
+                (qty - 1) > 700 and price * 2.0 + qty > 300.0 and not (qty = 0)"
+               c))
+  in
+  let run_workload mode =
+    let stats = Exec.fresh_stats () in
+    let rows_out = ref 0 in
+    let _, t =
+      wall (fun () ->
+          Array.iter
+            (fun q ->
+              match Exec.run cat ~stats ~mode q with
+              | Exec.Rows { rows; _ } -> rows_out := !rows_out + List.length rows
+              | _ -> ())
+            workload)
+    in
+    (t, stats, !rows_out)
+  in
+  let t_int, s_int, rows_int = run_workload `Interpreted in
+  let t_cmp, s_cmp, rows_cmp = run_workload `Compiled in
+  (* Spot-check identical row sets across engines and against a forced
+     sequential scan. *)
+  let rows_of q ~mode ~force_seq =
+    match Exec.run cat ~stats:(Exec.fresh_stats ()) ~mode ~force_seq q with
+    | Exec.Rows { rows; _ } -> rows
+    | _ -> []
+  in
+  let agree_a =
+    Array.for_all
+      (fun q ->
+        let c = rows_of q ~mode:`Compiled ~force_seq:false in
+        c = rows_of q ~mode:`Interpreted ~force_seq:false
+        && c = rows_of q ~mode:`Compiled ~force_seq:true)
+      (Array.sub workload 0 40)
+  in
+  Printf.printf "  repeated rule-action workload, %d queries over %d rows:\n\n"
+    (2 * reps) nrows;
+  Printf.printf "    interpreted: %s   %d rows   %d index probes\n" (time_str t_int)
+    rows_int s_int.Exec.index_probes;
+  Printf.printf "    compiled:    %s   %d rows   %d index probes   (%.1fx)\n"
+    (time_str t_cmp) rows_cmp s_cmp.Exec.index_probes (speedup t_int t_cmp);
+  Printf.printf "    plan cache: %d hits / %d misses   rows agree (40-query sample): %b\n"
+    s_cmp.Exec.plan_cache_hits s_cmp.Exec.plan_cache_misses agree_a;
+  (* Part B: a wide on-calendar retrieval — many disjoint valid-time
+     intervals. The interpreter probes the index once per interval; the
+     compiled path coalesces the calendar and does one merged sweep. *)
+  let nivals = 1_000 in
+  Catalog.set_calendar_resolver cat (fun _ ->
+      Interval_set.of_pairs (List.init nivals (fun k -> ((47 * k) + 1, (47 * k) + 1))));
+  let q_cal = parse "retrieve (day, qty) from trades on \"WIDE\"" in
+  let run_cal mode force_seq =
+    let stats = Exec.fresh_stats () in
+    let t =
+      median_wall ~repeat:5 (fun () -> ignore (Exec.run cat ~stats ~mode ~force_seq q_cal))
+    in
+    (t, stats)
+  in
+  let t_cal_int, s_cal_int = run_cal `Interpreted false in
+  let t_cal_cmp, s_cal_cmp = run_cal `Compiled false in
+  let t_cal_seq, _ = run_cal `Compiled true in
+  let agree_b =
+    let c = rows_of q_cal ~mode:`Compiled ~force_seq:false in
+    c = rows_of q_cal ~mode:`Interpreted ~force_seq:false
+    && c = rows_of q_cal ~mode:`Compiled ~force_seq:true
+  in
+  let probes_per_run (s : Exec.stats) = s.Exec.index_probes / 5 in
+  Printf.printf "\n  on-calendar retrieval, %d disjoint intervals over %d rows:\n\n" nivals
+    nrows;
+  Printf.printf "    seq scan:          %s\n" (time_str t_cal_seq);
+  Printf.printf "    per-interval:      %s   %d probes/run\n" (time_str t_cal_int)
+    (probes_per_run s_cal_int);
+  Printf.printf "    merged sweep:      %s   %d probes/run   (%.1fx vs per-interval, %.1fx vs seq)\n"
+    (time_str t_cal_cmp) (probes_per_run s_cal_cmp)
+    (speedup t_cal_int t_cal_cmp) (speedup t_cal_seq t_cal_cmp);
+  Printf.printf "    rows agree: %b\n" agree_b;
+  print_endline "\n  claim: compiling predicates once per skeleton and choosing access";
+  print_endline "  paths from index statistics makes repeated temporal-rule queries";
+  print_endline "  cheap; coalescing the on-clause into one merged sweep removes the";
+  print_endline "  per-interval probe tax.";
+  if !json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"experiment\": \"E16\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"repeated_workload\": {\n\
+         \    \"queries\": %d,\n\
+         \    \"table_rows\": %d,\n\
+         \    \"interpreted_s\": %.6f,\n\
+         \    \"compiled_s\": %.6f,\n\
+         \    \"speedup\": %.2f,\n\
+         \    \"interpreted_probes\": %d,\n\
+         \    \"compiled_probes\": %d,\n\
+         \    \"plan_cache_hits\": %d,\n\
+         \    \"plan_cache_misses\": %d,\n\
+         \    \"rows_agree\": %b\n\
+         \  },\n"
+         (2 * reps) nrows t_int t_cmp (speedup t_int t_cmp) s_int.Exec.index_probes
+         s_cmp.Exec.index_probes s_cmp.Exec.plan_cache_hits s_cmp.Exec.plan_cache_misses
+         agree_a);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"on_calendar\": {\n\
+         \    \"intervals\": %d,\n\
+         \    \"seq_s\": %.6f,\n\
+         \    \"per_interval_s\": %.6f,\n\
+         \    \"merged_sweep_s\": %.6f,\n\
+         \    \"probes_per_interval_run\": %d,\n\
+         \    \"probes_merged_run\": %d,\n\
+         \    \"speedup_vs_per_interval\": %.2f,\n\
+         \    \"speedup_vs_seq\": %.2f,\n\
+         \    \"rows_agree\": %b\n\
+         \  }\n"
+         nivals t_cal_seq t_cal_int t_cal_cmp (probes_per_run s_cal_int)
+         (probes_per_run s_cal_cmp) (speedup t_cal_int t_cal_cmp)
+         (speedup t_cal_seq t_cal_cmp) agree_b);
+    Buffer.add_string buf "}\n";
+    let oc = open_out "BENCH_E16.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "\n  wrote BENCH_E16.json"
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
@@ -981,7 +1153,7 @@ let perf =
   [
     ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
     ("E9", e9); ("E10", e10_perf); ("E11", e11_perf); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15);
+    ("E14", e14); ("E15", e15); ("E16", e16);
   ]
 
 let () =
@@ -999,7 +1171,7 @@ let () =
   let all = figures @ perf in
   let selected =
     match args with
-    | [] -> if !json_mode then [ ("E15", e15) ] else all
+    | [] -> if !json_mode then [ ("E15", e15); ("E16", e16) ] else all
     | [ "figures" ] -> figures
     | [ "perf" ] -> perf
     | ids ->

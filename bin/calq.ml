@@ -74,9 +74,11 @@ let handle session line =
       \  advance <days>                   advance the simulated clock\n\
       \  save <file> | load <file>        persist / restore the session\n\
       \  today | alerts | calendars       session state\n\
+      \  stats                            executor / cache / dbcron counters\n\
       \  quit"
   else if line = "today" then
     Printf.printf "%s (instant %d)\n" (Civil.to_string (Session.today session)) (Session.now session)
+  else if line = "stats" then print_endline (Session.stats_summary session)
   else if line = "alerts" then
     List.iter
       (fun (msg, at) -> Printf.printf "  %s at instant %d\n" msg at)

@@ -394,17 +394,40 @@ let cache_stats t = Cal_cache.stats (cache t)
 
 let cache_hit_rate t = Cal_cache.hit_rate (cache t)
 
-(** One-line session statistics: DBCRON activity and cache effectiveness. *)
+(** Cumulative executor counters (scans, index probes, plan-cache
+    traffic) across every query this session's manager ran. *)
+let exec_stats t = Cal_rules.Manager.exec_stats t.manager
+
+(** The catalog plan cache's counters. *)
+let plan_cache_stats t = Cal_rules.Manager.plan_cache_stats t.manager
+
+(** Multi-line session statistics: DBCRON activity, calendar-cache
+    effectiveness, and the executor's access-path / plan-cache
+    decisions. *)
 let stats_summary t =
   let probes, loaded = Cal_rules.Manager.dbcron_stats t.manager in
   let heap_peak = Cal_rules.Manager.dbcron_heap_peak t.manager in
   let c = cache_stats t in
-  Printf.sprintf
-    "dbcron: %d probes, %d loads, heap peak %d; cache: %d/%d hits (%.1f%%), %d evictions, %d invalidations"
-    probes loaded heap_peak c.Cal_cache.hits
-    (c.Cal_cache.hits + c.Cal_cache.misses)
-    (100. *. cache_hit_rate t)
-    c.Cal_cache.evictions c.Cal_cache.invalidations
+  let e = exec_stats t in
+  let p = plan_cache_stats t in
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "dbcron: %d probes, %d loads, heap peak %d; cache: %d/%d hits (%.1f%%), %d evictions, %d invalidations"
+        probes loaded heap_peak c.Cal_cache.hits
+        (c.Cal_cache.hits + c.Cal_cache.misses)
+        (100. *. cache_hit_rate t)
+        c.Cal_cache.evictions c.Cal_cache.invalidations;
+      Printf.sprintf
+        "exec: %d scanned, %d seq scans, %d index scans, %d index probes; plan cache: %d hits, %d misses"
+        e.Cal_db.Exec.scanned e.Cal_db.Exec.seq_scans e.Cal_db.Exec.index_scans
+        e.Cal_db.Exec.index_probes e.Cal_db.Exec.plan_cache_hits
+        e.Cal_db.Exec.plan_cache_misses;
+      Printf.sprintf
+        "plan cache (catalog-wide): %d entries, %d hits, %d misses, %d evictions, %d invalidations"
+        p.Cal_db.Qplan.size p.Cal_db.Qplan.hits p.Cal_db.Qplan.misses
+        p.Cal_db.Qplan.evictions p.Cal_db.Qplan.invalidations;
+    ]
 
 (** Civil date of a day chronon in this session. *)
 let date_of_day t c = Unit_system.date_of_chronon ~epoch:t.ctx.Context.epoch Granularity.Days c

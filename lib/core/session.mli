@@ -111,8 +111,17 @@ val cache_stats : t -> Cal_cache.stats
 (** Hits over lookups; 0 before any lookup. *)
 val cache_hit_rate : t -> float
 
-(** One-line summary: DBCRON activity (probes, loads, heap peak) and
-    cache effectiveness. *)
+(** Cumulative executor counters (tuples scanned, seq/index scans, index
+    probes, plan-cache hits/misses) across every query the session's
+    manager ran. *)
+val exec_stats : t -> Cal_db.Exec.stats
+
+(** The catalog plan cache's counters. *)
+val plan_cache_stats : t -> Cal_db.Qplan.cache_stats
+
+(** Multi-line summary: DBCRON activity (probes, loads, heap peak),
+    calendar-cache effectiveness, and the executor's access-path and
+    plan-cache counters. *)
 val stats_summary : t -> string
 
 (** {2 Conversions} *)

@@ -298,7 +298,48 @@ let range t ?lo ?hi f =
   in
   go t.root
 
+(* [range_merge t ivals f] sweeps several inclusive ranges in one in-order
+   traversal. [ivals] must be sorted by lower bound and pairwise disjoint
+   (the coalesced form of a calendar's interval set). A cursor over the
+   interval array advances monotonically as keys stream past, and whole
+   subtrees are skipped when the current interval starts beyond their key
+   span — a single sweep replaces one [range] probe per interval. *)
+let range_merge t (ivals : (Value.t * Value.t) array) f =
+  let n = Array.length ivals in
+  if n > 0 then begin
+    let idx = ref 0 in
+    (* Drop intervals ending before [k]; in-order traversal guarantees
+       they can never contain a later key. *)
+    let advance k = while !idx < n && Value.compare (snd ivals.(!idx)) k < 0 do incr idx done in
+    let visit k vals =
+      advance k;
+      if !idx < n && Value.compare (fst ivals.(!idx)) k <= 0 then f k vals
+    in
+    let rec go node =
+      if !idx < n then
+        if is_leaf node then
+          for i = 0 to node.nkeys - 1 do
+            if !idx < n then visit node.keys.(i) node.vals.(i)
+          done
+        else begin
+          for i = 0 to node.nkeys - 1 do
+            if !idx < n then begin
+              (* Child i holds only keys < keys.(i): skip it when the
+                 current interval starts at or after that separator. *)
+              if Value.compare (fst ivals.(!idx)) node.keys.(i) < 0 then go node.children.(i);
+              if !idx < n then visit node.keys.(i) node.vals.(i)
+            end
+          done;
+          if !idx < n then go node.children.(node.nkeys)
+        end
+    in
+    go t.root
+  end
+
 let cardinal t = t.cardinal
+
+let min_key t = if t.cardinal = 0 then None else Some (fst (min_entry t.root))
+let max_key t = if t.cardinal = 0 then None else Some (fst (max_entry t.root))
 
 let keys t =
   let acc = ref [] in

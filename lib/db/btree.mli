@@ -28,11 +28,24 @@ val mem : t -> Value.t -> bool
     optional) in ascending order. *)
 val range : t -> ?lo:Value.t -> ?hi:Value.t -> (Value.t -> int list -> unit) -> unit
 
+(** [range_merge t ivals f] visits, in one in-order sweep, every key
+    falling in any of the inclusive [(lo, hi)] ranges of [ivals], which
+    must be sorted by lower bound and pairwise disjoint (a coalesced
+    interval set). Subtrees outside every remaining range are skipped, so
+    the sweep replaces one {!range} probe per interval. *)
+val range_merge : t -> (Value.t * Value.t) array -> (Value.t -> int list -> unit) -> unit
+
 (** In-order traversal of every key. *)
 val iter : t -> (Value.t -> int list -> unit) -> unit
 
 (** Number of distinct keys. *)
 val cardinal : t -> int
+
+(** Smallest / largest key present ([None] when empty) — the key-space
+    bounds the planner's selectivity estimates interpolate over. *)
+val min_key : t -> Value.t option
+
+val max_key : t -> Value.t option
 
 val keys : t -> Value.t list
 

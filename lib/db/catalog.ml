@@ -25,6 +25,10 @@ type event = {
   tuple : Value.t array option;  (** the NEW/CURRENT tuple when applicable *)
 }
 
+(* Extension point for the plan cache: Qplan lives above this module, so
+   the catalog stores its cache behind an open variant it never inspects. *)
+type cache_box = ..
+
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   operators : (string, operator) Hashtbl.t;
@@ -33,6 +37,11 @@ type t = {
      denotes; installed by the session layer (keeps this library
      independent of the language implementation). *)
   mutable calendar_resolver : (string -> Interval_set.t) option;
+  mutable version : int;
+      (* bumped on every DDL change (create/drop table, create index,
+         operator registration); cached plans are stamped with the version
+         they were built under and discarded on mismatch *)
+  mutable plan_cache : cache_box option;
 }
 
 exception No_such_table of string
@@ -46,6 +55,8 @@ let create () =
       operators = Hashtbl.create 16;
       hooks = [];
       calendar_resolver = None;
+      version = 0;
+      plan_cache = None;
     }
   in
   (* Built-in value constructors (used by dump/load literals). *)
@@ -65,14 +76,19 @@ let create () =
 
 let norm = String.lowercase_ascii
 
+let bump_version t = t.version <- t.version + 1
+
 let create_table t schema =
   let key = norm schema.Schema.table in
   if Hashtbl.mem t.tables key then raise (Table_exists schema.Schema.table);
   let table = Table.create schema in
   Hashtbl.replace t.tables key table;
+  bump_version t;
   table
 
-let drop_table t name = Hashtbl.remove t.tables (norm name)
+let drop_table t name =
+  Hashtbl.remove t.tables (norm name);
+  bump_version t
 
 let table t name =
   match Hashtbl.find_opt t.tables (norm name) with
@@ -84,8 +100,13 @@ let table_opt t name = Hashtbl.find_opt t.tables (norm name)
 let table_names t =
   List.sort String.compare (Hashtbl.fold (fun _ tbl acc -> Table.name tbl :: acc) t.tables [])
 
+let create_index t table_name col =
+  Table.create_index (table t table_name) col;
+  bump_version t
+
 let register_operator t ~name ~arity fn =
-  Hashtbl.replace t.operators (norm name) { op_name = name; arity; fn }
+  Hashtbl.replace t.operators (norm name) { op_name = name; arity; fn };
+  bump_version t
 
 let operator t name =
   match Hashtbl.find_opt t.operators (norm name) with

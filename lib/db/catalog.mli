@@ -25,12 +25,20 @@ type event = {
   tuple : Value.t array option;  (** the NEW/CURRENT tuple when applicable *)
 }
 
+(** Extension point for the query-plan cache: {!Qplan} defines the one
+    constructor; the catalog only stores the box. *)
+type cache_box = ..
+
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   operators : (string, operator) Hashtbl.t;
   mutable hooks : (event -> unit) list;
   mutable calendar_resolver : (string -> Interval_set.t) option;
       (** resolves a calendar expression source to its day chronons *)
+  mutable version : int;
+      (** bumped on every DDL change; stale cached plans are detected by
+          comparing their stamp against this *)
+  mutable plan_cache : cache_box option;
 }
 
 exception No_such_table of string
@@ -43,6 +51,15 @@ val create : unit -> t
 val create_table : t -> Schema.t -> Table.t
 
 val drop_table : t -> string -> unit
+
+(** [create_index t table col] builds the index and bumps the catalog
+    version so cached plans replan against the new access path.
+    @raise No_such_table @raise Table.No_such_column *)
+val create_index : t -> string -> string -> unit
+
+(** Invalidate cached plans (called automatically by the DDL entry points
+    above). *)
+val bump_version : t -> unit
 
 (** Case-insensitive lookup. @raise No_such_table *)
 val table : t -> string -> Table.t

@@ -1,17 +1,45 @@
-(** Query execution: access-path selection (index vs sequential scan),
-    the valid-time [on <calendar>] clause, event hooks for the rule
-    system, and simple aggregates.
+(** Query execution as a compile-then-execute pipeline.
+
+    The default [`Compiled] mode prepares a query through {!Qplan}:
+    constants are hoisted into a parameter vector, the skeleton is looked
+    up in the catalog's plan cache, and on a miss the where clause,
+    targets and assignments are lowered once into closures with columns
+    resolved to tuple offsets ({!Qcompile}). Access paths then rank every
+    sargable conjunct by estimated selectivity (B-tree key counts plus
+    key-space interpolation for ranges), intersect the candidate rowid
+    sets worth materializing via a sorted-array merge, and serve
+    [on <calendar>] clauses with a single {!Btree.range_merge} sweep over
+    the coalesced interval set instead of one probe per interval.
+
+    The original tree-walking interpreter survives as [`Interpreted] —
+    the differential oracle for [test/test_plan.ml] and the baseline for
+    bench E16 — upgraded only to pick the most selective sargable
+    conjunct rather than the first. [~force_seq] disables candidate
+    generation in either mode, which the differential suite uses to prove
+    index scans and sequential scans return identical rows.
 
     The residual [where] predicate is always re-applied after an index
-    probe, so inclusive-range probes over-approximate safely. *)
+    probe, so inclusive-range probes (and skipped probes) over-approximate
+    safely. *)
 
 type stats = {
   mutable scanned : int;  (** tuples touched *)
   mutable seq_scans : int;
   mutable index_scans : int;
+  mutable index_probes : int;  (** individual B-tree probes / merged sweeps *)
+  mutable plan_cache_hits : int;
+  mutable plan_cache_misses : int;
 }
 
-let fresh_stats () = { scanned = 0; seq_scans = 0; index_scans = 0 }
+let fresh_stats () =
+  {
+    scanned = 0;
+    seq_scans = 0;
+    index_scans = 0;
+    index_probes = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
+  }
 
 type result =
   | Rows of { columns : string list; rows : Value.t array list }
@@ -22,7 +50,7 @@ type result =
 
 exception Exec_error of string
 
-let aggregates = [ "count"; "sum"; "avg"; "min"; "max" ]
+type mode = [ `Compiled | `Interpreted ]
 
 (* Column binding for a tuple of [table]; falls back to [outer] (used for
    NEW/CURRENT bindings in rule actions). *)
@@ -41,152 +69,14 @@ let binding_of ~outer table tuple name =
   in
   match v with Some _ -> v | None -> outer name
 
-(* Strip an optional "table." qualifier if it names this table. *)
-let own_column table name =
-  match String.index_opt name '.' with
-  | Some i ->
-    let prefix = String.sub name 0 i in
-    if String.lowercase_ascii prefix = String.lowercase_ascii (Table.name table) then
-      Some (String.sub name (i + 1) (String.length name - i - 1))
-    else None
-  | None -> Some name
-
-(* Find an indexed, sargable conjunct: col op const. Returns candidate
-   rowids (an over-approximation; where is re-applied). *)
-let index_candidates table where =
-  let sargable e =
-    match e with
-    | Qexpr.Binop (op, Qexpr.Col c, Qexpr.Const v)
-    | Qexpr.Binop (op, Qexpr.Const v, Qexpr.Col c) ->
-      let flip =
-        match e with Qexpr.Binop (_, Qexpr.Const _, Qexpr.Col _) -> true | _ -> false
-      in
-      Option.bind (own_column table c) (fun col ->
-          if not (Table.has_index table col) then None
-          else
-            let op =
-              if not flip then op
-              else
-                match op with
-                | Qexpr.Lt -> Qexpr.Gt
-                | Qexpr.Le -> Qexpr.Ge
-                | Qexpr.Gt -> Qexpr.Lt
-                | Qexpr.Ge -> Qexpr.Le
-                | other -> other
-            in
-            match op with
-            | Qexpr.Eq -> Table.index_lookup table col v
-            | Qexpr.Lt | Qexpr.Le -> Table.index_range table col ~hi:v ()
-            | Qexpr.Gt | Qexpr.Ge -> Table.index_range table col ~lo:v ()
-            | _ -> None)
-    | _ -> None
-  in
-  match where with
-  | None -> None
-  | Some where -> List.find_map sargable (Qexpr.conjuncts where)
-
-(* Candidates from the valid-time calendar clause, when the valid column
-   is indexed: one index range probe per calendar interval. *)
-let calendar_candidates table valid_col chronons =
-  if not (Table.has_index table valid_col) then None
-  else
-    Some
-      (Interval_set.fold
-         (fun acc iv ->
-           match
-             Table.index_range table valid_col ~lo:(Value.Chronon (Interval.lo iv))
-               ~hi:(Value.Chronon (Interval.hi iv)) ()
-           with
-           | Some rowids -> List.rev_append rowids acc
-           | None -> acc)
-         [] chronons)
-
 let resolve_calendar catalog source =
   match (catalog : Catalog.t).Catalog.calendar_resolver with
   | Some f -> f source
   | None -> raise (Exec_error "no calendar resolver installed (on-clause unavailable)")
 
-(* Matching row ids for a table given where + calendar clause. *)
-let matching_rows catalog ~stats ~outer table where on_cal =
-  let chronons = Option.map (resolve_calendar catalog) on_cal in
-  let valid_col =
-    match on_cal with
-    | None -> None
-    | Some _ -> (
-      match Schema.valid_time_column (table : Table.t).Table.schema with
-      | Some c -> Some c.Schema.name
-      | None ->
-        raise
-          (Exec_error
-             (Printf.sprintf "table %s has no valid-time column for the on-clause"
-                (Table.name table))))
-  in
-  let candidates =
-    let from_where = index_candidates table where in
-    let from_cal =
-      match (valid_col, chronons) with
-      | Some col, Some set -> calendar_candidates table col set
-      | _ -> None
-    in
-    match (from_where, from_cal) with
-    | Some a, Some b ->
-      (* Intersect the two candidate sets. *)
-      let inb = Hashtbl.create (List.length b) in
-      List.iter (fun r -> Hashtbl.replace inb r ()) b;
-      Some (List.filter (Hashtbl.mem inb) a)
-    | Some a, None -> Some a
-    | None, Some b -> Some b
-    | None, None -> None
-  in
-  let passes rowid tuple =
-    stats.scanned <- stats.scanned + 1;
-    ignore rowid;
-    let binding = binding_of ~outer table tuple in
-    let where_ok =
-      match where with
-      | None -> true
-      | Some e -> (
-        match Qexpr.eval ~catalog ~binding e with
-        | Value.Bool b -> b
-        | Value.Null -> false
-        | v -> raise (Exec_error ("where clause is not boolean: " ^ Value.to_string v)))
-    in
-    let cal_ok =
-      match (chronons, valid_col) with
-      | Some set, Some col -> (
-        match binding col with
-        | Some (Value.Chronon c) -> Interval_set.contains_chronon set c
-        | Some Value.Null | None -> false
-        | Some v ->
-          raise (Exec_error ("valid-time column is not a chronon: " ^ Value.to_string v)))
-      | _ -> true
-    in
-    where_ok && cal_ok
-  in
-  match candidates with
-  | Some rowids ->
-    stats.index_scans <- stats.index_scans + 1;
-    List.filter
-      (fun rowid ->
-        match Table.get table rowid with Some tuple -> passes rowid tuple | None -> false)
-      (List.sort_uniq Int.compare rowids)
-  | None ->
-    stats.seq_scans <- stats.seq_scans + 1;
-    List.rev
-      (Table.fold table (fun acc rowid tuple -> if passes rowid tuple then rowid :: acc else acc) [])
+let where_not_boolean v = Exec_error ("where clause is not boolean: " ^ Value.to_string v)
 
-let eval_assigns catalog ~binding assigns schema =
-  let tuple = Array.make (Schema.arity schema) Value.Null in
-  List.iter
-    (fun (col, e) ->
-      let i = Schema.column_index_exn schema col in
-      tuple.(i) <- Qexpr.eval ~catalog ~binding e)
-    assigns;
-  tuple
-
-let is_aggregate_call = function
-  | Qexpr.Call (f, _) -> List.mem f aggregates
-  | _ -> false
+(* --- aggregates (shared by both engines) --------------------------- *)
 
 let run_aggregates targets value_rows =
   let agg_one col_idx (_, e) =
@@ -227,19 +117,156 @@ let run_aggregates targets value_rows =
   in
   [ Array.of_list (List.mapi agg_one targets) ]
 
-let run catalog ?(binding = fun _ -> None) ?stats (q : Qast.query) : result =
-  let stats = match stats with Some s -> s | None -> fresh_stats () in
-  let outer = binding in
-  match q with
-  | Qast.Create_table { name; cols } ->
-    let columns =
-      List.map (fun (name, ty, valid) -> { Schema.name; ty; valid_time = valid }) cols
+(* ==================================================================
+   Interpreted engine — the original tree-walking executor, kept as the
+   differential oracle. Access-path selection now picks the most
+   selective sargable conjunct instead of settling for the first.
+   ================================================================== *)
+
+(* Candidates from every indexed, sargable conjunct: col op const. The
+   probe with the fewest rowids wins (an over-approximation; where is
+   re-applied). *)
+let index_candidates ~stats table where =
+  let sargable e =
+    match e with
+    | Qexpr.Binop (op, Qexpr.Col c, Qexpr.Const v)
+    | Qexpr.Binop (op, Qexpr.Const v, Qexpr.Col c) ->
+      let flip =
+        match e with Qexpr.Binop (_, Qexpr.Const _, Qexpr.Col _) -> true | _ -> false
+      in
+      Option.bind (Qplan.own_column table c) (fun col ->
+          if not (Table.has_index table col) then None
+          else
+            let op =
+              if not flip then op
+              else
+                match op with
+                | Qexpr.Lt -> Qexpr.Gt
+                | Qexpr.Le -> Qexpr.Ge
+                | Qexpr.Gt -> Qexpr.Lt
+                | Qexpr.Ge -> Qexpr.Le
+                | other -> other
+            in
+            match op with
+            | Qexpr.Eq | Qexpr.Lt | Qexpr.Le | Qexpr.Gt | Qexpr.Ge ->
+              stats.index_probes <- stats.index_probes + 1;
+              (match op with
+              | Qexpr.Eq -> Table.index_lookup table col v
+              | Qexpr.Lt | Qexpr.Le -> Table.index_range table col ~hi:v ()
+              | _ -> Table.index_range table col ~lo:v ())
+            | _ -> None)
+    | _ -> None
+  in
+  match where with
+  | None -> None
+  | Some where -> (
+    match List.filter_map sargable (Qexpr.conjuncts where) with
+    | [] -> None
+    | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best c -> if List.length c < List.length best then c else best)
+           first rest))
+
+(* Candidates from the valid-time calendar clause, when the valid column
+   is indexed: one index range probe per calendar interval. *)
+let calendar_candidates ~stats table valid_col chronons =
+  if not (Table.has_index table valid_col) then None
+  else
+    Some
+      (Interval_set.fold
+         (fun acc iv ->
+           stats.index_probes <- stats.index_probes + 1;
+           match
+             Table.index_range table valid_col ~lo:(Value.Chronon (Interval.lo iv))
+               ~hi:(Value.Chronon (Interval.hi iv)) ()
+           with
+           | Some rowids -> List.rev_append rowids acc
+           | None -> acc)
+         [] chronons)
+
+(* Matching row ids for a table given where + calendar clause. *)
+let matching_rows catalog ~stats ~outer ~force_seq table where on_cal =
+  let chronons = Option.map (resolve_calendar catalog) on_cal in
+  let valid_col =
+    match on_cal with
+    | None -> None
+    | Some _ -> (
+      match Schema.valid_time_column (table : Table.t).Table.schema with
+      | Some c -> Some c.Schema.name
+      | None ->
+        raise
+          (Exec_error
+             (Printf.sprintf "table %s has no valid-time column for the on-clause"
+                (Table.name table))))
+  in
+  let candidates =
+    if force_seq then None
+    else
+      let from_where = index_candidates ~stats table where in
+      let from_cal =
+        match (valid_col, chronons) with
+        | Some col, Some set -> calendar_candidates ~stats table col set
+        | _ -> None
+      in
+      match (from_where, from_cal) with
+      | Some a, Some b ->
+        (* Intersect the two candidate sets. *)
+        let inb = Hashtbl.create (List.length b) in
+        List.iter (fun r -> Hashtbl.replace inb r ()) b;
+        Some (List.filter (Hashtbl.mem inb) a)
+      | Some a, None -> Some a
+      | None, Some b -> Some b
+      | None, None -> None
+  in
+  let passes rowid tuple =
+    stats.scanned <- stats.scanned + 1;
+    ignore rowid;
+    let binding = binding_of ~outer table tuple in
+    let where_ok =
+      match where with
+      | None -> true
+      | Some e -> (
+        match Qexpr.eval ~catalog ~binding e with
+        | Value.Bool b -> b
+        | Value.Null -> false
+        | v -> raise (where_not_boolean v))
     in
-    ignore (Catalog.create_table catalog (Schema.make ~table:name columns));
-    Msg (Printf.sprintf "table %s created" name)
-  | Qast.Create_index { table; col } ->
-    Table.create_index (Catalog.table catalog table) col;
-    Msg (Printf.sprintf "index created on %s(%s)" table col)
+    let cal_ok =
+      match (chronons, valid_col) with
+      | Some set, Some col -> (
+        match binding col with
+        | Some (Value.Chronon c) -> Interval_set.contains_chronon set c
+        | Some Value.Null | None -> false
+        | Some v ->
+          raise (Exec_error ("valid-time column is not a chronon: " ^ Value.to_string v)))
+      | _ -> true
+    in
+    where_ok && cal_ok
+  in
+  match candidates with
+  | Some rowids ->
+    stats.index_scans <- stats.index_scans + 1;
+    List.filter
+      (fun rowid ->
+        match Table.get table rowid with Some tuple -> passes rowid tuple | None -> false)
+      (List.sort_uniq Int.compare rowids)
+  | None ->
+    stats.seq_scans <- stats.seq_scans + 1;
+    List.rev
+      (Table.fold table (fun acc rowid tuple -> if passes rowid tuple then rowid :: acc else acc) [])
+
+let eval_assigns catalog ~binding assigns schema =
+  let tuple = Array.make (Schema.arity schema) Value.Null in
+  List.iter
+    (fun (col, e) ->
+      let i = Schema.column_index_exn schema col in
+      tuple.(i) <- Qexpr.eval ~catalog ~binding e)
+    assigns;
+  tuple
+
+let run_interpreted catalog ~outer ~stats ~force_seq (q : Qast.query) : result =
+  match q with
   | Qast.Append { table; assigns } ->
     let tbl = Catalog.table catalog table in
     let tuple = eval_assigns catalog ~binding:outer assigns tbl.Table.schema in
@@ -256,7 +283,7 @@ let run catalog ?(binding = fun _ -> None) ?stats (q : Qast.query) : result =
         match Qexpr.eval ~catalog ~binding:outer e with
         | Value.Bool b -> b
         | Value.Null -> false
-        | v -> raise (Exec_error ("where clause is not boolean: " ^ Value.to_string v)))
+        | v -> raise (where_not_boolean v))
     in
     let rows =
       if ok then [ Array.of_list (List.map (fun (_, e) -> Qexpr.eval ~catalog ~binding:outer e) targets) ]
@@ -265,8 +292,10 @@ let run catalog ?(binding = fun _ -> None) ?stats (q : Qast.query) : result =
     Rows { columns = List.map fst targets; rows }
   | Qast.Retrieve { targets; from_ = Some table; where; on_cal; group_by = [] } ->
     let tbl = Catalog.table catalog table in
-    let rowids = matching_rows catalog ~stats ~outer tbl where on_cal in
-    let aggregate = targets <> [] && List.for_all (fun (_, e) -> is_aggregate_call e) targets in
+    let rowids = matching_rows catalog ~stats ~outer ~force_seq tbl where on_cal in
+    let aggregate =
+      targets <> [] && List.for_all (fun (_, e) -> Qplan.is_aggregate_call e) targets
+    in
     (* For aggregates evaluate the call's argument per row; otherwise the
        target expression itself. *)
     let per_row_exprs =
@@ -306,16 +335,16 @@ let run catalog ?(binding = fun _ -> None) ?stats (q : Qast.query) : result =
        an aggregate call; one output row per distinct grouping key, in
        first-appearance order. *)
     let tbl = Catalog.table catalog table in
-    let rowids = matching_rows catalog ~stats ~outer tbl where on_cal in
+    let rowids = matching_rows catalog ~stats ~outer ~force_seq tbl where on_cal in
     List.iter
       (fun (label, e) ->
         match e with
         | Qexpr.Col c
           when List.mem
-                 (match own_column tbl c with Some col -> col | None -> c)
+                 (match Qplan.own_column tbl c with Some col -> col | None -> c)
                  group_by ->
           ()
-        | _ when is_aggregate_call e -> ()
+        | _ when Qplan.is_aggregate_call e -> ()
         | _ ->
           raise
             (Exec_error
@@ -328,7 +357,7 @@ let run catalog ?(binding = fun _ -> None) ?stats (q : Qast.query) : result =
         (fun (label, e) ->
           match e with
           | Qexpr.Call ("count", []) -> (label, Qexpr.Const (Value.Int 1))
-          | Qexpr.Call (_, [ arg ]) when is_aggregate_call e -> (label, arg)
+          | Qexpr.Call (_, [ arg ]) when Qplan.is_aggregate_call e -> (label, arg)
           | _ -> (label, e))
         targets
     in
@@ -376,7 +405,7 @@ let run catalog ?(binding = fun _ -> None) ?stats (q : Qast.query) : result =
     Rows { columns = List.map fst targets; rows }
   | Qast.Delete { table; where } ->
     let tbl = Catalog.table catalog table in
-    let rowids = matching_rows catalog ~stats ~outer tbl where None in
+    let rowids = matching_rows catalog ~stats ~outer ~force_seq tbl where None in
     List.iter
       (fun rowid ->
         match Table.get tbl rowid with
@@ -389,7 +418,7 @@ let run catalog ?(binding = fun _ -> None) ?stats (q : Qast.query) : result =
     Affected (List.length rowids)
   | Qast.Replace { table; assigns; where } ->
     let tbl = Catalog.table catalog table in
-    let rowids = matching_rows catalog ~stats ~outer tbl where None in
+    let rowids = matching_rows catalog ~stats ~outer ~force_seq tbl where None in
     List.iter
       (fun rowid ->
         match Table.get tbl rowid with
@@ -407,15 +436,322 @@ let run catalog ?(binding = fun _ -> None) ?stats (q : Qast.query) : result =
             { Catalog.kind = Catalog.On_replace; table = Table.name tbl; tuple = Some tuple })
       rowids;
     Affected (List.length rowids)
+  | Qast.Create_table _ | Qast.Create_index _ | Qast.Define_rule _ | Qast.Drop_rule _ ->
+    assert false (* handled by the dispatcher *)
+
+(* ==================================================================
+   Compiled engine
+   ================================================================== *)
+
+(* Sorted, duplicate-free rowid array — the candidate-set representation
+   intersections merge over. *)
+(* List.sort_uniq beats sorting in place here: the candidate lists come
+   straight off the B-tree as cons cells, and the bottom-up list merge
+   outruns Array.sort's closure-calling heapsort on them by ~3x. *)
+let sorted_rowid_array rowids = Array.of_list (List.sort_uniq Int.compare rowids)
+
+(* O(n+m) sorted-array intersection (the Interval_set merge idiom). *)
+let inter_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (min la lb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < la && !j < lb do
+    let c = Int.compare a.(!i) b.(!j) in
+    if c = 0 then begin
+      out.(!k) <- a.(!i);
+      incr k;
+      incr i;
+      incr j
+    end
+    else if c < 0 then incr i
+    else incr j
+  done;
+  Array.sub out 0 !k
+
+let key_float = function
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | Value.Chronon c -> Some (float_of_int (Chronon.to_offset c))
+  | _ -> None
+
+(* Estimated result size of one probe. Equality probes are exact (the
+   B-tree's rowid list length); range probes interpolate the probe bound
+   over the index's [min_key, max_key] span scaled by rows-per-key.
+   Non-numeric key spaces pessimistically estimate the whole table. *)
+let estimate_probe tbl (p : Qplan.probe) v =
+  match Table.index tbl p.Qplan.pcol with
+  | None -> max_int
+  | Some idx -> (
+    match p.Qplan.pop with
+    | Qplan.Peq -> List.length (Btree.find idx v)
+    | Qplan.Ple | Qplan.Pge -> (
+      let nrows = Table.count tbl in
+      let card = Btree.cardinal idx in
+      if card = 0 then 0
+      else
+        match (Btree.min_key idx, Btree.max_key idx) with
+        | Some lo, Some hi -> (
+          match (key_float lo, key_float hi, key_float v) with
+          | Some l, Some h, Some x when h > l ->
+            let f =
+              match p.Qplan.pop with
+              | Qplan.Ple -> (x -. l) /. (h -. l)
+              | _ -> (h -. x) /. (h -. l)
+            in
+            let f = Float.min 1. (Float.max 0. f) in
+            int_of_float (Float.ceil (f *. float_of_int nrows))
+          | _ -> nrows)
+        | _ -> 0))
+
+(* Execute the sargable probes worth their cost: cheapest estimate first,
+   each further probe only while its estimate undercuts the running
+   candidate set (skipping is sound — the residual where re-applies). *)
+let run_probes ~stats tbl params (probes : Qplan.probe list) : int array option =
+  match probes with
+  | [] -> None
+  | probes -> (
+    let nrows = Table.count tbl in
+    let ranked =
+      List.sort
+        (fun (a, _, _) (b, _, _) -> Int.compare a b)
+        (List.map
+           (fun (p : Qplan.probe) ->
+             let v = Qplan.probe_value params p.Qplan.parg in
+             (estimate_probe tbl p v, p, v))
+           probes)
+    in
+    let exec_probe (p : Qplan.probe) v =
+      stats.index_probes <- stats.index_probes + 1;
+      let rowids =
+        match p.Qplan.pop with
+        | Qplan.Peq -> Table.index_lookup tbl p.Qplan.pcol v
+        | Qplan.Ple -> Table.index_range tbl p.Qplan.pcol ~hi:v ()
+        | Qplan.Pge -> Table.index_range tbl p.Qplan.pcol ~lo:v ()
+      in
+      sorted_rowid_array (Option.value ~default:[] rowids)
+    in
+    match ranked with
+    | (best, p0, v0) :: rest when best < nrows || p0.Qplan.pop = Qplan.Peq ->
+      let acc = ref (exec_probe p0 v0) in
+      List.iter
+        (fun (est, p, v) ->
+          if Array.length !acc > 0 && est < Array.length !acc then
+            acc := inter_sorted !acc (exec_probe p v))
+        rest;
+      Some !acc
+    | _ ->
+      (* Even the cheapest probe would touch everything: scan instead. *)
+      None)
+
+(* The whole on-calendar clause in one merged B-tree sweep over the
+   coalesced interval set. *)
+let merged_calendar_candidates ~stats tbl col set =
+  if not (Table.has_index tbl col) then None
+  else begin
+    let ivals =
+      Array.map
+        (fun iv -> (Value.Chronon (Interval.lo iv), Value.Chronon (Interval.hi iv)))
+        (Interval_set.to_array (Interval_set.coalesce set))
+    in
+    stats.index_probes <- stats.index_probes + 1;
+    Option.map sorted_rowid_array (Table.index_merge tbl col ivals)
+  end
+
+(* Matching rowids under a compiled scan, ascending (same order as the
+   interpreted engine, so differential comparisons are exact). *)
+let scan_rowids catalog ~stats ~force_seq ~params ~outer_env (scan : Qplan.scan) : int list =
+  let tbl = scan.Qplan.stable in
+  let chronons = Option.map (resolve_calendar catalog) scan.Qplan.scal in
+  let candidates =
+    if force_seq then None
+    else
+      let from_where = run_probes ~stats tbl params scan.Qplan.sprobes in
+      let from_cal =
+        match (chronons, scan.Qplan.svalid_col) with
+        | Some set, Some col -> merged_calendar_candidates ~stats tbl col set
+        | _ -> None
+      in
+      match (from_where, from_cal) with
+      | Some a, Some b -> Some (inter_sorted a b)
+      | (Some _ as x), None | None, (Some _ as x) -> x
+      | None, None -> None
+  in
+  let where_pred = Option.map (Qcompile.as_predicate ~fail:where_not_boolean) scan.Qplan.swhere in
+  let passes tuple =
+    stats.scanned <- stats.scanned + 1;
+    (match where_pred with None -> true | Some p -> p params outer_env tuple)
+    &&
+    match (chronons, scan.Qplan.svalid_ix) with
+    | Some set, Some vi -> (
+      match tuple.(vi) with
+      | Value.Chronon c -> Interval_set.contains_chronon set c
+      | Value.Null -> false
+      | v -> raise (Exec_error ("valid-time column is not a chronon: " ^ Value.to_string v)))
+    | _ -> true
+  in
+  match candidates with
+  | Some rowids ->
+    stats.index_scans <- stats.index_scans + 1;
+    List.filter
+      (fun rowid -> match Table.get tbl rowid with Some t -> passes t | None -> false)
+      (Array.to_list rowids)
+  | None ->
+    stats.seq_scans <- stats.seq_scans + 1;
+    List.rev (Table.fold tbl (fun acc rowid t -> if passes t then rowid :: acc else acc) [])
+
+let assign_index schema (a : Qplan.assign) =
+  match a.Qplan.aix with
+  | Some i -> i
+  | None -> Schema.column_index_exn schema a.Qplan.acol
+
+let run_compiled catalog ~outer ~stats ~force_seq (q : Qast.query) : result =
+  let plan, params, hit =
+    try Qplan.prepare catalog q with Qplan.Plan_error m -> raise (Exec_error m)
+  in
+  if hit then stats.plan_cache_hits <- stats.plan_cache_hits + 1
+  else stats.plan_cache_misses <- stats.plan_cache_misses + 1;
+  (* Materialize the outer (NEW/CURRENT) environment once per run; the
+     compiled closures index it by slot instead of probing per row. *)
+  let outer_env = Qcompile.bind_outer ~outer_cols:plan.Qplan.outer outer in
+  match plan.Qplan.action with
+  | Qplan.P_expr_retrieve { labels; pwhere; ptargets } ->
+    let ok =
+      match pwhere with
+      | None -> true
+      | Some c -> Qcompile.as_predicate ~fail:where_not_boolean c params outer_env [||]
+    in
+    let rows =
+      if ok then [ Array.of_list (List.map (fun c -> c params outer_env [||]) ptargets) ]
+      else []
+    in
+    Rows { columns = labels; rows }
+  | Qplan.P_scan_retrieve { labels; scan; per_row; raw_targets; aggregate; group_by = []; _ } ->
+    let tbl = scan.Qplan.stable in
+    let rowids = scan_rowids catalog ~stats ~force_seq ~params ~outer_env scan in
+    let value_rows =
+      List.filter_map
+        (fun rowid ->
+          match Table.get tbl rowid with
+          | None -> None
+          | Some tuple ->
+            Catalog.fire catalog
+              { Catalog.kind = Catalog.On_retrieve; table = Table.name tbl; tuple = Some tuple };
+            Some (Array.of_list (List.map (fun c -> c params outer_env tuple) per_row)))
+        rowids
+    in
+    let rows = if aggregate then run_aggregates raw_targets value_rows else value_rows in
+    Rows { columns = labels; rows }
+  | Qplan.P_scan_retrieve { labels; scan; per_row; raw_targets; group_by; group_codes; _ } ->
+    let tbl = scan.Qplan.stable in
+    let rowids = scan_rowids catalog ~stats ~force_seq ~params ~outer_env scan in
+    let groups : (Value.t list, Value.t array list ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun rowid ->
+        match Table.get tbl rowid with
+        | None -> ()
+        | Some tuple ->
+          Catalog.fire catalog
+            { Catalog.kind = Catalog.On_retrieve; table = Table.name tbl; tuple = Some tuple };
+          let key = List.map (fun c -> c params outer_env tuple) group_codes in
+          let row = Array.of_list (List.map (fun c -> c params outer_env tuple) per_row) in
+          (match Hashtbl.find_opt groups key with
+          | Some rows -> rows := row :: !rows
+          | None ->
+            order := key :: !order;
+            Hashtbl.replace groups key (ref [ row ])))
+      rowids;
+    ignore group_by;
+    let rows =
+      List.rev_map
+        (fun key ->
+          let members = List.rev !(Hashtbl.find groups key) in
+          let agg_row = List.hd (run_aggregates raw_targets members) in
+          List.iteri
+            (fun i (_, e) ->
+              match e with
+              | Qexpr.Col _ -> agg_row.(i) <- (List.hd members).(i)
+              | _ -> ())
+            raw_targets;
+          agg_row)
+        !order
+    in
+    Rows { columns = labels; rows }
+  | Qplan.P_delete { scan } ->
+    let tbl = scan.Qplan.stable in
+    let rowids = scan_rowids catalog ~stats ~force_seq ~params ~outer_env scan in
+    List.iter
+      (fun rowid ->
+        match Table.get tbl rowid with
+        | None -> ()
+        | Some tuple ->
+          ignore (Table.delete tbl rowid);
+          Catalog.fire catalog
+            { Catalog.kind = Catalog.On_delete; table = Table.name tbl; tuple = Some tuple })
+      rowids;
+    Affected (List.length rowids)
+  | Qplan.P_replace { scan; rassigns } ->
+    let tbl = scan.Qplan.stable in
+    let schema = tbl.Table.schema in
+    let rowids = scan_rowids catalog ~stats ~force_seq ~params ~outer_env scan in
+    List.iter
+      (fun rowid ->
+        match Table.get tbl rowid with
+        | None -> ()
+        | Some old ->
+          let tuple = Array.copy old in
+          List.iter
+            (fun (a : Qplan.assign) ->
+              tuple.(assign_index schema a) <- a.Qplan.acode params outer_env old)
+            rassigns;
+          ignore (Table.update tbl rowid tuple);
+          Catalog.fire catalog
+            { Catalog.kind = Catalog.On_replace; table = Table.name tbl; tuple = Some tuple })
+      rowids;
+    Affected (List.length rowids)
+  | Qplan.P_append { atable; aassigns } ->
+    let schema = atable.Table.schema in
+    let tuple = Array.make (Schema.arity schema) Value.Null in
+    List.iter
+      (fun (a : Qplan.assign) ->
+        tuple.(assign_index schema a) <- a.Qplan.acode params outer_env [||])
+      aassigns;
+    ignore (Table.insert atable tuple);
+    Catalog.fire catalog
+      { Catalog.kind = Catalog.On_append; table = Table.name atable; tuple = Some tuple };
+    Affected 1
+
+(* --- dispatcher ---------------------------------------------------- *)
+
+let run catalog ?(binding = fun _ -> None) ?stats ?(mode : mode = `Compiled)
+    ?(force_seq = false) (q : Qast.query) : result =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let outer = binding in
+  match q with
+  | Qast.Create_table { name; cols } ->
+    let columns =
+      List.map (fun (name, ty, valid) -> { Schema.name; ty; valid_time = valid }) cols
+    in
+    ignore (Catalog.create_table catalog (Schema.make ~table:name columns));
+    Msg (Printf.sprintf "table %s created" name)
+  | Qast.Create_index { table; col } ->
+    (* Goes through the catalog so the version bump invalidates plans
+       compiled against the old access paths. *)
+    Catalog.create_index catalog table col;
+    Msg (Printf.sprintf "index created on %s(%s)" table col)
   | Qast.Define_rule r -> Rule_def r
   | Qast.Drop_rule name -> Rule_drop name
+  | Qast.Append _ | Qast.Retrieve _ | Qast.Delete _ | Qast.Replace _ -> (
+    match mode with
+    | `Interpreted -> run_interpreted catalog ~outer ~stats ~force_seq q
+    | `Compiled -> run_compiled catalog ~outer ~stats ~force_seq q)
 
 (** Parse and run. *)
-let run_string catalog ?binding ?stats input =
+let run_string catalog ?binding ?stats ?mode ?force_seq input =
   match Qparser.query input with
   | Error e -> Error e
   | Ok q -> (
-    match run catalog ?binding ?stats q with
+    match run catalog ?binding ?stats ?mode ?force_seq q with
     | r -> Ok r
     | exception Exec_error e -> Error e
     | exception Catalog.No_such_table t -> Error ("no such table: " ^ t)

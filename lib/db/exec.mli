@@ -1,14 +1,20 @@
-(** Query execution: access-path selection (index vs sequential scan),
-    the valid-time [on <calendar>] clause, event hooks for the rule
-    system, and simple aggregates ([count]/[sum]/[avg]/[min]/[max]).
+(** Query execution as a compile-then-execute pipeline: plans are
+    prepared through {!Qplan} (parameterized-AST plan cache, compiled
+    predicates, all-sargable-conjunct access-path selection, merged
+    on-calendar sweeps); the original tree-walking interpreter survives
+    as [`Interpreted], the differential oracle.
 
     The residual [where] predicate is always re-applied after an index
-    probe, so inclusive-range probes over-approximate safely. *)
+    probe, so inclusive-range probes (and probes skipped as not
+    selective enough) over-approximate safely. *)
 
 type stats = {
   mutable scanned : int;  (** tuples touched *)
   mutable seq_scans : int;
   mutable index_scans : int;
+  mutable index_probes : int;  (** individual B-tree probes / merged sweeps *)
+  mutable plan_cache_hits : int;
+  mutable plan_cache_misses : int;
 }
 
 val fresh_stats : unit -> stats
@@ -22,15 +28,22 @@ type result =
 
 exception Exec_error of string
 
-(** [run catalog ?binding ?stats q] executes one command. [binding]
-    resolves free columns (used for NEW/CURRENT in rule actions).
-    Retrieval fires [On_retrieve] per returned tuple; mutations fire their
-    events after the change.
+type mode = [ `Compiled | `Interpreted ]
+
+(** [run catalog ?binding ?stats ?mode ?force_seq q] executes one
+    command. [binding] resolves free columns (used for NEW/CURRENT in
+    rule actions). [mode] defaults to [`Compiled]; [`Interpreted] is the
+    pre-compilation tree walker kept as a differential oracle.
+    [force_seq] disables index/calendar candidate generation so scans and
+    probes can be differenced. Retrieval fires [On_retrieve] per returned
+    tuple; mutations fire their events after the change.
     @raise Exec_error and the catalog/schema exceptions. *)
 val run :
   Catalog.t ->
   ?binding:(string -> Value.t option) ->
   ?stats:stats ->
+  ?mode:mode ->
+  ?force_seq:bool ->
   Qast.query ->
   result
 
@@ -39,5 +52,7 @@ val run_string :
   Catalog.t ->
   ?binding:(string -> Value.t option) ->
   ?stats:stats ->
+  ?mode:mode ->
+  ?force_seq:bool ->
   string ->
   (result, string) Stdlib.result

@@ -1,0 +1,162 @@
+(** Expression compilation: lower a {!Qexpr.t} once into an OCaml closure
+    over the tuple array, with every column name resolved at compile time.
+
+    Columns of the scanned table become integer tuple offsets; free
+    columns (the NEW/CURRENT bindings of rule actions) are interned into
+    numbered environment slots shared by every expression compiled under
+    the same {!env}, so executing a cached plan materializes the outer
+    binding once per run instead of probing a closure per row.
+
+    The compiled code replicates the tree-walking {!Qexpr.eval}
+    semantics exactly — same short-circuiting, same Null propagation,
+    same error conditions raised at the same evaluation points — which
+    the differential suite in [test/test_plan.ml] checks against the
+    interpreter as oracle. *)
+
+type code = Value.t array -> Value.t option array -> Value.t array -> Value.t
+(** [code params outer tuple]: [params] are the constants extracted by
+    plan parameterization, [outer] the materialized environment slots,
+    [tuple] the current row (unused, [ [||] ], for table-free
+    expressions). *)
+
+type env = {
+  catalog : Catalog.t;
+  schema : Schema.t option;  (** scanned table's schema, when any *)
+  table : string;  (** lower-cased scanned-table name ("" when none) *)
+  mutable outer_names : string list;  (** interned slots, reverse order *)
+  outer_slots : (string, int) Hashtbl.t;
+}
+
+let make_env ~catalog ?table () =
+  let schema, tname =
+    match table with
+    | Some t -> (Some (t : Table.t).Table.schema, String.lowercase_ascii (Table.name t))
+    | None -> (None, "")
+  in
+  { catalog; schema; table = tname; outer_names = []; outer_slots = Hashtbl.create 8 }
+
+let outer_slot env name =
+  match Hashtbl.find_opt env.outer_slots name with
+  | Some i -> i
+  | None ->
+    let i = Hashtbl.length env.outer_slots in
+    Hashtbl.replace env.outer_slots name i;
+    env.outer_names <- name :: env.outer_names;
+    i
+
+(** Interned free columns, in slot order — the plan stores this and
+    {!bind_outer} fills it from a binding at execution time. *)
+let outer_cols env = Array.of_list (List.rev env.outer_names)
+
+let bind_outer ~outer_cols binding = Array.map binding outer_cols
+
+(* Column resolution mirrors [Exec.binding_of]: a dotted prefix must name
+   the scanned table (case-insensitively) to resolve against the schema;
+   anything unresolved falls through to an outer slot under the ORIGINAL
+   name, and raises only if actually evaluated — same laziness as the
+   interpreter. *)
+let compile_col env name =
+  let schema_index col =
+    match env.schema with None -> None | Some s -> Schema.column_index s col
+  in
+  let own =
+    match String.index_opt name '.' with
+    | Some i ->
+      let prefix = String.sub name 0 i in
+      if String.lowercase_ascii prefix = env.table then
+        schema_index (String.sub name (i + 1) (String.length name - i - 1))
+      else None
+    | None -> schema_index name
+  in
+  match own with
+  | Some i -> fun _ _ tuple -> tuple.(i)
+  | None ->
+    let j = outer_slot env name in
+    fun _ outer _ ->
+      (match outer.(j) with
+      | Some v -> v
+      | None -> raise (Qexpr.Eval_error ("unbound column " ^ name)))
+
+let rec compile env (e : Qexpr.t) : code =
+  match e with
+  | Qexpr.Col name -> compile_col env name
+  | Qexpr.Const v -> fun _ _ _ -> v
+  | Qexpr.Param i -> fun params _ _ -> params.(i)
+  | Qexpr.Binop (Qexpr.And, a, b) ->
+    let ca = compile env a and cb = compile env b in
+    fun p o t ->
+      (match ca p o t with
+      | Value.Bool false -> Value.Bool false
+      | Value.Bool true -> cb p o t
+      | Value.Null -> Value.Null
+      | v -> raise (Qexpr.Eval_error ("non-boolean operand of and: " ^ Value.to_string v)))
+  | Qexpr.Binop (Qexpr.Or, a, b) ->
+    let ca = compile env a and cb = compile env b in
+    fun p o t ->
+      (match ca p o t with
+      | Value.Bool true -> Value.Bool true
+      | Value.Bool false -> cb p o t
+      | Value.Null -> Value.Null
+      | v -> raise (Qexpr.Eval_error ("non-boolean operand of or: " ^ Value.to_string v)))
+  | Qexpr.Binop (Qexpr.Eq, a, b) ->
+    let ca = compile env a and cb = compile env b in
+    fun p o t ->
+      let va = ca p o t and vb = cb p o t in
+      if va = Value.Null || vb = Value.Null then Value.Null
+      else Value.Bool (Qexpr.value_eq va vb)
+  | Qexpr.Binop (Qexpr.Ne, a, b) ->
+    let ca = compile env a and cb = compile env b in
+    fun p o t ->
+      let va = ca p o t and vb = cb p o t in
+      if va = Value.Null || vb = Value.Null then Value.Null
+      else Value.Bool (not (Qexpr.value_eq va vb))
+  | Qexpr.Binop (((Qexpr.Lt | Qexpr.Le | Qexpr.Gt | Qexpr.Ge) as op), a, b) ->
+    let ca = compile env a and cb = compile env b in
+    fun p o t -> Qexpr.comparison op (ca p o t) (cb p o t)
+  | Qexpr.Binop (((Qexpr.Add | Qexpr.Sub | Qexpr.Mul | Qexpr.Div) as op), a, b) ->
+    let ca = compile env a and cb = compile env b in
+    fun p o t -> Qexpr.arith op (ca p o t) (cb p o t)
+  | Qexpr.Not e ->
+    let c = compile env e in
+    fun p o t ->
+      (match c p o t with
+      | Value.Bool b -> Value.Bool (not b)
+      | Value.Null -> Value.Null
+      | v -> raise (Qexpr.Eval_error ("non-boolean operand of not: " ^ Value.to_string v)))
+  | Qexpr.Neg e ->
+    let c = compile env e in
+    fun p o t ->
+      (match c p o t with
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> raise (Qexpr.Eval_error ("cannot negate " ^ Value.to_string v)))
+  | Qexpr.Call (f, args) -> (
+    let cargs = Array.of_list (List.map (compile env) args) in
+    let n = Array.length cargs in
+    (* Resolve the operator at compile time; a missing or mis-aritied one
+       still raises only when the call site is evaluated, matching the
+       interpreter's error timing. *)
+    match Catalog.operator_opt env.catalog f with
+    | None -> fun _ _ _ -> raise (Catalog.No_such_operator f)
+    | Some op ->
+      if op.Catalog.arity >= 0 && n <> op.Catalog.arity then
+        fun _ _ _ ->
+          raise
+            (Qexpr.Eval_error
+               (Printf.sprintf "operator %s expects %d arguments, got %d" f op.Catalog.arity n))
+      else
+        fun p o t ->
+          (* Arguments evaluate left to right, as [List.map] does in the
+             interpreter. *)
+          let rec go i = if i = n then [] else let v = cargs.(i) p o t in v :: go (i + 1) in
+          op.Catalog.fn (go 0))
+
+(** Evaluate compiled code as a where-clause predicate: [Bool b] is [b],
+    [Null] is false, anything else raises [fail]. *)
+let as_predicate ~fail (c : code) : Value.t array -> Value.t option array -> Value.t array -> bool
+    =
+ fun p o t ->
+  match c p o t with
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> raise (fail v)

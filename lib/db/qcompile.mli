@@ -1,0 +1,31 @@
+(** Expression compilation: lower {!Qexpr.t} trees once into OCaml
+    closures with columns resolved to integer offsets at compile time.
+
+    Semantics match the tree-walking {!Qexpr.eval} exactly (same
+    short-circuiting, Null propagation and error timing); the
+    differential suite in [test/test_plan.ml] holds the interpreter as
+    the oracle. *)
+
+type code = Value.t array -> Value.t option array -> Value.t array -> Value.t
+(** [code params outer tuple]: extracted plan constants, materialized
+    outer-environment slots, and the current row. *)
+
+type env
+
+(** [make_env ~catalog ?table ()] opens a compilation scope. Columns of
+    [table] compile to tuple offsets; all other names are interned as
+    outer slots shared across every expression compiled in this scope. *)
+val make_env : catalog:Catalog.t -> ?table:Table.t -> unit -> env
+
+val compile : env -> Qexpr.t -> code
+
+(** The interned free columns, in slot order. *)
+val outer_cols : env -> string array
+
+(** Materialize outer slots from a binding, once per plan execution. *)
+val bind_outer : outer_cols:string array -> (string -> Value.t option) -> Value.t option array
+
+(** View compiled code as a predicate: [Bool b] → [b], [Null] → [false],
+    anything else raises [fail v]. *)
+val as_predicate :
+  fail:(Value.t -> exn) -> code -> Value.t array -> Value.t option array -> Value.t array -> bool

@@ -19,6 +19,10 @@ type binop =
 type t =
   | Col of string  (** stored lower-case, qualified names keep the dot *)
   | Const of Value.t
+  | Param of int
+      (** placeholder for an extracted constant; produced by plan
+          canonicalization ({!Qplan.parameterize_query}), never by the
+          parser *)
   | Binop of binop * t * t
   | Not of t
   | Neg of t
@@ -43,6 +47,7 @@ let binop_to_string = function
 let rec to_string = function
   | Col c -> c
   | Const v -> Value.to_string v
+  | Param i -> Printf.sprintf "?%d" i
   | Binop (op, a, b) ->
     Printf.sprintf "(%s %s %s)" (to_string a) (binop_to_string op) (to_string b)
   | Not e -> Printf.sprintf "(not %s)" (to_string e)
@@ -108,6 +113,10 @@ let rec eval ~(catalog : Catalog.t) ~(binding : string -> Value.t option) e =
     | Some v -> v
     | None -> raise (Eval_error ("unbound column " ^ name)))
   | Const v -> v
+  | Param i ->
+    (* Parameterized skeletons only exist inside cached plans; the
+       tree-walking evaluator must never see one. *)
+    raise (Eval_error (Printf.sprintf "unresolved parameter ?%d" i))
   | Binop (And, a, b) -> (
     match eval ~catalog ~binding a with
     | Value.Bool false -> Value.Bool false
@@ -156,15 +165,20 @@ and value_eq a b =
   (* Numeric equality coerces Int/Float; everything else is Value.equal. *)
   match numeric_pair a b with Some (x, y) -> x = y | None -> Value.equal a b
 
-(* Conjunct list of an and-tree, for sargable-predicate extraction. *)
-let rec conjuncts = function
-  | Binop (And, a, b) -> conjuncts a @ conjuncts b
-  | e -> [ e ]
+(* Conjunct list of an and-tree, in left-to-right order. Flattens nested
+   [And] spines of any shape (left-, right- or mixed-associated) with an
+   accumulator, so a long spine costs O(n) rather than O(n^2) appends. *)
+let conjuncts e =
+  let rec go acc = function
+    | Binop (And, a, b) -> go (go acc b) a
+    | e -> e :: acc
+  in
+  go [] e
 
 (* Columns mentioned, for binding checks. *)
 let rec columns = function
   | Col c -> [ c ]
-  | Const _ -> []
+  | Const _ | Param _ -> []
   | Binop (_, a, b) -> columns a @ columns b
   | Not e | Neg e -> columns e
   | Call (_, args) -> List.concat_map columns args

@@ -78,3 +78,13 @@ let index_range t col ?lo ?hi () =
     let acc = ref [] in
     Btree.range idx ?lo ?hi (fun _ rowids -> acc := List.rev_append rowids !acc);
     Some !acc
+
+(** Row ids with [col] in any of the sorted disjoint inclusive ranges,
+    via one merged index sweep, unordered. *)
+let index_merge t col ivals =
+  match index t col with
+  | None -> None
+  | Some idx ->
+    let acc = ref [] in
+    Btree.range_merge idx ivals (fun _ rowids -> acc := List.rev_append rowids !acc);
+    Some !acc

@@ -45,6 +45,9 @@ type t = {
   mutable depth : int;
   lookahead : int;
   probe_strategy : Next_fire.strategy;
+  exec_stats : Exec.stats;
+      (** cumulative executor counters over every query this manager runs
+          (DBCRON probes, rule actions, user queries) *)
 }
 
 exception Rule_error of string
@@ -68,12 +71,14 @@ let ensure_system_tables catalog =
               { Schema.name = "name"; ty = Schema.TText; valid_time = false };
               { Schema.name = "next_fire"; ty = Schema.TInt; valid_time = false };
             ]));
-    Table.create_index (Catalog.table catalog "rule_time") "next_fire"
+    (* Through the catalog, so the version bump invalidates any plan
+       compiled before the index existed. *)
+    Catalog.create_index catalog "rule_time" "next_fire"
   end
 
 (* The probe: an indexed retrieve over RULE_TIME for triggers before the
    window end, skipping rules already loaded. *)
-let load_upcoming catalog rules ~window_end =
+let load_upcoming catalog ~stats rules ~window_end =
   let q =
     Qast.Retrieve
       {
@@ -85,7 +90,7 @@ let load_upcoming catalog rules ~window_end =
         group_by = [];
       }
   in
-  match Exec.run catalog q with
+  match Exec.run catalog ~stats q with
   | Exec.Rows { rows; _ } ->
     List.filter_map
       (fun row ->
@@ -109,9 +114,10 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strate
   in
   ensure_system_tables catalog;
   let rules = Hashtbl.create 16 in
+  let exec_stats = Exec.fresh_stats () in
   let cron =
     Dbcron.create ~probe_period ~now:(Clock.now clock)
-      ~load:(load_upcoming catalog rules)
+      ~load:(load_upcoming catalog ~stats:exec_stats rules)
   in
   let t =
     {
@@ -125,6 +131,7 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strate
       depth = 0;
       lookahead;
       probe_strategy;
+      exec_stats;
     }
   in
   (* The alert procedure used by rule actions:
@@ -166,7 +173,8 @@ and run_actions t binding actions =
   t.depth <- t.depth + 1;
   Fun.protect
     ~finally:(fun () -> t.depth <- t.depth - 1)
-    (fun () -> List.iter (fun q -> ignore (Exec.run t.catalog ~binding q)) actions)
+    (fun () ->
+      List.iter (fun q -> ignore (Exec.run t.catalog ~binding ~stats:t.exec_stats q)) actions)
 
 and dispatch_db_event t ev =
   if t.depth < 8 then
@@ -307,7 +315,7 @@ let fire_calendar_rule t name at =
 (** Advance simulated time, probing and firing everything due on the
     way. *)
 let advance_to t instant =
-  let load = load_upcoming t.catalog t.rules in
+  let load = load_upcoming t.catalog ~stats:t.exec_stats t.rules in
   let rec loop () =
     let ev = Dbcron.next_event t.cron in
     if ev <= instant then begin
@@ -334,7 +342,7 @@ let run_query t ?binding source =
     if drop t name then Ok (Exec.Msg (Printf.sprintf "rule %s dropped" name))
     else Error (Printf.sprintf "no rule %s" name)
   | Ok q -> (
-    match Exec.run t.catalog ?binding q with
+    match Exec.run t.catalog ?binding ~stats:t.exec_stats q with
     | r -> Ok r
     | exception Exec.Exec_error e -> Error e
     | exception Rule_error e -> Error e
@@ -371,3 +379,5 @@ let rule_names t =
 
 let dbcron_stats t = Dbcron.stats t.cron
 let dbcron_heap_peak t = Dbcron.heap_peak t.cron
+let exec_stats t = t.exec_stats
+let plan_cache_stats t = Qplan.cache_stats t.catalog

@@ -83,3 +83,10 @@ val dbcron_stats : t -> int * int
 
 (** Largest number of simultaneously-pending DBCRON heap entries. *)
 val dbcron_heap_peak : t -> int
+
+(** Cumulative executor counters across every query this manager ran:
+    DBCRON probes, rule actions and user queries. *)
+val exec_stats : t -> Exec.stats
+
+(** The catalog's plan-cache counters. *)
+val plan_cache_stats : t -> Qplan.cache_stats

@@ -314,6 +314,91 @@ let test_exec_on_clause () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected error for missing valid-time column"
 
+(* Conjunct flattening feeds access-path selection: every sargable
+   conjunct must surface no matter how the parser nested the [and]s. *)
+let test_conjuncts_flatten () =
+  let open Qexpr in
+  let a = Col "a" and b = Col "b" and c = Col "c" and d = Col "d" in
+  let ( &&& ) x y = Binop (And, x, y) in
+  let eq = Alcotest.(check (list string)) in
+  let strs e = List.map to_string (conjuncts e) in
+  eq "balanced nesting" [ "a"; "b"; "c"; "d" ] (strs ((a &&& b) &&& (c &&& d)));
+  eq "right-nested" [ "a"; "b"; "c"; "d" ] (strs (a &&& (b &&& (c &&& d))));
+  eq "left-nested" [ "a"; "b"; "c"; "d" ] (strs (((a &&& b) &&& c) &&& d));
+  eq "single expression" [ "a" ] (strs a);
+  eq "or is opaque" [ "(a or b)" ] (strs (Binop (Or, a, b)));
+  eq "or under and" [ "(a or b)"; "c" ] (strs (Binop (Or, a, b) &&& c))
+
+(* Regression: with two indexed columns the planner (and the upgraded
+   interpreter) must probe the more selective one, not the first conjunct
+   in writing order. *)
+let test_exec_selectivity () =
+  let cat = Catalog.create () in
+  let run s =
+    match Exec.run_string cat s with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "query failed: %s (%s)" e s
+  in
+  ignore (run "create table wide (a int, b int)");
+  for i = 0 to 499 do
+    ignore (run (Printf.sprintf "append wide (a = %d, b = %d)" (i mod 2) i))
+  done;
+  ignore (run "create index on wide (a)");
+  ignore (run "create index on wide (b)");
+  (* a = 1 matches 250 rows, b = 123 exactly one; a comes first in the
+     where clause. *)
+  let probe ~mode q =
+    let stats = Exec.fresh_stats () in
+    (match Exec.run_string cat ~stats ~mode q with
+    | Ok (Exec.Rows { rows = [ [| Value.Int 123 |] ]; _ }) -> ()
+    | Ok _ -> Alcotest.fail "expected exactly the row b = 123"
+    | Error e -> Alcotest.failf "query failed: %s" e);
+    stats
+  in
+  let s = probe ~mode:`Compiled "retrieve (b) from wide where a = 1 and b = 123" in
+  check_int "compiled: index scan" 1 s.Exec.index_scans;
+  check_bool "compiled: probed the selective index" true (s.Exec.scanned <= 2);
+  let s = probe ~mode:`Interpreted "retrieve (b) from wide where a = 1 and b = 123" in
+  check_bool "interpreted: picked the selective index" true (s.Exec.scanned <= 2);
+  (* A wide range conjunct on [a] must not beat the equality on [b]. *)
+  let s = probe ~mode:`Compiled "retrieve (b) from wide where a >= 0 and b = 123" in
+  check_bool "range conjunct does not drag in the table" true (s.Exec.scanned <= 2)
+
+(* The plan cache: constants are parameterized away, so re-running the
+   same shape with a different constant is a hit; DDL invalidates. *)
+let test_plan_cache () =
+  let cat, run = setup_db () in
+  let q d = Printf.sprintf "retrieve (price) from stock where day = @%d" d in
+  let run_q stats d =
+    match Exec.run_string cat ~stats (q d) with
+    | Ok (Exec.Rows { rows = [ [| Value.Float _ |] ]; _ }) -> ()
+    | _ -> Alcotest.failf "expected one row for day %d" d
+  in
+  let stats = Exec.fresh_stats () in
+  run_q stats 5;
+  check_int "first run misses" 1 stats.Exec.plan_cache_misses;
+  run_q stats 9;
+  run_q stats 23;
+  check_int "same skeleton, new constants: hits" 2 stats.Exec.plan_cache_hits;
+  check_int "still a single build" 1 stats.Exec.plan_cache_misses;
+  (* DDL bumps the catalog version: the cached plan is stale, and the
+     rebuilt one sees the new index. *)
+  ignore (run "create index on stock (day)");
+  let stats2 = Exec.fresh_stats () in
+  run_q stats2 7;
+  check_int "post-DDL rebuild" 1 stats2.Exec.plan_cache_misses;
+  check_int "rebuilt plan uses the new index" 1 stats2.Exec.index_scans;
+  let cs = Qplan.cache_stats cat in
+  check_bool "invalidation recorded" true (cs.Qplan.invalidations >= 1);
+  check_bool "cache is populated" true (cs.Qplan.size >= 1);
+  (* Interpreted mode never touches the plan cache. *)
+  let stats3 = Exec.fresh_stats () in
+  (match Exec.run_string cat ~stats:stats3 ~mode:`Interpreted (q 5) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "query failed: %s" e);
+  check_int "interpreted: no cache traffic" 0
+    (stats3.Exec.plan_cache_hits + stats3.Exec.plan_cache_misses)
+
 let test_exec_hooks () =
   let cat, run = setup_db () in
   let events = ref [] in
@@ -427,6 +512,9 @@ let () =
           Alcotest.test_case "basic crud" `Quick test_exec_basic_crud;
           Alcotest.test_case "expressions + operators" `Quick test_exec_expressions_and_operators;
           Alcotest.test_case "index selection" `Quick test_exec_index_selection;
+          Alcotest.test_case "conjunct flattening" `Quick test_conjuncts_flatten;
+          Alcotest.test_case "selectivity ranking" `Quick test_exec_selectivity;
+          Alcotest.test_case "plan cache" `Quick test_plan_cache;
           Alcotest.test_case "valid-time on-clause" `Quick test_exec_on_clause;
           Alcotest.test_case "group by" `Quick test_exec_group_by;
           Alcotest.test_case "event hooks" `Quick test_exec_hooks;
