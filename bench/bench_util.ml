@@ -1,0 +1,43 @@
+(* Shared measurement and reporting helpers for the benchmark harness.
+
+   Everything here used to live inline in bench/main.ml; it is split out
+   so individual experiments stay focused on workload construction. *)
+
+let line = String.make 78 '-'
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* Wall-clock one run of [f], returning its result and elapsed seconds. *)
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Median of [repeat] wall-clock runs — robust to a stray slow run. *)
+let median_wall ?(repeat = 3) f =
+  let times =
+    List.init repeat (fun _ -> snd (wall f)) |> List.sort Float.compare
+  in
+  List.nth times (repeat / 2)
+
+let pp_time ppf seconds =
+  if seconds < 1e-6 then Format.fprintf ppf "%8.1f ns" (seconds *. 1e9)
+  else if seconds < 1e-3 then Format.fprintf ppf "%8.2f us" (seconds *. 1e6)
+  else if seconds < 1. then Format.fprintf ppf "%8.2f ms" (seconds *. 1e3)
+  else Format.fprintf ppf "%8.3f s " seconds
+
+let time_str seconds = Format.asprintf "%a" pp_time seconds
+
+(* Keeps ratios finite when the fast side is below timer resolution. *)
+let speedup slow fast = slow /. Float.max fast 1e-9
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_json ~file contents =
+  let oc = open_out file in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "\n  wrote %s\n" file

@@ -1,0 +1,28 @@
+(** Shared measurement and reporting helpers for the benchmark harness. *)
+
+(** 78-dash separator used by every section header. *)
+val line : string
+
+(** Print a section banner: separator, title, separator. *)
+val header : string -> unit
+
+(** Wall-clock one run, returning the result and elapsed seconds. *)
+val wall : (unit -> 'a) -> 'a * float
+
+(** Median of [repeat] (default 3) wall-clock runs. *)
+val median_wall : ?repeat:int -> (unit -> 'a) -> float
+
+(** Humane duration rendering: ns / us / ms / s with aligned width. *)
+val pp_time : Format.formatter -> float -> unit
+
+val time_str : float -> string
+
+(** [speedup slow fast] with the denominator clamped to 1 ns, so ratios
+    stay finite when the fast side is below timer resolution. *)
+val speedup : float -> float -> float
+
+(** Escape a string for inclusion in a JSON string literal. *)
+val json_escape : string -> string
+
+(** Write [contents] to [file] and announce it on stdout. *)
+val write_json : file:string -> string -> unit

@@ -18,11 +18,7 @@ open Cal_lang
 open Cal_db
 open Cal_rrule
 open Bechamel
-
-let line = String.make 78 '-'
-
-let header title =
-  Printf.printf "\n%s\n%s\n%s\n" line title line
+open Bench_util
 
 (* ------------------------------------------------------------------ *)
 (* Helpers *)
@@ -39,25 +35,6 @@ let session_years ?(cache_capacity = 0) n =
 
 let parse_expr s =
   match Parser.expr s with Ok e -> e | Error e -> failwith ("parse: " ^ e)
-
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
-let median_wall ?(repeat = 3) f =
-  let times =
-    List.init repeat (fun _ -> snd (wall f)) |> List.sort Float.compare
-  in
-  List.nth times (repeat / 2)
-
-let pp_time ppf seconds =
-  if seconds < 1e-6 then Format.fprintf ppf "%8.1f ns" (seconds *. 1e9)
-  else if seconds < 1e-3 then Format.fprintf ppf "%8.2f us" (seconds *. 1e6)
-  else if seconds < 1. then Format.fprintf ppf "%8.2f ms" (seconds *. 1e3)
-  else Format.fprintf ppf "%8.3f s " seconds
-
-let time_str seconds = Format.asprintf "%a" pp_time seconds
 
 (* Bechamel runner: (name, estimated ns/run) per test. *)
 let bechamel_group ?(quota = 0.4) name tests =
@@ -800,16 +777,8 @@ let e14 () =
 
 let json_mode = ref false
 
-let json_escape s =
-  String.concat ""
-    (List.map
-       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
-       (List.init (String.length s) (String.get s)))
-
 let e15 () =
   header "E15 | Array-backed interval sets + streaming next-fire probes";
-  (* Keeps ratios finite when the fast side is below timer resolution. *)
-  let speedup slow fast = slow /. Float.max fast 1e-9 in
   let n = 10_000 in
   (* Overlap-heavy inputs: stride 3, width 5, so neighbours overlap (as
      weeks overlap months); every second member of b is shared with a so
@@ -962,10 +931,7 @@ let e15 () =
          t_next_mat t_next_str
          (speedup t_next_mat t_next_str));
     Buffer.add_string buf "}\n";
-    let oc = open_out "BENCH_E15.json" in
-    output_string oc (Buffer.contents buf);
-    close_out oc;
-    print_endline "\n  wrote BENCH_E15.json"
+    write_json ~file:"BENCH_E15.json" (Buffer.contents buf)
   end
 
 (* E16: the compiled query pipeline — parameterized plan cache, compiled
@@ -976,7 +942,6 @@ let e15 () =
 
 let e16 () =
   header "E16 | Compiled query pipeline + temporal access paths";
-  let speedup slow fast = slow /. Float.max fast 1e-9 in
   let nrows = 50_000 and naccts = 50 in
   let cat = Catalog.create () in
   (match
@@ -1134,10 +1099,162 @@ let e16 () =
          (probes_per_run s_cal_cmp) (speedup t_cal_int t_cal_cmp)
          (speedup t_cal_seq t_cal_cmp) agree_b);
     Buffer.add_string buf "}\n";
-    let oc = open_out "BENCH_E16.json" in
-    output_string oc (Buffer.contents buf);
-    close_out oc;
-    print_endline "\n  wrote BENCH_E16.json"
+    write_json ~file:"BENCH_E16.json" (Buffer.contents buf)
+  end
+
+(* E17: the multicore execution layer — parallel DBCRON next-fire batches
+   and partitioned sequential scans vs the serial oracle. Firings and row
+   sets must be byte-identical at every domain count; the speedups depend
+   entirely on the host's core count, which the JSON records (a 1-core
+   container time-slices its domains and measures ~1x). With --json, the
+   measurements are also written to BENCH_E17.json. *)
+
+let e17 () =
+  header "E17 | Multicore execution: parallel DBCRON batches + partitioned scans";
+  let hw = Cal_parallel.Pool.hardware_domains () in
+  let par_domains = 4 in
+  Printf.printf "  host: %d usable domain(s); parallel side runs %d lanes%s\n" hw par_domains
+    (if hw = 1 then " (time-sliced on one core: expect ~1x)" else "");
+  (* Part A: DBCRON over 10k rules. Specs cycle through 196 distinct
+     calendars (7 weekday x 28 monthly combinations) so the probe batch
+     is large, the session cache has real sharing, and every simulated
+     day recomputes hundreds of next-fire points. Actions are no-ops so
+     the measurement isolates the probe itself. *)
+  let nrules = 10_000 in
+  let sim_days = 7 in
+  let spec i =
+    match i mod 196 with
+    | k when k < 7 -> Printf.sprintf "[%d]/DAYS:during:WEEKS" (k + 1)
+    | k when k < 35 -> Printf.sprintf "[%d]/DAYS:during:MONTHS" (k - 6)
+    | k ->
+      Printf.sprintf "[%d]/DAYS:during:WEEKS + [%d]/DAYS:during:MONTHS"
+        ((k mod 7) + 1)
+        ((k mod 28) + 1)
+  in
+  let run_probe ~domains =
+    let s =
+      Session.create ~epoch:epoch93
+        ~lifespan:(Civil.make 1993 1 1, Civil.make 1994 12 31)
+        ~cache_capacity:512 ~domains ()
+    in
+    for i = 1 to nrules do
+      match
+        Session.query s
+          (Printf.sprintf "define rule r%d on calendar \"%s\" do retrieve (1)" i (spec i))
+      with
+      | Ok _ -> ()
+      | Error e -> failwith e
+    done;
+    let _, t = wall (fun () -> Session.advance_days s sim_days) in
+    let firings =
+      List.map (fun f -> (f.Cal_rules.Manager.rule, f.Cal_rules.Manager.at)) (Session.firings s)
+    in
+    let batches, batched_rules = Cal_rules.Manager.parallel_stats s.Session.manager in
+    (firings, t, batches, batched_rules)
+  in
+  let f_ser, t_probe_ser, _, _ = run_probe ~domains:1 in
+  let f_par, t_probe_par, batches, batched_rules = run_probe ~domains:par_domains in
+  let probe_agree = f_ser = f_par in
+  Printf.printf "\n  DBCRON probe, %d rules (%d distinct calendars), %d simulated days:\n" nrules
+    196 sim_days;
+  Printf.printf "    serial (1 domain):  %4d firings   %s\n" (List.length f_ser)
+    (time_str t_probe_ser);
+  Printf.printf "    parallel (%d lanes): %4d firings   %s   (%.2fx)\n" par_domains
+    (List.length f_par) (time_str t_probe_par)
+    (speedup t_probe_ser t_probe_par);
+  Printf.printf "    firings identical: %b   parallel batches: %d (%d rule probes)\n" probe_agree
+    batches batched_rules;
+  (* Part B: partitioned sequential scans. 100k rows, no usable index,
+     pure arithmetic predicates — the shape the planner marks
+     partitionable — compared serial vs chunked at the same plans. *)
+  let nrows = 100_000 in
+  let cat = Catalog.create () in
+  (match Exec.run_string cat "create table trades (day chronon valid, qty int, price float)" with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let tbl = Catalog.table cat "trades" in
+  for i = 0 to nrows - 1 do
+    ignore
+      (Table.insert tbl
+         [|
+           Value.Chronon (i + 1);
+           Value.Int ((i mod 200) + 1);
+           Value.Float (float_of_int (i mod 97) +. 0.5);
+         |])
+  done;
+  let parse s = match Qparser.query s with Ok q -> q | Error e -> failwith (e ^ ": " ^ s) in
+  let scan_reps = 40 in
+  let scans =
+    Array.init scan_reps (fun i ->
+        parse
+          (Printf.sprintf
+             "retrieve (qty, price) from trades where qty * price > %d.0 and not (price < \
+              %d.0) and (qty - 100) * (qty - 100) > %d"
+             (2_000 + (i * 130)) (i mod 7) (400 + i)))
+  in
+  let run_scans ~domains =
+    let rows_out = ref [] in
+    let _, t =
+      wall (fun () ->
+          Array.iter
+            (fun q ->
+              match Exec.run cat ~domains q with
+              | Exec.Rows { rows; _ } -> rows_out := rows :: !rows_out
+              | _ -> ())
+            scans)
+    in
+    (List.rev !rows_out, t)
+  in
+  let rows_ser, t_scan_ser = run_scans ~domains:1 in
+  let rows_par, t_scan_par = run_scans ~domains:par_domains in
+  let scan_agree = rows_ser = rows_par in
+  Printf.printf "\n  partitioned scans, %d queries over %d rows (pure predicates, no index):\n"
+    scan_reps nrows;
+  Printf.printf "    serial (1 domain):  %s\n" (time_str t_scan_ser);
+  Printf.printf "    parallel (%d lanes): %s   (%.2fx)\n" par_domains (time_str t_scan_par)
+    (speedup t_scan_ser t_scan_par);
+  Printf.printf "    row sets identical: %b   (%d result rows)\n" scan_agree
+    (List.fold_left (fun n rs -> n + List.length rs) 0 rows_ser);
+  print_endline "\n  claim: rule probes and pure-predicate scans shard across domains";
+  print_endline "  with bit-identical results; the serial path remains the oracle and";
+  print_endline "  the speedup tracks the host's usable core count.";
+  if !json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"experiment\": \"E17\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"host_domains\": %d,\n  \"parallel_domains\": %d,\n" hw par_domains);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"dbcron_probe\": {\n\
+         \    \"rules\": %d,\n\
+         \    \"distinct_calendars\": %d,\n\
+         \    \"simulated_days\": %d,\n\
+         \    \"serial_s\": %.6f,\n\
+         \    \"parallel_s\": %.6f,\n\
+         \    \"speedup\": %.2f,\n\
+         \    \"firings\": %d,\n\
+         \    \"parallel_batches\": %d,\n\
+         \    \"parallel_rule_probes\": %d,\n\
+         \    \"firings_identical\": %b\n\
+         \  },\n"
+         nrules 196 sim_days t_probe_ser t_probe_par
+         (speedup t_probe_ser t_probe_par)
+         (List.length f_ser) batches batched_rules probe_agree);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"partitioned_scan\": {\n\
+         \    \"table_rows\": %d,\n\
+         \    \"queries\": %d,\n\
+         \    \"serial_s\": %.6f,\n\
+         \    \"parallel_s\": %.6f,\n\
+         \    \"speedup\": %.2f,\n\
+         \    \"rows_identical\": %b\n\
+         \  }\n"
+         nrows scan_reps t_scan_ser t_scan_par
+         (speedup t_scan_ser t_scan_par)
+         scan_agree);
+    Buffer.add_string buf "}\n";
+    write_json ~file:"BENCH_E17.json" (Buffer.contents buf)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1153,7 +1270,7 @@ let perf =
   [
     ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
     ("E9", e9); ("E10", e10_perf); ("E11", e11_perf); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
   ]
 
 let () =
@@ -1171,7 +1288,7 @@ let () =
   let all = figures @ perf in
   let selected =
     match args with
-    | [] -> if !json_mode then [ ("E15", e15); ("E16", e16) ] else all
+    | [] -> if !json_mode then [ ("E15", e15); ("E16", e16); ("E17", e17) ] else all
     | [ "figures" ] -> figures
     | [ "perf" ] -> perf
     | ids ->

@@ -19,10 +19,19 @@ let date_arg default doc =
     & opt (conv (parse, print)) default
     & info [ "epoch" ] ~docv:"DATE" ~doc)
 
-let make_session epoch =
+let domains_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel rule batches and partitioned scans (default: \
+           \\$(b,CALRULES_DOMAINS) or the hardware count; 1 forces serial execution).")
+
+let make_session epoch domains =
   Session.create ~epoch
     ~lifespan:(Civil.make epoch.Civil.year 1 1, Civil.make (epoch.Civil.year + 39) 12 31)
-    ()
+    ?domains ()
 
 let print_calendar session cal =
   Printf.printf "%s\n" (Calendar.to_string cal);
@@ -140,8 +149,8 @@ let handle session line =
     | Error e -> Printf.printf "error: %s\n" e
   end
 
-let repl epoch =
-  let session = make_session epoch in
+let repl epoch domains =
+  let session = make_session epoch domains in
   Printf.printf "calq — calendar system shell (epoch %s). Type `help'.\n"
     (Civil.to_string epoch);
   let rec loop () =
@@ -155,16 +164,16 @@ let repl epoch =
   in
   loop ()
 
-let eval_once epoch expr =
-  let session = make_session epoch in
+let eval_once epoch domains expr =
+  let session = make_session epoch domains in
   match Session.eval_calendar session expr with
   | Ok cal -> print_calendar session cal
   | Error e ->
     Printf.printf "error: %s\n" e;
     exit 1
 
-let demo epoch =
-  let session = make_session epoch in
+let demo epoch domains =
+  let session = make_session epoch domains in
   let script =
     [
       "calendar Tuesdays = { return ([2]/DAYS:during:WEEKS); }";
@@ -190,17 +199,19 @@ let () =
   let epoch_term = date_arg Unit_system.default_epoch "Session epoch (day chronon 1)." in
   let repl_cmd =
     Cmd.v (Cmd.info "repl" ~doc:"Interactive calendar shell")
-      Term.(const repl $ epoch_term)
+      Term.(const repl $ epoch_term $ domains_arg)
   in
   let eval_cmd =
     let expr =
       Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Calendar expression")
     in
     Cmd.v (Cmd.info "eval" ~doc:"Evaluate one calendar expression")
-      Term.(const eval_once $ epoch_term $ expr)
+      Term.(const eval_once $ epoch_term $ domains_arg $ expr)
   in
   let demo_cmd =
-    Cmd.v (Cmd.info "demo" ~doc:"Scripted demonstration") Term.(const demo $ epoch_term)
+    Cmd.v
+      (Cmd.info "demo" ~doc:"Scripted demonstration")
+      Term.(const demo $ epoch_term $ domains_arg)
   in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit

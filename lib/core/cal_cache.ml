@@ -103,6 +103,16 @@ let to_nodes t =
 
 let keys t = List.map (fun n -> n.key) (to_nodes t)
 
+let entries t = List.map (fun n -> (n.key, n.deps, n.value)) (to_nodes t)
+
+let seed_from dst ~src =
+  (* LRU-to-MRU order, so dst ends with src's recency order. *)
+  List.iter (fun (key, deps, value) -> add dst ~key ~deps value) (List.rev (entries src))
+
+let merge_lookup_stats ~into s =
+  into.hits <- into.hits + s.hits;
+  into.misses <- into.misses + s.misses
+
 let invalidate_dep t name =
   let name = String.uppercase_ascii name in
   let doomed = List.filter (fun n -> List.mem name n.deps) (to_nodes t) in

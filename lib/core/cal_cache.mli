@@ -67,6 +67,23 @@ val clear : 'v t -> unit
 (** Live keys, most-recently-used first. *)
 val keys : 'v t -> string list
 
+(** Live [(key, deps, value)] triples, most-recently-used first. [deps]
+    are already uppercased. Values are shared, not copied — fine for the
+    immutable calendar values this cache holds. *)
+val entries : 'v t -> (string * string list * 'v) list
+
+(** [seed_from dst ~src] copies every entry of [src] into [dst],
+    preserving recency order. Used to give each worker domain a private
+    clone of the session cache (the cache itself is not thread-safe;
+    the immutable cached values can be shared across domains). *)
+val seed_from : 'v t -> src:'v t -> unit
+
+(** [merge_lookup_stats ~into s] folds the hit/miss counters of a worker
+    clone's stats into [into] when the worker joins; eviction,
+    invalidation and insertion counters of the clone are transient
+    bookkeeping and are deliberately dropped. *)
+val merge_lookup_stats : into:stats -> stats -> unit
+
 val stats : 'v t -> stats
 
 (** [hit_rate t] in [0..1]; 0 when never consulted. *)

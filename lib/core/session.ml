@@ -149,7 +149,7 @@ let register_calendar_operators ctx catalog =
     | _ -> Value.Null)
 
 let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahead
-    ?probe_strategy ?(cache_capacity = 512) () =
+    ?probe_strategy ?(cache_capacity = 512) ?domains () =
   register_calendar_adt ();
   let clock = Clock.create () in
   let env = Env.create () in
@@ -159,7 +159,9 @@ let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahe
   Catalog.set_calendar_resolver catalog (resolve_days ctx);
   register_date_operators ctx catalog;
   register_calendar_operators ctx catalog;
-  let manager = Cal_rules.Manager.create ?probe_period ?lookahead ?probe_strategy ctx catalog in
+  let manager =
+    Cal_rules.Manager.create ?probe_period ?lookahead ?probe_strategy ?domains ctx catalog
+  in
   { ctx; catalog; manager; clock }
 
 (* --- CALENDARS catalog maintenance ---------------------------------- *)
@@ -427,6 +429,10 @@ let stats_summary t =
         "plan cache (catalog-wide): %d entries, %d hits, %d misses, %d evictions, %d invalidations"
         p.Cal_db.Qplan.size p.Cal_db.Qplan.hits p.Cal_db.Qplan.misses
         p.Cal_db.Qplan.evictions p.Cal_db.Qplan.invalidations;
+      (let batches, rules = Cal_rules.Manager.parallel_stats t.manager in
+       Printf.sprintf "parallel: %d domains, %d next-fire batches (%d rules)"
+         (Cal_rules.Manager.domains t.manager)
+         batches rules);
     ]
 
 (** Civil date of a day chronon in this session. *)

@@ -27,7 +27,13 @@ exception Session_error of string
 
 (** Defaults: epoch Jan 1 1987, 40-year lifespan from the epoch year,
     DBCRON probe every simulated day, materialization cache of 512
-    entries ([cache_capacity 0] disables caching). *)
+    entries ([cache_capacity 0] disables caching).
+
+    [domains] caps the worker-pool lanes this session's rule manager and
+    executor may fan work across — batched next-fire recomputation and
+    partitioned sequential scans (default honors [CALRULES_DOMAINS],
+    else the hardware count; [1] pins the session serial). Results are
+    identical at every setting. *)
 val create :
   ?epoch:Civil.date ->
   ?lifespan:Civil.date * Civil.date ->
@@ -35,6 +41,7 @@ val create :
   ?lookahead:int ->
   ?probe_strategy:Cal_rules.Next_fire.strategy ->
   ?cache_capacity:int ->
+  ?domains:int ->
   unit ->
   t
 

@@ -443,6 +443,8 @@ let run_interpreted catalog ~outer ~stats ~force_seq (q : Qast.query) : result =
    Compiled engine
    ================================================================== *)
 
+module Pool = Cal_parallel.Pool
+
 (* Sorted, duplicate-free rowid array — the candidate-set representation
    intersections merge over. *)
 (* List.sort_uniq beats sorting in place here: the candidate lists come
@@ -557,9 +559,26 @@ let merged_calendar_candidates ~stats tbl col set =
     Option.map sorted_rowid_array (Table.index_merge tbl col ivals)
   end
 
+(* Sequential scans over at least this many row slots are eligible for
+   domain partitioning; smaller tables are not worth the dispatch. The
+   determinism tests lower it to 0 to exercise the parallel path on
+   small random tables. *)
+let parallel_scan_threshold = ref 4096
+
 (* Matching rowids under a compiled scan, ascending (same order as the
-   interpreted engine, so differential comparisons are exact). *)
-let scan_rowids catalog ~stats ~force_seq ~params ~outer_env (scan : Qplan.scan) : int list =
+   interpreted engine, so differential comparisons are exact).
+
+   When no index candidates apply, the predicate is pure ([spure]) and
+   the table is large enough, the sequential scan splits the rowid range
+   [0, high_water) into one contiguous chunk per pool lane. Chunks only
+   read: tuples, the params/outer vectors and the resolved interval set
+   are all immutable during the scan, and per-chunk scan counters merge
+   into [stats] after the join. Concatenating the per-chunk rowid lists
+   in chunk order reproduces the serial ascending order exactly; a
+   predicate that raises does so first in the lowest failing chunk,
+   which is the same row a serial scan would have failed on. *)
+let scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env (scan : Qplan.scan) :
+    int list =
   let tbl = scan.Qplan.stable in
   let chronons = Option.map (resolve_calendar catalog) scan.Qplan.scal in
   let candidates =
@@ -577,8 +596,8 @@ let scan_rowids catalog ~stats ~force_seq ~params ~outer_env (scan : Qplan.scan)
       | None, None -> None
   in
   let where_pred = Option.map (Qcompile.as_predicate ~fail:where_not_boolean) scan.Qplan.swhere in
+  (* Pure w.r.t. [stats]; counting is the caller's business. *)
   let passes tuple =
-    stats.scanned <- stats.scanned + 1;
     (match where_pred with None -> true | Some p -> p params outer_env tuple)
     &&
     match (chronons, scan.Qplan.svalid_ix) with
@@ -593,18 +612,44 @@ let scan_rowids catalog ~stats ~force_seq ~params ~outer_env (scan : Qplan.scan)
   | Some rowids ->
     stats.index_scans <- stats.index_scans + 1;
     List.filter
-      (fun rowid -> match Table.get tbl rowid with Some t -> passes t | None -> false)
+      (fun rowid ->
+        match Table.get tbl rowid with
+        | Some t ->
+          stats.scanned <- stats.scanned + 1;
+          passes t
+        | None -> false)
       (Array.to_list rowids)
-  | None ->
+  | None -> (
     stats.seq_scans <- stats.seq_scans + 1;
-    List.rev (Table.fold tbl (fun acc rowid t -> if passes t then rowid :: acc else acc) [])
+    let pool = Pool.default () in
+    let lanes = max 1 (min domains (Pool.size pool)) in
+    let hw = Table.high_water tbl in
+    if lanes > 1 && scan.Qplan.spure && hw >= !parallel_scan_threshold then begin
+      let parts =
+        Pool.map_chunks ~domains:lanes pool ~n:hw (fun ~lo ~hi ->
+            let hits = ref [] and touched = ref 0 in
+            Table.iter_range tbl ~lo ~hi (fun rowid tuple ->
+                incr touched;
+                if passes tuple then hits := rowid :: !hits);
+            (List.rev !hits, !touched))
+      in
+      Array.iter (fun (_, touched) -> stats.scanned <- stats.scanned + touched) parts;
+      List.concat (List.map fst (Array.to_list parts))
+    end
+    else
+      List.rev
+        (Table.fold tbl
+           (fun acc rowid t ->
+             stats.scanned <- stats.scanned + 1;
+             if passes t then rowid :: acc else acc)
+           []))
 
 let assign_index schema (a : Qplan.assign) =
   match a.Qplan.aix with
   | Some i -> i
   | None -> Schema.column_index_exn schema a.Qplan.acol
 
-let run_compiled catalog ~outer ~stats ~force_seq (q : Qast.query) : result =
+let run_compiled catalog ~outer ~stats ~force_seq ~domains (q : Qast.query) : result =
   let plan, params, hit =
     try Qplan.prepare catalog q with Qplan.Plan_error m -> raise (Exec_error m)
   in
@@ -627,7 +672,7 @@ let run_compiled catalog ~outer ~stats ~force_seq (q : Qast.query) : result =
     Rows { columns = labels; rows }
   | Qplan.P_scan_retrieve { labels; scan; per_row; raw_targets; aggregate; group_by = []; _ } ->
     let tbl = scan.Qplan.stable in
-    let rowids = scan_rowids catalog ~stats ~force_seq ~params ~outer_env scan in
+    let rowids = scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env scan in
     let value_rows =
       List.filter_map
         (fun rowid ->
@@ -643,7 +688,7 @@ let run_compiled catalog ~outer ~stats ~force_seq (q : Qast.query) : result =
     Rows { columns = labels; rows }
   | Qplan.P_scan_retrieve { labels; scan; per_row; raw_targets; group_by; group_codes; _ } ->
     let tbl = scan.Qplan.stable in
-    let rowids = scan_rowids catalog ~stats ~force_seq ~params ~outer_env scan in
+    let rowids = scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env scan in
     let groups : (Value.t list, Value.t array list ref) Hashtbl.t = Hashtbl.create 16 in
     let order = ref [] in
     List.iter
@@ -679,7 +724,7 @@ let run_compiled catalog ~outer ~stats ~force_seq (q : Qast.query) : result =
     Rows { columns = labels; rows }
   | Qplan.P_delete { scan } ->
     let tbl = scan.Qplan.stable in
-    let rowids = scan_rowids catalog ~stats ~force_seq ~params ~outer_env scan in
+    let rowids = scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env scan in
     List.iter
       (fun rowid ->
         match Table.get tbl rowid with
@@ -693,7 +738,7 @@ let run_compiled catalog ~outer ~stats ~force_seq (q : Qast.query) : result =
   | Qplan.P_replace { scan; rassigns } ->
     let tbl = scan.Qplan.stable in
     let schema = tbl.Table.schema in
-    let rowids = scan_rowids catalog ~stats ~force_seq ~params ~outer_env scan in
+    let rowids = scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env scan in
     List.iter
       (fun rowid ->
         match Table.get tbl rowid with
@@ -724,8 +769,9 @@ let run_compiled catalog ~outer ~stats ~force_seq (q : Qast.query) : result =
 (* --- dispatcher ---------------------------------------------------- *)
 
 let run catalog ?(binding = fun _ -> None) ?stats ?(mode : mode = `Compiled)
-    ?(force_seq = false) (q : Qast.query) : result =
+    ?(force_seq = false) ?domains (q : Qast.query) : result =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
   let outer = binding in
   match q with
   | Qast.Create_table { name; cols } ->
@@ -744,14 +790,14 @@ let run catalog ?(binding = fun _ -> None) ?stats ?(mode : mode = `Compiled)
   | Qast.Append _ | Qast.Retrieve _ | Qast.Delete _ | Qast.Replace _ -> (
     match mode with
     | `Interpreted -> run_interpreted catalog ~outer ~stats ~force_seq q
-    | `Compiled -> run_compiled catalog ~outer ~stats ~force_seq q)
+    | `Compiled -> run_compiled catalog ~outer ~stats ~force_seq ~domains q)
 
 (** Parse and run. *)
-let run_string catalog ?binding ?stats ?mode ?force_seq input =
+let run_string catalog ?binding ?stats ?mode ?force_seq ?domains input =
   match Qparser.query input with
   | Error e -> Error e
   | Ok q -> (
-    match run catalog ?binding ?stats ?mode ?force_seq q with
+    match run catalog ?binding ?stats ?mode ?force_seq ?domains q with
     | r -> Ok r
     | exception Exec_error e -> Error e
     | exception Catalog.No_such_table t -> Error ("no such table: " ^ t)

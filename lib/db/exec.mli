@@ -30,13 +30,24 @@ exception Exec_error of string
 
 type mode = [ `Compiled | `Interpreted ]
 
-(** [run catalog ?binding ?stats ?mode ?force_seq q] executes one
-    command. [binding] resolves free columns (used for NEW/CURRENT in
-    rule actions). [mode] defaults to [`Compiled]; [`Interpreted] is the
-    pre-compilation tree walker kept as a differential oracle.
+(** Minimum table high-water mark (in row slots) for a compiled
+    sequential scan to be partitioned across domains; below it the scan
+    stays serial. Tests lower it to exercise the parallel path on small
+    tables. *)
+val parallel_scan_threshold : int ref
+
+(** [run catalog ?binding ?stats ?mode ?force_seq ?domains q] executes
+    one command. [binding] resolves free columns (used for NEW/CURRENT
+    in rule actions). [mode] defaults to [`Compiled]; [`Interpreted] is
+    the pre-compilation tree walker kept as a differential oracle.
     [force_seq] disables index/calendar candidate generation so scans and
-    probes can be differenced. Retrieval fires [On_retrieve] per returned
-    tuple; mutations fire their events after the change.
+    probes can be differenced. [domains] caps the lanes a compiled
+    sequential scan may fan out over (default
+    {!Cal_parallel.Pool.default_domains}; the interpreted engine and
+    impure or index-driven scans always run serially). Row order, result
+    rows and counters are identical at every domain count. Retrieval
+    fires [On_retrieve] per returned tuple; mutations fire their events
+    after the change.
     @raise Exec_error and the catalog/schema exceptions. *)
 val run :
   Catalog.t ->
@@ -44,6 +55,7 @@ val run :
   ?stats:stats ->
   ?mode:mode ->
   ?force_seq:bool ->
+  ?domains:int ->
   Qast.query ->
   result
 
@@ -54,5 +66,6 @@ val run_string :
   ?stats:stats ->
   ?mode:mode ->
   ?force_seq:bool ->
+  ?domains:int ->
   string ->
   (result, string) Stdlib.result

@@ -51,10 +51,15 @@ let update t rowid tuple =
 
 let count t = t.live
 
-let iter t f =
-  for rowid = 0 to t.next - 1 do
+let high_water t = t.next
+
+let iter_range t ~lo ~hi f =
+  let hi = min hi t.next in
+  for rowid = max 0 lo to hi - 1 do
     match t.slots.(rowid) with Some tuple -> f rowid tuple | None -> ()
   done
+
+let iter t f = iter_range t ~lo:0 ~hi:t.next f
 
 let fold t f init =
   let acc = ref init in

@@ -24,6 +24,13 @@ val update : t -> int -> tuple -> bool
 (** Live tuples. *)
 val count : t -> int
 
+(** Exclusive upper bound of ever-issued row ids; every live row has
+    [rowid < high_water t]. Partitioned scans chunk [0, high_water). *)
+val high_water : t -> int
+
+(** Visits live rows with [lo <= rowid < hi], in row-id order. *)
+val iter_range : t -> lo:int -> hi:int -> (int -> tuple -> unit) -> unit
+
 (** Visits live rows in row-id order. *)
 val iter : t -> (int -> tuple -> unit) -> unit
 

@@ -87,6 +87,11 @@ type scan = {
   scal : string option;  (** [on <calendar>] source text *)
   svalid_ix : int option;  (** tuple offset of the valid-time column *)
   svalid_col : string option;
+  spure : bool;
+      (** the where clause contains no operator calls, so evaluating it
+          cannot touch shared mutable state (registered operators may
+          mutate — [alert] — or consult the non-thread-safe calendar
+          cache); only pure scans are eligible for domain partitioning *)
 }
 
 type assign = {
@@ -194,6 +199,12 @@ let build_scan env tbl where on_cal =
              (Printf.sprintf "table %s has no valid-time column for the on-clause"
                 (Table.name tbl))))
   in
+  let rec pure = function
+    | Qexpr.Call _ -> false
+    | Qexpr.Col _ | Qexpr.Const _ | Qexpr.Param _ -> true
+    | Qexpr.Binop (_, a, b) -> pure a && pure b
+    | Qexpr.Not e | Qexpr.Neg e -> pure e
+  in
   {
     stable = tbl;
     swhere = Option.map (Qcompile.compile env) where;
@@ -201,6 +212,7 @@ let build_scan env tbl where on_cal =
     scal = on_cal;
     svalid_ix;
     svalid_col;
+    spure = (match where with None -> true | Some w -> pure w);
   }
 
 let build_assigns env schema assigns =

@@ -32,6 +32,10 @@ type scan = {
   scal : string option;  (** [on <calendar>] source text *)
   svalid_ix : int option;  (** tuple offset of the valid-time column *)
   svalid_col : string option;
+  spure : bool;
+      (** no operator calls in the where clause — the predicate is safe
+          to evaluate concurrently, so the sequential scan may be
+          partitioned across domains *)
 }
 
 type assign = {

@@ -49,7 +49,9 @@ let update t rowid tuple =
 
 let get t rowid = Heap.get t.heap rowid
 let count t = Heap.count t.heap
+let high_water t = Heap.high_water t.heap
 let iter t f = Heap.iter t.heap f
+let iter_range t ~lo ~hi f = Heap.iter_range t.heap ~lo ~hi f
 let fold t f init = Heap.fold t.heap f init
 
 let has_index t col = List.mem_assoc col t.indexes

@@ -24,7 +24,15 @@ val update : t -> int -> Value.t array -> bool
 
 val get : t -> int -> Value.t array option
 val count : t -> int
+
+(** Exclusive upper bound of ever-issued row ids (see
+    {!Heap.high_water}); the range partitioned scans chunk over. *)
+val high_water : t -> int
+
 val iter : t -> (int -> Value.t array -> unit) -> unit
+
+(** Visits live rows with [lo <= rowid < hi], in row-id order. *)
+val iter_range : t -> lo:int -> hi:int -> (int -> Value.t array -> unit) -> unit
 val fold : t -> ('a -> int -> Value.t array -> 'a) -> 'a -> 'a
 val has_index : t -> string -> bool
 

@@ -28,6 +28,13 @@ let create ?(epoch = Unit_system.default_epoch) ?lifespan ?clock
   Env.on_change env (fun name -> ignore (Cal_cache.invalidate_dep cache name));
   { env; epoch; lifespan; clock; max_intervals; fuel; cache }
 
+(** A transient view of [t] whose materializations go through [cache]
+    instead of the session cache. No env-change hook is registered: the
+    clone is meant for short-lived read-only evaluation (one parallel
+    batch in a worker domain), and a hook per clone would accumulate on
+    the shared environment. *)
+let with_cache t cache = { t with cache }
+
 (** Lifespan expressed as an interval of [g]-chronons. *)
 let lifespan_in t g =
   let d1, d2 = t.lifespan in

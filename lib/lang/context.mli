@@ -29,6 +29,12 @@ val create :
   unit ->
   t
 
+(** [with_cache t cache] — [t] with its materialization cache swapped
+    for [cache] and {e no} env-change hook registered, for short-lived
+    per-domain evaluation contexts (the session cache is not
+    thread-safe; workers evaluate against private clones). *)
+val with_cache : t -> Calendar.t Cal_cache.t -> t
+
 (** Lifespan expressed as an interval of [g]-chronons. *)
 val lifespan_in : t -> Granularity.t -> Interval.t
 

@@ -1,0 +1,178 @@
+(* Spawn-once worker pool. The mutex guards every mutable field; workers
+   park on [work_ready] between jobs and the caller parks on [work_done]
+   while any worker is still inside the current job. A job is published
+   as (epoch, closure): bumping the epoch is what distinguishes "new
+   work" from a spurious wakeup. *)
+
+type t = {
+  lanes : int;  (* total, including the caller's lane 0 *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable epoch : int;
+  mutable remaining : int;  (* workers still running the current job *)
+  mutable busy : bool;  (* a job is in flight (re-entrancy guard) *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  mutable spawned : bool;
+}
+
+let hardware_domains () = max 1 (Domain.recommended_domain_count ())
+
+let env_domains () =
+  match Sys.getenv_opt "CALRULES_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (min n 64)
+    | _ -> None)
+
+let default_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> min 8 (hardware_domains ())
+
+let create ?domains () =
+  let lanes = match domains with Some n -> n | None -> default_domains () in
+  if lanes < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  {
+    lanes;
+    mutex = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    job = None;
+    epoch = 0;
+    remaining = 0;
+    busy = false;
+    stop = false;
+    workers = [];
+    spawned = false;
+  }
+
+let size t = t.lanes
+
+let worker t lane =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.epoch = !seen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      seen := t.epoch;
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      (* Chunk closures capture their own exceptions; this is belt and
+         braces so a worker can never die with the caller still waiting. *)
+      (match job with Some f -> ( try f lane with _ -> ()) | None -> ());
+      Mutex.lock t.mutex;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.signal t.work_done;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let ensure_spawned t =
+  if (not t.spawned) && not t.stop then begin
+    t.spawned <- true;
+    t.workers <- List.init (t.lanes - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)))
+  end
+
+let shutdown t =
+  let joinable =
+    Mutex.lock t.mutex;
+    let was_stopped = t.stop in
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    if was_stopped then [] else t.workers
+  in
+  List.iter Domain.join joinable;
+  t.workers <- []
+
+(* Run [f lane] once per lane in [0, nlanes); lane 0 on the caller. The
+   closure must not raise (chunk wrappers catch). Caller must have
+   checked [busy = false]. *)
+let run_lanes t (f : int -> unit) =
+  ensure_spawned t;
+  Mutex.lock t.mutex;
+  t.busy <- true;
+  t.job <- Some f;
+  t.epoch <- t.epoch + 1;
+  t.remaining <- t.lanes - 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  (try f 0 with _ -> ());
+  Mutex.lock t.mutex;
+  while t.remaining > 0 do
+    Condition.wait t.work_done t.mutex
+  done;
+  t.job <- None;
+  t.busy <- false;
+  Mutex.unlock t.mutex
+
+let effective_lanes t domains =
+  let d = match domains with Some d -> max 1 d | None -> t.lanes in
+  min d t.lanes
+
+let map_chunks ?domains t ~n f =
+  if n <= 0 then [||]
+  else begin
+    let lanes = min (effective_lanes t domains) n in
+    (* Serialize re-entrant or post-shutdown calls instead of deadlocking. *)
+    let lanes = if lanes > 1 && (t.busy || t.stop) then 1 else lanes in
+    let results = Array.make lanes (Error Exit) in
+    let chunk i =
+      let lo = i * n / lanes and hi = (i + 1) * n / lanes in
+      results.(i) <- (try Ok (f ~lo ~hi) with e -> Error e)
+    in
+    if lanes = 1 then chunk 0 else run_lanes t (fun i -> if i < lanes then chunk i);
+    Array.map (function Ok v -> v | Error e -> raise e) results
+  end
+
+let parallel_map ?domains t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let parts =
+      map_chunks ?domains t ~n (fun ~lo ~hi -> Array.init (hi - lo) (fun k -> f arr.(lo + k)))
+    in
+    if Array.length parts = 1 then parts.(0) else Array.concat (Array.to_list parts)
+  end
+
+let parallel_iter ?domains t f arr =
+  ignore
+    (map_chunks ?domains t ~n:(Array.length arr) (fun ~lo ~hi ->
+         for i = lo to hi - 1 do
+           f arr.(i)
+         done)
+      : unit array)
+
+(* --- the process-wide default pool ---------------------------------- *)
+
+let default_pool = ref None
+
+let install lanes =
+  let p = create ?domains:lanes () in
+  default_pool := Some p;
+  at_exit (fun () -> shutdown p);
+  p
+
+let default () =
+  match !default_pool with Some p -> p | None -> install None
+
+let set_default_domains n =
+  if n < 1 then invalid_arg "Pool.set_default_domains: domains must be >= 1";
+  match !default_pool with
+  | Some p when size p = n -> ()
+  | Some p ->
+    shutdown p;
+    ignore (install (Some n))
+  | None -> ignore (install (Some n))
+
+let ensure_default_domains n =
+  if n > size (default ()) then set_default_domains n

@@ -1,0 +1,68 @@
+(** A fixed-size pool of worker domains — the concurrency substrate for
+    parallel DBCRON next-fire batches and partitioned table scans.
+
+    Workers are spawned once (lazily, on first parallel call) and parked
+    on a condition variable between jobs, so dispatch costs a broadcast
+    rather than a [Domain.spawn]. The caller's own domain always runs
+    lane 0, so a pool of [n] lanes spawns [n - 1] domains and a pool of
+    1 spawns none and degrades to plain serial execution.
+
+    Determinism: work is split into contiguous chunks, one per lane, and
+    results are returned (or concatenated) in chunk order — independent
+    of which domain finishes first. An exception raised inside a chunk
+    is re-raised on the caller after every lane has finished; when
+    several chunks fail, the lowest-numbered chunk's exception wins,
+    which is the same failure a serial left-to-right run would report.
+
+    Pools are owned by one domain: only the domain that created the pool
+    may dispatch on it. A parallel call made {e from inside} a running
+    chunk (re-entrant use) falls back to serial execution in that chunk
+    rather than deadlocking. *)
+
+type t
+
+(** Number of usable lanes reported by the runtime, at least 1. *)
+val hardware_domains : unit -> int
+
+(** Lane count the default pool is created with: [CALRULES_DOMAINS] when
+    set to a positive integer, else {!hardware_domains} capped at 8. *)
+val default_domains : unit -> int
+
+(** [create ?domains ()] — a pool of [domains] lanes (default
+    {!default_domains}). No domain is spawned until the first parallel
+    call. @raise Invalid_argument when [domains < 1]. *)
+val create : ?domains:int -> unit -> t
+
+(** Total lanes, counting the caller's. *)
+val size : t -> int
+
+(** The process-wide shared pool, created on first use (and registered
+    for {!shutdown} at exit). *)
+val default : unit -> t
+
+(** Replace the default pool with one of exactly [n] lanes (joining the
+    old workers). @raise Invalid_argument when [n < 1]. *)
+val set_default_domains : int -> unit
+
+(** Grow the default pool to at least [n] lanes; never shrinks. Used by
+    sessions created with an explicit [?domains] larger than the
+    environment default. *)
+val ensure_default_domains : int -> unit
+
+(** [map_chunks ?domains t ~n f] partitions the index range [0, n) into
+    at most [min domains (size t)] contiguous chunks, runs
+    [f ~lo ~hi] (hi exclusive) on each — lane 0 on the caller — and
+    returns the per-chunk results in ascending chunk order. Empty range
+    gives [[||]]. *)
+val map_chunks : ?domains:int -> t -> n:int -> (lo:int -> hi:int -> 'b) -> 'b array
+
+(** [parallel_map ?domains t f arr] — [Array.map f arr] with the element
+    work split across lanes; the result preserves element order
+    exactly. *)
+val parallel_map : ?domains:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+
+val parallel_iter : ?domains:int -> t -> ('a -> unit) -> 'a array -> unit
+
+(** Join the workers; the pool rejects further parallel dispatch (calls
+    fall back to serial). Idempotent. *)
+val shutdown : t -> unit

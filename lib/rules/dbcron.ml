@@ -15,6 +15,13 @@ type 'a t = {
   mutable heap_peak : int;  (** statistics: max heap size observed *)
 }
 
+(* One probe's worth of entries, heapified in a single O(n) bulk load;
+   the peak is sampled right after, while the batch is fully resident. *)
+let load_batch t entries =
+  Min_heap.add_list t.heap entries;
+  t.loaded <- t.loaded + List.length entries;
+  t.heap_peak <- max t.heap_peak (Min_heap.length t.heap)
+
 let create ~probe_period ~now ~load =
   if probe_period <= 0 then invalid_arg "Dbcron.create: probe_period must be positive";
   let t =
@@ -29,12 +36,7 @@ let create ~probe_period ~now ~load =
   in
   (* Initial probe covers [now, now + T). *)
   t.probes <- 1;
-  List.iter
-    (fun (at, v) ->
-      t.loaded <- t.loaded + 1;
-      Min_heap.push t.heap at v)
-    (load ~window_end:(now + probe_period));
-  t.heap_peak <- Min_heap.length t.heap;
+  load_batch t (load ~window_end:(now + probe_period));
   t
 
 (** Exclusive end of the window the heap currently covers. *)
@@ -80,12 +82,7 @@ let step t ~now ~load =
       if np <= now then begin
         t.last_probe <- np;
         t.probes <- t.probes + 1;
-        List.iter
-          (fun (at, v) ->
-            t.loaded <- t.loaded + 1;
-            Min_heap.push t.heap at v)
-          (load ~window_end:(np + t.probe_period));
-        t.heap_peak <- max t.heap_peak (Min_heap.length t.heap)
+        load_batch t (load ~window_end:(np + t.probe_period))
       end
       else continue := false
   done;

@@ -19,6 +19,7 @@
 
 open Cal_lang
 open Cal_db
+module Pool = Cal_parallel.Pool
 
 type parsed_event =
   | Db_event of Catalog.event_kind * string
@@ -45,6 +46,9 @@ type t = {
   mutable depth : int;
   lookahead : int;
   probe_strategy : Next_fire.strategy;
+  domains : int;  (** max pool lanes for rule batches and query scans *)
+  mutable par_batches : int;  (** next-fire batches computed in parallel *)
+  mutable par_rules : int;  (** rules those batches covered *)
   exec_stats : Exec.stats;
       (** cumulative executor counters over every query this manager runs
           (DBCRON probes, rule actions, user queries) *)
@@ -78,7 +82,7 @@ let ensure_system_tables catalog =
 
 (* The probe: an indexed retrieve over RULE_TIME for triggers before the
    window end, skipping rules already loaded. *)
-let load_upcoming catalog ~stats rules ~window_end =
+let load_upcoming catalog ~stats ~domains rules ~window_end =
   let q =
     Qast.Retrieve
       {
@@ -90,7 +94,7 @@ let load_upcoming catalog ~stats rules ~window_end =
         group_by = [];
       }
   in
-  match Exec.run catalog ~stats q with
+  match Exec.run catalog ~stats ~domains q with
   | Exec.Rows { rows; _ } ->
     List.filter_map
       (fun row ->
@@ -106,18 +110,28 @@ let load_upcoming catalog ~stats rules ~window_end =
   | _ -> []
 
 let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strategy = `Auto)
-    (ctx : Context.t) catalog =
+    ?domains (ctx : Context.t) catalog =
   let clock =
     match ctx.Context.clock with
     | Some c -> c
     | None -> raise (Rule_error "rule manager needs a context with a clock")
+  in
+  let domains =
+    match domains with
+    | Some d when d < 1 -> raise (Rule_error "domains must be >= 1")
+    | Some d ->
+      (* An explicit knob overrides the environment default, so make sure
+         the shared pool actually has that many lanes. *)
+      Pool.ensure_default_domains d;
+      d
+    | None -> Pool.default_domains ()
   in
   ensure_system_tables catalog;
   let rules = Hashtbl.create 16 in
   let exec_stats = Exec.fresh_stats () in
   let cron =
     Dbcron.create ~probe_period ~now:(Clock.now clock)
-      ~load:(load_upcoming catalog ~stats:exec_stats rules)
+      ~load:(load_upcoming catalog ~stats:exec_stats ~domains rules)
   in
   let t =
     {
@@ -131,6 +145,9 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strate
       depth = 0;
       lookahead;
       probe_strategy;
+      domains;
+      par_batches = 0;
+      par_rules = 0;
       exec_stats;
     }
   in
@@ -174,7 +191,9 @@ and run_actions t binding actions =
   Fun.protect
     ~finally:(fun () -> t.depth <- t.depth - 1)
     (fun () ->
-      List.iter (fun q -> ignore (Exec.run t.catalog ~binding ~stats:t.exec_stats q)) actions)
+      List.iter
+        (fun q -> ignore (Exec.run t.catalog ~binding ~stats:t.exec_stats ~domains:t.domains q))
+        actions)
 
 and dispatch_db_event t ev =
   if t.depth < 8 then
@@ -294,12 +313,16 @@ let drop t name =
     List.iter (fun rowid -> ignore (Table.delete info rowid)) rowids;
     true
 
-let fire_calendar_rule t name at =
+(* Phase one of a firing batch: log the firing and run the rule's action
+   — strictly serially, in chronological order (actions mutate the
+   database). Returns the work item for phase two: the rule's calendar
+   expression and the instant its next trigger must follow. *)
+let fire_calendar_action t name at =
   match Hashtbl.find_opt t.rules (norm name) with
-  | None -> () (* dropped while scheduled *)
+  | None -> None (* dropped while scheduled *)
   | Some st -> (
     match st.event with
-    | Db_event _ -> ()
+    | Db_event _ -> None
     | Cal_event { expr; _ } ->
       st.scheduled <- false;
       st.fire_count <- st.fire_count + 1;
@@ -307,21 +330,83 @@ let fire_calendar_rule t name at =
       let binding _ = None in
       if condition_holds t binding st.def.Qast.condition then
         run_actions t binding st.def.Qast.action;
-      let next =
-        Next_fire.next t.ctx expr ~after:at ~lookahead:t.lookahead ~strategy:t.probe_strategy ()
-      in
-      set_next_fire t st name next)
+      Some (name, expr, at))
+
+(* Phase two: recompute every fired rule's next trigger point. The
+   computations are independent — [Next_fire.next] only reads the
+   context — so a batch fans out across the pool, each lane evaluating
+   against a private clone of the session cache (seeded with its
+   entries; the cached calendar values are immutable and safe to
+   share). On join, clone hit/miss counters fold into the session cache
+   stats and entries the session lacks are promoted, then RULE_TIME and
+   the heap are updated serially in batch order. Results cannot depend
+   on the split: each next-fire point is a function of (expression,
+   instant) alone, so the batch is bit-identical to a serial loop. *)
+let recompute_next_fires t batch =
+  let n = Array.length batch in
+  if n > 0 then begin
+    let serially () =
+      Array.map
+        (fun (_, expr, after) ->
+          Next_fire.next t.ctx expr ~after ~lookahead:t.lookahead ~strategy:t.probe_strategy ())
+        batch
+    in
+    let pool = Pool.default () in
+    let lanes = max 1 (min t.domains (Pool.size pool)) in
+    let nexts =
+      if lanes <= 1 || n < 2 then serially ()
+      else begin
+        t.par_batches <- t.par_batches + 1;
+        t.par_rules <- t.par_rules + n;
+        let main_cache = t.ctx.Context.cache in
+        let parts =
+          Pool.map_chunks ~domains:lanes pool ~n (fun ~lo ~hi ->
+              let cache = Cal_cache.create ~capacity:(Cal_cache.capacity main_cache) () in
+              Cal_cache.seed_from cache ~src:main_cache;
+              let ctx = Context.with_cache t.ctx cache in
+              let out =
+                Array.init (hi - lo) (fun k ->
+                    let _, expr, after = batch.(lo + k) in
+                    Next_fire.next ctx expr ~after ~lookahead:t.lookahead
+                      ~strategy:t.probe_strategy ())
+              in
+              (out, cache))
+        in
+        Array.iter
+          (fun (_, cache) ->
+            Cal_cache.merge_lookup_stats ~into:(Cal_cache.stats main_cache)
+              (Cal_cache.stats cache);
+            List.iter
+              (fun (key, deps, v) ->
+                if Option.is_none (Cal_cache.peek main_cache key) then
+                  Cal_cache.add main_cache ~key ~deps v)
+              (List.rev (Cal_cache.entries cache)))
+          parts;
+        Array.concat (List.map fst (Array.to_list parts))
+      end
+    in
+    Array.iteri
+      (fun i next ->
+        let name, _, _ = batch.(i) in
+        (* Re-resolve: an earlier action in the batch may have dropped
+           the rule. *)
+        match Hashtbl.find_opt t.rules (norm name) with
+        | Some st -> set_next_fire t st name next
+        | None -> ())
+      nexts
+  end
 
 (** Advance simulated time, probing and firing everything due on the
     way. *)
 let advance_to t instant =
-  let load = load_upcoming t.catalog ~stats:t.exec_stats t.rules in
+  let load = load_upcoming t.catalog ~stats:t.exec_stats ~domains:t.domains t.rules in
   let rec loop () =
     let ev = Dbcron.next_event t.cron in
     if ev <= instant then begin
       Clock.advance_to t.clock ev;
       let fired = Dbcron.step t.cron ~now:ev ~load in
-      List.iter (fun (at, name) -> fire_calendar_rule t name at) fired;
+      let batch = List.filter_map (fun (at, name) -> fire_calendar_action t name at) fired in
+      recompute_next_fires t (Array.of_list batch);
       loop ()
     end
   in
@@ -342,7 +427,7 @@ let run_query t ?binding source =
     if drop t name then Ok (Exec.Msg (Printf.sprintf "rule %s dropped" name))
     else Error (Printf.sprintf "no rule %s" name)
   | Ok q -> (
-    match Exec.run t.catalog ?binding ~stats:t.exec_stats q with
+    match Exec.run t.catalog ?binding ~stats:t.exec_stats ~domains:t.domains q with
     | r -> Ok r
     | exception Exec.Exec_error e -> Error e
     | exception Rule_error e -> Error e
@@ -381,3 +466,5 @@ let dbcron_stats t = Dbcron.stats t.cron
 let dbcron_heap_peak t = Dbcron.heap_peak t.cron
 let exec_stats t = t.exec_stats
 let plan_cache_stats t = Qplan.cache_stats t.catalog
+let domains t = t.domains
+let parallel_stats t = (t.par_batches, t.par_rules)

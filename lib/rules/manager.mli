@@ -25,19 +25,29 @@ type firing = { rule : string; at : int (** instant *) }
 
 exception Rule_error of string
 
-(** [create ?probe_period ?lookahead ?probe_strategy ctx catalog]
-    installs the system tables, the executor hook and the [alert]
-    operator, and starts DBCRON at the context clock's current instant.
-    Defaults: probe every simulated day, 400-day next-fire lookahead,
-    [`Auto] probe strategy (next-fire computations stream lazily when
-    {!Next_fire.strategy} allows, else materialize windows; force
-    [`Materialize] or [`Stream] to pin one path, e.g. for the
+(** [create ?probe_period ?lookahead ?probe_strategy ?domains ctx
+    catalog] installs the system tables, the executor hook and the
+    [alert] operator, and starts DBCRON at the context clock's current
+    instant. Defaults: probe every simulated day, 400-day next-fire
+    lookahead, [`Auto] probe strategy (next-fire computations stream
+    lazily when {!Next_fire.strategy} allows, else materialize windows;
+    force [`Materialize] or [`Stream] to pin one path, e.g. for the
     differential tests and benchmarks).
-    @raise Rule_error when the context has no clock. *)
+
+    [domains] caps the pool lanes used for this manager's parallel work:
+    batched next-fire recomputation after a DBCRON firing wave, and
+    partitioned sequential scans in the queries it runs (default
+    {!Cal_parallel.Pool.default_domains}; an explicit value grows the
+    shared pool if needed). [1] pins everything serial. Firing order,
+    query results and RULE_TIME contents are identical at every setting;
+    only wall-clock time and the cache's hit/miss split (per-domain
+    clones count their own lookups) may differ.
+    @raise Rule_error when the context has no clock or [domains < 1]. *)
 val create :
   ?probe_period:int ->
   ?lookahead:int ->
   ?probe_strategy:Next_fire.strategy ->
+  ?domains:int ->
   Context.t ->
   Catalog.t ->
   t
@@ -90,3 +100,10 @@ val exec_stats : t -> Exec.stats
 
 (** The catalog's plan-cache counters. *)
 val plan_cache_stats : t -> Qplan.cache_stats
+
+(** The lane cap this manager was created with. *)
+val domains : t -> int
+
+(** [(batches, rules)] — next-fire batches that fanned out across the
+    pool, and how many rule recomputations they covered. *)
+val parallel_stats : t -> int * int

@@ -1,14 +1,25 @@
 (** Array-based binary min-heap keyed by integer priority — DBCRON's
-    main-memory structure of upcoming trigger points. *)
+    main-memory structure of upcoming trigger points.
+
+    Entries carry an insertion sequence number and the heap orders by
+    (priority, sequence), so equal-priority entries pop in insertion
+    order. That makes the pop sequence a function of the insertion
+    sequence alone — bulk {!add_list} heapification and one-by-one
+    {!push} produce identical pop orders, which is what lets DBCRON
+    switch probe loading to O(n) heapify without perturbing the firing
+    order of rules that trigger at the same instant. *)
 
 type 'a t = {
-  mutable arr : (int * 'a) array;
+  mutable arr : (int * int * 'a) array;  (* (priority, insertion seq, payload) *)
   mutable len : int;
+  mutable seq : int;
 }
 
-let create () = { arr = [||]; len = 0 }
+let create () = { arr = [||]; len = 0; seq = 0 }
 let length t = t.len
 let is_empty t = t.len = 0
+
+let less (p1, s1, _) (p2, s2, _) = p1 < p2 || (p1 = p2 && s1 < s2)
 
 let swap t i j =
   let x = t.arr.(i) in
@@ -18,7 +29,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if fst t.arr.(i) < fst t.arr.(parent) then begin
+    if less t.arr.(i) t.arr.(parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -27,35 +38,40 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.len && fst t.arr.(l) < fst t.arr.(!smallest) then smallest := l;
-  if r < t.len && fst t.arr.(r) < fst t.arr.(!smallest) then smallest := r;
+  if l < t.len && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+  if r < t.len && less t.arr.(r) t.arr.(!smallest) then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
-let push t prio v =
-  if t.len = Array.length t.arr then begin
-    let bigger = Array.make (max 8 (2 * t.len)) (0, v) in
+let reserve t extra dummy =
+  let needed = t.len + extra in
+  if needed > Array.length t.arr then begin
+    let bigger = Array.make (max 8 (max needed (2 * t.len))) dummy in
     Array.blit t.arr 0 bigger 0 t.len;
     t.arr <- bigger
-  end;
-  t.arr.(t.len) <- (prio, v);
+  end
+
+let push t prio v =
+  reserve t 1 (prio, 0, v);
+  t.arr.(t.len) <- (prio, t.seq, v);
+  t.seq <- t.seq + 1;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
 
-let peek t = if t.len = 0 then None else Some t.arr.(0)
+let peek t = if t.len = 0 then None else Some (let p, _, v = t.arr.(0) in (p, v))
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.arr.(0) in
+    let p, _, v = t.arr.(0) in
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.arr.(0) <- t.arr.(t.len);
       sift_down t 0
     end;
-    Some top
+    Some (p, v)
   end
 
 (** Pop every entry with priority <= [bound], in priority order. *)
@@ -67,3 +83,34 @@ let pop_due t bound =
     | _ -> List.rev acc
   in
   go []
+
+(** Bulk insertion: append every entry, then restore the heap property
+    in one bottom-up Floyd pass — O(len + |entries|) instead of the
+    O(|entries| log len) of repeated pushes. Small batches relative to
+    the heap sift up individually instead, which is cheaper than
+    re-heapifying everything. *)
+let add_list t entries =
+  match entries with
+  | [] -> ()
+  | (p0, v0) :: _ ->
+    let m = List.length entries in
+    reserve t m (p0, 0, v0);
+    List.iter
+      (fun (p, v) ->
+        t.arr.(t.len) <- (p, t.seq, v);
+        t.seq <- t.seq + 1;
+        t.len <- t.len + 1)
+      entries;
+    if m >= max 8 (t.len / 4) then
+      for i = (t.len / 2) - 1 downto 0 do
+        sift_down t i
+      done
+    else
+      for i = t.len - m to t.len - 1 do
+        sift_up t i
+      done
+
+let of_list entries =
+  let t = create () in
+  add_list t entries;
+  t

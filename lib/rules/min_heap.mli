@@ -1,5 +1,10 @@
 (** Array-based binary min-heap keyed by integer priority — DBCRON's
-    main-memory structure of upcoming trigger points. *)
+    main-memory structure of upcoming trigger points.
+
+    The heap is {e stable}: entries with equal priority pop in insertion
+    order, so the pop sequence depends only on the insertion sequence —
+    {!push} loops and {!add_list}/{!of_list} bulk heapification are
+    observationally identical. *)
 
 type 'a t
 
@@ -7,6 +12,14 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 val push : 'a t -> int -> 'a -> unit
+
+(** [add_list t entries] inserts every [(priority, payload)] pair in one
+    O(length t + |entries|) bottom-up heapify (falling back to
+    individual sift-ups when [entries] is small relative to the heap). *)
+val add_list : 'a t -> (int * 'a) list -> unit
+
+(** [of_list entries] — a fresh heap built by {!add_list}. *)
+val of_list : (int * 'a) list -> 'a t
 
 (** Smallest-priority entry, not removed. *)
 val peek : 'a t -> (int * 'a) option

@@ -1,0 +1,298 @@
+(* The multicore execution layer: the domain pool itself, bulk heap
+   loading, and the determinism contracts — parallel DBCRON probes and
+   partitioned scans must be bit-identical to their serial oracles at
+   every domain count. *)
+
+open Cal_db
+module Pool = Cal_parallel.Pool
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let epoch93 = Civil.make 1993 1 1
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_map () =
+  let pool = Pool.create ~domains:4 () in
+  check_int "size" 4 (Pool.size pool);
+  let arr = Array.init 1000 (fun i -> i) in
+  let doubled = Pool.parallel_map pool (fun x -> 2 * x) arr in
+  check_bool "parallel_map = Array.map" true (doubled = Array.map (fun x -> 2 * x) arr);
+  let chunks = Pool.map_chunks pool ~n:10 (fun ~lo ~hi -> (lo, hi)) in
+  let covered =
+    Array.to_list chunks |> List.concat_map (fun (lo, hi) -> List.init (hi - lo) (( + ) lo))
+  in
+  check_bool "chunks cover [0,10) in order" true (covered = List.init 10 Fun.id);
+  check_bool "empty range" true (Pool.map_chunks pool ~n:0 (fun ~lo:_ ~hi:_ -> ()) = [||]);
+  Pool.shutdown pool
+
+let test_pool_exception () =
+  let pool = Pool.create ~domains:4 () in
+  let raised =
+    try
+      ignore
+        (Pool.map_chunks pool ~n:8 (fun ~lo ~hi:_ ->
+             if lo >= 0 then failwith (string_of_int lo) else ()));
+      "none"
+    with Failure m -> m
+  in
+  (* Every chunk fails; the serial (lowest-index) failure must win. *)
+  check_bool "lowest chunk's exception wins" true (raised = "0");
+  (* The pool survives a failed dispatch. *)
+  let ok = Pool.parallel_map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+  check_bool "pool usable after exception" true (ok = [| 2; 3; 4 |]);
+  Pool.shutdown pool
+
+let test_pool_reentrant () =
+  let pool = Pool.create ~domains:2 () in
+  (* A parallel call from inside a chunk must degrade to serial, not
+     deadlock. *)
+  let nested =
+    Pool.map_chunks pool ~n:2 (fun ~lo ~hi:_ ->
+        Array.length (Pool.map_chunks pool ~n:4 (fun ~lo:l ~hi:h -> (lo, l, h))))
+  in
+  check_bool "nested dispatch serialises" true (Array.for_all (fun n -> n >= 1) nested);
+  Pool.shutdown pool
+
+let test_pool_domains_cap () =
+  let pool = Pool.create ~domains:4 () in
+  let chunks = Pool.map_chunks ~domains:2 pool ~n:100 (fun ~lo ~hi -> (lo, hi)) in
+  check_bool "?domains caps chunk count" true (Array.length chunks <= 2);
+  let one = Pool.map_chunks ~domains:1 pool ~n:100 (fun ~lo ~hi -> (lo, hi)) in
+  check_bool "domains:1 is one serial chunk" true (one = [| (0, 100) |]);
+  Pool.shutdown pool;
+  (* After shutdown, dispatch degrades to serial rather than failing. *)
+  let after = Pool.parallel_map pool (fun x -> x * x) [| 1; 2; 3 |] in
+  check_bool "post-shutdown fallback" true (after = [| 1; 4; 9 |])
+
+(* ------------------------------------------------------------------ *)
+(* Min_heap bulk load *)
+
+let drain h =
+  let rec go acc =
+    match Cal_rules.Min_heap.pop h with Some pv -> go (pv :: acc) | None -> List.rev acc
+  in
+  go []
+
+let prop_heap_bulk_load =
+  QCheck2.Test.make ~name:"of_list pops like per-entry push (incl. ties)" ~count:500
+    QCheck2.Gen.(list_size (int_range 0 200) (pair (int_range 0 20) (int_range 0 1000)))
+    (fun entries ->
+      let pushed = Cal_rules.Min_heap.create () in
+      List.iter (fun (p, v) -> Cal_rules.Min_heap.push pushed p v) entries;
+      let bulk = Cal_rules.Min_heap.of_list entries in
+      drain pushed = drain bulk)
+
+let prop_heap_add_list_mixed =
+  QCheck2.Test.make ~name:"add_list after pushes = pushing everything" ~count:500
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 50) (pair (int_range 0 10) small_int))
+        (list_size (int_range 0 150) (pair (int_range 0 10) small_int)))
+    (fun (first, second) ->
+      let incremental = Cal_rules.Min_heap.create () in
+      List.iter (fun (p, v) -> Cal_rules.Min_heap.push incremental p v) (first @ second);
+      let bulk = Cal_rules.Min_heap.create () in
+      List.iter (fun (p, v) -> Cal_rules.Min_heap.push bulk p v) first;
+      Cal_rules.Min_heap.add_list bulk second;
+      drain incremental = drain bulk)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel DBCRON probe = serial probe *)
+
+let rule_specs =
+  [|
+    "[1]/DAYS:during:WEEKS";
+    "[2]/DAYS:during:WEEKS";
+    "[5]/DAYS:during:WEEKS";
+    "[1]/DAYS:during:MONTHS";
+    "[10]/DAYS:during:MONTHS";
+    "[15]/DAYS:during:MONTHS";
+    "[3]/DAYS:during:WEEKS + [20]/DAYS:during:MONTHS";
+    "[1]/DAYS:during:([3,6,9,12]/MONTHS:during:YEARS)";
+  |]
+
+(* One DBCRON run: [nrules] rules drawn from [rule_specs] by index,
+   advanced [days] simulated days at [domains] lanes. Returns everything
+   the determinism contract covers: the firing log (names and instants,
+   in order), the RULE_TIME table contents, and the dbcron counters. *)
+let probe_run ~domains ~days spec_idxs =
+  let s =
+    Calrules.Session.create ~epoch:epoch93
+      ~lifespan:(Civil.make 1993 1 1, Civil.make 1994 12 31)
+      ~cache_capacity:64 ~domains ()
+  in
+  List.iteri
+    (fun i k ->
+      match
+        Calrules.Session.query s
+          (Printf.sprintf "define rule r%d on calendar \"%s\" do retrieve (1)" i
+             rule_specs.(k mod Array.length rule_specs))
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "define rule: %s" e)
+    spec_idxs;
+  Calrules.Session.advance_days s days;
+  let firings =
+    List.map
+      (fun f -> (f.Cal_rules.Manager.rule, f.Cal_rules.Manager.at))
+      (Calrules.Session.firings s)
+  in
+  let rule_time =
+    match Calrules.Session.query s "retrieve (name, next_fire) from rule_time" with
+    | Ok (Exec.Rows { rows; _ }) ->
+      List.map (fun r -> (Value.to_string r.(0), Value.to_string r.(1))) rows
+    | _ -> Alcotest.fail "rule_time query failed"
+  in
+  (firings, rule_time, Cal_rules.Manager.dbcron_stats s.Calrules.Session.manager)
+
+let prop_parallel_probe_deterministic =
+  QCheck2.Test.make ~name:"parallel DBCRON probe = serial (1/2/4 domains)" ~count:12
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 12) (int_range 0 100)) (int_range 1 20))
+    (fun (spec_idxs, days) ->
+      let serial = probe_run ~domains:1 ~days spec_idxs in
+      serial = probe_run ~domains:2 ~days spec_idxs
+      && serial = probe_run ~domains:4 ~days spec_idxs)
+
+(* A directed case large enough that every probe actually batches in
+   parallel (the qcheck sizes keep runtime down but can fall below the
+   2-rule batching floor). *)
+let test_parallel_probe_batches () =
+  let spec_idxs = List.init 64 Fun.id in
+  let f1, rt1, ds1 = probe_run ~domains:1 ~days:30 spec_idxs in
+  let f4, rt4, ds4 = probe_run ~domains:4 ~days:30 spec_idxs in
+  check_bool "firings identical" true (f1 = f4);
+  check_bool "rule_time identical" true (rt1 = rt4);
+  check_bool "dbcron stats identical" true (ds1 = ds4);
+  check_bool "fired a lot" true (List.length f1 > 100)
+
+let test_session_reports_domains () =
+  let s =
+    Calrules.Session.create ~epoch:epoch93
+      ~lifespan:(Civil.make 1993 1 1, Civil.make 1993 12 31)
+      ~domains:3 ()
+  in
+  check_int "manager domains" 3 (Cal_rules.Manager.domains s.Calrules.Session.manager);
+  let spec_idxs = List.init 8 Fun.id in
+  let s4 =
+    Calrules.Session.create ~epoch:epoch93
+      ~lifespan:(Civil.make 1993 1 1, Civil.make 1994 12 31)
+      ~domains:4 ()
+  in
+  List.iteri
+    (fun i k ->
+      ignore
+        (Calrules.Session.query s4
+           (Printf.sprintf "define rule r%d on calendar \"%s\" do retrieve (1)" i
+              rule_specs.(k mod Array.length rule_specs))))
+    spec_idxs;
+  Calrules.Session.advance_days s4 21;
+  let batches, rules = Cal_rules.Manager.parallel_stats s4.Calrules.Session.manager in
+  check_bool "parallel batches ran" true (batches > 0 && rules > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned scan = serial scan *)
+
+(* Random pure-arithmetic where clauses over (day chronon, qty int,
+   price float) — the shapes the planner marks partitionable. *)
+let where_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun k -> Printf.sprintf "qty > %d" k) (int_range 0 200);
+        map (fun k -> Printf.sprintf "qty * 3 - %d > qty + 7" k) (int_range 0 300);
+        map
+          (fun (a, b) -> Printf.sprintf "qty >= %d and not (qty = %d)" a b)
+          (pair (int_range 0 150) (int_range 0 150));
+        map
+          (fun k -> Printf.sprintf "price * 2.0 > %d.5 and qty - 1 < %d" k (k / 2))
+          (int_range 0 180);
+        return "qty = qty";
+      ])
+
+let scan_rows catalog ~domains q =
+  match Exec.run catalog ~stats:(Exec.fresh_stats ()) ~domains q with
+  | Exec.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let prop_parallel_scan_deterministic =
+  QCheck2.Test.make ~name:"partitioned scan = serial scan (1/2/4 domains)" ~count:40
+    QCheck2.Gen.(pair (int_range 0 400) where_gen)
+    (fun (nrows, where) ->
+      (* Threshold 0 so even tiny tables exercise the partitioned path. *)
+      let saved = !Exec.parallel_scan_threshold in
+      Exec.parallel_scan_threshold := 0;
+      Fun.protect
+        ~finally:(fun () -> Exec.parallel_scan_threshold := saved)
+        (fun () ->
+          let cat = Catalog.create () in
+          (match
+             Exec.run_string cat "create table t (day chronon valid, qty int, price float)"
+           with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "create: %s" e);
+          let tbl = Catalog.table cat "t" in
+          for i = 0 to nrows - 1 do
+            ignore
+              (Table.insert tbl
+                 [|
+                   Value.Chronon (i + 1);
+                   Value.Int ((i * 37) mod 211);
+                   Value.Float (float_of_int ((i * 13) mod 97) +. 0.5);
+                 |])
+          done;
+          (* Deletions leave holes so chunked iteration must skip dead
+             rows exactly like the serial fold. *)
+          if nrows > 10 then
+            ignore (Exec.run_string cat "delete t where qty > 180");
+          let q =
+            match
+              Qparser.query (Printf.sprintf "retrieve (day, qty, price) from t where %s" where)
+            with
+            | Ok q -> q
+            | Error e -> Alcotest.failf "parse: %s" e
+          in
+          let serial = scan_rows cat ~domains:1 q in
+          serial = scan_rows cat ~domains:2 q && serial = scan_rows cat ~domains:4 q))
+
+let test_scan_threshold_gates () =
+  let cat = Catalog.create () in
+  ignore (Exec.run_string cat "create table t (qty int)");
+  let tbl = Catalog.table cat "t" in
+  for i = 0 to 99 do
+    ignore (Table.insert tbl [| Value.Int i |])
+  done;
+  let q =
+    match Qparser.query "retrieve (qty) from t where qty >= 0" with
+    | Ok q -> q
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  (* Below the threshold the scan must stay serial even at 4 domains —
+     observable only as identical results here, but it must not wedge on
+     a tiny table. *)
+  check_int "100 rows back" 100 (List.length (scan_rows cat ~domains:4 q))
+
+let () =
+  Pool.ensure_default_domains 4;
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_map / map_chunks" `Quick test_pool_map;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "re-entrant dispatch" `Quick test_pool_reentrant;
+          Alcotest.test_case "domain caps and shutdown" `Quick test_pool_domains_cap;
+        ] );
+      qsuite "min-heap bulk" [ prop_heap_bulk_load; prop_heap_add_list_mixed ];
+      ( "dbcron determinism",
+        Alcotest.test_case "64 rules, 30 days, 1 vs 4 domains" `Quick
+          test_parallel_probe_batches
+        :: Alcotest.test_case "session threads the knob" `Quick test_session_reports_domains
+        :: List.map QCheck_alcotest.to_alcotest [ prop_parallel_probe_deterministic ] );
+      ( "scan determinism",
+        Alcotest.test_case "threshold gates tiny tables" `Quick test_scan_threshold_gates
+        :: List.map QCheck_alcotest.to_alcotest [ prop_parallel_scan_deterministic ] );
+    ]
