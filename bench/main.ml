@@ -1257,6 +1257,145 @@ let e17 () =
     write_json ~file:"BENCH_E17.json" (Buffer.contents buf)
   end
 
+(* E18: the durability layer — what journaling every completed statement
+   costs on a mixed DML + rule + advance workload, and how fast a session
+   rebuilds from disk: full-journal replay vs snapshot + short tail.
+   Recovery correctness is asserted with state digests (the recovered
+   session must be bit-identical to the one that wrote the files). With
+   --json, the measurements are also written to BENCH_E18.json. *)
+
+let e18 () =
+  header "E18 | Durability: journal overhead + snapshot/replay recovery";
+  let lifespan = (Civil.make 1993 1 1, Civil.make 1994 12 31) in
+  let path = Filename.temp_file "bench_e18" ".journal" in
+  let path_a = Filename.temp_file "bench_e18a" ".journal" in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ path; path ^ ".snap"; path_a; path_a ^ ".snap" ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  (* Part A: per-record overhead, measured on the cheapest statements
+     (single-row appends) where the journal's relative cost peaks. *)
+  let n_over = 8_000 in
+  let append_workload s =
+    (match Session.query s "create table ticks (day chronon valid, qty int)" with
+    | Ok _ -> ()
+    | Error e -> failwith e);
+    for i = 1 to n_over do
+      match Session.query s (Printf.sprintf "append ticks (day = @%d, qty = %d)" ((i mod 300) + 1) i) with
+      | Ok _ -> ()
+      | Error e -> failwith e
+    done
+  in
+  let s_plain = Session.create ~epoch:epoch93 ~lifespan ~cache_capacity:512 () in
+  let _, t_plain = wall (fun () -> append_workload s_plain) in
+  let s_a = Session.open_journaled ~path:path_a ~epoch:epoch93 ~lifespan ~cache_capacity:512 () in
+  let _, t_journaled = wall (fun () -> append_workload s_a) in
+  let overhead_pct = (t_journaled -. t_plain) /. t_plain *. 100.0 in
+  let per_record_us = (t_journaled -. t_plain) /. float_of_int (n_over + 1) *. 1e6 in
+  Printf.printf "\n  journal overhead, %d single-row appends:\n" n_over;
+  Printf.printf "    plain session:     %s\n" (time_str t_plain);
+  Printf.printf "    journaled session: %s   (+%.1f%%, %.1f us/record)\n" (time_str t_journaled)
+    overhead_pct per_record_us;
+  (* Part B: recovery. History exceeds state — the churn statements
+     rewrite rows in place, so the journal holds 4x more operations than
+     the final table does rows: the regime snapshots exist for. *)
+  let nrows = 2_000 and nchurn = 6_000 and nrules = 50 and sim_days = 30 in
+  let spec i = Printf.sprintf "[%d]/DAYS:during:WEEKS" ((i mod 7) + 1) in
+  let s_j = Session.open_journaled ~path ~epoch:epoch93 ~lifespan ~cache_capacity:512 () in
+  let run q = match Session.query s_j q with Ok _ -> () | Error e -> failwith e in
+  run "create table trades (day chronon valid, qty int)";
+  for i = 1 to nrows do
+    run (Printf.sprintf "append trades (day = @%d, qty = %d)" ((i mod 300) + 1) i)
+  done;
+  for i = 1 to nchurn do
+    run (Printf.sprintf "replace trades (qty = %d) where trades.day = @%d" i ((i mod 300) + 1))
+  done;
+  for i = 1 to nrules do
+    run (Printf.sprintf "define rule r%d on calendar \"%s\" do retrieve (1)" i (spec i))
+  done;
+  Session.advance_days s_j sim_days;
+  let records = List.length (Journal.read_records path) in
+  let journal_bytes =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  Printf.printf
+    "\n  recovery workload: %d appends + %d replaces + %d rule defs + %d simulated days\n"
+    nrows nchurn nrules sim_days;
+  Printf.printf "    journal: %d records, %d KiB\n" records (journal_bytes / 1024);
+  (* Part B: rebuild the session from disk — full replay, then snapshot
+     plus a short journal tail. *)
+  let live = Session.state_digest s_j in
+  let r1, t_replay =
+    wall (fun () -> Session.recover ~path ~epoch:epoch93 ~lifespan ~cache_capacity:512 ())
+  in
+  let replay_ok = Session.state_digest r1 = live in
+  (* [recover] supersedes the on-disk files: from here the recovered
+     session owns the path, so the snapshot phase writes through it. *)
+  Session.snapshot r1;
+  (match Session.query r1 "append trades (day = @1, qty = 0)" with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let live_tail = Session.state_digest r1 in
+  let r2, t_snap =
+    wall (fun () -> Session.recover ~path ~epoch:epoch93 ~lifespan ~cache_capacity:512 ())
+  in
+  let snap_ok = Session.state_digest r2 = live_tail in
+  Printf.printf "\n  recovery to a bit-identical session:\n";
+  Printf.printf "    full journal replay (%d records): %s   (%.0f records/s)   digest ok: %b\n"
+    records (time_str t_replay)
+    (float_of_int records /. t_replay)
+    replay_ok;
+  Printf.printf "    snapshot + 1-record tail:         %s   (%.1fx faster)   digest ok: %b\n"
+    (time_str t_snap) (speedup t_replay t_snap) snap_ok;
+  print_endline "\n  claim: durability costs a bounded per-statement journal append, and";
+  print_endline "  snapshots turn recovery from O(history) replay into O(state) load";
+  print_endline "  plus the journal tail written since.";
+  if !json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"experiment\": \"E18\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"workload\": {\n\
+         \    \"rows\": %d,\n\
+         \    \"churn_statements\": %d,\n\
+         \    \"rules\": %d,\n\
+         \    \"simulated_days\": %d,\n\
+         \    \"journal_records\": %d,\n\
+         \    \"journal_bytes\": %d\n\
+         \  },\n"
+         nrows nchurn nrules sim_days records journal_bytes);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"journal_overhead\": {\n\
+         \    \"appends\": %d,\n\
+         \    \"plain_s\": %.6f,\n\
+         \    \"journaled_s\": %.6f,\n\
+         \    \"overhead_pct\": %.2f,\n\
+         \    \"per_record_us\": %.2f\n\
+         \  },\n"
+         n_over t_plain t_journaled overhead_pct per_record_us);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"recovery\": {\n\
+         \    \"replay_s\": %.6f,\n\
+         \    \"replay_records_per_s\": %.0f,\n\
+         \    \"replay_digest_ok\": %b,\n\
+         \    \"snapshot_tail_s\": %.6f,\n\
+         \    \"snapshot_speedup\": %.2f,\n\
+         \    \"snapshot_digest_ok\": %b\n\
+         \  }\n"
+         t_replay
+         (float_of_int records /. t_replay)
+         replay_ok t_snap (speedup t_replay t_snap) snap_ok);
+    Buffer.add_string buf "}\n";
+    write_json ~file:"BENCH_E18.json" (Buffer.contents buf)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
@@ -1270,7 +1409,7 @@ let perf =
   [
     ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
     ("E9", e9); ("E10", e10_perf); ("E11", e11_perf); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18);
   ]
 
 let () =
@@ -1288,7 +1427,7 @@ let () =
   let all = figures @ perf in
   let selected =
     match args with
-    | [] -> if !json_mode then [ ("E15", e15); ("E16", e16); ("E17", e17) ] else all
+    | [] -> if !json_mode then [ ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18) ] else all
     | [ "figures" ] -> figures
     | [ "perf" ] -> perf
     | ids ->

@@ -28,10 +28,20 @@ let domains_arg =
           "Worker domains for parallel rule batches and partitioned scans (default: \
            \\$(b,CALRULES_DOMAINS) or the hardware count; 1 forces serial execution).")
 
-let make_session epoch domains =
-  Session.create ~epoch
-    ~lifespan:(Civil.make epoch.Civil.year 1 1, Civil.make (epoch.Civil.year + 39) 12 31)
-    ?domains ()
+let journal_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Durable session: journal every completed statement to \\$(docv), recovering the \
+           snapshot+journal state already there when the files exist.")
+
+let make_session ?journal epoch domains =
+  let lifespan = (Civil.make epoch.Civil.year 1 1, Civil.make (epoch.Civil.year + 39) 12 31) in
+  match journal with
+  | Some path -> Session.recover ~path ~epoch ~lifespan ?domains ()
+  | None -> Session.create ~epoch ~lifespan ?domains ()
 
 let print_calendar session cal =
   Printf.printf "%s\n" (Calendar.to_string cal);
@@ -83,6 +93,10 @@ let handle session line =
       \  advance <days>                   advance the simulated clock\n\
       \  save <file> | load <file>        persist / restore the session\n\
       \  today | alerts | calendars       session state\n\
+      \  rules | errors | quarantined     rule health, failures, quarantine\n\
+      \  requeue <rule>                   re-arm a quarantined rule\n\
+      \  snapshot                         persist state, truncate the journal\n\
+      \  catchup <policy> <days>          fire_once|skip|replay_all missed triggers\n\
       \  stats                            executor / cache / dbcron counters\n\
       \  quit"
   else if line = "today" then
@@ -92,6 +106,65 @@ let handle session line =
     List.iter
       (fun (msg, at) -> Printf.printf "  %s at instant %d\n" msg at)
       (Session.alerts session)
+  else if line = "rules" then
+    List.iter
+      (fun name ->
+        match Session.rule_health session name with
+        | Some (fired, failures, quarantined) ->
+          Printf.printf "  %s: %d firings, %d consecutive failures%s%s\n" name fired failures
+            (if quarantined then ", QUARANTINED" else "")
+            (match Cal_rules.Manager.next_fire session.Session.manager name with
+            | Some at -> Printf.sprintf ", next fire at instant %d" at
+            | None -> "")
+        | None -> ())
+      (Cal_rules.Manager.rule_names session.Session.manager)
+  else if line = "errors" then begin
+    match Session.rule_errors session with
+    | [] -> print_endline "  no rule failures recorded"
+    | errors ->
+      List.iter
+        (fun (rule, at, attempt, msg) ->
+          Printf.printf "  %s at instant %d (attempt %d): %s\n" rule at attempt msg)
+        errors
+  end
+  else if line = "quarantined" then begin
+    match Session.quarantined_rules session with
+    | [] -> print_endline "  no quarantined rules"
+    | names -> List.iter (fun n -> Printf.printf "  %s\n" n) names
+  end
+  else if first_word line = "requeue" then begin
+    match String.split_on_char ' ' line with
+    | [ _; name ] ->
+      if Session.requeue session name then Printf.printf "rule %s requeued\n" name
+      else Printf.printf "error: no quarantined rule %s\n" name
+    | _ -> print_endline "usage: requeue <rule>"
+  end
+  else if line = "snapshot" then begin
+    match Session.snapshot session with
+    | () -> (
+      match Session.journal_path session with
+      | Some p -> Printf.printf "snapshot written to %s.snap, journal truncated\n" p
+      | None -> ())
+    | exception Session.Session_error e -> Printf.printf "error: %s\n" e
+  end
+  else if first_word line = "catchup" then begin
+    let usage () = print_endline "usage: catchup <fire_once|skip|replay_all> <days>" in
+    match String.split_on_char ' ' line with
+    | [ _; pol; days ] -> (
+      let policy =
+        match pol with
+        | "fire_once" -> Some Cal_rules.Manager.Fire_once
+        | "skip" -> Some Cal_rules.Manager.Skip
+        | "replay_all" -> Some Cal_rules.Manager.Replay_all
+        | _ -> None
+      in
+      match (policy, int_of_string_opt days) with
+      | Some policy, Some days ->
+        Session.catch_up session ~policy (Session.now session + (days * 86400));
+        Printf.printf "caught up to %s\n" (Civil.to_string (Session.today session))
+      | _ -> usage ())
+    | _ -> usage ()
+  end
   else if line = "calendars" then begin
     match Session.query session "retrieve (name, granularity) from calendars" with
     | Ok r -> print_result session r
@@ -149,10 +222,11 @@ let handle session line =
     | Error e -> Printf.printf "error: %s\n" e
   end
 
-let repl epoch domains =
-  let session = make_session epoch domains in
-  Printf.printf "calq — calendar system shell (epoch %s). Type `help'.\n"
-    (Civil.to_string epoch);
+let repl epoch domains journal =
+  let session = make_session ?journal epoch domains in
+  Printf.printf "calq — calendar system shell (epoch %s%s). Type `help'.\n"
+    (Civil.to_string epoch)
+    (match journal with Some p -> ", journaling to " ^ p | None -> "");
   let rec loop () =
     print_string "calq> ";
     match read_line () with
@@ -199,7 +273,7 @@ let () =
   let epoch_term = date_arg Unit_system.default_epoch "Session epoch (day chronon 1)." in
   let repl_cmd =
     Cmd.v (Cmd.info "repl" ~doc:"Interactive calendar shell")
-      Term.(const repl $ epoch_term $ domains_arg)
+      Term.(const repl $ epoch_term $ domains_arg $ journal_arg)
   in
   let eval_cmd =
     let expr =

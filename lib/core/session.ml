@@ -26,9 +26,26 @@ type t = {
   catalog : Catalog.t;
   manager : Cal_rules.Manager.t;
   clock : Clock.t;
+  injector : Cal_faults.Injector.t;
+  mutable journal : Journal.t option;  (** present on durable sessions *)
 }
 
 exception Session_error of string
+
+(* Durable sessions journal every completed state-changing operation as
+   one record, [<kind> <payload>]. Operations that raise journal
+   nothing: their raising paths all validate before mutating. Replay
+   applies records with [journal = None], so nothing is re-journaled. *)
+let journal_record t payload =
+  match t.journal with Some j -> Journal.append j payload | None -> ()
+
+(* Run [f] with journaling suspended: used by [load], whose inner
+   definitions would otherwise journal records the [load] record already
+   subsumes. *)
+let unlogged t f =
+  let j = t.journal in
+  t.journal <- None;
+  Fun.protect ~finally:(fun () -> t.journal <- j) f
 
 let register_calendar_adt () =
   Value.register_adt
@@ -149,7 +166,7 @@ let register_calendar_operators ctx catalog =
     | _ -> Value.Null)
 
 let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahead
-    ?probe_strategy ?(cache_capacity = 512) ?domains () =
+    ?probe_strategy ?(cache_capacity = 512) ?domains ?max_failures ?retry_base ?injector () =
   register_calendar_adt ();
   let clock = Clock.create () in
   let env = Env.create () in
@@ -160,9 +177,10 @@ let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahe
   register_date_operators ctx catalog;
   register_calendar_operators ctx catalog;
   let manager =
-    Cal_rules.Manager.create ?probe_period ?lookahead ?probe_strategy ?domains ctx catalog
+    Cal_rules.Manager.create ?probe_period ?lookahead ?probe_strategy ?domains ?max_failures
+      ?retry_base ?injector ctx catalog
   in
-  { ctx; catalog; manager; clock }
+  { ctx; catalog; manager; clock; injector = Cal_rules.Manager.injector manager; journal = None }
 
 (* --- CALENDARS catalog maintenance ---------------------------------- *)
 
@@ -187,7 +205,7 @@ let catalog_row t ~name ~script ~plan ~granularity ~values =
 (** Define a derived calendar from a derivation script (Figure 1's
     Tuesdays row). The script is parsed; its evaluation plan is compiled
     and stored in the CALENDARS table. *)
-let define_calendar t ~name ~script =
+let define_calendar_unlogged t ~name ~script =
   if Env.mem t.ctx.Context.env name then Error (Printf.sprintf "calendar %s already exists" name)
   else
     match Env.define_script t.ctx.Context.env ~name ~source:script with
@@ -209,12 +227,23 @@ let define_calendar t ~name ~script =
       catalog_row t ~name ~script ~plan ~granularity ~values:[];
       Ok ())
 
+let define_calendar t ~name ~script =
+  let r = define_calendar_unlogged t ~name ~script in
+  journal_record t (Printf.sprintf "cal %s %s" name script);
+  r
+
+let pairs_to_string pairs =
+  String.concat "," (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) pairs)
+
 (** Define a calendar by explicit values (e.g. HOLIDAYS), stored in the
     CALENDARS table's [vals] column. *)
 let define_stored_calendar t ~name ?(granularity = Granularity.Days) pairs =
   let values = Interval_set.of_pairs pairs in
   Env.define_stored t.ctx.Context.env ~name ~granularity values;
-  catalog_row t ~name ~script:"" ~plan:"" ~granularity ~values:(Interval_set.to_list values)
+  catalog_row t ~name ~script:"" ~plan:"" ~granularity ~values:(Interval_set.to_list values);
+  journal_record t
+    (Printf.sprintf "stored %s %s %s" name (Granularity.to_string granularity)
+       (pairs_to_string pairs))
 
 (** The CALENDARS tuple for one calendar, as in Figure 1. *)
 let calendar_row t name =
@@ -239,8 +268,13 @@ let eval_calendar t source =
     | cal, _ -> Ok cal
     | exception exn -> Error (Printexc.to_string exn))
 
-(** Run a query-language command (rules dispatch to the manager). *)
-let query t source = Cal_rules.Manager.run_query t.manager source
+(** Run a query-language command (rules dispatch to the manager). On a
+    durable session the statement is journaled once it completes —
+    [Error] results too: they replay to the same (non-)state. *)
+let query t source =
+  let r = Cal_rules.Manager.run_query t.manager source in
+  journal_record t ("q " ^ source);
+  r
 
 let query_exn t source =
   match query t source with
@@ -254,15 +288,29 @@ let query_exn t source =
      %%stored <name> <gran>   followed by endpoint pairs (a,b),(c,d)
      %%schema                 followed by a query-language dump script
      %%rules                  followed by define-rule commands
-   Section payloads are the lines up to the next %% header. *)
+   Section payloads are the lines up to the next %% header.
 
-let system_tables = [ "calendars"; "rule_info"; "rule_time" ]
+   A durable save (a snapshot) adds the sections that make the restored
+   session bit-identical, not merely schema-equivalent:
+     %%clock <now>            the simulated instant (no payload)
+     %%rulestate              <name> <fire_count> <failures> <0|1> <next|->
+     %%firings                <rule> <at>, chronological
+     %%alerts                 <at> <escaped message>, chronological
+     %%errors                 <rule> <at> <attempt> <escaped message>
+   %%clock leads, so rule definitions evaluate at the right instant, and
+   its presence is what triggers the manager's post-restore cron
+   rebuild. *)
+
+let system_tables = [ "calendars"; "rule_info"; "rule_time"; "rule_errors" ]
 
 (** Render the session (calendars, user tables with their indexes and
-    rows, rules) as a loadable script. @raise Dump.Dump_error on
-    undumpable values (registered-ADT columns). *)
-let save t =
+    rows, rules) as a loadable script; [durable] adds the clock,
+    per-rule counters, firing/alert logs and rule_errors rows (the
+    snapshot format). @raise Dump.Dump_error on undumpable values
+    (registered-ADT columns). *)
+let save ?(durable = false) t =
   let buf = Buffer.create 4096 in
+  if durable then Buffer.add_string buf (Printf.sprintf "%%%%clock %d\n" (Clock.now t.clock));
   Table.iter (calendars_table t) (fun _ tuple ->
       match tuple with
       | [| Value.Text name; Value.Text script; _; _; Value.Text gran; Value.Array vals |] ->
@@ -292,6 +340,36 @@ let save t =
     (fun r -> Buffer.add_string buf (Qast.to_string (Qast.Define_rule r) ^ ";
 "))
     (Cal_rules.Manager.rules t.manager);
+  if durable then begin
+    Buffer.add_string buf "%%rulestate\n";
+    List.iter
+      (fun name ->
+        match Cal_rules.Manager.rule_health t.manager name with
+        | None -> ()
+        | Some (fire_count, failures, quarantined) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d %d %d %s\n" name fire_count failures
+               (if quarantined then 1 else 0)
+               (match Cal_rules.Manager.next_fire t.manager name with
+               | Some at -> string_of_int at
+               | None -> "-")))
+      (Cal_rules.Manager.rule_names t.manager);
+    Buffer.add_string buf "%%firings\n";
+    List.iter
+      (fun { Cal_rules.Manager.rule; at } ->
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" rule at))
+      (Cal_rules.Manager.firings t.manager);
+    Buffer.add_string buf "%%alerts\n";
+    List.iter
+      (fun (msg, at) -> Buffer.add_string buf (Printf.sprintf "%d %s\n" at (String.escaped msg)))
+      (Cal_rules.Manager.alerts t.manager);
+    Buffer.add_string buf "%%errors\n";
+    List.iter
+      (fun (name, at, attempt, err) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d %d %s\n" name at attempt (String.escaped err)))
+      (Cal_rules.Manager.rule_errors t.manager)
+  end;
   Buffer.contents buf
 
 let parse_pairs s =
@@ -320,7 +398,7 @@ let parse_pairs s =
            | _ -> None)
 
 (** Load a script produced by {!save} into this (fresh) session. *)
-let load t script =
+let load_unlogged t script =
   let lines = String.split_on_char '
 ' script in
   (* Split into (header, payload-lines) sections. *)
@@ -344,6 +422,10 @@ let load t script =
         | None -> ())
     lines;
   flush ();
+  let durable_seen = ref false in
+  let non_empty payload =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' payload)
+  in
   let apply (header, payload) =
     match String.split_on_char ' ' (String.trim header) with
     | [ "calendar"; name ] -> define_calendar t ~name ~script:(String.trim payload)
@@ -366,19 +448,94 @@ let load t script =
             | Ok (), Qast.Define_rule r -> Cal_rules.Manager.define t.manager r
             | Ok (), _ -> Error "rules section may only contain rule definitions")
           (Ok ()) queries)
+    | [ "clock"; n ] -> (
+      match int_of_string_opt n with
+      | Some now ->
+        durable_seen := true;
+        Cal_rules.Manager.restore_clock t.manager now;
+        Ok ()
+      | None -> Error ("bad clock instant " ^ n))
+    | [ "rulestate" ] ->
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' (String.trim line) with
+          | [ name; fc; fl; q; next ] ->
+            Cal_rules.Manager.set_rule_state t.manager name ~fire_count:(int_of_string fc)
+              ~failures:(int_of_string fl) ~quarantined:(q = "1")
+              ~next:(if next = "-" then None else Some (int_of_string next))
+          | _ -> ())
+        (non_empty payload);
+      Ok ()
+    | [ "firings" ] ->
+      Cal_rules.Manager.restore_firings t.manager
+        (List.filter_map
+           (fun line ->
+             match String.split_on_char ' ' (String.trim line) with
+             | [ rule; at ] -> Some { Cal_rules.Manager.rule; at = int_of_string at }
+             | _ -> None)
+           (non_empty payload));
+      Ok ()
+    | [ "alerts" ] ->
+      Cal_rules.Manager.restore_alerts t.manager
+        (List.filter_map
+           (fun line ->
+             match String.index_opt line ' ' with
+             | Some i ->
+               Some
+                 ( Scanf.unescaped (String.sub line (i + 1) (String.length line - i - 1)),
+                   int_of_string (String.sub line 0 i) )
+             | None -> None)
+           (non_empty payload));
+      Ok ()
+    | [ "errors" ] ->
+      let tbl = Catalog.table t.catalog "rule_errors" in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | name :: at :: attempt :: rest ->
+            ignore
+              (Table.insert tbl
+                 [|
+                   Value.Text name;
+                   Value.Int (int_of_string at);
+                   Value.Int (int_of_string attempt);
+                   Value.Text (Scanf.unescaped (String.concat " " rest));
+                 |])
+          | _ -> ())
+        (non_empty payload);
+      Ok ()
     | _ -> Error ("unknown section " ^ header)
   in
-  List.fold_left
-    (fun acc section -> match acc with Error _ -> acc | Ok () -> apply section)
-    (Ok ())
-    (List.rev !sections)
+  let r =
+    List.fold_left
+      (fun acc section -> match acc with Error _ -> acc | Ok () -> apply section)
+      (Ok ())
+      (List.rev !sections)
+  in
+  (* A durable script restored RULE_TIME verbatim; rebuild DBCRON's heap
+     from it at the restored instant. *)
+  if !durable_seen then Cal_rules.Manager.after_restore t.manager;
+  r
+
+let load t script =
+  let r = unlogged t (fun () -> load_unlogged t script) in
+  journal_record t ("load " ^ script);
+  r
 
 (* --- time ------------------------------------------------------------ *)
 
 let now t = Clock.now t.clock
 let today t = Clock.date ~epoch:t.ctx.Context.epoch t.clock
-let advance_to t instant = Cal_rules.Manager.advance_to t.manager instant
-let advance_days t days = Cal_rules.Manager.advance_days t.manager days
+
+let advance_to t instant =
+  (* The injector may rewrite the target (downtime / regression drills);
+     the journal records the instant actually applied, since replay does
+     not consult the injector. *)
+  let instant = Cal_faults.Injector.jump_clock t.injector instant in
+  Cal_rules.Manager.advance_to t.manager instant;
+  journal_record t (Printf.sprintf "advance %d" instant)
+
+let advance_days t days = advance_to t (now t + (days * 86400))
 
 let advance_to_date t date =
   let target = (Civil.rata_die date - Civil.rata_die t.ctx.Context.epoch) * 86400 in
@@ -386,6 +543,173 @@ let advance_to_date t date =
 
 let alerts t = Cal_rules.Manager.alerts t.manager
 let firings t = Cal_rules.Manager.firings t.manager
+
+(* --- durability: journaled sessions, snapshots, recovery ------------- *)
+
+let policy_to_string = function
+  | Cal_rules.Manager.Fire_once -> "fire_once"
+  | Cal_rules.Manager.Skip -> "skip"
+  | Cal_rules.Manager.Replay_all -> "replay_all"
+
+let policy_of_string = function
+  | "fire_once" -> Some Cal_rules.Manager.Fire_once
+  | "skip" -> Some Cal_rules.Manager.Skip
+  | "replay_all" -> Some Cal_rules.Manager.Replay_all
+  | _ -> None
+
+(** Catch up after downtime: bring the clock to [instant], applying
+    [policy] to trigger points that passed in between (see
+    {!Cal_rules.Manager.catch_up}). *)
+let catch_up t ~policy instant =
+  Cal_rules.Manager.catch_up t.manager ~policy instant;
+  journal_record t (Printf.sprintf "catchup %s %d" (policy_to_string policy) instant)
+
+(** Lift a quarantined rule back into service. *)
+let requeue t name =
+  let r = Cal_rules.Manager.requeue t.manager name in
+  if r then journal_record t ("requeue " ^ name);
+  r
+
+let quarantined_rules t = Cal_rules.Manager.quarantined_rules t.manager
+let rule_errors t = Cal_rules.Manager.rule_errors t.manager
+let rule_health t name = Cal_rules.Manager.rule_health t.manager name
+
+let split_record r =
+  match String.index_opt r ' ' with
+  | Some i -> (String.sub r 0 i, String.sub r (i + 1) (String.length r - i - 1))
+  | None -> (r, "")
+
+(* Replay one journal record. The caller guarantees [t.journal = None],
+   so nothing applied here is re-journaled; deterministic failures
+   (a replayed statement that errored the first time) fail identically
+   and are ignored just as the original caller saw them as values. *)
+let apply_record t record =
+  let kind, rest = split_record record in
+  match kind with
+  | "q" -> ignore (query t rest)
+  | "cal" ->
+    let name, script = split_record rest in
+    ignore (define_calendar t ~name ~script)
+  | "stored" -> (
+    let name, rest = split_record rest in
+    let gran, pairs = split_record rest in
+    match Granularity.of_string gran with
+    | Some granularity -> define_stored_calendar t ~name ~granularity (parse_pairs pairs)
+    | None -> raise (Session_error ("journal: unknown granularity " ^ gran)))
+  | "advance" -> Cal_rules.Manager.advance_to t.manager (int_of_string (String.trim rest))
+  | "catchup" -> (
+    let pol, inst = split_record rest in
+    match policy_of_string pol with
+    | Some policy -> Cal_rules.Manager.catch_up t.manager ~policy (int_of_string (String.trim inst))
+    | None -> raise (Session_error ("journal: unknown catch-up policy " ^ pol)))
+  | "requeue" -> ignore (Cal_rules.Manager.requeue t.manager (String.trim rest))
+  | "load" -> ignore (load_unlogged t rest)
+  | _ -> raise (Session_error ("journal: unknown record kind " ^ kind))
+
+let snap_path path = path ^ ".snap"
+let journal_path t = Option.map Journal.path t.journal
+let is_journaled t = t.journal <> None
+
+(** Open a fresh durable session journaling to [path]: any stale journal
+    or snapshot at that path is superseded. Accepts {!create}'s
+    parameters. *)
+let open_journaled ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy
+    ?cache_capacity ?domains ?max_failures ?retry_base ?injector () =
+  let t =
+    create ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cache_capacity ?domains
+      ?max_failures ?retry_base ?injector ()
+  in
+  if Sys.file_exists (snap_path path) then Sys.remove (snap_path path);
+  Journal.rewrite path [];
+  t.journal <- Some (Journal.open_append ~injector:t.injector path);
+  t
+
+(** Rebuild the session at [path]: load the snapshot (when one exists),
+    replay the journal's intact records, drop any torn tail, and resume
+    journaling. The session parameters must match those the journaled
+    session was opened with — they are not persisted.
+    @raise Session_error on a corrupt snapshot. *)
+let recover ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cache_capacity
+    ?domains ?max_failures ?retry_base ?injector () =
+  let t =
+    create ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cache_capacity ?domains
+      ?max_failures ?retry_base ?injector ()
+  in
+  let sp = snap_path path in
+  (if Sys.file_exists sp then begin
+     let ic = open_in_bin sp in
+     let text = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     match load_unlogged t text with
+     | Ok () -> ()
+     | Error e -> raise (Session_error ("recover: bad snapshot: " ^ e))
+   end);
+  let records = Journal.read_records path in
+  List.iter (apply_record t) records;
+  (* Re-frame the file so a torn tail is gone before appends resume. *)
+  Journal.rewrite path records;
+  t.journal <- Some (Journal.open_append ~injector:t.injector path);
+  t
+
+(** Write a durable snapshot next to the journal ([<path>.snap],
+    atomically) and truncate the journal it subsumes.
+    @raise Session_error on a non-journaled session. *)
+let snapshot t =
+  match t.journal with
+  | None -> raise (Session_error "snapshot requires a journaled session")
+  | Some j ->
+    let text = save ~durable:true t in
+    let sp = snap_path (Journal.path j) in
+    let tmp = sp ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc text;
+    close_out oc;
+    Sys.rename tmp sp;
+    Journal.truncate j
+
+(** A canonical rendering of everything recovery promises to restore:
+    the clock, calendar catalog, user tables (row order, rowids
+    excluded — snapshot load compacts them), rule system tables (sorted;
+    definition order is not canonical), firing and alert logs, and
+    per-rule health. Two sessions with equal digests are
+    observationally identical; caches and statistics are deliberately
+    outside the promise. *)
+let state_digest t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let row_text tuple = String.concat "|" (Array.to_list (Array.map Value.to_string tuple)) in
+  add "clock %d" (Clock.now t.clock);
+  Table.iter (calendars_table t) (fun _ tuple -> add "calendar %s" (row_text tuple));
+  List.iter
+    (fun name ->
+      if not (List.mem name system_tables) then begin
+        add "table %s" name;
+        Table.iter (Catalog.table t.catalog name) (fun _ tuple -> add "row %s" (row_text tuple))
+      end)
+    (Catalog.table_names t.catalog);
+  List.iter
+    (fun name ->
+      match Catalog.table_opt t.catalog name with
+      | None -> ()
+      | Some tbl ->
+        let rows = Table.fold tbl (fun acc _ tuple -> row_text tuple :: acc) [] in
+        List.iter (add "%s %s" name) (List.sort String.compare rows))
+    [ "rule_info"; "rule_time"; "rule_errors" ];
+  List.iter
+    (fun { Cal_rules.Manager.rule; at } -> add "firing %s %d" rule at)
+    (Cal_rules.Manager.firings t.manager);
+  List.iter (fun (msg, at) -> add "alert %d %s" at (String.escaped msg)) (alerts t);
+  List.iter
+    (fun name ->
+      match Cal_rules.Manager.rule_health t.manager name with
+      | None -> ()
+      | Some (fire_count, failures, quarantined) ->
+        add "rule %s %d %d %b %s" name fire_count failures quarantined
+          (match Cal_rules.Manager.next_fire t.manager name with
+          | Some at -> string_of_int at
+          | None -> "-"))
+    (Cal_rules.Manager.rule_names t.manager);
+  Buffer.contents buf
 
 (* --- statistics ------------------------------------------------------ *)
 

@@ -21,6 +21,8 @@ type t = {
   catalog : Catalog.t;
   manager : Cal_rules.Manager.t;
   clock : Clock.t;
+  injector : Cal_faults.Injector.t;
+  mutable journal : Journal.t option;  (** present on durable sessions *)
 }
 
 exception Session_error of string
@@ -33,7 +35,12 @@ exception Session_error of string
     executor may fan work across — batched next-fire recomputation and
     partitioned sequential scans (default honors [CALRULES_DOMAINS],
     else the hardware count; [1] pins the session serial). Results are
-    identical at every setting. *)
+    identical at every setting.
+
+    [max_failures] and [retry_base] tune rule quarantine and retry
+    backoff (see {!Cal_rules.Manager.create}); [injector] arms
+    deterministic fault injection across the session's executor, rule
+    firings and journal appends (default: disabled). *)
 val create :
   ?epoch:Civil.date ->
   ?lifespan:Civil.date * Civil.date ->
@@ -42,6 +49,9 @@ val create :
   ?probe_strategy:Cal_rules.Next_fire.strategy ->
   ?cache_capacity:int ->
   ?domains:int ->
+  ?max_failures:int ->
+  ?retry_base:int ->
+  ?injector:Cal_faults.Injector.t ->
   unit ->
   t
 
@@ -81,12 +91,98 @@ val query_exn : t -> string -> Exec.result
 (** {2 Persistence} *)
 
 (** Render the session (calendar definitions, user tables with indexes
-    and rows, rules) as a text script loadable by {!load}.
+    and rows, rules) as a text script loadable by {!load}. [durable]
+    adds the clock, per-rule counters, firing/alert logs and rule_errors
+    rows — the snapshot format, which {!load} restores bit-identically
+    rather than merely schema-equivalently.
     @raise Dump.Dump_error on undumpable values. *)
-val save : t -> string
+val save : ?durable:bool -> t -> string
 
 (** Load a saved script into this (fresh) session. *)
 val load : t -> string -> (unit, string) result
+
+(** {2 Durability}
+
+    A durable session appends every completed state-changing operation —
+    statements, calendar and rule definitions, time advances — to an
+    on-disk write-ahead journal of checksummed records. {!snapshot}
+    persists the full state and truncates the journal; {!recover}
+    rebuilds a bit-identical session from snapshot plus journal,
+    discarding at most the one record torn by a crash mid-append. *)
+
+(** Open a fresh durable session journaling to [path]; stale files at
+    that path are superseded. Accepts {!create}'s parameters. *)
+val open_journaled :
+  path:string ->
+  ?epoch:Civil.date ->
+  ?lifespan:Civil.date * Civil.date ->
+  ?probe_period:int ->
+  ?lookahead:int ->
+  ?probe_strategy:Cal_rules.Next_fire.strategy ->
+  ?cache_capacity:int ->
+  ?domains:int ->
+  ?max_failures:int ->
+  ?retry_base:int ->
+  ?injector:Cal_faults.Injector.t ->
+  unit ->
+  t
+
+(** Rebuild the session persisted at [path]: load the snapshot (when
+    one exists), replay the journal's intact records, drop any torn
+    tail, resume journaling. Session parameters are not persisted and
+    must match the original. The recovered session supersedes the files
+    at [path] — a session that was still journaling there keeps writing
+    to the replaced (unlinked) file and is no longer durable.
+    @raise Session_error on a corrupt snapshot.
+    @raise Journal.Journal_error on a journal corrupt beyond its tail. *)
+val recover :
+  path:string ->
+  ?epoch:Civil.date ->
+  ?lifespan:Civil.date * Civil.date ->
+  ?probe_period:int ->
+  ?lookahead:int ->
+  ?probe_strategy:Cal_rules.Next_fire.strategy ->
+  ?cache_capacity:int ->
+  ?domains:int ->
+  ?max_failures:int ->
+  ?retry_base:int ->
+  ?injector:Cal_faults.Injector.t ->
+  unit ->
+  t
+
+(** Write a durable snapshot to [<journal path>.snap] (atomically) and
+    truncate the journal it subsumes.
+    @raise Session_error on a non-journaled session. *)
+val snapshot : t -> unit
+
+(** Catch up after downtime: bring the clock to an instant, applying the
+    policy to trigger points that passed in between (see
+    {!Cal_rules.Manager.catch_up}). *)
+val catch_up : t -> policy:Cal_rules.Manager.catch_up -> int -> unit
+
+(** Lift a quarantined rule back into service; [false] when absent or
+    not quarantined. *)
+val requeue : t -> string -> bool
+
+(** Names of quarantined rules, sorted. *)
+val quarantined_rules : t -> string list
+
+(** Rows of the rule_errors system table — (rule, instant, attempt,
+    message) — oldest first. *)
+val rule_errors : t -> (string * int * int * string) list
+
+(** [(fire_count, consecutive failures, quarantined)] for a live rule. *)
+val rule_health : t -> string -> (int * int * bool) option
+
+val is_journaled : t -> bool
+val journal_path : t -> string option
+
+(** A canonical rendering of everything recovery promises to restore:
+    clock, calendars, user-table rows (order-sensitive, rowid-free),
+    rule system tables (sorted), firing/alert logs and per-rule health.
+    Equal digests = observationally identical sessions; caches and
+    statistics are outside the promise. *)
+val state_digest : t -> string
 
 (** {2 Simulated time} *)
 

@@ -769,10 +769,19 @@ let run_compiled catalog ~outer ~stats ~force_seq ~domains (q : Qast.query) : re
 (* --- dispatcher ---------------------------------------------------- *)
 
 let run catalog ?(binding = fun _ -> None) ?stats ?(mode : mode = `Compiled)
-    ?(force_seq = false) ?domains (q : Qast.query) : result =
+    ?(force_seq = false) ?domains ?(injector = Cal_faults.Injector.none) (q : Qast.query) :
+    result =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
   let outer = binding in
+  (* Fault-injection hook: an armed injector fails mutations before they
+     touch the heap, so injected faults never leave partial updates. *)
+  (match q with
+  | Qast.Append _ | Qast.Delete _ | Qast.Replace _ -> (
+    match Cal_faults.Injector.exec_fault injector with
+    | Some msg -> raise (Exec_error msg)
+    | None -> ())
+  | _ -> ());
   match q with
   | Qast.Create_table { name; cols } ->
     let columns =
@@ -793,11 +802,11 @@ let run catalog ?(binding = fun _ -> None) ?stats ?(mode : mode = `Compiled)
     | `Compiled -> run_compiled catalog ~outer ~stats ~force_seq ~domains q)
 
 (** Parse and run. *)
-let run_string catalog ?binding ?stats ?mode ?force_seq ?domains input =
+let run_string catalog ?binding ?stats ?mode ?force_seq ?domains ?injector input =
   match Qparser.query input with
   | Error e -> Error e
   | Ok q -> (
-    match run catalog ?binding ?stats ?mode ?force_seq ?domains q with
+    match run catalog ?binding ?stats ?mode ?force_seq ?domains ?injector q with
     | r -> Ok r
     | exception Exec_error e -> Error e
     | exception Catalog.No_such_table t -> Error ("no such table: " ^ t)

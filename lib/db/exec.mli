@@ -48,6 +48,10 @@ val parallel_scan_threshold : int ref
     rows and counters are identical at every domain count. Retrieval
     fires [On_retrieve] per returned tuple; mutations fire their events
     after the change.
+
+    [injector] is the fault-injection hook (default disabled): an armed
+    executor fault fails a mutating command with [Exec_error] {e before}
+    it touches the heap, so injected faults never leave partial updates.
     @raise Exec_error and the catalog/schema exceptions. *)
 val run :
   Catalog.t ->
@@ -56,6 +60,7 @@ val run :
   ?mode:mode ->
   ?force_seq:bool ->
   ?domains:int ->
+  ?injector:Cal_faults.Injector.t ->
   Qast.query ->
   result
 
@@ -67,5 +72,6 @@ val run_string :
   ?mode:mode ->
   ?force_seq:bool ->
   ?domains:int ->
+  ?injector:Cal_faults.Injector.t ->
   string ->
   (result, string) Stdlib.result

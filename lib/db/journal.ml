@@ -1,0 +1,160 @@
+(* Append-only checksummed record file; see the interface for the torn-
+   tail contract. *)
+
+exception Journal_error of string
+
+type t = {
+  jpath : string;
+  oc : out_channel;
+  injector : Cal_faults.Injector.t;
+  mutable appended : int;
+  mutable closed : bool;
+}
+
+(* CRC-32 (IEEE 802.3), bytewise table-driven; the polynomial everyone
+   uses for framing. Good enough to tell a torn half-record from a whole
+   one, which is all the journal asks of it. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | '\\' -> Buffer.add_char buf '\\'
+       | c ->
+         Buffer.add_char buf '\\';
+         Buffer.add_char buf c);
+       i := !i + 1
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let encode payload =
+  let esc = escape payload in
+  Printf.sprintf "%08x %s\n" (crc32 esc) esc
+
+(* [None] on a torn/corrupt line (missing terminator is handled by the
+   caller: in_channel reading already strips it, so corruption shows up
+   as a checksum mismatch or a malformed frame). *)
+let decode_line line =
+  match String.index_opt line ' ' with
+  | Some 8 -> (
+    let crc_hex = String.sub line 0 8 in
+    let esc = String.sub line 9 (String.length line - 9) in
+    match int_of_string_opt ("0x" ^ crc_hex) with
+    | Some crc when crc = crc32 esc -> Some (unescape esc)
+    | _ -> None)
+  | _ -> None
+
+let open_append ?(injector = Cal_faults.Injector.none) jpath =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 jpath in
+  { jpath; oc; injector; appended = 0; closed = false }
+
+let path t = t.jpath
+
+let append t payload =
+  if t.closed then raise (Journal_error "journal is closed");
+  let record = encode payload in
+  t.appended <- t.appended + 1;
+  match Cal_faults.Injector.on_journal_append t.injector record with
+  | `Write ->
+    output_string t.oc record;
+    flush t.oc
+  | `Crash_after keep ->
+    (* The process image dies with [keep] bytes of the record on disk:
+       flush the torn prefix, mark the handle dead, and raise. *)
+    output_string t.oc (String.sub record 0 keep);
+    flush t.oc;
+    t.closed <- true;
+    close_out_noerr t.oc;
+    raise
+      (Cal_faults.Injector.Crash
+         (Printf.sprintf "simulated crash during journal append #%d (%d/%d bytes)" t.appended
+            keep (String.length record)))
+
+let appended t = t.appended
+
+let truncate t =
+  if t.closed then raise (Journal_error "journal is closed");
+  flush t.oc;
+  (* Reopen in truncate mode through a second descriptor; the append
+     channel's position is reset by seeking after the truncation. *)
+  let tc = open_out_gen [ Open_wronly; Open_trunc; Open_binary ] 0o644 t.jpath in
+  close_out tc;
+  seek_out t.oc 0
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.oc
+  end
+
+let rewrite jpath records =
+  let tmp = jpath ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  List.iter (fun payload -> output_string oc (encode payload)) records;
+  close_out oc;
+  Sys.rename tmp jpath
+
+let read_records jpath =
+  if not (Sys.file_exists jpath) then []
+  else begin
+    let ic = open_in_bin jpath in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    let lines = String.split_on_char '\n' contents in
+    (* A well-formed file ends with '\n', so splitting yields a trailing
+       "" sentinel; anything else in the last slot is a torn tail. *)
+    let rec complete = function
+      | [] | [ "" ] -> []
+      | [ torn ] -> [ (torn, false) ]
+      | l :: rest -> (l, true) :: complete rest
+    in
+    let framed = complete lines in
+    let n = List.length framed in
+    let records = ref [] in
+    List.iteri
+      (fun i (line, terminated) ->
+        match if terminated then decode_line line else None with
+        | Some payload -> records := payload :: !records
+        | None ->
+          (* A bad final line is the torn tail of a crashed append and is
+             dropped; a bad line with intact successors is file damage. *)
+          if i <> n - 1 then
+            raise (Journal_error (Printf.sprintf "corrupt journal record %d (not a torn tail)" i)))
+      framed;
+    List.rev !records
+  end

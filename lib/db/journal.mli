@@ -1,0 +1,47 @@
+(** Write-ahead journal: an append-only file of checksummed records.
+
+    Each record is one line, [<crc32-hex> <escaped-payload>\n]; payloads
+    are arbitrary strings with newlines and backslashes escaped. A crash
+    mid-append leaves a torn tail — a final line without its terminator
+    or whose checksum disagrees — which {!read_records} detects and
+    discards, so recovery sees exactly the prefix of intact records.
+
+    Appends go through the fault injector: the armed crash point makes
+    {!append} write only a prefix of the record and raise
+    {!Cal_faults.Injector.Crash}, simulating the process image dying with
+    the write half-done. *)
+
+type t
+
+exception Journal_error of string
+
+(** [open_append ?injector path] opens (creating if absent) the journal
+    for appending. *)
+val open_append : ?injector:Cal_faults.Injector.t -> string -> t
+
+val path : t -> string
+
+(** Append one record and flush. Raises {!Cal_faults.Injector.Crash}
+    when the injector's armed crash point is reached (after writing the
+    torn prefix). *)
+val append : t -> string -> unit
+
+(** Records appended through this handle (survivors and the torn one). *)
+val appended : t -> int
+
+(** Truncate to empty (after a snapshot subsumes the log). *)
+val truncate : t -> unit
+
+val close : t -> unit
+
+(** [rewrite path records] atomically replaces the file with exactly
+    [records] (recovery uses it to drop a torn tail before appending
+    resumes). *)
+val rewrite : string -> string list -> unit
+
+(** Decode every intact record of the file, in order; a torn or corrupt
+    tail is silently dropped (that is the crash contract), but a corrupt
+    record {e followed by} intact ones raises {!Journal_error} — that is
+    not a torn write, the file is damaged. Returns [] when the file does
+    not exist. *)
+val read_records : string -> string list

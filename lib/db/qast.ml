@@ -54,7 +54,15 @@ let rec to_string = function
   | Retrieve { targets; from_; where; on_cal; group_by } ->
     Printf.sprintf "retrieve (%s)%s%s%s%s"
       (String.concat ", "
-         (List.map (fun (label, e) -> Printf.sprintf "%s = %s" label (Qexpr.to_string e)) targets))
+         (List.map
+            (fun (label, e) ->
+              (* Only explicit labels are printed; re-printing an
+                 auto-derived label (the parser's `label = expr` form)
+                 would not re-parse to the same target. *)
+              let auto = match e with Qexpr.Col c -> c | _ -> Qexpr.to_string e in
+              if label = auto then Qexpr.to_string e
+              else Printf.sprintf "%s = %s" label (Qexpr.to_string e))
+            targets))
       (match from_ with Some t -> " from " ^ t | None -> "")
       (match where with Some e -> " where " ^ Qexpr.to_string e | None -> "")
       (match on_cal with Some c -> Printf.sprintf " on %S" c | None -> "")

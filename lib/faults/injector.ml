@@ -1,0 +1,126 @@
+(* Seeded deterministic fault injector. Decisions come from a private
+   splitmix64 stream so they depend only on (seed, call sequence), never
+   on the global Random state or wall time. *)
+
+exception Crash of string
+exception Injected_fault of string
+
+type action_fault = {
+  af_rule : string option;  (* restrict to this rule (normalized) *)
+  af_rate : float;
+  mutable af_left : int;  (* remaining injections; -1 = unlimited *)
+}
+
+type t = {
+  enabled : bool;
+  seed : int;
+  mutable state : int64;  (* splitmix64 state *)
+  mutable action : action_fault option;
+  mutable exec_left : int;
+  mutable crash_at : int;  (* appends until crash; 0 = disarmed *)
+  mutable torn : int;  (* bytes of the fatal record to keep; -1 = all *)
+  mutable clock_jump : (int -> int) option;
+  mutable injected_actions : int;
+  mutable injected_execs : int;
+  mutable crashes : int;
+}
+
+let make ~enabled ~seed =
+  {
+    enabled;
+    seed;
+    state = Int64.of_int seed;
+    action = None;
+    exec_left = 0;
+    crash_at = 0;
+    torn = -1;
+    clock_jump = None;
+    injected_actions = 0;
+    injected_execs = 0;
+    crashes = 0;
+  }
+
+let none = make ~enabled:false ~seed:0
+let create ~seed () = make ~enabled:true ~seed
+let enabled t = t.enabled
+let seed t = t.seed
+
+(* splitmix64: the standard finalizer-based generator; tiny and
+   statistically fine for fault-selection coin flips. *)
+let next_u64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_float t =
+  (* 53 uniform bits into [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_u64 t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let norm = String.lowercase_ascii
+
+let set_action_fault t ?rule ?(rate = 1.0) ?times () =
+  t.action <-
+    Some
+      {
+        af_rule = Option.map norm rule;
+        af_rate = rate;
+        af_left = (match times with Some n -> n | None -> -1);
+      }
+
+let action_fault t ~rule =
+  if not t.enabled then None
+  else
+    match t.action with
+    | None -> None
+    | Some af ->
+      let applies =
+        (match af.af_rule with None -> true | Some r -> r = norm rule)
+        && af.af_left <> 0
+      in
+      (* Burn one coin flip per applicable attempt so the decision stream
+         stays aligned with the attempt sequence. *)
+      if applies && next_float t < af.af_rate then begin
+        if af.af_left > 0 then af.af_left <- af.af_left - 1;
+        t.injected_actions <- t.injected_actions + 1;
+        Some (Printf.sprintf "injected action fault (seed %d, #%d)" t.seed t.injected_actions)
+      end
+      else None
+
+let set_exec_fault t ~times () = t.exec_left <- times
+
+let exec_fault t =
+  if t.enabled && t.exec_left > 0 then begin
+    t.exec_left <- t.exec_left - 1;
+    t.injected_execs <- t.injected_execs + 1;
+    Some (Printf.sprintf "injected executor fault (seed %d, #%d)" t.seed t.injected_execs)
+  end
+  else None
+
+let set_crash_at_append t ?(torn = -1) n =
+  if n < 1 then invalid_arg "Injector.set_crash_at_append: n must be >= 1";
+  t.crash_at <- n;
+  t.torn <- torn
+
+let on_journal_append t record =
+  let len = String.length record in
+  if (not t.enabled) || t.crash_at = 0 then `Write
+  else begin
+    t.crash_at <- t.crash_at - 1;
+    if t.crash_at > 0 then `Write
+    else begin
+      t.crashes <- t.crashes + 1;
+      let keep = if t.torn < 0 then len else min t.torn len in
+      `Crash_after keep
+    end
+  end
+
+let set_clock_jump t f = t.clock_jump <- Some f
+
+let jump_clock t i =
+  if not t.enabled then i
+  else match t.clock_jump with None -> i | Some f -> f i
+
+let stats t = (t.injected_actions, t.injected_execs, t.crashes)

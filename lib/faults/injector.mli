@@ -1,0 +1,84 @@
+(** Deterministic fault injection for the durability layer.
+
+    An injector is a seeded decision source threaded through the
+    Session / Exec / Manager hooks. Every decision it makes — fail this
+    rule action, fail this executor mutation, crash the process image on
+    this journal append (optionally tearing the record), jump the clock
+    on this advance — is a pure function of the seed and the call
+    sequence, so a failing run replays bit-identically from its seed.
+
+    The disabled injector {!none} answers "no fault" to every question
+    at negligible cost; production paths pass it by default. *)
+
+type t
+
+(** Raised by {!on_journal_append} to simulate the process dying
+    mid-append. The torn prefix of the record (possibly empty, possibly
+    the whole record) has already been handed to the writer. *)
+exception Crash of string
+
+(** Raised from rule actions / executor mutations selected for failure. *)
+exception Injected_fault of string
+
+(** The always-disabled injector. *)
+val none : t
+
+(** [create ~seed ()] makes an enabled injector; all fault classes start
+    switched off until their [set_*] knob is turned. *)
+val create : seed:int -> unit -> t
+
+val enabled : t -> bool
+val seed : t -> int
+
+(** {2 Rule-action faults} *)
+
+(** [set_action_fault t ?rule ?rate ?times ()] arms action-attempt
+    failure: each attempt fails with probability [rate] (default [1.0]),
+    restricted to [rule] when given (case-insensitive), for at most
+    [times] injected failures (default unlimited). *)
+val set_action_fault : t -> ?rule:string -> ?rate:float -> ?times:int -> unit -> unit
+
+(** [Some message] when this attempt of [rule]'s action must fail. *)
+val action_fault : t -> rule:string -> string option
+
+(** {2 Executor faults} *)
+
+(** Arm failure of the next [times] mutating executor commands (append /
+    delete / replace) that consult this injector. *)
+val set_exec_fault : t -> times:int -> unit -> unit
+
+(** [Some message] when the current mutation must fail. *)
+val exec_fault : t -> string option
+
+(** {2 Journal crash (torn-write simulation)} *)
+
+(** [set_crash_at_append t ?torn n] kills the process image on the [n]th
+    journal append from now (1-based). [torn] is the number of bytes of
+    that final record that reach the file before the crash: [0] loses the
+    record entirely, a mid-record count leaves a torn tail for recovery
+    to detect and discard, and omitting it writes the whole record before
+    crashing (the append survives). *)
+val set_crash_at_append : t -> ?torn:int -> int -> unit
+
+(** Called by the journal with each encoded record (newline included).
+    [`Write] means append normally; [`Crash_after n] means the process
+    dies during this append — the journal must write exactly the first
+    [n] bytes, flush, and raise {!Crash}. The disabled injector always
+    answers [`Write]. *)
+val on_journal_append : t -> string -> [ `Write | `Crash_after of int ]
+
+(** {2 Clock jumps} *)
+
+(** [set_clock_jump t f] rewrites every clock-advance target [i] to
+    [f i] — forwards to simulate daemon downtime, backwards to exercise
+    the {e clock regression} guard. One-shot knobs compose as repeated
+    calls. *)
+val set_clock_jump : t -> (int -> int) -> unit
+
+(** The (possibly rewritten) advance target. *)
+val jump_clock : t -> int -> int
+
+(** {2 Statistics} *)
+
+(** (injected action faults, injected exec faults, crashes raised). *)
+val stats : t -> int * int * int

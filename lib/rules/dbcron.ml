@@ -42,12 +42,23 @@ let create ~probe_period ~now ~load =
 (** Exclusive end of the window the heap currently covers. *)
 let window_end t = t.last_probe + t.probe_period
 
+(** The probe period this daemon was created with. *)
+let probe_period t = t.probe_period
+
 (** Instant of the next probe. *)
 let next_probe t = t.last_probe + t.probe_period
 
 (** [offer t at v] inserts an entry directly when it falls inside the
     current window (used right after a rule fires or is defined, so it is
-    not missed before the next probe). Returns true when accepted. *)
+    not missed before the next probe). Returns true when accepted.
+
+    Boundary: an entry landing {e exactly} at [window_end] is rejected —
+    the current window is the half-open [\[last_probe, window_end)], and
+    the next probe's window [\[window_end, window_end + T)] covers it.
+    Because probes happen before firings at the same instant
+    (see {!step}), the entry still fires at exactly [at] with no loss;
+    the caller must leave its RULE_TIME row in place so that probe can
+    load it. *)
 let offer t at v =
   if at < window_end t then begin
     Min_heap.push t.heap at v;

@@ -20,12 +20,22 @@ val create :
 (** Exclusive end of the window the heap currently covers. *)
 val window_end : 'a t -> int
 
+(** The probe period the daemon was created with. *)
+val probe_period : 'a t -> int
+
 (** Instant of the next probe. *)
 val next_probe : 'a t -> int
 
 (** [offer t at v] inserts an entry directly when it falls inside the
     current window (used right after a rule fires or is defined, so it is
-    not missed before the next probe). Returns [true] when accepted. *)
+    not missed before the next probe). Returns [true] when accepted.
+
+    An entry at exactly [window_end] is rejected (the window is
+    half-open) but {e not lost}: the next probe's window
+    [\[window_end, window_end + T)] covers it, and {!step} probes before
+    firing at a given instant, so it still fires at exactly its instant —
+    provided the caller leaves its RULE_TIME row for that probe to
+    load. *)
 val offer : 'a t -> int -> 'a -> bool
 
 (** Instant of the next thing DBCRON must do (probe or fire). *)

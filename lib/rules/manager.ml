@@ -13,9 +13,17 @@
     rule_info(name text, kind text, spec text, condition text,
               action text, eval_plan text)
     rule_time(name text, next_fire int)   -- instant of next trigger
+    rule_errors(name text, at int, attempt int, error text)
     v}
     [rule_time.next_fire] is indexed, and DBCRON's probe is an ordinary
-    indexed [retrieve], as in the paper. *)
+    indexed [retrieve], as in the paper.
+
+    Each rule's action runs in an isolated scope: a failure is recorded
+    in [rule_errors] and counted against the rule instead of aborting the
+    batch. A failing calendar rule is retried with bounded exponential
+    backoff in simulated time; after [max_failures] consecutive failures
+    the rule is quarantined — disabled but inspectable, and re-armable
+    with {!requeue}. *)
 
 open Cal_lang
 open Cal_db
@@ -31,15 +39,19 @@ type rule_state = {
   mutable scheduled : bool;  (** currently sitting in DBCRON's heap *)
   mutable rt_rowid : int option;  (** row in rule_time *)
   mutable fire_count : int;
+  mutable failures : int;  (** consecutive failed firings *)
+  mutable quarantined : bool;
 }
 
 type firing = { rule : string; at : int }
+type catch_up = Fire_once | Skip | Replay_all
 
 type t = {
   ctx : Context.t;
   catalog : Catalog.t;
   clock : Clock.t;
   mutable cron : string Dbcron.t;
+  probe_period : int;
   rules : (string, rule_state) Hashtbl.t;
   mutable firings : firing list;  (** newest first *)
   mutable alerts : (string * int) list;
@@ -47,6 +59,9 @@ type t = {
   lookahead : int;
   probe_strategy : Next_fire.strategy;
   domains : int;  (** max pool lanes for rule batches and query scans *)
+  max_failures : int;  (** consecutive failures before quarantine *)
+  retry_base : int;  (** seconds; retry after base * 2^(failures-1) *)
+  injector : Cal_faults.Injector.t;
   mutable par_batches : int;  (** next-fire batches computed in parallel *)
   mutable par_rules : int;  (** rules those batches covered *)
   exec_stats : Exec.stats;
@@ -57,6 +72,19 @@ type t = {
 exception Rule_error of string
 
 let norm = String.lowercase_ascii
+
+(* Deterministic message for a failed firing: the rule_errors rows it
+   feeds must replay bit-identically, so no backtraces here. *)
+let error_message = function
+  | Exec.Exec_error e | Rule_error e | Qexpr.Eval_error e | Schema.Schema_error e -> e
+  | Catalog.No_such_table n -> "no such table: " ^ n
+  | Catalog.No_such_operator n -> "no such operator: " ^ n
+  | Catalog.Table_exists n -> "table already exists: " ^ n
+  | Table.No_such_column c -> "no such column: " ^ c
+  | Value.Unknown_adt a -> "unknown type: " ^ a
+  | Value.Incomparable a -> "values of type " ^ a ^ " are not ordered"
+  | Cal_faults.Injector.Injected_fault m -> "injected fault: " ^ m
+  | e -> Printexc.to_string e
 
 let ensure_system_tables catalog =
   if Catalog.table_opt catalog "rule_info" = None then begin
@@ -78,6 +106,17 @@ let ensure_system_tables catalog =
     (* Through the catalog, so the version bump invalidates any plan
        compiled before the index existed. *)
     Catalog.create_index catalog "rule_time" "next_fire"
+  end;
+  if Catalog.table_opt catalog "rule_errors" = None then begin
+    ignore
+      (Catalog.create_table catalog
+         (Schema.make ~table:"rule_errors"
+            [
+              { Schema.name = "name"; ty = Schema.TText; valid_time = false };
+              { Schema.name = "at"; ty = Schema.TInt; valid_time = false };
+              { Schema.name = "attempt"; ty = Schema.TInt; valid_time = false };
+              { Schema.name = "error"; ty = Schema.TText; valid_time = false };
+            ]))
   end
 
 (* The probe: an indexed retrieve over RULE_TIME for triggers before the
@@ -110,7 +149,10 @@ let load_upcoming catalog ~stats ~domains rules ~window_end =
   | _ -> []
 
 let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strategy = `Auto)
-    ?domains (ctx : Context.t) catalog =
+    ?domains ?(max_failures = 3) ?(retry_base = 60)
+    ?(injector = Cal_faults.Injector.none) (ctx : Context.t) catalog =
+  if max_failures < 1 then raise (Rule_error "max_failures must be >= 1");
+  if retry_base < 1 then raise (Rule_error "retry_base must be >= 1");
   let clock =
     match ctx.Context.clock with
     | Some c -> c
@@ -139,6 +181,7 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strate
       catalog;
       clock;
       cron;
+      probe_period;
       rules;
       firings = [];
       alerts = [];
@@ -146,6 +189,9 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strate
       lookahead;
       probe_strategy;
       domains;
+      max_failures;
+      retry_base;
+      injector;
       par_batches = 0;
       par_rules = 0;
       exec_stats;
@@ -192,8 +238,41 @@ and run_actions t binding actions =
     ~finally:(fun () -> t.depth <- t.depth - 1)
     (fun () ->
       List.iter
-        (fun q -> ignore (Exec.run t.catalog ~binding ~stats:t.exec_stats ~domains:t.domains q))
+        (fun q ->
+          ignore
+            (Exec.run t.catalog ~binding ~stats:t.exec_stats ~domains:t.domains
+               ~injector:t.injector q))
         actions)
+
+(* One rule's condition and action in an isolated scope: a failure lands
+   in rule_errors and bumps the rule's consecutive-failure count instead
+   of escaping into the batch. [Ok fired] says whether the condition held
+   (and the action ran to completion); a success resets the count.
+   Injected crashes are not failures — they re-raise, killing the
+   process. *)
+and guarded_fire t st name at binding =
+  match
+    (match Cal_faults.Injector.action_fault t.injector ~rule:name with
+    | Some msg -> raise (Cal_faults.Injector.Injected_fault msg)
+    | None -> ());
+    if condition_holds t binding st.def.Qast.condition then begin
+      run_actions t binding st.def.Qast.action;
+      true
+    end
+    else false
+  with
+  | fired ->
+    st.failures <- 0;
+    Ok fired
+  | exception (Cal_faults.Injector.Crash _ as e) -> raise e
+  | exception e ->
+    let msg = error_message e in
+    st.failures <- st.failures + 1;
+    ignore
+      (Table.insert
+         (Catalog.table t.catalog "rule_errors")
+         [| Value.Text name; Value.Int at; Value.Int st.failures; Value.Text msg |]);
+    Error msg
 
 and dispatch_db_event t ev =
   if t.depth < 8 then
@@ -201,13 +280,19 @@ and dispatch_db_event t ev =
       (fun _ st ->
         match st.event with
         | Db_event (kind, table)
-          when kind = ev.Catalog.kind && norm table = norm ev.Catalog.table ->
+          when kind = ev.Catalog.kind && norm table = norm ev.Catalog.table
+               && not st.quarantined -> (
+          let name = st.def.Qast.rule_name in
           let binding = event_binding t ev in
-          if condition_holds t binding st.def.Qast.condition then begin
+          match guarded_fire t st name (Clock.now t.clock) binding with
+          | Ok true ->
             st.fire_count <- st.fire_count + 1;
-            t.firings <- { rule = st.def.Qast.rule_name; at = Clock.now t.clock } :: t.firings;
-            run_actions t binding st.def.Qast.action
-          end
+            t.firings <- { rule = name; at = Clock.now t.clock } :: t.firings
+          | Ok false -> ()
+          | Error _ ->
+            (* Event rules have no trigger instant to back off to; they
+               just quarantine once the threshold is crossed. *)
+            if st.failures >= t.max_failures then st.quarantined <- true)
         | Db_event _ | Cal_event _ -> ())
       t.rules
 
@@ -241,7 +326,7 @@ let define t (rule : Qast.rule) =
       | None -> raise (Rule_error ("rule on unknown table " ^ table)));
       let st =
         { def = rule; event = Db_event (kind, table); scheduled = false; rt_rowid = None;
-          fire_count = 0 }
+          fire_count = 0; failures = 0; quarantined = false }
       in
       Hashtbl.replace t.rules (norm name) st;
       ignore
@@ -264,7 +349,7 @@ let define t (rule : Qast.rule) =
         let plan = Planner.plan t.ctx expr in
         let st =
           { def = rule; event = Cal_event { expr; source }; scheduled = false;
-            rt_rowid = None; fire_count = 0 }
+            rt_rowid = None; fire_count = 0; failures = 0; quarantined = false }
         in
         Hashtbl.replace t.rules (norm name) st;
         ignore
@@ -313,24 +398,43 @@ let drop t name =
     List.iter (fun rowid -> ignore (Table.delete info rowid)) rowids;
     true
 
-(* Phase one of a firing batch: log the firing and run the rule's action
-   — strictly serially, in chronological order (actions mutate the
-   database). Returns the work item for phase two: the rule's calendar
-   expression and the instant its next trigger must follow. *)
+(* Phase one of a firing batch: run the rule's guarded firing — strictly
+   serially, in chronological order (actions mutate the database). A
+   successful firing is logged and returns the work item for phase two:
+   the rule's calendar expression and the instant its next trigger must
+   follow. A failed firing is rescheduled [retry_base * 2^(failures-1)]
+   seconds out (capped), or quarantined once the consecutive-failure
+   threshold is crossed — its next-fire point is then the retry instant,
+   or nothing, so no phase-two item. *)
 let fire_calendar_action t name at =
   match Hashtbl.find_opt t.rules (norm name) with
   | None -> None (* dropped while scheduled *)
   | Some st -> (
     match st.event with
     | Db_event _ -> None
-    | Cal_event { expr; _ } ->
+    | Cal_event _ when st.quarantined ->
       st.scheduled <- false;
-      st.fire_count <- st.fire_count + 1;
-      t.firings <- { rule = st.def.Qast.rule_name; at } :: t.firings;
+      None
+    | Cal_event { expr; _ } -> (
+      st.scheduled <- false;
       let binding _ = None in
-      if condition_holds t binding st.def.Qast.condition then
-        run_actions t binding st.def.Qast.action;
-      Some (name, expr, at))
+      match guarded_fire t st name at binding with
+      | Ok _fired ->
+        (* As before isolation: a calendar firing is logged even when the
+           condition vetoes the action. *)
+        st.fire_count <- st.fire_count + 1;
+        t.firings <- { rule = st.def.Qast.rule_name; at } :: t.firings;
+        Some (name, expr, at)
+      | Error _ ->
+        if st.failures >= t.max_failures then begin
+          st.quarantined <- true;
+          set_next_fire t st name None
+        end
+        else begin
+          let backoff = t.retry_base * (1 lsl min (st.failures - 1) 20) in
+          set_next_fire t st name (Some (at + backoff))
+        end;
+        None))
 
 (* Phase two: recompute every fired rule's next trigger point. The
    computations are independent — [Next_fire.next] only reads the
@@ -399,6 +503,8 @@ let recompute_next_fires t batch =
 (** Advance simulated time, probing and firing everything due on the
     way. *)
 let advance_to t instant =
+  if instant < Clock.now t.clock then
+    raise (Next_fire.Clock_regression { now = Clock.now t.clock; target = instant });
   let load = load_upcoming t.catalog ~stats:t.exec_stats ~domains:t.domains t.rules in
   let rec loop () =
     let ev = Dbcron.next_event t.cron in
@@ -415,35 +521,129 @@ let advance_to t instant =
 
 let advance_days t days = advance_to t (Clock.now t.clock + (days * 86400))
 
+(* Drop DBCRON's heap and rebuild it from RULE_TIME at the current
+   instant. Used when the heap no longer matches the clock: after a
+   snapshot restore, and after a catch-up that moved the clock without
+   stepping the daemon. *)
+let reset_cron t =
+  Hashtbl.iter (fun _ st -> st.scheduled <- false) t.rules;
+  t.cron <-
+    Dbcron.create ~probe_period:t.probe_period ~now:(Clock.now t.clock)
+      ~load:(load_upcoming t.catalog ~stats:t.exec_stats ~domains:t.domains t.rules)
+
+let after_restore = reset_cron
+
+(** Catch up to [instant] after downtime. [Replay_all] walks the daemon
+    forward firing every missed trigger in order; [Skip] and [Fire_once]
+    jump the clock, then per overdue rule either recompute the next
+    trigger silently or fire once at the catch-up instant first. *)
+let catch_up t ~policy instant =
+  if instant < Clock.now t.clock then
+    raise (Next_fire.Clock_regression { now = Clock.now t.clock; target = instant });
+  match policy with
+  | Replay_all -> advance_to t instant
+  | Skip | Fire_once ->
+    Clock.advance_to t.clock instant;
+    (* Rules whose trigger points passed while the session was down; one
+       RULE_TIME row per rule, so each appears at most once. *)
+    let due =
+      Table.fold (rule_time_table t)
+        (fun acc _ tuple ->
+          match tuple with
+          | [| Value.Text name; Value.Int at |] when at <= instant -> (at, name) :: acc
+          | _ -> acc)
+        []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (_, name) ->
+        match Hashtbl.find_opt t.rules (norm name) with
+        | None -> ()
+        | Some st -> (
+          match st.event with
+          | Db_event _ -> ()
+          | Cal_event { expr; _ } ->
+            let fired =
+              policy = Fire_once && fire_calendar_action t name instant <> None
+            in
+            (* A failed Fire_once already scheduled its retry (or
+               quarantined); only recompute the natural next trigger when
+               skipping or after a successful firing. *)
+            if policy = Skip || fired then
+              set_next_fire t st name
+                (Next_fire.next t.ctx expr ~after:instant ~lookahead:t.lookahead
+                   ~strategy:t.probe_strategy ())))
+      due;
+    reset_cron t
+
 (** Run a query, dispatching rule definitions to this manager. *)
 let run_query t ?binding source =
   match Qparser.query source with
   | Error e -> Error e
-  | Ok (Qast.Define_rule r) -> (
-    match define t r with
-    | Ok () -> Ok (Exec.Msg (Printf.sprintf "rule %s defined" r.Qast.rule_name))
-    | Error e -> Error e)
-  | Ok (Qast.Drop_rule name) ->
-    if drop t name then Ok (Exec.Msg (Printf.sprintf "rule %s dropped" name))
-    else Error (Printf.sprintf "no rule %s" name)
   | Ok q -> (
-    match Exec.run t.catalog ?binding ~stats:t.exec_stats ~domains:t.domains q with
-    | r -> Ok r
-    | exception Exec.Exec_error e -> Error e
-    | exception Rule_error e -> Error e
-    | exception Qexpr.Eval_error e -> Error e
-    | exception Schema.Schema_error e -> Error e
-    | exception Catalog.No_such_table n -> Error ("no such table: " ^ n)
-    | exception Catalog.No_such_operator n -> Error ("no such operator: " ^ n)
-    | exception Catalog.Table_exists n -> Error ("table already exists: " ^ n)
-    | exception Table.No_such_column c -> Error ("no such column: " ^ c)
-    | exception Value.Unknown_adt a -> Error ("unknown type: " ^ a)
-    | exception Value.Incomparable a -> Error ("values of type " ^ a ^ " are not ordered"))
+    match
+      match q with
+      | Qast.Define_rule r -> (
+        match define t r with
+        | Ok () -> Ok (Exec.Msg (Printf.sprintf "rule %s defined" r.Qast.rule_name))
+        | Error e -> Error e)
+      | Qast.Drop_rule name ->
+        if drop t name then Ok (Exec.Msg (Printf.sprintf "rule %s dropped" name))
+        else Error (Printf.sprintf "no rule %s" name)
+      | q ->
+        Ok
+          (Exec.run t.catalog ?binding ~stats:t.exec_stats ~domains:t.domains
+             ~injector:t.injector q)
+    with
+    | r -> r
+    | exception (Cal_faults.Injector.Crash _ as e) ->
+      (* An injected crash is the process dying, not a query error. *)
+      raise e
+    | exception
+        (( Exec.Exec_error _ | Rule_error _ | Qexpr.Eval_error _ | Schema.Schema_error _
+         | Catalog.No_such_table _ | Catalog.No_such_operator _ | Catalog.Table_exists _
+         | Table.No_such_column _ | Value.Unknown_adt _ | Value.Incomparable _
+         | Cal_faults.Injector.Injected_fault _ ) as e) ->
+      Error (error_message e)
+    | exception e ->
+      (* Catch-all: an unexpected exception must not escape the tick, but
+         its identity (and backtrace, when recording is on) must not be
+         lost either. *)
+      let bt = Printexc.get_backtrace () in
+      Error
+        ("unexpected exception: " ^ Printexc.to_string e
+        ^ if bt = "" then "" else "\n" ^ bt))
 
 let firings t = List.rev t.firings
 let alerts t = List.rev t.alerts
 let fire_count t name =
   match Hashtbl.find_opt t.rules (norm name) with Some st -> st.fire_count | None -> 0
+
+let quarantined_rules t =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun _ st acc -> if st.quarantined then st.def.Qast.rule_name :: acc else acc)
+       t.rules [])
+
+(** (fire_count, consecutive failures, quarantined) for a live rule. *)
+let rule_health t name =
+  match Hashtbl.find_opt t.rules (norm name) with
+  | None -> None
+  | Some st -> Some (st.fire_count, st.failures, st.quarantined)
+
+(** Rows of the rule_errors system table, oldest first. *)
+let rule_errors t =
+  match Catalog.table_opt t.catalog "rule_errors" with
+  | None -> []
+  | Some tbl ->
+    List.rev
+      (Table.fold tbl
+         (fun acc _ tuple ->
+           match tuple with
+           | [| Value.Text n; Value.Int at; Value.Int attempt; Value.Text e |] ->
+             (n, at, attempt, e) :: acc
+           | _ -> acc)
+         [])
 
 let next_fire t name =
   match Hashtbl.find_opt t.rules (norm name) with
@@ -462,9 +662,60 @@ let rules t =
 let rule_names t =
   List.sort String.compare (Hashtbl.fold (fun _ st acc -> st.def.Qast.rule_name :: acc) t.rules [])
 
+(** Lift a quarantined rule back into service: reset its failure count
+    and reschedule it from the current instant. [false] when the rule is
+    absent or not quarantined. *)
+let requeue t name =
+  match Hashtbl.find_opt t.rules (norm name) with
+  | Some st when st.quarantined ->
+    st.quarantined <- false;
+    st.failures <- 0;
+    (match st.event with
+    | Cal_event { expr; _ } ->
+      set_next_fire t st st.def.Qast.rule_name
+        (Next_fire.next t.ctx expr ~after:(Clock.now t.clock) ~lookahead:t.lookahead
+           ~strategy:t.probe_strategy ())
+    | Db_event _ -> ());
+    true
+  | Some _ | None -> false
+
+(* Restore hooks for snapshot load: write manager state directly, no
+   DBCRON interaction — the caller runs {!after_restore} once at the
+   end to rebuild the heap. *)
+
+let restore_clock t now = Clock.advance_to t.clock now
+
+let set_rule_state t name ~fire_count ~failures ~quarantined ~next =
+  match Hashtbl.find_opt t.rules (norm name) with
+  | None -> ()
+  | Some st -> (
+    st.fire_count <- fire_count;
+    st.failures <- failures;
+    st.quarantined <- quarantined;
+    (* RULE_TIME written directly, not via set_next_fire: a retry instant
+       persisted by the snapshot must survive verbatim, and nothing may
+       be offered to a heap about to be rebuilt. *)
+    match next with
+    | None -> (
+      match st.rt_rowid with
+      | Some rowid ->
+        ignore (Table.delete (rule_time_table t) rowid);
+        st.rt_rowid <- None
+      | None -> ())
+    | Some at -> (
+      let row = [| Value.Text st.def.Qast.rule_name; Value.Int at |] in
+      match st.rt_rowid with
+      | Some rowid -> ignore (Table.update (rule_time_table t) rowid row)
+      | None -> st.rt_rowid <- Some (Table.insert (rule_time_table t) row)))
+
+let restore_firings t chronological = t.firings <- List.rev chronological
+let restore_alerts t chronological = t.alerts <- List.rev chronological
+
 let dbcron_stats t = Dbcron.stats t.cron
 let dbcron_heap_peak t = Dbcron.heap_peak t.cron
 let exec_stats t = t.exec_stats
 let plan_cache_stats t = Qplan.cache_stats t.catalog
 let domains t = t.domains
 let parallel_stats t = (t.par_batches, t.par_rules)
+let probe_period t = t.probe_period
+let injector t = t.injector

@@ -14,7 +14,15 @@
     rule_info(name text, kind text, spec text, condition text,
               action text, eval_plan text)
     rule_time(name text, next_fire int)   -- instant of next trigger
-    v} *)
+    rule_errors(name text, at int, attempt int, error text)
+    v}
+
+    Firings are isolated: one rule's failing action cannot abort the
+    batch or the triggering statement. Failures are recorded in
+    [rule_errors]; a failing calendar rule retries with bounded
+    exponential backoff in simulated time, and any rule is quarantined
+    (disabled, but inspectable and {!requeue}-able) after [max_failures]
+    consecutive failures. *)
 
 open Cal_lang
 open Cal_db
@@ -22,6 +30,12 @@ open Cal_db
 type t
 
 type firing = { rule : string; at : int (** instant *) }
+
+(** What to do, on restart, about trigger points that passed while the
+    session was down: fire each overdue rule once at the catch-up
+    instant; skip them entirely; or replay every missed firing at its
+    original instant. *)
+type catch_up = Fire_once | Skip | Replay_all
 
 exception Rule_error of string
 
@@ -42,12 +56,22 @@ exception Rule_error of string
     query results and RULE_TIME contents are identical at every setting;
     only wall-clock time and the cache's hit/miss split (per-domain
     clones count their own lookups) may differ.
-    @raise Rule_error when the context has no clock or [domains < 1]. *)
+
+    [max_failures] (default 3) is the consecutive-failure count at which
+    a rule is quarantined; [retry_base] (default 60 simulated seconds)
+    seeds the exponential retry backoff of failing calendar rules.
+    [injector] threads a fault injector through firings and queries
+    (default: disabled).
+    @raise Rule_error when the context has no clock, [domains < 1],
+    [max_failures < 1] or [retry_base < 1]. *)
 val create :
   ?probe_period:int ->
   ?lookahead:int ->
   ?probe_strategy:Next_fire.strategy ->
   ?domains:int ->
+  ?max_failures:int ->
+  ?retry_base:int ->
+  ?injector:Cal_faults.Injector.t ->
   Context.t ->
   Catalog.t ->
   t
@@ -62,10 +86,23 @@ val define_string : t -> string -> (unit, string) result
 val drop : t -> string -> bool
 
 (** Advance simulated time to an instant, probing and firing everything
-    due on the way (in chronological order). *)
+    due on the way (in chronological order).
+    @raise Next_fire.Clock_regression when the instant precedes the
+    clock (simulated time never moves backwards). *)
 val advance_to : t -> int -> unit
 
 val advance_days : t -> int -> unit
+
+(** [catch_up t ~policy instant] brings a recovered session from its
+    restored clock to [instant], applying [policy] to trigger points
+    that passed in between. [Replay_all] is {!advance_to} — every missed
+    firing happens at its original instant. [Skip] and [Fire_once] jump
+    the clock first; each overdue calendar rule then either just gets a
+    fresh next-trigger point after [instant], or fires once at [instant]
+    before getting one. Either way DBCRON is rebuilt from RULE_TIME.
+    @raise Next_fire.Clock_regression when [instant] precedes the
+    clock. *)
+val catch_up : t -> policy:catch_up -> int -> unit
 
 (** Run any query, dispatching rule definitions/drops to this manager. *)
 val run_query :
@@ -82,6 +119,21 @@ val fire_count : t -> string -> int
 
 (** Next trigger instant per RULE_TIME; [None] when dormant/absent. *)
 val next_fire : t -> string -> int option
+
+(** Names of quarantined rules, sorted. *)
+val quarantined_rules : t -> string list
+
+(** [(fire_count, consecutive failures, quarantined)] for a live rule. *)
+val rule_health : t -> string -> (int * int * bool) option
+
+(** Rows of the rule_errors system table — (rule, instant, attempt,
+    message) — oldest first. *)
+val rule_errors : t -> (string * int * int * string) list
+
+(** Lift a quarantined rule back into service: reset its failure count
+    and reschedule it from the current instant. [false] when the rule is
+    absent or not quarantined. *)
+val requeue : t -> string -> bool
 
 val rule_names : t -> string list
 
@@ -107,3 +159,34 @@ val domains : t -> int
 (** [(batches, rules)] — next-fire batches that fanned out across the
     pool, and how many rule recomputations they covered. *)
 val parallel_stats : t -> int * int
+
+(** The probe period this manager's DBCRON runs at. *)
+val probe_period : t -> int
+
+(** The fault injector this manager was created with. *)
+val injector : t -> Cal_faults.Injector.t
+
+(** {2 Restore hooks}
+
+    Used by the session's snapshot loader. They write manager state
+    directly, without touching DBCRON; call {!after_restore} once at the
+    end to rebuild the heap from the restored RULE_TIME. *)
+
+(** Move the clock to the snapshot's instant (never backwards). *)
+val restore_clock : t -> int -> unit
+
+(** Overwrite a rule's counters, quarantine flag and RULE_TIME row —
+    verbatim, no recomputation, no heap offer. Unknown names are
+    ignored. *)
+val set_rule_state :
+  t -> string -> fire_count:int -> failures:int -> quarantined:bool -> next:int option -> unit
+
+(** Replace the firing log (given chronological, as {!firings} returns
+    it). *)
+val restore_firings : t -> firing list -> unit
+
+(** Replace the alert log (given chronological). *)
+val restore_alerts : t -> (string * int) list -> unit
+
+(** Rebuild DBCRON from RULE_TIME at the current clock instant. *)
+val after_restore : t -> unit

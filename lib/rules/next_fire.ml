@@ -8,6 +8,17 @@
 
 open Cal_lang
 
+(** A clock source asked to move backwards: simulated time is monotone,
+    so a probe over an inverted window is always a caller bug or an
+    injected clock regression, never a legitimate query. *)
+exception Clock_regression of { now : int; target : int }
+
+let () =
+  Printexc.register_printer (function
+    | Clock_regression { now; target } ->
+      Some (Printf.sprintf "Clock_regression: clock at %d asked to move back to %d" now target)
+    | _ -> None)
+
 let start_instant (ctx : Context.t) ~fine chronon =
   Unit_system.start_of_index ~epoch:ctx.Context.epoch fine (Chronon.to_offset chronon)
 
@@ -34,6 +45,7 @@ let align_up c =
 
 (** All occurrence instants of [expr] with [from_ < instant <= until]. *)
 let occurrences (ctx : Context.t) expr ~from_ ~until =
+  if until < from_ then raise (Clock_regression { now = from_; target = until });
   let env = ctx.Context.env in
   let fine = Gran.finest_of_expr env expr in
   let pad = Planner.pad_for ~fine (Gran.grans_of_expr env expr) in

@@ -6,8 +6,14 @@
 
 open Cal_lang
 
+(** Raised instead of probing an inverted window when a clock source
+    jumps backwards (simulated time is monotone; see the manager's
+    advance guard). *)
+exception Clock_regression of { now : int; target : int }
+
 (** All occurrence instants of [expr] with [from_ < instant <= until].
-    Evaluation is bounded to a padded copy of that window. *)
+    Evaluation is bounded to a padded copy of that window.
+    @raise Clock_regression when [until < from_] (an inverted window). *)
 val occurrences : Context.t -> Ast.expr -> from_:int -> until:int -> int list
 
 (** How {!next} searches.

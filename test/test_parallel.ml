@@ -67,6 +67,25 @@ let test_pool_domains_cap () =
   let after = Pool.parallel_map pool (fun x -> x * x) [| 1; 2; 3 |] in
   check_bool "post-shutdown fallback" true (after = [| 1; 4; 9 |])
 
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~domains:3 () in
+  ignore (Pool.parallel_map pool (fun x -> x) [| 1 |]);
+  Pool.shutdown pool;
+  (* A second shutdown is a no-op, not a crash — recovery paths tear the
+     session down without tracking whether the pool already stopped. *)
+  Pool.shutdown pool;
+  let arr = Array.init 100 (fun i -> i) in
+  check_bool "parallel_map serial fallback after double shutdown" true
+    (Pool.parallel_map pool (fun x -> 3 * x) arr = Array.map (fun x -> 3 * x) arr);
+  let chunks = Pool.map_chunks pool ~n:10 (fun ~lo ~hi -> (lo, hi)) in
+  let covered =
+    Array.to_list chunks |> List.concat_map (fun (lo, hi) -> List.init (hi - lo) (( + ) lo))
+  in
+  check_bool "map_chunks serial fallback covers the range in order" true
+    (covered = List.init 10 Fun.id);
+  (* And shutting down yet again after post-shutdown use still holds. *)
+  Pool.shutdown pool
+
 (* ------------------------------------------------------------------ *)
 (* Min_heap bulk load *)
 
@@ -285,6 +304,8 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "re-entrant dispatch" `Quick test_pool_reentrant;
           Alcotest.test_case "domain caps and shutdown" `Quick test_pool_domains_cap;
+          Alcotest.test_case "double shutdown keeps serial fallback" `Quick
+            test_pool_shutdown_idempotent;
         ] );
       qsuite "min-heap bulk" [ prop_heap_bulk_load; prop_heap_add_list_mixed ];
       ( "dbcron determinism",

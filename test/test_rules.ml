@@ -86,6 +86,48 @@ let test_dbcron_offer () =
   check_bool "outside window rejected" false (Cal_rules.Dbcron.offer cron 150 "y");
   check_int "pending" 1 (Cal_rules.Dbcron.pending cron)
 
+let test_dbcron_offer_boundary () =
+  (* The probe window is half-open [last_probe, window_end): an entry at
+     exactly window_end is rejected — but losslessly. Its RULE_TIME row
+     stays put, the next probe's window [window_end, window_end + T)
+     covers it, and step probes before firing, so it still fires at the
+     exact boundary instant. *)
+  let store = ref [ (100, "edge") ] in
+  let load ~window_end =
+    let due, rest = List.partition (fun (at, _) -> at < window_end) !store in
+    store := rest;
+    due
+  in
+  let cron = Cal_rules.Dbcron.create ~probe_period:100 ~now:0 ~load in
+  check_bool "at = window_end rejected" false (Cal_rules.Dbcron.offer cron 100 "edge");
+  check_int "nothing pending" 0 (Cal_rules.Dbcron.pending cron);
+  check_bool "backing row untouched" true (!store = [ (100, "edge") ]);
+  let fired = Cal_rules.Dbcron.step cron ~now:100 ~load in
+  check_bool "fires at the exact boundary instant" true (fired = [ (100, "edge") ])
+
+let test_clock_regression_guard () =
+  let ctx, _, mgr, _ = make_setup () in
+  let expr =
+    match Parser.expr "[2]/DAYS:during:WEEKS" with Ok e -> e | Error e -> Alcotest.failf "%s" e
+  in
+  (* An inverted occurrence window is a clock regression, not an empty
+     answer. *)
+  (match Cal_rules.Next_fire.occurrences ctx expr ~from_:(day_instant 5) ~until:(day_instant 2) with
+  | _ -> Alcotest.fail "inverted window must raise"
+  | exception Cal_rules.Next_fire.Clock_regression { now; target } ->
+    check_int "now" (day_instant 5) now;
+    check_int "target" (day_instant 2) target);
+  check_bool "empty window still fine" true
+    (Cal_rules.Next_fire.occurrences ctx expr ~from_:0 ~until:0 = []);
+  (* The manager refuses to advance backwards, and the clock holds. *)
+  Cal_rules.Manager.advance_days mgr 3;
+  (match Cal_rules.Manager.advance_to mgr 86400 with
+  | () -> Alcotest.fail "backwards advance must raise"
+  | exception Cal_rules.Next_fire.Clock_regression { now; target } ->
+    check_int "manager now" (3 * 86400) now;
+    check_int "manager target" 86400 target);
+  check_bool "same-instant advance is a no-op" true (Cal_rules.Manager.advance_to mgr (3 * 86400) = ())
+
 (* ------------------------------------------------------------------ *)
 (* Next-fire computation *)
 
@@ -384,6 +426,8 @@ let () =
         [
           Alcotest.test_case "probe and fire" `Quick test_dbcron_probe_and_fire;
           Alcotest.test_case "offer window" `Quick test_dbcron_offer;
+          Alcotest.test_case "offer at window_end is lossless" `Quick test_dbcron_offer_boundary;
+          Alcotest.test_case "clock regression guard" `Quick test_clock_regression_guard;
         ] );
       ( "next_fire",
         [
