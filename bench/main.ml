@@ -1396,6 +1396,149 @@ let e18 () =
     write_json ~file:"BENCH_E18.json" (Buffer.contents buf)
   end
 
+(* E19: closed-form periodic compilation vs the streamed and cached
+   next-fire paths. The E15 DBCRON rule mix runs one simulated year
+   under all three probe strategies and the firing logs must be
+   byte-identical; single probes then compare the lifespan-bounded
+   searches against pure periodic arithmetic, including a probe beyond
+   the session lifespan that only the closed form can answer. With
+   --json, the measurements are also written to BENCH_E19.json. *)
+
+let e19 () =
+  header "E19 | Closed-form periodic probes vs streamed and cached next-fire";
+  let specs =
+    List.init 7 (fun i -> Printf.sprintf "[%d]/DAYS:during:WEEKS" (i + 1))
+    @ List.map (Printf.sprintf "[%d]/DAYS:during:MONTHS") [ 1; 10; 20 ]
+    @ [ "[1]/DAYS:during:YEARS"; "[1]/DAYS:during:([3,6,9,12]/MONTHS:during:YEARS)" ]
+  in
+  let run_sim strategy =
+    let s =
+      Session.create ~epoch:epoch93
+        ~lifespan:(Civil.make 1993 1 1, Civil.make 1994 12 31)
+        ~probe_strategy:strategy ~cache_capacity:512 ()
+    in
+    ignore (Session.query_exn s "create table log (msg text)");
+    List.iteri
+      (fun i spec ->
+        match
+          Session.query s
+            (Printf.sprintf "define rule r%d on calendar \"%s\" do append log (msg = 'r%d')" i
+               spec i)
+        with
+        | Ok _ -> ()
+        | Error e -> failwith e)
+      specs;
+    let _, t = wall (fun () -> Session.advance_days s 365) in
+    let firings =
+      List.map (fun f -> (f.Cal_rules.Manager.rule, f.Cal_rules.Manager.at)) (Session.firings s)
+    in
+    let closed_form = Cal_rules.Manager.periodic_rules s.Session.manager in
+    let cron_fired = Cal_rules.Manager.dbcron_fired s.Session.manager in
+    (firings, t, closed_form, cron_fired)
+  in
+  let f_mat, t_mat, _, _ = run_sim `Materialize in
+  let f_str, t_str, _, _ = run_sim `Stream in
+  let f_per, t_per, n_closed, n_cron = run_sim `Periodic in
+  let identical = f_mat = f_str && f_str = f_per in
+  let cron_ok = n_cron = List.length f_per in
+  Printf.printf "  DBCRON, %d rules, one simulated year (cache 512):\n\n" (List.length specs);
+  Printf.printf "    %-12s %4d firings   %s\n" "materialize:" (List.length f_mat)
+    (time_str t_mat);
+  Printf.printf "    %-12s %4d firings   %s\n" "stream:" (List.length f_str) (time_str t_str);
+  Printf.printf "    %-12s %4d firings   %s   (%d/%d rules closed-form)\n" "periodic:"
+    (List.length f_per) (time_str t_per) n_closed (List.length specs);
+  Printf.printf "    firings identical: %b   heap pops match firing log: %b\n" identical cron_ok;
+  Printf.printf "    year speedup: %.1fx vs materialize, %.1fx vs stream\n" (speedup t_mat t_per)
+    (speedup t_str t_per);
+  (* Single next-fire probe latency, mid-lifespan, 30-year session. The
+     probe rule is the 3rd-Friday-monthly shape from E15, which the
+     translatability gate compiles to a closed periodic form. *)
+  let s30 = session_years ~cache_capacity:512 30 in
+  let ctx = s30.Session.ctx in
+  let probe_expr = parse_expr "[3]/([5]/DAYS:during:WEEKS):overlaps:MONTHS" in
+  (match Cal_rules.Next_fire.resolve ctx probe_expr `Auto with
+  | `Periodic -> ()
+  | `Stream | `Materialize -> failwith "E19: probe expression did not compile to periodic");
+  let after = 5 * 365 * 86400 in
+  let probe strategy () =
+    ignore (Cal_rules.Next_fire.next ctx probe_expr ~after ~strategy ())
+  in
+  let t_next_mat = median_wall ~repeat:5 (probe `Materialize) in
+  let t_next_str = median_wall ~repeat:5 (probe `Stream) in
+  let t_next_per = median_wall ~repeat:5 (probe `Periodic) in
+  let answer strategy = Cal_rules.Next_fire.next ctx probe_expr ~after ~strategy () in
+  let probes_agree =
+    answer `Materialize = answer `Stream
+    && answer `Stream = answer `Periodic
+    && answer `Periodic <> None
+  in
+  Printf.printf "\n  single next-fire probe (3rd Friday monthly, 30y session):\n";
+  Printf.printf "    materialize: %s   stream: %s   periodic: %s\n" (time_str t_next_mat)
+    (time_str t_next_str) (time_str t_next_per);
+  Printf.printf "    answers agree: %b   periodic speedup: %.1fx vs materialize, %.1fx vs stream\n"
+    probes_agree (speedup t_next_mat t_next_per)
+    (speedup t_next_str t_next_per);
+  (* Beyond the lifespan: the bounded paths go dormant (None); the
+     closed form keeps answering by pure arithmetic. *)
+  let far = 50 * 365 * 86400 in
+  let far_mat = Cal_rules.Next_fire.next ctx probe_expr ~after:far ~strategy:`Materialize () in
+  let far_str = Cal_rules.Next_fire.next ctx probe_expr ~after:far ~strategy:`Stream () in
+  let far_per = Cal_rules.Next_fire.next ctx probe_expr ~after:far ~strategy:`Periodic () in
+  let horizon_ok = far_mat = None && far_str = None && far_per <> None in
+  Printf.printf "\n  probe at year 50 (lifespan ends at year 30):\n";
+  Printf.printf "    materialize: %s   stream: %s   periodic: %s\n"
+    (match far_mat with None -> "dormant" | Some _ -> "fires")
+    (match far_str with None -> "dormant" | Some _ -> "fires")
+    (match far_per with
+    | None -> "dormant"
+    | Some at -> Printf.sprintf "fires at day %d" (at / 86400));
+  print_endline "\n  claim: translatable rules compile to a minimal periodic normal form,";
+  print_endline "  so next-fire probes become O(log spans) arithmetic with no window";
+  print_endline "  materialization, no cache, and no lifespan bound.";
+  if !json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"experiment\": \"E19\",\n";
+    let sim_json firings t =
+      Printf.sprintf "{\"wall_s\": %.6f, \"firings\": %d}" t (List.length firings)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"dbcron\": {\n\
+         \    \"rules\": %d,\n\
+         \    \"closed_form_rules\": %d,\n\
+         \    \"simulated_days\": 365,\n\
+         \    \"materialize\": %s,\n\
+         \    \"stream\": %s,\n\
+         \    \"periodic\": %s,\n\
+         \    \"heap_pops_match_log\": %b,\n\
+         \    \"speedup_vs_materialize\": %.2f,\n\
+         \    \"speedup_vs_stream\": %.2f\n\
+         \  },\n"
+         (List.length specs) n_closed (sim_json f_mat t_mat) (sim_json f_str t_str)
+         (sim_json f_per t_per) cron_ok (speedup t_mat t_per) (speedup t_str t_per));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"next_probe\": {\n\
+         \    \"materialize_s\": %.9f,\n\
+         \    \"stream_s\": %.9f,\n\
+         \    \"periodic_s\": %.9f,\n\
+         \    \"answers_agree\": %b,\n\
+         \    \"speedup_vs_materialize\": %.2f,\n\
+         \    \"speedup_vs_stream\": %.2f\n\
+         \  },\n"
+         t_next_mat t_next_str t_next_per probes_agree (speedup t_next_mat t_next_per)
+         (speedup t_next_str t_next_per));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"beyond_lifespan\": {\"bounded_dormant\": %b, \"periodic_fires\": %b},\n"
+         (far_mat = None && far_str = None)
+         (far_per <> None));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"firings_identical\": %b,\n  \"horizon_unbounded\": %b\n" identical
+         horizon_ok);
+    Buffer.add_string buf "}\n";
+    write_json ~file:"BENCH_E19.json" (Buffer.contents buf)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
@@ -1409,7 +1552,7 @@ let perf =
   [
     ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
     ("E9", e9); ("E10", e10_perf); ("E11", e11_perf); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18);
+    ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
   ]
 
 let () =
@@ -1427,7 +1570,9 @@ let () =
   let all = figures @ perf in
   let selected =
     match args with
-    | [] -> if !json_mode then [ ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18) ] else all
+    | [] ->
+      if !json_mode then [ ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19) ]
+      else all
     | [ "figures" ] -> figures
     | [ "perf" ] -> perf
     | ids ->

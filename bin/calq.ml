@@ -37,11 +37,25 @@ let journal_arg =
           "Durable session: journal every completed statement to \\$(docv), recovering the \
            snapshot+journal state already there when the files exist.")
 
-let make_session ?journal epoch domains =
+let strategy_arg =
+  let strategies =
+    [ ("auto", `Auto); ("materialize", `Materialize); ("stream", `Stream); ("periodic", `Periodic) ]
+  in
+  Cmdliner.Arg.(
+    value
+    & opt (enum strategies) `Auto
+    & info [ "probe-strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "How rule probes search for the next occurrence: $(b,auto) prefers the closed-form \
+           periodic path when the expression is translatable (pure arithmetic, unbounded \
+           horizon), then streaming, then materializing; $(b,periodic), $(b,stream) and \
+           $(b,materialize) pin a path explicitly.")
+
+let make_session ?journal epoch domains strategy =
   let lifespan = (Civil.make epoch.Civil.year 1 1, Civil.make (epoch.Civil.year + 39) 12 31) in
   match journal with
-  | Some path -> Session.recover ~path ~epoch ~lifespan ?domains ()
-  | None -> Session.create ~epoch ~lifespan ?domains ()
+  | Some path -> Session.recover ~path ~epoch ~lifespan ?domains ~probe_strategy:strategy ()
+  | None -> Session.create ~epoch ~lifespan ?domains ~probe_strategy:strategy ()
 
 let print_calendar session cal =
   Printf.printf "%s\n" (Calendar.to_string cal);
@@ -97,6 +111,7 @@ let handle session line =
       \  requeue <rule>                   re-arm a quarantined rule\n\
       \  snapshot                         persist state, truncate the journal\n\
       \  catchup <policy> <days>          fire_once|skip|replay_all missed triggers\n\
+      \  periodic <expression>            show the closed periodic form, if any\n\
       \  stats                            executor / cache / dbcron counters\n\
       \  quit"
   else if line = "today" then
@@ -211,6 +226,36 @@ let handle session line =
       | Error e -> Printf.printf "error: %s\n" e)
     | None -> print_endline "usage: calendar <name> = { <script> }"
   end
+  else if first_word line = "periodic" then begin
+    let src = String.trim (String.sub line 8 (String.length line - 8)) in
+    match Cal_lang.Parser.expr src with
+    | Error e -> Printf.printf "error: %s\n" e
+    | Ok e -> (
+      let ctx = session.Session.ctx in
+      match Cal_lang.Periodic.compile ctx e with
+      | None ->
+        print_endline "outside the closed-form fragment (probes fall back to stream/materialize)"
+      | Some (fine, pset) ->
+        let spans = Cal_lang.Periodic.spans pset in
+        let shown = List.filteri (fun i _ -> i < 8) spans in
+        Printf.printf "period %d (unit %s), %d span(s): %s%s\n"
+          (Cal_lang.Periodic.period pset)
+          (Format.asprintf "%a" Granularity.pp fine)
+          (Cal_lang.Periodic.span_count pset)
+          (String.concat "; " (List.map (fun (o, l) -> Printf.sprintf "%d+%d" o l) shown))
+          (if Cal_lang.Periodic.span_count pset > 8 then "; ..." else "");
+        (match
+           Cal_rules.Next_fire.next ctx e ~after:(Session.now session) ~strategy:`Periodic ()
+         with
+        | Some at ->
+          let day =
+            Chronon.of_offset
+              (Unit_system.index_of_instant ~epoch:ctx.Cal_lang.Context.epoch Granularity.Days at)
+          in
+          Printf.printf "next fire: instant %d (%s)\n" at
+            (Civil.to_string (Session.date_of_day session day))
+        | None -> print_endline "next fire: never (the periodic set is empty)"))
+  end
   else if List.mem (first_word line) db_keywords then begin
     match Session.query session line with
     | Ok r -> print_result session r
@@ -222,8 +267,8 @@ let handle session line =
     | Error e -> Printf.printf "error: %s\n" e
   end
 
-let repl epoch domains journal =
-  let session = make_session ?journal epoch domains in
+let repl epoch domains strategy journal =
+  let session = make_session ?journal epoch domains strategy in
   Printf.printf "calq — calendar system shell (epoch %s%s). Type `help'.\n"
     (Civil.to_string epoch)
     (match journal with Some p -> ", journaling to " ^ p | None -> "");
@@ -238,16 +283,16 @@ let repl epoch domains journal =
   in
   loop ()
 
-let eval_once epoch domains expr =
-  let session = make_session epoch domains in
+let eval_once epoch domains strategy expr =
+  let session = make_session epoch domains strategy in
   match Session.eval_calendar session expr with
   | Ok cal -> print_calendar session cal
   | Error e ->
     Printf.printf "error: %s\n" e;
     exit 1
 
-let demo epoch domains =
-  let session = make_session epoch domains in
+let demo epoch domains strategy =
+  let session = make_session epoch domains strategy in
   let script =
     [
       "calendar Tuesdays = { return ([2]/DAYS:during:WEEKS); }";
@@ -273,19 +318,19 @@ let () =
   let epoch_term = date_arg Unit_system.default_epoch "Session epoch (day chronon 1)." in
   let repl_cmd =
     Cmd.v (Cmd.info "repl" ~doc:"Interactive calendar shell")
-      Term.(const repl $ epoch_term $ domains_arg $ journal_arg)
+      Term.(const repl $ epoch_term $ domains_arg $ strategy_arg $ journal_arg)
   in
   let eval_cmd =
     let expr =
       Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Calendar expression")
     in
     Cmd.v (Cmd.info "eval" ~doc:"Evaluate one calendar expression")
-      Term.(const eval_once $ epoch_term $ domains_arg $ expr)
+      Term.(const eval_once $ epoch_term $ domains_arg $ strategy_arg $ expr)
   in
   let demo_cmd =
     Cmd.v
       (Cmd.info "demo" ~doc:"Scripted demonstration")
-      Term.(const demo $ epoch_term $ domains_arg)
+      Term.(const demo $ epoch_term $ domains_arg $ strategy_arg)
   in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit

@@ -757,6 +757,9 @@ let stats_summary t =
        Printf.sprintf "parallel: %d domains, %d next-fire batches (%d rules)"
          (Cal_rules.Manager.domains t.manager)
          batches rules);
+      Printf.sprintf "periodic: %d of %d rules probed closed-form (unbounded horizon)"
+        (Cal_rules.Manager.periodic_rules t.manager)
+        (List.length (Cal_rules.Manager.rule_names t.manager));
     ]
 
 (** Civil date of a day chronon in this session. *)

@@ -31,6 +31,13 @@ exception Session_error of string
     DBCRON probe every simulated day, materialization cache of 512
     entries ([cache_capacity 0] disables caching).
 
+    [probe_strategy] picks how next-fire probes search (see
+    {!Cal_rules.Next_fire.strategy}): the default [`Auto] prefers the
+    closed-form periodic path — translatable rules are probed by pure
+    arithmetic over an unbounded horizon — then streaming, then
+    materializing; [`Periodic] pins that preference explicitly, and
+    [`Materialize]/[`Stream] force the lifespan-bounded paths.
+
     [domains] caps the worker-pool lanes this session's rule manager and
     executor may fan work across — batched next-fire recomputation and
     partitioned sequential scans (default honors [CALRULES_DOMAINS],
@@ -223,8 +230,9 @@ val exec_stats : t -> Cal_db.Exec.stats
 val plan_cache_stats : t -> Cal_db.Qplan.cache_stats
 
 (** Multi-line summary: DBCRON activity (probes, loads, heap peak),
-    calendar-cache effectiveness, and the executor's access-path and
-    plan-cache counters. *)
+    calendar-cache effectiveness, the executor's access-path and
+    plan-cache counters, and how many rules are probed by the
+    closed-form periodic path. *)
 val stats_summary : t -> string
 
 (** {2 Conversions} *)

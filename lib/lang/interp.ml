@@ -369,7 +369,16 @@ let run_plan (ctx : Context.t) (plan : Plan.t) =
       | Plan.Union_r { dst; a; b } -> regs.(dst) <- Calendar.union regs.(a) regs.(b)
       | Plan.Diff_r { dst; a; b } -> regs.(dst) <- Calendar.diff regs.(a) regs.(b)
       | Plan.Calop_r { dst; counts; src } ->
-        regs.(dst) <- Calendar.leaf (Calendar_gen.caloperate ~counts (Calendar.flatten regs.(src))))
+        regs.(dst) <- Calendar.leaf (Calendar_gen.caloperate ~counts (Calendar.flatten regs.(src)))
+      | Plan.Pset { dst; pset; window } ->
+        (* Closed form: whole instances intersecting the demand window,
+           by pure arithmetic — no generate call, no cache lookup. *)
+        regs.(dst) <-
+          (match window with
+          | None -> Calendar.empty
+          | Some w ->
+            Calendar.leaf
+              (Periodic.to_interval_set ~max_intervals:ctx.Context.max_intervals pset ~window:w)))
     plan.Plan.instrs;
   (regs.(plan.Plan.result), stats)
 
@@ -400,6 +409,13 @@ let eval_expr_naive (ctx : Context.t) ?window e =
 
 (** Optimized evaluation through the planner. *)
 let eval_expr_planned (ctx : Context.t) e = run_plan ctx (Planner.plan ctx e)
+
+(** Closed-form evaluation through the periodic normal form: [None] when
+    the expression is not translatable. Unlike the window-clipping naive
+    path, instances straddling the window edge are kept whole — the two
+    agree on every interval contained in the window's interior. *)
+let eval_expr_periodic (ctx : Context.t) ?window e =
+  Option.map (run_plan ctx) (Planner.plan_periodic ctx ?window e)
 
 (** Naive semantics through the context's materialization cache. With the
     cache disabled (capacity 0, the [Context.create] default) this is

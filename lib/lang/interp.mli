@@ -49,6 +49,16 @@ val eval_expr_naive : Context.t -> ?window:Interval.t -> Ast.expr -> Calendar.t 
 (** Optimized evaluation through the planner. *)
 val eval_expr_planned : Context.t -> Ast.expr -> Calendar.t * stats
 
+(** Closed-form evaluation through {!Planner.plan_periodic}: the
+    expression's minimal periodic normal form materialized over the
+    window (default: the padded lifespan) with no [generate] calls.
+    [None] when the expression is outside the translatable fragment.
+    Window-edge instances are kept whole rather than clipped, so
+    equality with the other strategies holds on every interval contained
+    in the window interior (the differential property in
+    [test/test_periodic.ml]). *)
+val eval_expr_periodic : Context.t -> ?window:Interval.t -> Ast.expr -> (Calendar.t * stats) option
+
 (** Naive semantics through the context's materialization cache
     ({!Context.t.cache}): agrees with {!eval_expr_naive} on the same
     window, but sub-expressions whose canonical form was already

@@ -1,0 +1,567 @@
+(* Closed-form periodic sets and the compiler from translatable calendar
+   expressions to minimal periodic normal form. See periodic.mli for the
+   model; the invariants maintained here are:
+
+   - spans is sorted by (offset, length) and duplicate-free;
+   - every offset is in [0, period);
+   - period is minimal: no proper divisor reproduces the collection.
+
+   Minimality makes the form canonical — the instance collection of a
+   nonempty periodic set has a unique minimal period (its periods form a
+   subgroup of Z), so set equality coincides with structural equality. *)
+
+exception Unrepresentable of string
+
+let () =
+  Printexc.register_printer (function
+    | Unrepresentable msg -> Some ("Periodic.Unrepresentable: " ^ msg)
+    | _ -> None)
+
+(* Representation caps. [max_period] admits the 400-year Gregorian cycle
+   down to hour granularity (146097 * 24 = 3.5M) but rejects it at
+   minutes and below; [max_spans] bounds the lcm-lift blowup. Exceeding
+   either raises — callers degrade to the interval-set oracle, never
+   wrap. *)
+let max_period = 1 lsl 23
+let max_spans = 1 lsl 21
+
+type t = {
+  period : int;
+  spans : (int * int) array; (* sorted (offset, length), unique *)
+  max_len : int; (* 0 when empty *)
+}
+
+let emod a b =
+  let r = a mod b in
+  if r < 0 then r + b else r
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r < 0 <> (b < 0) then q - 1 else q
+
+let empty = { period = 1; spans = [||]; max_len = 0 }
+let is_empty t = Array.length t.spans = 0
+let period t = t.period
+let spans t = Array.to_list t.spans
+let span_count t = Array.length t.spans
+
+let equal a b = a.period = b.period && a.spans = b.spans
+
+(* First index with offset >= v (length of the array when none). *)
+let lower_bound spans v =
+  let lo = ref 0 and hi = ref (Array.length spans) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst spans.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem_pair spans pair =
+  let i = lower_bound spans (fst pair) in
+  let n = Array.length spans in
+  let rec scan i = i < n && fst spans.(i) = fst pair && (spans.(i) = pair || scan (i + 1)) in
+  scan i
+
+(* Smallest divisor q of p under which the collection is invariant:
+   rotation by q maps the span set to itself iff the set is q-periodic
+   (the rotation is a bijection on a finite set). *)
+let minimal_period p spans =
+  if Array.length spans = 0 then 1
+  else begin
+    let divisors =
+      let rec up d acc =
+        if d * d > p then acc
+        else if p mod d = 0 then up (d + 1) (d :: (p / d) :: acc)
+        else up (d + 1) acc
+      in
+      List.sort_uniq Int.compare (up 1 [])
+    in
+    let invariant q =
+      Array.for_all (fun (r, l) -> mem_pair spans (emod (r + q) p, l)) spans
+    in
+    List.find invariant divisors (* p itself always qualifies *)
+  end
+
+let make ~period spans =
+  if period < 1 then invalid_arg "Periodic.make: period < 1";
+  let spans =
+    List.map
+      (fun (r, l) ->
+        if l < 1 then invalid_arg "Periodic.make: span length < 1";
+        (emod r period, l))
+      spans
+  in
+  let spans = List.sort_uniq compare spans in
+  if List.length spans > max_spans then
+    raise (Unrepresentable (Printf.sprintf "%d spans exceed the %d cap" (List.length spans) max_spans));
+  let arr = Array.of_list spans in
+  if Array.length arr = 0 then empty
+  else begin
+    let p = minimal_period period arr in
+    let arr = if p = period then arr else Array.of_list (List.filter (fun (r, _) -> r < p) spans) in
+    { period = p; spans = arr; max_len = Array.fold_left (fun m (_, l) -> max m l) 0 arr }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form queries. Instances are numbered globally: instance
+   j = q*k + i (k = span count, 0 <= i < k) starts at q*period +
+   offset_i — monotone in j, which turns next/nth/count into index
+   arithmetic. *)
+
+let instance t j =
+  let k = Array.length t.spans in
+  let q = floor_div j k in
+  let r, l = t.spans.(j - (q * k)) in
+  ((q * t.period) + r, l)
+
+(* Smallest j whose instance starts at or after v. *)
+let first_geq t v =
+  let k = Array.length t.spans in
+  let vr = emod v t.period in
+  let q = (v - vr) / t.period in
+  let i = lower_bound t.spans vr in
+  if i < k then (q * k) + i else (q + 1) * k
+
+let next_start t o = if is_empty t then None else Some (instance t (first_geq t (o + 1)))
+
+let nth_start t ~from_ n =
+  if is_empty t || n < 1 then None else Some (instance t (first_geq t from_ + n - 1))
+
+let count_starts t ~lo ~hi =
+  if is_empty t || hi < lo then 0 else first_geq t (hi + 1) - first_geq t lo
+
+let starts t ~from_ =
+  if is_empty t then Seq.empty
+  else Seq.unfold (fun j -> Some (instance t j, j + 1)) (first_geq t from_)
+
+let covers t o =
+  (not (is_empty t))
+  &&
+  let p = t.period in
+  let hit (r, l) = emod (o - r) p < l in
+  if t.max_len >= p then Array.exists hit t.spans
+  else begin
+    let n = Array.length t.spans in
+    let orel = emod o p in
+    (* Only spans starting within max_len-1 below o (directly or across
+       the period seam) can cover it. *)
+    let scan_from i limit =
+      let rec go i = i < n && fst t.spans.(i) <= limit && (hit t.spans.(i) || go (i + 1)) in
+      go i
+    in
+    scan_from (lower_bound t.spans (orel - t.max_len + 1)) orel
+    || scan_from (lower_bound t.spans (orel + p - t.max_len + 1)) (p - 1)
+  end
+
+let mem_span t (lo, len) = (not (is_empty t)) && mem_pair t.spans (emod lo t.period, len)
+
+let instances_in t ~lo ~hi =
+  if is_empty t || hi < lo then []
+  else begin
+    let j0 = first_geq t lo and j1 = first_geq t (hi + 1) in
+    List.init (j1 - j0) (fun d -> instance t (j0 + d))
+  end
+
+let to_interval_set ?(max_intervals = 1_000_000) t ~window =
+  if is_empty t then Interval_set.empty
+  else begin
+    let lo = Chronon.to_offset (Interval.lo window) and hi = Chronon.to_offset (Interval.hi window) in
+    (* Whole instances intersecting the window: any instance reaching
+       into it starts at most max_len - 1 before its low edge. *)
+    let j0 = first_geq t (lo - t.max_len + 1) and j1 = first_geq t (hi + 1) in
+    if j1 - j0 > max_intervals then
+      raise (Unrepresentable (Printf.sprintf "%d instances exceed the window cap" (j1 - j0)));
+    let acc = ref [] in
+    for j = j1 - 1 downto j0 do
+      let s, l = instance t j in
+      if s + l - 1 >= lo then
+        acc := Interval.make (Chronon.of_offset s) (Chronon.of_offset (s + l - 1)) :: !acc
+    done;
+    Interval_set.of_list !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Element-wise algebra: lcm-lift, then exact span-set operations. *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let lcm a b =
+  let g = gcd a b in
+  let q = a / g in
+  if q > max_period / b then
+    raise (Unrepresentable (Printf.sprintf "lcm(%d, %d) exceeds the %d-unit period cap" a b max_period))
+  else q * b
+
+let lifted t l =
+  let reps = l / t.period in
+  if reps * Array.length t.spans > max_spans then
+    raise (Unrepresentable "lcm-lift exceeds the span cap");
+  List.concat_map
+    (fun i -> List.map (fun (r, len) -> (r + (i * t.period), len)) (Array.to_list t.spans))
+    (List.init reps Fun.id)
+
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else
+    let l = lcm a.period b.period in
+    make ~period:l (lifted a l @ lifted b l)
+
+let inter a b =
+  if is_empty a || is_empty b then empty
+  else begin
+    let l = lcm a.period b.period in
+    let bl = Array.of_list (lifted b l) in
+    make ~period:l (List.filter (fun s -> mem_pair bl s) (lifted a l))
+  end
+
+let diff a b =
+  if is_empty a then empty
+  else if is_empty b then a
+  else begin
+    let l = lcm a.period b.period in
+    let bl = Array.of_list (lifted b l) in
+    make ~period:l (List.filter (fun s -> not (mem_pair bl s)) (lifted a l))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pointwise algebra over covered offsets. Internal form: disjoint,
+   non-adjacent, sorted segments [a, b] of residues within [0, p). *)
+
+let full = { period = 1; spans = [| (0, 1) |]; max_len = 1 }
+let is_full t = equal t full
+
+let segments_of t =
+  let p = t.period in
+  let raw =
+    Array.to_list t.spans
+    |> List.concat_map (fun (r, l) ->
+           let l = min l p in
+           if r + l <= p then [ (r, r + l - 1) ] else [ (r, p - 1); (0, r + l - 1 - p) ])
+  in
+  let sorted = List.sort compare raw in
+  let rec merge = function
+    | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 + 1 -> merge ((a1, max b1 b2) :: rest)
+    | seg :: rest -> seg :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+(* Rebuild a form from residue segments, rejoining an arc that wraps the
+   period seam so arcs are maximal on the circle. *)
+let of_segments p segs =
+  match segs with
+  | [] -> empty
+  | [ (0, b) ] when b = p - 1 -> full
+  | (0, b0) :: (_ :: _ as rest) when snd (List.hd (List.rev rest)) = p - 1 ->
+    (* first arc touches offset 0 and last touches p-1: one wrapping arc *)
+    let segs =
+      match List.rev rest with
+      | (alast, _) :: mid_rev -> List.rev ((alast, p + b0) :: mid_rev)
+      | [] -> assert false
+    in
+    make ~period:p (List.map (fun (a, b) -> (a, b - a + 1)) segs)
+  | segs -> make ~period:p (List.map (fun (a, b) -> (a, b - a + 1)) segs)
+
+let pointwise t =
+  if is_empty t then empty
+  else if t.max_len >= t.period then full
+  else of_segments t.period (segments_of t)
+
+let complement t =
+  if is_empty t then full
+  else if t.max_len >= t.period then empty
+  else begin
+    let p = t.period in
+    let rec gaps prev = function
+      | (a, b) :: rest -> (if a > prev then [ (prev, a - 1) ] else []) @ gaps (b + 1) rest
+      | [] -> if prev <= p - 1 then [ (prev, p - 1) ] else []
+    in
+    of_segments p (gaps 0 (segments_of t))
+  end
+
+let pointwise_union a b = if is_empty a then pointwise b else if is_empty b then pointwise a else pointwise (union a b)
+
+let pointwise_inter a b =
+  if is_empty a || is_empty b then empty
+  else if is_full (pointwise a) then pointwise b
+  else if is_full (pointwise b) then pointwise a
+  else begin
+    let l = lcm a.period b.period in
+    let lift_segs t =
+      let reps = l / t.period in
+      List.concat_map
+        (fun i -> List.map (fun (x, y) -> (x + (i * t.period), y + (i * t.period))) (segments_of t))
+        (List.init reps Fun.id)
+    in
+    let rec isect xs ys =
+      match (xs, ys) with
+      | [], _ | _, [] -> []
+      | (a1, b1) :: xr, (a2, b2) :: yr ->
+        let lo = max a1 a2 and hi = min b1 b2 in
+        let rest = if b1 < b2 then isect xr ys else isect xs yr in
+        if lo <= hi then (lo, hi) :: rest else rest
+    in
+    of_segments l (isect (lift_segs a) (lift_segs b))
+  end
+
+let pointwise_diff a b = if is_empty b then pointwise a else pointwise_inter a (complement b)
+
+(* ------------------------------------------------------------------ *)
+(* The compiler. *)
+
+exception Not_periodic
+
+let months_per = function
+  | Granularity.Months -> 1
+  | Granularity.Years -> 12
+  | Granularity.Decades -> 120
+  | Granularity.Centuries -> 1200
+  | _ -> raise Not_periodic
+
+(* The Gregorian calendar repeats exactly every 400 years = 146097 days
+   (divisible by 7, so weekday structure repeats too): every basic
+   calendar is periodic in any aligned finer unit, whatever the epoch. *)
+let gregorian_cycle_days = 146097
+
+let period_of ~fine coarse =
+  match (Granularity.seconds_per coarse, Granularity.seconds_per fine) with
+  | Some wc, Some wf -> if wc mod wf = 0 then wc / wf else raise Not_periodic
+  | None, Some wf ->
+    if 86400 mod wf <> 0 then raise Not_periodic (* weeks under months: misaligned *)
+    else gregorian_cycle_days * (86400 / wf)
+  | None, None -> months_per coarse / months_per fine
+  | Some _, None -> raise Not_periodic
+
+(* Upper bound of one coarse unit in fine units, for candidate windows
+   and generation padding. *)
+let ub_fine_units ~fine coarse =
+  match (Granularity.seconds_per coarse, Granularity.seconds_per fine) with
+  | Some wc, Some wf -> wc / wf
+  | None, Some wf ->
+    let days =
+      match coarse with
+      | Granularity.Months -> 31
+      | Granularity.Years -> 366
+      | Granularity.Decades -> 3653
+      | Granularity.Centuries -> 36525
+      | _ -> raise Not_periodic
+    in
+    days * (86400 / wf)
+  | None, None -> months_per coarse / months_per fine
+  | Some _, None -> raise Not_periodic
+
+(* One cycle of a basic calendar, memoized per (epoch, coarse, fine).
+   The table is consulted from parallel probe domains (the manager's
+   recompute batches), hence the mutex. *)
+let basic_memo : (string, t) Hashtbl.t = Hashtbl.create 16
+let basic_mutex = Mutex.create ()
+
+let memo_find tbl mutex key =
+  Mutex.lock mutex;
+  let r = Hashtbl.find_opt tbl key in
+  Mutex.unlock mutex;
+  r
+
+let memo_add tbl mutex key v =
+  Mutex.lock mutex;
+  if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v;
+  Mutex.unlock mutex
+
+let basic_pset (ctx : Context.t) ~fine coarse =
+  if Granularity.equal coarse fine then make ~period:1 [ (0, 1) ]
+  else if not (Unit_system.aligned ~coarse ~fine) then raise Not_periodic
+  else begin
+    let p = period_of ~fine coarse in
+    if p > max_period then
+      raise (Unrepresentable (Printf.sprintf "%s in %s units: period %d exceeds the cap"
+               (Granularity.to_string coarse) (Granularity.to_string fine) p));
+    let epoch = ctx.Context.epoch in
+    let key =
+      Printf.sprintf "%d|%s|%s" (Civil.rata_die epoch) (Granularity.to_string coarse)
+        (Granularity.to_string fine)
+    in
+    match memo_find basic_memo basic_mutex key with
+    | Some t -> t
+    | None ->
+      (* Materialize one cycle: generate over [-pad, p + pad] and keep
+         the units starting inside [0, p) — whole by construction, since
+         the window extends a full unit past both ends. *)
+      let pad = ub_fine_units ~fine coarse + 2 in
+      let window = Interval.make (Chronon.of_offset (-pad)) (Chronon.of_offset (p + pad)) in
+      let set = Calendar_gen.generate ~max_intervals:1_000_000 ~epoch ~coarse ~fine ~window () in
+      let spans =
+        Interval_set.fold
+          (fun acc iv ->
+            let lo = Chronon.to_offset (Interval.lo iv) in
+            if lo >= 0 && lo < p then (lo, Interval.length iv) :: acc else acc)
+          [] set
+      in
+      let t = make ~period:p spans in
+      memo_add basic_memo basic_mutex key t;
+      t
+  end
+
+(* Relations on offset intervals. Chronon -> offset is a strictly
+   monotone bijection, so every listop (pure order/equality on
+   endpoints) transfers verbatim; so does intersection-clipping. *)
+let op_holds op (xlo, xhi) (rlo, rhi) =
+  match op with
+  | Listop.During -> xlo >= rlo && rhi >= xhi
+  | Listop.Overlaps | Listop.Intersects -> xlo <= rhi && rlo <= xhi
+  | Listop.Meets -> xhi = rlo
+  | Listop.Starts -> xlo = rlo && xhi <= rhi
+  | Listop.Finishes -> xhi = rhi && xlo >= rlo
+  | Listop.Equals -> xlo = rlo && xhi = rhi
+  | Listop.Contains -> rlo >= xlo && xhi >= rhi
+  | Listop.Before | Listop.Le -> raise Not_periodic (* unbounded reach: untranslatable *)
+
+(* Window-local relations: every qualifying lhs instance starts within
+   [ref_lo - max_len, ref_hi] (During/Starts/Equals start inside the
+   reference; Overlaps/Intersects/Meets/Finishes/Contains reach at most
+   one instance length back). Before/Le reach arbitrarily far. *)
+let window_local = function
+  | Listop.During | Listop.Overlaps | Listop.Intersects | Listop.Meets | Listop.Starts
+  | Listop.Finishes | Listop.Equals | Listop.Contains ->
+    true
+  | Listop.Before | Listop.Le -> false
+
+(* positions/select replicated from Calendar so the fused
+   select-over-foreach picks exactly what the tree evaluator picks. *)
+let positions sel n =
+  let resolve = function
+    | Ast.Nth i when i > 0 -> if i <= n then [ i ] else []
+    | Ast.Nth i when i < 0 -> if -i <= n then [ n + 1 + i ] else []
+    | Ast.Nth _ -> []
+    | Ast.Last -> if n >= 1 then [ n ] else []
+    | Ast.Range (a, b) ->
+      let a = max a 1 and b = min b n in
+      if a > b then [] else List.init (b - a + 1) (fun k -> a + k)
+  in
+  List.sort_uniq Int.compare (List.concat_map resolve sel)
+
+(* foreach (optionally fused with an index selection): enumerate the
+   references starting in one lcm period; for each, collect the
+   qualifying lhs instances exactly as Calendar.foreach does per
+   reference (clip under strict containment ops, dedup, (lo, hi)
+   order), select, and fold the picks back into [0, L). L-periodicity
+   of both operands makes one period's references exhaustive. *)
+let foreach_pset ~strict op ~select l r =
+  if not (window_local op) then raise Not_periodic;
+  if is_empty r || is_empty l then empty
+  else begin
+    let big_l = lcm l.period r.period in
+    let clips = strict && Listop.clips op in
+    let acc = ref [] and count = ref 0 in
+    let refs = Seq.take_while (fun (s, _) -> s < big_l) (starts r ~from_:0) in
+    Seq.iter
+      (fun (ref_lo, ref_len) ->
+        let ref_hi = ref_lo + ref_len - 1 in
+        let candidates =
+          starts l ~from_:(ref_lo - l.max_len)
+          |> Seq.take_while (fun (s, _) -> s <= ref_hi)
+          |> Seq.filter_map (fun (xlo, xlen) ->
+                 let xhi = xlo + xlen - 1 in
+                 if op_holds op (xlo, xhi) (ref_lo, ref_hi) then
+                   if clips then Some (max xlo ref_lo, min xhi ref_hi) else Some (xlo, xhi)
+                 else None)
+          |> List.of_seq
+          |> List.sort_uniq compare (* clipping can reorder and collide *)
+        in
+        let picked =
+          match select with
+          | None -> candidates
+          | Some atoms ->
+            let n = List.length candidates in
+            List.map (fun i -> List.nth candidates (i - 1)) (positions atoms n)
+        in
+        List.iter
+          (fun (lo, hi) ->
+            incr count;
+            if !count > max_spans then raise (Unrepresentable "foreach result exceeds the span cap");
+            acc := (emod lo big_l, hi - lo + 1) :: !acc)
+          picked)
+      refs;
+    make ~period:big_l !acc
+  end
+
+(* Static flatness: true when evaluation is guaranteed to yield an
+   order-1 calendar (a Leaf). Needed for difference: Calendar.diff is
+   componentwise on equal-length order-2 operands, which only coincides
+   with the flat span difference when at least one side is a Leaf (the
+   binop then either stays Leaf/Leaf or flattens both). *)
+let rec statically_flat env e =
+  match e with
+  | Ast.Ident name -> (match Env.find env name with Some (Env.Basic _) -> true | _ -> false)
+  | Ast.Union (a, b) | Ast.Diff (a, b) -> statically_flat env a && statically_flat env b
+  | Ast.Select (Ast.Index atoms, Ast.Foreach { rhs; _ }) ->
+    (* a single pick yields at most one interval per reference, which
+       Calendar.simplify collapses to a Leaf — provided the references
+       themselves come from a Leaf *)
+    (match atoms with [ Ast.Nth _ ] | [ Ast.Last ] -> statically_flat env rhs | _ -> false)
+  | _ -> false
+
+(* Structural gate, fused with canonical-key construction: idents are
+   keyed by their resolved granularity, so the memo cannot be poisoned
+   across environments that bind the same name differently. *)
+let rec key_of env e =
+  match e with
+  | Ast.Ident name -> (
+    match Env.find env name with
+    | Some (Env.Basic g) -> "B:" ^ Granularity.to_string g
+    | _ -> raise Not_periodic)
+  | Ast.Union (a, b) -> "(" ^ key_of env a ^ "+" ^ key_of env b ^ ")"
+  | Ast.Diff (a, b) ->
+    if statically_flat env a || statically_flat env b then
+      "(" ^ key_of env a ^ "-" ^ key_of env b ^ ")"
+    else raise Not_periodic
+  | Ast.Foreach { strict; op; lhs; rhs } ->
+    if not (window_local op) then raise Not_periodic;
+    Printf.sprintf "F(%b,%s,%s,%s)" strict (Listop.to_string op) (key_of env lhs)
+      (key_of env rhs)
+  | Ast.Select ((Ast.Index _ as sel), (Ast.Foreach _ as f)) ->
+    "S[" ^ Pretty.selector_to_string sel ^ "]" ^ key_of env f
+  | Ast.Select _ | Ast.Lit _ | Ast.Calop _ -> raise Not_periodic
+
+let translatable env e = match key_of env e with _ -> true | exception Not_periodic -> false
+
+let compile_uncached (ctx : Context.t) ~fine e =
+  let env = ctx.Context.env in
+  let rec go e =
+    match e with
+    | Ast.Ident name -> (
+      match Env.find env name with
+      | Some (Env.Basic g) -> basic_pset ctx ~fine g
+      | _ -> raise Not_periodic)
+    | Ast.Union (a, b) -> union (go a) (go b)
+    | Ast.Diff (a, b) ->
+      if statically_flat env a || statically_flat env b then diff (go a) (go b)
+      else raise Not_periodic
+    | Ast.Foreach { strict; op; lhs; rhs } -> foreach_pset ~strict op ~select:None (go lhs) (go rhs)
+    | Ast.Select (Ast.Index atoms, Ast.Foreach { strict; op; lhs; rhs }) ->
+      foreach_pset ~strict op ~select:(Some atoms) (go lhs) (go rhs)
+    | Ast.Select _ | Ast.Lit _ | Ast.Calop _ -> raise Not_periodic
+  in
+  go e
+
+let compile_memo : (string, (Granularity.t * t) option) Hashtbl.t = Hashtbl.create 64
+let compile_mutex = Mutex.create ()
+
+let compile (ctx : Context.t) e =
+  match key_of ctx.Context.env e with
+  | exception Not_periodic -> None
+  | key ->
+    let fine = Gran.finest_of_expr ctx.Context.env e in
+    let full_key =
+      Printf.sprintf "%d|%s|%s" (Civil.rata_die ctx.Context.epoch) (Granularity.to_string fine) key
+    in
+    (match memo_find compile_memo compile_mutex full_key with
+    | Some r -> r
+    | None ->
+      let r =
+        match compile_uncached ctx ~fine e with
+        | pset -> Some (fine, pset)
+        | exception (Not_periodic | Unrepresentable _) -> None
+      in
+      memo_add compile_memo compile_mutex full_key r;
+      r)

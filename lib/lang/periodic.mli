@@ -1,0 +1,131 @@
+(** Closed-form periodic sets: the minimal periodic normal form for
+    translatable calendar expressions.
+
+    A value denotes an infinite, periodic collection of intervals on the
+    0-based offset timeline of some fine granularity: for a period [p]
+    and a sorted set of spans [(r, l)] (offset [0 <= r < p], length
+    [l >= 1]), the collection is every interval
+    [\[k*p + r, k*p + r + l - 1\]] for every [k] in Z. The anchor of the
+    paper's [(period, offsets, anchor)] triple is normalized away at
+    construction: offsets are stored relative to the epoch's unit 0, so
+    the anchor is always 0 and two forms denote the same collection iff
+    they are structurally equal (the period is reduced to the minimal
+    divisor, which makes the form canonical — hence "minimal periodic
+    normal form").
+
+    Against the array interval-set evaluator this buys O(log n)
+    [next_start] / [nth_start] with {e no} generation, no cache window
+    and no lifespan bound: probes are pure arithmetic over unbounded
+    horizons. The interval-set evaluator survives as the differential
+    oracle ([test/test_periodic.ml]).
+
+    The compiler ({!compile}) covers the translatable fragment: basic
+    calendars, window-local foreach relations, per-reference index
+    selection over a foreach, unions, and differences with a
+    statically-flat operand. Everything else — stored/derived calendars,
+    [today], literals, label and absolute selection, [caloperate],
+    ordering relations — falls back to the interval-set paths. *)
+
+type t
+
+(** Raised when a form would exceed {!max_period} or {!max_spans} —
+    e.g. the lcm-lift of two large coprime periods. Callers degrade to
+    the interval-set oracle instead of wrapping or truncating. *)
+exception Unrepresentable of string
+
+(** Hard caps on the representation: periods above [max_period] fine
+    units or more than [max_spans] spans per period raise
+    {!Unrepresentable}. *)
+val max_period : int
+
+val max_spans : int
+
+(** [make ~period spans] builds the canonical form: offsets are reduced
+    mod [period], spans sorted and deduplicated, and the period
+    minimized to the smallest divisor that reproduces the collection.
+    @raise Invalid_argument on [period < 1] or a span length < 1.
+    @raise Unrepresentable past {!max_spans}. *)
+val make : period:int -> (int * int) list -> t
+
+val empty : t
+val is_empty : t -> bool
+
+(** Canonical-form accessors: the minimal period and the sorted
+    [(offset, length)] spans of one period. *)
+val period : t -> int
+
+val spans : t -> (int * int) list
+
+val span_count : t -> int
+
+(** Set equality of the denoted interval collections (structural
+    equality of canonical forms). *)
+val equal : t -> t -> bool
+
+(** {2 Closed-form queries} — all offsets are 0-based fine-unit offsets
+    ([Chronon.to_offset]); instances are [(start, length)] pairs. *)
+
+(** Is offset [o] covered by some instance? O(log spans). *)
+val covers : t -> int -> bool
+
+(** Is the exact interval [(start, length)] an instance? *)
+val mem_span : t -> int * int -> bool
+
+(** First instance with start strictly after [o]; [None] only when
+    empty. Pure arithmetic — no generation, no upper bound. *)
+val next_start : t -> int -> (int * int) option
+
+(** [nth_start t ~from_ n] is the [n]-th (1-based) instance whose start
+    is at or after [from_]. *)
+val nth_start : t -> from_:int -> int -> (int * int) option
+
+(** Number of instance starts in [\[lo, hi\]], in closed form. *)
+val count_starts : t -> lo:int -> hi:int -> int
+
+(** Instances ordered by (start, length), starting with the first whose
+    start is at or after [from_]. Infinite unless empty. *)
+val starts : t -> from_:int -> (int * int) Seq.t
+
+(** Instances with start inside [\[lo, hi\]]. *)
+val instances_in : t -> lo:int -> hi:int -> (int * int) list
+
+(** Whole (unclipped) instances intersecting the chronon window, as an
+    interval set — the materialization used by the [Pset] plan
+    instruction and the differential tests.
+    @raise Unrepresentable past [max_intervals] (default 1M). *)
+val to_interval_set : ?max_intervals:int -> t -> window:Interval.t -> Interval_set.t
+
+(** {2 Element-wise algebra} — the lcm-lift followed by exact span-set
+    union/intersection/difference, mirroring [Interval_set]'s
+    element-wise operations instance for instance.
+    @raise Unrepresentable when the lcm exceeds {!max_period}. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+(** {2 Pointwise algebra} — the forms as sets of covered offsets.
+    Results are coalesced maximal arcs; full coverage canonicalizes to
+    period 1 with the single span [(0, 1)]. *)
+
+val pointwise : t -> t
+val complement : t -> t
+val pointwise_union : t -> t -> t
+val pointwise_inter : t -> t -> t
+val pointwise_diff : t -> t -> t
+
+(** {2 The compiler} *)
+
+(** Structural translatability: true when the expression is in the
+    compilable fragment (basic calendars, containment-style foreach,
+    index selection directly over a foreach, union, difference with a
+    statically-flat side). A [true] still lets {!compile} return [None]
+    on representation grounds (misalignment, {!max_period}); [false]
+    means the interval-set paths must be used. *)
+val translatable : Env.t -> Ast.expr -> bool
+
+(** Compile to the normal form at the expression's generation unit
+    (returned alongside). [None] when untranslatable or unrepresentable.
+    Memoized per (epoch, granularity-resolved expression); safe to call
+    from parallel probe domains. *)
+val compile : Context.t -> Ast.expr -> (Granularity.t * t) option

@@ -25,6 +25,9 @@ type instr =
   | Union_r of { dst : reg; a : reg; b : reg }
   | Diff_r of { dst : reg; a : reg; b : reg }
   | Calop_r of { dst : reg; counts : int list; src : reg }
+  | Pset of { dst : reg; pset : Periodic.t; window : Interval.t option }
+      (** closed-form periodic set, materialized over the demand window
+          with no [generate] call and no cache lookup *)
 
 type t = {
   fine : Granularity.t;  (** chronon unit every register is expressed in *)
@@ -67,6 +70,9 @@ let pp_instr ~fine ppf = function
   | Calop_r { dst; counts; src } ->
     Format.fprintf ppf "t%d := caloperate(t%d; %s)" dst src
       (String.concat "," (List.map string_of_int counts))
+  | Pset { dst; pset; window } ->
+    Format.fprintf ppf "t%d := periodic(period=%d, spans=%d, %a)" dst (Periodic.period pset)
+      (Periodic.span_count pset) pp_window window
 
 let pp ppf t =
   Format.fprintf ppf "plan (fine=%a, result=t%d):@." Granularity.pp t.fine t.result;

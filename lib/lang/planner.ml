@@ -311,3 +311,44 @@ let plan (ctx : Context.t) expr =
   in
   let result = emit e in
   { Plan.fine; instrs = List.rev !instrs; result; nregs = !nreg }
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form periodic strategy (section: periodic normal form). *)
+
+(* The translatability gate, re-exported so strategy choosers (next-fire
+   probes, the session shell) ask the planner rather than the compiler
+   directly. *)
+let periodic env e = Periodic.translatable env e
+
+(* Compile to a single-instruction plan around the periodic normal form.
+   [None] when the expression is untranslatable or unrepresentable —
+   callers fall back to {!plan}. The default window matches {!plan}'s
+   evaluation horizon (padded lifespan) so the two strategies agree on
+   interior units; an explicit [window] supports probe-sized demands. *)
+let plan_periodic (ctx : Context.t) ?window expr =
+  match Periodic.compile ctx expr with
+  | None -> None
+  | Some (fine, pset) ->
+    let window =
+      match window with
+      | Some w -> w
+      | None ->
+        let env = ctx.Context.env in
+        let lifespan = Context.lifespan_in ctx fine in
+        let grans =
+          List.filter_map
+            (fun n -> Gran.of_expr env (Ast.Ident n))
+            (Ast.idents_of_expr expr)
+        in
+        let pad = pad_for ~fine grans in
+        Interval.make
+          (Chronon.add (Interval.lo lifespan) (-pad))
+          (Chronon.add (Interval.hi lifespan) pad)
+    in
+    Some
+      {
+        Plan.fine;
+        instrs = [ Plan.Pset { dst = 0; pset; window = Some window } ];
+        result = 0;
+        nregs = 1;
+      }

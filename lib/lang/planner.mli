@@ -33,3 +33,18 @@ val streamable : Env.t -> Ast.expr -> bool
 (** Compile an expression to a bounded register program.
     @raise Plan_error for unsupported label selections. *)
 val plan : Context.t -> Ast.expr -> Plan.t
+
+(** [periodic env e] — the closed-form translatability gate
+    ({!Periodic.translatable}): true when [e] compiles to the minimal
+    periodic normal form, so next-fire probes need no generation, no
+    cache window and no lifespan bound. Strictly stronger than
+    {!streamable} on the fragment it accepts (literals and stored
+    calendars stream but are not periodic). *)
+val periodic : Env.t -> Ast.expr -> bool
+
+(** Compile to a single {!Plan.Pset} instruction around the periodic
+    normal form; [None] when {!periodic} rejects the expression or the
+    form is unrepresentable (callers fall back to {!plan}). Without
+    [window] the plan materializes over the same padded-lifespan horizon
+    as {!plan}, so both strategies agree on interior units. *)
+val plan_periodic : Context.t -> ?window:Interval.t -> Ast.expr -> Plan.t option

@@ -57,3 +57,18 @@ let to_expression (rule : Rrule.t) =
           (Printf.sprintf "%s/(%s):overlaps:[%d]/MONTHS:during:YEARS" (ordinal_selector (Some o))
              (weekday_selector weekday) m)
       | _ -> None)
+
+(** Compile a translatable recurrence straight to the minimal periodic
+    normal form: translate to expression text, parse, and run the
+    closed-form compiler ({!Cal_lang.Periodic.compile}). [None] when the
+    rule is outside the RRULE translatable fragment {e or} the resulting
+    expression is outside the periodic fragment — the gates are
+    independent, and the translatability-matrix test in
+    [test/test_rrule.ml] pins which shapes land where. *)
+let to_periodic (ctx : Cal_lang.Context.t) (rule : Rrule.t) =
+  match to_expression rule with
+  | None -> None
+  | Some src -> (
+    match Cal_lang.Parser.expr src with
+    | Error _ -> None
+    | Ok e -> Cal_lang.Periodic.compile ctx e)

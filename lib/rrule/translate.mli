@@ -12,3 +12,11 @@
     algebra expresses the {e calendar}, not a bounded enumeration; a bare
     WEEKLY rule depends on dtstart's weekday). *)
 val to_expression : Rrule.t -> string option
+
+(** [to_periodic ctx rule] is the minimal periodic normal form of the
+    recurrence (with its fine granularity), when both {!to_expression}
+    translates it and {!Cal_lang.Periodic.compile} accepts the result.
+    Closed-form next-occurrence queries on the rule then need no
+    generation and no lifespan bound. *)
+val to_periodic :
+  Cal_lang.Context.t -> Rrule.t -> (Granularity.t * Cal_lang.Periodic.t) option

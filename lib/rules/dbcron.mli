@@ -56,3 +56,10 @@ val stats : 'a t -> int * int
 
 (** Largest number of simultaneously-pending heap entries observed. *)
 val heap_peak : 'a t -> int
+
+(** Cumulative entries popped and fired by {!step}. Closed-form periodic
+    rules keep the probe loop running over an unbounded horizon — they
+    never go dormant — so this counter grows for as long as time
+    advances; benchmarks cross-check it against the manager's firing
+    log. *)
+val fired : 'a t -> int

@@ -713,9 +713,21 @@ let restore_alerts t chronological = t.alerts <- List.rev chronological
 
 let dbcron_stats t = Dbcron.stats t.cron
 let dbcron_heap_peak t = Dbcron.heap_peak t.cron
+let dbcron_fired t = Dbcron.fired t.cron
 let exec_stats t = t.exec_stats
 let plan_cache_stats t = Qplan.cache_stats t.catalog
 let domains t = t.domains
 let parallel_stats t = (t.par_batches, t.par_rules)
 let probe_period t = t.probe_period
+
+(** Live calendar rules whose probes resolve to the closed-form periodic
+    path under this manager's strategy (these rules never go dormant). *)
+let periodic_rules t =
+  Hashtbl.fold
+    (fun _ st acc ->
+      match st.event with
+      | Cal_event { expr; _ } ->
+        if Next_fire.resolve t.ctx expr t.probe_strategy = `Periodic then acc + 1 else acc
+      | Db_event _ -> acc)
+    t.rules 0
 let injector t = t.injector

@@ -146,6 +146,11 @@ val dbcron_stats : t -> int * int
 (** Largest number of simultaneously-pending DBCRON heap entries. *)
 val dbcron_heap_peak : t -> int
 
+(** Cumulative DBCRON heap entries popped and fired (see
+    {!Dbcron.fired}); benchmarks cross-check this against the length of
+    {!firings}. *)
+val dbcron_fired : t -> int
+
 (** Cumulative executor counters across every query this manager ran:
     DBCRON probes, rule actions and user queries. *)
 val exec_stats : t -> Exec.stats
@@ -162,6 +167,12 @@ val parallel_stats : t -> int * int
 
 (** The probe period this manager's DBCRON runs at. *)
 val probe_period : t -> int
+
+(** Live calendar rules whose probes resolve to the closed-form periodic
+    path ({!Next_fire.resolve}) under this manager's strategy. Such rules
+    are probed by O(log spans) arithmetic with no generation and no
+    lifespan bound. *)
+val periodic_rules : t -> int
 
 (** The fault injector this manager was created with. *)
 val injector : t -> Cal_faults.Injector.t

@@ -73,7 +73,21 @@ let occurrences (ctx : Context.t) expr ~from_ ~until =
        []
   |> List.sort_uniq Int.compare
 
-type strategy = [ `Auto | `Materialize | `Stream ]
+type strategy = [ `Auto | `Materialize | `Stream | `Periodic ]
+
+(* Which path a probe will actually take. [`Auto] and [`Periodic] both
+   prefer the closed form — [`Periodic] is the caller pinning intent, not
+   a promise the expression compiles, so both degrade identically.
+   [Periodic.compile] memoizes per (context epoch, expression), so the
+   gate costs one hashtable lookup after the first probe. *)
+let resolve (ctx : Context.t) expr (s : strategy) =
+  match s with
+  | `Materialize -> `Materialize
+  | `Stream -> `Stream
+  | `Auto | `Periodic -> (
+    match Periodic.compile ctx expr with
+    | Some _ -> `Periodic
+    | None -> if Planner.streamable ctx.Context.env expr then `Stream else `Materialize)
 
 let lifespan_end_instant (ctx : Context.t) =
   let _, life_end = ctx.Context.lifespan in
@@ -102,19 +116,36 @@ let next_stream (ctx : Context.t) expr ~after =
     find (Interp.stream_expr ctx ~from_ expr)
   end
 
-(** First occurrence strictly after [after], searching up to the end of
-    the context lifespan. [lookahead] (seconds) sizes the first search
-    window of the materializing path; the streaming path pulls chunks
-    forward instead and never re-scans. *)
+(* Closed-form probe: no generation, no cache window, no lifespan bound.
+   [after] lives in the unit at index [idx], whose start is ≤ [after]; the
+   first periodic instance starting at or past [idx] either starts in that
+   very unit (instant ≤ [after] — step once more) or in a later unit
+   (instant > [after] — the answer). At most two arithmetic probes. *)
+let next_periodic (ctx : Context.t) expr ~after =
+  match Periodic.compile ctx expr with
+  | None -> None
+  | Some (fine, pset) ->
+    let epoch = ctx.Context.epoch in
+    let rec go i =
+      match Periodic.next_start pset i with
+      | None -> None
+      | Some (s, _len) ->
+        let instant = Unit_system.start_of_index ~epoch fine s in
+        if instant > after then Some instant else go (s + 1)
+    in
+    go (Unit_system.index_of_instant ~epoch fine after)
+
+(** First occurrence strictly after [after]. The closed-form path probes
+    over an unbounded horizon; the other two search up to the end of the
+    context lifespan. [lookahead] (seconds) sizes the first search window
+    of the materializing path; the streaming path pulls chunks forward
+    instead and never re-scans. *)
 let next (ctx : Context.t) expr ~after ?(lookahead = 400 * 86400) ?(strategy = `Auto) () =
-  let stream =
-    match strategy with
-    | `Materialize -> false
-    | `Stream -> true
-    | `Auto -> Planner.streamable ctx.Context.env expr
-  in
-  if stream then next_stream ctx expr ~after
-  else begin
+  match resolve ctx expr strategy with
+  | `Periodic -> next_periodic ctx expr ~after
+  | `Stream -> next_stream ctx expr ~after
+  | `Materialize ->
+    begin
     let end_instant = lifespan_end_instant ctx in
     let rec search until =
       if after >= end_instant then None

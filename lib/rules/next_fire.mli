@@ -24,11 +24,26 @@ val occurrences : Context.t -> Ast.expr -> from_:int -> until:int -> int list
     {- [`Stream] — pull intervals lazily forward from the probe instant
        via [Interp.stream_expr]; only sound for expressions
        [Planner.streamable] accepts;}
-    {- [`Auto] (the default) — stream when streamable, else
-       materialize.}} *)
-type strategy = [ `Auto | `Materialize | `Stream ]
+    {- [`Periodic] — compile to the minimal periodic normal form
+       ({!Cal_lang.Periodic}) and answer by O(log spans) arithmetic: no
+       generation, no cache window, and {e no lifespan bound} — a
+       periodic rule never goes dormant. Falls back like [`Auto] when
+       the expression is outside the translatable fragment;}
+    {- [`Auto] (the default) — periodic when translatable, else stream
+       when streamable, else materialize.}} *)
+type strategy = [ `Auto | `Materialize | `Stream | `Periodic ]
+
+(** The path a probe with this strategy will actually take: [`Auto] and
+    [`Periodic] resolve through the {!Cal_lang.Periodic.compile} gate,
+    then the {!Cal_lang.Planner.streamable} gate. Exposed so callers
+    (manager stats, benches) can report how each rule is being probed. *)
+val resolve :
+  Context.t -> Ast.expr -> strategy -> [ `Materialize | `Stream | `Periodic ]
 
 (** First occurrence strictly after [after]; [None] when the rule is
-    dormant (no occurrence before the end of the context lifespan). *)
+    dormant. Under [`Materialize]/[`Stream] (or fallback from the other
+    two) the search stops at the end of the context lifespan; under a
+    resolved [`Periodic] the horizon is unbounded and a non-empty
+    periodic rule always has a next occurrence. *)
 val next :
   Context.t -> Ast.expr -> after:int -> ?lookahead:int -> ?strategy:strategy -> unit -> int option

@@ -1,0 +1,528 @@
+(* The periodic normal form against its oracles.
+
+   Unit tests pin the offset algebra at its boundaries (period 1, the
+   empty set, spans at period-1, the lcm overflow guard, minimality of
+   the stored period) and golden compilations. The qcheck suites then
+   prove, on random translatable expressions and random windows — far
+   beyond the lifespan the interval-set paths are bounded by — that the
+   closed form, the array interval-set evaluator and the retained list
+   implementation agree on membership, instances, next-fire and nth
+   queries. *)
+
+open Cal_lang
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* The same small world as test_props: epoch Jan 1 1988 (so civil dates
+   are easy to pin), a 2-year lifespan for the lifespan-bounded paths. *)
+
+let epoch = Civil.make 1988 1 1
+let lifespan = (Civil.make 1988 1 1, Civil.make 1989 12 31)
+
+let make_env () =
+  let env = Env.create () in
+  Env.define_stored env ~name:"HOLIDAYS" ~granularity:Granularity.Days
+    (Interval_set.of_pairs [ (1, 1); (46, 47) ]);
+  (match
+     Env.define_script env ~name:"TUESDAYS" ~source:"{ return ([3]/DAYS:during:WEEKS); }"
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  env
+
+let ctx = Context.create ~epoch ~lifespan ~cache_capacity:0 ~env:(make_env ()) ()
+
+let parse s =
+  match Parser.expr s with Ok e -> e | Error e -> Alcotest.failf "parse %S: %s" s e
+
+(* ------------------------------------------------------------------ *)
+(* Offset-algebra boundaries. *)
+
+let test_full_and_empty () =
+  let full = Periodic.make ~period:1 [ (0, 1) ] in
+  check_int "full period" 1 (Periodic.period full);
+  check_bool "covers everywhere" true
+    (List.for_all (Periodic.covers full) [ -5; 0; 1; 123_456_789 ]);
+  check_bool "next on full" true (Periodic.next_start full 41 = Some (42, 1));
+  check_int "count over [-50,50]" 101 (Periodic.count_starts full ~lo:(-50) ~hi:50);
+  check_bool "nth on full" true (Periodic.nth_start full ~from_:10 3 = Some (12, 1));
+  check_bool "empty is empty" true (Periodic.is_empty Periodic.empty);
+  check_int "empty period is 1" 1 (Periodic.period Periodic.empty);
+  check_bool "empty from make" true (Periodic.is_empty (Periodic.make ~period:9 []));
+  check_bool "empty has no next" true (Periodic.next_start Periodic.empty 0 = None);
+  check_bool "empty covers nothing" false (Periodic.covers Periodic.empty 3);
+  check_int "empty count" 0 (Periodic.count_starts Periodic.empty ~lo:(-10) ~hi:10);
+  check_bool "union with empty" true (Periodic.equal (Periodic.union Periodic.empty full) full);
+  check_bool "diff to empty" true (Periodic.is_empty (Periodic.diff full full))
+
+let test_wrap_at_period_boundary () =
+  (* A span at offset period-1 whose instances wrap into the next cycle:
+     [6,8] covers offsets 6,7,8 == 6,0,1 (mod 7). *)
+  let t = Periodic.make ~period:7 [ (6, 3) ] in
+  check_int "period kept" 7 (Periodic.period t);
+  check_bool "span normalized" true (Periodic.spans t = [ (6, 3) ]);
+  List.iter
+    (fun o -> check_bool (Printf.sprintf "covers %d" o) true (Periodic.covers t o))
+    [ 6; 7; 8; 0; 1; -1 ];
+  List.iter
+    (fun o -> check_bool (Printf.sprintf "not covers %d" o) false (Periodic.covers t o))
+    [ 2; 3; 4; 5; -3 ];
+  check_bool "next wraps a full cycle" true (Periodic.next_start t 6 = Some (13, 3));
+  check_bool "mem_span far out" true (Periodic.mem_span t ((7 * 1000) + 6, 3));
+  check_bool "mem_span wrong length" false (Periodic.mem_span t (6, 2))
+
+let test_minimal_period () =
+  let a = Periodic.make ~period:14 [ (0, 2); (7, 2) ] in
+  check_int "14 -> 7" 7 (Periodic.period a);
+  check_bool "spans reduced" true (Periodic.spans a = [ (0, 2) ]);
+  check_bool "canonical equality" true (Periodic.equal a (Periodic.make ~period:7 [ (0, 2) ]));
+  let b = Periodic.make ~period:6 [ (1, 1); (3, 1); (5, 1) ] in
+  check_int "6 -> 2" 2 (Periodic.period b);
+  check_bool "spans b" true (Periodic.spans b = [ (1, 1) ]);
+  (* Different lengths at the shifted residue block minimization. *)
+  let c = Periodic.make ~period:14 [ (0, 2); (7, 3) ] in
+  check_int "14 stays" 14 (Periodic.period c);
+  (* Offsets are reduced mod the period and deduplicated. *)
+  let d = Periodic.make ~period:7 [ (8, 1); (1, 1); (-6, 1) ] in
+  check_int "one span after reduction" 1 (Periodic.span_count d);
+  check_bool "reduced offset" true (Periodic.spans d = [ (1, 1) ])
+
+let test_lcm_guard () =
+  (* Coprime periods whose lcm exceeds the cap: every lifted operation
+     must degrade by raising, never wrap or truncate. *)
+  let a = Periodic.make ~period:9973 [ (0, 1) ] in
+  let b = Periodic.make ~period:10007 [ (1, 1) ] in
+  check_bool "cap sanity" true (9973 * 10007 > Periodic.max_period);
+  List.iter
+    (fun (name, f) ->
+      match f a b with
+      | (_ : Periodic.t) -> Alcotest.failf "%s must raise, not wrap" name
+      | exception Periodic.Unrepresentable _ -> ())
+    [
+      ("union", Periodic.union);
+      ("inter", Periodic.inter);
+      ("diff", Periodic.diff);
+      ("pointwise_union", Periodic.pointwise_union);
+      ("pointwise_inter", Periodic.pointwise_inter);
+      ("pointwise_diff", Periodic.pointwise_diff);
+    ];
+  (* The compiler degrades to the oracle paths instead of raising: a
+     second-granularity view of months needs period 146097*86400. *)
+  let e = parse "[1]/SECONDS:during:MONTHS" in
+  check_bool "gate accepts the shape" true (Periodic.translatable ctx.Context.env e);
+  check_bool "compile degrades to None" true (Periodic.compile ctx e = None)
+
+let test_pointwise_units () =
+  let full = Periodic.make ~period:1 [ (0, 1) ] in
+  check_bool "complement full" true (Periodic.is_empty (Periodic.complement full));
+  check_bool "complement empty" true (Periodic.equal (Periodic.complement Periodic.empty) full);
+  (* Coverage {6,0,1,2} mod 7 via a wrapping span. *)
+  let t = Periodic.make ~period:7 [ (1, 2); (6, 2) ] in
+  let c = Periodic.complement t in
+  List.iter
+    (fun o ->
+      check_bool
+        (Printf.sprintf "complement flips %d" o)
+        (not (Periodic.covers t o))
+        (Periodic.covers c o))
+    (List.init 30 (fun i -> i - 10));
+  check_bool "t + complement = full" true (Periodic.equal (Periodic.pointwise_union t c) full);
+  check_bool "t - t pointwise = empty" true (Periodic.is_empty (Periodic.pointwise_diff t t));
+  check_bool "double complement = pointwise" true
+    (Periodic.equal (Periodic.complement c) (Periodic.pointwise t))
+
+(* ------------------------------------------------------------------ *)
+(* Compilation goldens: epoch-anchored shapes with known forms. *)
+
+let test_compile_golden () =
+  (match Periodic.compile ctx (parse "DAYS") with
+  | Some (Granularity.Days, t) ->
+    check_int "unit period" 1 (Periodic.period t);
+    check_bool "unit span" true (Periodic.spans t = [ (0, 1) ])
+  | _ -> Alcotest.fail "DAYS must compile");
+  (match Periodic.compile ctx (parse "[2]/DAYS:during:WEEKS") with
+  | Some (Granularity.Days, t) ->
+    check_int "weekly period" 7 (Periodic.period t);
+    (* Weeks anchor on Monday; the epoch Jan 1 1988 is a Friday, so the
+       second day of each week (Tuesday) is day offset 4 — Jan 5 1988. *)
+    check_bool "tuesdays" true (Periodic.spans t = [ (4, 1) ])
+  | _ -> Alcotest.fail "weekly must compile");
+  (match Periodic.compile ctx (parse "[1]/MONTHS:during:YEARS") with
+  | Some (Granularity.Months, t) ->
+    check_int "yearly period" 12 (Periodic.period t);
+    check_bool "january" true (Periodic.spans t = [ (0, 1) ])
+  | _ -> Alcotest.fail "yearly must compile");
+  match Periodic.compile ctx (parse "[1]/DAYS:during:MONTHS") with
+  | Some (Granularity.Days, t) ->
+    (* Month firsts repeat over the 146097-day Gregorian cycle: 400 years
+       of 12 months. *)
+    check_int "gregorian cycle" 146097 (Periodic.period t);
+    check_int "4800 month starts" 4800 (Periodic.span_count t);
+    (match Periodic.next_start t 0 with
+    | Some (s, 1) ->
+      check_int "first start after epoch day is Feb 1 1988"
+        (Civil.rata_die (Civil.make 1988 2 1) - Civil.rata_die epoch)
+        s
+    | _ -> Alcotest.fail "expected a length-1 instance")
+  | _ -> Alcotest.fail "month-firsts must compile"
+
+let test_gate_rejections () =
+  let env = ctx.Context.env in
+  let rejected e =
+    check_bool "gate rejects" false (Periodic.translatable env e);
+    check_bool "compile refuses" true (Periodic.compile ctx e = None)
+  in
+  rejected (parse "1988/YEARS");
+  rejected (parse "HOLIDAYS");
+  rejected (parse "TUESDAYS");
+  rejected (Ast.Lit [ (170, 180) ]);
+  rejected (Ast.Select (Ast.Index [ Ast.Nth 2 ], Ast.Ident "WEEKS"));
+  rejected (Ast.Calop { counts = [ 2 ]; arg = Ast.Ident "DAYS" });
+  rejected
+    (Ast.Foreach { strict = false; op = Listop.Before; lhs = Ast.Ident "DAYS"; rhs = Ast.Ident "WEEKS" });
+  rejected
+    (Ast.Foreach { strict = false; op = Listop.Le; lhs = Ast.Ident "DAYS"; rhs = Ast.Ident "WEEKS" });
+  (* Meets and Contains are window-local: periodic accepts them even
+     though the streaming gate does not. *)
+  let meets =
+    Ast.Foreach { strict = false; op = Listop.Meets; lhs = Ast.Ident "WEEKS"; rhs = Ast.Ident "MONTHS" }
+  in
+  check_bool "meets translatable" true (Periodic.translatable env meets);
+  check_bool "meets not streamable" false (Planner.streamable env meets);
+  check_bool "meets compiles" true (Periodic.compile ctx meets <> None);
+  (* Difference needs a statically-flat operand. *)
+  let nested = parse "DAYS:during:WEEKS" in
+  rejected (Ast.Diff (nested, nested));
+  check_bool "diff with a flat side ok" true
+    (Periodic.translatable env (Ast.Diff (nested, Ast.Ident "DAYS")))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic far-edge window: offsets within a factor of two of
+   max_int / gregorian-cycle, far beyond any lifespan, where the closed
+   form and generate-based evaluation must still agree exactly. *)
+
+let test_far_edge_window () =
+  let e = parse "[1]/DAYS:during:MONTHS" in
+  match Periodic.compile ctx e with
+  | None -> Alcotest.fail "must compile"
+  | Some (_, pset) ->
+    let edge = max_int / 146097 / 2 in
+    List.iter
+      (fun o0 ->
+        let wlo = o0 - 400 and whi = o0 + 400 in
+        let window = Interval.make (Chronon.of_offset wlo) (Chronon.of_offset whi) in
+        let naive = Calendar.flatten (fst (Interp.eval_expr_naive ctx ~window e)) in
+        let ps = Periodic.to_interval_set pset ~window in
+        let interior iv =
+          Chronon.to_offset (Interval.lo iv) > wlo + 80
+          && Chronon.to_offset (Interval.hi iv) < whi - 80
+        in
+        let ni = Interval_set.filter interior naive in
+        let pi = Interval_set.filter interior ps in
+        check_bool (Printf.sprintf "edge window at %d" o0) true (Interval_set.equal ni pi);
+        check_bool "window is populated" true (Interval_set.cardinal pi > 10))
+      [ edge; edge / 2; 1_000_000_000_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Random translatable expressions. The generator mirrors the compiler's
+   gate: basic granularities, window-local foreach, per-reference index
+   selection over a foreach, unions, differences with a flat side. *)
+
+let gran_ident = QCheck2.Gen.oneofl [ "DAYS"; "WEEKS"; "MONTHS"; "YEARS" ]
+
+let wl_op =
+  QCheck2.Gen.oneofl
+    Listop.[ During; Overlaps; Intersects; Starts; Finishes; Equals; Meets; Contains ]
+
+let atom_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Ast.Nth i) (oneofl [ 1; 2; 3; -1; -2 ]);
+        return Ast.Last;
+        map2 (fun a b -> Ast.Range (min a b, max a b)) (int_range 1 4) (int_range 1 4);
+      ])
+
+let translatable_gen =
+  QCheck2.Gen.(
+    sized_size (int_range 0 4)
+    @@ fix (fun self n ->
+           let ident = map (fun g -> Ast.Ident g) gran_ident in
+           let foreach m =
+             map3
+               (fun (strict, op) lhs rhs -> Ast.Foreach { strict; op; lhs; rhs })
+               (pair bool wl_op) (self (m / 2)) (self (m / 2))
+           in
+           (* Statically-flat shapes, for difference operands. *)
+           let rec flat m =
+             if m <= 0 then ident
+             else
+               oneof
+                 [
+                   ident;
+                   map2 (fun a b -> Ast.Union (a, b)) (flat (m - 1)) (flat (m - 1));
+                   map3
+                     (fun atom lhs rhs ->
+                       Ast.Select
+                         (Ast.Index [ atom ],
+                          Ast.Foreach { strict = false; op = Listop.During; lhs; rhs }))
+                     (oneof [ map (fun i -> Ast.Nth i) (oneofl [ 1; 2; -1 ]); return Ast.Last ])
+                     (self (m / 2)) (flat (m / 2));
+                 ]
+           in
+           if n <= 0 then ident
+           else
+             oneof
+               [
+                 ident;
+                 map2 (fun a b -> Ast.Union (a, b)) (self (n / 2)) (self (n / 2));
+                 map2 (fun a b -> Ast.Diff (a, b)) (self (n / 2)) (flat (n / 2));
+                 map2 (fun a b -> Ast.Diff (a, b)) (flat (n / 2)) (self (n / 2));
+                 foreach n;
+                 map2
+                   (fun atoms f -> Ast.Select (Ast.Index atoms, f))
+                   (list_size (int_range 1 3) atom_gen)
+                   (foreach (n - 1));
+               ]))
+
+let print_expr = Pretty.expr_to_string
+
+(* Upper bound on seconds per unit, to keep window instants far from
+   overflow at any granularity. *)
+let sec_ub = function
+  | Granularity.Seconds -> 1
+  | Granularity.Minutes -> 60
+  | Granularity.Hours -> 3600
+  | Granularity.Days -> 86400
+  | Granularity.Weeks -> 604800
+  | Granularity.Months -> 2678400
+  | Granularity.Years -> 31622400
+  | Granularity.Decades -> 316224000
+  | Granularity.Centuries -> 3162240000
+
+(* Window bases: near zero, and far beyond the old lifespan bound out to
+   the instant-representation edge for the expression's fine unit. *)
+let base_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        int_range (-500) 2500;
+        oneofl [ 1_000_000; 1_000_000_000; 1_000_000_000_000; -1_000_003; -999_999_937; max_int ];
+      ])
+
+let clamp_base fine b =
+  let cap = max_int / 2 / sec_ub fine in
+  max (-cap) (min cap b)
+
+let offs iv = (Chronon.to_offset (Interval.lo iv), Interval.length iv)
+
+(* The one differential that matters: for every compiling expression and
+   window, the closed form, generate-based evaluation (array interval
+   sets) and the retained list implementation agree — on the instance
+   set, on membership, and on next/nth/count queries. *)
+let periodic_matches_oracle =
+  QCheck2.Test.make ~name:"periodic = interval-set = list oracle (300 random cases)" ~count:300
+    ~print:(fun (e, b, w) -> Printf.sprintf "%s @ base %d width %d" (print_expr e) b w)
+    QCheck2.Gen.(triple translatable_gen base_gen (int_range 60 300))
+    (fun (e, b, w) ->
+      match Periodic.compile ctx e with
+      | None -> true
+      | Some (fine, pset) ->
+        let b = clamp_base fine b in
+        let pad = Planner.pad_for ~fine (Gran.grans_of_expr ctx.Context.env e) in
+        (* Window-edge artifacts (clipped units feeding a relation) reach
+           at most ~2 pads inward; evaluate over a window 4 pads wider
+           than the compared range so the interior is exact. *)
+        let slack = (4 * pad) + 8 in
+        let wlo = b - slack and whi = b + w + slack in
+        let window = Interval.make (Chronon.of_offset wlo) (Chronon.of_offset whi) in
+        let naive = Calendar.flatten (fst (Interp.eval_expr_naive ctx ~window e)) in
+        let ps = Periodic.to_interval_set pset ~window in
+        (* Instances contained in [b, b+w]: whole in both evaluations. *)
+        let interior iv =
+          let lo, len = offs iv in
+          lo >= b && lo + len - 1 <= b + w
+        in
+        let ni = Interval_set.filter interior naive in
+        let pi = Interval_set.filter interior ps in
+        let oracle = Interval_set_list.of_list (Interval_set.to_list ni) in
+        (* Instance starts in [b, b+w] (whatever their end). *)
+        let starts_in =
+          List.filter_map
+            (fun iv ->
+              let o, len = offs iv in
+              if o >= b && o <= b + w then Some (o, len) else None)
+            (Interval_set.to_list naive)
+        in
+        let k = List.length starts_in in
+        Interval_set.equal ni pi
+        && Interval_set_list.to_pairs oracle = Interval_set.to_pairs pi
+        && Periodic.instances_in pset ~lo:b ~hi:(b + w) = starts_in
+        && Periodic.count_starts pset ~lo:b ~hi:(b + w) = k
+        && (k = 0
+           || List.of_seq (Seq.take k (Periodic.starts pset ~from_:b)) = starts_in
+              && List.for_all (Periodic.mem_span pset) starts_in
+              && (let n = 1 + (k / 2) in
+                  Periodic.nth_start pset ~from_:b n = List.nth_opt starts_in (n - 1)))
+        && (let probe = b + (w / 3) in
+            match List.find_opt (fun (s, _) -> s > probe) starts_in with
+            | None -> true
+            | Some inst -> Periodic.next_start pset probe = Some inst)
+        && List.for_all
+             (fun i ->
+               let o = b + (i * w / 16) in
+               Periodic.covers pset o
+               = Interval_set.contains_chronon naive (Chronon.of_offset o))
+             (List.init 17 (fun i -> i)))
+
+(* ------------------------------------------------------------------ *)
+(* Next-fire strategies: inside the lifespan the closed form equals the
+   materializing search instant for instant; beyond it, the periodic
+   path keeps answering where the bounded paths go dormant. *)
+
+let lifespan_end_instant =
+  let _, le = lifespan in
+  (Civil.rata_die le - Civil.rata_die epoch + 1) * 86400
+
+let next_fire_strategies_agree =
+  QCheck2.Test.make ~name:"Next_fire periodic = materialize within the lifespan" ~count:80
+    ~print:(fun (e, d) -> Printf.sprintf "%s after day %d" (print_expr e) d)
+    QCheck2.Gen.(pair translatable_gen (int_range 0 800))
+    (fun (e, d) ->
+      match Periodic.compile ctx e with
+      | None -> true
+      | Some (_, pset) ->
+        let after = d * 86400 in
+        let m = Cal_rules.Next_fire.next ctx e ~after ~strategy:`Materialize () in
+        let p = Cal_rules.Next_fire.next ctx e ~after ~strategy:`Periodic () in
+        Cal_rules.Next_fire.resolve ctx e `Auto = `Periodic
+        && Cal_rules.Next_fire.next ctx e ~after () = p
+        &&
+        match (m, p) with
+        | Some a, Some b -> a = b
+        | Some _, None -> false
+        | None, None -> Periodic.is_empty pset
+        | None, Some b ->
+          (* Dormant for the bounded search means the next occurrence is
+             past the lifespan end — never before it. *)
+          b > lifespan_end_instant)
+
+let unbounded_horizon =
+  QCheck2.Test.make ~name:"periodic next-fire beyond the lifespan = occurrence scan" ~count:40
+    ~print:(fun (e, d) -> Printf.sprintf "%s after day %d" (print_expr e) d)
+    QCheck2.Gen.(pair translatable_gen (oneofl [ 1_000; 40_000; 4_000_000; 3_000_000_000 ]))
+    (fun (e, days) ->
+      match Periodic.compile ctx e with
+      | None -> true
+      | Some (_, pset) ->
+        if Periodic.is_empty pset then
+          Cal_rules.Next_fire.next ctx e ~after:0 ~strategy:`Periodic () = None
+        else begin
+          let after = days * 86400 in
+          match Cal_rules.Next_fire.next ctx e ~after ~strategy:`Periodic () with
+          | None -> false
+          | Some at ->
+            at > after
+            && ((at - after) / 86400 > 400
+               (* the lifespan-free occurrence scan sees exactly this
+                  instant first *)
+               || Cal_rules.Next_fire.occurrences ctx e ~from_:after ~until:at = [ at ])
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* Algebra on random forms, against brute-force models. *)
+
+let pset_gen =
+  QCheck2.Gen.(
+    map2
+      (fun p spans -> Periodic.make ~period:p spans)
+      (int_range 1 36)
+      (list_size (int_range 0 5) (pair (int_range 0 200) (int_range 1 8))))
+
+let print_pset t =
+  Printf.sprintf "period %d [%s]" (Periodic.period t)
+    (String.concat ";" (List.map (fun (r, l) -> Printf.sprintf "%d+%d" r l) (Periodic.spans t)))
+
+let inst t = Periodic.instances_in t ~lo:(-180) ~hi:180
+
+let elementwise_matches_instances =
+  QCheck2.Test.make ~name:"element-wise union/inter/diff match instance sets" ~count:300
+    ~print:(fun (a, b) -> print_pset a ^ " / " ^ print_pset b)
+    QCheck2.Gen.(pair pset_gen pset_gen)
+    (fun (a, b) ->
+      let ia = inst a and ib = inst b in
+      (try inst (Periodic.union a b) = List.sort_uniq compare (ia @ ib)
+       with Periodic.Unrepresentable _ -> true)
+      && (try inst (Periodic.inter a b) = List.filter (fun x -> List.mem x ib) ia
+          with Periodic.Unrepresentable _ -> true)
+      &&
+      try inst (Periodic.diff a b) = List.filter (fun x -> not (List.mem x ib)) ia
+      with Periodic.Unrepresentable _ -> true)
+
+let pointwise_matches_coverage =
+  QCheck2.Test.make ~name:"pointwise algebra matches chronon coverage" ~count:300
+    ~print:(fun (a, b) -> print_pset a ^ " / " ^ print_pset b)
+    QCheck2.Gen.(pair pset_gen pset_gen)
+    (fun (a, b) ->
+      let dom = List.init 120 (fun i -> i - 60) in
+      try
+        List.for_all
+          (fun o ->
+            Periodic.covers (Periodic.pointwise_union a b) o
+            = (Periodic.covers a o || Periodic.covers b o)
+            && Periodic.covers (Periodic.pointwise_inter a b) o
+               = (Periodic.covers a o && Periodic.covers b o)
+            && Periodic.covers (Periodic.pointwise_diff a b) o
+               = (Periodic.covers a o && not (Periodic.covers b o))
+            && Periodic.covers (Periodic.complement a) o = not (Periodic.covers a o)
+            && Periodic.covers (Periodic.pointwise a) o = Periodic.covers a o)
+          dom
+      with Periodic.Unrepresentable _ -> true)
+
+let minimality_and_canon =
+  QCheck2.Test.make ~name:"stored period is minimal; lifting is canonical" ~count:300
+    ~print:print_pset pset_gen (fun t ->
+      if Periodic.is_empty t then Periodic.period t = 1
+      else begin
+        let p = Periodic.period t in
+        let spans = Periodic.spans t in
+        (* No proper divisor of the period reproduces the span set. *)
+        List.for_all
+          (fun q ->
+            p mod q <> 0
+            || List.exists (fun (r, l) -> not (Periodic.mem_span t (r + q, l))) spans)
+          (List.init (p - 1) (fun i -> i + 1))
+        && (* Rebuilding from a lifted copy at k*p is structurally equal. *)
+        List.for_all
+          (fun k ->
+            Periodic.equal t
+              (Periodic.make ~period:(k * p)
+                 (List.concat_map (fun (r, l) -> List.init k (fun i -> (r + (i * p), l))) spans)))
+          [ 2; 3 ]
+      end)
+
+let () =
+  Alcotest.run "cal_periodic"
+    [
+      ( "boundaries",
+        [
+          Alcotest.test_case "full and empty" `Quick test_full_and_empty;
+          Alcotest.test_case "wrap at period-1" `Quick test_wrap_at_period_boundary;
+          Alcotest.test_case "minimal period" `Quick test_minimal_period;
+          Alcotest.test_case "lcm overflow guard" `Quick test_lcm_guard;
+          Alcotest.test_case "pointwise units" `Quick test_pointwise_units;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "goldens" `Quick test_compile_golden;
+          Alcotest.test_case "gate rejections" `Quick test_gate_rejections;
+          Alcotest.test_case "far-edge windows" `Quick test_far_edge_window;
+        ] );
+      qsuite "differential" [ periodic_matches_oracle ];
+      qsuite "next-fire" [ next_fire_strategies_agree; unbounded_horizon ];
+      qsuite "algebra"
+        [ elementwise_matches_instances; pointwise_matches_coverage; minimality_and_canon ];
+    ]

@@ -328,6 +328,64 @@ let stream_matches_materialize =
         streamed = materialized
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Probe windows near the representation edges. Earlier revisions only
+   exercised windows inside the lifespan; closed-form periodic probes run
+   over unbounded horizons, so window-local evaluation must stay
+   consistent out to chronon offsets near max_int / lcm — the point where
+   instants (offset x seconds-per-unit, lcm = the Gregorian cycle in fine
+   units) approach overflow. The property: evaluating over a window and
+   over a strictly larger window agrees on every unit deep inside the
+   smaller one. Only window-local expressions qualify (the streamable /
+   periodic fragments); caloperate and absolute selection are excluded
+   because their meaning depends on the window origin by design. *)
+
+let sec_ub = function
+  | Granularity.Seconds -> 1
+  | Granularity.Minutes -> 60
+  | Granularity.Hours -> 3600
+  | Granularity.Days -> 86400
+  | Granularity.Weeks -> 604800
+  | Granularity.Months -> 2678400
+  | Granularity.Years -> 31622400
+  | Granularity.Decades -> 316224000
+  | Granularity.Centuries -> 3162240000
+
+let far_window_consistency =
+  let plain = make_ctx () in
+  QCheck2.Test.make ~name:"window-restriction consistency near max_int/lcm edges" ~count:100
+    ~print:print_expr expr_gen (fun e ->
+      let env = plain.Context.env in
+      if not (Planner.streamable env e || Periodic.translatable env e) then true
+      else begin
+        let fine = Gran.finest_of_expr env e in
+        let pad = Planner.pad_for ~fine (Gran.grans_of_expr env e) in
+        let margin = (3 * pad) + 16 in
+        let width = (2 * margin) + 160 in
+        (* Largest safe window base: instants stay below max_int / 2 so
+           padded arithmetic cannot overflow. For day granularity this is
+           within a factor of two of max_int / 146097. *)
+        let cap = (max_int / sec_ub fine / 2) - (2 * width) in
+        let check_at base =
+          let wlo = base and whi = base + width in
+          let small = Interval.make (Chronon.of_offset wlo) (Chronon.of_offset whi) in
+          let big =
+            Interval.make
+              (Chronon.of_offset (wlo - margin - 8))
+              (Chronon.of_offset (whi + margin + 8))
+          in
+          let v w = Calendar.flatten (fst (Interp.eval_expr_naive plain ~window:w e)) in
+          let interior iv =
+            Chronon.to_offset (Interval.lo iv) >= wlo + margin
+            && Chronon.to_offset (Interval.hi iv) <= whi - margin
+          in
+          Interval_set.equal
+            (Interval_set.filter interior (v small))
+            (Interval_set.filter interior (v big))
+        in
+        List.for_all check_at [ cap; cap / 2; 1_000_000_007; min cap (max_int / 146097) ]
+      end)
+
 let calendar_union_aci =
   (* The cache-key soundness argument for flattening union spines. *)
   QCheck2.Test.make ~name:"Calendar.union is ACI up to Calendar.equal" ~count:300
@@ -350,4 +408,5 @@ let () =
         [ algebra_matches_model; elementwise_matches_model; algebra_laws; calendar_union_aci ];
       qsuite "oracle"
         [ oracle_accessors_agree; oracle_algebra_agree; stream_matches_materialize ];
+      qsuite "far-windows" [ far_window_consistency ];
     ]

@@ -165,6 +165,66 @@ let test_untranslatable () =
   none "FREQ=MONTHLY;BYDAY=MO,TU;BYSETPOS=-1";
   none "FREQ=WEEKLY"
 
+(* Every RRULE shape lands in exactly one of three buckets, and the
+   classification is pinned here so a gate change shows up as a diff:
+   - [periodic]: translates to the algebra AND compiles to the minimal
+     periodic normal form (closed-form probes, unbounded horizon);
+   - [fallback]: translates to the algebra but the closed form is
+     unrepresentable, so evaluation uses the interval-set paths;
+   - [opaque]: outside the translatable fragment entirely. *)
+
+let ctx93 =
+  Context.create ~epoch:epoch93 ~lifespan:(Civil.make 1993 1 1, Civil.make 1994 12 31)
+    ~env:(Env.create ()) ()
+
+let classify rule =
+  match Translate.to_expression rule with
+  | None -> "opaque"
+  | Some src -> (
+    match Parser.expr src with
+    | Error e -> Alcotest.failf "translated expression must parse (%s): %s" src e
+    | Ok e -> if Periodic.compile ctx93 e <> None then "periodic" else "fallback")
+
+let test_translatability_matrix () =
+  let matrix =
+    [
+      ("FREQ=DAILY", "periodic");
+      ("FREQ=DAILY;BYDAY=MO,WE", "periodic");
+      ("FREQ=WEEKLY;BYDAY=TU", "periodic");
+      ("FREQ=WEEKLY;BYDAY=MO,FR", "periodic");
+      ("FREQ=MONTHLY;BYDAY=3FR", "periodic");
+      ("FREQ=MONTHLY;BYDAY=-1MO", "periodic");
+      ("FREQ=MONTHLY;BYMONTHDAY=15", "periodic");
+      ("FREQ=MONTHLY;BYMONTHDAY=-1", "periodic");
+      ("FREQ=YEARLY;BYMONTH=11;BYMONTHDAY=19", "periodic");
+      ("FREQ=YEARLY;BYMONTH=11;BYDAY=4TH", "periodic");
+      ("FREQ=DAILY;INTERVAL=2", "opaque");
+      ("FREQ=DAILY;COUNT=5", "opaque");
+      ("FREQ=MONTHLY;BYDAY=MO,TU;BYSETPOS=-1", "opaque");
+      ("FREQ=WEEKLY", "opaque");
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      let rule = parse src in
+      Alcotest.(check string) src expected (classify rule);
+      (* Translate.to_periodic must agree with the classification, and on
+         the periodic bucket the closed form's instance starts must equal
+         the RRULE expander's occurrences date for date. *)
+      match Translate.to_periodic ctx93 rule with
+      | None -> check_bool (src ^ ": to_periodic none") true (classify rule <> "periodic")
+      | Some (fine, pset) ->
+        Alcotest.(check string) (src ^ ": to_periodic some") "periodic" (classify rule);
+        check_bool (src ^ ": day granularity") true (Granularity.equal fine Granularity.Days);
+        let hi = Civil.rata_die (d 1994 12 31) - Civil.rata_die epoch93 in
+        let via_pset =
+          Periodic.instances_in pset ~lo:0 ~hi
+          |> List.map (fun (day, _len) -> Civil.add_days epoch93 day)
+        in
+        let via_rrule = Expand.occurrences rule ~dtstart:(d 1993 1 1) ~until:(d 1994 12 31) () in
+        check_dates (src ^ ": closed form = expander") via_rrule via_pset)
+    matrix
+
 (* Occurrences are sorted and within bounds. *)
 let rrule_gen =
   let open QCheck2.Gen in
@@ -234,6 +294,7 @@ let () =
         [
           Alcotest.test_case "algebra equivalence" `Quick test_translate_equivalence;
           Alcotest.test_case "untranslatable fragment" `Quick test_untranslatable;
+          Alcotest.test_case "translatability matrix" `Quick test_translatability_matrix;
         ] );
       qsuite "props" [ prop_occurrences_sorted_in_bounds; prop_translated_equivalence ];
     ]

@@ -175,9 +175,27 @@ let test_next_fire_none_past_lifespan () =
   let expr =
     match Parser.expr "[2]/DAYS:during:WEEKS" with Ok e -> e | Error e -> Alcotest.failf "%s" e
   in
-  (* After the end of the 5-year lifespan there is nothing left. *)
-  check_bool "dormant" true
-    (Cal_rules.Next_fire.next ctx expr ~after:(10 * 366 * 86400) () = None)
+  let after = 10 * 366 * 86400 in
+  (* The lifespan-bounded paths have nothing left after the 5-year
+     lifespan ends. *)
+  check_bool "materialize dormant" true
+    (Cal_rules.Next_fire.next ctx expr ~after ~strategy:`Materialize () = None);
+  check_bool "stream dormant" true
+    (Cal_rules.Next_fire.next ctx expr ~after ~strategy:`Stream () = None);
+  (* The expression is translatable, so the default [`Auto] resolves to
+     the closed periodic form — unbounded horizon, never dormant — and
+     the probe is exact arithmetic: the first Tuesday after [after]. *)
+  check_bool "auto resolves periodic" true
+    (Cal_rules.Next_fire.resolve ctx expr `Auto = `Periodic);
+  (match Cal_rules.Next_fire.next ctx expr ~after () with
+  | None -> Alcotest.fail "periodic probe must never go dormant"
+  | Some at ->
+    check_bool "fires strictly later" true (at > after);
+    check_int "lands on a day boundary" 0 (at mod 86400);
+    (* Same instant the lifespan-free occurrence scan reports. *)
+    (match Cal_rules.Next_fire.occurrences ctx expr ~from_:after ~until:(at + (14 * 86400)) with
+    | first :: _ -> check_int "agrees with occurrence scan" first at
+    | [] -> Alcotest.fail "occurrence scan found nothing"))
 
 (* ------------------------------------------------------------------ *)
 (* Manager: time-based rules *)
