@@ -28,6 +28,16 @@ let domains_arg =
           "Worker domains for parallel rule batches and partitioned scans (default: \
            \\$(b,CALRULES_DOMAINS) or the hardware count; 1 forces serial execution).")
 
+let shards_arg =
+  Cmdliner.Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Calendar-signature DBCRON shards: rules bucket by the period of their compiled \
+           periodic form, each shard runs its own timer wheel, and firing order is identical \
+           at every $(docv) (default 1).")
+
 let journal_arg =
   Cmdliner.Arg.(
     value
@@ -51,11 +61,12 @@ let strategy_arg =
            horizon), then streaming, then materializing; $(b,periodic), $(b,stream) and \
            $(b,materialize) pin a path explicitly.")
 
-let make_session ?journal epoch domains strategy =
+let make_session ?journal ?(shards = 1) epoch domains strategy =
   let lifespan = (Civil.make epoch.Civil.year 1 1, Civil.make (epoch.Civil.year + 39) 12 31) in
   match journal with
-  | Some path -> Session.recover ~path ~epoch ~lifespan ?domains ~probe_strategy:strategy ()
-  | None -> Session.create ~epoch ~lifespan ?domains ~probe_strategy:strategy ()
+  | Some path ->
+    Session.recover ~path ~epoch ~lifespan ?domains ~shards ~probe_strategy:strategy ()
+  | None -> Session.create ~epoch ~lifespan ?domains ~shards ~probe_strategy:strategy ()
 
 let print_calendar session cal =
   Printf.printf "%s\n" (Calendar.to_string cal);
@@ -116,12 +127,20 @@ let handle session line =
       \  quit"
   else if line = "today" then
     Printf.printf "%s (instant %d)\n" (Civil.to_string (Session.today session)) (Session.now session)
-  else if line = "stats" then print_endline (Session.stats_summary session)
+  else if line = "stats" then begin
+    print_endline (Session.stats_summary session);
+    if Cal_rules.Manager.shards session.Session.manager > 1 then
+      Array.iteri
+        (fun i (rules, pending, occupancy, loaded, fired) ->
+          Printf.printf "  shard %d: %d rules, %d pending (%d slots), %d loaded, %d fired\n" i
+            rules pending occupancy loaded fired)
+        (Cal_rules.Manager.shard_stats session.Session.manager)
+  end
   else if line = "alerts" then
     List.iter
       (fun (msg, at) -> Printf.printf "  %s at instant %d\n" msg at)
       (Session.alerts session)
-  else if line = "rules" then
+  else if line = "rules" then begin
     List.iter
       (fun name ->
         match Session.rule_health session name with
@@ -132,7 +151,14 @@ let handle session line =
             | Some at -> Printf.sprintf ", next fire at instant %d" at
             | None -> "")
         | None -> ())
-      (Cal_rules.Manager.rule_names session.Session.manager)
+      (Cal_rules.Manager.rule_names session.Session.manager);
+    if Cal_rules.Manager.shards session.Session.manager > 1 then
+      Array.iteri
+        (fun i (rules, pending, occupancy, loaded, fired) ->
+          Printf.printf "  shard %d: %d rules, %d pending (%d slots), %d loaded, %d fired\n" i
+            rules pending occupancy loaded fired)
+        (Cal_rules.Manager.shard_stats session.Session.manager)
+  end
   else if line = "errors" then begin
     match Session.rule_errors session with
     | [] -> print_endline "  no rule failures recorded"
@@ -267,8 +293,8 @@ let handle session line =
     | Error e -> Printf.printf "error: %s\n" e
   end
 
-let repl epoch domains strategy journal =
-  let session = make_session ?journal epoch domains strategy in
+let repl epoch domains strategy journal shards =
+  let session = make_session ?journal ~shards epoch domains strategy in
   Printf.printf "calq — calendar system shell (epoch %s%s). Type `help'.\n"
     (Civil.to_string epoch)
     (match journal with Some p -> ", journaling to " ^ p | None -> "");
@@ -318,7 +344,7 @@ let () =
   let epoch_term = date_arg Unit_system.default_epoch "Session epoch (day chronon 1)." in
   let repl_cmd =
     Cmd.v (Cmd.info "repl" ~doc:"Interactive calendar shell")
-      Term.(const repl $ epoch_term $ domains_arg $ strategy_arg $ journal_arg)
+      Term.(const repl $ epoch_term $ domains_arg $ strategy_arg $ journal_arg $ shards_arg)
   in
   let eval_cmd =
     let expr =

@@ -166,7 +166,8 @@ let register_calendar_operators ctx catalog =
     | _ -> Value.Null)
 
 let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahead
-    ?probe_strategy ?(cache_capacity = 512) ?domains ?max_failures ?retry_base ?injector () =
+    ?probe_strategy ?(cache_capacity = 512) ?domains ?shards ?pending ?max_failures
+    ?retry_base ?injector () =
   register_calendar_adt ();
   let clock = Clock.create () in
   let env = Env.create () in
@@ -177,8 +178,8 @@ let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahe
   register_date_operators ctx catalog;
   register_calendar_operators ctx catalog;
   let manager =
-    Cal_rules.Manager.create ?probe_period ?lookahead ?probe_strategy ?domains ?max_failures
-      ?retry_base ?injector ctx catalog
+    Cal_rules.Manager.create ?probe_period ?lookahead ?probe_strategy ?domains ?shards
+      ?pending ?max_failures ?retry_base ?injector ctx catalog
   in
   { ctx; catalog; manager; clock; injector = Cal_rules.Manager.injector manager; journal = None }
 
@@ -614,14 +615,15 @@ let is_journaled t = t.journal <> None
     or snapshot at that path is superseded. Accepts {!create}'s
     parameters. *)
 let open_journaled ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy
-    ?cache_capacity ?domains ?max_failures ?retry_base ?injector () =
+    ?cache_capacity ?domains ?shards ?pending ?max_failures ?retry_base ?injector
+    ?(segments = 1) () =
   let t =
     create ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cache_capacity ?domains
-      ?max_failures ?retry_base ?injector ()
+      ?shards ?pending ?max_failures ?retry_base ?injector ()
   in
   if Sys.file_exists (snap_path path) then Sys.remove (snap_path path);
-  Journal.rewrite path [];
-  t.journal <- Some (Journal.open_append ~injector:t.injector path);
+  Journal.rewrite ~segments path [];
+  t.journal <- Some (Journal.open_append ~injector:t.injector ~segments path);
   t
 
 (** Rebuild the session at [path]: load the snapshot (when one exists),
@@ -630,10 +632,10 @@ let open_journaled ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strate
     session was opened with — they are not persisted.
     @raise Session_error on a corrupt snapshot. *)
 let recover ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cache_capacity
-    ?domains ?max_failures ?retry_base ?injector () =
+    ?domains ?shards ?pending ?max_failures ?retry_base ?injector () =
   let t =
     create ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cache_capacity ?domains
-      ?max_failures ?retry_base ?injector ()
+      ?shards ?pending ?max_failures ?retry_base ?injector ()
   in
   let sp = snap_path path in
   (if Sys.file_exists sp then begin
@@ -644,11 +646,17 @@ let recover ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cac
      | Ok () -> ()
      | Error e -> raise (Session_error ("recover: bad snapshot: " ^ e))
    end);
-  let records = Journal.read_records path in
+  (* The journal keeps the layout it was written with; segmented files
+     decode in parallel across the manager's lanes before the serial
+     replay. *)
+  let segments = Journal.detect_segments path in
+  let records =
+    Journal.read_records ~domains:(Cal_rules.Manager.domains t.manager) path
+  in
   List.iter (apply_record t) records;
-  (* Re-frame the file so a torn tail is gone before appends resume. *)
-  Journal.rewrite path records;
-  t.journal <- Some (Journal.open_append ~injector:t.injector path);
+  (* Re-frame the files so a torn tail is gone before appends resume. *)
+  Journal.rewrite ~segments path records;
+  t.journal <- Some (Journal.open_append ~injector:t.injector ~segments path);
   t
 
 (** Write a durable snapshot next to the journal ([<path>.snap],
@@ -757,6 +765,14 @@ let stats_summary t =
        Printf.sprintf "parallel: %d domains, %d next-fire batches (%d rules)"
          (Cal_rules.Manager.domains t.manager)
          batches rules);
+      (let cb, cf = Cal_rules.Manager.coalesce_stats t.manager in
+       Printf.sprintf "shards: %d (%s), %d parallel steps; coalesced: %d batches (%d firings)"
+         (Cal_rules.Manager.shards t.manager)
+         (match Cal_rules.Manager.pending_kind t.manager with
+         | `Wheel -> "wheel"
+         | `Heap -> "heap")
+         (Cal_rules.Manager.shard_par_steps t.manager)
+         cb cf);
       Printf.sprintf "periodic: %d of %d rules probed closed-form (unbounded horizon)"
         (Cal_rules.Manager.periodic_rules t.manager)
         (List.length (Cal_rules.Manager.rule_names t.manager));

@@ -44,6 +44,11 @@ exception Session_error of string
     else the hardware count; [1] pins the session serial). Results are
     identical at every setting.
 
+    [shards] splits DBCRON into calendar-signature shards and [pending]
+    picks each shard's pending structure — timer wheel (default) or the
+    min-heap oracle (see {!Cal_rules.Manager.create}); both are
+    invisible in every observable.
+
     [max_failures] and [retry_base] tune rule quarantine and retry
     backoff (see {!Cal_rules.Manager.create}); [injector] arms
     deterministic fault injection across the session's executor, rule
@@ -56,6 +61,8 @@ val create :
   ?probe_strategy:Cal_rules.Next_fire.strategy ->
   ?cache_capacity:int ->
   ?domains:int ->
+  ?shards:int ->
+  ?pending:[ `Heap | `Wheel ] ->
   ?max_failures:int ->
   ?retry_base:int ->
   ?injector:Cal_faults.Injector.t ->
@@ -118,7 +125,10 @@ val load : t -> string -> (unit, string) result
     discarding at most the one record torn by a crash mid-append. *)
 
 (** Open a fresh durable session journaling to [path]; stale files at
-    that path are superseded. Accepts {!create}'s parameters. *)
+    that path are superseded. Accepts {!create}'s parameters, plus
+    [segments] (default 1): the journal stripe count — a segmented
+    journal's files decode in parallel during recovery (see
+    {!Cal_db.Journal}). *)
 val open_journaled :
   path:string ->
   ?epoch:Civil.date ->
@@ -128,9 +138,12 @@ val open_journaled :
   ?probe_strategy:Cal_rules.Next_fire.strategy ->
   ?cache_capacity:int ->
   ?domains:int ->
+  ?shards:int ->
+  ?pending:[ `Heap | `Wheel ] ->
   ?max_failures:int ->
   ?retry_base:int ->
   ?injector:Cal_faults.Injector.t ->
+  ?segments:int ->
   unit ->
   t
 
@@ -140,6 +153,9 @@ val open_journaled :
     must match the original. The recovered session supersedes the files
     at [path] — a session that was still journaling there keeps writing
     to the replaced (unlinked) file and is no longer durable.
+    The journal's segment layout is auto-detected from its manifest and
+    preserved; segment files decode across the session's pool lanes
+    before the (serial) replay.
     @raise Session_error on a corrupt snapshot.
     @raise Journal.Journal_error on a journal corrupt beyond its tail. *)
 val recover :
@@ -151,6 +167,8 @@ val recover :
   ?probe_strategy:Cal_rules.Next_fire.strategy ->
   ?cache_capacity:int ->
   ?domains:int ->
+  ?shards:int ->
+  ?pending:[ `Heap | `Wheel ] ->
   ?max_failures:int ->
   ?retry_base:int ->
   ?injector:Cal_faults.Injector.t ->

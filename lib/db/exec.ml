@@ -649,12 +649,11 @@ let assign_index schema (a : Qplan.assign) =
   | Some i -> i
   | None -> Schema.column_index_exn schema a.Qplan.acol
 
-let run_compiled catalog ~outer ~stats ~force_seq ~domains (q : Qast.query) : result =
-  let plan, params, hit =
-    try Qplan.prepare catalog q with Qplan.Plan_error m -> raise (Exec_error m)
-  in
-  if hit then stats.plan_cache_hits <- stats.plan_cache_hits + 1
-  else stats.plan_cache_misses <- stats.plan_cache_misses + 1;
+(* Execute an already-prepared plan. Split out of {!run_compiled} so
+   same-shape statements (e.g. a DBCRON batch of identical rule actions)
+   can prepare once and execute many times without re-entering the plan
+   cache. *)
+let exec_plan catalog ~outer ~stats ~force_seq ~domains (plan : Qplan.plan) params : result =
   (* Materialize the outer (NEW/CURRENT) environment once per run; the
      compiled closures index it by slot instead of probing per row. *)
   let outer_env = Qcompile.bind_outer ~outer_cols:plan.Qplan.outer outer in
@@ -766,6 +765,14 @@ let run_compiled catalog ~outer ~stats ~force_seq ~domains (q : Qast.query) : re
       { Catalog.kind = Catalog.On_append; table = Table.name atable; tuple = Some tuple };
     Affected 1
 
+let run_compiled catalog ~outer ~stats ~force_seq ~domains (q : Qast.query) : result =
+  let plan, params, hit =
+    try Qplan.prepare catalog q with Qplan.Plan_error m -> raise (Exec_error m)
+  in
+  if hit then stats.plan_cache_hits <- stats.plan_cache_hits + 1
+  else stats.plan_cache_misses <- stats.plan_cache_misses + 1;
+  exec_plan catalog ~outer ~stats ~force_seq ~domains plan params
+
 (* --- dispatcher ---------------------------------------------------- *)
 
 let run catalog ?(binding = fun _ -> None) ?stats ?(mode : mode = `Compiled)
@@ -800,6 +807,47 @@ let run catalog ?(binding = fun _ -> None) ?stats ?(mode : mode = `Compiled)
     match mode with
     | `Interpreted -> run_interpreted catalog ~outer ~stats ~force_seq q
     | `Compiled -> run_compiled catalog ~outer ~stats ~force_seq ~domains q)
+
+(* --- prepared statements ------------------------------------------- *)
+
+type prepared = { pq : Qast.query; pplan : Qplan.plan; pparams : Value.t array }
+
+(* One trip through the plan cache; the result replays without another.
+   [None] for statements that have no cacheable plan (DDL, rules). *)
+let prepare catalog ?stats (q : Qast.query) =
+  match q with
+  | Qast.Append _ | Qast.Retrieve _ | Qast.Delete _ | Qast.Replace _ -> (
+    match Qplan.prepare catalog q with
+    | plan, params, hit ->
+      (match stats with
+      | Some s ->
+        if hit then s.plan_cache_hits <- s.plan_cache_hits + 1
+        else s.plan_cache_misses <- s.plan_cache_misses + 1
+      | None -> ());
+      Some { pq = q; pplan = plan; pparams = params }
+    | exception Qplan.Plan_error _ -> None)
+  | _ -> None
+
+let run_prepared catalog ?(binding = fun _ -> None) ?stats ?(force_seq = false) ?domains
+    ?(injector = Cal_faults.Injector.none) p : result =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
+  if p.pplan.Qplan.pversion = catalog.Catalog.version then begin
+    (* The same pre-execution fault gate as {!run}, keyed off the plan's
+       action since the statement kind is already compiled away. *)
+    (match p.pplan.Qplan.action with
+    | Qplan.P_append _ | Qplan.P_delete _ | Qplan.P_replace _ -> (
+      match Cal_faults.Injector.exec_fault injector with
+      | Some msg -> raise (Exec_error msg)
+      | None -> ())
+    | Qplan.P_expr_retrieve _ | Qplan.P_scan_retrieve _ -> ());
+    exec_plan catalog ~outer:binding ~stats ~force_seq ~domains p.pplan p.pparams
+  end
+  else
+    (* DDL since preparation: fall back to the full path, which replans
+       against the current catalog version (and runs its own fault
+       gate). *)
+    run catalog ~binding ~stats ~force_seq ~domains ~injector p.pq
 
 (** Parse and run. *)
 let run_string catalog ?binding ?stats ?mode ?force_seq ?domains ?injector input =

@@ -64,6 +64,34 @@ val run :
   Qast.query ->
   result
 
+(** A statement prepared once for repeated execution: one trip through
+    the plan cache, replayed by {!run_prepared} without another probe.
+    Used by the rule manager to coalesce a DBCRON tick's same-shape
+    actions into one preparation. *)
+type prepared
+
+(** [prepare catalog ?stats q] readies a DML statement for repeated
+    execution, counting the plan-cache hit or miss into [stats]. [None]
+    for statements with no cacheable plan (DDL, rule commands).
+    @raise Exec_error and the catalog/schema exceptions (as planning
+    from {!run} would). *)
+val prepare : Catalog.t -> ?stats:stats -> Qast.query -> prepared option
+
+(** Execute a prepared statement. Identical observable behaviour to
+    {!run} on the original statement — including the pre-execution
+    injector gate on mutations — except that no plan-cache hit/miss is
+    counted. If DDL has bumped the catalog version since preparation,
+    falls back to a full {!run} (which replans). *)
+val run_prepared :
+  Catalog.t ->
+  ?binding:(string -> Value.t option) ->
+  ?stats:stats ->
+  ?force_seq:bool ->
+  ?domains:int ->
+  ?injector:Cal_faults.Injector.t ->
+  prepared ->
+  result
+
 (** Parse and run, with errors as [Error _]. *)
 val run_string :
   Catalog.t ->

@@ -1,12 +1,14 @@
-(* Append-only checksummed record file; see the interface for the torn-
-   tail contract. *)
+(* Append-only checksummed record file(s); see the interface for the
+   torn-tail and segmentation contracts. *)
 
 exception Journal_error of string
 
 type t = {
   jpath : string;
-  oc : out_channel;
+  segments : int;
+  ocs : out_channel array; (* one channel per segment; [| oc |] when unsegmented *)
   injector : Cal_faults.Injector.t;
+  mutable next_seq : int; (* global sequence of the next record *)
   mutable appended : int;
   mutable closed : bool;
 }
@@ -78,27 +80,123 @@ let decode_line line =
     | _ -> None)
   | _ -> None
 
-let open_append ?(injector = Cal_faults.Injector.none) jpath =
-  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 jpath in
-  { jpath; oc; injector; appended = 0; closed = false }
+(* --- segment layout ---------------------------------------------------
+
+   Unsegmented ([segments = 1]): the records live in [path] itself, one
+   per line, exactly the original format — no manifest, no sequence
+   framing. Segmented: a manifest [path.manifest] holds "segments N" and
+   the records stripe across [path.seg0 .. path.segN-1] by global
+   sequence number, each payload framed as "<seq> <payload>" inside its
+   checksum so the segments merge back into append order. *)
+
+let manifest_path jpath = jpath ^ ".manifest"
+let seg_path jpath k = Printf.sprintf "%s.seg%d" jpath k
+
+let detect_segments jpath =
+  let mp = manifest_path jpath in
+  if not (Sys.file_exists mp) then 1
+  else begin
+    let ic = open_in_bin mp in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "segments"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> n
+      | _ -> raise (Journal_error ("bad journal manifest " ^ mp)))
+    | _ -> raise (Journal_error ("bad journal manifest " ^ mp))
+  end
+
+let write_manifest jpath segments =
+  let mp = manifest_path jpath in
+  let tmp = mp ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  output_string oc (Printf.sprintf "segments %d\n" segments);
+  close_out oc;
+  Sys.rename tmp mp
+
+(* Remove the manifest and every segment file (switching layouts or
+   superseding stale state). *)
+let remove_segment_files jpath =
+  let mp = manifest_path jpath in
+  if Sys.file_exists mp then Sys.remove mp;
+  let dir = Filename.dirname jpath in
+  let base = Filename.basename jpath ^ ".seg" in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f ->
+        if String.length f > String.length base && String.sub f 0 (String.length base) = base
+        then
+          match int_of_string_opt (String.sub f (String.length base) (String.length f - String.length base)) with
+          | Some _ -> Sys.remove (Filename.concat dir f)
+          | None -> ())
+      (Sys.readdir dir)
+
+let seg_paths jpath segments =
+  if segments = 1 then [| jpath |] else Array.init segments (seg_path jpath)
+
+(* Complete lines of a file: (line, terminated) with the '\n' stripped;
+   a final line without its terminator is flagged — the torn tail of a
+   crashed append. *)
+let framed_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    let lines = String.split_on_char '\n' contents in
+    let rec complete = function
+      | [] | [ "" ] -> []
+      | [ torn ] -> [ (torn, false) ]
+      | l :: rest -> (l, true) :: complete rest
+    in
+    complete lines
+  end
+
+(* Count of records already on disk (so a reopened handle continues the
+   global sequence). Callers re-frame files before reopening, so every
+   line is a whole record. *)
+let count_records jpath segments =
+  Array.fold_left
+    (fun acc p -> acc + List.length (framed_lines p))
+    0 (seg_paths jpath segments)
+
+let open_append ?(injector = Cal_faults.Injector.none) ?(segments = 1) jpath =
+  if segments < 1 then invalid_arg "Journal.open_append: segments must be >= 1";
+  if segments > 1 then write_manifest jpath segments
+  else if Sys.file_exists (manifest_path jpath) then
+    raise (Journal_error (jpath ^ " is segmented; open with its manifest's segment count"));
+  let ocs =
+    Array.map
+      (fun p -> open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 p)
+      (seg_paths jpath segments)
+  in
+  { jpath; segments; ocs; injector; next_seq = count_records jpath segments;
+    appended = 0; closed = false }
 
 let path t = t.jpath
+let segments t = t.segments
 
 let append t payload =
   if t.closed then raise (Journal_error "journal is closed");
-  let record = encode payload in
+  let seq = t.next_seq in
+  let framed = if t.segments = 1 then payload else Printf.sprintf "%d %s" seq payload in
+  let record = encode framed in
+  let oc = t.ocs.(seq mod t.segments) in
+  t.next_seq <- seq + 1;
   t.appended <- t.appended + 1;
   match Cal_faults.Injector.on_journal_append t.injector record with
   | `Write ->
-    output_string t.oc record;
-    flush t.oc
+    output_string oc record;
+    flush oc
   | `Crash_after keep ->
     (* The process image dies with [keep] bytes of the record on disk:
        flush the torn prefix, mark the handle dead, and raise. *)
-    output_string t.oc (String.sub record 0 keep);
-    flush t.oc;
+    output_string oc (String.sub record 0 keep);
+    flush oc;
     t.closed <- true;
-    close_out_noerr t.oc;
+    Array.iter close_out_noerr t.ocs;
     raise
       (Cal_faults.Injector.Crash
          (Printf.sprintf "simulated crash during journal append #%d (%d/%d bytes)" t.appended
@@ -108,53 +206,113 @@ let appended t = t.appended
 
 let truncate t =
   if t.closed then raise (Journal_error "journal is closed");
-  flush t.oc;
-  (* Reopen in truncate mode through a second descriptor; the append
-     channel's position is reset by seeking after the truncation. *)
-  let tc = open_out_gen [ Open_wronly; Open_trunc; Open_binary ] 0o644 t.jpath in
-  close_out tc;
-  seek_out t.oc 0
+  Array.iteri
+    (fun i p ->
+      flush t.ocs.(i);
+      (* Reopen in truncate mode through a second descriptor; the append
+         channel's position is reset by seeking after the truncation. *)
+      let tc = open_out_gen [ Open_wronly; Open_trunc; Open_binary ] 0o644 p in
+      close_out tc;
+      seek_out t.ocs.(i) 0)
+    (seg_paths t.jpath t.segments);
+  t.next_seq <- 0
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    close_out_noerr t.oc
+    Array.iter close_out_noerr t.ocs
   end
 
-let rewrite jpath records =
-  let tmp = jpath ^ ".tmp" in
-  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
-  List.iter (fun payload -> output_string oc (encode payload)) records;
-  close_out oc;
-  Sys.rename tmp jpath
+let rewrite ?(segments = 1) jpath records =
+  if segments < 1 then invalid_arg "Journal.rewrite: segments must be >= 1";
+  (* Drop the other layout's files so the path holds exactly one
+     representation of [records]. *)
+  remove_segment_files jpath;
+  if segments > 1 && Sys.file_exists jpath then Sys.remove jpath;
+  let paths = seg_paths jpath segments in
+  let tmps =
+    Array.map
+      (fun p ->
+        let tmp = p ^ ".tmp" in
+        (tmp, open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp))
+      paths
+  in
+  List.iteri
+    (fun seq payload ->
+      let framed = if segments = 1 then payload else Printf.sprintf "%d %s" seq payload in
+      output_string (snd tmps.(seq mod segments)) (encode framed))
+    records;
+  Array.iter (fun (_, oc) -> close_out oc) tmps;
+  Array.iteri (fun i p -> Sys.rename (fst tmps.(i)) p) paths;
+  if segments > 1 then write_manifest jpath segments
 
-let read_records jpath =
-  if not (Sys.file_exists jpath) then []
+(* Decode one segment's framed lines into (seq, payload) records —
+   checksum, unescape, sequence split. Pure, so segments decode in
+   parallel during recovery. [seq_framed] is false only for the
+   unsegmented layout, whose records carry no sequence. *)
+let decode_segment ~seg ~seq_framed framed =
+  let n = List.length framed in
+  let records = ref [] in
+  List.iteri
+    (fun i (line, terminated) ->
+      match if terminated then decode_line line else None with
+      | Some payload ->
+        let record =
+          if not seq_framed then (i, payload)
+          else
+            match String.index_opt payload ' ' with
+            | Some sp -> (
+              match int_of_string_opt (String.sub payload 0 sp) with
+              | Some seq ->
+                (seq, String.sub payload (sp + 1) (String.length payload - sp - 1))
+              | None ->
+                raise
+                  (Journal_error
+                     (Printf.sprintf "segment %d record %d: bad sequence frame" seg i)))
+            | None ->
+              raise
+                (Journal_error (Printf.sprintf "segment %d record %d: bad sequence frame" seg i))
+        in
+        records := record :: !records
+      | None ->
+        (* A bad final line is the torn tail of a crashed append and is
+           dropped; a bad line with intact successors is file damage. *)
+        if i <> n - 1 then
+          raise
+            (Journal_error
+               (Printf.sprintf "corrupt journal record %d (segment %d, not a torn tail)" i seg)))
+    framed;
+  List.rev !records
+
+let read_records ?(domains = 1) jpath =
+  let segments = detect_segments jpath in
+  if segments = 1 then
+    List.map snd (decode_segment ~seg:0 ~seq_framed:false (framed_lines jpath))
   else begin
-    let ic = open_in_bin jpath in
-    let len = in_channel_length ic in
-    let contents = really_input_string ic len in
-    close_in ic;
-    let lines = String.split_on_char '\n' contents in
-    (* A well-formed file ends with '\n', so splitting yields a trailing
-       "" sentinel; anything else in the last slot is a torn tail. *)
-    let rec complete = function
-      | [] | [ "" ] -> []
-      | [ torn ] -> [ (torn, false) ]
-      | l :: rest -> (l, true) :: complete rest
+    let framed = Array.map framed_lines (seg_paths jpath segments) in
+    let decoded =
+      let pool = Cal_parallel.Pool.default () in
+      let lanes = max 1 (min domains (Cal_parallel.Pool.size pool)) in
+      if lanes <= 1 then
+        Array.mapi (fun seg lines -> decode_segment ~seg ~seq_framed:true lines) framed
+      else
+        Array.concat
+          (Array.to_list
+             (Cal_parallel.Pool.map_chunks ~domains:lanes pool ~n:segments (fun ~lo ~hi ->
+                  Array.init (hi - lo) (fun k ->
+                      decode_segment ~seg:(lo + k) ~seq_framed:true framed.(lo + k)))))
     in
-    let framed = complete lines in
-    let n = List.length framed in
-    let records = ref [] in
+    let merged =
+      List.sort
+        (fun (s1, _) (s2, _) -> compare s1 s2)
+        (List.concat (Array.to_list decoded))
+    in
+    (* One torn tail at the global maximum sequence is a crash; a missing
+       sequence with intact successors means a segment lost data. *)
     List.iteri
-      (fun i (line, terminated) ->
-        match if terminated then decode_line line else None with
-        | Some payload -> records := payload :: !records
-        | None ->
-          (* A bad final line is the torn tail of a crashed append and is
-             dropped; a bad line with intact successors is file damage. *)
-          if i <> n - 1 then
-            raise (Journal_error (Printf.sprintf "corrupt journal record %d (not a torn tail)" i)))
-      framed;
-    List.rev !records
+      (fun i (seq, _) ->
+        if seq <> i then
+          raise (Journal_error (Printf.sprintf "journal gap: record %d missing" i)))
+      merged;
+    List.map snd merged
   end

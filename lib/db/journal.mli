@@ -1,10 +1,20 @@
-(** Write-ahead journal: an append-only file of checksummed records.
+(** Write-ahead journal: append-only file(s) of checksummed records.
 
     Each record is one line, [<crc32-hex> <escaped-payload>\n]; payloads
     are arbitrary strings with newlines and backslashes escaped. A crash
     mid-append leaves a torn tail — a final line without its terminator
     or whose checksum disagrees — which {!read_records} detects and
     discards, so recovery sees exactly the prefix of intact records.
+
+    A journal opened with [segments = n > 1] stripes records across
+    [path.seg0 .. path.segn-1] by global sequence number, with the
+    sequence framed inside each record's checksum and the layout
+    recorded in a [path.manifest] file. The segments decode
+    independently — in parallel during recovery — and merge back into
+    append order by sequence; a crash tears at most one segment's tail,
+    which is the globally last record, so the merged prefix contract is
+    unchanged. [segments = 1] is byte-identical to the original
+    single-file format.
 
     Appends go through the fault injector: the armed crash point makes
     {!append} write only a prefix of the record and raise
@@ -15,11 +25,22 @@ type t
 
 exception Journal_error of string
 
-(** [open_append ?injector path] opens (creating if absent) the journal
-    for appending. *)
-val open_append : ?injector:Cal_faults.Injector.t -> string -> t
+(** [open_append ?injector ?segments path] opens (creating if absent)
+    the journal for appending, striped over [segments] files
+    (default 1 — the plain single-file layout).
+    @raise Journal_error when [segments = 1] but [path] has a manifest
+    (it was written segmented; open it with that segment count). *)
+val open_append : ?injector:Cal_faults.Injector.t -> ?segments:int -> string -> t
 
 val path : t -> string
+
+(** The segment count this handle stripes over. *)
+val segments : t -> int
+
+(** Segment count recorded in the path's manifest; [1] when there is
+    none (the single-file layout, or nothing at all).
+    @raise Journal_error on an unreadable manifest. *)
+val detect_segments : string -> int
 
 (** Append one record and flush. Raises {!Cal_faults.Injector.Crash}
     when the injector's armed crash point is reached (after writing the
@@ -34,14 +55,18 @@ val truncate : t -> unit
 
 val close : t -> unit
 
-(** [rewrite path records] atomically replaces the file with exactly
-    [records] (recovery uses it to drop a torn tail before appending
-    resumes). *)
-val rewrite : string -> string list -> unit
+(** [rewrite ?segments path records] atomically replaces the journal
+    with exactly [records] in the given layout (default: single-file),
+    removing the other layout's files (recovery uses it to drop a torn
+    tail before appending resumes). *)
+val rewrite : ?segments:int -> string -> string list -> unit
 
-(** Decode every intact record of the file, in order; a torn or corrupt
-    tail is silently dropped (that is the crash contract), but a corrupt
-    record {e followed by} intact ones raises {!Journal_error} — that is
-    not a torn write, the file is damaged. Returns [] when the file does
-    not exist. *)
-val read_records : string -> string list
+(** Decode every intact record, in append order; a torn or corrupt tail
+    is silently dropped (that is the crash contract), but a corrupt
+    record {e followed by} intact ones — or, on a segmented journal, a
+    sequence gap — raises {!Journal_error}: that is not a torn write,
+    the journal is damaged. The layout is auto-detected from the
+    manifest; segmented journals decode their segments across up to
+    [domains] pool lanes (default 1, serial) and merge by sequence.
+    Returns [] when nothing exists at [path]. *)
+val read_records : ?domains:int -> string -> string list

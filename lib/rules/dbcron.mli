@@ -10,11 +10,21 @@ type 'a t
 
 (** [create ~probe_period ~now ~load] performs the initial probe covering
     [now, now + probe_period).
+
+    [pending] picks the main-memory structure holding loaded trigger
+    points: the hierarchical {!Timer_wheel} (default — O(1) amortized
+    insert/advance at million-rule scale) or the stable {!Min_heap}
+    (the differential oracle). Both pop in ascending
+    (instant, insertion sequence) order, so every observable — firing
+    sequence, probe/loaded/peak/fired statistics — is identical under
+    either choice.
     @raise Invalid_argument on a non-positive period. *)
 val create :
+  ?pending:[ `Heap | `Wheel ] ->
   probe_period:int ->
   now:int ->
   load:(window_end:int -> (int * 'a) list) ->
+  unit ->
   'a t
 
 (** Exclusive end of the window the heap currently covers. *)
@@ -22,6 +32,9 @@ val window_end : 'a t -> int
 
 (** The probe period the daemon was created with. *)
 val probe_period : 'a t -> int
+
+(** Which pending structure this daemon runs on. *)
+val pending_kind : 'a t -> [ `Heap | `Wheel ]
 
 (** Instant of the next probe. *)
 val next_probe : 'a t -> int
@@ -48,8 +61,12 @@ val next_event : 'a t -> int
     are not already in the heap. *)
 val step : 'a t -> now:int -> load:(window_end:int -> (int * 'a) list) -> (int * 'a) list
 
-(** Entries currently in the heap. *)
+(** Entries currently pending. *)
 val pending : 'a t -> int
+
+(** Occupied wheel slots (the pending count itself under [`Heap], which
+    has no slot structure). *)
+val occupancy : 'a t -> int
 
 (** (probes performed, entries ever loaded). *)
 val stats : 'a t -> int * int

@@ -36,6 +36,7 @@ type parsed_event =
 type rule_state = {
   def : Qast.rule;
   event : parsed_event;
+  shard : int;  (** calendar-signature bucket owning this rule's triggers *)
   mutable scheduled : bool;  (** currently sitting in DBCRON's heap *)
   mutable rt_rowid : int option;  (** row in rule_time *)
   mutable fire_count : int;
@@ -50,9 +51,17 @@ type t = {
   ctx : Context.t;
   catalog : Catalog.t;
   clock : Clock.t;
-  mutable cron : string Dbcron.t;
+  mutable cron : Shard.t;
   probe_period : int;
+  nshards : int;  (** calendar-signature buckets DBCRON is split into *)
+  pending : [ `Heap | `Wheel ];  (** per-shard pending structure *)
   rules : (string, rule_state) Hashtbl.t;
+  shard_caches : Calendar.t Cal_cache.t array;
+      (** one persistent session-cache clone per shard, for sharded
+          next-fire batches; [[||]] when [nshards = 1] *)
+  shard_cache_marks : (int * int) array;
+      (** (hits, misses) of each shard cache already folded into the
+          session cache's counters *)
   mutable firings : firing list;  (** newest first *)
   mutable alerts : (string * int) list;
   mutable depth : int;
@@ -64,6 +73,8 @@ type t = {
   injector : Cal_faults.Injector.t;
   mutable par_batches : int;  (** next-fire batches computed in parallel *)
   mutable par_rules : int;  (** rules those batches covered *)
+  mutable coal_batches : int;  (** same-tick groups that shared one preparation *)
+  mutable coal_fired : int;  (** firings those groups covered *)
   exec_stats : Exec.stats;
       (** cumulative executor counters over every query this manager runs
           (DBCRON probes, rule actions, user queries) *)
@@ -148,11 +159,28 @@ let load_upcoming catalog ~stats ~domains rules ~window_end =
       rows
   | _ -> []
 
+(* DBCRON placement: rules land in the shard of their calendar
+   signature, so rules with the same temporal shape probe and batch
+   together. Translatable expressions key on their periodic-normal-form
+   period; the rest on a canonicalized-expression hash (source hash when
+   canonicalization rejects the expression). *)
+let shard_of_rules rules name =
+  match Hashtbl.find_opt rules (norm name) with Some st -> st.shard | None -> 0
+
+let shard_key ctx expr source =
+  match Periodic.compile ctx expr with
+  | Some (_, p) -> Periodic.period p
+  | None -> (
+    match Canon.to_string (Canon.canon expr) with
+    | key -> Hashtbl.hash key
+    | exception _ -> Hashtbl.hash source)
+
 let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strategy = `Auto)
-    ?domains ?(max_failures = 3) ?(retry_base = 60)
+    ?domains ?(shards = 1) ?(pending = `Wheel) ?(max_failures = 3) ?(retry_base = 60)
     ?(injector = Cal_faults.Injector.none) (ctx : Context.t) catalog =
   if max_failures < 1 then raise (Rule_error "max_failures must be >= 1");
   if retry_base < 1 then raise (Rule_error "retry_base must be >= 1");
+  if shards < 1 then raise (Rule_error "shards must be >= 1");
   let clock =
     match ctx.Context.clock with
     | Some c -> c
@@ -172,8 +200,18 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strate
   let rules = Hashtbl.create 16 in
   let exec_stats = Exec.fresh_stats () in
   let cron =
-    Dbcron.create ~probe_period ~now:(Clock.now clock)
+    Shard.create ~pending ~nshards:shards ~probe_period ~now:(Clock.now clock)
       ~load:(load_upcoming catalog ~stats:exec_stats ~domains rules)
+      ~shard_of:(shard_of_rules rules) ~domains ()
+  in
+  let main_cache = ctx.Context.cache in
+  let shard_caches =
+    if shards <= 1 then [||]
+    else
+      Array.init shards (fun _ ->
+          let c = Cal_cache.create ~capacity:(Cal_cache.capacity main_cache) () in
+          Cal_cache.seed_from c ~src:main_cache;
+          c)
   in
   let t =
     {
@@ -182,7 +220,11 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strate
       clock;
       cron;
       probe_period;
+      nshards = shards;
+      pending;
       rules;
+      shard_caches;
+      shard_cache_marks = Array.make shards (0, 0);
       firings = [];
       alerts = [];
       depth = 0;
@@ -194,6 +236,8 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strate
       injector;
       par_batches = 0;
       par_rules = 0;
+      coal_batches = 0;
+      coal_fired = 0;
       exec_stats;
     }
   in
@@ -231,18 +275,30 @@ and condition_holds t binding = function
     | Value.Null -> false
     | v -> raise (Rule_error ("rule condition is not boolean: " ^ Value.to_string v)))
 
-and run_actions t binding actions =
+and run_actions ?prepared t binding actions =
   if t.depth >= 8 then raise (Rule_error "rule recursion limit exceeded");
   t.depth <- t.depth + 1;
   Fun.protect
     ~finally:(fun () -> t.depth <- t.depth - 1)
     (fun () ->
-      List.iter
-        (fun q ->
-          ignore
-            (Exec.run t.catalog ~binding ~stats:t.exec_stats ~domains:t.domains
-               ~injector:t.injector q))
-        actions)
+      match prepared with
+      | Some ps when List.length ps = List.length actions ->
+        (* Same-tick coalescing: the statements were prepared once for
+           the whole batch; each rule still executes its own isolated
+           run (with its own injector gate). *)
+        List.iter
+          (fun p ->
+            ignore
+              (Exec.run_prepared t.catalog ~binding ~stats:t.exec_stats ~domains:t.domains
+                 ~injector:t.injector p))
+          ps
+      | _ ->
+        List.iter
+          (fun q ->
+            ignore
+              (Exec.run t.catalog ~binding ~stats:t.exec_stats ~domains:t.domains
+                 ~injector:t.injector q))
+          actions)
 
 (* One rule's condition and action in an isolated scope: a failure lands
    in rule_errors and bumps the rule's consecutive-failure count instead
@@ -250,13 +306,13 @@ and run_actions t binding actions =
    (and the action ran to completion); a success resets the count.
    Injected crashes are not failures — they re-raise, killing the
    process. *)
-and guarded_fire t st name at binding =
+and guarded_fire ?prepared t st name at binding =
   match
     (match Cal_faults.Injector.action_fault t.injector ~rule:name with
     | Some msg -> raise (Cal_faults.Injector.Injected_fault msg)
     | None -> ());
     if condition_holds t binding st.def.Qast.condition then begin
-      run_actions t binding st.def.Qast.action;
+      run_actions ?prepared t binding st.def.Qast.action;
       true
     end
     else false
@@ -311,7 +367,7 @@ let set_next_fire t st name = function
     (match st.rt_rowid with
     | Some rowid -> ignore (Table.update (rule_time_table t) rowid row)
     | None -> st.rt_rowid <- Some (Table.insert (rule_time_table t) row));
-    if Dbcron.offer t.cron at name then st.scheduled <- true)
+    if Shard.offer t.cron at name then st.scheduled <- true)
 
 (** Declare a rule (parsed form). *)
 let define t (rule : Qast.rule) =
@@ -325,8 +381,8 @@ let define t (rule : Qast.rule) =
       | Some _ -> ()
       | None -> raise (Rule_error ("rule on unknown table " ^ table)));
       let st =
-        { def = rule; event = Db_event (kind, table); scheduled = false; rt_rowid = None;
-          fire_count = 0; failures = 0; quarantined = false }
+        { def = rule; event = Db_event (kind, table); shard = 0; scheduled = false;
+          rt_rowid = None; fire_count = 0; failures = 0; quarantined = false }
       in
       Hashtbl.replace t.rules (norm name) st;
       ignore
@@ -347,8 +403,9 @@ let define t (rule : Qast.rule) =
       | Error e -> Error (Printf.sprintf "bad calendar expression in rule %s: %s" name e)
       | Ok expr ->
         let plan = Planner.plan t.ctx expr in
+        let shard = shard_key t.ctx expr source mod t.nshards in
         let st =
-          { def = rule; event = Cal_event { expr; source }; scheduled = false;
+          { def = rule; event = Cal_event { expr; source }; shard; scheduled = false;
             rt_rowid = None; fire_count = 0; failures = 0; quarantined = false }
         in
         Hashtbl.replace t.rules (norm name) st;
@@ -406,7 +463,7 @@ let drop t name =
    seconds out (capped), or quarantined once the consecutive-failure
    threshold is crossed — its next-fire point is then the retry instant,
    or nothing, so no phase-two item. *)
-let fire_calendar_action t name at =
+let fire_calendar_action ?prepared t name at =
   match Hashtbl.find_opt t.rules (norm name) with
   | None -> None (* dropped while scheduled *)
   | Some st -> (
@@ -418,7 +475,7 @@ let fire_calendar_action t name at =
     | Cal_event { expr; _ } -> (
       st.scheduled <- false;
       let binding _ = None in
-      match guarded_fire t st name at binding with
+      match guarded_fire ?prepared t st name at binding with
       | Ok _fired ->
         (* As before isolation: a calendar firing is logged even when the
            condition vetoes the action. *)
@@ -435,6 +492,64 @@ let fire_calendar_action t name at =
           set_next_fire t st name (Some (at + backoff))
         end;
         None))
+
+(* Same-tick coalescing key: the action shape of a live calendar rule.
+   Firings due at one instant whose rules share this key execute the
+   same statements modulo nothing at all — one preparation serves the
+   whole group. *)
+let coalesce_key t name =
+  match Hashtbl.find_opt t.rules (norm name) with
+  | Some ({ event = Cal_event _; _ } as st) when not st.quarantined ->
+    Some (String.concat "; " (List.map Qast.to_string st.def.Qast.action))
+  | _ -> None
+
+(* Split a chronological firing list into runs of consecutive firings
+   due at the same instant with the same action shape. Grouping reads
+   only the merged list and pre-wave rule state, so it is identical
+   across shard and domain counts. *)
+let coalesce_groups t fired =
+  let groups =
+    List.fold_left
+      (fun acc (at, name) ->
+        let key = coalesce_key t name in
+        match acc with
+        | (gat, (Some _ as gkey), members) :: tl when gat = at && gkey = key ->
+          (gat, gkey, (at, name) :: members) :: tl
+        | _ -> (at, key, [ (at, name) ]) :: acc)
+      [] fired
+  in
+  List.rev_map (fun (_, _, members) -> List.rev members) groups
+
+(* Fire one coalesced group: prepare the shared action statements once,
+   then run each member's isolated firing against the prepared plans.
+   Anything unpreparable — or a singleton group — falls back to the
+   per-rule path, so failures still land in rule_errors rule by rule. *)
+let fire_group t members =
+  let prepared =
+    match members with
+    | (_, name0) :: _ :: _ -> (
+      match Hashtbl.find_opt t.rules (norm name0) with
+      | Some st -> (
+        match
+          List.map
+            (fun q ->
+              match Exec.prepare t.catalog ~stats:t.exec_stats q with
+              | Some p -> p
+              | None -> raise Exit)
+            st.def.Qast.action
+        with
+        | ps ->
+          t.coal_batches <- t.coal_batches + 1;
+          t.coal_fired <- t.coal_fired + List.length members;
+          Some ps
+        | exception _ ->
+          (* Unplannable (or invalid) action: each member runs — and
+             fails — individually, exactly as without coalescing. *)
+          None)
+      | None -> None)
+    | _ -> None
+  in
+  List.filter_map (fun (at, name) -> fire_calendar_action ?prepared t name at) members
 
 (* Phase two: recompute every fired rule's next trigger point. The
    computations are independent — [Next_fire.next] only reads the
@@ -459,6 +574,56 @@ let recompute_next_fires t batch =
     let lanes = max 1 (min t.domains (Pool.size pool)) in
     let nexts =
       if lanes <= 1 || n < 2 then serially ()
+      else if t.nshards > 1 then begin
+        (* Sharded batch: each shard's items evaluate on that shard's
+           persistent cache clone, fanned out shard-per-lane. The split
+           cannot change results — each next-fire point is a function of
+           (expression, instant) alone — so only cache hit/miss splits
+           differ from the serial loop. *)
+        t.par_batches <- t.par_batches + 1;
+        t.par_rules <- t.par_rules + n;
+        let by_shard = Array.make t.nshards [] in
+        Array.iteri
+          (fun i (name, _, _) ->
+            let s = match Hashtbl.find_opt t.rules (norm name) with
+              | Some st -> st.shard
+              | None -> 0
+            in
+            by_shard.(s) <- i :: by_shard.(s))
+          batch;
+        let by_shard = Array.map (fun l -> Array.of_list (List.rev l)) by_shard in
+        let per_shard =
+          Array.concat
+            (Array.to_list
+               (Pool.map_chunks ~domains:lanes pool ~n:t.nshards (fun ~lo ~hi ->
+                    Array.init (hi - lo) (fun k ->
+                        let s = lo + k in
+                        let ctx = Context.with_cache t.ctx t.shard_caches.(s) in
+                        Array.map
+                          (fun i ->
+                            let _, expr, after = batch.(i) in
+                            Next_fire.next ctx expr ~after ~lookahead:t.lookahead
+                              ~strategy:t.probe_strategy ())
+                          by_shard.(s)))))
+        in
+        (* Fold each shard cache's lookup counters (since the last fold)
+           into the session cache's. *)
+        let main_stats = Cal_cache.stats t.ctx.Context.cache in
+        Array.iteri
+          (fun s cache ->
+            let st = Cal_cache.stats cache in
+            let mh, mm = t.shard_cache_marks.(s) in
+            main_stats.Cal_cache.hits <- main_stats.Cal_cache.hits + st.Cal_cache.hits - mh;
+            main_stats.Cal_cache.misses <-
+              main_stats.Cal_cache.misses + st.Cal_cache.misses - mm;
+            t.shard_cache_marks.(s) <- (st.Cal_cache.hits, st.Cal_cache.misses))
+          t.shard_caches;
+        let out = Array.make n None in
+        Array.iteri
+          (fun s nexts -> Array.iteri (fun k v -> out.(by_shard.(s).(k)) <- v) nexts)
+          per_shard;
+        out
+      end
       else begin
         t.par_batches <- t.par_batches + 1;
         t.par_rules <- t.par_rules + n;
@@ -507,11 +672,11 @@ let advance_to t instant =
     raise (Next_fire.Clock_regression { now = Clock.now t.clock; target = instant });
   let load = load_upcoming t.catalog ~stats:t.exec_stats ~domains:t.domains t.rules in
   let rec loop () =
-    let ev = Dbcron.next_event t.cron in
+    let ev = Shard.next_event t.cron in
     if ev <= instant then begin
       Clock.advance_to t.clock ev;
-      let fired = Dbcron.step t.cron ~now:ev ~load in
-      let batch = List.filter_map (fun (at, name) -> fire_calendar_action t name at) fired in
+      let fired = Shard.step t.cron ~now:ev ~load in
+      let batch = List.concat_map (fire_group t) (coalesce_groups t fired) in
       recompute_next_fires t (Array.of_list batch);
       loop ()
     end
@@ -528,8 +693,10 @@ let advance_days t days = advance_to t (Clock.now t.clock + (days * 86400))
 let reset_cron t =
   Hashtbl.iter (fun _ st -> st.scheduled <- false) t.rules;
   t.cron <-
-    Dbcron.create ~probe_period:t.probe_period ~now:(Clock.now t.clock)
+    Shard.create ~pending:t.pending ~nshards:t.nshards ~probe_period:t.probe_period
+      ~now:(Clock.now t.clock)
       ~load:(load_upcoming t.catalog ~stats:t.exec_stats ~domains:t.domains t.rules)
+      ~shard_of:(shard_of_rules t.rules) ~domains:t.domains ()
 
 let after_restore = reset_cron
 
@@ -711,14 +878,28 @@ let set_rule_state t name ~fire_count ~failures ~quarantined ~next =
 let restore_firings t chronological = t.firings <- List.rev chronological
 let restore_alerts t chronological = t.alerts <- List.rev chronological
 
-let dbcron_stats t = Dbcron.stats t.cron
-let dbcron_heap_peak t = Dbcron.heap_peak t.cron
-let dbcron_fired t = Dbcron.fired t.cron
+let dbcron_stats t = Shard.stats t.cron
+let dbcron_heap_peak t = Shard.heap_peak t.cron
+let dbcron_fired t = Shard.fired t.cron
 let exec_stats t = t.exec_stats
 let plan_cache_stats t = Qplan.cache_stats t.catalog
 let domains t = t.domains
 let parallel_stats t = (t.par_batches, t.par_rules)
 let probe_period t = t.probe_period
+let shards t = t.nshards
+let pending_kind t = Shard.pending_kind t.cron
+let coalesce_stats t = (t.coal_batches, t.coal_fired)
+let shard_par_steps t = Shard.par_steps t.cron
+
+(** Per-shard view, indexed by shard:
+    (rules, pending, occupancy, loaded, fired). [rules] counts live rule
+    definitions placed on the shard; the rest are the coordinator's
+    counters for its inner daemon. *)
+let shard_stats t =
+  let per = Shard.per_shard t.cron in
+  let rules = Array.make (Array.length per) 0 in
+  Hashtbl.iter (fun _ st -> rules.(st.shard) <- rules.(st.shard) + 1) t.rules;
+  Array.mapi (fun i (p, o, l, f) -> (rules.(i), p, o, l, f)) per
 
 (** Live calendar rules whose probes resolve to the closed-form periodic
     path under this manager's strategy (these rules never go dormant). *)

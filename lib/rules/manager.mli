@@ -57,18 +57,31 @@ exception Rule_error of string
     only wall-clock time and the cache's hit/miss split (per-domain
     clones count their own lookups) may differ.
 
+    [shards] (default 1) splits DBCRON into that many
+    calendar-signature shards ({!Shard}): each rule is placed by the
+    period of its compiled periodic normal form (hash of its
+    canonicalized expression as fallback), each shard runs its own
+    pending structure and probes against its own persistent calendar
+    cache, and per-shard firing lists merge back deterministically —
+    firing order, RULE_TIME contents and firing/probe statistics are
+    identical at every shard count. [pending] picks each shard's pending
+    structure: the hierarchical {!Timer_wheel} (default) or the
+    {!Min_heap} oracle; also invisible in every observable.
+
     [max_failures] (default 3) is the consecutive-failure count at which
     a rule is quarantined; [retry_base] (default 60 simulated seconds)
     seeds the exponential retry backoff of failing calendar rules.
     [injector] threads a fault injector through firings and queries
     (default: disabled).
     @raise Rule_error when the context has no clock, [domains < 1],
-    [max_failures < 1] or [retry_base < 1]. *)
+    [shards < 1], [max_failures < 1] or [retry_base < 1]. *)
 val create :
   ?probe_period:int ->
   ?lookahead:int ->
   ?probe_strategy:Next_fire.strategy ->
   ?domains:int ->
+  ?shards:int ->
+  ?pending:[ `Heap | `Wheel ] ->
   ?max_failures:int ->
   ?retry_base:int ->
   ?injector:Cal_faults.Injector.t ->
@@ -167,6 +180,28 @@ val parallel_stats : t -> int * int
 
 (** The probe period this manager's DBCRON runs at. *)
 val probe_period : t -> int
+
+(** The shard count this manager was created with. *)
+val shards : t -> int
+
+(** Which pending structure the shards run on. *)
+val pending_kind : t -> [ `Heap | `Wheel ]
+
+(** [(batches, firings)] — same-tick firing groups that executed as one
+    prepared plan-cache batch, and the firings they covered. Groups form
+    over consecutive firings at the same instant with the same action
+    shape; coalescing changes no observable (isolation, errors, stats)
+    beyond these counters. *)
+val coalesce_stats : t -> int * int
+
+(** DBCRON steps that fanned shards out across the pool. *)
+val shard_par_steps : t -> int
+
+(** Per-shard counters, indexed by shard:
+    (rules, pending, occupancy, loaded, fired). [rules] counts live
+    rules placed on the shard; [occupancy] is its wheel's occupied-slot
+    count (pending itself under [`Heap]). *)
+val shard_stats : t -> (int * int * int * int * int) array
 
 (** Live calendar rules whose probes resolve to the closed-form periodic
     path ({!Next_fire.resolve}) under this manager's strategy. Such rules

@@ -88,10 +88,11 @@ let pop_due t bound =
     in one bottom-up Floyd pass — O(len + |entries|) instead of the
     O(|entries| log len) of repeated pushes. Small batches relative to
     the heap sift up individually instead, which is cheaper than
-    re-heapifying everything. *)
+    re-heapifying everything. Returns the batch size — already computed
+    for the reservation — so callers need no second traversal. *)
 let add_list t entries =
   match entries with
-  | [] -> ()
+  | [] -> 0
   | (p0, v0) :: _ ->
     let m = List.length entries in
     reserve t m (p0, 0, v0);
@@ -108,9 +109,10 @@ let add_list t entries =
     else
       for i = t.len - m to t.len - 1 do
         sift_up t i
-      done
+      done;
+    m
 
 let of_list entries =
   let t = create () in
-  add_list t entries;
+  ignore (add_list t entries);
   t

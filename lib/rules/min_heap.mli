@@ -15,8 +15,10 @@ val push : 'a t -> int -> 'a -> unit
 
 (** [add_list t entries] inserts every [(priority, payload)] pair in one
     O(length t + |entries|) bottom-up heapify (falling back to
-    individual sift-ups when [entries] is small relative to the heap). *)
-val add_list : 'a t -> (int * 'a) list -> unit
+    individual sift-ups when [entries] is small relative to the heap),
+    and returns the number of entries inserted — already known from the
+    reservation, so callers never traverse [entries] a second time. *)
+val add_list : 'a t -> (int * 'a) list -> int
 
 (** [of_list entries] — a fresh heap built by {!add_list}. *)
 val of_list : (int * 'a) list -> 'a t

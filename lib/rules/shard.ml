@@ -1,0 +1,146 @@
+(** Signature-sharded DBCRON coordinator: N inner daemons in probe
+    lockstep, a global arrival-sequence stamp, and a deterministic merge.
+
+    Why the merge is byte-identical to serial: a single unsharded
+    {!Dbcron} pops in ascending (instant, insertion order) — both the
+    heap and the wheel are stable. The coordinator stamps every entry
+    with a global sequence number [gseq] in exactly the order the serial
+    daemon would have inserted it (probe rows in row order, offers in
+    call order), and entries reach each shard in ascending [gseq], so a
+    shard's local pop order is ascending (instant, gseq). Merging the
+    per-shard due lists by (instant, gseq) therefore reproduces the
+    serial pop order entry for entry. [gseq] advances on rejected offers
+    too — rejection depends only on the shared probe schedule, so the
+    stamp stream is identical at every shard count.
+
+    Why shards may step in parallel: each probe window is prefetched
+    with one serial [load] call (the same RULE_TIME retrieve, with the
+    same side effects, the serial daemon would make) and partitioned
+    up front; stepping a shard then touches only its own pending
+    structure and reads its own slice, so the fan-out is pure and
+    disjoint. *)
+
+module Pool = Cal_parallel.Pool
+
+type t = {
+  nshards : int;
+  probe_period : int;
+  crons : (int * string) Dbcron.t array; (* payload: (gseq, name) *)
+  loads : (window_end:int -> (int * (int * string)) list) array;
+      (* per-shard reads of the prefetched partitions *)
+  place : string -> int;
+  prefetched : (int, (int * (int * string)) list array) Hashtbl.t;
+      (* window_end -> per-shard slices, stamped and in gseq order *)
+  gseq : int ref;
+  domains : int;
+  mutable probes : int; (* probe windows covered (one load call each) *)
+  mutable par_steps : int; (* steps that fanned out across the pool *)
+}
+
+(* Stamp a probe batch in row order and park its per-shard slices for
+   the inner daemons' load calls. *)
+let stash ~nshards ~place ~gseq ~prefetched window_end rows =
+  let parts = Array.make nshards [] in
+  List.iter
+    (fun (at, name) ->
+      let i = place name in
+      parts.(i) <- (at, (!gseq, name)) :: parts.(i);
+      incr gseq)
+    rows;
+  Hashtbl.replace prefetched window_end (Array.map List.rev parts)
+
+let create ?(pending = `Wheel) ~nshards ~probe_period ~now ~load ~shard_of ~domains () =
+  if nshards < 1 then invalid_arg "Shard.create: nshards must be >= 1";
+  if domains < 1 then invalid_arg "Shard.create: domains must be >= 1";
+  let prefetched = Hashtbl.create 8 in
+  let gseq = ref 0 in
+  let place name = (shard_of name mod nshards + nshards) mod nshards in
+  let part_load i ~window_end =
+    match Hashtbl.find_opt prefetched window_end with
+    | Some parts -> parts.(i)
+    | None -> []
+  in
+  (* The initial probe: one serial load, partitioned, then each inner
+     daemon's own initial probe picks up its slice. *)
+  stash ~nshards ~place ~gseq ~prefetched (now + probe_period)
+    (load ~window_end:(now + probe_period));
+  let crons =
+    Array.init nshards (fun i ->
+        Dbcron.create ~pending ~probe_period ~now ~load:(part_load i) ())
+  in
+  Hashtbl.reset prefetched;
+  {
+    nshards;
+    probe_period;
+    crons;
+    loads = Array.init nshards part_load;
+    place;
+    prefetched;
+    gseq;
+    domains;
+    probes = 1;
+    par_steps = 0;
+  }
+
+let nshards t = t.nshards
+let probe_period t = t.probe_period
+let pending_kind t = Dbcron.pending_kind t.crons.(0)
+
+let next_event t =
+  Array.fold_left (fun acc c -> min acc (Dbcron.next_event c)) max_int t.crons
+
+let offer t at name =
+  let i = t.place name in
+  let g = !(t.gseq) in
+  (* Consumed whether or not the offer lands: acceptance depends only on
+     the shared probe schedule, so the stamp stream — and with it the
+     merged order — is identical at every shard count. *)
+  incr t.gseq;
+  Dbcron.offer t.crons.(i) at (g, name)
+
+let step t ~now ~load =
+  (* Prefetch every window this step will cross, serially — the load
+     runs real queries with side effects and must stay single-file. All
+     shards share one probe schedule, so shard 0's next probe is
+     everyone's. *)
+  let rec prefetch np =
+    if np <= now then begin
+      let window_end = np + t.probe_period in
+      t.probes <- t.probes + 1;
+      stash ~nshards:t.nshards ~place:t.place ~gseq:t.gseq ~prefetched:t.prefetched
+        window_end
+        (load ~window_end);
+      prefetch window_end
+    end
+  in
+  prefetch (Dbcron.next_probe t.crons.(0));
+  let step_one i = Dbcron.step t.crons.(i) ~now ~load:t.loads.(i) in
+  let parts =
+    let pool = Pool.default () in
+    let lanes = max 1 (min t.domains (Pool.size pool)) in
+    if t.nshards > 1 && lanes > 1 then begin
+      t.par_steps <- t.par_steps + 1;
+      Array.concat
+        (Array.to_list
+           (Pool.map_chunks ~domains:lanes pool ~n:t.nshards (fun ~lo ~hi ->
+                Array.init (hi - lo) (fun k -> step_one (lo + k)))))
+    end
+    else Array.init t.nshards step_one
+  in
+  Hashtbl.reset t.prefetched;
+  List.concat (Array.to_list parts)
+  |> List.sort (fun (a1, (g1, _)) (a2, (g2, _)) ->
+         if a1 <> a2 then compare a1 a2 else compare g1 g2)
+  |> List.map (fun (at, (_, name)) -> (at, name))
+
+let sum f t = Array.fold_left (fun acc c -> acc + f c) 0 t.crons
+let pending t = sum Dbcron.pending t
+let stats t = (t.probes, sum (fun c -> snd (Dbcron.stats c)) t)
+let heap_peak t = sum Dbcron.heap_peak t
+let fired t = sum Dbcron.fired t
+let par_steps t = t.par_steps
+
+let per_shard t =
+  Array.map
+    (fun c -> (Dbcron.pending c, Dbcron.occupancy c, snd (Dbcron.stats c), Dbcron.fired c))
+    t.crons

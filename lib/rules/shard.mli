@@ -1,0 +1,82 @@
+(** Signature-sharded DBCRON: N inner daemons in probe lockstep, one per
+    calendar-signature bucket, with a deterministic merge of their firing
+    lists.
+
+    Every inner {!Dbcron} is created at the same instant with the same
+    probe period, so their probe schedules never drift. The coordinator
+    stamps each trigger entry with a global sequence number as it
+    arrives — rows of a probe batch in row order, direct offers in call
+    order — and merges per-shard due lists by (instant, sequence). A
+    single unsharded daemon pops in exactly (instant, arrival) order,
+    so the merged firing list is byte-identical to serial for every
+    shard count, and the probe itself (one RULE_TIME retrieve per
+    window, partitioned across shards by the caller's placement
+    function) runs the same query the serial daemon would.
+
+    Probe windows are prefetched serially before the shards step, so
+    each shard's step touches only its own wheel and its own slice of
+    the batch — pure, disjoint work that fans out across the domain
+    pool when more than one lane is available. *)
+
+type t
+
+(** [create ~nshards ~probe_period ~now ~load ~shard_of ~domains ()]
+    performs the initial probe (one [load] call covering
+    [now, now + probe_period), partitioned by [shard_of]) and starts
+    [nshards] inner daemons on [pending] structures (default [`Wheel];
+    see {!Dbcron.create}). [shard_of] must be stable for a given name
+    while any of its entries are pending. [domains] caps the pool lanes
+    a step may fan out over; [1] pins stepping serial.
+    @raise Invalid_argument on [nshards < 1], [domains < 1] or a
+    non-positive period. *)
+val create :
+  ?pending:[ `Heap | `Wheel ] ->
+  nshards:int ->
+  probe_period:int ->
+  now:int ->
+  load:(window_end:int -> (int * string) list) ->
+  shard_of:(string -> int) ->
+  domains:int ->
+  unit ->
+  t
+
+val nshards : t -> int
+val probe_period : t -> int
+val pending_kind : t -> [ `Heap | `Wheel ]
+
+(** Instant of the next thing any shard must do (probe or fire). *)
+val next_event : t -> int
+
+(** Offer an entry directly (same window rule as {!Dbcron.offer} —
+    acceptance depends only on the shared probe schedule, never on the
+    shard count). Returns [true] when accepted. *)
+val offer : t -> int -> string -> bool
+
+(** [step t ~now ~load] prefetches every probe window due by [now] (one
+    [load] call per window, serially), steps each shard — in parallel
+    when the pool and [domains] allow — and returns the merged
+    (instant, name) firing list, identical to a single unsharded
+    daemon's. *)
+val step : t -> now:int -> load:(window_end:int -> (int * string) list) -> (int * string) list
+
+(** Entries currently pending across all shards. *)
+val pending : t -> int
+
+(** (probes, loaded): probe windows covered (counted once, not per
+    shard) and entries loaded across all shards — serial-identical. *)
+val stats : t -> int * int
+
+(** Sum of per-shard pending peaks (exactly the serial peak when
+    [nshards = 1]). *)
+val heap_peak : t -> int
+
+(** Cumulative entries popped and fired across all shards. *)
+val fired : t -> int
+
+(** Steps that fanned out across the pool. *)
+val par_steps : t -> int
+
+(** Per-shard counters, indexed by shard:
+    (pending, occupancy, loaded, fired) — [occupancy] is the wheel's
+    occupied-slot count (pending itself under [`Heap]). *)
+val per_shard : t -> (int * int * int * int) array

@@ -1,0 +1,417 @@
+(** Hierarchical timer wheel: DBCRON's O(1)-amortized pending structure.
+
+    Entries are filed by the highest 5-bit digit in which their instant
+    differs from a monotone lower bound [base] — 32 slots per level, one
+    occupancy bitmask word per level. The digit rule makes every bucket
+    homogeneous: all entries in a level-[l] slot share their digits at
+    and above [l], so the global minimum is always the head of the
+    lowest occupied slot of the lowest non-empty level (a couple of bit
+    scans). Advancing [base] — which only ever happens past a popped
+    minimum — can strand entries at most one cursor slot per level,
+    which cascade strictly downward; an entry therefore re-files at most
+    [levels] times over its life, giving O(1) amortized insert/advance
+    against the heap's O(log n) sifts.
+
+    Instants at or beyond the top level's span (or clamped negative
+    xors, when instants straddle the sign bit) wait in a single overflow
+    bucket and re-file as [base] approaches. Instants {e below} [base]
+    (overdue entries pushed after a restore) clamp their filing key to
+    [base] — they land in the cursor slot and, carrying their true
+    instant, sort to the very front.
+
+    A bucket is a pair of parallel growable arrays — unboxed instants
+    next to payloads — consumed from a head index, so the hot paths
+    (cascade refiling, sorting, draining) scan contiguous ints instead
+    of chasing boxed nodes. Buckets sort lazily: insertion appends, the
+    first peek/pop of a bucket sorts it in place, {e stably}, by
+    instant. Stability alone reproduces the heap's (instant, sequence)
+    order: pushes append in sequence order, refiles and drains preserve
+    relative order, and sorts never reorder equal instants — so entries
+    at one instant stay in insertion order everywhere, and pop order
+    matches the stable {!Min_heap} exactly. *)
+
+let slot_bits = 5
+let wheel_slots = 32 (* 1 lsl slot_bits; 32 keeps every occupancy mask
+                        inside OCaml's 63-bit native int — 64 slots
+                        would need bit 63, which does not exist *)
+let slot_mask = wheel_slots - 1
+
+type 'a bucket = {
+  mutable ats : int array; (* instants at [head, head+n), parallel to vals *)
+  mutable vals : 'a array;
+  mutable head : int;
+  mutable n : int;
+  mutable sorted : bool;
+}
+
+type 'a t = {
+  nlevels : int;
+  slots : 'a bucket array array; (* nlevels x 32 *)
+  masks : int array; (* per-level slot-occupancy bitmask *)
+  overflow : 'a bucket; (* beyond the top level's span *)
+  mutable base : int; (* lower bound on every filing key *)
+  mutable started : bool; (* base is meaningful (first push or advance seen) *)
+  mutable len : int;
+}
+
+let empty_bucket () = { ats = [||]; vals = [||]; head = 0; n = 0; sorted = true }
+
+let create ~horizon () =
+  if horizon <= 0 then invalid_arg "Timer_wheel.create: horizon must be positive";
+  (* Smallest level count in [4, 8] whose direct span 32^levels covers
+     eight probe windows; farther entries ride the overflow bucket. *)
+  let nlevels =
+    let rec fit l span =
+      if l >= 8 || span >= 8 * horizon then l else fit (l + 1) (span * wheel_slots)
+    in
+    fit 4 (wheel_slots * wheel_slots * wheel_slots * wheel_slots)
+  in
+  {
+    nlevels;
+    slots = Array.init nlevels (fun _ -> Array.init wheel_slots (fun _ -> empty_bucket ()));
+    masks = Array.make nlevels 0;
+    overflow = empty_bucket ();
+    base = 0;
+    started = false;
+    len = 0;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let levels t = t.nlevels
+
+let occupancy t =
+  let bits = ref (if t.overflow.n = 0 then 0 else 1) in
+  Array.iter
+    (fun m ->
+      let m = ref m in
+      while !m <> 0 do
+        m := !m land (!m - 1);
+        incr bits
+      done)
+    t.masks;
+  !bits
+
+let bucket_add b at v =
+  let cap = Array.length b.ats in
+  if b.head + b.n = cap then
+    if b.n = 0 then begin
+      if cap = 0 then begin
+        b.ats <- Array.make 8 0;
+        b.vals <- Array.make 8 v
+      end;
+      b.head <- 0
+    end
+    else if 2 * b.n <= cap then begin
+      (* Over half the array is consumed slack: slide back in place. *)
+      Array.blit b.ats b.head b.ats 0 b.n;
+      Array.blit b.vals b.head b.vals 0 b.n;
+      b.head <- 0
+    end
+    else begin
+      let ats = Array.make (2 * cap) 0 in
+      let vals = Array.make (2 * cap) v in
+      Array.blit b.ats b.head ats 0 b.n;
+      Array.blit b.vals b.head vals 0 b.n;
+      b.ats <- ats;
+      b.vals <- vals;
+      b.head <- 0
+    end;
+  (if b.n = 0 then b.sorted <- true
+   else if b.sorted && b.ats.(b.head + b.n - 1) > at then b.sorted <- false);
+  let i = b.head + b.n in
+  b.ats.(i) <- at;
+  b.vals.(i) <- v;
+  b.n <- b.n + 1
+
+(* Detach a bucket's contents for refiling or draining. Detaching
+   (rather than resetting in place) keeps the iteration safe even when
+   entries route back into the very bucket being drained — the overflow
+   bucket does that for entries still beyond the span — and lets drain
+   chunks own their arrays outright. *)
+let bucket_take b =
+  let ats = b.ats and vals = b.vals and head = b.head and n = b.n in
+  b.ats <- [||];
+  b.vals <- [||];
+  b.head <- 0;
+  b.n <- 0;
+  b.sorted <- true;
+  (ats, vals, head, n)
+
+(* Stable in-place insertion sort by instant of the parallel segment
+   [lo, hi). *)
+let insertion_sort ats vals lo hi =
+  for i = lo + 1 to hi - 1 do
+    let a = ats.(i) and v = vals.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && ats.(!j) > a do
+      ats.(!j + 1) <- ats.(!j);
+      vals.(!j + 1) <- vals.(!j);
+      decr j
+    done;
+    ats.(!j + 1) <- a;
+    vals.(!j + 1) <- v
+  done
+
+let sort_bucket b =
+  if not b.sorted then begin
+    let lo = b.head and n = b.n in
+    if n <= 32 then insertion_sort b.ats b.vals lo (lo + n)
+    else begin
+      (* Large buckets sort an index permutation — the comparator reads
+         only the unboxed instant array — then apply it in one pass.
+         [Array.stable_sort] on ascending indices keeps equal instants
+         in position order, preserving insertion order. *)
+      let ats = b.ats and vals = b.vals in
+      let idx = Array.init n (fun i -> lo + i) in
+      Array.stable_sort
+        (fun i j ->
+          let a = ats.(i) and b = ats.(j) in
+          if a < b then -1 else if a > b then 1 else 0)
+        idx;
+      let nats = Array.make n 0 and nvals = Array.make n vals.(lo) in
+      for k = 0 to n - 1 do
+        let i = idx.(k) in
+        nats.(k) <- ats.(i);
+        nvals.(k) <- vals.(i)
+      done;
+      b.ats <- nats;
+      b.vals <- nvals;
+      b.head <- 0
+    end;
+    b.sorted <- true
+  end
+
+(* Index of the highest 5-bit digit group in which [d] (an xor of two
+   keys) is non-zero; 0 when the keys share all digits above the lowest. *)
+let group d =
+  let rec go g d = if d < wheel_slots then g else go (g + 1) (d lsr slot_bits) in
+  go 0 d
+
+(* File an (at, payload) entry under the current base. Does not touch
+   [len]. *)
+let file t at v =
+  let key = if at < t.base then t.base else at in
+  let d = key lxor t.base in
+  if d < 0 then bucket_add t.overflow at v (* keys straddle the sign bit *)
+  else
+    let g = group d in
+    if g >= t.nlevels then bucket_add t.overflow at v
+    else begin
+      let s = (key lsr (g * slot_bits)) land slot_mask in
+      bucket_add t.slots.(g).(s) at v;
+      t.masks.(g) <- t.masks.(g) lor (1 lsl s)
+    end
+
+let push t at v =
+  if not t.started then begin
+    t.base <- at;
+    t.started <- true
+  end;
+  file t at v;
+  t.len <- t.len + 1
+
+let add_list t entries =
+  let n = ref 0 in
+  List.iter
+    (fun (at, v) ->
+      push t at v;
+      incr n)
+    entries;
+  !n
+
+(* Lowest set bit index of a non-zero 32-bit mask, by de Bruijn
+   multiplication: isolate the bit, multiply into the high 5 bits. *)
+let debruijn32 =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let lowest_bit m =
+  debruijn32.((((m land -m) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+
+(* Where the global minimum lives: the lowest occupied slot of the
+   lowest non-empty level — every entry at level l sits strictly after
+   every entry below l, and within a level slots ascend with instants.
+   [None] means the overflow bucket, whose instants exceed the wheel's. *)
+let min_loc t =
+  let rec scan l =
+    if l >= t.nlevels then None
+    else if t.masks.(l) <> 0 then Some (l, lowest_bit t.masks.(l))
+    else scan (l + 1)
+  in
+  scan 0
+
+(* Advance the lower bound to [b1] (a no-op unless [b1 > base]; callers
+   guarantee every remaining filing key is >= [b1]). Only the cursor
+   slot of each level whose digit the move touched can hold entries that
+   now belong lower down; everything else keeps its absolute slot. *)
+let advance t b1 =
+  if not t.started then begin
+    t.base <- b1;
+    t.started <- true
+  end
+  else if b1 > t.base then begin
+    let d = b1 lxor t.base in
+    let g = if d < 0 then max_int else group d in
+    t.base <- b1;
+    let top = min g (t.nlevels - 1) in
+    for l = top downto 1 do
+      let s = (b1 lsr (l * slot_bits)) land slot_mask in
+      let b = t.slots.(l).(s) in
+      if b.n > 0 then begin
+        let ats, vals, head, n = bucket_take b in
+        t.masks.(l) <- t.masks.(l) land lnot (1 lsl s);
+        for i = head to head + n - 1 do
+          file t ats.(i) vals.(i)
+        done
+      end
+    done;
+    if g >= t.nlevels && t.overflow.n > 0 then begin
+      let ats, vals, head, n = bucket_take t.overflow in
+      for i = head to head + n - 1 do
+        file t ats.(i) vals.(i)
+      done
+    end
+  end
+
+(* Re-anchor an all-levels-empty wheel at the overflow minimum, pulling
+   the near span of the overflow bucket into the levels. *)
+let refile_overflow t =
+  let ats, vals, head, n = bucket_take t.overflow in
+  let m = ref max_int in
+  for i = head to head + n - 1 do
+    if ats.(i) < !m then m := ats.(i)
+  done;
+  (* The levels are empty, so nothing can strand: re-anchor directly
+     (the minimum itself then files at level 0). *)
+  if !m > t.base then t.base <- !m;
+  for i = head to head + n - 1 do
+    file t ats.(i) vals.(i)
+  done
+
+(* Cascade the minimum down to level 0 and return its slot. A min
+   bucket above level 0 would be large (its slot spans 32^l instants)
+   and sorting it would be wasted work — it gets redistributed anyway —
+   so instead advance [base] to the first instant the slot can hold,
+   which refiles it one level down, and repeat; only the 32-instant
+   buckets of level 0 are ever sorted on this path. Callers guarantee
+   [len > 0]. *)
+let rec min_settled t =
+  match min_loc t with
+  | Some (0, s) -> s
+  | Some (l, s) ->
+    (* Keys in slot (l, s) share base's digits above l and carry digit
+       [s] at level l, so the slot's span starts at base with digit l
+       replaced by [s] and the digits below zeroed. *)
+    let above = t.base lsr ((l + 1) * slot_bits) in
+    advance t (((above lsl slot_bits) lor s) lsl (l * slot_bits));
+    min_settled t
+  | None ->
+    refile_overflow t;
+    min_settled t
+
+let peek t =
+  if t.len = 0 then None
+  else begin
+    let b = t.slots.(0).(min_settled t) in
+    sort_bucket b;
+    Some (b.ats.(b.head), b.vals.(b.head))
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let s = min_settled t in
+    let b = t.slots.(0).(s) in
+    sort_bucket b;
+    let at = b.ats.(b.head) and v = b.vals.(b.head) in
+    b.head <- b.head + 1;
+    b.n <- b.n - 1;
+    t.len <- t.len - 1;
+    if b.n = 0 then begin
+      b.head <- 0;
+      b.sorted <- true;
+      if Array.length b.ats > 256 then begin
+        (* Drop an outsized backing array so a one-off burst does not
+           pin its capacity forever. *)
+        b.ats <- [||];
+        b.vals <- [||]
+      end;
+      t.masks.(0) <- t.masks.(0) land lnot (1 lsl s)
+    end;
+    advance t at;
+    Some (at, v)
+  end
+
+let pop_due t bound =
+  (* Drain buckets whole wherever the bound allows. The min slot's
+     entries are strictly below everything else in the wheel, so when
+     its whole span fits under [bound] it is sorted in place and
+     detached as one chunk — a fully due level-l bucket never cascades
+     through the levels below. Only the boundary bucket (the one
+     straddling [bound]) settles to level 0 and is split. The result
+     list is built in a single final pass over the chunks, newest chunk
+     first, so each due entry costs exactly one cons. *)
+  let chunks = ref [] (* (ats, vals, lo, hi) segments, newest first *) in
+  let stop = ref false in
+  while (not !stop) && t.len > 0 do
+    match min_loc t with
+    | None -> refile_overflow t
+    | Some (0, s) ->
+      let b = t.slots.(0).(s) in
+      sort_bucket b;
+      if b.ats.(b.head) > bound then stop := true
+      else begin
+        (* Scan forward to the first entry beyond the bound. A chunk
+           must own its arrays — later filings in this same drain may
+           compact or append over a live bucket's slack — so a fully
+           due bucket is detached and a partial prefix is copied out
+           (it is the one boundary segment of the whole drain). *)
+        let stop_at = b.head + b.n in
+        let i = ref b.head in
+        while !i < stop_at && b.ats.(!i) <= bound do
+          incr i
+        done;
+        if !i = stop_at then begin
+          let ats, vals, head, n = bucket_take b in
+          chunks := (ats, vals, head, head + n) :: !chunks;
+          t.len <- t.len - n;
+          t.masks.(0) <- t.masks.(0) land lnot (1 lsl s)
+        end
+        else begin
+          let taken = !i - b.head in
+          chunks :=
+            (Array.sub b.ats b.head taken, Array.sub b.vals b.head taken, 0, taken)
+            :: !chunks;
+          b.head <- !i;
+          b.n <- b.n - taken;
+          t.len <- t.len - taken;
+          stop := true (* head of the remainder is beyond the bound *)
+        end
+      end
+    | Some (l, s) ->
+      let above = t.base lsr ((l + 1) * slot_bits) in
+      let start = ((above lsl slot_bits) lor s) lsl (l * slot_bits) in
+      let span = 1 lsl (l * slot_bits) in
+      if bound >= start && bound - start >= span - 1 then begin
+        (* Whole slot due: sort in place, detach as one chunk. *)
+        let b = t.slots.(l).(s) in
+        sort_bucket b;
+        let ats, vals, head, n = bucket_take b in
+        chunks := (ats, vals, head, head + n) :: !chunks;
+        t.len <- t.len - n;
+        t.masks.(l) <- t.masks.(l) land lnot (1 lsl s)
+      end
+      else advance t start (* straddles the bound: cascade one level *)
+  done;
+  (* Advance through the idle remainder of the window so future filings
+     key off the caller's clock, not the last pop. *)
+  if bound < max_int then advance t (bound + 1);
+  List.fold_left
+    (fun out (ats, vals, lo, hi) ->
+      let out = ref out in
+      for i = hi - 1 downto lo do
+        out := (ats.(i), vals.(i)) :: !out
+      done;
+      !out)
+    [] !chunks

@@ -1,0 +1,51 @@
+(** Hierarchical timer wheel — DBCRON's O(1)-amortized alternative to
+    the global {!Min_heap} for very large pending sets.
+
+    The wheel keeps a monotone lower bound [base] on every pending
+    instant and files each entry by the highest 5-bit digit in which its
+    instant differs from [base] (32 slots per level, one occupancy
+    bitmask word per level). Insertion and advancing the bound are O(1)
+    amortized: an entry cascades at most once per level over its whole
+    lifetime, and finding the minimum is a handful of bit scans instead
+    of a log-depth sift. Instants at or beyond the top level's horizon
+    wait in a single overflow list and re-file as the bound approaches.
+
+    Pop order is exactly {!Min_heap}'s: ascending (instant, insertion
+    sequence), so equal-instant entries pop in insertion order and the
+    two structures are drop-in interchangeable under DBCRON — the qcheck
+    differential suite holds them to identical firing sequences. *)
+
+type 'a t
+
+(** [create ~horizon ()] sizes the level count so the wheel directly
+    covers at least [8 * horizon] instants beyond its bound (DBCRON
+    passes its probe period; anything farther rides the overflow list).
+    @raise Invalid_argument on a non-positive horizon. *)
+val create : horizon:int -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Number of levels (each 32 slots). *)
+val levels : 'a t -> int
+
+(** Slots currently occupied across every level (the overflow list, when
+    non-empty, counts as one). *)
+val occupancy : 'a t -> int
+
+(** [push t at v] files an entry. Instants below the current bound are
+    accepted and pop first (in (instant, sequence) order), matching the
+    heap's behaviour for overdue entries after a restore. *)
+val push : 'a t -> int -> 'a -> unit
+
+(** Bulk insertion; returns the number of entries inserted. *)
+val add_list : 'a t -> (int * 'a) list -> int
+
+(** Smallest-(instant, sequence) entry, not removed. *)
+val peek : 'a t -> (int * 'a) option
+
+val pop : 'a t -> (int * 'a) option
+
+(** Pop every entry with instant <= [bound], in (instant, sequence)
+    order, advancing the wheel's bound past [bound]. *)
+val pop_due : 'a t -> int -> (int * 'a) list

@@ -115,7 +115,7 @@ let prop_heap_add_list_mixed =
       List.iter (fun (p, v) -> Cal_rules.Min_heap.push incremental p v) (first @ second);
       let bulk = Cal_rules.Min_heap.create () in
       List.iter (fun (p, v) -> Cal_rules.Min_heap.push bulk p v) first;
-      Cal_rules.Min_heap.add_list bulk second;
+      ignore (Cal_rules.Min_heap.add_list bulk second : int);
       drain incremental = drain bulk)
 
 (* ------------------------------------------------------------------ *)

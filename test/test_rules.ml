@@ -10,7 +10,7 @@ let check_bool = Alcotest.(check bool)
 let epoch93 = Civil.make 1993 1 1
 let day_instant d = (d - 1) * 86400 (* start instant of positive day chronon d *)
 
-let make_setup ?probe_period ?probe_strategy () =
+let make_setup ?probe_period ?probe_strategy ?shards ?pending () =
   let clock = Clock.create () in
   let env = Env.create () in
   let ctx =
@@ -18,7 +18,7 @@ let make_setup ?probe_period ?probe_strategy () =
       ~clock ~env ()
   in
   let catalog = Catalog.create () in
-  let mgr = Cal_rules.Manager.create ?probe_period ?probe_strategy ctx catalog in
+  let mgr = Cal_rules.Manager.create ?probe_period ?probe_strategy ?shards ?pending ctx catalog in
   (ctx, catalog, mgr, clock)
 
 let run mgr s =
@@ -66,7 +66,7 @@ let test_dbcron_probe_and_fire () =
     loaded := !loaded @ List.map snd due;
     due
   in
-  let cron = Cal_rules.Dbcron.create ~probe_period:100 ~now:0 ~load in
+  let cron = Cal_rules.Dbcron.create ~probe_period:100 ~now:0 ~load () in
   check_bool "initial probe loaded a" true (!loaded = [ "a" ]);
   let fired = Cal_rules.Dbcron.step cron ~now:50 ~load in
   check_bool "a fired at 10" true (fired = [ (10, "a") ]);
@@ -81,7 +81,7 @@ let test_dbcron_probe_and_fire () =
 
 let test_dbcron_offer () =
   let load ~window_end:_ = [] in
-  let cron = Cal_rules.Dbcron.create ~probe_period:100 ~now:0 ~load in
+  let cron = Cal_rules.Dbcron.create ~probe_period:100 ~now:0 ~load () in
   check_bool "inside window accepted" true (Cal_rules.Dbcron.offer cron 50 "x");
   check_bool "outside window rejected" false (Cal_rules.Dbcron.offer cron 150 "y");
   check_int "pending" 1 (Cal_rules.Dbcron.pending cron)
@@ -98,7 +98,7 @@ let test_dbcron_offer_boundary () =
     store := rest;
     due
   in
-  let cron = Cal_rules.Dbcron.create ~probe_period:100 ~now:0 ~load in
+  let cron = Cal_rules.Dbcron.create ~probe_period:100 ~now:0 ~load () in
   check_bool "at = window_end rejected" false (Cal_rules.Dbcron.offer cron 100 "edge");
   check_int "nothing pending" 0 (Cal_rules.Dbcron.pending cron);
   check_bool "backing row untouched" true (!store = [ (100, "edge") ]);
@@ -356,7 +356,7 @@ let prop_dbcron_fires_all_in_order =
         store := rest;
         due
       in
-      let cron = Cal_rules.Dbcron.create ~probe_period ~now:0 ~load in
+      let cron = Cal_rules.Dbcron.create ~probe_period ~now:0 ~load () in
       let fired = ref [] in
       let now = ref 0 in
       List.iter
@@ -410,6 +410,73 @@ let test_dbcron_stream_vs_materialize_year () =
   check_bool "a year of firings happened" true (List.length materialized > 100);
   check_int "same number of firings" (List.length materialized) (List.length streamed);
   check_bool "identical firing sequences" true (materialized = streamed)
+
+(* Sharding DBCRON by calendar signature — and swapping the pending
+   structure under it — must be invisible in every observable: over a
+   simulated year, every (shards, pending) configuration produces the
+   serial heap run's exact firing sequence, RULE_TIME loads, probe
+   count, peak and fired total. *)
+let test_sharded_year_identity () =
+  let specs =
+    [
+      ("tuesdays", "[2]/DAYS:during:WEEKS");
+      ("fridays", "[5]/DAYS:during:WEEKS");
+      ("also_tuesdays", "[2]/DAYS:during:WEEKS");
+      ("month_end", "[n]/DAYS:during:MONTHS");
+      ("quarterly", "[1]/DAYS:during:([3,6,9,12]/MONTHS:during:YEARS)");
+      ("new_year", "[1]/DAYS:during:YEARS");
+    ]
+  in
+  let run_year ~shards ~pending =
+    let _, _, mgr, _ = make_setup ~shards ~pending () in
+    ignore (run mgr "create table log (msg text)");
+    List.iter
+      (fun (name, spec) ->
+        ignore
+          (run mgr
+             (Printf.sprintf "define rule %s on calendar \"%s\" do append log (msg = '%s')" name
+                spec name)))
+      specs;
+    Cal_rules.Manager.advance_days mgr 365;
+    let firings =
+      List.map
+        (fun f -> (f.Cal_rules.Manager.rule, f.Cal_rules.Manager.at))
+        (Cal_rules.Manager.firings mgr)
+    in
+    let rows =
+      match run mgr "retrieve (count(msg)) from log" with
+      | Exec.Rows { rows = [ [| Value.Int n |] ]; _ } -> n
+      | _ -> Alcotest.fail "expected count"
+    in
+    (firings, rows, Cal_rules.Manager.dbcron_stats mgr,
+     Cal_rules.Manager.dbcron_heap_peak mgr, Cal_rules.Manager.dbcron_fired mgr)
+  in
+  let (base_firings, _, _, _, _) as baseline = run_year ~shards:1 ~pending:`Heap in
+  check_bool "a year of firings happened" true (List.length base_firings > 150);
+  List.iter
+    (fun (shards, pending, label) ->
+      let got = run_year ~shards ~pending in
+      check_bool (label ^ " identical to serial heap run") true (got = baseline))
+    [
+      (1, `Wheel, "1 shard, wheel");
+      (2, `Wheel, "2 shards, wheel");
+      (4, `Wheel, "4 shards, wheel");
+      (4, `Heap, "4 shards, heap");
+    ];
+  (* Same-tick coalescing really engaged: two rules share the Tuesday
+     signature and action shape, so their simultaneous firings batch. *)
+  let _, _, mgr, _ = make_setup ~shards:4 () in
+  ignore (run mgr "create table log (msg text)");
+  List.iter
+    (fun (name, spec) ->
+      ignore
+        (run mgr
+           (Printf.sprintf "define rule %s on calendar \"%s\" do append log (msg = 'x')" name spec)))
+    [ ("t1", "[2]/DAYS:during:WEEKS"); ("t2", "[2]/DAYS:during:WEEKS") ];
+  Cal_rules.Manager.advance_days mgr 28;
+  let batches, fired = Cal_rules.Manager.coalesce_stats mgr in
+  check_bool "coalesced batches formed" true (batches >= 4);
+  check_bool "coalesced firings cover both rules" true (fired >= 2 * batches)
 
 (* The two Next_fire strategies agree probe by probe, including at the
    lifespan boundary where both must report [None]. *)
@@ -474,6 +541,11 @@ let () =
             test_dbcron_stream_vs_materialize_year;
           Alcotest.test_case "next-fire strategies agree" `Quick
             test_next_fire_strategies_agree;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "sharded year = serial year, wheel = heap" `Quick
+            test_sharded_year_identity;
         ] );
       qsuite "heap-props" [ prop_min_heap_sorted ];
       qsuite "dbcron-props" [ prop_dbcron_fires_all_in_order ];
