@@ -1803,6 +1803,209 @@ let e20 () =
     write_json ~file:"BENCH_E20.json" (Buffer.contents buf)
   end
 
+(* E21: group commit — the first records/sec durability axis. Part A
+   measures raw journal append throughput: Sync_each vs Group {8,64,256}
+   windows, on the single-file and 4-segment layouts, with flush counts
+   showing the write+flush amortization a window buys. Part B reruns
+   E18's session-level overhead probe (single-row appends, the regime
+   where the durability tax peaks) under Sync_each vs Group 64. Part C
+   asserts the recovery contract the speedup is not allowed to weaken:
+   one mixed workload, committed and recovered under every policy and
+   both layouts, must land on byte-identical state digests. With --json,
+   measurements land in BENCH_E21.json. *)
+
+let e21 () =
+  header "E21 | Group commit: batched durable appends, records/sec axis";
+  let lifespan = (Civil.make 1993 1 1, Civil.make 1994 12 31) in
+  let path = Filename.temp_file "bench_e21" ".journal" in
+  let aux p =
+    [ p; p ^ ".snap"; p ^ ".tmp"; p ^ ".snap.tmp"; p ^ ".manifest"; p ^ ".manifest.tmp" ]
+    @ List.concat_map
+        (fun k ->
+          let s = p ^ ".seg" ^ string_of_int k in
+          [ s; s ^ ".tmp" ])
+        (List.init 8 Fun.id)
+  in
+  let fresh () = List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) (aux path) in
+  Fun.protect ~finally:fresh @@ fun () ->
+  (* Part A: raw journal throughput, policy x layout. *)
+  let n_raw = 20_000 in
+  let payload i = Printf.sprintf "q append ticks (day = @%d, qty = %d)" ((i mod 300) + 1) i in
+  let policies =
+    [ Journal.Sync_each; Journal.Group 8; Journal.Group 64; Journal.Group 256 ]
+  in
+  let raw_run policy segments =
+    fresh ();
+    let j = Journal.open_append ~policy ~segments path in
+    let (), t =
+      wall (fun () ->
+          for i = 1 to n_raw do
+            Journal.append j (payload i)
+          done;
+          Journal.close j)
+    in
+    (t, Journal.flushes j)
+  in
+  Printf.printf "\n  raw journal appends, %d records (amortization = records/flushes):\n" n_raw;
+  Printf.printf "    %-12s %-9s %10s %12s %14s %9s %7s\n" "policy" "layout" "time" "us/record"
+    "records/s" "flushes" "amort";
+  let matrix =
+    List.concat_map
+      (fun segments ->
+        List.map
+          (fun policy ->
+            let t, flushes = raw_run policy segments in
+            let per_us = t /. float_of_int n_raw *. 1e6 in
+            let rps = float_of_int n_raw /. t in
+            let amort = float_of_int n_raw /. float_of_int (max 1 flushes) in
+            Printf.printf "    %-12s %-9s %10s %12.2f %14.0f %9d %6.0fx\n"
+              (Journal.policy_name policy)
+              (if segments = 1 then "1 file" else Printf.sprintf "%d segs" segments)
+              (time_str t) per_us rps flushes amort;
+            (policy, segments, t, per_us, rps, flushes))
+          policies)
+      [ 1; 4 ]
+  in
+  let raw_time policy segments =
+    let _, _, t, _, _, _ =
+      List.find (fun (p, s, _, _, _, _) -> p = policy && s = segments) matrix
+    in
+    t
+  in
+  let raw_flushes policy segments =
+    let _, _, _, _, _, f =
+      List.find (fun (p, s, _, _, _, _) -> p = policy && s = segments) matrix
+    in
+    f
+  in
+  (* Part B: the E18 session-level probe — plain vs journaled, now with
+     the journaled side under both ends of the policy axis. *)
+  let n_sess = 6_000 in
+  let append_workload s =
+    (match Session.query s "create table ticks (day chronon valid, qty int)" with
+    | Ok _ -> ()
+    | Error e -> failwith e);
+    for i = 1 to n_sess do
+      match
+        Session.query s (Printf.sprintf "append ticks (day = @%d, qty = %d)" ((i mod 300) + 1) i)
+      with
+      | Ok _ -> ()
+      | Error e -> failwith e
+    done;
+    Session.commit s
+  in
+  let session_run policy =
+    fresh ();
+    let s =
+      Session.open_journaled ~path ~epoch:epoch93 ~lifespan ~cache_capacity:512 ?policy ()
+    in
+    let (), t = wall (fun () -> append_workload s) in
+    t
+  in
+  let s_plain = Session.create ~epoch:epoch93 ~lifespan ~cache_capacity:512 () in
+  let (), t_plain = wall (fun () -> append_workload s_plain) in
+  let t_sync = session_run (Some Journal.Sync_each) in
+  let t_g64 = session_run (Some (Journal.Group 64)) in
+  let per_record base t = (t -. base) /. float_of_int (n_sess + 1) *. 1e6 in
+  Printf.printf "\n  session-level durability tax, %d single-row appends:\n" n_sess;
+  Printf.printf "    plain session:        %s\n" (time_str t_plain);
+  Printf.printf "    journaled, sync_each: %s   (+%.1f%%, %.2f us/record)\n" (time_str t_sync)
+    ((t_sync -. t_plain) /. t_plain *. 100.0)
+    (per_record t_plain t_sync);
+  Printf.printf "    journaled, group 64:  %s   (+%.1f%%, %.2f us/record)\n" (time_str t_g64)
+    ((t_g64 -. t_plain) /. t_plain *. 100.0)
+    (per_record t_plain t_g64);
+  (* Part C: the amortization must not weaken recovery. One mixed
+     workload (DML, rules, advances, an explicit commit) runs under
+     every policy on both layouts; every recovered digest must be
+     byte-identical to its live session's and to every other config's. *)
+  let spec i = Printf.sprintf "[%d]/DAYS:during:WEEKS" ((i mod 7) + 1) in
+  let mixed_workload s =
+    let run q = match Session.query s q with Ok _ -> () | Error e -> failwith e in
+    run "create table trades (day chronon valid, qty int)";
+    for i = 1 to 300 do
+      run (Printf.sprintf "append trades (day = @%d, qty = %d)" ((i mod 120) + 1) i)
+    done;
+    for i = 1 to 8 do
+      run (Printf.sprintf "define rule r%d on calendar \"%s\" do retrieve (1)" i (spec i))
+    done;
+    Session.advance_days s 10;
+    Session.commit s
+  in
+  let configs =
+    List.concat_map
+      (fun segments -> List.map (fun p -> (p, segments)) policies @ [ (Journal.Manual, segments) ])
+      [ 1; 4 ]
+  in
+  let digests =
+    List.map
+      (fun (policy, segments) ->
+        fresh ();
+        let s =
+          Session.open_journaled ~path ~epoch:epoch93 ~lifespan ~cache_capacity:512 ~segments
+            ~policy ()
+        in
+        mixed_workload s;
+        let live = Session.state_digest s in
+        let r = Session.recover ~path ~epoch:epoch93 ~lifespan ~cache_capacity:512 () in
+        (Journal.policy_name policy, segments, live, Session.state_digest r))
+      configs
+  in
+  let reference = match digests with (_, _, live, _) :: _ -> live | [] -> "" in
+  let digest_identical =
+    List.for_all (fun (_, _, live, rec_) -> live = reference && rec_ = reference) digests
+  in
+  Printf.printf "\n  recovery digest identity over %d policy x layout configs: %b\n"
+    (List.length digests) digest_identical;
+  let g64_flushes = raw_flushes (Journal.Group 64) 1 in
+  let g64_lt_records = g64_flushes < n_raw in
+  let g64_faster = raw_time (Journal.Group 64) 1 < raw_time Journal.Sync_each 1 in
+  Printf.printf "    group 64: %d flushes for %d records (%s), %s than sync_each\n" g64_flushes
+    n_raw
+    (if g64_lt_records then "amortized" else "NOT amortized")
+    (if g64_faster then "faster" else "NOT faster");
+  print_endline "\n  claim: group commit amortizes the write+flush per record into one";
+  print_endline "  per window, buying records/sec without weakening the recovery";
+  print_endline "  contract: torn groups drop whole, committed state is byte-identical";
+  print_endline "  across every policy and layout.";
+  if !json_mode then begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n  \"experiment\": \"E21\",\n";
+    Buffer.add_string buf (Printf.sprintf "  \"raw_records\": %d,\n" n_raw);
+    Buffer.add_string buf "  \"raw_append\": [\n";
+    List.iteri
+      (fun i (policy, segments, t, per_us, rps, flushes) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"policy\": \"%s\", \"segments\": %d, \"s\": %.6f, \"per_record_us\": %.3f, \
+              \"records_per_s\": %.0f, \"flushes\": %d}%s\n"
+             (Journal.policy_name policy) segments t per_us rps flushes
+             (if i = List.length matrix - 1 then "" else ",")))
+      matrix;
+    Buffer.add_string buf "  ],\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"session_overhead\": {\n\
+         \    \"appends\": %d,\n\
+         \    \"plain_s\": %.6f,\n\
+         \    \"sync_each_s\": %.6f,\n\
+         \    \"group64_s\": %.6f,\n\
+         \    \"sync_each_per_record_us\": %.3f,\n\
+         \    \"group64_per_record_us\": %.3f\n\
+         \  },\n"
+         n_sess t_plain t_sync t_g64 (per_record t_plain t_sync) (per_record t_plain t_g64));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"claims\": {\n\
+         \    \"recovery_digest_identical\": %b,\n\
+         \    \"group64_flushes_lt_records\": %b,\n\
+         \    \"group64_faster_than_sync\": %b\n\
+         \  }\n"
+         digest_identical g64_lt_records g64_faster);
+    Buffer.add_string buf "}\n";
+    write_json ~file:"BENCH_E21.json" (Buffer.contents buf)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
@@ -1817,7 +2020,7 @@ let perf =
     ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
     ("E9", e9); ("E10", e10_perf); ("E11", e11_perf); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-    ("E20", e20);
+    ("E20", e20); ("E21", e21);
   ]
 
 let () =
@@ -1837,7 +2040,10 @@ let () =
     match args with
     | [] ->
       if !json_mode then
-        [ ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20) ]
+        [
+          ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20);
+          ("E21", e21);
+        ]
       else all
     | [ "figures" ] -> figures
     | [ "perf" ] -> perf

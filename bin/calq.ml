@@ -47,6 +47,17 @@ let journal_arg =
           "Durable session: journal every completed statement to \\$(docv), recovering the \
            snapshot+journal state already there when the files exist.")
 
+let group_commit_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "group-commit" ] ~docv:"N"
+        ~doc:
+          "Journal group-commit window: buffer completed statements and flush every $(docv) \
+           records as one durable group (N > 1; N = 1 pins per-record sync). Default: the \
+           \\$(b,CALRULES_JOURNAL_GROUP) environment variable, else per-record sync. Only \
+           meaningful with $(b,--journal).")
+
 let strategy_arg =
   let strategies =
     [ ("auto", `Auto); ("materialize", `Materialize); ("stream", `Stream); ("periodic", `Periodic) ]
@@ -61,11 +72,17 @@ let strategy_arg =
            horizon), then streaming, then materializing; $(b,periodic), $(b,stream) and \
            $(b,materialize) pin a path explicitly.")
 
-let make_session ?journal ?(shards = 1) epoch domains strategy =
+let make_session ?journal ?(shards = 1) ?group_commit epoch domains strategy =
   let lifespan = (Civil.make epoch.Civil.year 1 1, Civil.make (epoch.Civil.year + 39) 12 31) in
+  let policy =
+    match group_commit with
+    | Some n when n > 1 -> Some (Journal.Group n)
+    | Some _ -> Some Journal.Sync_each
+    | None -> None (* Session.recover falls back to CALRULES_JOURNAL_GROUP *)
+  in
   match journal with
   | Some path ->
-    Session.recover ~path ~epoch ~lifespan ?domains ~shards ~probe_strategy:strategy ()
+    Session.recover ~path ~epoch ~lifespan ?domains ~shards ~probe_strategy:strategy ?policy ()
   | None -> Session.create ~epoch ~lifespan ?domains ~shards ~probe_strategy:strategy ()
 
 let print_calendar session cal =
@@ -121,6 +138,7 @@ let handle session line =
       \  rules | errors | quarantined     rule health, failures, quarantine\n\
       \  requeue <rule>                   re-arm a quarantined rule\n\
       \  snapshot                         persist state, truncate the journal\n\
+      \  commit                           flush the journal's pending commit group\n\
       \  catchup <policy> <days>          fire_once|skip|replay_all missed triggers\n\
       \  periodic <expression>            show the closed periodic form, if any\n\
       \  stats                            executor / cache / dbcron counters\n\
@@ -179,6 +197,13 @@ let handle session line =
       if Session.requeue session name then Printf.printf "rule %s requeued\n" name
       else Printf.printf "error: no quarantined rule %s\n" name
     | _ -> print_endline "usage: requeue <rule>"
+  end
+  else if line = "commit" then begin
+    Session.commit session;
+    match Session.journal_stats session with
+    | Some (records, flushes) ->
+      Printf.printf "committed: %d records / %d flushes\n" records flushes
+    | None -> print_endline "not a journaled session"
   end
   else if line = "snapshot" then begin
     match Session.snapshot session with
@@ -293,16 +318,21 @@ let handle session line =
     | Error e -> Printf.printf "error: %s\n" e
   end
 
-let repl epoch domains strategy journal shards =
-  let session = make_session ?journal ~shards epoch domains strategy in
+let repl epoch domains strategy journal shards group_commit =
+  let session = make_session ?journal ~shards ?group_commit epoch domains strategy in
   Printf.printf "calq — calendar system shell (epoch %s%s). Type `help'.\n"
     (Civil.to_string epoch)
     (match journal with Some p -> ", journaling to " ^ p | None -> "");
+  (* Leaving the shell is a durability point: flush any buffered group. *)
+  let bye () =
+    Session.commit session;
+    print_endline "bye."
+  in
   let rec loop () =
     print_string "calq> ";
     match read_line () with
-    | exception End_of_file -> print_endline "bye."
-    | "quit" | "exit" -> print_endline "bye."
+    | exception End_of_file -> bye ()
+    | "quit" | "exit" -> bye ()
     | line ->
       (try handle session line with e -> Printf.printf "error: %s\n" (Printexc.to_string e));
       loop ()
@@ -344,7 +374,9 @@ let () =
   let epoch_term = date_arg Unit_system.default_epoch "Session epoch (day chronon 1)." in
   let repl_cmd =
     Cmd.v (Cmd.info "repl" ~doc:"Interactive calendar shell")
-      Term.(const repl $ epoch_term $ domains_arg $ strategy_arg $ journal_arg $ shards_arg)
+      Term.(
+        const repl $ epoch_term $ domains_arg $ strategy_arg $ journal_arg $ shards_arg
+        $ group_commit_arg)
   in
   let eval_cmd =
     let expr =

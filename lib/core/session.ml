@@ -28,6 +28,9 @@ type t = {
   clock : Clock.t;
   injector : Cal_faults.Injector.t;
   mutable journal : Journal.t option;  (** present on durable sessions *)
+  mutable batch_buf : string list option;
+      (** inside {!batch}: records collected for one commit group,
+          newest first *)
 }
 
 exception Session_error of string
@@ -37,7 +40,22 @@ exception Session_error of string
    nothing: their raising paths all validate before mutating. Replay
    applies records with [journal = None], so nothing is re-journaled. *)
 let journal_record t payload =
-  match t.journal with Some j -> Journal.append j payload | None -> ()
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+    match t.batch_buf with
+    | Some acc -> t.batch_buf <- Some (payload :: acc)
+    | None -> Journal.append j payload)
+
+(* Journal several records as one atomic commit group (a coalesced
+   firing batch). Inside {!batch} they fold into the enclosing group. *)
+let journal_records t payloads =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+    match t.batch_buf with
+    | Some acc -> t.batch_buf <- Some (List.rev_append payloads acc)
+    | None -> Journal.append_batch j payloads)
 
 (* Run [f] with journaling suspended: used by [load], whose inner
    definitions would otherwise journal records the [load] record already
@@ -181,7 +199,8 @@ let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahe
     Cal_rules.Manager.create ?probe_period ?lookahead ?probe_strategy ?domains ?shards
       ?pending ?max_failures ?retry_base ?injector ctx catalog
   in
-  { ctx; catalog; manager; clock; injector = Cal_rules.Manager.injector manager; journal = None }
+  { ctx; catalog; manager; clock; injector = Cal_rules.Manager.injector manager;
+    journal = None; batch_buf = None }
 
 (* --- CALENDARS catalog maintenance ---------------------------------- *)
 
@@ -605,25 +624,73 @@ let apply_record t record =
     | None -> raise (Session_error ("journal: unknown catch-up policy " ^ pol)))
   | "requeue" -> ignore (Cal_rules.Manager.requeue t.manager (String.trim rest))
   | "load" -> ignore (load_unlogged t rest)
+  | "fired" ->
+    (* Firing provenance written by the manager's journal sink: replay
+       re-fires deterministically through the advance/catchup records,
+       so these are no-ops here. *)
+    ()
   | _ -> raise (Session_error ("journal: unknown record kind " ^ kind))
 
 let snap_path path = path ^ ".snap"
 let journal_path t = Option.map Journal.path t.journal
 let is_journaled t = t.journal <> None
 
+(* Hand the manager's coalesced firing batches to the journal as commit
+   groups. Installed only once the journal is live (after any replay),
+   and [journal_records] is a no-op while [load] suspends journaling. *)
+let install_firing_journal t =
+  Cal_rules.Manager.set_journal_sink t.manager (fun records -> journal_records t records)
+
+(** Flush the journal's uncommitted group, if any — the explicit
+    durability point under [Manual] (and early commit under [Group]);
+    a no-op under [Sync_each] or on a non-journaled session. *)
+let commit t = match t.journal with Some j -> Journal.commit j | None -> ()
+
+(** Run [f] collecting every record it journals — statements, advances,
+    firing batches — into one atomic commit group, appended when [f]
+    returns (even by exception: the operations did complete and their
+    records must survive together). Nested batches flatten into the
+    outermost group. On a non-journaled session, just [f ()]. *)
+let batch t f =
+  match (t.journal, t.batch_buf) with
+  | None, _ | _, Some _ -> f ()
+  | Some j, None ->
+    t.batch_buf <- Some [];
+    let finish () =
+      match t.batch_buf with
+      | Some acc ->
+        t.batch_buf <- None;
+        (* The journal handle may be dead if a simulated crash landed
+           inside the batch — the group is lost with the process image,
+           exactly like an uncommitted buffer. *)
+        (try Journal.append_batch j (List.rev acc) with Journal.Journal_error _ -> ())
+      | None -> ()
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      (* Keep [f]'s exception even if the group append also fails. *)
+      (try finish () with _ -> ());
+      raise e)
+
 (** Open a fresh durable session journaling to [path]: any stale journal
     or snapshot at that path is superseded. Accepts {!create}'s
-    parameters. *)
+    parameters. [policy] defaults to {!Journal.policy_of_env} (normally
+    [Sync_each]). *)
 let open_journaled ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy
     ?cache_capacity ?domains ?shards ?pending ?max_failures ?retry_base ?injector
-    ?(segments = 1) () =
+    ?(segments = 1) ?policy () =
+  let policy = match policy with Some p -> p | None -> Journal.policy_of_env () in
   let t =
     create ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cache_capacity ?domains
       ?shards ?pending ?max_failures ?retry_base ?injector ()
   in
   if Sys.file_exists (snap_path path) then Sys.remove (snap_path path);
   Journal.rewrite ~segments path [];
-  t.journal <- Some (Journal.open_append ~injector:t.injector ~segments path);
+  t.journal <- Some (Journal.open_append ~policy ~injector:t.injector ~segments path);
+  install_firing_journal t;
   t
 
 (** Rebuild the session at [path]: load the snapshot (when one exists),
@@ -632,7 +699,8 @@ let open_journaled ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strate
     session was opened with — they are not persisted.
     @raise Session_error on a corrupt snapshot. *)
 let recover ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cache_capacity
-    ?domains ?shards ?pending ?max_failures ?retry_base ?injector () =
+    ?domains ?shards ?pending ?max_failures ?retry_base ?injector ?policy () =
+  let policy = match policy with Some p -> p | None -> Journal.policy_of_env () in
   let t =
     create ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cache_capacity ?domains
       ?shards ?pending ?max_failures ?retry_base ?injector ()
@@ -650,13 +718,15 @@ let recover ~path ?epoch ?lifespan ?probe_period ?lookahead ?probe_strategy ?cac
      decode in parallel across the manager's lanes before the serial
      replay. *)
   let segments = Journal.detect_segments path in
-  let records =
-    Journal.read_records ~domains:(Cal_rules.Manager.domains t.manager) path
+  let groups =
+    Journal.read_groups ~domains:(Cal_rules.Manager.domains t.manager) path
   in
-  List.iter (apply_record t) records;
-  (* Re-frame the files so a torn tail is gone before appends resume. *)
-  Journal.rewrite ~segments path records;
-  t.journal <- Some (Journal.open_append ~injector:t.injector ~segments path);
+  List.iter (apply_record t) (List.concat groups);
+  (* Re-frame the files so a torn tail is gone before appends resume,
+     preserving commit-group framing for the surviving records. *)
+  Journal.rewrite_groups ~segments path groups;
+  t.journal <- Some (Journal.open_append ~policy ~injector:t.injector ~segments path);
+  install_firing_journal t;
   t
 
 (** Write a durable snapshot next to the journal ([<path>.snap],
@@ -735,6 +805,11 @@ let exec_stats t = Cal_rules.Manager.exec_stats t.manager
 (** The catalog plan cache's counters. *)
 let plan_cache_stats t = Cal_rules.Manager.plan_cache_stats t.manager
 
+(** [(records, flushes)] of the journal — the group-commit amortization
+    ratio is records/flushes; [None] on a non-journaled session. *)
+let journal_stats t =
+  Option.map (fun j -> (Journal.appended j, Journal.flushes j)) t.journal
+
 (** Multi-line session statistics: DBCRON activity, calendar-cache
     effectiveness, and the executor's access-path / plan-cache
     decisions. *)
@@ -777,6 +852,15 @@ let stats_summary t =
         (Cal_rules.Manager.periodic_rules t.manager)
         (List.length (Cal_rules.Manager.rule_names t.manager));
     ]
+    ^
+    match t.journal with
+    | None -> ""
+    | Some j ->
+      let records = Journal.appended j and flushes = Journal.flushes j in
+      Printf.sprintf "\njournal: %d records / %d flushes (%.1fx amortization), policy %s"
+        records flushes
+        (if flushes = 0 then 1.0 else float_of_int records /. float_of_int flushes)
+        (Journal.policy_name (Journal.policy j))
 
 (** Civil date of a day chronon in this session. *)
 let date_of_day t c = Unit_system.date_of_chronon ~epoch:t.ctx.Context.epoch Granularity.Days c

@@ -23,6 +23,8 @@ type t = {
   clock : Clock.t;
   injector : Cal_faults.Injector.t;
   mutable journal : Journal.t option;  (** present on durable sessions *)
+  mutable batch_buf : string list option;
+      (** inside {!batch}: records collected for one commit group *)
 }
 
 exception Session_error of string
@@ -128,7 +130,13 @@ val load : t -> string -> (unit, string) result
     that path are superseded. Accepts {!create}'s parameters, plus
     [segments] (default 1): the journal stripe count — a segmented
     journal's files decode in parallel during recovery (see
-    {!Cal_db.Journal}). *)
+    {!Cal_db.Journal}) — and [policy]: the group-commit durability
+    policy (default {!Cal_db.Journal.policy_of_env}, normally
+    [Sync_each]). Under [Group n] / [Manual], completed operations
+    buffer until the window fills, {!commit} is called, or the next
+    {!snapshot}; a crash loses the uncommitted buffer whole — never a
+    partial group. The manager's coalesced firing batches journal as
+    one commit group each. *)
 val open_journaled :
   path:string ->
   ?epoch:Civil.date ->
@@ -144,6 +152,7 @@ val open_journaled :
   ?retry_base:int ->
   ?injector:Cal_faults.Injector.t ->
   ?segments:int ->
+  ?policy:Journal.policy ->
   unit ->
   t
 
@@ -172,13 +181,27 @@ val recover :
   ?max_failures:int ->
   ?retry_base:int ->
   ?injector:Cal_faults.Injector.t ->
+  ?policy:Journal.policy ->
   unit ->
   t
 
 (** Write a durable snapshot to [<journal path>.snap] (atomically) and
-    truncate the journal it subsumes.
+    truncate the journal it subsumes (including any uncommitted buffer —
+    the snapshot already holds those operations).
     @raise Session_error on a non-journaled session. *)
 val snapshot : t -> unit
+
+(** Flush the journal's uncommitted group, if any — the explicit
+    durability point under [Manual] (and early commit under [Group]); a
+    no-op under [Sync_each] or on a non-journaled session. *)
+val commit : t -> unit
+
+(** [batch t f] runs [f] collecting every record it journals into one
+    atomic commit group, appended when [f] returns: after a crash,
+    either the whole batch is recovered or none of it. Nested batches
+    flatten into the outermost group; on a non-journaled session this is
+    just [f ()]. *)
+val batch : t -> (unit -> 'a) -> 'a
 
 (** Catch up after downtime: bring the clock to an instant, applying the
     policy to trigger points that passed in between (see
@@ -247,10 +270,15 @@ val exec_stats : t -> Cal_db.Exec.stats
 (** The catalog plan cache's counters. *)
 val plan_cache_stats : t -> Cal_db.Qplan.cache_stats
 
+(** [(records, flushes)] of the journal — the group-commit amortization
+    ratio is records/flushes; [None] on a non-journaled session. *)
+val journal_stats : t -> (int * int) option
+
 (** Multi-line summary: DBCRON activity (probes, loads, heap peak),
     calendar-cache effectiveness, the executor's access-path and
-    plan-cache counters, and how many rules are probed by the
-    closed-form periodic path. *)
+    plan-cache counters, how many rules are probed by the closed-form
+    periodic path, and (on durable sessions) the journal's
+    records/flushes amortization under its durability policy. *)
 val stats_summary : t -> string
 
 (** {2 Conversions} *)

@@ -1,15 +1,43 @@
 (* Append-only checksummed record file(s); see the interface for the
-   torn-tail and segmentation contracts. *)
+   torn-tail, segmentation and group-commit contracts. *)
 
 exception Journal_error of string
+
+type policy = Sync_each | Group of int | Manual
+
+let policy_name = function
+  | Sync_each -> "sync_each"
+  | Group n -> Printf.sprintf "group %d" n
+  | Manual -> "manual"
+
+(* The default durability policy honors CALRULES_JOURNAL_GROUP (the same
+   convention CALRULES_DOMAINS uses for the pool): unset, "1" or
+   unparsable means Sync_each; an integer > 1 means Group of that size;
+   "manual" means Manual. Session-level opens consult this so CI can run
+   whole suites under a batched window without touching call sites. *)
+let policy_of_env () =
+  match Sys.getenv_opt "CALRULES_JOURNAL_GROUP" with
+  | None -> Sync_each
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "manual" -> Manual
+    | s -> (
+      match int_of_string_opt s with
+      | Some n when n > 1 -> Group n
+      | _ -> Sync_each))
 
 type t = {
   jpath : string;
   segments : int;
+  policy : policy;
   ocs : out_channel array; (* one channel per segment; [| oc |] when unsegmented *)
   injector : Cal_faults.Injector.t;
-  mutable next_seq : int; (* global sequence of the next record *)
-  mutable appended : int;
+  scratch : Buffer.t; (* per-handle escape buffer, reused by every append *)
+  mutable pending : string list; (* uncommitted group members, newest first *)
+  mutable npending : int;
+  mutable next_seq : int; (* global sequence of the next physical record *)
+  mutable appended : int; (* logical records appended *)
+  mutable flushes : int; (* physical write+flush calls completed *)
   mutable closed : bool;
 }
 
@@ -31,8 +59,16 @@ let crc32 s =
   String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
   !c lxor 0xFFFFFFFF
 
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
+(* [buf], when given, is a caller-owned scratch buffer — cleared on
+   entry, so the returned string must be taken before the next call. *)
+let escape ?buf s =
+  let buf =
+    match buf with
+    | Some b ->
+      Buffer.clear b;
+      b
+    | None -> Buffer.create (String.length s + 8)
+  in
   String.iter
     (fun c ->
       match c with
@@ -43,8 +79,14 @@ let escape s =
     s;
   Buffer.contents buf
 
-let unescape s =
-  let buf = Buffer.create (String.length s) in
+let unescape ?buf s =
+  let buf =
+    match buf with
+    | Some b ->
+      Buffer.clear b;
+      b
+    | None -> Buffer.create (String.length s)
+  in
   let n = String.length s in
   let i = ref 0 in
   while !i < n do
@@ -63,22 +105,87 @@ let unescape s =
   done;
   Buffer.contents buf
 
-let encode payload =
-  let esc = escape payload in
+let encode ?buf payload =
+  let esc = escape ?buf payload in
   Printf.sprintf "%08x %s\n" (crc32 esc) esc
 
 (* [None] on a torn/corrupt line (missing terminator is handled by the
    caller: in_channel reading already strips it, so corruption shows up
    as a checksum mismatch or a malformed frame). *)
-let decode_line line =
+let decode_line ?buf line =
   match String.index_opt line ' ' with
   | Some 8 -> (
     let crc_hex = String.sub line 0 8 in
     let esc = String.sub line 9 (String.length line - 9) in
     match int_of_string_opt ("0x" ^ crc_hex) with
-    | Some crc when crc = crc32 esc -> Some (unescape esc)
+    | Some crc when crc = crc32 esc -> Some (unescape ?buf esc)
     | _ -> None)
   | _ -> None
+
+(* --- group framing ----------------------------------------------------
+
+   A commit group is ONE physical record whose payload begins with the
+   reserved byte 0x01, then the member count, then each member as
+   " <len>:<bytes>". The whole frame is escaped and checksummed as a
+   single line, so a crash mid-group tears that line and recovery drops
+   the group whole — the torn-record contract lifts unchanged to torn
+   groups, on both layouts (a group occupies one sequence slot). A
+   singleton group is written as a plain record, which keeps [Sync_each]
+   byte-identical to the pre-group format. Plain payloads must not begin
+   with the reserved byte; appends and rewrites reject them. *)
+
+let group_mark = '\x01'
+let is_reserved payload = String.length payload > 0 && payload.[0] = group_mark
+
+let check_payload payload =
+  if is_reserved payload then
+    raise (Journal_error "payload begins with the reserved group-frame byte 0x01")
+
+let frame_group members =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf group_mark;
+  Buffer.add_string buf (string_of_int (List.length members));
+  List.iter
+    (fun m ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (String.length m));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf m)
+    members;
+  Buffer.contents buf
+
+(* Inverse of [frame_group]. The payload arrived checksum-verified, so
+   any malformation here is file damage, not a torn write. A record that
+   does not start with the mark is a plain singleton. *)
+let parse_group payload =
+  if not (is_reserved payload) then [ payload ]
+  else begin
+    let n = String.length payload in
+    let pos = ref 1 in
+    let bad () = raise (Journal_error "corrupt group frame") in
+    let read_int () =
+      let start = !pos in
+      while !pos < n && payload.[!pos] >= '0' && payload.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = start then bad ();
+      int_of_string (String.sub payload start (!pos - start))
+    in
+    let k = read_int () in
+    let members = ref [] in
+    for _ = 1 to k do
+      if !pos >= n || payload.[!pos] <> ' ' then bad ();
+      incr pos;
+      let len = read_int () in
+      if !pos >= n || payload.[!pos] <> ':' then bad ();
+      incr pos;
+      if !pos + len > n then bad ();
+      members := String.sub payload !pos len :: !members;
+      pos := !pos + len
+    done;
+    if !pos <> n then bad ();
+    List.rev !members
+  end
 
 (* --- segment layout ---------------------------------------------------
 
@@ -154,16 +261,20 @@ let framed_lines path =
     complete lines
   end
 
-(* Count of records already on disk (so a reopened handle continues the
-   global sequence). Callers re-frame files before reopening, so every
-   line is a whole record. *)
+(* Count of physical records already on disk (so a reopened handle
+   continues the global sequence). Callers re-frame files before
+   reopening, so every line is a whole record. *)
 let count_records jpath segments =
   Array.fold_left
     (fun acc p -> acc + List.length (framed_lines p))
     0 (seg_paths jpath segments)
 
-let open_append ?(injector = Cal_faults.Injector.none) ?(segments = 1) jpath =
+let open_append ?(policy = Sync_each) ?(injector = Cal_faults.Injector.none) ?(segments = 1)
+    jpath =
   if segments < 1 then invalid_arg "Journal.open_append: segments must be >= 1";
+  (match policy with
+  | Group n when n < 1 -> invalid_arg "Journal.open_append: group size must be >= 1"
+  | _ -> ());
   if segments > 1 then write_manifest jpath segments
   else if Sys.file_exists (manifest_path jpath) then
     raise (Journal_error (jpath ^ " is segmented; open with its manifest's segment count"));
@@ -172,40 +283,107 @@ let open_append ?(injector = Cal_faults.Injector.none) ?(segments = 1) jpath =
       (fun p -> open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 p)
       (seg_paths jpath segments)
   in
-  { jpath; segments; ocs; injector; next_seq = count_records jpath segments;
-    appended = 0; closed = false }
+  { jpath; segments; policy; ocs; injector; scratch = Buffer.create 256; pending = [];
+    npending = 0; next_seq = count_records jpath segments; appended = 0; flushes = 0;
+    closed = false }
 
 let path t = t.jpath
 let segments t = t.segments
+let policy t = t.policy
 
-let append t payload =
+(* The simulated process image dies: any uncommitted buffer dies with
+   it, the handle is marked dead and its descriptors closed. *)
+let die t msg =
+  t.pending <- [];
+  t.npending <- 0;
+  t.closed <- true;
+  Array.iter close_out_noerr t.ocs;
+  raise (Cal_faults.Injector.Crash msg)
+
+(* Write one commit group as a single physical record — one escape, one
+   checksum, one write, one flush. [logical] runs the injector's
+   per-append crash point for each member (the members are being
+   appended right now, as under [Sync_each]); a buffer drain already ran
+   it at append time and only faces the flush crash point here. *)
+let commit_group ?(logical = false) t members =
+  match members with
+  | [] -> ()
+  | _ ->
+    let seq = t.next_seq in
+    let inner = match members with [ p ] -> p | ps -> frame_group ps in
+    let framed = if t.segments = 1 then inner else Printf.sprintf "%d %s" seq inner in
+    let record = encode ~buf:t.scratch framed in
+    let oc = t.ocs.(seq mod t.segments) in
+    t.next_seq <- seq + 1;
+    let torn_crash keep ctx =
+      (* The process image dies with [keep] bytes of the record on disk:
+         flush the torn prefix, mark the handle dead, and raise. *)
+      output_string oc (String.sub record 0 keep);
+      flush oc;
+      die t
+        (Printf.sprintf "simulated crash during journal %s (%d/%d bytes)" ctx keep
+           (String.length record))
+    in
+    (if logical then
+       List.iter
+         (fun _ ->
+           t.appended <- t.appended + 1;
+           match Cal_faults.Injector.on_journal_append t.injector record with
+           | `Write -> ()
+           | `Crash_after keep -> torn_crash keep (Printf.sprintf "append #%d" t.appended))
+         members);
+    (match Cal_faults.Injector.on_journal_flush t.injector record with
+    | `Write ->
+      output_string oc record;
+      flush oc;
+      t.flushes <- t.flushes + 1
+    | `Crash_after keep -> torn_crash keep (Printf.sprintf "group flush #%d" (t.flushes + 1)))
+
+let barrier t =
   if t.closed then raise (Journal_error "journal is closed");
-  let seq = t.next_seq in
-  let framed = if t.segments = 1 then payload else Printf.sprintf "%d %s" seq payload in
-  let record = encode framed in
-  let oc = t.ocs.(seq mod t.segments) in
-  t.next_seq <- seq + 1;
-  t.appended <- t.appended + 1;
-  match Cal_faults.Injector.on_journal_append t.injector record with
-  | `Write ->
-    output_string oc record;
-    flush oc
-  | `Crash_after keep ->
-    (* The process image dies with [keep] bytes of the record on disk:
-       flush the torn prefix, mark the handle dead, and raise. *)
-    output_string oc (String.sub record 0 keep);
-    flush oc;
-    t.closed <- true;
-    Array.iter close_out_noerr t.ocs;
-    raise
-      (Cal_faults.Injector.Crash
-         (Printf.sprintf "simulated crash during journal append #%d (%d/%d bytes)" t.appended
-            keep (String.length record)))
+  let members = List.rev t.pending in
+  t.pending <- [];
+  t.npending <- 0;
+  commit_group t members
 
+let commit = barrier
+
+let append_batch t payloads =
+  if t.closed then raise (Journal_error "journal is closed");
+  List.iter check_payload payloads;
+  match t.policy with
+  | Sync_each -> commit_group ~logical:true t payloads
+  | Group _ | Manual ->
+    List.iter
+      (fun p ->
+        t.appended <- t.appended + 1;
+        match Cal_faults.Injector.on_journal_append t.injector p with
+        | `Write ->
+          t.pending <- p :: t.pending;
+          t.npending <- t.npending + 1
+        | `Crash_after _ ->
+          (* Nothing was in flight: the crash lands between group
+             flushes and the uncommitted buffer is lost whole. *)
+          die t
+            (Printf.sprintf "simulated crash during journal append #%d (uncommitted group lost)"
+               t.appended))
+      payloads;
+    (match t.policy with
+    | Group n when t.npending >= n -> barrier t
+    | _ -> ())
+
+let append t payload = append_batch t [ payload ]
 let appended t = t.appended
+let flushes t = t.flushes
+let pending t = t.npending
 
 let truncate t =
   if t.closed then raise (Journal_error "journal is closed");
+  (* Whatever sat in the uncommitted buffer is subsumed by the state the
+     caller just persisted (snapshot), so it is discarded, not flushed:
+     flushing it would replay those operations twice. *)
+  t.pending <- [];
+  t.npending <- 0;
   Array.iteri
     (fun i p ->
       flush t.ocs.(i);
@@ -219,14 +397,21 @@ let truncate t =
 
 let close t =
   if not t.closed then begin
+    (* A clean close is a commit point: drain the buffer first. *)
+    barrier t;
     t.closed <- true;
     Array.iter close_out_noerr t.ocs
   end
 
-let rewrite ?(segments = 1) jpath records =
-  if segments < 1 then invalid_arg "Journal.rewrite: segments must be >= 1";
+let rewrite_groups ?(segments = 1) jpath groups =
+  if segments < 1 then invalid_arg "Journal.rewrite_groups: segments must be >= 1";
+  List.iter
+    (fun g ->
+      if g = [] then invalid_arg "Journal.rewrite_groups: empty group";
+      List.iter check_payload g)
+    groups;
   (* Drop the other layout's files so the path holds exactly one
-     representation of [records]. *)
+     representation of [groups]. *)
   remove_segment_files jpath;
   if segments > 1 && Sys.file_exists jpath then Sys.remove jpath;
   let paths = seg_paths jpath segments in
@@ -238,24 +423,31 @@ let rewrite ?(segments = 1) jpath records =
       paths
   in
   List.iteri
-    (fun seq payload ->
-      let framed = if segments = 1 then payload else Printf.sprintf "%d %s" seq payload in
+    (fun seq members ->
+      let inner = match members with [ p ] -> p | ps -> frame_group ps in
+      let framed = if segments = 1 then inner else Printf.sprintf "%d %s" seq inner in
       output_string (snd tmps.(seq mod segments)) (encode framed))
-    records;
+    groups;
   Array.iter (fun (_, oc) -> close_out oc) tmps;
   Array.iteri (fun i p -> Sys.rename (fst tmps.(i)) p) paths;
   if segments > 1 then write_manifest jpath segments
 
-(* Decode one segment's framed lines into (seq, payload) records —
-   checksum, unescape, sequence split. Pure, so segments decode in
-   parallel during recovery. [seq_framed] is false only for the
-   unsegmented layout, whose records carry no sequence. *)
+let rewrite ?segments jpath records =
+  rewrite_groups ?segments jpath (List.map (fun r -> [ r ]) records)
+
+(* Decode one segment's framed lines into (seq, payload) physical
+   records — checksum, unescape, sequence split. Pure, so segments
+   decode in parallel during recovery; the unescape scratch buffer is
+   local to the call, one per segment, so each pool lane owns its own.
+   [seq_framed] is false only for the unsegmented layout, whose records
+   carry no sequence. *)
 let decode_segment ~seg ~seq_framed framed =
   let n = List.length framed in
+  let buf = Buffer.create 256 in
   let records = ref [] in
   List.iteri
     (fun i (line, terminated) ->
-      match if terminated then decode_line line else None with
+      match if terminated then decode_line ~buf line else None with
       | Some payload ->
         let record =
           if not seq_framed then (i, payload)
@@ -284,7 +476,8 @@ let decode_segment ~seg ~seq_framed framed =
     framed;
   List.rev !records
 
-let read_records ?(domains = 1) jpath =
+(* Physical records in append order (group frames still folded). *)
+let read_physical ?(domains = 1) jpath =
   let segments = detect_segments jpath in
   if segments = 1 then
     List.map snd (decode_segment ~seg:0 ~seq_framed:false (framed_lines jpath))
@@ -316,3 +509,6 @@ let read_records ?(domains = 1) jpath =
       merged;
     List.map snd merged
   end
+
+let read_groups ?domains jpath = List.map parse_group (read_physical ?domains jpath)
+let read_records ?domains jpath = List.concat (read_groups ?domains jpath)

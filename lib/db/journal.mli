@@ -1,72 +1,153 @@
-(** Write-ahead journal: append-only file(s) of checksummed records.
+(** Write-ahead journal: append-only file(s) of checksummed records,
+    with group commit.
 
-    Each record is one line, [<crc32-hex> <escaped-payload>\n]; payloads
-    are arbitrary strings with newlines and backslashes escaped. A crash
-    mid-append leaves a torn tail — a final line without its terminator
-    or whose checksum disagrees — which {!read_records} detects and
-    discards, so recovery sees exactly the prefix of intact records.
+    Each physical record is one line, [<crc32-hex> <escaped-payload>\n];
+    payloads are arbitrary strings with newlines and backslashes
+    escaped. A crash mid-write leaves a torn tail — a final line without
+    its terminator or whose checksum disagrees — which {!read_records}
+    detects and discards, so recovery sees exactly the prefix of intact
+    records.
 
-    A journal opened with [segments = n > 1] stripes records across
-    [path.seg0 .. path.segn-1] by global sequence number, with the
-    sequence framed inside each record's checksum and the layout
-    recorded in a [path.manifest] file. The segments decode
-    independently — in parallel during recovery — and merge back into
-    append order by sequence; a crash tears at most one segment's tail,
-    which is the globally last record, so the merged prefix contract is
-    unchanged. [segments = 1] is byte-identical to the original
-    single-file format.
+    {b Group commit.} The durability {!policy} decides when logical
+    appends reach the file. [Sync_each] (the default) writes and flushes
+    every record immediately — byte-identical to the original format.
+    [Group n] buffers appends and flushes a whole group once [n] are
+    pending; [Manual] buffers until an explicit {!commit} (alias
+    {!barrier}). {!append_batch} makes its records one atomic group
+    under every policy. A multi-record group is written as ONE physical
+    record whose payload is a length-prefixed frame beginning with the
+    reserved byte [0x01] (plain payloads must not start with that byte —
+    appends reject them); a singleton group is a plain record. Because
+    the group is a single checksummed line, a crash mid-group tears that
+    line and recovery drops the group {e whole}: all-or-nothing at the
+    group boundary, the torn-record contract unchanged. A crash between
+    flushes loses the uncommitted buffer entirely — nothing partial ever
+    reaches the file. {!truncate} (after a snapshot) discards the buffer
+    rather than flushing it: the snapshot already holds those
+    operations. {!close} commits it.
 
-    Appends go through the fault injector: the armed crash point makes
-    {!append} write only a prefix of the record and raise
-    {!Cal_faults.Injector.Crash}, simulating the process image dying with
-    the write half-done. *)
+    A journal opened with [segments = n > 1] stripes physical records
+    across [path.seg0 .. path.segn-1] by global sequence number, with
+    the sequence framed inside each record's checksum and the layout
+    recorded in a [path.manifest] file. A commit group occupies one
+    sequence slot in one segment, so group atomicity holds on both
+    layouts. The segments decode independently — in parallel during
+    recovery — and merge back into append order by sequence; a crash
+    tears at most one segment's tail, which is the globally last record,
+    so the merged prefix contract is unchanged. [segments = 1] is
+    byte-identical to the original single-file format.
+
+    Writes go through the fault injector at two points: the armed
+    {e append} crash point fires at a logical append (under a buffered
+    policy the uncommitted group is lost whole, nothing written), and
+    the armed {e flush} crash point fires at a physical group write,
+    tearing bytes inside the group record. Both raise
+    {!Cal_faults.Injector.Crash}, simulating the process image dying. *)
 
 type t
 
 exception Journal_error of string
 
-(** [open_append ?injector ?segments path] opens (creating if absent)
-    the journal for appending, striped over [segments] files
-    (default 1 — the plain single-file layout).
+(** When appends become durable: every record ([Sync_each], the
+    default), every [n] buffered records ([Group n]), or only at
+    explicit {!commit} / {!barrier} calls ([Manual]). *)
+type policy = Sync_each | Group of int | Manual
+
+(** ["sync_each"], ["group <n>"], ["manual"]. *)
+val policy_name : policy -> string
+
+(** The policy named by the [CALRULES_JOURNAL_GROUP] environment
+    variable: an integer > 1 means [Group of] that size, ["manual"]
+    means [Manual], anything else (or unset) means [Sync_each].
+    Session-level opens use it as their default so CI can run whole
+    suites under a batched window. *)
+val policy_of_env : unit -> policy
+
+(** [open_append ?policy ?injector ?segments path] opens (creating if
+    absent) the journal for appending, striped over [segments] files
+    (default 1 — the plain single-file layout) under [policy] (default
+    [Sync_each]).
     @raise Journal_error when [segments = 1] but [path] has a manifest
     (it was written segmented; open it with that segment count). *)
-val open_append : ?injector:Cal_faults.Injector.t -> ?segments:int -> string -> t
+val open_append : ?policy:policy -> ?injector:Cal_faults.Injector.t -> ?segments:int -> string -> t
 
 val path : t -> string
 
 (** The segment count this handle stripes over. *)
 val segments : t -> int
 
+(** The durability policy this handle was opened with. *)
+val policy : t -> policy
+
 (** Segment count recorded in the path's manifest; [1] when there is
     none (the single-file layout, or nothing at all).
     @raise Journal_error on an unreadable manifest. *)
 val detect_segments : string -> int
 
-(** Append one record and flush. Raises {!Cal_faults.Injector.Crash}
-    when the injector's armed crash point is reached (after writing the
-    torn prefix). *)
+(** Append one record: written+flushed immediately under [Sync_each],
+    buffered (and auto-committed at the window size) otherwise. Raises
+    {!Cal_faults.Injector.Crash} when an armed crash point is reached.
+    @raise Journal_error on a payload starting with the reserved
+    group-frame byte [0x01]. *)
 val append : t -> string -> unit
 
-(** Records appended through this handle (survivors and the torn one). *)
+(** Append several records as one atomic commit group: either every
+    member is recovered or none is, under every policy. Under [Sync_each]
+    the group is written immediately; under [Group]/[Manual] the members
+    join the pending buffer (which always commits as one group), and
+    [Group n] auto-commits once [n] or more are pending. *)
+val append_batch : t -> string list -> unit
+
+(** Flush the pending buffer as one commit group (no-op when empty).
+    The explicit durability point of [Manual]; legal under every
+    policy. *)
+val commit : t -> unit
+
+(** Alias of {!commit}. *)
+val barrier : t -> unit
+
+(** Logical records appended through this handle (survivors and any that
+    died buffered or torn). *)
 val appended : t -> int
 
-(** Truncate to empty (after a snapshot subsumes the log). *)
+(** Physical write+flush calls completed — the denominator of the
+    group-commit amortization ratio. *)
+val flushes : t -> int
+
+(** Buffered records not yet committed. *)
+val pending : t -> int
+
+(** Truncate to empty (after a snapshot subsumes the log). The pending
+    buffer is {e discarded}, not flushed — the snapshot already holds
+    those operations. *)
 val truncate : t -> unit
 
+(** Commit the pending buffer, then close. *)
 val close : t -> unit
 
 (** [rewrite ?segments path records] atomically replaces the journal
-    with exactly [records] in the given layout (default: single-file),
-    removing the other layout's files (recovery uses it to drop a torn
-    tail before appending resumes). *)
+    with exactly [records], one physical record each, in the given
+    layout (default: single-file), removing the other layout's files. *)
 val rewrite : ?segments:int -> string -> string list -> unit
 
-(** Decode every intact record, in append order; a torn or corrupt tail
-    is silently dropped (that is the crash contract), but a corrupt
-    record {e followed by} intact ones — or, on a segmented journal, a
-    sequence gap — raises {!Journal_error}: that is not a torn write,
-    the journal is damaged. The layout is auto-detected from the
-    manifest; segmented journals decode their segments across up to
-    [domains] pool lanes (default 1, serial) and merge by sequence.
-    Returns [] when nothing exists at [path]. *)
+(** [rewrite_groups ?segments path groups] atomically replaces the
+    journal preserving commit-group framing: each group becomes one
+    physical record (singletons as plain records). Recovery uses it to
+    drop a torn tail without flattening surviving groups. *)
+val rewrite_groups : ?segments:int -> string -> string list list -> unit
+
+(** Decode every intact logical record, in append order, with commit
+    groups flattened; a torn or corrupt tail is silently dropped whole —
+    a torn group loses all its members (that is the crash contract) —
+    but a corrupt record {e followed by} intact ones, a malformed group
+    frame, or (on a segmented journal) a sequence gap raises
+    {!Journal_error}: that is not a torn write, the journal is damaged.
+    The layout is auto-detected from the manifest; segmented journals
+    decode their segments across up to [domains] pool lanes (default 1,
+    serial) and merge by sequence. Returns [] when nothing exists at
+    [path]. *)
 val read_records : ?domains:int -> string -> string list
+
+(** Like {!read_records} but keeping commit-group structure: one element
+    per physical record, singletons for plain records. *)
+val read_groups : ?domains:int -> string -> string list list

@@ -19,6 +19,8 @@ type t = {
   mutable exec_left : int;
   mutable crash_at : int;  (* appends until crash; 0 = disarmed *)
   mutable torn : int;  (* bytes of the fatal record to keep; -1 = all *)
+  mutable flush_at : int;  (* group flushes until crash; 0 = disarmed *)
+  mutable torn_flush : int;  (* bytes of the fatal group to keep; -1 = all *)
   mutable clock_jump : (int -> int) option;
   mutable injected_actions : int;
   mutable injected_execs : int;
@@ -34,6 +36,8 @@ let make ~enabled ~seed =
     exec_left = 0;
     crash_at = 0;
     torn = -1;
+    flush_at = 0;
+    torn_flush = -1;
     clock_jump = None;
     injected_actions = 0;
     injected_execs = 0;
@@ -113,6 +117,24 @@ let on_journal_append t record =
     else begin
       t.crashes <- t.crashes + 1;
       let keep = if t.torn < 0 then len else min t.torn len in
+      `Crash_after keep
+    end
+  end
+
+let set_crash_at_flush t ?(torn = -1) n =
+  if n < 1 then invalid_arg "Injector.set_crash_at_flush: n must be >= 1";
+  t.flush_at <- n;
+  t.torn_flush <- torn
+
+let on_journal_flush t record =
+  let len = String.length record in
+  if (not t.enabled) || t.flush_at = 0 then `Write
+  else begin
+    t.flush_at <- t.flush_at - 1;
+    if t.flush_at > 0 then `Write
+    else begin
+      t.crashes <- t.crashes + 1;
+      let keep = if t.torn_flush < 0 then len else min t.torn_flush len in
       `Crash_after keep
     end
   end

@@ -60,12 +60,31 @@ val exec_fault : t -> string option
     crashing (the append survives). *)
 val set_crash_at_append : t -> ?torn:int -> int -> unit
 
-(** Called by the journal with each encoded record (newline included).
-    [`Write] means append normally; [`Crash_after n] means the process
-    dies during this append — the journal must write exactly the first
-    [n] bytes, flush, and raise {!Crash}. The disabled injector always
-    answers [`Write]. *)
+(** Called by the journal once per logical append. Under [Sync_each] the
+    argument is the encoded record (newline included) and [`Crash_after n]
+    makes the journal write exactly the first [n] bytes, flush, and raise
+    {!Crash}. Under a buffered policy the argument is the raw payload and
+    [`Crash_after _] means the process image dies with the uncommitted
+    group still in memory — nothing reaches the file. The disabled
+    injector always answers [`Write]. *)
 val on_journal_append : t -> string -> [ `Write | `Crash_after of int ]
+
+(** [set_crash_at_flush t ?torn n] kills the process image on the [n]th
+    physical group flush from now (1-based) — the mid-group crash point
+    group commit introduces. [torn] is the number of bytes of the fatal
+    {e group record} that reach the file: [0] loses the whole group, a
+    mid-record count tears inside the group frame (recovery must drop
+    the group whole), and omitting it writes the entire group before
+    crashing (every member survives). Counts down independently of
+    {!set_crash_at_append}: an armed append crash fires at a logical
+    append, an armed flush crash fires at a physical write. *)
+val set_crash_at_flush : t -> ?torn:int -> int -> unit
+
+(** Called by the journal with each encoded group record about to be
+    written+flushed (one per physical flush, including [Sync_each]
+    singleton groups). Same contract as {!on_journal_append}'s torn
+    write. *)
+val on_journal_flush : t -> string -> [ `Write | `Crash_after of int ]
 
 (** {2 Clock jumps} *)
 

@@ -75,6 +75,9 @@ type t = {
   mutable par_rules : int;  (** rules those batches covered *)
   mutable coal_batches : int;  (** same-tick groups that shared one preparation *)
   mutable coal_fired : int;  (** firings those groups covered *)
+  mutable journal_sink : (string list -> unit) option;
+      (** installed by durable sessions: each coalesced firing batch is
+          handed over as one list, journaled as one commit group *)
   exec_stats : Exec.stats;
       (** cumulative executor counters over every query this manager runs
           (DBCRON probes, rule actions, user queries) *)
@@ -238,6 +241,7 @@ let rec create ?(probe_period = 86400) ?(lookahead = 400 * 86400) ?(probe_strate
       par_rules = 0;
       coal_batches = 0;
       coal_fired = 0;
+      journal_sink = None;
       exec_stats;
     }
   in
@@ -676,7 +680,20 @@ let advance_to t instant =
     if ev <= instant then begin
       Clock.advance_to t.clock ev;
       let fired = Shard.step t.cron ~now:ev ~load in
-      let batch = List.concat_map (fire_group t) (coalesce_groups t fired) in
+      let batch =
+        List.concat_map
+          (fun group ->
+            let items = fire_group t group in
+            (* One coalesced firing batch = one journal commit group of
+               replay-neutral provenance records (recovery re-fires by
+               replaying the advance itself). *)
+            (match t.journal_sink with
+            | Some sink when items <> [] ->
+              sink (List.map (fun (name, _, at) -> Printf.sprintf "fired %d %s" at name) items)
+            | _ -> ());
+            items)
+          (coalesce_groups t fired)
+      in
       recompute_next_fires t (Array.of_list batch);
       loop ()
     end
@@ -912,3 +929,4 @@ let periodic_rules t =
       | Db_event _ -> acc)
     t.rules 0
 let injector t = t.injector
+let set_journal_sink t sink = t.journal_sink <- Some sink

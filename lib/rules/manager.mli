@@ -212,6 +212,15 @@ val periodic_rules : t -> int
 (** The fault injector this manager was created with. *)
 val injector : t -> Cal_faults.Injector.t
 
+(** Install the durable session's firing journal: during {!advance_to},
+    each coalesced firing batch is handed to the sink as one list of
+    ["fired <at> <rule>"] records, which the session journals as one
+    commit group. The records are replay-neutral provenance — recovery
+    re-fires by replaying the advance itself — so installing a sink
+    changes no digest. Not called during replay (sessions install it
+    after recovery completes). *)
+val set_journal_sink : t -> (string list -> unit) -> unit
+
 (** {2 Restore hooks}
 
     Used by the session's snapshot loader. They write manager state

@@ -237,6 +237,139 @@ let test_journal_segmented_gap_raises () =
   | _ -> Alcotest.fail "sequence gap must raise")
 
 (* ------------------------------------------------------------------ *)
+(* Group commit *)
+
+(* The byte-compat pin: under Sync_each the on-disk format is exactly
+   the pre-group-commit format, down to the checksum. *)
+let test_sync_each_bytes_golden () =
+  with_journal_path @@ fun path ->
+  let j = Journal.open_append path in
+  Journal.append j "hello";
+  Journal.close j;
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "legacy record bytes" "3610a686 hello\n" text
+
+let test_group_policy_buffers_and_autocommits () =
+  with_journal_path @@ fun path ->
+  let j = Journal.open_append ~policy:(Journal.Group 3) path in
+  Journal.append j "a";
+  Journal.append j "b";
+  check_int "nothing flushed yet" 0 (Journal.flushes j);
+  check_int "two pending" 2 (Journal.pending j);
+  check_bool "nothing on disk yet" true (Journal.read_records path = []);
+  Journal.append j "c";
+  check_int "window filled, one flush" 1 (Journal.flushes j);
+  check_int "buffer drained" 0 (Journal.pending j);
+  check_bool "whole group durable" true (Journal.read_records path = [ "a"; "b"; "c" ]);
+  check_bool "as one physical record" true (Journal.read_groups path = [ [ "a"; "b"; "c" ] ]);
+  Journal.append j "d";
+  Journal.close j (* commits the pending tail *);
+  check_bool "close commits the tail" true
+    (Journal.read_records path = [ "a"; "b"; "c"; "d" ]);
+  check_bool "singleton groups are plain records" true
+    (Journal.read_groups path = [ [ "a"; "b"; "c" ]; [ "d" ] ])
+
+let test_manual_policy_commit_and_truncate () =
+  with_journal_path @@ fun path ->
+  let j = Journal.open_append ~policy:Journal.Manual path in
+  List.iter (Journal.append j) [ "x"; "y" ];
+  check_bool "nothing durable before commit" true (Journal.read_records path = []);
+  Journal.commit j;
+  check_bool "commit flushes the group" true (Journal.read_groups path = [ [ "x"; "y" ] ]);
+  Journal.commit j;
+  check_int "empty commit is not a flush" 1 (Journal.flushes j);
+  Journal.append j "z";
+  Journal.truncate j (* after a snapshot: the buffer is subsumed, not flushed *);
+  check_int "pending discarded" 0 (Journal.pending j);
+  check_bool "truncated clean" true (Journal.read_records path = []);
+  Journal.close j
+
+let test_append_batch_atomic_group () =
+  with_journal_path @@ fun path ->
+  let j = Journal.open_append path (* Sync_each *) in
+  Journal.append_batch j [ "a"; "b\nc"; "" ];
+  Journal.append j "solo";
+  Journal.close j;
+  check_bool "batch framed as one group even under Sync_each" true
+    (Journal.read_groups path = [ [ "a"; "b\nc"; "" ]; [ "solo" ] ]);
+  check_bool "flattened in order" true
+    (Journal.read_records path = [ "a"; "b\nc"; ""; "solo" ])
+
+let test_reserved_byte_rejected () =
+  with_journal_path @@ fun path ->
+  let j = Journal.open_append path in
+  (match Journal.append j "\x01nope" with
+  | () -> Alcotest.fail "reserved group-frame byte must be rejected"
+  | exception Journal.Journal_error _ -> ());
+  Journal.close j;
+  match Journal.rewrite path [ "\x01nope" ] with
+  | () -> Alcotest.fail "rewrite must reject the reserved byte"
+  | exception Journal.Journal_error _ -> ()
+
+let test_append_batch_segmented () =
+  with_journal_path @@ fun path ->
+  let j = Journal.open_append ~segments:3 path in
+  Journal.append j "pre";
+  Journal.append_batch j [ "g0"; "g1"; "g2"; "g3" ];
+  Journal.append j "post";
+  Journal.close j;
+  (* The whole batch occupies one sequence slot in one segment, so group
+     atomicity is layout-independent. *)
+  check_bool "group framing survives striping" true
+    (Journal.read_groups path = [ [ "pre" ]; [ "g0"; "g1"; "g2"; "g3" ]; [ "post" ] ]);
+  check_bool "merge flattens in append order" true
+    (Journal.read_records path = [ "pre"; "g0"; "g1"; "g2"; "g3"; "post" ]);
+  check_bool "parallel decode agrees" true
+    (Journal.read_records ~domains:4 path = [ "pre"; "g0"; "g1"; "g2"; "g3"; "post" ])
+
+let test_rewrite_groups_preserves_framing () =
+  List.iter
+    (fun segments ->
+      with_journal_path @@ fun path ->
+      Journal.rewrite_groups ~segments path [ [ "a" ]; [ "b"; "c" ]; [ "d" ] ];
+      check_bool "framing preserved" true
+        (Journal.read_groups path = [ [ "a" ]; [ "b"; "c" ]; [ "d" ] ]);
+      check_bool "flatten agrees" true (Journal.read_records path = [ "a"; "b"; "c"; "d" ]))
+    [ 1; 3 ]
+
+(* A crash tearing bytes inside a group's physical write drops the whole
+   group on recovery — never a partial group — on both layouts. *)
+let test_torn_group_flush_drops_whole_group () =
+  List.iter
+    (fun segments ->
+      with_journal_path @@ fun path ->
+      let inj = Injector.create ~seed:31 () in
+      Injector.set_crash_at_flush inj ~torn:7 2;
+      let j = Journal.open_append ~policy:(Journal.Group 3) ~injector:inj ~segments path in
+      List.iter (Journal.append j) [ "a"; "b"; "c" ] (* flush 1 survives *);
+      (match Journal.append_batch j [ "d"; "e"; "f" ] with
+      | () -> Alcotest.fail "second group flush must crash"
+      | exception Injector.Crash _ -> ());
+      check_bool
+        (Printf.sprintf "torn group dropped whole (%d segments)" segments)
+        true
+        (Journal.read_records path = [ "a"; "b"; "c" ]))
+    [ 1; 2 ]
+
+(* A crash between flushes loses the uncommitted buffer entirely:
+   committed groups stay, nothing partial reaches the file. *)
+let test_crash_between_flushes_loses_buffer_whole () =
+  with_journal_path @@ fun path ->
+  let inj = Injector.create ~seed:32 () in
+  Injector.set_crash_at_append inj 5;
+  let j = Journal.open_append ~policy:(Journal.Group 3) ~injector:inj path in
+  List.iter (Journal.append j) [ "a"; "b"; "c" ] (* auto-committed group *);
+  Journal.append j "d" (* buffered *);
+  (match Journal.append j "e" with
+  | () -> Alcotest.fail "fifth append must crash"
+  | exception Injector.Crash _ -> ());
+  check_int "all five appends counted" 5 (Journal.appended j);
+  check_bool "committed group intact, buffer lost whole" true
+    (Journal.read_records path = [ "a"; "b"; "c" ])
+
+(* ------------------------------------------------------------------ *)
 (* Isolated firing: retry, backoff, quarantine *)
 
 let weekly = "[2]/DAYS:during:WEEKS" (* Tuesdays; first is day 5 *)
@@ -357,11 +490,18 @@ let test_injected_clock_jump_regression () =
 (* ------------------------------------------------------------------ *)
 (* Crash / recover, directed *)
 
+(* The directed crash tests pin [Sync_each]: their survivor counts are
+   the per-record durability contract, regardless of the policy the
+   environment (CI's CALRULES_JOURNAL_GROUP) asks suites to default to. *)
+
 let test_crash_torn_append_drops_one_op () =
   with_journal_path @@ fun path ->
   let inj = Injector.create ~seed:21 () in
   Injector.set_crash_at_append inj ~torn:5 2;
-  let s = Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93 ~injector:inj () in
+  let s =
+    Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93 ~injector:inj
+      ~policy:Journal.Sync_each ()
+  in
   ignore (run s "create table t (n int)");
   (match Session.query s "append t (n = 1)" with
   | _ -> Alcotest.fail "second journal append must crash"
@@ -378,7 +518,10 @@ let test_crash_after_full_append_keeps_op () =
   with_journal_path @@ fun path ->
   let inj = Injector.create ~seed:22 () in
   Injector.set_crash_at_append inj 2 (* whole record written, then dies *);
-  let s = Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93 ~injector:inj () in
+  let s =
+    Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93 ~injector:inj
+      ~policy:Journal.Sync_each ()
+  in
   ignore (run s "create table t (n int)");
   (match Session.query s "append t (n = 1)" with
   | _ -> Alcotest.fail "second journal append must crash"
@@ -398,7 +541,7 @@ let test_segmented_crash_recovery () =
       Injector.set_crash_at_append inj ~torn:5 5;
       let s =
         Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93
-          ~segments ~injector:inj ()
+          ~segments ~injector:inj ~policy:Journal.Sync_each ()
       in
       let ops =
         [
@@ -422,7 +565,9 @@ let test_segmented_crash_recovery () =
       in
       check_int "crashed on the fifth op" 4 applied;
       (* The layout is auto-detected from the manifest, not re-specified. *)
-      let r = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
+      let r =
+        Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 ~policy:Journal.Sync_each ()
+      in
       let oracle = session () in
       List.iteri (fun i op -> if i < applied then ignore (run oracle op)) ops;
       check_bool
@@ -443,6 +588,7 @@ let test_recover_restores_rule_machinery () =
   ignore (run s (Printf.sprintf "define rule good on calendar \"%s\" do append log (n = 1)" weekly));
   ignore (run s (Printf.sprintf "define rule bad on calendar \"%s\" do append nosuch (n = 0)" weekly));
   Session.advance_days s 6;
+  Session.commit s (* a durability point, whatever policy the env picked *);
   let digest = Session.state_digest s in
   (* Abandon the process image; rebuild from disk alone. *)
   let r = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
@@ -463,6 +609,7 @@ let test_snapshot_truncates_and_recovers () =
   check_bool "journal truncated" true (Journal.read_records path = []);
   check_bool "snapshot exists" true (Sys.file_exists (path ^ ".snap"));
   ignore (run s "append t (n = 2)");
+  Session.commit s;
   let digest = Session.state_digest s in
   let r = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
   check_bool "snapshot + journal tail recover" true (Session.state_digest r = digest);
@@ -474,6 +621,81 @@ let test_snapshot_requires_journal () =
   match Session.snapshot s with
   | () -> Alcotest.fail "snapshot on a non-journaled session must fail"
   | exception Session.Session_error _ -> ()
+
+(* Session.batch journals everything f () completes as one commit group;
+   recovery (whose tail-drop rewrite preserves framing) keeps it one. *)
+let test_session_batch_atomic_group () =
+  with_journal_path @@ fun path ->
+  let s =
+    Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93
+      ~policy:Journal.Sync_each ()
+  in
+  ignore (run s "create table t (n int)");
+  let v =
+    Session.batch s (fun () ->
+        ignore (run s "append t (n = 1)");
+        ignore (run s "append t (n = 2)");
+        42)
+  in
+  check_int "batch returns f's value" 42 v;
+  (match Journal.read_groups path with
+  | [ [ _create ]; [ _a1; _a2 ] ] -> ()
+  | gs -> Alcotest.failf "expected [create];[append;append], got %d groups" (List.length gs));
+  let r = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
+  (match Journal.read_groups path with
+  | [ [ _ ]; [ _; _ ] ] -> ()
+  | _ -> Alcotest.fail "recovery rewrite must preserve group framing");
+  check_int "rows recovered" 2 (count r "retrieve (t.n) from t")
+
+(* A Group-policy session buffers statements; an un-committed tail is
+   lost to recovery (the documented loss window) while committed groups
+   land — and an explicit Session.commit closes the window. *)
+let test_session_group_policy_loss_window () =
+  with_journal_path @@ fun path ->
+  let s =
+    Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93
+      ~policy:(Journal.Group 3) ()
+  in
+  ignore (run s "create table t (n int)");
+  ignore (run s "append t (n = 1)");
+  ignore (run s "append t (n = 2)") (* window of 3 filled: auto-commit *);
+  ignore (run s "append t (n = 3)") (* buffered, not yet durable *);
+  let r = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
+  check_int "committed group recovers, buffered tail lost" 2
+    (count r "retrieve (t.n) from t");
+  ignore (run r "append t (n = 4)") (* recover reopens under ?policy (env default here) *);
+  Session.commit r;
+  let r2 = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
+  check_int "explicit commit makes the tail durable" 3
+    (count r2 "retrieve (t.n) from t")
+
+(* Coalesced firing batches journal as commit groups of replay-neutral
+   "fired <at> <rule>" records, separate from statement records. *)
+let test_firing_batches_journal_as_groups () =
+  with_journal_path @@ fun path ->
+  let s =
+    Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93
+      ~policy:Journal.Sync_each ()
+  in
+  ignore (run s "create table log (n int)");
+  ignore (run s (Printf.sprintf "define rule a on calendar \"%s\" do append log (n = 1)" weekly));
+  ignore (run s (Printf.sprintf "define rule b on calendar \"%s\" do append log (n = 1)" weekly));
+  Session.advance_days s 6;
+  check_int "both rules fired" 2 (count s "retrieve (log.n) from log");
+  let is_fired r = String.length r >= 6 && String.sub r 0 6 = "fired " in
+  let groups = Journal.read_groups path in
+  let fired = List.concat (List.filter (fun g -> List.exists is_fired g) groups) in
+  check_int "one provenance record per firing" 2 (List.length fired);
+  check_bool "fired records never share a group with statements" true
+    (List.for_all (fun g -> List.for_all is_fired g || not (List.exists is_fired g)) groups);
+  check_bool "records name the instant and rule" true
+    (List.exists (fun r -> r = Printf.sprintf "fired %d a" (day_instant 5)) fired
+    && List.exists (fun r -> r = Printf.sprintf "fired %d b" (day_instant 5)) fired);
+  (* Provenance is replay-neutral: recovery re-fires by replaying the
+     advance, landing on the identical digest. *)
+  let digest = Session.state_digest s in
+  let r = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
+  check_bool "fired records replay as no-ops" true (Session.state_digest r = digest)
 
 (* ------------------------------------------------------------------ *)
 (* Catch-up policies *)
@@ -487,6 +709,7 @@ let catchup_setup path =
   ignore (run s (Printf.sprintf "define rule tues on calendar \"%s\" do append log (n = 1)" weekly));
   Session.advance_days s 6;
   check_int "one firing before downtime" 1 (count s "retrieve (log.n) from log");
+  Session.commit s;
   Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 ()
 
 let test_catch_up_replay_all () =
@@ -524,6 +747,7 @@ let test_catch_up_survives_recovery () =
   with_journal_path @@ fun path ->
   let s = catchup_setup path in
   Session.catch_up s ~policy:Cal_rules.Manager.Fire_once (day_instant 28);
+  Session.commit s;
   let digest = Session.state_digest s in
   let r = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
   check_bool "catch-up replays bit-identically" true (Session.state_digest r = digest)
@@ -536,18 +760,21 @@ type op =
   | Advance of int (* days *)
   | Stored of int
   | Snapshot
+  | Commit
 
 let show_op = function
   | Stmt q -> Printf.sprintf "Stmt %S" q
   | Advance d -> Printf.sprintf "Advance %d" d
   | Stored i -> Printf.sprintf "Stored %d" i
   | Snapshot -> "Snapshot"
+  | Commit -> "Commit"
 
-(* Every op completes exactly one public Session call; on a journaled
-   session each call appends at most one record. The pool deliberately
-   includes statements that fail (duplicate creates, missing tables,
-   rules with broken actions): completed errors journal and replay like
-   successes. *)
+(* Every op completes one public Session call. A statement journals one
+   record; an Advance additionally journals each coalesced firing batch
+   as a commit group of replay-neutral provenance records. The pool
+   deliberately includes statements that fail (duplicate creates,
+   missing tables, rules with broken actions): completed errors journal
+   and replay like successes. *)
 let stmt_pool =
   [
     "create table t (n int)";
@@ -572,6 +799,7 @@ let apply_op s = function
       ~name:(Printf.sprintf "H%d" i)
       [ (i, i + 1); (i + 10, i + 12) ]
   | Snapshot -> if Session.is_journaled s then Session.snapshot s
+  | Commit -> Session.commit s (* a no-op on the (non-journaled) oracle *)
 
 let op_gen =
   QCheck2.Gen.(
@@ -581,35 +809,59 @@ let op_gen =
         (3, map (fun d -> Advance d) (int_range 1 4));
         (1, map (fun i -> Stored i) (int_range 1 3));
         (1, return Snapshot);
+        (1, return Commit);
       ])
 
+(* A trace: the ops, which armed crash point dies (counted in logical
+   appends or in physical group flushes — may never be reached), and how
+   many bytes of the victim record land on disk (None = all of them). *)
 let trace_gen =
   QCheck2.Gen.(
-    triple
+    quad
       (list_size (int_range 3 22) op_gen)
-      (int_range 1 30) (* which journal append dies; may never be reached *)
-      (oneofl [ None; Some 0; Some 5 ] (* bytes of the record that land *)))
+      (int_range 1 30)
+      (oneofl [ None; Some 0; Some 5; Some 200 ])
+      bool (* false: crash at an append; true: crash at a group flush *))
 
-let print_trace (ops, crash_n, torn) =
-  Printf.sprintf "crash at append %d, torn %s\n%s" crash_n
+let print_trace (ops, crash_n, torn, at_flush) =
+  Printf.sprintf "crash at %s %d, torn %s\n%s"
+    (if at_flush then "flush" else "append")
+    crash_n
     (match torn with None -> "-" | Some b -> string_of_int b)
     (String.concat "\n" (List.map show_op ops))
 
-(* The property: run a random trace on a journaled session with a crash
-   armed at a random append. Whatever the crash interrupts, recovery
-   must equal an oracle session that ran exactly the surviving ops —
-   every op up to the crash when the final record landed whole, one
-   fewer when it tore. *)
-let crash_consistency_prop (ops, crash_n, torn) =
+(* The property, policy-generic: run a random trace on a journaled
+   session with a crash armed at a random logical append or physical
+   group flush. Whatever the crash interrupts, the recovered state must
+   equal SOME oracle prefix of the trace — a buffered policy may lose an
+   uncommitted suffix, but recovery never tears an op in half, never
+   reorders, never invents state. Tightness on top of membership:
+   - any Snapshot or Commit op that completed is a durability floor, so
+     the recovered prefix reaches at least that far under every policy;
+   - under Sync_each every completed op is durable: a crash during op j
+     recovers at least ops 1..j-1 (exactly the old per-record contract);
+   - a run that completes (ending in an explicit commit) recovers the
+     full trace, bit-identically, under every policy. *)
+let crash_consistency_prop ?policy (ops, crash_n, torn, at_flush) =
   with_journal_path @@ fun path ->
   let inj = Injector.create ~seed:99 () in
-  (match torn with
-  | None -> Injector.set_crash_at_append inj crash_n
-  | Some b -> Injector.set_crash_at_append inj ~torn:b crash_n);
-  let s = Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93 ~injector:inj () in
+  (match (at_flush, torn) with
+  | true, None -> Injector.set_crash_at_flush inj crash_n
+  | true, Some b -> Injector.set_crash_at_flush inj ~torn:b crash_n
+  | false, None -> Injector.set_crash_at_append inj crash_n
+  | false, Some b -> Injector.set_crash_at_append inj ~torn:b crash_n);
+  let s =
+    Session.open_journaled ~path ~epoch:epoch93 ~lifespan:lifespan93 ~injector:inj ?policy ()
+  in
+  let n = List.length ops in
+  (* crashed_at = Some j: op j (1-based) raised Crash; n + 1 marks the
+     trailing explicit commit; None: the whole trace is durable. *)
   let crashed_at =
     let rec go i = function
-      | [] -> None
+      | [] -> (
+        match Session.commit s with
+        | () -> None
+        | exception Injector.Crash _ -> Some (n + 1))
       | op :: rest -> (
         match apply_op s op with
         | () -> go (i + 1) rest
@@ -617,31 +869,61 @@ let crash_consistency_prop (ops, crash_n, torn) =
     in
     go 1 ops
   in
-  let survivors =
-    match crashed_at with
-    | None -> ops
-    | Some j ->
-      let keep = match torn with None -> j | Some _ -> j - 1 in
-      List.filteri (fun i _ -> i < keep) ops
-  in
-  let recovered = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
+  (* Oracle digests of every prefix: digests.(k) = state after ops 1..k. *)
   let oracle = session () in
-  List.iter (apply_op oracle) survivors;
-  String.equal (Session.state_digest recovered) (Session.state_digest oracle)
+  let digests = Array.make (n + 1) (Session.state_digest oracle) in
+  List.iteri
+    (fun i op ->
+      apply_op oracle op;
+      digests.(i + 1) <- Session.state_digest oracle)
+    ops;
+  let recovered = Session.recover ~path ~epoch:epoch93 ~lifespan:lifespan93 () in
+  let rd = Session.state_digest recovered in
+  let kmax =
+    let rec go k = if k < 0 then -1 else if digests.(k) = rd then k else go (k - 1) in
+    go n
+  in
+  let completed = match crashed_at with None -> n | Some j -> j - 1 in
+  let durability_floor =
+    snd
+      (List.fold_left
+         (fun (i, f) op ->
+           ((i + 1), if i <= completed && (op = Snapshot || op = Commit) then i else f))
+         (1, 0) ops)
+  in
+  let sync_each = policy = Some Journal.Sync_each in
+  kmax >= 0 (* membership: recovered ∈ {oracle prefixes} *)
+  && kmax >= durability_floor
+  &&
+  match crashed_at with
+  | None -> rd = digests.(n)
+  | Some j -> (not sync_each) || kmax >= min (j - 1) n
 
 let crash_consistency_tests =
+  let make ~name ~count ?policy gen =
+    QCheck2.Test.make ~name ~count ~print:print_trace gen (fun trace ->
+        crash_consistency_prop ?policy trace)
+  in
   [
-    QCheck2.Test.make ~name:"recover (crash_at k trace) = oracle prefix" ~count:60
-      ~print:print_trace trace_gen crash_consistency_prop;
+    (* The pre-group-commit contract, now as the Sync_each instance. *)
+    make ~name:"sync_each: recover = oracle prefix (tight)" ~count:45
+      ~policy:Journal.Sync_each trace_gen;
+    (* Whatever policy the environment picked (CI re-runs the suite
+       under CALRULES_JOURNAL_GROUP=64). *)
+    make ~name:"env-default policy crash consistency" ~count:30 trace_gen;
+    (* A small window exercises auto-commit boundaries and mid-group
+       flush crashes within short traces. *)
+    make ~name:"group 4 crash consistency" ~count:35 ~policy:(Journal.Group 4) trace_gen;
+    make ~name:"group 64 crash consistency" ~count:25 ~policy:(Journal.Group 64) trace_gen;
+    make ~name:"manual crash consistency" ~count:30 ~policy:Journal.Manual trace_gen;
     (* Same property through a pre-seeded state: snapshot early, so most
        crashes land in the journal tail beyond it. *)
-    QCheck2.Test.make ~name:"crash consistency across snapshots" ~count:40
-      ~print:print_trace
+    make ~name:"crash consistency across snapshots" ~count:25 ~policy:Journal.Sync_each
       QCheck2.Gen.(
         map
-          (fun (ops, k, torn) -> (Stmt "create table t (n int)" :: Snapshot :: ops, k, torn))
-          trace_gen)
-      crash_consistency_prop;
+          (fun (ops, k, torn, fl) ->
+            (Stmt "create table t (n int)" :: Snapshot :: ops, k, torn, fl))
+          trace_gen);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -666,6 +948,26 @@ let () =
           Alcotest.test_case "segmented roundtrip" `Quick test_journal_segmented_roundtrip;
           Alcotest.test_case "segmented torn tail" `Quick test_journal_segmented_torn_tail;
           Alcotest.test_case "segmented gap raises" `Quick test_journal_segmented_gap_raises;
+        ] );
+      ( "group-commit",
+        [
+          Alcotest.test_case "sync_each bytes are the legacy format" `Quick
+            test_sync_each_bytes_golden;
+          Alcotest.test_case "group policy buffers and auto-commits" `Quick
+            test_group_policy_buffers_and_autocommits;
+          Alcotest.test_case "manual policy commit and truncate" `Quick
+            test_manual_policy_commit_and_truncate;
+          Alcotest.test_case "append_batch is one atomic group" `Quick
+            test_append_batch_atomic_group;
+          Alcotest.test_case "reserved frame byte rejected" `Quick test_reserved_byte_rejected;
+          Alcotest.test_case "append_batch on a segmented journal" `Quick
+            test_append_batch_segmented;
+          Alcotest.test_case "rewrite_groups preserves framing" `Quick
+            test_rewrite_groups_preserves_framing;
+          Alcotest.test_case "torn group flush drops the group whole" `Quick
+            test_torn_group_flush_drops_whole_group;
+          Alcotest.test_case "crash between flushes loses buffer whole" `Quick
+            test_crash_between_flushes_loses_buffer_whole;
         ] );
       ( "isolation",
         [
@@ -695,6 +997,12 @@ let () =
           Alcotest.test_case "snapshot truncates and recovers" `Quick
             test_snapshot_truncates_and_recovers;
           Alcotest.test_case "snapshot requires journal" `Quick test_snapshot_requires_journal;
+          Alcotest.test_case "session batch is one commit group" `Quick
+            test_session_batch_atomic_group;
+          Alcotest.test_case "group policy loss window and commit" `Quick
+            test_session_group_policy_loss_window;
+          Alcotest.test_case "firing batches journal as groups" `Quick
+            test_firing_batches_journal_as_groups;
         ] );
       ( "catch-up",
         [
