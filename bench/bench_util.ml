@@ -41,3 +41,67 @@ let write_json ~file contents =
   output_string oc contents;
   close_out oc;
   Printf.printf "\n  wrote %s\n" file
+
+(* The shared emitter behind every experiment's --json output. One
+   schema for all of them:
+
+     { "experiment": "E17", "host_domains": N, "axes": { ... } }
+
+   so downstream tooling can diff BENCH_E*.json files without
+   per-experiment parsers. Rendering is deliberately rigid — two-space
+   indent, ["key": value] with a space, bare true/false — because CI
+   asserts on exact substrings like ["firings_identical": true]. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (* Lossless enough for ns-scale timings, readable for speedups. *)
+  let render_float f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.9g" f
+
+  let rec render ~indent v =
+    let pad = String.make indent ' ' in
+    match v with
+    | Null -> "null"
+    | Bool b -> if b then "true" else "false"
+    | Int n -> string_of_int n
+    | Float f -> render_float f
+    | Str s -> "\"" ^ json_escape s ^ "\""
+    | List [] -> "[]"
+    | List items ->
+      "[\n"
+      ^ String.concat ",\n"
+          (List.map (fun item -> pad ^ "  " ^ render ~indent:(indent + 2) item) items)
+      ^ "\n" ^ pad ^ "]"
+    | Obj [] -> "{}"
+    | Obj fields ->
+      "{\n"
+      ^ String.concat ",\n"
+          (List.map
+             (fun (k, item) ->
+               Printf.sprintf "%s  \"%s\": %s" pad (json_escape k)
+                 (render ~indent:(indent + 2) item))
+             fields)
+      ^ "\n" ^ pad ^ "}"
+
+  let to_string v = render ~indent:0 v ^ "\n"
+end
+
+(* [emit ~name ~host_domains ~file axes] writes one experiment's
+   measurements in the shared schema. *)
+let emit ~name ~host_domains ~file axes =
+  write_json ~file
+    (Json.to_string
+       (Json.Obj
+          [
+            ("experiment", Json.Str name);
+            ("host_domains", Json.Int host_domains);
+            ("axes", Json.Obj axes);
+          ]))

@@ -26,3 +26,24 @@ val json_escape : string -> string
 
 (** Write [contents] to [file] and announce it on stdout. *)
 val write_json : file:string -> string -> unit
+
+(** The JSON tree every experiment's [--json] output is built from.
+    Rendering is rigid — 2-space indent, ["key": value] with one space,
+    bare [true]/[false] — because CI asserts on exact substrings. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+end
+
+(** [emit ~name ~host_domains ~file axes] writes one experiment's
+    measurements in the shared schema every BENCH_E*.json follows:
+    [{"experiment": name, "host_domains": n, "axes": {...}}]. *)
+val emit : name:string -> host_domains:int -> file:string -> (string * Json.t) list -> unit

@@ -123,10 +123,12 @@ let first_word line =
   | w :: _ -> String.lowercase_ascii w
   | [] -> ""
 
+(* Returns [true] when the command succeeded — scripted runs (piped
+   stdin, [-e]) turn any [false] into a non-zero exit status. *)
 let handle session line =
   let line = String.trim line in
-  if line = "" then ()
-  else if line = "help" then
+  if line = "" then true
+  else if line = "help" then begin
     print_endline
       "commands:\n\
       \  calendar <name> = { <script> }   define a derived calendar\n\
@@ -142,9 +144,13 @@ let handle session line =
       \  catchup <policy> <days>          fire_once|skip|replay_all missed triggers\n\
       \  periodic <expression>            show the closed periodic form, if any\n\
       \  stats                            executor / cache / dbcron counters\n\
-      \  quit"
-  else if line = "today" then
-    Printf.printf "%s (instant %d)\n" (Civil.to_string (Session.today session)) (Session.now session)
+      \  quit";
+    true
+  end
+  else if line = "today" then begin
+    Printf.printf "%s (instant %d)\n" (Civil.to_string (Session.today session)) (Session.now session);
+    true
+  end
   else if line = "stats" then begin
     print_endline (Session.stats_summary session);
     if Cal_rules.Manager.shards session.Session.manager > 1 then
@@ -152,12 +158,15 @@ let handle session line =
         (fun i (rules, pending, occupancy, loaded, fired) ->
           Printf.printf "  shard %d: %d rules, %d pending (%d slots), %d loaded, %d fired\n" i
             rules pending occupancy loaded fired)
-        (Cal_rules.Manager.shard_stats session.Session.manager)
+        (Cal_rules.Manager.shard_stats session.Session.manager);
+    true
   end
-  else if line = "alerts" then
+  else if line = "alerts" then begin
     List.iter
       (fun (msg, at) -> Printf.printf "  %s at instant %d\n" msg at)
-      (Session.alerts session)
+      (Session.alerts session);
+    true
+  end
   else if line = "rules" then begin
     List.iter
       (fun name ->
@@ -175,46 +184,64 @@ let handle session line =
         (fun i (rules, pending, occupancy, loaded, fired) ->
           Printf.printf "  shard %d: %d rules, %d pending (%d slots), %d loaded, %d fired\n" i
             rules pending occupancy loaded fired)
-        (Cal_rules.Manager.shard_stats session.Session.manager)
+        (Cal_rules.Manager.shard_stats session.Session.manager);
+    true
   end
   else if line = "errors" then begin
-    match Session.rule_errors session with
+    (match Session.rule_errors session with
     | [] -> print_endline "  no rule failures recorded"
     | errors ->
       List.iter
         (fun (rule, at, attempt, msg) ->
           Printf.printf "  %s at instant %d (attempt %d): %s\n" rule at attempt msg)
-        errors
+        errors);
+    true
   end
   else if line = "quarantined" then begin
-    match Session.quarantined_rules session with
+    (match Session.quarantined_rules session with
     | [] -> print_endline "  no quarantined rules"
-    | names -> List.iter (fun n -> Printf.printf "  %s\n" n) names
+    | names -> List.iter (fun n -> Printf.printf "  %s\n" n) names);
+    true
   end
   else if first_word line = "requeue" then begin
     match String.split_on_char ' ' line with
     | [ _; name ] ->
-      if Session.requeue session name then Printf.printf "rule %s requeued\n" name
-      else Printf.printf "error: no quarantined rule %s\n" name
-    | _ -> print_endline "usage: requeue <rule>"
+      if Session.requeue session name then begin
+        Printf.printf "rule %s requeued\n" name;
+        true
+      end
+      else begin
+        Printf.printf "error: no quarantined rule %s\n" name;
+        false
+      end
+    | _ ->
+      print_endline "usage: requeue <rule>";
+      false
   end
   else if line = "commit" then begin
     Session.commit session;
-    match Session.journal_stats session with
+    (match Session.journal_stats session with
     | Some (records, flushes) ->
       Printf.printf "committed: %d records / %d flushes\n" records flushes
-    | None -> print_endline "not a journaled session"
+    | None -> print_endline "not a journaled session");
+    true
   end
   else if line = "snapshot" then begin
     match Session.snapshot session with
-    | () -> (
-      match Session.journal_path session with
+    | () ->
+      (match Session.journal_path session with
       | Some p -> Printf.printf "snapshot written to %s.snap, journal truncated\n" p
-      | None -> ())
-    | exception Session.Session_error e -> Printf.printf "error: %s\n" e
+      | None -> ());
+      true
+    | exception Session.Session_error e ->
+      Printf.printf "error: %s\n" e;
+      false
   end
   else if first_word line = "catchup" then begin
-    let usage () = print_endline "usage: catchup <fire_once|skip|replay_all> <days>" in
+    let usage () =
+      print_endline "usage: catchup <fire_once|skip|replay_all> <days>";
+      false
+    in
     match String.split_on_char ' ' line with
     | [ _; pol; days ] -> (
       let policy =
@@ -227,14 +254,19 @@ let handle session line =
       match (policy, int_of_string_opt days) with
       | Some policy, Some days ->
         Session.catch_up session ~policy (Session.now session + (days * 86400));
-        Printf.printf "caught up to %s\n" (Civil.to_string (Session.today session))
+        Printf.printf "caught up to %s\n" (Civil.to_string (Session.today session));
+        true
       | _ -> usage ())
     | _ -> usage ()
   end
   else if line = "calendars" then begin
     match Session.query session "retrieve (name, granularity) from calendars" with
-    | Ok r -> print_result session r
-    | Error e -> Printf.printf "error: %s\n" e
+    | Ok r ->
+      print_result session r;
+      true
+    | Error e ->
+      Printf.printf "error: %s\n" e;
+      false
   end
   else if first_word line = "save" then begin
     match String.split_on_char ' ' line with
@@ -242,8 +274,11 @@ let handle session line =
       let oc = open_out file in
       output_string oc (Session.save session);
       close_out oc;
-      Printf.printf "saved to %s\n" file
-    | _ -> print_endline "usage: save <file>"
+      Printf.printf "saved to %s\n" file;
+      true
+    | _ ->
+      print_endline "usage: save <file>";
+      false
   end
   else if first_word line = "load" then begin
     match String.split_on_char ' ' line with
@@ -253,9 +288,15 @@ let handle session line =
       let contents = really_input_string ic n in
       close_in ic;
       match Session.load session contents with
-      | Ok () -> Printf.printf "loaded %s\n" file
-      | Error e -> Printf.printf "error: %s\n" e)
-    | _ -> print_endline "usage: load <file>"
+      | Ok () ->
+        Printf.printf "loaded %s\n" file;
+        true
+      | Error e ->
+        Printf.printf "error: %s\n" e;
+        false)
+    | _ ->
+      print_endline "usage: load <file>";
+      false
   end
   else if first_word line = "advance" then begin
     match String.split_on_char ' ' line with
@@ -263,29 +304,43 @@ let handle session line =
       match int_of_string_opt n with
       | Some days ->
         Session.advance_days session days;
-        Printf.printf "now %s\n" (Civil.to_string (Session.today session))
-      | None -> print_endline "usage: advance <days>")
-    | _ -> print_endline "usage: advance <days>"
+        Printf.printf "now %s\n" (Civil.to_string (Session.today session));
+        true
+      | None ->
+        print_endline "usage: advance <days>";
+        false)
+    | _ ->
+      print_endline "usage: advance <days>";
+      false
   end
   else if first_word line = "calendar" then begin
     match String.index_opt line '=' with
-    | Some i ->
+    | Some i -> (
       let name = String.trim (String.sub line 8 (i - 8)) in
       let script = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
-      (match Session.define_calendar session ~name ~script with
-      | Ok () -> Printf.printf "calendar %s defined\n" name
-      | Error e -> Printf.printf "error: %s\n" e)
-    | None -> print_endline "usage: calendar <name> = { <script> }"
+      match Session.define_calendar session ~name ~script with
+      | Ok () ->
+        Printf.printf "calendar %s defined\n" name;
+        true
+      | Error e ->
+        Printf.printf "error: %s\n" e;
+        false)
+    | None ->
+      print_endline "usage: calendar <name> = { <script> }";
+      false
   end
   else if first_word line = "periodic" then begin
     let src = String.trim (String.sub line 8 (String.length line - 8)) in
     match Cal_lang.Parser.expr src with
-    | Error e -> Printf.printf "error: %s\n" e
+    | Error e ->
+      Printf.printf "error: %s\n" e;
+      false
     | Ok e -> (
       let ctx = session.Session.ctx in
       match Cal_lang.Periodic.compile ctx e with
       | None ->
-        print_endline "outside the closed-form fragment (probes fall back to stream/materialize)"
+        print_endline "outside the closed-form fragment (probes fall back to stream/materialize)";
+        true
       | Some (fine, pset) ->
         let spans = Cal_lang.Periodic.spans pset in
         let shown = List.filteri (fun i _ -> i < 8) spans in
@@ -305,39 +360,131 @@ let handle session line =
           in
           Printf.printf "next fire: instant %d (%s)\n" at
             (Civil.to_string (Session.date_of_day session day))
-        | None -> print_endline "next fire: never (the periodic set is empty)"))
+        | None -> print_endline "next fire: never (the periodic set is empty)");
+        true)
   end
   else if List.mem (first_word line) db_keywords then begin
     match Session.query session line with
-    | Ok r -> print_result session r
-    | Error e -> Printf.printf "error: %s\n" e
+    | Ok r ->
+      print_result session r;
+      true
+    | Error e ->
+      Printf.printf "error: %s\n" e;
+      false
   end
   else begin
     match Session.eval_calendar session line with
-    | Ok cal -> print_calendar session cal
-    | Error e -> Printf.printf "error: %s\n" e
+    | Ok cal ->
+      print_calendar session cal;
+      true
+    | Error e ->
+      Printf.printf "error: %s\n" e;
+      false
   end
 
-let repl epoch domains strategy journal shards group_commit =
+let run_line session line =
+  try handle session line
+  with e ->
+    Printf.printf "error: %s\n" (Printexc.to_string e);
+    false
+
+let repl epoch domains strategy journal shards group_commit commands =
   let session = make_session ?journal ~shards ?group_commit epoch domains strategy in
-  Printf.printf "calq — calendar system shell (epoch %s%s). Type `help'.\n"
-    (Civil.to_string epoch)
-    (match journal with Some p -> ", journaling to " ^ p | None -> "");
-  (* Leaving the shell is a durability point: flush any buffered group. *)
-  let bye () =
+  match commands with
+  | _ :: _ ->
+    (* -e mode: run the given commands in order (all of them, even after
+       a failure), flush, and make any failure a non-zero exit. *)
+    let ok = List.fold_left (fun ok c -> run_line session c && ok) true commands in
     Session.commit session;
-    print_endline "bye."
-  in
-  let rec loop () =
-    print_string "calq> ";
-    match read_line () with
-    | exception End_of_file -> bye ()
-    | "quit" | "exit" -> bye ()
-    | line ->
-      (try handle session line with e -> Printf.printf "error: %s\n" (Printexc.to_string e));
-      loop ()
-  in
-  loop ()
+    exit (if ok then 0 else 1)
+  | [] ->
+    Printf.printf "calq — calendar system shell (epoch %s%s). Type `help'.\n"
+      (Civil.to_string epoch)
+      (match journal with Some p -> ", journaling to " ^ p | None -> "");
+    let failures = ref 0 in
+    (* Leaving the shell is a durability point: flush any buffered group.
+       Failed commands surface as a non-zero exit so piped scripts can't
+       silently half-apply. *)
+    let bye () =
+      Session.commit session;
+      print_endline "bye.";
+      if !failures > 0 then exit 1
+    in
+    let rec loop () =
+      print_string "calq> ";
+      match read_line () with
+      | exception End_of_file -> bye ()
+      | "quit" | "exit" -> bye ()
+      | line ->
+        if not (run_line session line) then incr failures;
+        loop ()
+    in
+    loop ()
+
+(* --- serving and connecting ------------------------------------------- *)
+
+let serve epoch domains strategy journal shards group_commit addr_s =
+  match Cal_server.Protocol.sockaddr_of_string addr_s with
+  | exception Failure e ->
+    Printf.eprintf "calq: %s\n" e;
+    exit 2
+  | addr ->
+    let session = make_session ?journal ~shards ?group_commit epoch domains strategy in
+    let store = Cal_server.Store.of_session session in
+    let server = Cal_server.Server.start store addr in
+    Printf.printf "calq: serving on %s%s — type `stop' (or close stdin) to shut down\n%!"
+      (Cal_server.Protocol.string_of_sockaddr (Cal_server.Server.addr server))
+      (match journal with Some p -> ", journal " ^ p | None -> "");
+    let rec wait () =
+      match read_line () with
+      | exception End_of_file -> ()
+      | "stop" | "quit" -> ()
+      | _ -> wait ()
+    in
+    wait ();
+    Cal_server.Server.stop server;
+    Session.commit session;
+    let s = Cal_server.Store.stats store in
+    Printf.printf "calq: served %d reads, %d write batches over %d connections (epoch %d)\n"
+      s.Cal_server.Store.sreads s.Cal_server.Store.swrites
+      (Cal_server.Server.connections server) s.Cal_server.Store.sepoch
+
+let connect addr_s commands =
+  match Cal_server.Client.connect_string addr_s with
+  | exception e ->
+    Printf.eprintf "calq: cannot connect to %s: %s\n" addr_s (Printexc.to_string e);
+    exit 2
+  | client ->
+    let failures = ref 0 in
+    let is_err l = String.length l >= 4 && String.sub l 0 4 = "err " in
+    let request line =
+      match Cal_server.Client.request client line with
+      | Ok lines ->
+        List.iter print_endline lines;
+        if List.exists is_err lines then incr failures
+      | Error e ->
+        Printf.printf "err %s\n" e;
+        incr failures
+      | exception Cal_server.Client.Protocol_error e ->
+        Printf.eprintf "calq: protocol error: %s\n" e;
+        incr failures
+    in
+    (match commands with
+    | _ :: _ -> List.iter request commands
+    | [] ->
+      let rec loop () =
+        print_string "calq> ";
+        match read_line () with
+        | exception End_of_file -> ()
+        | "quit" | "exit" -> ()
+        | "" -> loop ()
+        | line ->
+          request line;
+          loop ()
+      in
+      loop ());
+    Cal_server.Client.close client;
+    exit (if !failures = 0 then 0 else 1)
 
 let eval_once epoch domains strategy expr =
   let session = make_session epoch domains strategy in
@@ -366,17 +513,25 @@ let demo epoch domains strategy =
   List.iter
     (fun line ->
       Printf.printf "calq> %s\n" line;
-      (try handle session line with e -> Printf.printf "error: %s\n" (Printexc.to_string e)))
+      ignore (run_line session line))
     script
 
 let () =
   let open Cmdliner in
   let epoch_term = date_arg Unit_system.default_epoch "Session epoch (day chronon 1)." in
+  let exec_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "exec" ] ~docv:"CMD"
+          ~doc:
+            "Run $(docv) as one shell command and exit (repeatable, run in order); the exit \
+             status is non-zero when any command fails.")
+  in
   let repl_cmd =
     Cmd.v (Cmd.info "repl" ~doc:"Interactive calendar shell")
       Term.(
         const repl $ epoch_term $ domains_arg $ strategy_arg $ journal_arg $ shards_arg
-        $ group_commit_arg)
+        $ group_commit_arg $ exec_arg)
   in
   let eval_cmd =
     let expr =
@@ -390,9 +545,39 @@ let () =
       (Cmd.info "demo" ~doc:"Scripted demonstration")
       Term.(const demo $ epoch_term $ domains_arg $ strategy_arg)
   in
+  let serve_cmd =
+    let addr =
+      Arg.(
+        required & pos 0 (some string) None
+        & info [] ~docv:"ADDR" ~doc:"Listen address: $(b,unix:PATH) or $(b,HOST:PORT).")
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Serve the line protocol on a socket: N clients multiplex onto this one store — \
+            retrieves run lock-free against the latest published snapshot, each write batch \
+            journals as one commit group.")
+      Term.(
+        const serve $ epoch_term $ domains_arg $ strategy_arg $ journal_arg $ shards_arg
+        $ group_commit_arg $ addr)
+  in
+  let connect_cmd =
+    let addr =
+      Arg.(
+        required & pos 0 (some string) None
+        & info [] ~docv:"ADDR" ~doc:"Server address: $(b,unix:PATH) or $(b,HOST:PORT).")
+    in
+    Cmd.v
+      (Cmd.info "connect"
+         ~doc:
+           "Connect to a $(b,calq serve) instance: each input line is one protocol request \
+            ($(b,;)-separated statements, $(b,?digest) / $(b,?stats) / $(b,?epoch) meta). Exits \
+            non-zero when any request or statement fails.")
+      Term.(const connect $ addr $ exec_arg)
+  in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "calq" ~version:"1.0" ~doc:"Calendars and temporal rules shell")
-          [ repl_cmd; eval_cmd; demo_cmd ]))
+          [ repl_cmd; eval_cmd; demo_cmd; serve_cmd; connect_cmd ]))

@@ -301,6 +301,10 @@ let query_exn t source =
   | Ok r -> r
   | Error e -> raise (Session_error e)
 
+(* Snapshot publication: O(1) copy-on-write freeze of the whole catalog;
+   readers run retrieves against the result with [Exec.run_read]. *)
+let freeze t = Catalog.freeze t.catalog
+
 (* --- persistence ------------------------------------------------------ *)
 
 (* A saved session is a sectioned text file:

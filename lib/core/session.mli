@@ -104,6 +104,15 @@ val query : t -> string -> (Exec.result, string) result
 (** @raise Session_error on failure. *)
 val query_exn : t -> string -> Exec.result
 
+(** Freeze the session's database into an immutable snapshot catalog
+    ({!Cal_db.Catalog.freeze}): O(1) copy-on-write publication of every
+    table and index, carrying a fresh epoch stamp and no event hooks.
+    Snapshot readers execute retrieves against it with
+    {!Cal_db.Exec.run_read} while the session keeps writing — neither
+    side observes the other. Repeated freezes with no intervening write
+    return the same snapshot. *)
+val freeze : t -> Catalog.t
+
 (** {2 Persistence} *)
 
 (** Render the session (calendar definitions, user tables with indexes

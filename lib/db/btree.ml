@@ -4,42 +4,83 @@
     between [t-1] and [2t-1] keys (root exempt), splits happen on the way
     down during insertion, and deletion rebalances by borrowing from or
     merging with siblings. Each key carries the list of row ids indexed
-    under it (a secondary index is a multimap). *)
+    under it (a secondary index is a multimap).
+
+    Every node carries an ownership stamp and every handle a current
+    stamp; {!freeze} is O(1) — it hands out a second handle onto the same
+    root and moves both handles to fresh stamps, so subsequent mutations
+    copy each node once per epoch on the way down (path copying). Reads
+    on either handle never see the other's writes. *)
 
 let min_degree = 16
 
 type node = {
   mutable nkeys : int;
-  keys : Value.t array;  (* length 2t-1; first nkeys are meaningful *)
-  vals : int list array;  (* rowids per key *)
+  mutable keys : Value.t array;  (* length 2t-1; first nkeys are meaningful *)
+  mutable vals : int list array;  (* rowids per key *)
   mutable children : node array;  (* length 2t when internal; [||] when leaf *)
+  stamp : int;  (* owning handle's stamp at creation/copy time *)
 }
 
-type t = { mutable root : node; mutable cardinal : int (* distinct keys *) }
+type t = {
+  mutable root : node;
+  mutable cardinal : int; (* distinct keys *)
+  stamp_src : int ref;  (* shared stamp counter for the whole family *)
+  mutable stamp : int;  (* this handle's current stamp *)
+}
 
 let max_keys = (2 * min_degree) - 1
 
-let new_node ~leaf =
+let new_node ~leaf ~stamp =
   {
     nkeys = 0;
     keys = Array.make max_keys Value.Null;
     vals = Array.make max_keys [];
     children = (if leaf then [||] else Array.make (2 * min_degree) (Obj.magic 0));
+    stamp;
   }
 
 (* Fresh nodes for children arrays need a placeholder; never expose it. *)
-let dummy = new_node ~leaf:true
+let dummy = new_node ~leaf:true ~stamp:min_int
 
-let new_internal () =
-  let n = new_node ~leaf:false in
+let new_internal ~stamp () =
+  let n = new_node ~leaf:false ~stamp in
   Array.fill n.children 0 (Array.length n.children) dummy;
   n
 
-let new_leaf () = new_node ~leaf:true
+let new_leaf ~stamp () = new_node ~leaf:true ~stamp
 
 let is_leaf n = Array.length n.children = 0
 
-let create () = { root = new_leaf (); cardinal = 0 }
+let create () = { root = new_leaf ~stamp:0 (); cardinal = 0; stamp_src = ref 0; stamp = 0 }
+
+let freeze t =
+  incr t.stamp_src;
+  let snap =
+    { root = t.root; cardinal = t.cardinal; stamp_src = t.stamp_src; stamp = !(t.stamp_src) }
+  in
+  incr t.stamp_src;
+  t.stamp <- !(t.stamp_src);
+  snap
+
+(* A node is mutable through [t] only when its stamp matches; otherwise
+   some snapshot may still reach it, so copy first. *)
+let own t (node : node) : node =
+  if node.stamp = t.stamp then node
+  else
+    {
+      nkeys = node.nkeys;
+      keys = Array.copy node.keys;
+      vals = Array.copy node.vals;
+      children = (if is_leaf node then [||] else Array.copy node.children);
+      stamp = t.stamp;
+    }
+
+(* Own child [i] of the (already owned) [parent], writing the copy back. *)
+let own_child t parent i =
+  let c = own t parent.children.(i) in
+  parent.children.(i) <- c;
+  c
 
 (* Position of the first key >= k, in [0, nkeys]. *)
 let lower_bound node k =
@@ -63,9 +104,10 @@ let mem t k = find_node t.root k <> None
 
 (* --- insertion ----------------------------------------------------- *)
 
-let split_child parent i =
-  let full = parent.children.(i) in
-  let right = if is_leaf full then new_leaf () else new_internal () in
+(* [parent] must already be owned by [t]. *)
+let split_child t parent i =
+  let full = own_child t parent i in
+  let right = if is_leaf full then new_leaf ~stamp:t.stamp () else new_internal ~stamp:t.stamp () in
   let tdeg = min_degree in
   right.nkeys <- tdeg - 1;
   Array.blit full.keys tdeg right.keys 0 (tdeg - 1);
@@ -85,6 +127,7 @@ let split_child parent i =
   parent.nkeys <- parent.nkeys + 1;
   full.nkeys <- tdeg - 1
 
+(* [node] must already be owned by [t]. *)
 let rec insert_nonfull t node k rowid =
   let i = lower_bound node k in
   if i < node.nkeys && Value.compare node.keys.(i) k = 0 then
@@ -102,7 +145,7 @@ let rec insert_nonfull t node k rowid =
   else begin
     let i =
       if node.children.(i).nkeys = max_keys then begin
-        split_child node i;
+        split_child t node i;
         let c = Value.compare node.keys.(i) k in
         if c = 0 then begin
           node.vals.(i) <- rowid :: node.vals.(i);
@@ -113,15 +156,16 @@ let rec insert_nonfull t node k rowid =
       end
       else i
     in
-    if i >= 0 then insert_nonfull t node.children.(i) k rowid
+    if i >= 0 then insert_nonfull t (own_child t node i) k rowid
   end
 
 let insert t k rowid =
+  t.root <- own t t.root;
   if t.root.nkeys = max_keys then begin
-    let new_root = new_internal () in
+    let new_root = new_internal ~stamp:t.stamp () in
     new_root.children.(0) <- t.root;
     t.root <- new_root;
-    split_child new_root 0
+    split_child t new_root 0
   end;
   insert_nonfull t t.root k rowid
 
@@ -135,9 +179,11 @@ let rec min_entry node =
   if is_leaf node then (node.keys.(0), node.vals.(0))
   else min_entry node.children.(0)
 
-(* Merge child i, parent key i and child i+1 into child i. *)
-let merge_children node i =
-  let left = node.children.(i) and right = node.children.(i + 1) in
+(* Merge child i, parent key i and child i+1 into child i.
+   [node] must already be owned by [t]. *)
+let merge_children t node i =
+  let left = own_child t node i in
+  let right = node.children.(i + 1) in
   left.keys.(left.nkeys) <- node.keys.(i);
   left.vals.(left.nkeys) <- node.vals.(i);
   Array.blit right.keys 0 left.keys (left.nkeys + 1) right.nkeys;
@@ -154,12 +200,13 @@ let merge_children node i =
   done;
   node.nkeys <- node.nkeys - 1
 
-(* Ensure child i of node has at least t keys before descending. *)
-let fill node i =
+(* Ensure child i of node has at least t keys before descending.
+   [node] must already be owned by [t]. *)
+let fill t node i =
   let tdeg = min_degree in
   if i > 0 && node.children.(i - 1).nkeys >= tdeg then begin
     (* borrow from left sibling *)
-    let child = node.children.(i) and left = node.children.(i - 1) in
+    let child = own_child t node i and left = own_child t node (i - 1) in
     for j = child.nkeys downto 1 do
       child.keys.(j) <- child.keys.(j - 1);
       child.vals.(j) <- child.vals.(j - 1)
@@ -178,7 +225,7 @@ let fill node i =
   end
   else if i < node.nkeys && node.children.(i + 1).nkeys >= tdeg then begin
     (* borrow from right sibling *)
-    let child = node.children.(i) and right = node.children.(i + 1) in
+    let child = own_child t node i and right = own_child t node (i + 1) in
     child.keys.(child.nkeys) <- node.keys.(i);
     child.vals.(child.nkeys) <- node.vals.(i);
     if not (is_leaf child) then child.children.(child.nkeys + 1) <- right.children.(0);
@@ -195,10 +242,11 @@ let fill node i =
     right.nkeys <- right.nkeys - 1;
     child.nkeys <- child.nkeys + 1
   end
-  else if i < node.nkeys then merge_children node i
-  else merge_children node (i - 1)
+  else if i < node.nkeys then merge_children t node i
+  else merge_children t node (i - 1)
 
-let rec delete_key node k =
+(* [node] must already be owned by [t]. *)
+let rec delete_key t node k =
   let i = lower_bound node k in
   if i < node.nkeys && Value.compare node.keys.(i) k = 0 then begin
     if is_leaf node then begin
@@ -212,30 +260,37 @@ let rec delete_key node k =
       let pk, pv = max_entry node.children.(i) in
       node.keys.(i) <- pk;
       node.vals.(i) <- pv;
-      delete_key node.children.(i) pk
+      delete_key t (own_child t node i) pk
     end
     else if node.children.(i + 1).nkeys >= min_degree then begin
       let sk, sv = min_entry node.children.(i + 1) in
       node.keys.(i) <- sk;
       node.vals.(i) <- sv;
-      delete_key node.children.(i + 1) sk
+      delete_key t (own_child t node (i + 1)) sk
     end
     else begin
-      merge_children node i;
-      delete_key node.children.(i) k
+      merge_children t node i;
+      delete_key t (own_child t node i) k
     end
   end
   else if not (is_leaf node) then begin
     let last = i = node.nkeys in
-    if node.children.(i).nkeys < min_degree then fill node i;
+    if node.children.(i).nkeys < min_degree then fill t node i;
     (* After a merge at the end, descend into the previous child. *)
-    if last && i > node.nkeys then delete_key node.children.(i - 1) k
+    if last && i > node.nkeys then delete_key t (own_child t node (i - 1)) k
     else
       (* fill may have shifted keys; recompute the descent position *)
       let i = lower_bound node k in
-      if i < node.nkeys && Value.compare node.keys.(i) k = 0 then delete_key node k
-      else delete_key node.children.(i) k
+      if i < node.nkeys && Value.compare node.keys.(i) k = 0 then delete_key t node k
+      else delete_key t (own_child t node i) k
   end
+
+(* Replace key [k]'s rowid list along an owned descent. [node] must
+   already be owned by [t]; the key is known to be present. *)
+let rec set_vals t node k vals =
+  let i = lower_bound node k in
+  if i < node.nkeys && Value.compare node.keys.(i) k = 0 then node.vals.(i) <- vals
+  else set_vals t (own_child t node i) k vals
 
 (** [remove t k rowid] removes one indexed row id from key [k]; the key
     disappears once its last row id is gone. Returns [false] when the
@@ -247,12 +302,13 @@ let remove t k rowid =
     if not (List.mem rowid node.vals.(i)) then false
     else begin
       let remaining = List.filter (fun r -> r <> rowid) node.vals.(i) in
+      t.root <- own t t.root;
       if remaining <> [] then begin
-        node.vals.(i) <- remaining;
+        set_vals t t.root k remaining;
         true
       end
       else begin
-        delete_key t.root k;
+        delete_key t t.root k;
         if t.root.nkeys = 0 && not (is_leaf t.root) then t.root <- t.root.children.(0);
         t.cardinal <- t.cardinal - 1;
         true

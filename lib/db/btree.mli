@@ -11,6 +11,12 @@ type t
 
 val create : unit -> t
 
+(** O(1) snapshot: the result is an independent handle onto the current
+    tree. Subsequent mutations through either handle path-copy each
+    touched node once per epoch, so neither handle ever observes the
+    other's writes. Copies no keys or row ids. *)
+val freeze : t -> t
+
 (** [insert t k rowid] adds a row id under [k] (keys may hold several). *)
 val insert : t -> Value.t -> int -> unit
 

@@ -41,7 +41,14 @@ type t = {
       (* bumped on every DDL change (create/drop table, create index,
          operator registration); cached plans are stamped with the version
          they were built under and discarded on mismatch *)
-  mutable plan_cache : cache_box option;
+  plan_cache : cache_box option ref;
+      (* shared by reference with every snapshot, so plans prepared
+         against a frozen catalog land in the same LRU as live ones *)
+  mutable epoch : int;
+      (* publication counter: bumped each time [freeze] builds a fresh
+         snapshot; the snapshot carries the epoch it was built at *)
+  mutable snap : t option;
+      (* cached [freeze] result, dropped on any table or DDL mutation *)
 }
 
 exception No_such_table of string
@@ -56,7 +63,9 @@ let create () =
       hooks = [];
       calendar_resolver = None;
       version = 0;
-      plan_cache = None;
+      plan_cache = ref None;
+      epoch = 0;
+      snap = None;
     }
   in
   (* Built-in value constructors (used by dump/load literals). *)
@@ -76,12 +85,45 @@ let create () =
 
 let norm = String.lowercase_ascii
 
-let bump_version t = t.version <- t.version + 1
+let bump_version t =
+  t.version <- t.version + 1;
+  t.snap <- None
+
+(* O(1)-amortized snapshot: frozen tables (each O(1) copy-on-write), a
+   copied operator registry, no hooks — retrieves against a snapshot fire
+   no event rules — and the same resolver and plan-cache box as the live
+   catalog. Cached until the next mutation, so freezing an idle catalog
+   repeatedly returns the same value at the same epoch. *)
+let freeze t =
+  match t.snap with
+  | Some s -> s
+  | None ->
+    t.epoch <- t.epoch + 1;
+    let s =
+      {
+        tables = Hashtbl.create (max 16 (Hashtbl.length t.tables));
+        operators = Hashtbl.copy t.operators;
+        hooks = [];
+        calendar_resolver = t.calendar_resolver;
+        version = t.version;
+        plan_cache = t.plan_cache;
+        epoch = t.epoch;
+        snap = None;
+      }
+    in
+    Hashtbl.iter (fun key tbl -> Hashtbl.replace s.tables key (Table.freeze tbl)) t.tables;
+    s.snap <- Some s;
+    t.snap <- Some s;
+    s
+
+let epoch t = t.epoch
 
 let create_table t schema =
   let key = norm schema.Schema.table in
   if Hashtbl.mem t.tables key then raise (Table_exists schema.Schema.table);
   let table = Table.create schema in
+  (* Any write through the table must drop the catalog-level snapshot. *)
+  table.Table.on_mutate <- (fun () -> t.snap <- None);
   Hashtbl.replace t.tables key table;
   bump_version t;
   table
@@ -118,4 +160,6 @@ let operator_opt t name = Hashtbl.find_opt t.operators (norm name)
 let add_hook t f = t.hooks <- f :: t.hooks
 let fire t event = List.iter (fun f -> f event) t.hooks
 
-let set_calendar_resolver t f = t.calendar_resolver <- Some f
+let set_calendar_resolver t f =
+  t.calendar_resolver <- Some f;
+  t.snap <- None

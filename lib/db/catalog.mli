@@ -38,7 +38,10 @@ type t = {
   mutable version : int;
       (** bumped on every DDL change; stale cached plans are detected by
           comparing their stamp against this *)
-  mutable plan_cache : cache_box option;
+  plan_cache : cache_box option ref;
+      (** shared by reference between a live catalog and its snapshots *)
+  mutable epoch : int;  (** publication counter, bumped per fresh {!freeze} *)
+  mutable snap : t option;  (** cached {!freeze} result *)
 }
 
 exception No_such_table of string
@@ -46,6 +49,19 @@ exception No_such_operator of string
 exception Table_exists of string
 
 val create : unit -> t
+
+(** O(1)-amortized snapshot of the whole catalog: every table frozen
+    copy-on-write ({!Table.freeze}), operators copied, [hooks = []] (a
+    retrieve against a snapshot fires no event rules), the calendar
+    resolver and plan-cache box shared with the live catalog, and a fresh
+    {!epoch} stamp. The result is cached until the next table write or
+    DDL, so repeated freezes of an idle catalog return the same snapshot.
+    Copies no row data. *)
+val freeze : t -> t
+
+(** Current publication epoch: the stamp carried by the most recent
+    fresh snapshot (0 before any freeze). *)
+val epoch : t -> int
 
 (** @raise Table_exists *)
 val create_table : t -> Schema.t -> Table.t

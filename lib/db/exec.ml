@@ -577,9 +577,16 @@ let parallel_scan_threshold = ref 4096
    in chunk order reproduces the serial ascending order exactly; a
    predicate that raises does so first in the lowest failing chunk,
    which is the same row a serial scan would have failed on. *)
+(* Plans are portable across a live catalog and its snapshots: a plan
+   records the table it was built against, but execution re-resolves it
+   by name in the catalog it runs under. Sound because a plan only runs
+   when its version stamp matches the catalog's, and a snapshot carries
+   the version (and thus schema and index set) of the catalog it froze. *)
+let plan_table catalog (tbl : Table.t) = Catalog.table catalog (Table.name tbl)
+
 let scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env (scan : Qplan.scan) :
     int list =
-  let tbl = scan.Qplan.stable in
+  let tbl = plan_table catalog scan.Qplan.stable in
   let chronons = Option.map (resolve_calendar catalog) scan.Qplan.scal in
   let candidates =
     if force_seq then None
@@ -670,7 +677,7 @@ let exec_plan catalog ~outer ~stats ~force_seq ~domains (plan : Qplan.plan) para
     in
     Rows { columns = labels; rows }
   | Qplan.P_scan_retrieve { labels; scan; per_row; raw_targets; aggregate; group_by = []; _ } ->
-    let tbl = scan.Qplan.stable in
+    let tbl = plan_table catalog scan.Qplan.stable in
     let rowids = scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env scan in
     let value_rows =
       List.filter_map
@@ -686,7 +693,7 @@ let exec_plan catalog ~outer ~stats ~force_seq ~domains (plan : Qplan.plan) para
     let rows = if aggregate then run_aggregates raw_targets value_rows else value_rows in
     Rows { columns = labels; rows }
   | Qplan.P_scan_retrieve { labels; scan; per_row; raw_targets; group_by; group_codes; _ } ->
-    let tbl = scan.Qplan.stable in
+    let tbl = plan_table catalog scan.Qplan.stable in
     let rowids = scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env scan in
     let groups : (Value.t list, Value.t array list ref) Hashtbl.t = Hashtbl.create 16 in
     let order = ref [] in
@@ -722,7 +729,7 @@ let exec_plan catalog ~outer ~stats ~force_seq ~domains (plan : Qplan.plan) para
     in
     Rows { columns = labels; rows }
   | Qplan.P_delete { scan } ->
-    let tbl = scan.Qplan.stable in
+    let tbl = plan_table catalog scan.Qplan.stable in
     let rowids = scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env scan in
     List.iter
       (fun rowid ->
@@ -735,7 +742,7 @@ let exec_plan catalog ~outer ~stats ~force_seq ~domains (plan : Qplan.plan) para
       rowids;
     Affected (List.length rowids)
   | Qplan.P_replace { scan; rassigns } ->
-    let tbl = scan.Qplan.stable in
+    let tbl = plan_table catalog scan.Qplan.stable in
     let schema = tbl.Table.schema in
     let rowids = scan_rowids catalog ~stats ~force_seq ~domains ~params ~outer_env scan in
     List.iter
@@ -754,6 +761,7 @@ let exec_plan catalog ~outer ~stats ~force_seq ~domains (plan : Qplan.plan) para
       rowids;
     Affected (List.length rowids)
   | Qplan.P_append { atable; aassigns } ->
+    let atable = plan_table catalog atable in
     let schema = atable.Table.schema in
     let tuple = Array.make (Schema.arity schema) Value.Null in
     List.iter
@@ -849,17 +857,54 @@ let run_prepared catalog ?(binding = fun _ -> None) ?stats ?(force_seq = false) 
        gate). *)
     run catalog ~binding ~stats ~force_seq ~domains ~injector p.pq
 
+(* Execution exceptions rendered as [Error _], shared by every
+   parse-and-run entry point. *)
+let catching f =
+  match f () with
+  | r -> Ok r
+  | exception Exec_error e -> Error e
+  | exception Catalog.No_such_table t -> Error ("no such table: " ^ t)
+  | exception Catalog.No_such_operator o -> Error ("no such operator: " ^ o)
+  | exception Catalog.Table_exists t -> Error ("table already exists: " ^ t)
+  | exception Schema.Schema_error e -> Error e
+  | exception Qexpr.Eval_error e -> Error e
+  | exception Table.No_such_column c -> Error ("no such column: " ^ c)
+
 (** Parse and run. *)
 let run_string catalog ?binding ?stats ?mode ?force_seq ?domains ?injector input =
   match Qparser.query input with
   | Error e -> Error e
-  | Ok q -> (
-    match run catalog ?binding ?stats ?mode ?force_seq ?domains ?injector q with
-    | r -> Ok r
-    | exception Exec_error e -> Error e
-    | exception Catalog.No_such_table t -> Error ("no such table: " ^ t)
-    | exception Catalog.No_such_operator o -> Error ("no such operator: " ^ o)
-    | exception Catalog.Table_exists t -> Error ("table already exists: " ^ t)
-    | exception Schema.Schema_error e -> Error e
-    | exception Qexpr.Eval_error e -> Error e
-    | exception Table.No_such_column c -> Error ("no such column: " ^ c))
+  | Ok q -> catching (fun () -> run catalog ?binding ?stats ?mode ?force_seq ?domains ?injector q)
+
+(* --- snapshot reads ------------------------------------------------- *)
+
+let rec expr_pure e =
+  match e with
+  | Qexpr.Col _ | Qexpr.Const _ | Qexpr.Param _ -> true
+  | Qexpr.Binop (_, a, b) -> expr_pure a && expr_pure b
+  | Qexpr.Not e | Qexpr.Neg e -> expr_pure e
+  | Qexpr.Call (_, args) -> Qplan.is_aggregate_call e && List.for_all expr_pure args
+
+(* A retrieve is pure when evaluating it cannot touch shared mutable
+   state: no [on <calendar>] clause (the resolver consults the session's
+   calendar cache) and no operator calls other than the built-in
+   aggregates (registered operators may mutate or read session state).
+   Pure reads against a snapshot need no locks at all. *)
+let read_is_pure (q : Qast.query) =
+  match q with
+  | Qast.Retrieve { targets; where; on_cal; _ } ->
+    on_cal = None
+    && List.for_all (fun (_, e) -> expr_pure e) targets
+    && (match where with None -> true | Some w -> expr_pure w)
+  | _ -> false
+
+(** Parse and run a retrieve-only statement — the snapshot read path.
+    Non-retrieve statements are rejected with [Error _] before touching
+    the catalog. [domains] defaults to 1: snapshot reads already get
+    their parallelism from running many queries across reader lanes, and
+    the pool must only be driven from its owning thread. *)
+let run_read catalog ?stats ?(domains = 1) input =
+  match Qparser.query input with
+  | Error e -> Error e
+  | Ok (Qast.Retrieve _ as q) -> catching (fun () -> run catalog ?stats ~domains q)
+  | Ok q -> Error ("read-only: not a retrieve statement: " ^ Qast.to_string q)

@@ -103,3 +103,18 @@ val run_string :
   ?injector:Cal_faults.Injector.t ->
   string ->
   (result, string) Stdlib.result
+
+(** Whether [q] is a retrieve whose evaluation cannot touch shared
+    mutable state: no [on <calendar>] clause and no operator calls other
+    than the built-in aggregates. Pure reads run against a snapshot with
+    no locking at all; impure ones must serialize with the writer's
+    calendar machinery. *)
+val read_is_pure : Qast.query -> bool
+
+(** Parse and run a retrieve-only statement — the snapshot read path.
+    Any non-retrieve statement is rejected with [Error _] before
+    touching the catalog. Meant to run against a {!Catalog.freeze}
+    snapshot (where retrieval fires no events); [domains] defaults to 1
+    because concurrent readers get their parallelism from fanning
+    queries across lanes, not from partitioning one scan. *)
+val run_read : Catalog.t -> ?stats:stats -> ?domains:int -> string -> (result, string) Stdlib.result

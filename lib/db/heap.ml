@@ -1,33 +1,102 @@
-(** Heap storage: a growable array of tuple slots. Row ids are stable;
-    deletion leaves a tombstone. *)
+(** Heap storage: a growable chunked array of tuple slots. Row ids are
+    stable; deletion leaves a tombstone.
+
+    Slots live in fixed-size chunks behind a directory array, and every
+    chunk carries a stamp. {!freeze} is O(1): it hands out a second
+    handle onto the same directory and moves both handles to fresh
+    stamps, so the first write through either handle copies the
+    directory (pointers only) and each touched chunk copies once per
+    epoch — copy-on-write at chunk granularity, never whole-heap. *)
 
 type tuple = Value.t array
 
+let chunk_bits = 8
+let chunk_size = 1 lsl chunk_bits
+let chunk_mask = chunk_size - 1
+
 type t = {
-  mutable slots : tuple option array;
+  mutable dir : tuple option array array;  (** chunk directory *)
+  mutable stamps : int array;  (** per-chunk ownership stamps *)
   mutable next : int;  (** next fresh row id *)
   mutable live : int;
+  stamp_src : int ref;  (** shared stamp counter for the whole family *)
+  mutable stamp : int;  (** this handle's current stamp *)
+  mutable dir_owned : bool;  (** directory + stamps arrays are exclusively ours *)
 }
 
-let create () = { slots = Array.make 16 None; next = 0; live = 0 }
+let create () =
+  {
+    dir = [||];
+    stamps = [||];
+    next = 0;
+    live = 0;
+    stamp_src = ref 0;
+    stamp = 0;
+    dir_owned = true;
+  }
+
+let freeze t =
+  incr t.stamp_src;
+  let snap =
+    {
+      dir = t.dir;
+      stamps = t.stamps;
+      next = t.next;
+      live = t.live;
+      stamp_src = t.stamp_src;
+      stamp = !(t.stamp_src);
+      dir_owned = false;
+    }
+  in
+  incr t.stamp_src;
+  t.stamp <- !(t.stamp_src);
+  t.dir_owned <- false;
+  snap
+
+let own_dir t =
+  if not t.dir_owned then begin
+    t.dir <- Array.copy t.dir;
+    t.stamps <- Array.copy t.stamps;
+    t.dir_owned <- true
+  end
+
+(* Make chunk [c] safe to mutate: no snapshot can reach our copy. *)
+let own_chunk t c =
+  own_dir t;
+  if t.stamps.(c) <> t.stamp then begin
+    t.dir.(c) <- Array.copy t.dir.(c);
+    t.stamps.(c) <- t.stamp
+  end
 
 let grow t =
-  if t.next >= Array.length t.slots then begin
-    let bigger = Array.make (2 * Array.length t.slots) None in
-    Array.blit t.slots 0 bigger 0 (Array.length t.slots);
-    t.slots <- bigger
+  let needed = t.next lsr chunk_bits in
+  if needed >= Array.length t.dir then begin
+    let len = max 4 (max (needed + 1) (2 * Array.length t.dir)) in
+    let dir = Array.make len [||] in
+    let stamps = Array.make len t.stamp in
+    Array.blit t.dir 0 dir 0 (Array.length t.dir);
+    Array.blit t.stamps 0 stamps 0 (Array.length t.stamps);
+    for c = Array.length t.dir to len - 1 do
+      dir.(c) <- Array.make chunk_size None
+    done;
+    t.dir <- dir;
+    t.stamps <- stamps;
+    t.dir_owned <- true
   end
 
 let insert t tuple =
   grow t;
   let rowid = t.next in
-  t.slots.(rowid) <- Some tuple;
+  let c = rowid lsr chunk_bits in
+  own_chunk t c;
+  t.dir.(c).(rowid land chunk_mask) <- Some tuple;
   t.next <- t.next + 1;
   t.live <- t.live + 1;
   rowid
 
 let get t rowid =
-  if rowid < 0 || rowid >= t.next then None else t.slots.(rowid)
+  if rowid < 0 || rowid >= t.next then None
+  else t.dir.(rowid lsr chunk_bits).(rowid land chunk_mask)
 
 let get_exn t rowid =
   match get t rowid with
@@ -38,7 +107,9 @@ let delete t rowid =
   match get t rowid with
   | None -> false
   | Some _ ->
-    t.slots.(rowid) <- None;
+    let c = rowid lsr chunk_bits in
+    own_chunk t c;
+    t.dir.(c).(rowid land chunk_mask) <- None;
     t.live <- t.live - 1;
     true
 
@@ -46,7 +117,9 @@ let update t rowid tuple =
   match get t rowid with
   | None -> false
   | Some _ ->
-    t.slots.(rowid) <- Some tuple;
+    let c = rowid lsr chunk_bits in
+    own_chunk t c;
+    t.dir.(c).(rowid land chunk_mask) <- Some tuple;
     true
 
 let count t = t.live
@@ -55,8 +128,17 @@ let high_water t = t.next
 
 let iter_range t ~lo ~hi f =
   let hi = min hi t.next in
-  for rowid = max 0 lo to hi - 1 do
-    match t.slots.(rowid) with Some tuple -> f rowid tuple | None -> ()
+  let rowid = ref (max 0 lo) in
+  while !rowid < hi do
+    let c = !rowid lsr chunk_bits in
+    let chunk = t.dir.(c) in
+    let stop = min hi ((c + 1) lsl chunk_bits) in
+    while !rowid < stop do
+      (match chunk.(!rowid land chunk_mask) with
+      | Some tuple -> f !rowid tuple
+      | None -> ());
+      incr rowid
+    done
   done
 
 let iter t f = iter_range t ~lo:0 ~hi:t.next f

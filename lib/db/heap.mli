@@ -1,11 +1,18 @@
-(** Heap storage: a growable array of tuple slots. Row ids are stable;
-    deletion leaves a tombstone. *)
+(** Heap storage: a growable chunked array of tuple slots. Row ids are
+    stable; deletion leaves a tombstone. *)
 
 type tuple = Value.t array
 
 type t
 
 val create : unit -> t
+
+(** O(1) snapshot: the result is an independent handle sharing all
+    storage with [t]; the first mutation through either handle after a
+    freeze copies the chunk directory (pointers only) and each touched
+    256-slot chunk once per epoch, so neither handle ever observes the
+    other's writes. Copies no tuple data. *)
+val freeze : t -> t
 
 (** Appends and returns the fresh row id. *)
 val insert : t -> tuple -> int

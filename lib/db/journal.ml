@@ -11,20 +11,32 @@ let policy_name = function
   | Manual -> "manual"
 
 (* The default durability policy honors CALRULES_JOURNAL_GROUP (the same
-   convention CALRULES_DOMAINS uses for the pool): unset, "1" or
-   unparsable means Sync_each; an integer > 1 means Group of that size;
-   "manual" means Manual. Session-level opens consult this so CI can run
-   whole suites under a batched window without touching call sites. *)
+   convention CALRULES_DOMAINS uses for the pool): unset or empty means
+   Sync_each, "1" means Sync_each (a window of one), an integer > 1 means
+   Group of that size, "manual" means Manual. Anything else — zero,
+   negative, junk — raises instead of silently defaulting: a mistyped
+   durability policy must not quietly weaken (or fail to strengthen) the
+   commit discipline the operator asked for. Session-level opens consult
+   this so CI can run whole suites under a batched window without
+   touching call sites. *)
 let policy_of_env () =
   match Sys.getenv_opt "CALRULES_JOURNAL_GROUP" with
   | None -> Sync_each
   | Some s -> (
     match String.lowercase_ascii (String.trim s) with
+    | "" -> Sync_each
     | "manual" -> Manual
     | s -> (
       match int_of_string_opt s with
       | Some n when n > 1 -> Group n
-      | _ -> Sync_each))
+      | Some 1 -> Sync_each
+      | _ ->
+        raise
+          (Journal_error
+             (Printf.sprintf
+                "CALRULES_JOURNAL_GROUP=%S is not a valid group-commit policy: expected a \
+                 window size >= 1 or \"manual\""
+                s))))
 
 type t = {
   jpath : string;

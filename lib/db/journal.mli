@@ -58,9 +58,10 @@ val policy_name : policy -> string
 
 (** The policy named by the [CALRULES_JOURNAL_GROUP] environment
     variable: an integer > 1 means [Group of] that size, ["manual"]
-    means [Manual], anything else (or unset) means [Sync_each].
-    Session-level opens use it as their default so CI can run whole
-    suites under a batched window. *)
+    means [Manual], unset / empty / ["1"] mean [Sync_each]. Any other
+    value — zero, negative, junk — raises {!Journal_error} rather than
+    silently defaulting. Session-level opens use it as their default so
+    CI can run whole suites under a batched window. *)
 val policy_of_env : unit -> policy
 
 (** [open_append ?policy ?injector ?segments path] opens (creating if

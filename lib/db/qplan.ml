@@ -317,6 +317,9 @@ type node = {
 type cache = {
   tbl : (Qast.query, node) Hashtbl.t;
   capacity : int;
+  lock : Mutex.t;
+      (* one catalog's cache box is shared with its snapshots, so
+         concurrent readers and the writer prepare against the same LRU *)
   mutable head : node option;  (* most recently used *)
   mutable tail : node option;
   mutable chits : int;
@@ -329,24 +332,33 @@ type Catalog.cache_box += Box of cache
 
 let default_capacity = 256
 
+(* Serializes first-use installation of a catalog's cache box (the box
+   slot is shared by reference with every snapshot of that catalog). *)
+let install_lock = Mutex.create ()
+
 let cache_of catalog =
-  match (catalog : Catalog.t).Catalog.plan_cache with
+  match !((catalog : Catalog.t).Catalog.plan_cache) with
   | Some (Box c) -> c
   | _ ->
-    let c =
-      {
-        tbl = Hashtbl.create 64;
-        capacity = default_capacity;
-        head = None;
-        tail = None;
-        chits = 0;
-        cmisses = 0;
-        cevictions = 0;
-        cinvalidations = 0;
-      }
-    in
-    catalog.Catalog.plan_cache <- Some (Box c);
-    c
+    Mutex.protect install_lock (fun () ->
+        match !(catalog.Catalog.plan_cache) with
+        | Some (Box c) -> c
+        | _ ->
+          let c =
+            {
+              tbl = Hashtbl.create 64;
+              capacity = default_capacity;
+              lock = Mutex.create ();
+              head = None;
+              tail = None;
+              chits = 0;
+              cmisses = 0;
+              cevictions = 0;
+              cinvalidations = 0;
+            }
+          in
+          catalog.Catalog.plan_cache := Some (Box c);
+          c)
 
 let unlink c n =
   (match n.prev with Some p -> p.next <- n.next | None -> c.head <- n.next);
@@ -380,27 +392,28 @@ let evict_tail c =
 let prepare catalog (q : Qast.query) : plan * Value.t array * bool =
   match parameterize_query q with
   | None -> raise (Plan_error ("query form is not cacheable: " ^ Qast.to_string q))
-  | Some (key, params) -> (
+  | Some (key, params) ->
     let c = cache_of catalog in
-    match Hashtbl.find_opt c.tbl key with
-    | Some n when n.nplan.pversion = (catalog : Catalog.t).Catalog.version ->
-      c.chits <- c.chits + 1;
-      unlink c n;
-      push_front c n;
-      (n.nplan, params, true)
-    | stale ->
-      (match stale with
-      | Some n ->
-        c.cinvalidations <- c.cinvalidations + 1;
-        remove c n
-      | None -> ());
-      c.cmisses <- c.cmisses + 1;
-      let plan = build catalog key in
-      let n = { nkey = key; nplan = plan; prev = None; next = None } in
-      Hashtbl.replace c.tbl key n;
-      push_front c n;
-      if Hashtbl.length c.tbl > c.capacity then evict_tail c;
-      (plan, params, false))
+    Mutex.protect c.lock (fun () ->
+        match Hashtbl.find_opt c.tbl key with
+        | Some n when n.nplan.pversion = (catalog : Catalog.t).Catalog.version ->
+          c.chits <- c.chits + 1;
+          unlink c n;
+          push_front c n;
+          (n.nplan, params, true)
+        | stale ->
+          (match stale with
+          | Some n ->
+            c.cinvalidations <- c.cinvalidations + 1;
+            remove c n
+          | None -> ());
+          c.cmisses <- c.cmisses + 1;
+          let plan = build catalog key in
+          let n = { nkey = key; nplan = plan; prev = None; next = None } in
+          Hashtbl.replace c.tbl key n;
+          push_front c n;
+          if Hashtbl.length c.tbl > c.capacity then evict_tail c;
+          (plan, params, false))
 
 type cache_stats = {
   hits : int;
@@ -412,10 +425,11 @@ type cache_stats = {
 
 let cache_stats catalog =
   let c = cache_of catalog in
-  {
-    hits = c.chits;
-    misses = c.cmisses;
-    evictions = c.cevictions;
-    invalidations = c.cinvalidations;
-    size = Hashtbl.length c.tbl;
-  }
+  Mutex.protect c.lock (fun () ->
+      {
+        hits = c.chits;
+        misses = c.cmisses;
+        evictions = c.cevictions;
+        invalidations = c.cinvalidations;
+        size = Hashtbl.length c.tbl;
+      })

@@ -5,13 +5,40 @@ type t = {
   schema : Schema.t;
   heap : Heap.t;
   mutable indexes : (string * Btree.t) list;  (** column name -> index *)
+  mutable snap : t option;  (** cached {!freeze} result, dropped on mutation *)
+  mutable on_mutate : unit -> unit;  (** catalog-installed invalidation hook *)
 }
 
 exception No_such_column of string
 
-let create schema = { schema; heap = Heap.create (); indexes = [] }
+let create schema =
+  { schema; heap = Heap.create (); indexes = []; snap = None; on_mutate = ignore }
 
 let name t = t.schema.Schema.table
+
+(* Every write funnels through here: the cached snapshot (if any) no
+   longer reflects this table, and the owning catalog must re-freeze. *)
+let mutated t =
+  if t.snap != None then t.snap <- None;
+  t.on_mutate ()
+
+let freeze t =
+  match t.snap with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        schema = t.schema;
+        heap = Heap.freeze t.heap;
+        indexes = List.map (fun (col, idx) -> (col, Btree.freeze idx)) t.indexes;
+        snap = None;
+        on_mutate = ignore;
+      }
+    in
+    (* A snapshot is its own snapshot: freezing it again is the identity. *)
+    s.snap <- Some s;
+    t.snap <- Some s;
+    s
 
 let key_of t col tuple = tuple.(Schema.column_index_exn t.schema col)
 
@@ -25,6 +52,7 @@ let index_remove t rowid tuple =
 
 let insert t tuple =
   Schema.check_tuple t.schema tuple;
+  mutated t;
   let rowid = Heap.insert t.heap tuple in
   index_insert t rowid tuple;
   rowid
@@ -33,6 +61,7 @@ let delete t rowid =
   match Heap.get t.heap rowid with
   | None -> false
   | Some tuple ->
+    mutated t;
     index_remove t rowid tuple;
     ignore (Heap.delete t.heap rowid);
     true
@@ -42,6 +71,7 @@ let update t rowid tuple =
   match Heap.get t.heap rowid with
   | None -> false
   | Some old ->
+    mutated t;
     index_remove t rowid old;
     ignore (Heap.update t.heap rowid tuple);
     index_insert t rowid tuple;
@@ -59,6 +89,7 @@ let has_index t col = List.mem_assoc col t.indexes
 let create_index t col =
   if Schema.column_index t.schema col = None then raise (No_such_column col);
   if not (has_index t col) then begin
+    mutated t;
     let idx = Btree.create () in
     Heap.iter t.heap (fun rowid tuple -> Btree.insert idx (key_of t col tuple) rowid);
     t.indexes <- (col, idx) :: t.indexes

@@ -5,12 +5,23 @@ type t = {
   schema : Schema.t;
   heap : Heap.t;
   mutable indexes : (string * Btree.t) list;  (** column name -> index *)
+  mutable snap : t option;  (** cached {!freeze} result, dropped on mutation *)
+  mutable on_mutate : unit -> unit;
+      (** invalidation hook run on every mutation; {!Catalog} installs one
+          so table writes also drop the catalog-level snapshot *)
 }
 
 exception No_such_column of string
 
 val create : Schema.t -> t
 val name : t -> string
+
+(** O(1) snapshot: schema shared, heap and every index frozen
+    copy-on-write (see {!Heap.freeze} / {!Btree.freeze}). The result is
+    immutable-by-convention — mutating it is safe but pointless — and is
+    cached until the next mutation, so repeated freezes of an unchanged
+    table return the same value. Copies no row data. *)
+val freeze : t -> t
 
 (** Type-checks the tuple, appends it and updates every index.
     @raise Schema.Schema_error *)

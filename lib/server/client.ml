@@ -1,0 +1,54 @@
+(** Blocking line-protocol client: connect, exchange request/reply,
+    close. One request is in flight per connection at a time (the
+    protocol is strictly request/reply), so callers wanting concurrency
+    open one client per thread. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect addr =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_string s = connect (Protocol.sockaddr_of_string s)
+
+exception Protocol_error of string
+
+let unescape s = Scanf.unescaped s
+
+(** [request t line] sends one request and reads its framed reply:
+    [Ok payload_lines] (unescaped) or [Error message] for an [err]
+    reply. @raise Protocol_error on malformed framing or a dropped
+    connection. *)
+let request t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | exception End_of_file -> raise (Protocol_error "connection closed")
+  | header ->
+    if String.length header >= 4 && String.sub header 0 4 = "err " then
+      Error (unescape (String.sub header 4 (String.length header - 4)))
+    else if String.length header >= 3 && String.sub header 0 3 = "ok " then (
+      match int_of_string_opt (String.sub header 3 (String.length header - 3)) with
+      | None -> raise (Protocol_error ("bad reply header: " ^ header))
+      | Some n ->
+        let lines = ref [] in
+        (try
+           for _ = 1 to n do
+             lines := unescape (input_line t.ic) :: !lines
+           done
+         with End_of_file -> raise (Protocol_error "connection closed mid-reply"));
+        Ok (List.rev !lines))
+    else raise (Protocol_error ("bad reply header: " ^ header))
+
+(** Send [quit] and close the socket. *)
+let close t =
+  (try
+     output_string t.oc "quit\n";
+     flush t.oc
+   with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,177 @@
+(** The line protocol: one request line in, one framed response out.
+
+    Request forms:
+    - [?digest] / [?stats] / [?epoch] — meta commands.
+    - otherwise, [;]-separated query-language statements. When {e every}
+      statement is a retrieve, the request is a read batch: all of them
+      run against one published snapshot, so a client observes a single
+      commit-group-atomic state. Any other mix is a write batch: the
+      statements apply under the writer lock and journal as {e one
+      commit group} ([advance <days>] is accepted as a write statement).
+
+    Response framing (every payload line escaped with [String.escaped]
+    so framing stays line-based):
+    {v
+    ok <n>          then exactly n payload lines
+    err <message>   request-level failure (parse error, bad meta)
+    v}
+    Within an [ok] response, each statement renders its result lines
+    ([# col|col] header then [val|val] rows for a retrieve, [affected n],
+    [msg ...]) and a {e failed} statement renders one [err <message>]
+    line; statements are separated by a [--] line. *)
+
+open Cal_db
+
+type request =
+  | Reads of string list  (** all-retrieve batch: one snapshot *)
+  | Writes of Store.stmt list  (** one commit group *)
+  | Digest
+  | Stats
+  | Epoch
+
+(* --- addresses ------------------------------------------------------ *)
+
+(** [sockaddr_of_string s] parses ["unix:<path>"] or ["<host>:<port>"].
+    @raise Failure on malformed addresses. *)
+let sockaddr_of_string s =
+  match String.index_opt s ':' with
+  | Some 4 when String.length s > 5 && String.sub s 0 5 = "unix:" ->
+    Unix.ADDR_UNIX (String.sub s 5 (String.length s - 5))
+  | Some i ->
+    let host = String.sub s 0 i and port = String.sub s (i + 1) (String.length s - i - 1) in
+    let port =
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 -> p
+      | _ -> failwith (Printf.sprintf "bad port in address %S" s)
+    in
+    let addr =
+      match Unix.inet_addr_of_string host with
+      | a -> a
+      | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> failwith ("cannot resolve host " ^ host)
+        | h -> h.Unix.h_addr_list.(0)
+        | exception Not_found -> failwith ("cannot resolve host " ^ host))
+    in
+    Unix.ADDR_INET (addr, port)
+  | None -> failwith (Printf.sprintf "bad address %S: expected unix:PATH or HOST:PORT" s)
+
+let string_of_sockaddr = function
+  | Unix.ADDR_UNIX p -> "unix:" ^ p
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+
+(* --- request parsing ------------------------------------------------ *)
+
+let split_statements line =
+  String.split_on_char ';' line |> List.map String.trim |> List.filter (fun s -> s <> "")
+
+(* "advance <n>" with n >= 1, the protocol-level clock statement. *)
+let parse_advance s =
+  match String.split_on_char ' ' s |> List.filter (fun w -> w <> "") with
+  | [ "advance"; n ] -> (
+    match int_of_string_opt n with Some d when d >= 1 -> Some d | _ -> None)
+  | _ -> None
+
+let parse line =
+  let line = String.trim line in
+  if line = "" then Error "empty request"
+  else if String.length line > 0 && line.[0] = '?' then
+    match line with
+    | "?digest" -> Ok Digest
+    | "?stats" -> Ok Stats
+    | "?epoch" -> Ok Epoch
+    | _ -> Error ("unknown meta command " ^ line)
+  else
+    let stmts = split_statements line in
+    if stmts = [] then Error "empty request"
+    else
+      let classify src =
+        match parse_advance src with
+        | Some d -> Ok (`Write (Store.Advance d))
+        | None -> (
+          match Qparser.query src with
+          | Ok (Qast.Retrieve _) -> Ok (`Read src)
+          | Ok _ -> Ok (`Write (Store.Query src))
+          | Error e -> Error (Printf.sprintf "parse error in %S: %s" src e))
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | src :: rest -> (
+          match classify src with Ok c -> go (c :: acc) rest | Error e -> Error e)
+      in
+      match go [] stmts with
+      | Error e -> Error e
+      | Ok classified ->
+        if List.for_all (function `Read _ -> true | `Write _ -> false) classified then
+          Ok (Reads (List.map (function `Read s -> s | `Write _ -> assert false) classified))
+        else
+          Ok
+            (Writes
+               (List.map
+                  (function `Read s -> Store.Query s | `Write w -> w)
+                  classified))
+
+(* --- rendering ------------------------------------------------------ *)
+
+let render_result = function
+  | Exec.Rows { columns; rows } ->
+    ("# " ^ String.concat "|" columns)
+    :: List.map
+         (fun row -> String.concat "|" (List.map Value.to_string (Array.to_list row)))
+         rows
+  | Exec.Affected n -> [ Printf.sprintf "affected %d" n ]
+  | Exec.Msg m -> [ "msg " ^ m ]
+  | Exec.Rule_def r -> [ "msg rule " ^ r.Qast.rule_name ^ " defined" ]
+  | Exec.Rule_drop name -> [ "msg rule " ^ name ^ " dropped" ]
+
+let render_outcome = function
+  | Ok r -> render_result r
+  | Error e -> [ "err " ^ e ]
+
+(* Concatenate per-statement renderings with "--" separators. *)
+let render_outcomes outcomes =
+  List.concat (List.mapi (fun i o -> if i = 0 then o else "--" :: o) (List.map render_outcome outcomes))
+
+(* --- serving one request -------------------------------------------- *)
+
+type reply = {
+  lines : string list;  (** payload lines of an [ok] reply *)
+  failed : int;  (** request-level failure counts 1; else failed statements *)
+  was_read : bool;
+}
+
+let handle store line =
+  match parse line with
+  | Error e -> { lines = [ "err " ^ e ]; failed = 1; was_read = false }
+  | Ok Digest -> { lines = [ "digest " ^ Store.digest store ]; failed = 0; was_read = true }
+  | Ok Epoch ->
+    { lines = [ Printf.sprintf "epoch %d" (Store.epoch store) ]; failed = 0; was_read = true }
+  | Ok Stats ->
+    let s = Store.stats store in
+    {
+      lines =
+        [
+          Printf.sprintf "stats reads=%d writes=%d read_errors=%d write_errors=%d epoch=%d"
+            s.Store.sreads s.Store.swrites s.Store.sread_errors s.Store.swrite_errors
+            s.Store.sepoch;
+        ];
+      failed = 0;
+      was_read = true;
+    }
+  | Ok (Reads sources) ->
+    let snap = Store.snapshot store in
+    let outcomes = List.map (Store.read_on store snap) sources in
+    let failed = List.length (List.filter Result.is_error outcomes) in
+    { lines = render_outcomes outcomes; failed; was_read = true }
+  | Ok (Writes stmts) ->
+    let outcomes = Store.write store stmts in
+    let failed = List.length (List.filter Result.is_error outcomes) in
+    { lines = render_outcomes outcomes; failed; was_read = false }
+
+(* The wire rendering of a reply: header line + escaped payload lines.
+   An [err ...] header (request-level failure) stays a single line. *)
+let reply_lines reply =
+  match reply.lines with
+  | [ one ] when reply.failed = 1 && String.length one >= 4 && String.sub one 0 4 = "err " ->
+    [ String.escaped one ]
+  | lines -> Printf.sprintf "ok %d" (List.length lines) :: List.map String.escaped lines

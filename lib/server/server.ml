@@ -1,0 +1,147 @@
+(** The multiplexing front-end: a listener socket (Unix or TCP), an
+    accept thread, and one lightweight thread per connection, all sharing
+    one {!Store}. Connection threads block on socket I/O — where OCaml's
+    systhreads release the runtime lock — so N clients make progress
+    concurrently; pure reads also run lock-free against the published
+    snapshot, so read throughput is bounded by the store, not by the
+    server's threading.
+
+    Each connection speaks {!Protocol}: one request line in, one framed
+    reply out, until EOF or [quit]. *)
+
+type conn_stats = {
+  mutable creads : int;  (** read requests served on this connection *)
+  mutable cwrites : int;  (** write batches applied on this connection *)
+  mutable cerrors : int;  (** failed requests/statements on this connection *)
+}
+
+type t = {
+  store : Store.t;
+  listen_fd : Unix.file_descr;
+  addr : Unix.sockaddr;  (** actual bound address (resolves port 0) *)
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+  conns_lock : Mutex.t;
+  mutable next_conn : int;
+  connections : int Atomic.t;  (** total connections accepted *)
+}
+
+let cleanup_unix_path = function
+  | Unix.ADDR_UNIX p when Sys.file_exists p -> ( try Sys.remove p with Sys_error _ -> ())
+  | _ -> ()
+
+(* One connection: read request lines, serve each through the store,
+   write framed replies. The socket is this thread's only blocking
+   point; a server stop closes it out from under us, which surfaces as
+   an exception here and ends the thread. *)
+let serve_conn server fd =
+  let stats = { creads = 0; cwrites = 0; cerrors = 0 } in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line when String.trim line = "quit" -> ()
+       | line when String.trim line = "?connstats" ->
+         Printf.fprintf oc "ok 1\nstats reads=%d writes=%d errors=%d\n" stats.creads
+           stats.cwrites stats.cerrors;
+         flush oc;
+         loop ()
+       | line ->
+         let reply = Protocol.handle server.store line in
+         if reply.Protocol.was_read then stats.creads <- stats.creads + 1
+         else stats.cwrites <- stats.cwrites + 1;
+         stats.cerrors <- stats.cerrors + reply.Protocol.failed;
+         List.iter
+           (fun l ->
+             output_string oc l;
+             output_char oc '\n')
+           (Protocol.reply_lines reply);
+         flush oc;
+         loop ()
+     in
+     loop ()
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop server =
+  let rec loop () =
+    if Atomic.get server.stopping then ()
+    else
+      match Unix.accept server.listen_fd with
+      | exception Unix.Unix_error _ -> ()  (* listener closed: stop *)
+      | fd, _peer ->
+        Atomic.incr server.connections;
+        let id =
+          Mutex.protect server.conns_lock (fun () ->
+              let id = server.next_conn in
+              server.next_conn <- id + 1;
+              id)
+        in
+        let th =
+          Thread.create
+            (fun () ->
+              serve_conn server fd;
+              Mutex.protect server.conns_lock (fun () -> Hashtbl.remove server.conns id))
+            ()
+        in
+        Mutex.protect server.conns_lock (fun () -> Hashtbl.replace server.conns id (fd, th));
+        loop ()
+  in
+  loop ()
+
+(** [start store addr] binds [addr] ([unix:PATH] or [host:port]; TCP
+    port [0] picks a free port — see {!addr} for the actual one), starts
+    the accept thread, and returns the running server. A stale Unix
+    socket file at the path is replaced. *)
+let start store addr =
+  cleanup_unix_path addr;
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true | _ -> ());
+  Unix.bind fd addr;
+  Unix.listen fd 64;
+  let actual = Unix.getsockname fd in
+  let server =
+    {
+      store;
+      listen_fd = fd;
+      addr = actual;
+      stopping = Atomic.make false;
+      accept_thread = None;
+      conns = Hashtbl.create 16;
+      conns_lock = Mutex.create ();
+      next_conn = 0;
+      connections = Atomic.make 0;
+    }
+  in
+  server.accept_thread <- Some (Thread.create accept_loop server);
+  server
+
+let addr t = t.addr
+let store t = t.store
+let connections t = Atomic.get t.connections
+
+(** Stop accepting, close the listener, join the accept thread and every
+    live connection thread, and remove a Unix socket file. A blocked
+    [accept]/[read] is not woken by [close] from another thread, so both
+    the listener and every live connection get [shutdown] first —
+    connections mid-request finish their current reply, idle ones see
+    EOF. *)
+let stop t =
+  Atomic.set t.stopping true;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  t.accept_thread <- None;
+  let live =
+    Mutex.protect t.conns_lock (fun () ->
+        Hashtbl.fold (fun _ conn acc -> conn :: acc) t.conns [])
+  in
+  List.iter
+    (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    live;
+  List.iter (fun (_, th) -> Thread.join th) live;
+  cleanup_unix_path t.addr

@@ -1,0 +1,185 @@
+(** One journaled session shared by N concurrent clients: a single
+    writer funnels every state-changing batch through the session (one
+    commit group each) and publishes a fresh catalog snapshot per group;
+    readers execute retrieves against the latest published snapshot.
+
+    Locking discipline (ordered, so no cycles):
+    - [writer] serializes all state-changing work and is held across a
+      whole client batch — apply, journal as one group, publish.
+    - [eval_lock] serializes everything that touches the session's
+      calendar machinery (the evaluation context and materialization
+      cache are not thread-safe). The writer takes it inside [writer];
+      {e impure} reads — [on <calendar>] clauses or non-aggregate
+      operator calls — take only [eval_lock].
+
+    Pure reads (the hot path) take no lock at all: they grab the
+    published snapshot with one atomic load and run entirely against
+    frozen copy-on-write structures, so readers never take the writer
+    lock and the writer never waits for them. *)
+
+open Calrules
+open Cal_db
+
+type t = {
+  session : Session.t;
+  writer : Mutex.t;
+  eval_lock : Mutex.t;
+  published : Catalog.t Atomic.t;
+  reads : int Atomic.t;
+  writes : int Atomic.t;  (** write batches (commit groups), not statements *)
+  read_errors : int Atomic.t;
+  write_errors : int Atomic.t;
+}
+
+(** A statement of a write batch: a query-language statement, or a
+    simulated-time advance (which fires due rules on the way). *)
+type stmt = Query of string | Advance of int
+
+let of_session session =
+  {
+    session;
+    writer = Mutex.create ();
+    eval_lock = Mutex.create ();
+    published = Atomic.make (Session.freeze session);
+    reads = Atomic.make 0;
+    writes = Atomic.make 0;
+    read_errors = Atomic.make 0;
+    write_errors = Atomic.make 0;
+  }
+
+let open_store ~path ?policy ?segments () =
+  let session =
+    if Sys.file_exists path then Session.recover ~path ?policy ()
+    else Session.open_journaled ~path ?policy ?segments ()
+  in
+  of_session session
+
+let session t = t.session
+
+let snapshot t = Atomic.get t.published
+
+let epoch t = Catalog.epoch (Atomic.get t.published)
+
+(* Must be called with [writer] held: freeze whatever the batch left
+   behind and make it the snapshot every subsequent read sees. *)
+let publish t = Atomic.set t.published (Session.freeze t.session)
+
+(* --- reads ---------------------------------------------------------- *)
+
+(** [read_on t snap source] runs one retrieve against a previously
+    grabbed snapshot, so a batch of reads can observe a single
+    commit-group-atomic state. Pure retrieves run lock-free; impure ones
+    (calendar clauses, operator calls) serialize with the writer's
+    calendar machinery on [eval_lock] — but never take the writer
+    lock. *)
+let read_on t snap source =
+  Atomic.incr t.reads;
+  let r =
+    match Qparser.query source with
+    | Error e -> Error e
+    | Ok q when Exec.read_is_pure q -> Exec.run_read snap source
+    | Ok (Qast.Retrieve _) -> Mutex.protect t.eval_lock (fun () -> Exec.run_read snap source)
+    | Ok _ -> Error ("read-only: not a retrieve statement: " ^ String.trim source)
+  in
+  (match r with Error _ -> Atomic.incr t.read_errors | Ok _ -> ());
+  r
+
+(** One retrieve against the latest published snapshot. *)
+let read t source = read_on t (snapshot t) source
+
+(** [read_batch ?domains t sources] fans a batch of read-only queries
+    across the domain pool, all against one snapshot; results come back
+    in request order. Only the thread owning the default pool (the one
+    that first dispatched on it) may call this — connection threads use
+    {!read} / {!read_on}. *)
+let read_batch ?domains t sources =
+  let snap = snapshot t in
+  let pool = Cal_parallel.Pool.default () in
+  Cal_parallel.Pool.parallel_map ?domains pool (fun src -> read_on t snap src) sources
+
+(* --- writes --------------------------------------------------------- *)
+
+let run_stmt t = function
+  | Query source -> Session.query t.session source
+  | Advance days ->
+    Session.advance_days t.session days;
+    Ok (Exec.Msg (Printf.sprintf "advanced %d day%s" days (if days = 1 then "" else "s")))
+
+(** [write t stmts] applies a client batch as one commit group — all the
+    statements journal atomically — then publishes the resulting state
+    as a new snapshot epoch. Per-statement results come back in order;
+    an erroring statement does not abort the ones after it (same
+    semantics as issuing them sequentially on one session). *)
+let write t stmts =
+  Atomic.incr t.writes;
+  Mutex.protect t.writer (fun () ->
+      Mutex.protect t.eval_lock (fun () ->
+          let results =
+            Session.batch t.session (fun () ->
+                List.map
+                  (fun stmt ->
+                    match run_stmt t stmt with
+                    | r -> r
+                    | exception Session.Session_error e -> Error e
+                    | exception Journal.Journal_error e -> Error ("journal: " ^ e))
+                  stmts)
+          in
+          publish t;
+          List.iter
+            (function Error _ -> Atomic.incr t.write_errors | Ok _ -> ())
+            results;
+          results))
+
+(** Hash of the serialized full-state digest (see
+    {!Session.state_digest}) — takes the writer lock, so it observes a
+    commit-group boundary, and hashes so the result is one wire line. *)
+let digest t =
+  Mutex.protect t.writer (fun () ->
+      Mutex.protect t.eval_lock (fun () ->
+          Digest.to_hex (Digest.string (Session.state_digest t.session))))
+
+(** Force the journal's pending group to disk (Manual / Group policies). *)
+let commit t =
+  Mutex.protect t.writer (fun () -> Session.commit t.session)
+
+(* --- snapshot digests ----------------------------------------------- *)
+
+(** Canonical rendering of every table of a catalog (snapshot or live),
+    in sorted table order and ascending row order, hashed. Two catalogs
+    with identical digests hold identical user-visible rows — the
+    commit-group-atomicity witness the interleaving property and bench
+    E22 compare against serial-oracle prefixes. *)
+let catalog_digest (cat : Catalog.t) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      Buffer.add_string buf "%table ";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\n';
+      let tbl = Catalog.table cat name in
+      Table.iter tbl (fun _ tuple ->
+          Array.iter
+            (fun v ->
+              Buffer.add_string buf (Value.to_string v);
+              Buffer.add_char buf '|')
+            tuple;
+          Buffer.add_char buf '\n'))
+    (Catalog.table_names cat);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+type stats = {
+  sreads : int;  (** read statements served *)
+  swrites : int;  (** write batches (= commit groups) applied *)
+  sread_errors : int;
+  swrite_errors : int;
+  sepoch : int;  (** published snapshot epoch *)
+}
+
+let stats t =
+  {
+    sreads = Atomic.get t.reads;
+    swrites = Atomic.get t.writes;
+    sread_errors = Atomic.get t.read_errors;
+    swrite_errors = Atomic.get t.write_errors;
+    sepoch = epoch t;
+  }

@@ -927,6 +927,49 @@ let crash_consistency_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Group-commit policy from the environment *)
+
+(* The CALRULES_JOURNAL_GROUP matrix: accepted spellings map to their
+   policy; malformed values — a window of zero, a negative, junk — raise
+   a clear Journal_error instead of silently defaulting. The original
+   value is restored afterwards (unset and "" are behavior-identical,
+   both mean Sync_each). *)
+let test_policy_of_env_matrix () =
+  let var = "CALRULES_JOURNAL_GROUP" in
+  let original = Sys.getenv_opt var in
+  let restore () = Unix.putenv var (Option.value original ~default:"") in
+  Fun.protect ~finally:restore @@ fun () ->
+  let policy v =
+    Unix.putenv var v;
+    Journal.policy_of_env ()
+  in
+  List.iter
+    (fun (v, expected) ->
+      check_bool (Printf.sprintf "%S accepted" v) true (policy v = expected))
+    [
+      ("", Journal.Sync_each);
+      ("1", Journal.Sync_each);
+      (" 1 ", Journal.Sync_each);
+      ("8", Journal.Group 8);
+      (" 64 ", Journal.Group 64);
+      ("manual", Journal.Manual);
+      ("MANUAL", Journal.Manual);
+      (* OCaml integer literal syntax is accepted wholesale. *)
+      ("0x10", Journal.Group 16);
+    ];
+  List.iter
+    (fun v ->
+      match policy v with
+      | _ -> Alcotest.failf "%S must be rejected" v
+      | exception Journal.Journal_error msg ->
+        check_bool
+          (Printf.sprintf "%S error names the variable" v)
+          true
+          (String.length msg > 0
+          && String.sub msg 0 (String.length var) = var))
+    [ "0"; "-3"; "junk"; "2x"; "1.5" ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "faults"
@@ -948,6 +991,7 @@ let () =
           Alcotest.test_case "segmented roundtrip" `Quick test_journal_segmented_roundtrip;
           Alcotest.test_case "segmented torn tail" `Quick test_journal_segmented_torn_tail;
           Alcotest.test_case "segmented gap raises" `Quick test_journal_segmented_gap_raises;
+          Alcotest.test_case "policy_of_env matrix" `Quick test_policy_of_env_matrix;
         ] );
       ( "group-commit",
         [

@@ -1,0 +1,225 @@
+(* The socket front-end end-to-end: address and request parsing, a real
+   Unix-socket server with framed replies and meta commands, concurrent
+   clients multiplexed onto one store, per-connection stats, journaled
+   recovery to the served digest, and clean shutdown. *)
+
+module Store = Cal_server.Store
+module Server = Cal_server.Server
+module Client = Cal_server.Client
+module Protocol = Cal_server.Protocol
+open Calrules
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let epoch93 = Civil.make 1993 1 1
+let lifespan93 = (Civil.make 1993 1 1, Civil.make 1999 12 31)
+let session () = Session.create ~epoch:epoch93 ~lifespan:lifespan93 ()
+
+let temp_sock () =
+  let p = Filename.temp_file "calq_srv" ".sock" in
+  Sys.remove p;
+  p
+
+let request_exn c line =
+  match Client.request c line with
+  | Ok lines -> lines
+  | Error e -> Alcotest.failf "request %S failed: %s" line e
+
+(* Start a server on a fresh Unix socket, run [f], always stop. *)
+let with_server ?store f =
+  let store = match store with Some s -> s | None -> Store.of_session (session ()) in
+  let path = temp_sock () in
+  let server = Server.start store (Unix.ADDR_UNIX path) in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f store server path)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let test_sockaddr_parsing () =
+  (match Protocol.sockaddr_of_string "unix:/tmp/x.sock" with
+  | Unix.ADDR_UNIX p -> Alcotest.(check string) "unix path" "/tmp/x.sock" p
+  | _ -> Alcotest.fail "expected ADDR_UNIX");
+  (match Protocol.sockaddr_of_string "127.0.0.1:7070" with
+  | Unix.ADDR_INET (_, port) -> check_int "tcp port" 7070 port
+  | _ -> Alcotest.fail "expected ADDR_INET");
+  List.iter
+    (fun bad ->
+      match Protocol.sockaddr_of_string bad with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "address %S should be rejected" bad)
+    [ "nocolon"; "host:notaport"; "" ]
+
+let test_request_classification () =
+  (match Protocol.parse "retrieve (t.n) from t" with
+  | Ok (Protocol.Reads [ _ ]) -> ()
+  | _ -> Alcotest.fail "single retrieve classifies as a read batch");
+  (match Protocol.parse "retrieve (t.n) from t; retrieve (t.n) from t" with
+  | Ok (Protocol.Reads [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "all-retrieve line is one read batch");
+  (match Protocol.parse "append t (n = 1); retrieve (t.n) from t" with
+  | Ok (Protocol.Writes [ Store.Query _; Store.Query _ ]) -> ()
+  | _ -> Alcotest.fail "mixed line is one write batch");
+  (match Protocol.parse "advance 3" with
+  | Ok (Protocol.Writes [ Store.Advance 3 ]) -> ()
+  | _ -> Alcotest.fail "advance is a write statement");
+  (match Protocol.parse "?digest" with
+  | Ok Protocol.Digest -> ()
+  | _ -> Alcotest.fail "?digest meta");
+  (match Protocol.parse "?bogus" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "unknown meta rejected");
+  match Protocol.parse "" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "empty line rejected"
+
+(* ------------------------------------------------------------------ *)
+(* One client, end to end *)
+
+let test_single_client_roundtrip () =
+  with_server @@ fun store _server _path ->
+  let c = Client.connect (Server.addr _server) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  ignore (request_exn c "create table t (a int, b text)");
+  ignore (request_exn c "append t (a = 1, b = 'x'); append t (a = 2, b = 'y')");
+  let rows = request_exn c "retrieve (t.a, t.b) from t" in
+  check_int "header + 2 rows" 3 (List.length rows);
+  check_bool "header line" true (String.length (List.hd rows) > 0 && (List.hd rows).[0] = '#');
+  (* Meta commands. *)
+  (match request_exn c "?epoch" with
+  | [ e ] -> check_bool "epoch line" true (String.length e > 6 && String.sub e 0 6 = "epoch ")
+  | _ -> Alcotest.fail "?epoch is one line");
+  (match request_exn c "?digest" with
+  | [ d ] ->
+    check_bool "digest matches the store's" true (d = "digest " ^ Store.digest store)
+  | _ -> Alcotest.fail "?digest is one line");
+  (match request_exn c "?stats" with
+  | [ s ] -> check_bool "stats line" true (String.length s > 6 && String.sub s 0 6 = "stats ")
+  | _ -> Alcotest.fail "?stats is one line");
+  (match request_exn c "?connstats" with
+  | [ s ] -> check_bool "connstats line" true (String.sub s 0 6 = "stats ")
+  | _ -> Alcotest.fail "?connstats is one line");
+  (* A failing statement surfaces as an error reply, and the store
+     counts it. *)
+  (match Client.request c "bogus nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse error must surface as err");
+  let st = Store.stats store in
+  check_bool "reads counted" true (st.Store.sreads >= 1);
+  check_bool "writes counted" true (st.Store.swrites >= 2)
+
+(* A write batch is one commit group: the epoch moves once per request
+   line, not once per statement. *)
+let test_epoch_per_batch () =
+  with_server @@ fun store server _path ->
+  let c = Client.connect (Server.addr server) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  ignore (request_exn c "create table t (n int)");
+  let e0 = Store.epoch store in
+  ignore (request_exn c "append t (n = 1); append t (n = 2); append t (n = 3)");
+  check_int "three statements, one epoch" (e0 + 1) (Store.epoch store);
+  ignore (request_exn c "append t (n = 4)");
+  check_int "next batch, next epoch" (e0 + 2) (Store.epoch store)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent clients *)
+
+let test_concurrent_clients () =
+  with_server @@ fun store server _path ->
+  let setup = Client.connect (Server.addr server) in
+  ignore (request_exn setup "create table t (n int)");
+  let n_clients = 4 and per_client = 25 in
+  let errors = Atomic.make 0 in
+  let client id () =
+    let c = Client.connect (Server.addr server) in
+    for i = 0 to per_client - 1 do
+      let ok =
+        match Client.request c (Printf.sprintf "append t (n = %d)" ((id * 1000) + i)) with
+        | Ok _ -> true
+        | Error _ -> false
+      in
+      let ok2 =
+        match Client.request c "retrieve (t.n) from t" with Ok _ -> true | Error _ -> false
+      in
+      if not (ok && ok2) then Atomic.incr errors
+    done;
+    Client.close c
+  in
+  let threads = List.init n_clients (fun id -> Thread.create (client id) ()) in
+  List.iter Thread.join threads;
+  check_int "no client errors" 0 (Atomic.get errors);
+  let rows = request_exn setup "retrieve (t.n) from t" in
+  check_int "every append landed" (1 + (n_clients * per_client)) (List.length rows);
+  check_bool "connections counted" true (Server.connections server >= n_clients + 1);
+  let st = Store.stats store in
+  check_int "write batches = append requests + setup"
+    ((n_clients * per_client) + 1)
+    st.Store.swrites;
+  Client.close setup
+
+(* ------------------------------------------------------------------ *)
+(* Journaled store: served writes recover to the served digest *)
+
+let test_served_writes_recover () =
+  let path = Filename.temp_file "calq_srvj" ".journal" in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ path; path ^ ".snap"; path ^ ".tmp"; path ^ ".snap.tmp"; path ^ ".manifest" ]
+  in
+  Sys.remove path;
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let store = Store.open_store ~path () in
+  let live_digest =
+    with_server ~store @@ fun store server _p ->
+    let c = Client.connect (Server.addr server) in
+    ignore (request_exn c "create table t (n int)");
+    ignore (request_exn c "append t (n = 1); append t (n = 2)");
+    ignore (request_exn c "append t (n = 3)");
+    Client.close c;
+    Store.digest store
+  in
+  Store.commit store;
+  let recovered = Session.recover ~path () in
+  let recovered_digest = Digest.to_hex (Digest.string (Session.state_digest recovered)) in
+  check_bool "recovery reproduces the served state" true (recovered_digest = live_digest)
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown *)
+
+let test_stop_cleans_up () =
+  let store = Store.of_session (session ()) in
+  let path = temp_sock () in
+  let server = Server.start store (Unix.ADDR_UNIX path) in
+  let c = Client.connect (Server.addr server) in
+  ignore (request_exn c "create table t (n int)");
+  (* Stop with the client still connected: server must come back. *)
+  Server.stop server;
+  check_bool "socket file removed" false (Sys.file_exists path);
+  (match Client.connect (Unix.ADDR_UNIX path) with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "connect after stop must fail");
+  (* The store survives the server. *)
+  match Store.read store "retrieve (t.n) from t" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "store unusable after stop: %s" e
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "sockaddr parsing" `Quick test_sockaddr_parsing;
+          Alcotest.test_case "request classification" `Quick test_request_classification;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "single client roundtrip" `Quick test_single_client_roundtrip;
+          Alcotest.test_case "epoch per write batch" `Quick test_epoch_per_batch;
+          Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "journaled recovery of served writes" `Quick
+            test_served_writes_recover;
+          Alcotest.test_case "stop cleans up" `Quick test_stop_cleans_up;
+        ] );
+    ]

@@ -1,0 +1,380 @@
+(* Snapshot isolation: O(1) copy-on-write freeze at every layer (heap,
+   btree, table, catalog), independence of the live and frozen handles
+   under mutation from either side, and the reader/writer interleaving
+   property — every state a reader observes through the store equals
+   some commit-group prefix of a serial oracle. *)
+
+open Calrules
+module Heap = Cal_db.Heap
+module Btree = Cal_db.Btree
+module Table = Cal_db.Table
+module Schema = Cal_db.Schema
+module Catalog = Cal_db.Catalog
+module Value = Cal_db.Value
+module Exec = Cal_db.Exec
+module Store = Cal_server.Store
+module Protocol = Cal_server.Protocol
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let epoch93 = Civil.make 1993 1 1
+let lifespan93 = (Civil.make 1993 1 1, Civil.make 1999 12 31)
+let session () = Session.create ~epoch:epoch93 ~lifespan:lifespan93 ()
+
+let run s q =
+  match Session.query s q with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "query %S: %s" q e
+
+(* ------------------------------------------------------------------ *)
+(* Heap copy-on-write *)
+
+(* Row-id ordered dump, so two heaps compare structurally. *)
+let heap_dump h =
+  Heap.fold h (fun acc rid tup -> (rid, Array.to_list tup) :: acc) []
+  |> List.sort compare
+
+let test_heap_cow_live_writes () =
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    ignore (Heap.insert h [| Value.Int i |])
+  done;
+  let snap = Heap.freeze h in
+  let frozen = heap_dump snap in
+  ignore (Heap.delete h 5);
+  ignore (Heap.update h 7 [| Value.Int (-7) |]);
+  for i = 100 to 299 do
+    ignore (Heap.insert h [| Value.Int i |])
+  done;
+  check_int "live heap took the writes" 299 (Heap.count h);
+  check_bool "snapshot unchanged by live writes" true (heap_dump snap = frozen);
+  check_bool "live diverged" true (heap_dump h <> frozen)
+
+let test_heap_cow_snapshot_writes () =
+  let h = Heap.create () in
+  for i = 0 to 49 do
+    ignore (Heap.insert h [| Value.Int i |])
+  done;
+  let live = heap_dump h in
+  let snap = Heap.freeze h in
+  (* Both handles stay writable; writes through either copy first. *)
+  ignore (Heap.delete snap 3);
+  ignore (Heap.insert snap [| Value.Int 999 |]);
+  check_bool "live unchanged by snapshot writes" true (heap_dump h = live);
+  check_int "snapshot took its own writes" 50 (Heap.count snap)
+
+(* ------------------------------------------------------------------ *)
+(* Btree copy-on-write *)
+
+let test_btree_cow () =
+  let b = Btree.create () in
+  for i = 0 to 199 do
+    Btree.insert b (Value.Int (i mod 50)) i
+  done;
+  let snap = Btree.freeze b in
+  let frozen_keys = Btree.keys snap in
+  let frozen_hits = Btree.find snap (Value.Int 7) in
+  for i = 0 to 49 do
+    ignore (Btree.remove b (Value.Int i) i)
+  done;
+  for i = 500 to 599 do
+    Btree.insert b (Value.Int i) i
+  done;
+  Btree.check_invariants b;
+  Btree.check_invariants snap;
+  check_bool "snapshot keys unchanged" true (Btree.keys snap = frozen_keys);
+  check_bool "snapshot postings unchanged" true (Btree.find snap (Value.Int 7) = frozen_hits);
+  check_bool "live diverged" true (Btree.keys b <> frozen_keys);
+  (* And the reverse direction: the frozen handle is writable too. *)
+  let live_keys = Btree.keys b in
+  Btree.insert snap (Value.Int 12345) 0;
+  Btree.check_invariants snap;
+  check_bool "live unchanged by snapshot write" true (Btree.keys b = live_keys)
+
+(* ------------------------------------------------------------------ *)
+(* Table and catalog freeze *)
+
+let trades_schema name =
+  Schema.make ~table:name
+    [
+      { Schema.name = "id"; ty = Schema.TInt; valid_time = false };
+      { Schema.name = "qty"; ty = Schema.TInt; valid_time = false };
+    ]
+
+let test_table_freeze_with_index () =
+  let t = Table.create (trades_schema "trades") in
+  Table.create_index t "id";
+  for i = 0 to 499 do
+    ignore (Table.insert t [| Value.Int i; Value.Int (i * 10) |])
+  done;
+  let snap = Table.freeze t in
+  let hits = Table.index_lookup snap "id" (Value.Int 42) in
+  ignore (Table.insert t [| Value.Int 42; Value.Int 0 |]);
+  ignore (Table.delete t 1);
+  check_int "snapshot row count unchanged" 500 (Table.count snap);
+  check_bool "snapshot index unchanged" true
+    (Table.index_lookup snap "id" (Value.Int 42) = hits);
+  check_int "live took the writes" 500 (Table.count t);
+  check_bool "live index sees the new row" true
+    (match Table.index_lookup t "id" (Value.Int 42) with
+    | Some l -> List.length l = 2
+    | None -> false)
+
+let test_catalog_freeze_cached_and_epoch () =
+  let c = Catalog.create () in
+  let t = Catalog.create_table c (trades_schema "trades") in
+  ignore (Table.insert t [| Value.Int 1; Value.Int 10 |]);
+  let s1 = Catalog.freeze c in
+  let e1 = Catalog.epoch c in
+  let s2 = Catalog.freeze c in
+  check_bool "idle catalog: repeated freeze returns the cached snapshot" true (s1 == s2);
+  check_int "no epoch bump without writes" e1 (Catalog.epoch c);
+  ignore (Table.insert t [| Value.Int 2; Value.Int 20 |]);
+  let s3 = Catalog.freeze c in
+  check_bool "write invalidates the cache" true (not (s3 == s1));
+  check_int "fresh snapshot bumps the epoch" (e1 + 1) (Catalog.epoch c);
+  check_int "old snapshot still at its row count" 1 (Table.count (Catalog.table s1 "trades"));
+  check_int "new snapshot sees the write" 2 (Table.count (Catalog.table s3 "trades"))
+
+(* The acceptance criterion: freeze is O(1)-ish — copying chunk
+   directories and stamping roots, never rows. Freezing a 30k-row table
+   must allocate far less than any row copy would (the rows alone are
+   ~90k words). *)
+let test_freeze_allocation_bound () =
+  let c = Catalog.create () in
+  let t = Catalog.create_table c (trades_schema "trades") in
+  for i = 0 to 29_999 do
+    ignore (Table.insert t [| Value.Int i; Value.Int (i * 3) |])
+  done;
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  let snap = Catalog.freeze c in
+  let allocated = Gc.minor_words () -. before in
+  check_int "snapshot is complete" 30_000 (Table.count (Catalog.table snap "trades"));
+  if allocated > 50_000.0 then
+    Alcotest.failf "freeze of a 30k-row table allocated %.0f words (O(1) bound is 50k)"
+      allocated;
+  (* Cached re-freeze allocates nothing to speak of. *)
+  let before = Gc.minor_words () in
+  ignore (Catalog.freeze c);
+  let reallocated = Gc.minor_words () -. before in
+  if reallocated > 1_000.0 then
+    Alcotest.failf "cached re-freeze allocated %.0f words" reallocated
+
+(* ------------------------------------------------------------------ *)
+(* Differential COW properties *)
+
+let heap_ops_gen =
+  QCheck2.Gen.(
+    pair
+      (list_size (1 -- 40) (0 -- 99))
+      (list_size (0 -- 30) (0 -- 2)))
+
+let print_heap_case ((init, ops) : int list * int list) =
+  Printf.sprintf "init=[%s] ops=[%s]"
+    (String.concat ";" (List.map string_of_int init))
+    (String.concat ";" (List.map string_of_int ops))
+
+(* Mutating either handle never changes the other's contents. *)
+let heap_cow_prop (init, ops) =
+  let h = Heap.create () in
+  List.iter (fun n -> ignore (Heap.insert h [| Value.Int n |])) init;
+  let snap = Heap.freeze h in
+  let frozen = heap_dump snap in
+  let hw = Heap.high_water h in
+  List.iteri
+    (fun i op ->
+      match op with
+      | 0 -> ignore (Heap.insert h [| Value.Int (1000 + i) |])
+      | 1 -> ignore (Heap.delete h (i mod max 1 hw))
+      | _ -> ignore (Heap.update h (i mod max 1 hw) [| Value.Int (-i) |]))
+    ops;
+  let snap_survived = heap_dump snap = frozen in
+  let live_after = heap_dump h in
+  (* Same op stream through the snapshot handle: live must not move. *)
+  List.iteri
+    (fun i op ->
+      match op with
+      | 0 -> ignore (Heap.insert snap [| Value.Int (2000 + i) |])
+      | 1 -> ignore (Heap.delete snap (i mod max 1 hw))
+      | _ -> ignore (Heap.update snap (i mod max 1 hw) [| Value.Int i |]))
+    ops;
+  snap_survived && heap_dump h = live_after
+
+let btree_cow_prop (init, ops) =
+  let b = Btree.create () in
+  List.iter (fun k -> Btree.insert b (Value.Int k) k) init;
+  let snap = Btree.freeze b in
+  let frozen = Btree.keys snap in
+  List.iteri
+    (fun i op ->
+      match op with
+      | 0 -> Btree.insert b (Value.Int (100 + i)) i
+      | 1 -> ignore (Btree.remove b (Value.Int (i mod 100)) (i mod 100))
+      | _ -> Btree.insert b (Value.Int (i mod 100)) (500 + i))
+    ops;
+  Btree.check_invariants b;
+  Btree.check_invariants snap;
+  Btree.keys snap = frozen
+
+let cow_differential_tests =
+  [
+    QCheck2.Test.make ~name:"heap: handles are independent after freeze" ~count:120
+      ~print:print_heap_case heap_ops_gen heap_cow_prop;
+    QCheck2.Test.make ~name:"btree: snapshot keys survive live mutation" ~count:120
+      ~print:print_heap_case heap_ops_gen btree_cow_prop;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Reader/writer interleaving = commit-group prefixes (satellite 3) *)
+
+let render_read = function
+  | Ok r -> String.concat "\n" (Protocol.render_result r)
+  | Error e -> Alcotest.failf "reader query failed: %s" e
+
+(* Serial oracle: apply the same batches on a plain session, recording
+   after every commit group the catalog digest and the reader query's
+   rendered answer at that prefix. *)
+let oracle_prefixes batches query =
+  let oracle = session () in
+  ignore (run oracle "create table t (n int)");
+  let state () =
+    (Store.catalog_digest oracle.Session.catalog, render_read (Session.query oracle query))
+  in
+  let states = ref [ state () ] in
+  List.iter
+    (fun batch ->
+      ignore
+        (Session.batch oracle (fun () ->
+             List.map (fun q -> Session.query oracle q) batch));
+      states := state () :: !states)
+    batches;
+  List.rev !states
+
+let batch_stmts values =
+  List.map (fun n -> Printf.sprintf "append t (n = %d)" n) values
+
+let interleave_gen =
+  QCheck2.Gen.(
+    pair
+      (list_size (1 -- 6) (list_size (1 -- 4) (0 -- 99)))
+      (list_size (0 -- 7) (0 -- 2)))
+
+let print_interleave (batches, gaps) =
+  Printf.sprintf "batches=[%s] gaps=[%s]"
+    (String.concat ";"
+       (List.map (fun b -> String.concat "," (List.map string_of_int b)) batches))
+    (String.concat ";" (List.map string_of_int gaps))
+
+(* Any interleaving of reader queries and writer commit groups: every
+   reader observation (digest + query answer, both off one snapshot)
+   must equal the oracle's state at some commit-group prefix — and the
+   digest and the answer must agree on WHICH prefix. *)
+let interleave_prop (batches, gaps) =
+  let query = "retrieve (t.n) from t" in
+  let prefixes = oracle_prefixes (List.map batch_stmts batches) query in
+  let s = session () in
+  let store = Store.of_session s in
+  ignore (Store.write store [ Store.Query "create table t (n int)" ]);
+  let observe () =
+    let snap = Store.snapshot store in
+    let d = Store.catalog_digest snap in
+    let r = render_read (Store.read_on store snap query) in
+    match List.find_opt (fun (pd, _) -> pd = d) prefixes with
+    | None -> false
+    | Some (_, pr) -> pr = r
+  in
+  let gap i = match List.nth_opt gaps i with Some g -> g | None -> 1 in
+  let ok = ref true in
+  List.iteri
+    (fun i batch ->
+      for _ = 1 to gap i do
+        ok := !ok && observe ()
+      done;
+      ignore (Store.write store (List.map (fun q -> Store.Query q) (batch_stmts batch))))
+    batches;
+  for _ = 0 to 1 do
+    ok := !ok && observe ()
+  done;
+  !ok
+
+let interleaving_tests =
+  [
+    QCheck2.Test.make ~name:"reader observations = commit-group prefixes" ~count:40
+      ~print:print_interleave interleave_gen interleave_prop;
+  ]
+
+(* Same property with real concurrency: reader threads hammer the
+   published snapshot while the writer applies commit groups. Every
+   observation must be a prefix state, and the digest must match the
+   query answer taken off the same snapshot. *)
+let test_concurrent_readers_see_prefixes () =
+  let n_batches = 60 in
+  let batch i = List.init 3 (fun j -> (i * 3) + j) in
+  let query = "retrieve (t.n) from t" in
+  let prefixes = oracle_prefixes (List.init n_batches (fun i -> batch_stmts (batch i))) query in
+  let expected = Hashtbl.create 64 in
+  List.iter (fun (d, r) -> Hashtbl.replace expected d r) prefixes;
+  let s = session () in
+  let store = Store.of_session s in
+  ignore (Store.write store [ Store.Query "create table t (n int)" ]);
+  let stop = Atomic.make false in
+  let results = Array.make 2 [] in
+  let reader i () =
+    (* At least one observation each, even if the writer wins the race. *)
+    let rec loop seen =
+      let snap = Store.snapshot store in
+      let d = Store.catalog_digest snap in
+      let r = render_read (Store.read_on store snap query) in
+      let seen = (d, r) :: seen in
+      if Atomic.get stop then seen else loop seen
+    in
+    results.(i) <- loop []
+  in
+  let readers = List.init 2 (fun i -> Thread.create (reader i) ()) in
+  for i = 0 to n_batches - 1 do
+    ignore (Store.write store (List.map (fun q -> Store.Query q) (batch_stmts (batch i))));
+    Thread.yield ()
+  done;
+  Atomic.set stop true;
+  List.iter Thread.join readers;
+  let observations = results.(0) @ results.(1) in
+  check_bool "readers made observations" true (observations <> []);
+  List.iter
+    (fun (d, r) ->
+      match Hashtbl.find_opt expected d with
+      | None -> Alcotest.fail "reader observed a non-prefix state"
+      | Some pr ->
+        if pr <> r then Alcotest.fail "digest and query answer disagree on the prefix")
+    observations;
+  (* publish-per-group: setup freeze + create-table group + one epoch
+     per batch. *)
+  check_int "epoch counts commit groups" (n_batches + 2) (Store.epoch store)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "cow",
+        [
+          Alcotest.test_case "heap: live writes invisible to snapshot" `Quick
+            test_heap_cow_live_writes;
+          Alcotest.test_case "heap: snapshot writes invisible to live" `Quick
+            test_heap_cow_snapshot_writes;
+          Alcotest.test_case "btree: both directions" `Quick test_btree_cow;
+          Alcotest.test_case "table: rows and indexes" `Quick test_table_freeze_with_index;
+          Alcotest.test_case "catalog: cache and epoch" `Quick
+            test_catalog_freeze_cached_and_epoch;
+          Alcotest.test_case "freeze is O(1): allocation bound" `Quick
+            test_freeze_allocation_bound;
+        ] );
+      qsuite "cow-differential" cow_differential_tests;
+      qsuite "interleaving" interleaving_tests;
+      ( "concurrent",
+        [
+          Alcotest.test_case "threaded readers observe only prefixes" `Quick
+            test_concurrent_readers_see_prefixes;
+        ] );
+    ]
