@@ -2262,6 +2262,222 @@ let e22 () =
         ("reader_writer_digest_identical", Json.Bool witness);
       ]
 
+(* E23: the hardened serving path. Part A drives one sequential
+   retrying client through the seeded network-chaos proxy — calm (a
+   plain byte pump) vs faulty (delays, short reads, truncations,
+   disconnects) — and reports requests/sec and p50/p99 latency for
+   both; because write batches carry exactly-once request ids, the two
+   runs must land the identical final digest, and each journal must
+   recover to its served state. Part B offers increasing concurrent
+   write load to a store with a tiny admission queue and reports the
+   shed rate per offered-load step; the queue high-water mark never
+   exceeding the bound is the bounded-memory witness. With --json,
+   measurements land in BENCH_E23.json. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n /. 100.)) - 1 |> max 0))
+
+let e23 () =
+  header "E23 | Hardened serving: chaos latency, shed under overload, exactly-once";
+  let hw = Cal_parallel.Pool.hardware_domains () in
+  let lifespan = (Civil.make 1993 1 1, Civil.make 1994 12 31) in
+  let aux p =
+    [ p; p ^ ".snap"; p ^ ".tmp"; p ^ ".snap.tmp"; p ^ ".manifest"; p ^ ".manifest.tmp" ]
+  in
+  let rm_all ps = List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) ps in
+  (* Part A: one sequential client, every request through the proxy,
+     write batch every 4th request (2 distinct appends each), retried
+     with ids — the serial order is the issue order, so both modes must
+     produce the same state. *)
+  let n_req = 160 in
+  let line_of i =
+    if i mod 4 = 0 then
+      Printf.sprintf "@e23-%d append trades (day = @%d, qty = %d); append trades (day = @%d, qty = %d)"
+        i ((i mod 300) + 1) (i * 2) (((i + 7) mod 300) + 1) ((i * 2) + 1)
+    else Printf.sprintf "retrieve (qty) from trades where qty > %d" ((i * 91) mod 3000)
+  in
+  let run_mode ~mode ~chaos_config =
+    let sock = Filename.temp_file "bench_e23" ".sock" in
+    let psock = Filename.temp_file "bench_e23p" ".sock" in
+    let jpath = Filename.temp_file "bench_e23" ".journal" in
+    rm_all (sock :: psock :: aux jpath);
+    Fun.protect ~finally:(fun () -> rm_all (sock :: psock :: aux jpath)) @@ fun () ->
+    let session =
+      Session.open_journaled ~path:jpath ~epoch:epoch93 ~lifespan ~cache_capacity:512
+        ~policy:Journal.Sync_each ()
+    in
+    let store = Store.of_session session in
+    (match Store.write store [ Store.Query "create table trades (day chronon valid, qty int)" ] with
+    | [ Ok _ ] -> ()
+    | _ -> failwith "E23: create failed");
+    let server = Cal_server.Server.start store (Unix.ADDR_UNIX sock) in
+    let proxy =
+      Cal_faults.Netchaos.start ~config:chaos_config ~seed:0xC0FFEE
+        ~upstream:(Unix.ADDR_UNIX sock) (Unix.ADDR_UNIX psock)
+    in
+    let addr = Cal_faults.Netchaos.addr proxy in
+    let lat = Array.make n_req 0. in
+    let (), t_total =
+      wall (fun () ->
+          for i = 0 to n_req - 1 do
+            let t0 = Unix.gettimeofday () in
+            (match Cal_server.Client.run ~retries:100 ~timeout_s:15.0 ~addr (line_of i) with
+            | Ok _ -> ()
+            | Error (Cal_server.Client.Server_error e)
+            | Error (Cal_server.Client.Exhausted e) ->
+              failwith ("E23 " ^ mode ^ ": " ^ e));
+            lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.
+          done)
+    in
+    let pstats = Cal_faults.Netchaos.stats proxy in
+    Cal_faults.Netchaos.stop proxy;
+    let live_digest = Store.digest store in
+    let sstats = Store.stats store in
+    Cal_server.Server.stop server;
+    let recovered =
+      Session.recover ~path:jpath ~epoch:epoch93 ~lifespan ~cache_capacity:512 ()
+    in
+    let rec_digest = Digest.to_hex (Digest.string (Session.state_digest recovered)) in
+    Array.sort compare lat;
+    let p50 = percentile lat 50. and p99 = percentile lat 99. in
+    let rps = float_of_int n_req /. t_total in
+    Printf.printf
+      "    %-9s %s   %6.0f requests/s   p50 %6.2f ms   p99 %6.2f ms   dedup %d   recovery ok: %b\n"
+      mode (time_str t_total) rps p50 p99 sstats.Store.sdedup (live_digest = rec_digest);
+    Printf.printf
+      "              proxy: %d conns, %d delays, %d shorts, %d truncations, %d disconnects\n"
+      pstats.Cal_faults.Netchaos.conns pstats.Cal_faults.Netchaos.delays
+      pstats.Cal_faults.Netchaos.shorts pstats.Cal_faults.Netchaos.truncations
+      pstats.Cal_faults.Netchaos.disconnects;
+    (mode, t_total, rps, p50, p99, sstats, pstats, live_digest, live_digest = rec_digest)
+  in
+  Printf.printf "\n  one sequential retrying client, %d requests (1 write batch per 4), via proxy:\n"
+    n_req;
+  let calm = run_mode ~mode:"no-faults" ~chaos_config:Cal_faults.Netchaos.calm in
+  let chaotic = run_mode ~mode:"faults" ~chaos_config:Cal_faults.Netchaos.default_config in
+  let digest_of (_, _, _, _, _, _, _, d, _) = d in
+  let recov_of (_, _, _, _, _, _, _, _, ok) = ok in
+  let modes_identical = digest_of calm = digest_of chaotic in
+  let recovery_ok = recov_of calm && recov_of chaotic in
+  Printf.printf "\n  exactly-once witness: fault/no-fault digests identical: %b   recovery ok: %b\n"
+    modes_identical recovery_ok;
+  (* Part B: shed rate vs offered load. A two-slot admission queue in
+     front of a Sync_each writer (every group fsyncs, so the writer is
+     genuinely slow); C unthrottled clients fire plain un-retried write
+     batches and count their sheds. *)
+  let max_queue = 2 and per_client = 40 in
+  let run_load clients =
+    let sock = Filename.temp_file "bench_e23b" ".sock" in
+    let jpath = Filename.temp_file "bench_e23b" ".journal" in
+    rm_all (sock :: aux jpath);
+    Fun.protect ~finally:(fun () -> rm_all (sock :: aux jpath)) @@ fun () ->
+    let session =
+      Session.open_journaled ~path:jpath ~epoch:epoch93 ~lifespan ~cache_capacity:512
+        ~policy:Journal.Sync_each ()
+    in
+    let store = Store.of_session ~max_queue session in
+    (match Store.write store [ Store.Query "create table hits (day chronon valid, qty int)" ] with
+    | [ Ok _ ] -> ()
+    | _ -> failwith "E23: create failed");
+    let server = Cal_server.Server.start store (Unix.ADDR_UNIX sock) in
+    let shed = Atomic.make 0 and okc = Atomic.make 0 in
+    let client c () =
+      let cl = Cal_server.Client.connect (Unix.ADDR_UNIX sock) in
+      for i = 1 to per_client do
+        match
+          Cal_server.Client.request cl
+            (Printf.sprintf "append hits (day = @%d, qty = %d)" ((i mod 300) + 1)
+               ((c * 10_000) + i))
+        with
+        | Ok _ -> Atomic.incr okc
+        | Error msg ->
+          if String.length msg >= 9 && String.sub msg 0 9 = "retryable" then Atomic.incr shed
+          else failwith ("E23 load: " ^ msg)
+      done;
+      Cal_server.Client.close cl
+    in
+    let (), t =
+      wall (fun () ->
+          let threads = List.init clients (fun c -> Thread.create (client c) ()) in
+          List.iter Thread.join threads)
+    in
+    let st = Store.stats store in
+    Cal_server.Server.stop server;
+    let offered = clients * per_client in
+    let shed_n = Atomic.get shed in
+    let rate = float_of_int shed_n /. float_of_int offered in
+    Printf.printf
+      "    %2d clients: %5d offered   %5d applied   %5d shed (%4.1f%%)   queue peak %d/%d   %6.0f req/s\n"
+      clients offered (Atomic.get okc) shed_n (100. *. rate) st.Store.squeue_peak max_queue
+      (float_of_int offered /. t);
+    (clients, offered, shed_n, rate, st.Store.squeue_peak, t)
+  in
+  Printf.printf "\n  shed rate vs offered load (admission queue = %d, fsync per group):\n" max_queue;
+  let loads = List.map run_load [ 2; 8; 32 ] in
+  let queue_bounded = List.for_all (fun (_, _, _, _, peak, _) -> peak <= max_queue) loads in
+  Printf.printf "\n  admission queue bounded (peak <= %d in every run): %b\n" max_queue queue_bounded;
+  print_endline "\n  claim: deadlines, bounded admission and journaled request ids make the";
+  print_endline "  served store safe under hostile networks: retries are exactly-once,";
+  print_endline "  overload sheds instead of queueing without bound, and every run";
+  print_endline "  recovers to its served digest.";
+  if !json_mode then
+    emit ~name:"E23" ~host_domains:hw ~file:"BENCH_E23.json"
+      [
+        ( "latency",
+          Json.Obj
+            [
+              ("requests", Json.Int n_req);
+              ( "configs",
+                Json.List
+                  (List.map
+                     (fun (mode, t, rps, p50, p99, sstats, pstats, _, rec_ok) ->
+                       Json.Obj
+                         [
+                           ("mode", Json.Str mode);
+                           ("wall_s", Json.Float t);
+                           ("requests_per_s", Json.Float rps);
+                           ("p50_ms", Json.Float p50);
+                           ("p99_ms", Json.Float p99);
+                           ("dedup_hits", Json.Int sstats.Store.sdedup);
+                           ("proxy_delays", Json.Int pstats.Cal_faults.Netchaos.delays);
+                           ("proxy_shorts", Json.Int pstats.Cal_faults.Netchaos.shorts);
+                           ( "proxy_truncations",
+                             Json.Int pstats.Cal_faults.Netchaos.truncations );
+                           ( "proxy_disconnects",
+                             Json.Int pstats.Cal_faults.Netchaos.disconnects );
+                           ("recovery_digest_identical", Json.Bool rec_ok);
+                         ])
+                     [ calm; chaotic ] ) );
+              ("digest_identical_across_modes", Json.Bool modes_identical);
+            ] );
+        ( "shed",
+          Json.Obj
+            [
+              ("max_queue", Json.Int max_queue);
+              ("writes_per_client", Json.Int per_client);
+              ( "configs",
+                Json.List
+                  (List.map
+                     (fun (clients, offered, shed_n, rate, peak, t) ->
+                       Json.Obj
+                         [
+                           ("clients", Json.Int clients);
+                           ("offered", Json.Int offered);
+                           ("shed", Json.Int shed_n);
+                           ("shed_rate", Json.Float rate);
+                           ("queue_peak", Json.Int peak);
+                           ("wall_s", Json.Float t);
+                           ( "offered_per_s",
+                             Json.Float (float_of_int offered /. t) );
+                         ])
+                     loads) );
+              ("queue_bounded", Json.Bool queue_bounded);
+            ] );
+        ("exactly_once_digest_identical", Json.Bool (modes_identical && recovery_ok));
+      ]
+
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
@@ -2276,7 +2492,7 @@ let perf =
     ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
     ("E9", e9); ("E10", e10_perf); ("E11", e11_perf); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-    ("E20", e20); ("E21", e21); ("E22", e22);
+    ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
   ]
 
 let () =
@@ -2298,7 +2514,7 @@ let () =
       if !json_mode then
         [
           ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20);
-          ("E21", e21); ("E22", e22);
+          ("E21", e21); ("E22", e22); ("E23", e23);
         ]
       else all
     | [ "figures" ] -> figures

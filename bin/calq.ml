@@ -423,15 +423,25 @@ let repl epoch domains strategy journal shards group_commit commands =
 
 (* --- serving and connecting ------------------------------------------- *)
 
-let serve epoch domains strategy journal shards group_commit addr_s =
+let serve epoch domains strategy journal shards group_commit deadline_ms idle_ms max_queue
+    addr_s =
   match Cal_server.Protocol.sockaddr_of_string addr_s with
   | exception Failure e ->
     Printf.eprintf "calq: %s\n" e;
     exit 2
   | addr ->
     let session = make_session ?journal ~shards ?group_commit epoch domains strategy in
-    let store = Cal_server.Store.of_session session in
-    let server = Cal_server.Server.start store addr in
+    let store = Cal_server.Store.of_session ?max_queue session in
+    let config =
+      let c = Cal_server.Server.config_of_env () in
+      let ms v keep = match v with Some ms -> float_of_int ms /. 1000. | None -> keep in
+      {
+        c with
+        Cal_server.Server.request_deadline_s = ms deadline_ms c.Cal_server.Server.request_deadline_s;
+        idle_timeout_s = ms idle_ms c.Cal_server.Server.idle_timeout_s;
+      }
+    in
+    let server = Cal_server.Server.start ~config store addr in
     Printf.printf "calq: serving on %s%s — type `stop' (or close stdin) to shut down\n%!"
       (Cal_server.Protocol.string_of_sockaddr (Cal_server.Server.addr server))
       (match journal with Some p -> ", journal " ^ p | None -> "");
@@ -449,25 +459,54 @@ let serve epoch domains strategy journal shards group_commit addr_s =
       s.Cal_server.Store.sreads s.Cal_server.Store.swrites
       (Cal_server.Server.connections server) s.Cal_server.Store.sepoch
 
-let connect addr_s commands =
-  match Cal_server.Client.connect_string addr_s with
-  | exception e ->
-    Printf.eprintf "calq: cannot connect to %s: %s\n" addr_s (Printexc.to_string e);
+let connect addr_s timeout_ms retries commands =
+  match Cal_server.Protocol.sockaddr_of_string addr_s with
+  | exception Failure e ->
+    Printf.eprintf "calq: %s\n" e;
     exit 2
-  | client ->
+  | addr ->
     let failures = ref 0 in
     let is_err l = String.length l >= 4 && String.sub l 0 4 = "err " in
-    let request line =
-      match Cal_server.Client.request client line with
-      | Ok lines ->
-        List.iter print_endline lines;
-        if List.exists is_err lines then incr failures
-      | Error e ->
-        Printf.printf "err %s\n" e;
-        incr failures
-      | exception Cal_server.Client.Protocol_error e ->
-        Printf.eprintf "calq: protocol error: %s\n" e;
-        incr failures
+    let robust = timeout_ms > 0 || retries > 0 in
+    (* Plain mode holds one connection for the whole run; robust mode
+       (any of --timeout/--retries) goes through the retrying layer — a
+       fresh connection per attempt, write batches tagged with an
+       exactly-once request id, retryable failures backed off. *)
+    let request =
+      if robust then (
+        let timeout_s = float_of_int timeout_ms /. 1000. in
+        fun line ->
+          match Cal_server.Client.run ~retries ~timeout_s ~addr line with
+          | Ok lines ->
+            List.iter print_endline lines;
+            if List.exists is_err lines then incr failures
+          | Error (Cal_server.Client.Server_error e) ->
+            Printf.printf "err %s\n" e;
+            incr failures
+          | Error (Cal_server.Client.Exhausted e) ->
+            Printf.eprintf "calq: request failed after retries: %s\n" e;
+            incr failures)
+      else
+        let client =
+          match Cal_server.Client.connect addr with
+          | exception e ->
+            Printf.eprintf "calq: cannot connect to %s: %s\n" addr_s (Printexc.to_string e);
+            exit 2
+          | c ->
+            at_exit (fun () -> Cal_server.Client.close c);
+            c
+        in
+        fun line ->
+          match Cal_server.Client.request client line with
+          | Ok lines ->
+            List.iter print_endline lines;
+            if List.exists is_err lines then incr failures
+          | Error e ->
+            Printf.printf "err %s\n" e;
+            incr failures
+          | exception Cal_server.Client.Protocol_error e ->
+            Printf.eprintf "calq: protocol error: %s\n" e;
+            incr failures
     in
     (match commands with
     | _ :: _ -> List.iter request commands
@@ -483,7 +522,6 @@ let connect addr_s commands =
           loop ()
       in
       loop ());
-    Cal_server.Client.close client;
     exit (if !failures = 0 then 0 else 1)
 
 let eval_once epoch domains strategy expr =
@@ -551,15 +589,42 @@ let () =
         required & pos 0 (some string) None
         & info [] ~docv:"ADDR" ~doc:"Listen address: $(b,unix:PATH) or $(b,HOST:PORT).")
     in
+    let deadline_arg =
+      Arg.(
+        value & opt (some int) None
+        & info [ "request-deadline" ] ~docv:"MS"
+            ~doc:
+              "Per-request deadline in milliseconds; a write that cannot reach the store's \
+               writer in time fails with $(b,err retryable deadline). 0 disarms. Defaults to \
+               $(b,CALQ_REQUEST_DEADLINE_MS) or 30000.")
+    in
+    let idle_arg =
+      Arg.(
+        value & opt (some int) None
+        & info [ "idle-timeout" ] ~docv:"MS"
+            ~doc:
+              "Close a connection with no request for $(docv) milliseconds. 0 disarms. \
+               Defaults to $(b,CALQ_IDLE_TIMEOUT_MS) or 300000.")
+    in
+    let max_queue_arg =
+      Arg.(
+        value & opt (some int) None
+        & info [ "max-queue" ] ~docv:"N"
+            ~doc:
+              "Admission bound on concurrent write batches; beyond it writes are shed with \
+               $(b,err retryable overloaded). Defaults to $(b,CALQ_MAX_QUEUE) or 64.")
+    in
     Cmd.v
       (Cmd.info "serve"
          ~doc:
            "Serve the line protocol on a socket: N clients multiplex onto this one store — \
             retrieves run lock-free against the latest published snapshot, each write batch \
-            journals as one commit group.")
+            journals as one commit group. Requests are bounded by a per-request deadline, \
+            idle connections by an idle timeout, and the writer by an admission queue that \
+            sheds excess load with retryable errors.")
       Term.(
         const serve $ epoch_term $ domains_arg $ strategy_arg $ journal_arg $ shards_arg
-        $ group_commit_arg $ addr)
+        $ group_commit_arg $ deadline_arg $ idle_arg $ max_queue_arg $ addr)
   in
   let connect_cmd =
     let addr =
@@ -567,13 +632,33 @@ let () =
         required & pos 0 (some string) None
         & info [] ~docv:"ADDR" ~doc:"Server address: $(b,unix:PATH) or $(b,HOST:PORT).")
     in
+    let timeout_arg =
+      Arg.(
+        value & opt int 0
+        & info [ "timeout" ] ~docv:"MS"
+            ~doc:
+              "Overall deadline per request in milliseconds, across all retries; on expiry \
+               the command fails with a non-zero exit. 0 (default) waits forever.")
+    in
+    let retries_arg =
+      Arg.(
+        value & opt int 0
+        & info [ "retries" ] ~docv:"N"
+            ~doc:
+              "Retry each request up to $(docv) times on dropped connections, torn replies \
+               and $(b,err retryable) sheds, with exponential backoff and decorrelated \
+               jitter. Write batches carry an exactly-once request id, so a retry whose \
+               predecessor landed replays the original reply instead of applying twice. \
+               0 (default) keeps the plain single-connection behaviour.")
+    in
     Cmd.v
       (Cmd.info "connect"
          ~doc:
            "Connect to a $(b,calq serve) instance: each input line is one protocol request \
             ($(b,;)-separated statements, $(b,?digest) / $(b,?stats) / $(b,?epoch) meta). Exits \
-            non-zero when any request or statement fails.")
-      Term.(const connect $ addr $ exec_arg)
+            non-zero when any request or statement fails, a reply is an $(b,err), or the \
+            $(b,--timeout) deadline expires.")
+      Term.(const connect $ addr $ timeout_arg $ retries_arg $ exec_arg)
   in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit

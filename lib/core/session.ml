@@ -31,6 +31,9 @@ type t = {
   mutable batch_buf : string list option;
       (** inside {!batch}: records collected for one commit group,
           newest first *)
+  req_ids : (string, unit) Hashtbl.t;
+      (** client request ids already applied (exactly-once dedup);
+          journaled as [reqid] records, so the set survives recovery *)
 }
 
 exception Session_error of string
@@ -200,7 +203,7 @@ let create ?(epoch = Unit_system.default_epoch) ?lifespan ?probe_period ?lookahe
       ?pending ?max_failures ?retry_base ?injector ctx catalog
   in
   { ctx; catalog; manager; clock; injector = Cal_rules.Manager.injector manager;
-    journal = None; batch_buf = None }
+    journal = None; batch_buf = None; req_ids = Hashtbl.create 64 }
 
 (* --- CALENDARS catalog maintenance ---------------------------------- *)
 
@@ -305,6 +308,33 @@ let query_exn t source =
    readers run retrieves against the result with [Exec.run_read]. *)
 let freeze t = Catalog.freeze t.catalog
 
+(* --- exactly-once request ids ---------------------------------------- *)
+
+(* One token, no whitespace or control bytes: it must survive the
+   space-delimited journal-record framing and the wire protocol. *)
+let valid_req_id id =
+  let n = String.length id in
+  n >= 1 && n <= 128
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' -> true
+         | _ -> false)
+       id
+
+(** Has a write batch carrying [id] already applied (this run or any
+    recovered one)? *)
+let request_applied t id = Hashtbl.mem t.req_ids id
+
+(** Record [id] as applied and journal it — callers run this inside
+    {!batch} with the batch's statements, so the id commits atomically
+    with the work it names: after recovery either both are present or
+    neither, and a client retry can never re-apply a batch whose commit
+    group survived. @raise Session_error on a malformed id. *)
+let mark_request t id =
+  if not (valid_req_id id) then raise (Session_error ("bad request id " ^ String.escaped id));
+  Hashtbl.replace t.req_ids id ();
+  journal_record t ("reqid " ^ id)
+
 (* --- persistence ------------------------------------------------------ *)
 
 (* A saved session is a sectioned text file:
@@ -392,7 +422,14 @@ let save ?(durable = false) t =
       (fun (name, at, attempt, err) ->
         Buffer.add_string buf
           (Printf.sprintf "%s %d %d %s\n" name at attempt (String.escaped err)))
-      (Cal_rules.Manager.rule_errors t.manager)
+      (Cal_rules.Manager.rule_errors t.manager);
+    (* The applied-request-id set: a snapshot truncates the journal, so
+       the ids journaled there must survive in the snapshot or a client
+       retry after recovery would re-apply its batch. *)
+    Buffer.add_string buf "%%reqids\n";
+    List.iter
+      (fun id -> Buffer.add_string buf (id ^ "\n"))
+      (List.sort String.compare (Hashtbl.fold (fun id () acc -> id :: acc) t.req_ids []))
   end;
   Buffer.contents buf
 
@@ -528,6 +565,9 @@ let load_unlogged t script =
           | _ -> ())
         (non_empty payload);
       Ok ()
+    | [ "reqids" ] ->
+      List.iter (fun id -> Hashtbl.replace t.req_ids (String.trim id) ()) (non_empty payload);
+      Ok ()
     | _ -> Error ("unknown section " ^ header)
   in
   let r =
@@ -633,6 +673,10 @@ let apply_record t record =
        re-fires deterministically through the advance/catchup records,
        so these are no-ops here. *)
     ()
+  | "reqid" ->
+    (* A client request id that committed with its batch: restore it to
+       the dedup set so a post-recovery retry is refused. *)
+    Hashtbl.replace t.req_ids (String.trim rest) ()
   | _ -> raise (Session_error ("journal: unknown record kind " ^ kind))
 
 let snap_path path = path ^ ".snap"

@@ -25,6 +25,9 @@ type t = {
   mutable journal : Journal.t option;  (** present on durable sessions *)
   mutable batch_buf : string list option;
       (** inside {!batch}: records collected for one commit group *)
+  req_ids : (string, unit) Hashtbl.t;
+      (** applied client request ids (exactly-once dedup); journaled and
+          snapshotted, so the set survives recovery *)
 }
 
 exception Session_error of string
@@ -211,6 +214,30 @@ val commit : t -> unit
     flatten into the outermost group; on a non-journaled session this is
     just [f ()]. *)
 val batch : t -> (unit -> 'a) -> 'a
+
+(** {2 Exactly-once request ids}
+
+    A served write batch may carry a client-supplied request id. The id
+    is journaled as a [reqid] record {e inside the batch's commit group}
+    (call {!mark_request} within {!batch}) and persisted by durable
+    snapshots, so after any crash/recovery either the batch and its id
+    both survive or neither does — a client retrying after a lost reply
+    can never re-apply work whose commit group landed. The id set is
+    deliberately outside {!state_digest}: it is retry plumbing, not
+    user-visible state. *)
+
+(** Has a batch carrying this id already applied (this run or any
+    recovered one)? *)
+val request_applied : t -> string -> bool
+
+(** Record an id as applied and journal it; run inside {!batch} so the
+    id commits atomically with the batch it names.
+    @raise Session_error on a malformed id (ids are 1–128 bytes of
+    [[A-Za-z0-9._:-]]). *)
+val mark_request : t -> string -> unit
+
+(** [true] exactly when {!mark_request} would accept the id. *)
+val valid_req_id : string -> bool
 
 (** Catch up after downtime: bring the clock to an instant, applying the
     policy to trigger points that passed in between (see

@@ -1,0 +1,242 @@
+(* Seeded network-chaos proxy: a byte pump between a listening socket
+   and an upstream server that injects delays, short (1-byte) deliveries,
+   payload truncation and mid-stream disconnects. Decisions come from a
+   private splitmix64 stream per pump direction, derived from
+   (seed, connection index, direction), so a fault trace is reproducible
+   from its seed even though thread interleaving is not. *)
+
+type config = {
+  delay_rate : float;  (* chance a chunk is delayed before forwarding *)
+  max_delay_s : float;  (* delay is uniform in (0, max_delay_s] *)
+  short_rate : float;  (* chance a chunk is delivered one byte at a time *)
+  truncate_rate : float;  (* chance a chunk is cut: prefix forwarded, conn dropped *)
+  disconnect_rate : float;  (* chance the connection is dropped before a chunk *)
+}
+
+let default_config =
+  {
+    delay_rate = 0.10;
+    max_delay_s = 0.01;
+    short_rate = 0.10;
+    truncate_rate = 0.02;
+    disconnect_rate = 0.03;
+  }
+
+(* No faults at all: the proxy becomes a plain byte pump (the no-fault
+   bench axis uses this so both axes share the proxy's cost). *)
+let calm =
+  { delay_rate = 0.; max_delay_s = 0.; short_rate = 0.; truncate_rate = 0.; disconnect_rate = 0. }
+
+type stats = {
+  conns : int;  (** connections accepted *)
+  delays : int;  (** delayed chunks *)
+  shorts : int;  (** chunks delivered byte-at-a-time *)
+  truncations : int;  (** chunks cut short (connection then dropped) *)
+  disconnects : int;  (** injected disconnects (truncations included) *)
+}
+
+type t = {
+  config : config;
+  seed : int;
+  upstream : Unix.sockaddr;
+  listen_fd : Unix.file_descr;
+  addr : Unix.sockaddr;
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  lock : Mutex.t;  (* guards [pumps] and the live fd list *)
+  mutable pumps : Thread.t list;
+  mutable live_fds : Unix.file_descr list;
+  n_conns : int Atomic.t;
+  n_delays : int Atomic.t;
+  n_shorts : int Atomic.t;
+  n_truncations : int Atomic.t;
+  n_disconnects : int Atomic.t;
+}
+
+(* splitmix64, same finalizer as Injector's: decisions are a pure
+   function of the derived seed and the draw sequence. *)
+let mix_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mix_float state =
+  let bits = Int64.to_int (Int64.shift_right_logical (mix_next state) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+(* Derive one direction's decision stream: fold the connection index and
+   direction tag into the base seed through the same finalizer. *)
+let derive_seed seed ~conn ~dir =
+  let s = ref (Int64.of_int ((seed * 1_000_003) + (conn * 7919) + dir)) in
+  ignore (mix_next s);
+  !s
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let shutdown_quiet fd = try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+(* Forward [src] to [dst] until EOF or an injected/natural failure; a
+   drop tears both directions so the peer notices promptly. *)
+let pump t ~src ~dst ~dseed () =
+  let state = ref dseed in
+  let buf = Bytes.create 4096 in
+  let cfg = t.config in
+  let drop () =
+    Atomic.incr t.n_disconnects;
+    shutdown_quiet src;
+    shutdown_quiet dst
+  in
+  let write_all ?(off = 0) n =
+    let rec go off remaining =
+      if remaining > 0 then begin
+        let w = Unix.write dst buf off remaining in
+        go (off + w) (remaining - w)
+      end
+    in
+    go off n
+  in
+  (try
+     let rec loop () =
+       match Unix.read src buf 0 (Bytes.length buf) with
+       | 0 -> shutdown_quiet dst (* EOF: half-close downstream *)
+       | n ->
+         if cfg.disconnect_rate > 0. && mix_float state < cfg.disconnect_rate then drop ()
+         else begin
+           if cfg.delay_rate > 0. && mix_float state < cfg.delay_rate then begin
+             Atomic.incr t.n_delays;
+             Thread.delay (mix_float state *. cfg.max_delay_s)
+           end;
+           if cfg.truncate_rate > 0. && mix_float state < cfg.truncate_rate then begin
+             (* Forward a strict prefix (possibly empty), then drop: the
+                peer sees a torn request/reply and a reset. *)
+             Atomic.incr t.n_truncations;
+             let keep = int_of_float (mix_float state *. float_of_int n) in
+             if keep > 0 then write_all keep;
+             drop ()
+           end
+           else begin
+             (if cfg.short_rate > 0. && mix_float state < cfg.short_rate then begin
+                (* Byte-at-a-time delivery: maximal exercise for the
+                   peer's partial-read handling. *)
+                Atomic.incr t.n_shorts;
+                for i = 0 to n - 1 do
+                  write_all ~off:i 1
+                done
+              end
+              else write_all n);
+             loop ()
+           end
+         end
+     in
+     loop ()
+   with Unix.Unix_error _ | Sys_error _ -> shutdown_quiet dst);
+  ()
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> loop ()
+      | exception Unix.Unix_error _ -> () (* listener closed: stop *)
+      | client_fd, _peer -> (
+        let conn = Atomic.fetch_and_add t.n_conns 1 in
+        match
+          let up = Unix.socket (Unix.domain_of_sockaddr t.upstream) Unix.SOCK_STREAM 0 in
+          (try Unix.connect up t.upstream
+           with e ->
+             close_quiet up;
+             raise e);
+          up
+        with
+        | exception _ ->
+          close_quiet client_fd;
+          loop ()
+        | up_fd ->
+          let t1 =
+            Thread.create
+              (pump t ~src:client_fd ~dst:up_fd ~dseed:(derive_seed t.seed ~conn ~dir:0))
+              ()
+          in
+          let t2 =
+            Thread.create
+              (fun () ->
+                pump t ~src:up_fd ~dst:client_fd ~dseed:(derive_seed t.seed ~conn ~dir:1) ();
+                (* Both directions are done once the upstream side ends:
+                   close the pair here, the other pump exits on EBADF or
+                   EOF. *)
+                close_quiet client_fd;
+                close_quiet up_fd)
+              ()
+          in
+          Mutex.protect t.lock (fun () ->
+              t.pumps <- t1 :: t2 :: t.pumps;
+              t.live_fds <- client_fd :: up_fd :: t.live_fds);
+          loop ())
+  in
+  loop ()
+
+let cleanup_unix_path = function
+  | Unix.ADDR_UNIX p when Sys.file_exists p -> ( try Sys.remove p with Sys_error _ -> ())
+  | _ -> ()
+
+let start ?(config = default_config) ~seed ~upstream listen_addr =
+  cleanup_unix_path listen_addr;
+  let fd = Unix.socket (Unix.domain_of_sockaddr listen_addr) Unix.SOCK_STREAM 0 in
+  (match listen_addr with
+  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | _ -> ());
+  Unix.bind fd listen_addr;
+  Unix.listen fd 64;
+  let t =
+    {
+      config;
+      seed;
+      upstream;
+      listen_fd = fd;
+      addr = Unix.getsockname fd;
+      stopping = Atomic.make false;
+      accept_thread = None;
+      lock = Mutex.create ();
+      pumps = [];
+      live_fds = [];
+      n_conns = Atomic.make 0;
+      n_delays = Atomic.make 0;
+      n_shorts = Atomic.make 0;
+      n_truncations = Atomic.make 0;
+      n_disconnects = Atomic.make 0;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let addr t = t.addr
+let seed t = t.seed
+
+let stats t =
+  {
+    conns = Atomic.get t.n_conns;
+    delays = Atomic.get t.n_delays;
+    shorts = Atomic.get t.n_shorts;
+    truncations = Atomic.get t.n_truncations;
+    disconnects = Atomic.get t.n_disconnects;
+  }
+
+let stop t =
+  Atomic.set t.stopping true;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  close_quiet t.listen_fd;
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  t.accept_thread <- None;
+  let fds, pumps =
+    Mutex.protect t.lock (fun () ->
+        let r = (t.live_fds, t.pumps) in
+        t.live_fds <- [];
+        t.pumps <- [];
+        r)
+  in
+  List.iter shutdown_quiet fds;
+  List.iter Thread.join pumps;
+  List.iter close_quiet fds;
+  cleanup_unix_path t.addr

@@ -1,0 +1,61 @@
+(** Seeded network-chaos proxy for the served store.
+
+    [start] opens a listening socket and forwards every accepted
+    connection to an upstream server, injecting faults into the byte
+    stream in both directions: forwarding delays, short (byte-at-a-time)
+    deliveries that force partial reads on the peer, payload truncation
+    (a strict prefix is forwarded, then the connection drops — a torn
+    request or reply), and mid-stream disconnects. Each pump direction
+    draws its decisions from a private splitmix64 stream derived from
+    [(seed, connection index, direction)], so the fault pattern of any
+    single stream replays from the seed; cross-connection interleaving
+    is the operating system's.
+
+    The chaos soak property drives a real client/server pair through
+    this proxy and asserts the exactly-once and deadline contracts
+    (DESIGN.md §15). *)
+
+type t
+
+type config = {
+  delay_rate : float;  (** chance a chunk is delayed before forwarding *)
+  max_delay_s : float;  (** delay is uniform in [(0, max_delay_s]] *)
+  short_rate : float;  (** chance a chunk is delivered one byte at a time *)
+  truncate_rate : float;
+      (** chance a chunk is cut: a strict prefix is forwarded and the
+          connection is dropped *)
+  disconnect_rate : float;  (** chance the connection drops before a chunk *)
+}
+
+(** Moderate rates: ~10% delays and short deliveries, a few percent
+    truncations and disconnects — hostile enough to exercise every
+    failure path, tame enough that bounded retries converge. *)
+val default_config : config
+
+(** All rates zero: a plain byte pump. The no-fault bench axis runs
+    through this so both axes pay the same proxy cost. *)
+val calm : config
+
+(** [start ?config ~seed ~upstream listen_addr] binds [listen_addr]
+    (TCP port 0 picks a free port — see {!addr}) and starts forwarding.
+    A stale Unix socket file at the listen path is replaced. *)
+val start : ?config:config -> seed:int -> upstream:Unix.sockaddr -> Unix.sockaddr -> t
+
+(** Actual bound listen address. *)
+val addr : t -> Unix.sockaddr
+
+val seed : t -> int
+
+type stats = {
+  conns : int;  (** connections accepted *)
+  delays : int;  (** delayed chunks *)
+  shorts : int;  (** chunks delivered byte-at-a-time *)
+  truncations : int;  (** chunks cut short (connection then dropped) *)
+  disconnects : int;  (** injected disconnects (truncations included) *)
+}
+
+val stats : t -> stats
+
+(** Stop accepting, drop every live connection, join the pump threads,
+    remove a Unix listen-socket file. *)
+val stop : t -> unit

@@ -1,54 +1,173 @@
 (** Blocking line-protocol client: connect, exchange request/reply,
     close. One request is in flight per connection at a time (the
     protocol is strictly request/reply), so callers wanting concurrency
-    open one client per thread. *)
+    open one client per thread.
 
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+    Two layers:
+    - {!request} — one attempt on one connection, deadline-aware
+      (SO_RCVTIMEO/SO_SNDTIMEO bound each socket wait); any transport
+      or framing failure raises {!Protocol_error}.
+    - {!retrying} / {!run} — the robust client the CLI uses: write
+      batches get an exactly-once request id ([@<id> ] prefix, see
+      {!Protocol}), and failed attempts — dropped connections, torn
+      replies, [err retryable ...] sheds — reconnect and retry with
+      exponential backoff and decorrelated jitter, never past the
+      overall deadline. Because the id rides inside the batch's commit
+      group, a retry whose predecessor {e did} land replays the original
+      reply instead of applying twice. *)
 
-let connect addr =
+type t = { fd : Unix.file_descr; r : Frame.reader; mutable timeout : float }
+
+exception Protocol_error of string
+
+(** [connect ?timeout addr] opens a connection; [timeout] (seconds)
+    bounds every subsequent socket read and write ([0.] = block
+    forever, the default). *)
+let connect ?(timeout = 0.) addr =
   let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   (try Unix.connect fd addr
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  if timeout > 0. then begin
+    Frame.set_recv_timeout fd timeout;
+    Frame.set_send_timeout fd timeout
+  end;
+  { fd; r = Frame.reader fd; timeout }
 
-let connect_string s = connect (Protocol.sockaddr_of_string s)
-
-exception Protocol_error of string
+let connect_string ?timeout s = connect ?timeout (Protocol.sockaddr_of_string s)
 
 let unescape s = Scanf.unescaped s
 
+let read_line t =
+  match Frame.read_line t.r with
+  | `Line l -> l
+  | `Eof -> raise (Protocol_error "connection closed")
+  | `Timeout -> raise (Protocol_error "timeout waiting for reply")
+  | `Closed e -> raise (Protocol_error ("connection error: " ^ e))
+  | `Too_long -> raise (Protocol_error "oversized reply line")
+
+let write_line t line =
+  match Frame.write_all t.fd (line ^ "\n") with
+  | `Ok -> ()
+  | `Timeout -> raise (Protocol_error "timeout sending request")
+  | `Closed e -> raise (Protocol_error ("connection error: " ^ e))
+
 (** [request t line] sends one request and reads its framed reply:
     [Ok payload_lines] (unescaped) or [Error message] for an [err]
-    reply. @raise Protocol_error on malformed framing or a dropped
-    connection. *)
+    reply. @raise Protocol_error on malformed framing, a timeout, or a
+    dropped connection. *)
 let request t line =
-  output_string t.oc line;
-  output_char t.oc '\n';
-  flush t.oc;
-  match input_line t.ic with
-  | exception End_of_file -> raise (Protocol_error "connection closed")
-  | header ->
-    if String.length header >= 4 && String.sub header 0 4 = "err " then
-      Error (unescape (String.sub header 4 (String.length header - 4)))
-    else if String.length header >= 3 && String.sub header 0 3 = "ok " then (
-      match int_of_string_opt (String.sub header 3 (String.length header - 3)) with
-      | None -> raise (Protocol_error ("bad reply header: " ^ header))
-      | Some n ->
-        let lines = ref [] in
-        (try
-           for _ = 1 to n do
-             lines := unescape (input_line t.ic) :: !lines
-           done
-         with End_of_file -> raise (Protocol_error "connection closed mid-reply"));
-        Ok (List.rev !lines))
-    else raise (Protocol_error ("bad reply header: " ^ header))
+  write_line t line;
+  let header = read_line t in
+  if String.length header >= 4 && String.sub header 0 4 = "err " then
+    Error (unescape (String.sub header 4 (String.length header - 4)))
+  else if String.length header >= 3 && String.sub header 0 3 = "ok " then (
+    match int_of_string_opt (String.sub header 3 (String.length header - 3)) with
+    | None -> raise (Protocol_error ("bad reply header: " ^ header))
+    | Some n when n < 0 || n > 1_000_000 ->
+      raise (Protocol_error ("bad reply header: " ^ header))
+    | Some n ->
+      let lines = ref [] in
+      for _ = 1 to n do
+        lines := unescape (read_line t) :: !lines
+      done;
+      Ok (List.rev !lines))
+  else raise (Protocol_error ("bad reply header: " ^ header))
 
 (** Send [quit] and close the socket. *)
 let close t =
-  (try
-     output_string t.oc "quit\n";
-     flush t.oc
-   with Sys_error _ -> ());
+  (try write_line t "quit" with Protocol_error _ -> ());
   try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- the retrying layer --------------------------------------------- *)
+
+(** Why {!retrying} gave up. *)
+type retry_error =
+  | Server_error of string  (** a non-retryable [err] reply — no retry *)
+  | Exhausted of string  (** retries or the deadline ran out; last failure *)
+
+(* An [err] reply is worth retrying only when the server says so. *)
+let is_retryable msg =
+  let p = "retryable" in
+  String.length msg >= String.length p && String.sub msg 0 (String.length p) = p
+
+(* Request-id source: unique per process run; the pid and a random tag
+   keep two runs (or a run and its crashed predecessor) apart. *)
+let id_counter = Atomic.make 0
+let id_tag =
+  lazy
+    (Random.self_init ();
+     Printf.sprintf "%d.%04x" (Unix.getpid ()) (Random.int 0xffff))
+
+let fresh_req_id () =
+  Printf.sprintf "c%s.%d" (Lazy.force id_tag) (Atomic.fetch_and_add id_counter 1)
+
+(* Decorrelated jitter (the AWS architecture-blog shape): each sleep is
+   uniform in [base, prev*3], capped — spreads a thundering herd of
+   retriers instead of synchronizing it. *)
+let backoff ~base ~cap ~prev =
+  let hi = Float.min cap (Float.max base (prev *. 3.)) in
+  let s = base +. Random.float (Float.max 1e-9 (hi -. base)) in
+  Float.min cap s
+
+(** [retrying ?retries ?deadline ?base_backoff_s ~addr line] runs one
+    request line robustly: a fresh connection per attempt (bounded by
+    the time left to [deadline], an absolute {!Unix.gettimeofday}
+    instant), at most [retries] re-attempts after the first, sleeping
+    with exponential backoff and decorrelated jitter between attempts.
+
+    When [line] parses as a write batch and carries no [@id] prefix of
+    its own, one is attached {e once} and reused verbatim on every
+    attempt, making the retries exactly-once end to end. Reads and meta
+    commands retry bare — they are idempotent. *)
+let retrying ?(retries = 5) ?deadline ?(base_backoff_s = 0.02) ~addr line =
+  let line =
+    match Protocol.strip_req_id line with
+    | Some _, _ -> line (* caller supplied an id; keep it verbatim *)
+    | None, body -> (
+      match Protocol.parse body with
+      | Ok (Protocol.Writes _) -> "@" ^ fresh_req_id () ^ " " ^ line
+      | Ok _ | Error _ -> line)
+  in
+  let time_left () =
+    match deadline with None -> infinity | Some dl -> dl -. Unix.gettimeofday ()
+  in
+  let attempt () =
+    let left = time_left () in
+    if left <= 0. then Error "deadline exceeded"
+    else
+      let timeout = if left = infinity then 0. else left in
+      match connect ~timeout addr with
+      | exception (Unix.Unix_error (e, _, _)) -> Error (Unix.error_message e)
+      | c -> (
+        match request c line with
+        | reply ->
+          close c;
+          Ok reply
+        | exception Protocol_error e ->
+          (try Unix.close c.fd with Unix.Unix_error _ -> ());
+          Error e)
+  in
+  let rec go n prev_sleep last_err =
+    if n > retries then Error (Exhausted last_err)
+    else if time_left () <= 0. then Error (Exhausted ("deadline exceeded; last: " ^ last_err))
+    else
+      match attempt () with
+      | Ok (Ok lines) -> Ok lines
+      | Ok (Error msg) when not (is_retryable msg) -> Error (Server_error msg)
+      | Ok (Error msg) -> pause n prev_sleep msg
+      | Error msg -> pause n prev_sleep msg
+  and pause n prev_sleep msg =
+    let sleep = backoff ~base:base_backoff_s ~cap:1.0 ~prev:prev_sleep in
+    let sleep = Float.min sleep (Float.max 0. (time_left ())) in
+    if sleep > 0. then Thread.delay sleep;
+    go (n + 1) sleep msg
+  in
+  go 0 base_backoff_s "never attempted"
+
+(** [run ?retries ?timeout_s ~addr line] — {!retrying} with a relative
+    per-call deadline ([timeout_s] from now; [0.] = none). *)
+let run ?retries ?(timeout_s = 0.) ~addr line =
+  let deadline = if timeout_s > 0. then Some (Unix.gettimeofday () +. timeout_s) else None in
+  retrying ?retries ?deadline ~addr line

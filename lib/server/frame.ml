@@ -1,0 +1,105 @@
+(* Partial-read / partial-write-safe line framing over raw file
+   descriptors.
+
+   The PR 9 server used stdlib channels, which hide short reads but also
+   hide *why* a blocking call returned — a timeout, a reset and an EOF
+   all surfaced as the same exception, and a reply interrupted mid-write
+   silently lost its tail. This module reads and writes through
+   [Unix.read]/[Unix.write] directly so every partial transfer is
+   resumed explicitly and every failure is classified for the caller:
+   the socket-timeout errors (EAGAIN/EWOULDBLOCK/EINTR-from-timeout,
+   raised when SO_RCVTIMEO/SO_SNDTIMEO expires) become [`Timeout], a
+   peer reset becomes [`Closed], and an over-long line — a hostile or
+   corrupt frame — becomes [`Too_long] instead of an unbounded buffer. *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;  (* consumed prefix of [len] *)
+  mutable len : int;  (* valid bytes in [buf] *)
+  max_line : int;
+  acc : Buffer.t;  (* line under assembly across reads *)
+}
+
+let reader ?(max_line = 1 lsl 20) fd =
+  { fd; buf = Bytes.create 8192; pos = 0; len = 0; max_line; acc = Buffer.create 256 }
+
+type read_result =
+  [ `Line of string  (** one complete line, terminator stripped *)
+  | `Eof  (** clean close (a partial unterminated line is discarded) *)
+  | `Timeout  (** SO_RCVTIMEO expired mid-wait *)
+  | `Closed of string  (** connection error (reset, broken pipe, ...) *)
+  | `Too_long  (** line exceeded [max_line] bytes *) ]
+
+(* Scan the buffered bytes for a newline, refilling from the socket as
+   needed. EINTR retries; the timeout errnos surface as [`Timeout]. *)
+let read_line r : read_result =
+  let rec take () =
+    if r.pos < r.len then begin
+      match Bytes.index_from_opt r.buf r.pos '\n' with
+      | Some i when i < r.len ->
+        Buffer.add_subbytes r.acc r.buf r.pos (i - r.pos);
+        r.pos <- i + 1;
+        if Buffer.length r.acc > r.max_line then begin
+          Buffer.clear r.acc;
+          `Too_long
+        end
+        else begin
+          let line = Buffer.contents r.acc in
+          Buffer.clear r.acc;
+          (* Strip a CR so telnet-style clients work. *)
+          let n = String.length line in
+          `Line (if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+        end
+      | _ ->
+        Buffer.add_subbytes r.acc r.buf r.pos (r.len - r.pos);
+        r.pos <- 0;
+        r.len <- 0;
+        if Buffer.length r.acc > r.max_line then begin
+          Buffer.clear r.acc;
+          `Too_long
+        end
+        else refill ()
+    end
+    else refill ()
+  and refill () =
+    match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+    | 0 ->
+      Buffer.clear r.acc;
+      `Eof
+    | n ->
+      r.pos <- 0;
+      r.len <- n;
+      take ()
+    | exception Unix.Unix_error (EINTR, _, _) -> refill ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Timeout
+    | exception Unix.Unix_error (e, _, _) -> `Closed (Unix.error_message e)
+    | exception Sys_error e -> `Closed e
+  in
+  take ()
+
+type write_result = [ `Ok | `Timeout | `Closed of string ]
+
+(* Write the whole string, resuming partial writes; a send-timeout
+   (SO_SNDTIMEO against a stalled reader) or reset is reported, never
+   raised, so the caller can close just this connection. *)
+let write_all fd s : write_result =
+  let n = String.length s in
+  let rec go off =
+    if off >= n then `Ok
+    else
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Timeout
+      | exception Unix.Unix_error (e, _, _) -> `Closed (Unix.error_message e)
+      | exception Sys_error e -> `Closed e
+  in
+  go 0
+
+(* Socket timeouts; 0. disarms (blocks forever). *)
+let set_recv_timeout fd seconds =
+  try Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds with Unix.Unix_error _ -> ()
+
+let set_send_timeout fd seconds =
+  try Unix.setsockopt_float fd Unix.SO_SNDTIMEO seconds with Unix.Unix_error _ -> ()

@@ -9,6 +9,17 @@
       statements apply under the writer lock and journal as {e one
       commit group} ([advance <days>] is accepted as a write statement).
 
+    A request line may carry an exactly-once id prefix, [@<id> <request>]
+    ([id] over [A-Za-z0-9._:-], at most 128 bytes). On a write batch the
+    id journals {e inside} the batch's commit group, so retrying the same
+    line is safe: a duplicate replays the original reply (or a [msg
+    duplicate] notice when the cached reply has aged out) without
+    re-applying anything — across crash recovery too. On reads and meta
+    commands the prefix is accepted and ignored (they are idempotent).
+
+    A shed or deadline-expired write fails with an [err retryable ...]
+    header; clients should back off and retry with the {e same} id.
+
     Response framing (every payload line escaped with [String.escaped]
     so framing stays line-based):
     {v
@@ -61,6 +72,18 @@ let string_of_sockaddr = function
   | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
 
 (* --- request parsing ------------------------------------------------ *)
+
+(** [strip_req_id line] splits the optional [@<id> ] exactly-once prefix
+    off a request line. *)
+let strip_req_id line =
+  let line = String.trim line in
+  if String.length line > 1 && line.[0] = '@' then
+    match String.index_opt line ' ' with
+    | Some i ->
+      ( Some (String.sub line 1 (i - 1)),
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    | None -> (Some (String.sub line 1 (String.length line - 1)), "")
+  else (None, line)
 
 let split_statements line =
   String.split_on_char ';' line |> List.map String.trim |> List.filter (fun s -> s <> "")
@@ -140,7 +163,8 @@ type reply = {
   was_read : bool;
 }
 
-let handle store line =
+let handle ?deadline store line =
+  let req_id, line = strip_req_id line in
   match parse line with
   | Error e -> { lines = [ "err " ^ e ]; failed = 1; was_read = false }
   | Ok Digest -> { lines = [ "digest " ^ Store.digest store ]; failed = 0; was_read = true }
@@ -151,9 +175,12 @@ let handle store line =
     {
       lines =
         [
-          Printf.sprintf "stats reads=%d writes=%d read_errors=%d write_errors=%d epoch=%d"
+          Printf.sprintf
+            "stats reads=%d writes=%d read_errors=%d write_errors=%d epoch=%d queued=%d \
+             queue_peak=%d shed=%d timeouts=%d dedup=%d"
             s.Store.sreads s.Store.swrites s.Store.sread_errors s.Store.swrite_errors
-            s.Store.sepoch;
+            s.Store.sepoch s.Store.squeued s.Store.squeue_peak s.Store.sshed s.Store.stimeouts
+            s.Store.sdedup;
         ];
       failed = 0;
       was_read = true;
@@ -163,10 +190,33 @@ let handle store line =
     let outcomes = List.map (Store.read_on store snap) sources in
     let failed = List.length (List.filter Result.is_error outcomes) in
     { lines = render_outcomes outcomes; failed; was_read = true }
-  | Ok (Writes stmts) ->
-    let outcomes = Store.write store stmts in
-    let failed = List.length (List.filter Result.is_error outcomes) in
-    { lines = render_outcomes outcomes; failed; was_read = false }
+  | Ok (Writes stmts) -> (
+    match Store.write_idem ?req_id ?deadline store stmts with
+    | Store.Applied outcomes | Store.Duplicate (Some outcomes) ->
+      let failed = List.length (List.filter Result.is_error outcomes) in
+      { lines = render_outcomes outcomes; failed; was_read = false }
+    | Store.Duplicate None ->
+      (* Applied before the reply cache's horizon (or a recovery) — the
+         effect is durable, only the original reply is gone. *)
+      {
+        lines = [ "msg duplicate: request already applied" ];
+        failed = 0;
+        was_read = false;
+      }
+    | Store.Overloaded ->
+      {
+        lines = [ "err retryable overloaded: admission queue full" ];
+        failed = 1;
+        was_read = false;
+      }
+    | Store.Timed_out ->
+      {
+        lines = [ "err retryable deadline: writer busy past the request deadline" ];
+        failed = 1;
+        was_read = false;
+      }
+    | exception Calrules.Session.Session_error e ->
+      { lines = [ "err " ^ e ]; failed = 1; was_read = false })
 
 (* The wire rendering of a reply: header line + escaped payload lines.
    An [err ...] header (request-level failure) stays a single line. *)

@@ -6,8 +6,57 @@
     snapshot, so read throughput is bounded by the store, not by the
     server's threading.
 
-    Each connection speaks {!Protocol}: one request line in, one framed
-    reply out, until EOF or [quit]. *)
+    Each connection speaks {!Protocol} over {!Frame}: one request line
+    in, one framed reply out, until EOF or [quit] — with the failure
+    semantics of DESIGN.md §15:
+
+    - {b Per-request deadline.} Each request gets an absolute deadline
+      ([request_deadline_s] past arrival); a write that cannot reach the
+      store's writer in time fails with [err retryable deadline ...]
+      instead of occupying the queue forever.
+    - {b Idle timeout.} SO_RCVTIMEO bounds the wait for the next request
+      line; an idle connection gets a best-effort [err idle timeout] and
+      a close. A monotonic-watchdog thread re-checks wall-clock idleness
+      (and requests wedged far past their deadline) in case the socket
+      timeout is lost — e.g. on sockets where the option is a no-op.
+    - {b Back-pressure.} The store sheds writes beyond its admission
+      bound ([err retryable overloaded ...]); the reply still flows, so
+      a client sees the shed rather than a hang.
+    - {b Containment.} A connection error (EPIPE, ECONNRESET, a
+      timeout, a torn frame) closes {e that} connection only — counted
+      in [io_drops] — and never reaches the accept loop, which itself
+      survives transient accept errors (EINTR, ECONNABORTED, EMFILE).
+    - {b Drain-then-stop.} [stop] closes the listener, lets in-flight
+      requests finish their reply (and their commit group) for up to
+      [drain_timeout_s], then force-closes stragglers, and finally
+      flushes the journal's pending group. *)
+
+type config = {
+  request_deadline_s : float;
+      (** per-request deadline, measured from request arrival; [0.]
+          disarms (requests may wait on the writer indefinitely) *)
+  idle_timeout_s : float;
+      (** close a connection with no request for this long; [0.] disarms *)
+  drain_timeout_s : float;
+      (** [stop]: grace period for in-flight requests before force-close *)
+}
+
+(* CALQ_REQUEST_DEADLINE_MS / CALQ_IDLE_TIMEOUT_MS mirror the
+   CALRULES_* env conventions; 0 disarms either. *)
+let ms_env name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some ms when ms >= 0 -> float_of_int ms /. 1000.
+    | _ -> invalid_arg (Printf.sprintf "%s=%S is not a duration in ms >= 0" name s))
+
+let config_of_env () =
+  {
+    request_deadline_s = ms_env "CALQ_REQUEST_DEADLINE_MS" 30.;
+    idle_timeout_s = ms_env "CALQ_IDLE_TIMEOUT_MS" 300.;
+    drain_timeout_s = 5.;
+  }
 
 type conn_stats = {
   mutable creads : int;  (** read requests served on this connection *)
@@ -15,62 +64,123 @@ type conn_stats = {
   mutable cerrors : int;  (** failed requests/statements on this connection *)
 }
 
+(* Liveness bookkeeping the watchdog reads; written by the connection
+   thread. Benign races: both sides only compare wall-clock floats, and
+   the watchdog's response (shutdown) is idempotent. *)
+type conn = {
+  cid : int;
+  cfd : Unix.file_descr;
+  mutable last_active : float;  (** wall clock of last request start/end *)
+  mutable busy : bool;  (** currently serving a request *)
+}
+
 type t = {
   store : Store.t;
+  config : config;
   listen_fd : Unix.file_descr;
   addr : Unix.sockaddr;  (** actual bound address (resolves port 0) *)
   stopping : bool Atomic.t;
   mutable accept_thread : Thread.t option;
-  conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+  mutable watchdog_thread : Thread.t option;
+  conns : (int, conn * Thread.t) Hashtbl.t;
   conns_lock : Mutex.t;
   mutable next_conn : int;
   connections : int Atomic.t;  (** total connections accepted *)
+  io_drops : int Atomic.t;  (** connections closed on an I/O error *)
+  idle_drops : int Atomic.t;  (** connections closed by the idle timeout *)
 }
 
 let cleanup_unix_path = function
   | Unix.ADDR_UNIX p when Sys.file_exists p -> ( try Sys.remove p with Sys_error _ -> ())
   | _ -> ()
 
-(* One connection: read request lines, serve each through the store,
-   write framed replies. The socket is this thread's only blocking
-   point; a server stop closes it out from under us, which surfaces as
-   an exception here and ends the thread. *)
-let serve_conn server fd =
-  let stats = { creads = 0; cwrites = 0; cerrors = 0 } in
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     let rec loop () =
-       match input_line ic with
-       | exception End_of_file -> ()
-       | line when String.trim line = "quit" -> ()
-       | line when String.trim line = "?connstats" ->
-         Printf.fprintf oc "ok 1\nstats reads=%d writes=%d errors=%d\n" stats.creads
-           stats.cwrites stats.cerrors;
-         flush oc;
-         loop ()
-       | line ->
-         let reply = Protocol.handle server.store line in
-         if reply.Protocol.was_read then stats.creads <- stats.creads + 1
-         else stats.cwrites <- stats.cwrites + 1;
-         stats.cerrors <- stats.cerrors + reply.Protocol.failed;
-         List.iter
-           (fun l ->
-             output_string oc l;
-             output_char oc '\n')
-           (Protocol.reply_lines reply);
-         flush oc;
-         loop ()
-     in
-     loop ()
-   with Unix.Unix_error _ | Sys_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+let live_conns t = Mutex.protect t.conns_lock (fun () -> Hashtbl.length t.conns)
 
+(* One connection: read request lines through a Frame.reader, serve each
+   through the store with an absolute deadline, write framed replies
+   resuming partial writes. Every failure here — timeout, reset, torn
+   frame — ends in the same place: count it, close this fd, return. The
+   accept loop never hears about it. *)
+let serve_conn server conn =
+  let stats = { creads = 0; cwrites = 0; cerrors = 0 } in
+  let r = Frame.reader conn.cfd in
+  if server.config.idle_timeout_s > 0. then
+    Frame.set_recv_timeout conn.cfd server.config.idle_timeout_s;
+  if server.config.request_deadline_s > 0. then
+    Frame.set_send_timeout conn.cfd server.config.request_deadline_s;
+  let send lines =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n')
+      lines;
+    Frame.write_all conn.cfd (Buffer.contents buf)
+  in
+  let drop_io () = Atomic.incr server.io_drops in
+  let rec loop () =
+    match Frame.read_line r with
+    | `Eof -> ()
+    | `Timeout ->
+      (* Idle past SO_RCVTIMEO: tell the peer why, then hang up. *)
+      Atomic.incr server.idle_drops;
+      ignore (send [ "err idle timeout" ])
+    | `Closed _ -> drop_io ()
+    | `Too_long ->
+      (* A hostile or corrupt frame; answer and close so the remaining
+         bytes of the oversized line are never misread as requests. *)
+      stats.cerrors <- stats.cerrors + 1;
+      ignore (send [ "err frame too long" ])
+    | `Line line when String.trim line = "quit" -> ()
+    | `Line line when String.trim line = "?connstats" ->
+      conn.last_active <- Unix.gettimeofday ();
+      let reply =
+        Printf.sprintf
+          "ok 1\nstats reads=%d writes=%d errors=%d conns=%d live=%d io_drops=%d idle_drops=%d"
+          stats.creads stats.cwrites stats.cerrors
+          (Atomic.get server.connections)
+          (live_conns server) (Atomic.get server.io_drops) (Atomic.get server.idle_drops)
+      in
+      (match send [ reply ] with
+      | `Ok -> loop ()
+      | `Timeout | `Closed _ -> drop_io ())
+    | `Line line ->
+      let now = Unix.gettimeofday () in
+      conn.last_active <- now;
+      conn.busy <- true;
+      let deadline =
+        if server.config.request_deadline_s > 0. then
+          Some (now +. server.config.request_deadline_s)
+        else None
+      in
+      let reply = Protocol.handle ?deadline server.store line in
+      if reply.Protocol.was_read then stats.creads <- stats.creads + 1
+      else stats.cwrites <- stats.cwrites + 1;
+      stats.cerrors <- stats.cerrors + reply.Protocol.failed;
+      conn.busy <- false;
+      conn.last_active <- Unix.gettimeofday ();
+      (match send (Protocol.reply_lines reply) with
+      | `Ok -> loop ()
+      | `Timeout | `Closed _ -> drop_io ())
+  in
+  (try loop () with Unix.Unix_error _ | Sys_error _ -> drop_io ());
+  conn.busy <- false;
+  (try Unix.shutdown conn.cfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close conn.cfd with Unix.Unix_error _ -> ()
+
+(* Accept forever; transient failures (a connection reset between accept
+   and use, interrupted syscalls, a momentary fd exhaustion) retry, and
+   only a closed listener — which is how [stop] speaks to us — ends the
+   loop. *)
 let accept_loop server =
   let rec loop () =
     if Atomic.get server.stopping then ()
     else
       match Unix.accept server.listen_fd with
+      | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> loop ()
+      | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+        Thread.delay 0.05;
+        loop ()
       | exception Unix.Unix_error _ -> ()  (* listener closed: stop *)
       | fd, _peer ->
         Atomic.incr server.connections;
@@ -80,23 +190,65 @@ let accept_loop server =
               server.next_conn <- id + 1;
               id)
         in
+        let conn = { cid = id; cfd = fd; last_active = Unix.gettimeofday (); busy = false } in
         let th =
           Thread.create
             (fun () ->
-              serve_conn server fd;
+              serve_conn server conn;
               Mutex.protect server.conns_lock (fun () -> Hashtbl.remove server.conns id))
             ()
         in
-        Mutex.protect server.conns_lock (fun () -> Hashtbl.replace server.conns id (fd, th));
+        Mutex.protect server.conns_lock (fun () -> Hashtbl.replace server.conns id (conn, th));
         loop ()
   in
   loop ()
 
-(** [start store addr] binds [addr] ([unix:PATH] or [host:port]; TCP
-    port [0] picks a free port — see {!addr} for the actual one), starts
-    the accept thread, and returns the running server. A stale Unix
-    socket file at the path is replaced. *)
-let start store addr =
+(* Wall-clock watchdog: a backstop behind the socket timeouts. Shuts
+   down (idempotently) any connection idle well past [idle_timeout_s] —
+   catching sockets where SO_RCVTIMEO is inert — and any connection
+   stuck inside one request for several times [request_deadline_s],
+   which should be impossible (the store enforces the deadline) but
+   must not wedge the drain if it happens. *)
+let watchdog server =
+  let cfg = server.config in
+  let idle_bound = if cfg.idle_timeout_s > 0. then cfg.idle_timeout_s *. 1.5 +. 0.2 else 0. in
+  let stuck_bound =
+    if cfg.request_deadline_s > 0. then (cfg.request_deadline_s *. 4.) +. 1. else 0.
+  in
+  while not (Atomic.get server.stopping) do
+    Thread.delay 0.05;
+    if idle_bound > 0. || stuck_bound > 0. then begin
+      let now = Unix.gettimeofday () in
+      let victims =
+        Mutex.protect server.conns_lock (fun () ->
+            Hashtbl.fold
+              (fun _ (conn, _) acc ->
+                let age = now -. conn.last_active in
+                let reap =
+                  if conn.busy then stuck_bound > 0. && age > stuck_bound
+                  else idle_bound > 0. && age > idle_bound
+                in
+                if reap then conn :: acc else acc)
+              server.conns [])
+      in
+      List.iter
+        (fun conn ->
+          Atomic.incr server.idle_drops;
+          try Unix.shutdown conn.cfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        victims
+    end
+  done
+
+(** [start ?config store addr] binds [addr] ([unix:PATH] or [host:port];
+    TCP port [0] picks a free port — see {!addr} for the actual one),
+    starts the accept and watchdog threads, and returns the running
+    server. [config] defaults to {!config_of_env}. A stale Unix socket
+    file at the path is replaced. *)
+let start ?config store addr =
+  let config = match config with Some c -> c | None -> config_of_env () in
+  (* A peer that closes mid-reply must surface as EPIPE on the write —
+     contained to that connection — not as a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   cleanup_unix_path addr;
   let domain = Unix.domain_of_sockaddr addr in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
@@ -107,41 +259,73 @@ let start store addr =
   let server =
     {
       store;
+      config;
       listen_fd = fd;
       addr = actual;
       stopping = Atomic.make false;
       accept_thread = None;
+      watchdog_thread = None;
       conns = Hashtbl.create 16;
       conns_lock = Mutex.create ();
       next_conn = 0;
       connections = Atomic.make 0;
+      io_drops = Atomic.make 0;
+      idle_drops = Atomic.make 0;
     }
   in
   server.accept_thread <- Some (Thread.create accept_loop server);
+  server.watchdog_thread <- Some (Thread.create watchdog server);
   server
 
 let addr t = t.addr
 let store t = t.store
+let config t = t.config
 let connections t = Atomic.get t.connections
+let io_drops t = Atomic.get t.io_drops
+let idle_drops t = Atomic.get t.idle_drops
 
-(** Stop accepting, close the listener, join the accept thread and every
-    live connection thread, and remove a Unix socket file. A blocked
-    [accept]/[read] is not woken by [close] from another thread, so both
-    the listener and every live connection get [shutdown] first —
-    connections mid-request finish their current reply, idle ones see
-    EOF. *)
+(** Drain-then-stop. Stop accepting and close the listener; give live
+    connections [drain_timeout_s] to finish their current request and
+    see the receive-side shutdown as EOF; force-close any straggler;
+    join every thread; flush the journal's pending commit group; remove
+    a Unix socket file. A blocked [accept]/[read] is not woken by
+    [close] from another thread, so both the listener and every live
+    connection get [shutdown] first — connections mid-request finish
+    their current reply, idle ones see EOF. *)
 let stop t =
   Atomic.set t.stopping true;
   (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
   t.accept_thread <- None;
-  let live =
+  (match t.watchdog_thread with Some th -> Thread.join th | None -> ());
+  t.watchdog_thread <- None;
+  let snapshot_conns () =
     Mutex.protect t.conns_lock (fun () ->
-        Hashtbl.fold (fun _ conn acc -> conn :: acc) t.conns [])
+        Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
   in
+  (* Drain: no new requests (receive side closed), current ones finish. *)
   List.iter
-    (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-    live;
-  List.iter (fun (_, th) -> Thread.join th) live;
+    (fun (conn, _) ->
+      try Unix.shutdown conn.cfd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    (snapshot_conns ());
+  let deadline = Unix.gettimeofday () +. t.config.drain_timeout_s in
+  let rec wait () =
+    if live_conns t > 0 && Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.01;
+      wait ()
+    end
+  in
+  wait ();
+  (* Force phase: anything still here is wedged or mid-reply past the
+     grace period; cut both directions so its thread unblocks. *)
+  let stragglers = snapshot_conns () in
+  List.iter
+    (fun (conn, _) ->
+      try Unix.shutdown conn.cfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    stragglers;
+  List.iter (fun (_, th) -> Thread.join th) stragglers;
+  (* In-flight commit groups finished above; push a pending group to
+     disk so a graceful stop never leaves buffered journal records. *)
+  (try Store.commit t.store with _ -> ());
   cleanup_unix_path t.addr

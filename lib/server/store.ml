@@ -25,6 +25,18 @@ type t = {
   writer : Mutex.t;
   eval_lock : Mutex.t;
   published : Catalog.t Atomic.t;
+  max_queue : int;  (** admission bound: writers admitted (waiting + running) *)
+  queued : int Atomic.t;  (** writers currently admitted *)
+  queue_peak : int Atomic.t;  (** high-water mark of [queued] *)
+  shed : int Atomic.t;  (** write requests refused at the admission bound *)
+  timeouts : int Atomic.t;  (** write requests whose deadline expired in the queue *)
+  dedup_hits : int Atomic.t;  (** duplicate request ids refused *)
+  replies : (string, (Exec.result, string) result list) Hashtbl.t;
+      (** recent replies by request id, so a duplicate replays its
+          original outcome; bounded by [reply_cap] via [reply_fifo] *)
+  reply_fifo : string Queue.t;
+  reply_cap : int;
+  replies_lock : Mutex.t;
   reads : int Atomic.t;
   writes : int Atomic.t;  (** write batches (commit groups), not statements *)
   read_errors : int Atomic.t;
@@ -35,24 +47,46 @@ type t = {
     simulated-time advance (which fires due rules on the way). *)
 type stmt = Query of string | Advance of int
 
-let of_session session =
+(* CALQ_MAX_QUEUE mirrors the CALRULES_* env conventions: the admission
+   bound for serve-time stores when the caller gives none. *)
+let max_queue_of_env () =
+  match Sys.getenv_opt "CALQ_MAX_QUEUE" with
+  | None | Some "" -> 64
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> n
+    | _ -> invalid_arg (Printf.sprintf "CALQ_MAX_QUEUE=%S is not a queue bound >= 0" s))
+
+let of_session ?max_queue session =
+  let max_queue = match max_queue with Some n -> n | None -> max_queue_of_env () in
+  if max_queue < 0 then invalid_arg "Store.of_session: max_queue must be >= 0";
   {
     session;
     writer = Mutex.create ();
     eval_lock = Mutex.create ();
     published = Atomic.make (Session.freeze session);
+    max_queue;
+    queued = Atomic.make 0;
+    queue_peak = Atomic.make 0;
+    shed = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    dedup_hits = Atomic.make 0;
+    replies = Hashtbl.create 256;
+    reply_fifo = Queue.create ();
+    reply_cap = 1024;
+    replies_lock = Mutex.create ();
     reads = Atomic.make 0;
     writes = Atomic.make 0;
     read_errors = Atomic.make 0;
     write_errors = Atomic.make 0;
   }
 
-let open_store ~path ?policy ?segments () =
+let open_store ~path ?policy ?segments ?max_queue () =
   let session =
     if Sys.file_exists path then Session.recover ~path ?policy ()
     else Session.open_journaled ~path ?policy ?segments ()
   in
-  of_session session
+  of_session ?max_queue session
 
 let session t = t.session
 
@@ -105,30 +139,129 @@ let run_stmt t = function
     Session.advance_days t.session days;
     Ok (Exec.Msg (Printf.sprintf "advanced %d day%s" days (if days = 1 then "" else "s")))
 
-(** [write t stmts] applies a client batch as one commit group — all the
-    statements journal atomically — then publishes the resulting state
-    as a new snapshot epoch. Per-statement results come back in order;
-    an erroring statement does not abort the ones after it (same
-    semantics as issuing them sequentially on one session). *)
+(** Outcome of an idempotent, admission-controlled write. *)
+type write_outcome =
+  | Applied of (Exec.result, string) result list
+      (** the batch ran; per-statement results in order *)
+  | Duplicate of (Exec.result, string) result list option
+      (** the request id already applied — [Some] replays the cached
+          original reply, [None] when it aged out or predates recovery *)
+  | Overloaded  (** refused at the admission bound; retryable *)
+  | Timed_out  (** deadline expired before the writer freed up; retryable *)
+
+(* Bounded admission in front of the single writer: a request is
+   admitted only while fewer than [max_queue] writers are in the
+   building (waiting or applying); everyone else is shed immediately
+   with a retryable error instead of queueing without bound. Admitted
+   writers then wait for the mutex, but never past [deadline]. *)
+let admit t =
+  let rec reserve () =
+    let n = Atomic.get t.queued in
+    if n >= t.max_queue then false
+    else if Atomic.compare_and_set t.queued n (n + 1) then begin
+      let rec bump () =
+        let p = Atomic.get t.queue_peak in
+        if n + 1 > p && not (Atomic.compare_and_set t.queue_peak p (n + 1)) then bump ()
+      in
+      bump ();
+      true
+    end
+    else reserve ()
+  in
+  reserve ()
+
+let lock_writer ?deadline t =
+  match deadline with
+  | None ->
+    Mutex.lock t.writer;
+    true
+  | Some dl ->
+    let rec go () =
+      if Mutex.try_lock t.writer then true
+      else if Unix.gettimeofday () > dl then false
+      else begin
+        Thread.delay 0.0005;
+        go ()
+      end
+    in
+    go ()
+
+let cache_reply t id results =
+  Mutex.protect t.replies_lock (fun () ->
+      if not (Hashtbl.mem t.replies id) then begin
+        Hashtbl.replace t.replies id results;
+        Queue.push id t.reply_fifo;
+        while Queue.length t.reply_fifo > t.reply_cap do
+          Hashtbl.remove t.replies (Queue.pop t.reply_fifo)
+        done
+      end)
+
+let cached_reply t id =
+  Mutex.protect t.replies_lock (fun () -> Hashtbl.find_opt t.replies id)
+
+(* Must hold [writer]. Runs the batch as one commit group — the request
+   id, when present, journals inside the same group — and publishes. *)
+let apply_locked t ?req_id stmts =
+  Mutex.protect t.eval_lock (fun () ->
+      let results =
+        Session.batch t.session (fun () ->
+            (match req_id with Some id -> Session.mark_request t.session id | None -> ());
+            List.map
+              (fun stmt ->
+                match run_stmt t stmt with
+                | r -> r
+                | exception Session.Session_error e -> Error e
+                | exception Journal.Journal_error e -> Error ("journal: " ^ e))
+              stmts)
+      in
+      publish t;
+      List.iter (function Error _ -> Atomic.incr t.write_errors | Ok _ -> ()) results;
+      results)
+
+(** [write_idem ?req_id ?deadline t stmts] applies a client batch as one
+    commit group then publishes the resulting state as a new snapshot
+    epoch — under admission control ([Overloaded] at the bound,
+    [Timed_out] past [deadline], an absolute {!Unix.gettimeofday}
+    instant) and exactly-once dedup: a batch whose [req_id] already
+    applied returns [Duplicate] without touching the store. Per-statement
+    results come back in order; an erroring statement does not abort the
+    ones after it (same semantics as issuing them sequentially on one
+    session). *)
+let write_idem ?req_id ?deadline t stmts =
+  if not (admit t) then begin
+    Atomic.incr t.shed;
+    Overloaded
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr t.queued)
+      (fun () ->
+        if not (lock_writer ?deadline t) then begin
+          Atomic.incr t.timeouts;
+          Timed_out
+        end
+        else
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.writer)
+            (fun () ->
+              match req_id with
+              | Some id when Session.request_applied t.session id ->
+                Atomic.incr t.dedup_hits;
+                Duplicate (cached_reply t id)
+              | _ ->
+                Atomic.incr t.writes;
+                let results = apply_locked t ?req_id stmts in
+                (match req_id with Some id -> cache_reply t id results | None -> ());
+                results |> fun r -> Applied r))
+
+(** The PR 9 write surface: no request id, no deadline — still admission
+    controlled, so an overload surfaces as one [Error] result. *)
 let write t stmts =
-  Atomic.incr t.writes;
-  Mutex.protect t.writer (fun () ->
-      Mutex.protect t.eval_lock (fun () ->
-          let results =
-            Session.batch t.session (fun () ->
-                List.map
-                  (fun stmt ->
-                    match run_stmt t stmt with
-                    | r -> r
-                    | exception Session.Session_error e -> Error e
-                    | exception Journal.Journal_error e -> Error ("journal: " ^ e))
-                  stmts)
-          in
-          publish t;
-          List.iter
-            (function Error _ -> Atomic.incr t.write_errors | Ok _ -> ())
-            results;
-          results))
+  match write_idem t stmts with
+  | Applied results -> results
+  | Duplicate _ -> assert false (* no req_id was supplied *)
+  | Overloaded -> [ Error "retryable overloaded: admission queue full" ]
+  | Timed_out -> [ Error "retryable deadline: writer busy past the request deadline" ]
 
 (** Hash of the serialized full-state digest (see
     {!Session.state_digest}) — takes the writer lock, so it observes a
@@ -141,6 +274,11 @@ let digest t =
 (** Force the journal's pending group to disk (Manual / Group policies). *)
 let commit t =
   Mutex.protect t.writer (fun () -> Session.commit t.session)
+
+(** Test/bench hook: hold the writer lock for [seconds], blocking the
+    caller — a deterministic way to make concurrent writes queue, shed,
+    or run out their deadline. *)
+let occupy_writer t seconds = Mutex.protect t.writer (fun () -> Thread.delay seconds)
 
 (* --- snapshot digests ----------------------------------------------- *)
 
@@ -173,6 +311,11 @@ type stats = {
   sread_errors : int;
   swrite_errors : int;
   sepoch : int;  (** published snapshot epoch *)
+  squeued : int;  (** writers admitted right now *)
+  squeue_peak : int;  (** admission high-water mark *)
+  sshed : int;  (** writes refused at the admission bound *)
+  stimeouts : int;  (** writes whose deadline expired in the queue *)
+  sdedup : int;  (** duplicate request ids refused *)
 }
 
 let stats t =
@@ -182,4 +325,9 @@ let stats t =
     sread_errors = Atomic.get t.read_errors;
     swrite_errors = Atomic.get t.write_errors;
     sepoch = epoch t;
+    squeued = Atomic.get t.queued;
+    squeue_peak = Atomic.get t.queue_peak;
+    sshed = Atomic.get t.shed;
+    stimeouts = Atomic.get t.timeouts;
+    sdedup = Atomic.get t.dedup_hits;
   }

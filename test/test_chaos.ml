@@ -1,0 +1,276 @@
+(* The network-chaos soak: a real client/server pair with a seeded
+   fault-injecting proxy between them, driven by qcheck.
+
+   The property (DESIGN.md §15): under any seeded trace of delays,
+   short reads, payload truncations and mid-stream disconnects,
+
+   - every retried write batch applies exactly once — the final served
+     digest equals the serial oracle's, which duplicates or losses
+     would both break (every append carries a distinct value);
+   - no request outlives its overall deadline by more than scheduling
+     slack;
+   - a crash at any moment recovers to a commit-group prefix of the
+     serial oracle — checked by recovering a mid-run copy of the live
+     journal, exactly what a kill at that instant would leave.
+
+   Seeds replay: the fault pattern of every connection derives from
+   (seed, connection index, direction), so QCHECK_SEED pins the trace
+   (CI runs two fixed seeds under two group-commit policies). *)
+
+module Store = Cal_server.Store
+module Server = Cal_server.Server
+module Client = Cal_server.Client
+module Netchaos = Cal_faults.Netchaos
+open Calrules
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let temp_sock tag =
+  let p = Filename.temp_file tag ".sock" in
+  Sys.remove p;
+  p
+
+let rm p = try Sys.remove p with Sys_error _ -> ()
+
+let journal_files path =
+  [ path; path ^ ".snap"; path ^ ".tmp"; path ^ ".snap.tmp"; path ^ ".manifest" ]
+
+let copy_file src dst =
+  if Sys.file_exists src then begin
+    let ic = open_in_bin src in
+    let n = in_channel_length ic in
+    let buf = really_input_string ic n in
+    close_in ic;
+    let oc = open_out_bin dst in
+    output_string oc buf;
+    close_out oc
+  end
+
+let session_digest s = Digest.to_hex (Digest.string (Session.state_digest s))
+
+(* --- the trace ------------------------------------------------------ *)
+
+(* Batch i of a trace: distinct appends (so a double-apply changes the
+   digest) and, sometimes, a clock advance. The serial oracle applies
+   the same batches in the same order to a plain in-memory session. *)
+let batch_line i =
+  if i mod 5 = 4 then Printf.sprintf "@soak-%d append t (n = %d); advance 1" i (i * 10)
+  else if i mod 3 = 2 then
+    Printf.sprintf "@soak-%d append t (n = %d); append t (n = %d)" i (i * 10) ((i * 10) + 1)
+  else Printf.sprintf "@soak-%d append t (n = %d)" i (i * 10)
+
+let apply_to_oracle oracle i =
+  Session.batch oracle (fun () ->
+      if i mod 5 = 4 then begin
+        ignore (Session.query_exn oracle (Printf.sprintf "append t (n = %d)" (i * 10)));
+        Session.advance_days oracle 1
+      end
+      else if i mod 3 = 2 then begin
+        ignore (Session.query_exn oracle (Printf.sprintf "append t (n = %d)" (i * 10)));
+        ignore (Session.query_exn oracle (Printf.sprintf "append t (n = %d)" ((i * 10) + 1)))
+      end
+      else ignore (Session.query_exn oracle (Printf.sprintf "append t (n = %d)" (i * 10))))
+
+let expected_rows nbatches =
+  let n = ref 0 in
+  for i = 0 to nbatches - 1 do
+    n := !n + (if i mod 3 = 2 && i mod 5 <> 4 then 2 else 1)
+  done;
+  !n
+
+(* --- the soak property ---------------------------------------------- *)
+
+let request_timeout_s = 10.0
+
+let soak_prop (chaos_seed, nbatches) =
+  let jpath = Filename.temp_file "calq_chaos" ".journal" in
+  Sys.remove jpath;
+  let jcopy = jpath ^ ".crashcopy" in
+  let cleanup () = List.iter rm (journal_files jpath @ journal_files jcopy) in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  (* Serial oracle: same statements, no server, no faults. Its digest
+     after each batch is the set of legal recovery points. *)
+  let oracle = Session.create () in
+  (* Prefix 0 is the untouched session: under a wide group-commit
+     window a crash can land before anything — the setup included —
+     reached disk. *)
+  let empty_digest = session_digest oracle in
+  ignore (Session.query_exn oracle "create table t (n int)");
+  let oracle_prefixes = Array.make (nbatches + 1) (session_digest oracle) in
+  for i = 0 to nbatches - 1 do
+    apply_to_oracle oracle i;
+    oracle_prefixes.(i + 1) <- session_digest oracle
+  done;
+  let prefix_set = empty_digest :: Array.to_list oracle_prefixes in
+  (* The served store, behind the chaos proxy. *)
+  let store = Store.open_store ~path:jpath () in
+  let config =
+    { Server.request_deadline_s = 2.0; idle_timeout_s = 30.0; drain_timeout_s = 5.0 }
+  in
+  let server = Server.start ~config store (Unix.ADDR_UNIX (temp_sock "calq_chaos_srv")) in
+  let stopped = ref false in
+  Fun.protect ~finally:(fun () -> if not !stopped then Server.stop server) @@ fun () ->
+  let proxy =
+    Netchaos.start ~seed:chaos_seed ~upstream:(Server.addr server)
+      (Unix.ADDR_UNIX (temp_sock "calq_chaos_pxy"))
+  in
+  let pstopped = ref false in
+  Fun.protect ~finally:(fun () -> if not !pstopped then Netchaos.stop proxy) @@ fun () ->
+  let addr = Netchaos.addr proxy in
+  let run line =
+    let t0 = Unix.gettimeofday () in
+    let r = Client.run ~retries:100 ~timeout_s:request_timeout_s ~addr line in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if elapsed > request_timeout_s +. 2.0 then
+      QCheck2.Test.fail_reportf "request outlived its deadline: %.1fs" elapsed;
+    match r with
+    | Ok _ -> ()
+    | Error (Client.Server_error e) -> QCheck2.Test.fail_reportf "server error: %s" e
+    | Error (Client.Exhausted e) -> QCheck2.Test.fail_reportf "retries exhausted: %s" e
+  in
+  run "@soak-setup create table t (n int)";
+  let crash_at = nbatches / 2 in
+  for i = 0 to nbatches - 1 do
+    run (batch_line i);
+    if i = crash_at then copy_file jpath jcopy
+    (* what a kill right now would leave on disk *)
+  done;
+  (* Reads through the chaos proxy see a committed state too. *)
+  run "retrieve (t.n) from t";
+  Netchaos.stop proxy;
+  pstopped := true;
+  (* Exactly-once: the served digest equals the full oracle's. *)
+  let served = Store.digest store in
+  if served <> oracle_prefixes.(nbatches) then
+    QCheck2.Test.fail_reportf
+      "served digest diverged from the serial oracle (duplicate or lost batch)";
+  (* Row count is the blunt double-apply detector. *)
+  (match Store.read store "retrieve (t.n) from t" with
+  | Ok (Cal_db.Exec.Rows { rows; _ }) ->
+    if List.length rows <> expected_rows nbatches then
+      QCheck2.Test.fail_reportf "expected %d rows, found %d" (expected_rows nbatches)
+        (List.length rows)
+  | _ -> QCheck2.Test.fail_reportf "final retrieve failed");
+  (* Crash recovery: the mid-run journal copy is what a kill left
+     behind; it must recover to some commit-group prefix of the oracle. *)
+  if Sys.file_exists jcopy then begin
+    let crashed = Session.recover ~path:jcopy () in
+    let d = session_digest crashed in
+    if not (List.mem d prefix_set) then
+      QCheck2.Test.fail_reportf "mid-run journal recovered outside the oracle prefixes"
+  end;
+  (* Graceful stop flushes everything: recovery reproduces the full
+     served state. *)
+  Server.stop server;
+  stopped := true;
+  let recovered = Session.recover ~path:jpath () in
+  if session_digest recovered <> served then
+    QCheck2.Test.fail_reportf "clean-stop recovery diverged from the served state";
+  true
+
+let soak_gen =
+  QCheck2.Gen.tup2 (QCheck2.Gen.int_bound 0xFF_FFFF) (QCheck2.Gen.int_range 8 16)
+
+let soak_test =
+  QCheck2.Test.make ~name:"chaos soak: exactly-once, deadlines, prefix recovery" ~count:6
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%#x nbatches=%d" seed n)
+    soak_gen soak_prop
+
+(* --- deterministic units -------------------------------------------- *)
+
+(* A calm proxy is a faithful byte pump: a full roundtrip through it
+   behaves exactly like a direct connection. *)
+let test_calm_proxy_transparent () =
+  let store = Store.of_session (Session.create ()) in
+  let server = Server.start store (Unix.ADDR_UNIX (temp_sock "calq_calm_srv")) in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let proxy =
+    Netchaos.start ~config:Netchaos.calm ~seed:1 ~upstream:(Server.addr server)
+      (Unix.ADDR_UNIX (temp_sock "calq_calm_pxy"))
+  in
+  Fun.protect ~finally:(fun () -> Netchaos.stop proxy) @@ fun () ->
+  let c = Client.connect (Netchaos.addr proxy) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.request c "create table t (n int); append t (n = 1)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "write through calm proxy: %s" e);
+  (match Client.request c "retrieve (t.n) from t" with
+  | Ok lines -> check_int "header + row through proxy" 2 (List.length lines)
+  | Error e -> Alcotest.failf "read through calm proxy: %s" e);
+  let st = Netchaos.stats proxy in
+  check_bool "proxy saw the connection" true (st.Netchaos.conns >= 1);
+  check_int "calm proxy injects nothing" 0
+    (st.Netchaos.delays + st.Netchaos.shorts + st.Netchaos.truncations
+   + st.Netchaos.disconnects)
+
+(* Same seed, same single-connection exchange: the injected fault
+   pattern replays (the per-connection decision stream is derived from
+   the seed alone). *)
+let test_seeded_faults_replay () =
+  let run_once () =
+    let store = Store.of_session (Session.create ()) in
+    let server = Server.start store (Unix.ADDR_UNIX (temp_sock "calq_rep_srv")) in
+    Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+    let config =
+      { Netchaos.default_config with disconnect_rate = 0.0; truncate_rate = 0.0 }
+    in
+    let proxy =
+      Netchaos.start ~config ~seed:77 ~upstream:(Server.addr server)
+        (Unix.ADDR_UNIX (temp_sock "calq_rep_pxy"))
+    in
+    Fun.protect ~finally:(fun () -> Netchaos.stop proxy) @@ fun () ->
+    let c = Client.connect (Netchaos.addr proxy) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    for i = 0 to 9 do
+      match Client.request c (Printf.sprintf "?epoch%s" (if i = 0 then "" else "")) with
+      | Ok _ | Error _ -> ()
+    done;
+    let st = Netchaos.stats proxy in
+    (st.Netchaos.delays, st.Netchaos.shorts)
+  in
+  let a = run_once () and b = run_once () in
+  check_bool "same seed, same injected pattern" true (a = b)
+
+let test_valid_req_ids () =
+  List.iter
+    (fun id -> check_bool id true (Session.valid_req_id id))
+    [ "a"; "c123.42"; "node-1:batch_9"; String.make 128 'x' ];
+  List.iter
+    (fun id -> check_bool ("reject " ^ id) false (Session.valid_req_id id))
+    [ ""; "has space"; "newline\n"; String.make 129 'x'; "quote'" ]
+
+(* mark_request inside a batch journals with the batch: replaying the
+   journal restores the id set. *)
+let test_req_id_journal_roundtrip () =
+  let path = Filename.temp_file "calq_reqid" ".journal" in
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> List.iter rm (journal_files path)) @@ fun () ->
+  let s = Session.open_journaled ~path () in
+  Session.batch s (fun () ->
+      Session.mark_request s "alpha";
+      ignore (Session.query_exn s "create table t (n int)"));
+  check_bool "marked" true (Session.request_applied s "alpha");
+  check_bool "unmarked" false (Session.request_applied s "beta");
+  Session.commit s;
+  let r = Session.recover ~path () in
+  check_bool "id recovered from journal" true (Session.request_applied r "alpha");
+  check_bool "other ids stay unknown" false (Session.request_applied r "beta")
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "netchaos",
+        [
+          Alcotest.test_case "calm proxy is transparent" `Quick test_calm_proxy_transparent;
+          Alcotest.test_case "seeded faults replay" `Quick test_seeded_faults_replay;
+        ] );
+      ( "exactly-once",
+        [
+          Alcotest.test_case "request id validation" `Quick test_valid_req_ids;
+          Alcotest.test_case "request ids journal with their batch" `Quick
+            test_req_id_journal_roundtrip;
+        ] );
+      qsuite "soak" [ soak_test ];
+    ]
